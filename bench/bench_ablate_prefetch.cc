@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: does a conventional next-line hardware prefetcher subsume
+ * two-pass pipelining? The paper positions two-pass against
+ * prefetching-style techniques ("effective techniques, such as
+ * prefetching..., have been proposed to deal with anticipable,
+ * long-latency misses" — but the short, diffuse stalls are the
+ * two-pass target). This sweep runs base and 2P with next-line
+ * prefetch degrees 0/1/2/4.
+ *
+ * Usage: bench_ablate_prefetch [scale-percent]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/harness.hh"
+#include "sim/report.hh"
+#include "workloads/workload.hh"
+
+using namespace ff;
+
+int
+main(int argc, char **argv)
+{
+    const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
+    const std::vector<unsigned> degrees = {0, 1, 2, 4};
+
+    std::printf("=== Ablation: next-line prefetching vs two-pass "
+                "(cycles normalized to base/no-prefetch) ===\n\n");
+    sim::TextTable t;
+    std::vector<std::string> hdr = {"benchmark"};
+    for (unsigned d : degrees)
+        hdr.push_back("base-pf" + std::to_string(d));
+    for (unsigned d : degrees)
+        hdr.push_back("2P-pf" + std::to_string(d));
+    t.header(hdr);
+
+    for (const auto &name : workloads::workloadNames()) {
+        const workloads::Workload w =
+            workloads::buildWorkload(name, scale);
+        std::vector<std::string> row = {name};
+        double norm = 0.0;
+        for (sim::CpuKind kind :
+             {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass}) {
+            for (unsigned d : degrees) {
+                cpu::CoreConfig cfg = sim::table1Config();
+                cfg.mem.prefetchDegree = d;
+                const sim::SimOutcome o =
+                    sim::simulate(w.program, kind, cfg);
+                const double c = static_cast<double>(o.run.cycles);
+                if (norm == 0.0)
+                    norm = c;
+                row.push_back(sim::fixed(c / norm, 3));
+            }
+        }
+        t.row(row);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(expected: prefetching helps the streaming code "
+                "(183.equake) in both machines but does little for "
+                "random-access misses (181.mcf) or L2-hit probes "
+                "(129.compress) -- two-pass keeps its advantage, and "
+                "the techniques compose)\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces Figure 6: normalized execution cycles with the six-way
+ * stall breakdown for the baseline (base), two-pass (2P), and
+ * two-pass with instruction regrouping (2Pre) machines, across the
+ * ten-benchmark suite. Also prints the in-text headline statistics
+ * (S3: mcf's memory-stall and total-cycle reductions; S4: the average
+ * 2Pre speedup over 2P).
+ *
+ * Usage: bench_fig6 [scale-percent] [alt]
+ * (default scale 100; pass "alt" to run the alternate input set,
+ * validating that the reproduced shape is not an artifact of one
+ * particular seed)
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "compiler/scheduler.hh"
+
+#include "sim/harness.hh"
+#include "sim/report.hh"
+#include "workloads/workload.hh"
+
+using namespace ff;
+
+int
+main(int argc, char **argv)
+{
+    const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
+    const workloads::InputSet input =
+        (argc > 2 && std::string(argv[2]) == "alt")
+            ? workloads::InputSet::kAlternate
+            : workloads::InputSet::kDefault;
+
+    std::printf("=== Figure 6: normalized execution cycles "
+                "(baseline / 2P / 2Pre) [%s inputs] ===\n\n",
+                workloads::inputSetName(input));
+    std::printf("%s\n",
+                sim::describeConfig(sim::table1Config()).c_str());
+
+    sim::TextTable t;
+    t.header({"benchmark", "cfg", "unstalled", "load", "nonload",
+              "resource", "frontend", "apipe", "total", "speedup"});
+
+    double geo_2p = 0.0, geo_2pre = 0.0, geo_2pre_over_2p = 0.0;
+    unsigned n = 0;
+    double mcf_mem_reduction = 0.0, mcf_cycle_reduction = 0.0;
+
+    for (const auto &name : workloads::workloadNames()) {
+        const workloads::Workload w = workloads::buildWorkload(
+            name, scale, compiler::SchedulerConfig(), input);
+
+        const sim::SimOutcome base =
+            sim::simulate(w.program, sim::CpuKind::kBaseline);
+        const sim::SimOutcome twop =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        const sim::SimOutcome twopre =
+            sim::simulate(w.program, sim::CpuKind::kTwoPassRegroup);
+
+        const double base_cycles = static_cast<double>(base.run.cycles);
+        struct RowSpec
+        {
+            const char *cfg;
+            const sim::SimOutcome *o;
+        };
+        for (const RowSpec &r : {RowSpec{"base", &base},
+                                 RowSpec{"2P", &twop},
+                                 RowSpec{"2Pre", &twopre}}) {
+            std::vector<std::string> cells{name, r.cfg};
+            auto breakdown =
+                sim::fig6Cells(r.o->cycles, base.run.cycles);
+            cells.insert(cells.end(), breakdown.begin(),
+                         breakdown.end());
+            cells.push_back(sim::fixed(
+                base_cycles / static_cast<double>(r.o->run.cycles), 3));
+            t.row(cells);
+        }
+
+        geo_2p +=
+            std::log(base_cycles / static_cast<double>(twop.run.cycles));
+        geo_2pre += std::log(base_cycles /
+                             static_cast<double>(twopre.run.cycles));
+        geo_2pre_over_2p +=
+            std::log(static_cast<double>(twop.run.cycles) /
+                     static_cast<double>(twopre.run.cycles));
+        ++n;
+
+        if (name == "181.mcf") {
+            const auto base_mem =
+                base.cycles.of(cpu::CycleClass::kLoadStall);
+            const auto twop_mem =
+                twop.cycles.of(cpu::CycleClass::kLoadStall);
+            mcf_mem_reduction = 1.0 - static_cast<double>(twop_mem) /
+                                          static_cast<double>(base_mem);
+            mcf_cycle_reduction =
+                1.0 -
+                static_cast<double>(twop.run.cycles) / base_cycles;
+        }
+    }
+
+    std::printf("%s\n", t.render().c_str());
+    std::printf("S3  181.mcf memory-stall-cycle reduction (2P vs "
+                "base): %s   [paper: 62%%]\n",
+                sim::pct(mcf_mem_reduction).c_str());
+    std::printf("S3  181.mcf total-cycle reduction (2P vs base): %s   "
+                "[paper: 23%%]\n",
+                sim::pct(mcf_cycle_reduction).c_str());
+    std::printf("S4  geomean speedup 2P   over base: %s\n",
+                sim::fixed(std::exp(geo_2p / n), 3).c_str());
+    std::printf("S4  geomean speedup 2Pre over base: %s\n",
+                sim::fixed(std::exp(geo_2pre / n), 3).c_str());
+    std::printf("S4  geomean speedup 2Pre over 2P:   %s   [paper: "
+                "1.08]\n",
+                sim::fixed(std::exp(geo_2pre_over_2p / n), 3).c_str());
+    return 0;
+}

@@ -1,0 +1,34 @@
+# Dot product of two 512-element vectors that live in the L2:
+# every load is one of the paper's "short, ubiquitous" misses.
+#
+#   ./build/tools/ffvm examples/asm/dotprod.s --schedule --model base
+#   ./build/tools/ffvm examples/asm/dotprod.s --schedule --model 2P
+
+movi r1 = 0x100000          # &x
+movi r2 = 0x140000          # &y
+movi r3 = 512               # n
+itof f1 = r0                # sum = 0.0
+
+loop:
+ld8 f2 = [r1]
+ld8 f3 = [r2]
+fmul f4 = f2, f3
+fadd f1 = f1, f4
+add r1 = r1, 8
+add r2 = r2, 8
+sub r3 = r3, 1
+cmp.gt p1, p2 = r3, 0
+(p1) br loop
+
+ftoi r31 = f1
+movi r4 = 0x100
+st8 [r4] = r31
+halt
+
+# A few deterministic input elements (the rest read as zero).
+.poke64   0x100000 0x3FF0000000000000   # x[0] = 1.0
+.pokedouble 0x100008 2.0
+.pokedouble 0x100010 3.0
+.pokedouble 0x140000 10.0
+.pokedouble 0x140008 20.0
+.pokedouble 0x140010 30.0

@@ -1,0 +1,37 @@
+# Histogram over a pseudo-random byte stream with a data-dependent
+# fast path: counts how two-pass handles read-modify-write probes
+# plus an occasionally-mispredicted branch.
+#
+#   ./build/tools/ffvm examples/asm/histogram.s --schedule --model base
+#   ./build/tools/ffvm examples/asm/histogram.s --schedule --model 2P --stats
+
+movi r1 = 0x200000          # &bins (256 x 8B)
+movi r3 = 0x5DEECE66D       # stream state
+movi r5 = 2000              # samples
+movi r31 = 0                # checksum
+
+loop:
+add r3 = r3, 0x9E3779B97F4A7C15   # next sample
+shr r4 = r3, 33
+xor r4 = r4, r3
+and r4 = r4, 255            # bin index
+shl r4 = r4, 3
+add r6 = r1, r4
+ld8 r7 = [r6]               # bin load (read-modify-write)
+add r7 = r7, 1
+st8 [r6] = r7
+shr r8 = r3, 51
+and r8 = r8, 7
+cmp.ne p3, p4 = r8, 0       # 7/8 taken fast path
+(p3) br tally
+xor r31 = r31, r7           # rare path: audit the bin
+add r31 = r31, 13
+tally:
+add r31 = r31, r4
+sub r5 = r5, 1
+cmp.gt p1, p2 = r5, 0
+(p1) br loop
+
+movi r9 = 0x100
+st8 [r9] = r31
+halt

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Figure 1 / Figure 4 case study: watch the two-pass machine
+ * execute the mcf-style loop cycle by cycle. Prints the scheduled
+ * loop, then a short captured pipeline trace showing A-pipe loads
+ * starting misses, consumers being deferred into the coupling queue,
+ * and the B-pipe merging pre-executed results while deferred work
+ * executes behind the miss — the concurrency of Figure 4.
+ *
+ * Run: ./build/examples/casestudy_mcf
+ */
+
+#include <cstdio>
+
+#include "common/trace.hh"
+#include "cpu/twopass/twopass_cpu.hh"
+#include "isa/disasm.hh"
+#include "sim/harness.hh"
+#include "workloads/workload.hh"
+
+using namespace ff;
+
+int
+main()
+{
+    const workloads::Workload w = workloads::buildWorkload("181.mcf", 3);
+
+    std::printf("=== The 181.mcf loop after issue-group scheduling "
+                "(';;' = stop bit) ===\n\n%s\n",
+                isa::disasmProgram(w.program).c_str());
+
+    // Capture a window of pipeline activity.
+    trace::enable(trace::kApipe | trace::kBpipe | trace::kBranch |
+                  trace::kFlush | trace::kFeedback);
+    trace::captureToBuffer(true);
+    {
+        cpu::TwoPassCpu two_pass(w.program, sim::table1Config());
+        two_pass.run(520);
+    }
+    trace::disable();
+    std::string log = trace::takeBuffer();
+    trace::captureToBuffer(false);
+
+    std::printf("=== First ~520 cycles of two-pass execution ===\n"
+                "(A-LOAD = pre-executed load starting its miss early; "
+                "A-DEFER = instruction suppressed to the B-pipe;\n"
+                " B-LOAD = deferred load executing at the backup "
+                "pipe; FEEDBK = committed result returning to the "
+                "A-file)\n\n%s\n",
+                log.c_str());
+
+    // And the quantitative punchline of the case study.
+    const sim::SimOutcome base =
+        sim::simulate(w.program, sim::CpuKind::kBaseline);
+    const sim::SimOutcome twop =
+        sim::simulate(w.program, sim::CpuKind::kTwoPass);
+    std::printf("=== Outcome ===\nbaseline: %llu cycles\n2P:       "
+                "%llu cycles  (%.2fx; loads started in A: %llu, "
+                "in B: %llu)\n",
+                static_cast<unsigned long long>(base.run.cycles),
+                static_cast<unsigned long long>(twop.run.cycles),
+                static_cast<double>(base.run.cycles) /
+                    static_cast<double>(twop.run.cycles),
+                static_cast<unsigned long long>(twop.twopass.loadsInA),
+                static_cast<unsigned long long>(twop.twopass.loadsInB));
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Building a custom workload against the public API: a predicated
+ * binary-search kernel with data-dependent control, demonstrating
+ * the full pipeline from ProgramBuilder through the scheduler to a
+ * cross-model comparison — the workflow for anyone adding their own
+ * benchmark to the suite.
+ *
+ * Run: ./build/examples/custom_workload
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "compiler/scheduler.hh"
+#include "isa/builder.hh"
+#include "sim/harness.hh"
+#include "sim/report.hh"
+
+using namespace ff;
+
+int
+main()
+{
+    // Sorted table of 64K keys (512 KB -> L2/L3 territory); the
+    // kernel binary-searches pseudo-random probes against it. Each
+    // search step's address depends on the previous comparison: a
+    // dependent-load chain with data-dependent predication.
+    constexpr Addr kKeys = 0x1000'0000;
+    constexpr std::int64_t kN = 65536;
+    constexpr int kProbes = 1500;
+
+    const auto r = [](unsigned i) { return isa::intReg(i); };
+    const auto p = [](unsigned i) { return isa::predReg(i); };
+
+    isa::ProgramBuilder b("binsearch");
+    b.movi(r(1), kKeys);
+    b.movi(r(2), kProbes);
+    b.movi(r(3), 77);
+    b.movi(r(31), 0);
+
+    b.label("probe");
+    // Next probe value.
+    b.addi(r(3), r(3), static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(r(4), r(3), 30);
+    b.andi(r(4), r(4), (1 << 20) - 1); // target key
+    b.movi(r(10), 0);                  // lo
+    b.movi(r(11), kN);                 // hi
+    b.movi(r(12), 16);                 // 16 halving steps
+
+    b.label("step");
+    b.add(r(13), r(10), r(11));
+    b.shri(r(13), r(13), 1); // mid
+    b.shli(r(14), r(13), 3);
+    b.add(r(15), r(1), r(14));
+    b.ld8(r(16), r(15), 0); // keys[mid] -- dependent load
+    b.cmp(isa::CmpCond::kLt, p(1), p(2), r(16), r(4));
+    b.addi(r(10), r(13), 1);
+    b.pred(p(1)); // lo = mid+1 when keys[mid] < target
+    b.mov(r(11), r(13));
+    b.pred(p(2)); // hi = mid otherwise
+    b.subi(r(12), r(12), 1);
+    b.cmpi(isa::CmpCond::kGt, p(3), p(4), r(12), 0);
+    b.br("step");
+    b.pred(p(3));
+
+    b.add(r(31), r(31), r(10)); // fold the found slot into the sum
+    b.subi(r(2), r(2), 1);
+    b.cmpi(isa::CmpCond::kGt, p(5), p(6), r(2), 0);
+    b.br("probe");
+    b.pred(p(5));
+
+    b.movi(r(7), 0x100);
+    b.st8(r(7), 0, r(31));
+    b.halt();
+
+    isa::Program seq = b.finalize();
+    // Sorted keys with random gaps.
+    Rng rng(0xB135EA7C);
+    std::uint64_t key = 0;
+    for (std::int64_t i = 0; i < kN; ++i) {
+        key += rng.nextBelow(31) + 1;
+        seq.poke64(kKeys + i * 8, key);
+    }
+
+    const isa::Program prog = compiler::schedule(seq);
+    const sim::FunctionalOutcome ref = sim::runFunctional(prog);
+
+    std::printf("binary search over %lld keys, %d probes, %llu "
+                "instructions, checksum %llu\n\n",
+                static_cast<long long>(kN), kProbes,
+                static_cast<unsigned long long>(
+                    ref.result.instsExecuted),
+                static_cast<unsigned long long>(ref.checksum));
+
+    sim::TextTable t;
+    t.header({"model", "cycles", "IPC", "vs base", "checksum"});
+    double base_cycles = 0.0;
+    for (sim::CpuKind kind :
+         {sim::CpuKind::kBaseline, sim::CpuKind::kRunahead,
+          sim::CpuKind::kTwoPass, sim::CpuKind::kTwoPassRegroup}) {
+        const sim::SimOutcome o = sim::simulate(prog, kind);
+        if (kind == sim::CpuKind::kBaseline)
+            base_cycles = static_cast<double>(o.run.cycles);
+        t.row({sim::cpuKindName(kind), std::to_string(o.run.cycles),
+               sim::fixed(o.run.ipc(), 2),
+               sim::fixed(base_cycles /
+                              static_cast<double>(o.run.cycles),
+                          3),
+               o.checksum == ref.checksum ? "OK" : "MISMATCH"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(a dependent-load chain: like 254.gap, most of "
+                "the latency is initiated at the B-pipe, so the "
+                "two-pass gain is modest)\n");
+    return 0;
+}

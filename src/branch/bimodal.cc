@@ -1,0 +1,159 @@
+#include "branch/bimodal.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace branch
+{
+
+// ---------------------------------------------------------------------
+// Bimodal
+// ---------------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : _table(entries, 1), // weakly not-taken
+      _mask(entries - 1)
+{
+    ff_fatal_if(entries == 0 || (entries & (entries - 1)) != 0,
+                "bimodal table size must be a power of two");
+}
+
+Prediction
+BimodalPredictor::predict(Addr pc)
+{
+    ++_stats.lookups;
+    Prediction p;
+    p.index = static_cast<std::uint32_t>((pc >> 4) & _mask);
+    p.taken = _table[p.index] >= 2;
+    return p;
+}
+
+void
+BimodalPredictor::update(const Prediction &p, bool taken)
+{
+    std::uint8_t &ctr = _table[p.index];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    if (taken != p.taken)
+        ++_stats.mispredicts;
+}
+
+void
+BimodalPredictor::reset()
+{
+    for (auto &c : _table)
+        c = 1;
+    _stats.reset();
+}
+
+// ---------------------------------------------------------------------
+// Tournament
+// ---------------------------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(unsigned entries)
+    : _gshare(entries),
+      _bimodal(entries),
+      _chooser(entries, 2), // weakly favour gshare
+      _mask(entries - 1)
+{
+}
+
+Prediction
+TournamentPredictor::predict(Addr pc)
+{
+    ++_stats.lookups;
+    const Prediction g = _gshare.predict(pc);
+    const Prediction b = _bimodal.predict(pc);
+
+    Prediction p;
+    p.chooserIndex = static_cast<std::uint32_t>((pc >> 4) & _mask);
+    p.usedComponent2 = _chooser[p.chooserIndex] < 2; // 2 = bimodal
+    // Primary slot carries gshare's state, secondary bimodal's.
+    p.index = g.index;
+    p.historyBefore = g.historyBefore;
+    p.component1Taken = g.taken;
+    p.index2 = b.index;
+    p.component2Taken = b.taken;
+    p.taken = p.usedComponent2 ? b.taken : g.taken;
+    return p;
+}
+
+void
+TournamentPredictor::update(const Prediction &p, bool taken)
+{
+    // Rebuild each component's token and train it (this also
+    // repairs gshare's speculative history on ITS mispredictions).
+    Prediction g;
+    g.index = p.index;
+    g.historyBefore = p.historyBefore;
+    g.taken = p.component1Taken;
+    _gshare.update(g, taken);
+
+    Prediction b;
+    b.index = p.index2;
+    b.taken = p.component2Taken;
+    _bimodal.update(b, taken);
+
+    // Chooser trains toward whichever component was right (when they
+    // disagreed).
+    const bool g_right = g.taken == taken;
+    const bool b_right = b.taken == taken;
+    std::uint8_t &ch = _chooser[p.chooserIndex];
+    if (g_right && !b_right) {
+        if (ch < 3)
+            ++ch;
+    } else if (b_right && !g_right) {
+        if (ch > 0)
+            --ch;
+    }
+    if (taken != p.taken)
+        ++_stats.mispredicts;
+}
+
+void
+TournamentPredictor::reset()
+{
+    _gshare.reset();
+    _bimodal.reset();
+    for (auto &c : _chooser)
+        c = 2;
+    _stats.reset();
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+const char *
+predictorKindName(PredictorKind k)
+{
+    switch (k) {
+      case PredictorKind::kGshare: return "gshare";
+      case PredictorKind::kBimodal: return "bimodal";
+      case PredictorKind::kTournament: return "tournament";
+    }
+    return "?";
+}
+
+std::unique_ptr<DirectionPredictor>
+makePredictor(PredictorKind kind, unsigned entries)
+{
+    switch (kind) {
+      case PredictorKind::kGshare:
+        return std::make_unique<GsharePredictor>(entries);
+      case PredictorKind::kBimodal:
+        return std::make_unique<BimodalPredictor>(entries);
+      case PredictorKind::kTournament:
+        return std::make_unique<TournamentPredictor>(entries);
+    }
+    ff_panic("unknown predictor kind");
+}
+
+} // namespace branch
+} // namespace ff

@@ -1,0 +1,59 @@
+#include "branch/gshare.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace branch
+{
+
+GsharePredictor::GsharePredictor(unsigned entries)
+    : _table(entries, 1), // weakly not-taken
+      _mask(entries - 1)
+{
+    ff_fatal_if(entries == 0 || (entries & (entries - 1)) != 0,
+                "gshare table size must be a power of two");
+}
+
+Prediction
+GsharePredictor::predict(Addr pc)
+{
+    ++_stats.lookups;
+    Prediction p;
+    p.historyBefore = _history;
+    // Instruction addresses step by 16 bytes; drop the low bits
+    // before folding in history.
+    p.index = static_cast<std::uint32_t>(((pc >> 4) ^ _history) & _mask);
+    p.taken = _table[p.index] >= 2;
+    _history = ((_history << 1) | (p.taken ? 1 : 0)) & _mask;
+    return p;
+}
+
+void
+GsharePredictor::update(const Prediction &p, bool taken)
+{
+    std::uint8_t &ctr = _table[p.index];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    if (taken != p.taken) {
+        ++_stats.mispredicts;
+        _history = ((p.historyBefore << 1) | (taken ? 1 : 0)) & _mask;
+    }
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &c : _table)
+        c = 1;
+    _history = 0;
+    _stats.reset();
+}
+
+} // namespace branch
+} // namespace ff

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The branch direction-predictor interface and factory. Table 1's
+ * machine uses gshare; bimodal and tournament (21264-style) designs
+ * are provided for the predictor-quality ablation — the two-pass
+ * B-DET misprediction penalty makes the design more sensitive to
+ * predictor quality than the baseline, which this lets us measure.
+ */
+
+#ifndef FF_BRANCH_PREDICTOR_HH
+#define FF_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+
+namespace ff
+{
+namespace branch
+{
+
+/** Prediction statistics. */
+struct PredictorStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    void reset() { *this = PredictorStats(); }
+};
+
+/**
+ * Token returned at predict time and surrendered at resolve time.
+ * Components unused by a given predictor stay zero.
+ */
+struct Prediction
+{
+    bool taken = false;
+    std::uint32_t index = 0;          ///< primary counter consulted
+    std::uint64_t historyBefore = 0;  ///< history before this branch
+    std::uint32_t index2 = 0;         ///< secondary counter (tournament)
+    std::uint32_t chooserIndex = 0;   ///< chooser entry (tournament)
+    bool component1Taken = false;     ///< primary's own prediction
+    bool component2Taken = false;     ///< secondary's prediction
+    bool usedComponent2 = false;      ///< chooser picked the secondary
+};
+
+/** Abstract direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicts the branch at @p pc; shifts speculative state. */
+    virtual Prediction predict(Addr pc) = 0;
+
+    /**
+     * Trains on the resolved outcome and repairs speculative state
+     * on a misprediction. Squashed (wrong-path) predictions must
+     * never be updated.
+     */
+    virtual void update(const Prediction &p, bool taken) = 0;
+
+    virtual const PredictorStats &stats() const { return _stats; }
+    virtual void reset() = 0;
+
+  protected:
+    PredictorStats _stats;
+};
+
+/** Which predictor to build (CoreConfig::predictorKind). */
+enum class PredictorKind
+{
+    kGshare,     ///< Table 1's 1024-entry gshare
+    kBimodal,    ///< PC-indexed 2-bit counters, no history
+    kTournament, ///< bimodal + gshare + PC-indexed chooser
+};
+
+const char *predictorKindName(PredictorKind k);
+
+/** Builds a predictor of @p kind with @p entries counters/table. */
+std::unique_ptr<DirectionPredictor> makePredictor(PredictorKind kind,
+                                                  unsigned entries);
+
+} // namespace branch
+} // namespace ff
+
+#endif // FF_BRANCH_PREDICTOR_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A bounded FIFO with random access to live entries, used for the
+ * coupling queue, front-end decoupling queue, and feedback buffer.
+ */
+
+#ifndef FF_COMMON_FIFO_HH
+#define FF_COMMON_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace ff
+{
+
+/**
+ * Bounded first-in/first-out queue. Unlike std::queue it exposes
+ * iteration over in-flight entries (needed for flush routines that
+ * invalidate everything younger than some instruction) and enforces
+ * a capacity.
+ */
+template <typename T>
+class BoundedFifo
+{
+  public:
+    explicit BoundedFifo(std::size_t capacity) : _capacity(capacity)
+    {
+        ff_panic_if(capacity == 0, "zero-capacity fifo");
+    }
+
+    bool empty() const { return _q.empty(); }
+    bool full() const { return _q.size() >= _capacity; }
+    std::size_t size() const { return _q.size(); }
+    std::size_t capacity() const { return _capacity; }
+    std::size_t freeSlots() const { return _capacity - _q.size(); }
+
+    void
+    push(T v)
+    {
+        ff_panic_if(full(), "push to full fifo");
+        _q.push_back(std::move(v));
+    }
+
+    T &front() { ff_panic_if(empty(), "front of empty fifo");
+                 return _q.front(); }
+    const T &front() const { ff_panic_if(empty(), "front of empty fifo");
+                             return _q.front(); }
+    T &back() { ff_panic_if(empty(), "back of empty fifo");
+                return _q.back(); }
+
+    void
+    pop()
+    {
+        ff_panic_if(empty(), "pop of empty fifo");
+        _q.pop_front();
+    }
+
+    /** Random access: index 0 is the oldest entry. */
+    T &at(std::size_t i) { return _q.at(i); }
+    const T &at(std::size_t i) const { return _q.at(i); }
+
+    /** Drops the youngest entry (used by squash routines). */
+    void
+    popBack()
+    {
+        ff_panic_if(empty(), "popBack of empty fifo");
+        _q.pop_back();
+    }
+
+    void clear() { _q.clear(); }
+
+    auto begin() { return _q.begin(); }
+    auto end() { return _q.end(); }
+    auto begin() const { return _q.begin(); }
+    auto end() const { return _q.end(); }
+
+  private:
+    std::size_t _capacity;
+    std::deque<T> _q;
+};
+
+} // namespace ff
+
+#endif // FF_COMMON_FIFO_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for advisories.
+ */
+
+#ifndef FF_COMMON_LOGGING_HH
+#define FF_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ff
+{
+
+namespace detail
+{
+
+/** Formats and emits a log line, optionally aborting. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Stream-concatenates a parameter pack into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Invariant check that is always on (unlike assert()). Use for
+ * conditions that indicate a simulator bug regardless of build type.
+ */
+#define ff_panic_if(cond, ...)                                          \
+    do {                                                                \
+        if (cond) {                                                     \
+            ::ff::detail::panicImpl(__FILE__, __LINE__,                 \
+                ::ff::detail::concat("panic condition '" #cond         \
+                                     "' occurred: ", __VA_ARGS__));     \
+        }                                                               \
+    } while (0)
+
+/** Unconditional simulator-bug abort. */
+#define ff_panic(...)                                                   \
+    ::ff::detail::panicImpl(__FILE__, __LINE__,                         \
+                            ::ff::detail::concat(__VA_ARGS__))
+
+/** Unconditional user-error exit. */
+#define ff_fatal(...)                                                   \
+    ::ff::detail::fatalImpl(__FILE__, __LINE__,                         \
+                            ::ff::detail::concat(__VA_ARGS__))
+
+/** User-error exit when a configuration constraint is violated. */
+#define ff_fatal_if(cond, ...)                                          \
+    do {                                                                \
+        if (cond) {                                                     \
+            ::ff::detail::fatalImpl(__FILE__, __LINE__,                 \
+                ::ff::detail::concat(__VA_ARGS__));                     \
+        }                                                               \
+    } while (0)
+
+#define ff_warn(...)                                                    \
+    ::ff::detail::warnImpl(__FILE__, __LINE__,                          \
+                           ::ff::detail::concat(__VA_ARGS__))
+
+#define ff_inform(...)                                                  \
+    ::ff::detail::informImpl(::ff::detail::concat(__VA_ARGS__))
+
+} // namespace ff
+
+#endif // FF_COMMON_LOGGING_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload inputs
+ * and property tests. Simulation results must be bit-reproducible
+ * across platforms, so we carry our own generator (splitmix64 /
+ * xoshiro256**) instead of relying on std:: distribution behaviour.
+ */
+
+#ifndef FF_COMMON_RANDOM_HH
+#define FF_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace ff
+{
+
+/**
+ * xoshiro256** seeded through splitmix64. Deterministic across
+ * platforms and fast enough to sit inside workload generators.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return nextDouble() < p; }
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace ff
+
+#endif // FF_COMMON_RANDOM_HH

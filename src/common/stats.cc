@@ -1,0 +1,58 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace ff
+{
+namespace stats
+{
+
+const Scalar &
+StatGroup::scalar(const std::string &stat_name) const
+{
+    auto it = _scalars.find(stat_name);
+    ff_panic_if(it == _scalars.end(), "unknown scalar stat ", _name, ".",
+                stat_name);
+    return it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[k, s] : _scalars)
+        s.reset();
+    for (auto &[k, a] : _averages)
+        a.reset();
+    for (auto &[k, d] : _dists)
+        d.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &[k, s] : _scalars) {
+        oss << _name << '.' << k << ' ' << s.value();
+        auto d = _descs.find(k);
+        if (d != _descs.end() && !d->second.empty())
+            oss << "  # " << d->second;
+        oss << '\n';
+    }
+    for (const auto &[k, a] : _averages) {
+        oss << _name << '.' << k << ' ' << a.mean() << " (n="
+            << a.count() << ")";
+        auto d = _descs.find(k);
+        if (d != _descs.end() && !d->second.empty())
+            oss << "  # " << d->second;
+        oss << '\n';
+    }
+    for (const auto &[k, dist] : _dists) {
+        oss << _name << '.' << k << " mean=" << dist.mean() << " n="
+            << dist.samples() << " under=" << dist.underflow()
+            << " over=" << dist.overflow() << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace stats
+} // namespace ff

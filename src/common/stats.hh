@@ -1,0 +1,213 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: named scalar
+ * counters, averages, distributions and formulas, collected into
+ * per-component StatGroups that can be dumped as text.
+ */
+
+#ifndef FF_COMMON_STATS_HH
+#define FF_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace stats
+{
+
+/** A named, monotonically adjustable 64-bit counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(std::uint64_t v) { _value += v; return *this; }
+
+    void reset() { _value = 0; }
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running mean of a sampled quantity. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    void reset() { _sum = 0.0; _count = 0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+
+    double
+    mean() const
+    {
+        return _count == 0 ? 0.0 : _sum / static_cast<double>(_count);
+    }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [min, max) with uniform bucket width;
+ * out-of-range samples land in underflow/overflow.
+ */
+class Distribution
+{
+  public:
+    Distribution() : Distribution(0, 1, 1) {}
+
+    /**
+     * @param min lowest in-range sample (inclusive)
+     * @param max highest in-range sample (exclusive)
+     * @param num_buckets number of uniform buckets across [min, max)
+     */
+    Distribution(std::int64_t min, std::int64_t max,
+                 std::size_t num_buckets)
+        : _min(min), _max(max), _buckets(num_buckets, 0)
+    {
+        ff_panic_if(max <= min, "bad distribution range");
+        ff_panic_if(num_buckets == 0, "zero distribution buckets");
+    }
+
+    void
+    sample(std::int64_t v)
+    {
+        ++_samples;
+        _sum += v;
+        if (v < _min) {
+            ++_underflow;
+        } else if (v >= _max) {
+            ++_overflow;
+        } else {
+            std::size_t idx = static_cast<std::size_t>(
+                (v - _min) * static_cast<std::int64_t>(_buckets.size()) /
+                (_max - _min));
+            ++_buckets[idx];
+        }
+    }
+
+    std::uint64_t samples() const { return _samples; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    double
+    mean() const
+    {
+        return _samples == 0
+            ? 0.0
+            : static_cast<double>(_sum) / static_cast<double>(_samples);
+    }
+
+    void
+    reset()
+    {
+        _samples = _underflow = _overflow = 0;
+        _sum = 0;
+        for (auto &b : _buckets)
+            b = 0;
+    }
+
+  private:
+    std::int64_t _min;
+    std::int64_t _max;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _samples = 0;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::int64_t _sum = 0;
+};
+
+/**
+ * Registry of named statistics belonging to one simulated component.
+ * Components register their stats once; the harness dumps or resets
+ * every registered stat by name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    Scalar &
+    addScalar(const std::string &stat_name, std::string desc = "")
+    {
+        auto [it, inserted] = _scalars.try_emplace(stat_name);
+        ff_panic_if(!inserted, "duplicate scalar stat ", stat_name);
+        _descs[stat_name] = std::move(desc);
+        return it->second;
+    }
+
+    Average &
+    addAverage(const std::string &stat_name, std::string desc = "")
+    {
+        auto [it, inserted] = _averages.try_emplace(stat_name);
+        ff_panic_if(!inserted, "duplicate average stat ", stat_name);
+        _descs[stat_name] = std::move(desc);
+        return it->second;
+    }
+
+    Distribution &
+    addDistribution(const std::string &stat_name, std::int64_t min,
+                    std::int64_t max, std::size_t buckets,
+                    std::string desc = "")
+    {
+        auto [it, inserted] =
+            _dists.try_emplace(stat_name, Distribution(min, max, buckets));
+        ff_panic_if(!inserted, "duplicate distribution stat ", stat_name);
+        _descs[stat_name] = std::move(desc);
+        return it->second;
+    }
+
+    const std::string &name() const { return _name; }
+
+    /** Looks up a scalar; panics if absent. */
+    const Scalar &scalar(const std::string &stat_name) const;
+
+    void reset();
+
+    /** Renders all stats as "group.stat value  # desc" lines. */
+    std::string dump() const;
+
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return _scalars;
+    }
+    const std::map<std::string, Average> &averages() const
+    {
+        return _averages;
+    }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return _dists;
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, Scalar> _scalars;
+    std::map<std::string, Average> _averages;
+    std::map<std::string, Distribution> _dists;
+    std::map<std::string, std::string> _descs;
+};
+
+} // namespace stats
+} // namespace ff
+
+#endif // FF_COMMON_STATS_HH

@@ -1,0 +1,67 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+
+namespace ff
+{
+namespace trace
+{
+
+namespace
+{
+std::uint32_t g_mask = kNone;
+bool g_capture = false;
+std::string g_buffer;
+} // namespace
+
+void
+enable(std::uint32_t mask)
+{
+    g_mask |= mask;
+}
+
+void
+disable()
+{
+    g_mask = kNone;
+}
+
+bool
+enabled(std::uint32_t mask)
+{
+    return (g_mask & mask) != 0;
+}
+
+void
+captureToBuffer(bool on)
+{
+    g_capture = on;
+    if (on)
+        g_buffer.clear();
+}
+
+std::string
+takeBuffer()
+{
+    std::string out;
+    out.swap(g_buffer);
+    return out;
+}
+
+void
+emit(Cycle cycle, const char *tag, const std::string &msg)
+{
+    char head[64];
+    std::snprintf(head, sizeof(head), "%10llu: %-8s: ",
+                  static_cast<unsigned long long>(cycle), tag);
+    if (g_capture) {
+        g_buffer += head;
+        g_buffer += msg;
+        g_buffer += '\n';
+    } else {
+        std::fprintf(stderr, "%s%s\n", head, msg.c_str());
+    }
+}
+
+} // namespace trace
+} // namespace ff

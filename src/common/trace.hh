@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight, flag-gated debug tracing. Components emit trace lines
+ * tagged with a category; the harness (or a test) enables categories
+ * globally. Zero cost when the category is off beyond one branch.
+ */
+
+#ifndef FF_COMMON_TRACE_HH
+#define FF_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ff
+{
+namespace trace
+{
+
+/** Trace categories; bitmask-combinable. */
+enum Category : std::uint32_t
+{
+    kNone     = 0,
+    kFetch    = 1u << 0,
+    kIssue    = 1u << 1,
+    kExec     = 1u << 2,
+    kMem      = 1u << 3,
+    kBranch   = 1u << 4,
+    kApipe    = 1u << 5,
+    kBpipe    = 1u << 6,
+    kFlush    = 1u << 7,
+    kFeedback = 1u << 8,
+    kAll      = ~0u,
+};
+
+/** Enables the given categories (bitwise OR with current mask). */
+void enable(std::uint32_t mask);
+
+/** Disables all tracing. */
+void disable();
+
+/** True if any of the given categories is enabled. */
+bool enabled(std::uint32_t mask);
+
+/**
+ * Redirects trace output into an internal buffer instead of stderr
+ * (used by the case-study example and by tests that assert on traces).
+ */
+void captureToBuffer(bool on);
+
+/** Returns and clears the capture buffer. */
+std::string takeBuffer();
+
+/** Emits one trace line: "<cycle>: <tag>: <msg>". */
+void emit(Cycle cycle, const char *tag, const std::string &msg);
+
+} // namespace trace
+} // namespace ff
+
+/** Emit a trace line if the category is enabled. */
+#define ff_trace(category, cycle, tag, ...)                              \
+    do {                                                                 \
+        if (::ff::trace::enabled(category)) {                            \
+            std::ostringstream ff_trace_oss;                             \
+            ff_trace_oss << __VA_ARGS__;                                 \
+            ::ff::trace::emit(cycle, tag, ff_trace_oss.str());           \
+        }                                                                \
+    } while (0)
+
+#endif // FF_COMMON_TRACE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of the simulator.
+ */
+
+#ifndef FF_COMMON_TYPES_HH
+#define FF_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ff
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A virtual memory address in the simulated machine (byte-granular). */
+using Addr = std::uint64_t;
+
+/** Contents of an integer register (also used to carry raw FP bits). */
+using RegVal = std::uint64_t;
+
+/**
+ * Identity of a dynamic instruction. Monotonically increasing over a
+ * run; large enough to be unique for the lifetime of any simulation
+ * (the paper's "DynID", sized "sufficiently large to guarantee
+ * uniqueness within the machine at any given moment" -- we simply
+ * never wrap).
+ */
+using DynId = std::uint64_t;
+
+/** Sentinel used where a DynId is absent. */
+inline constexpr DynId kInvalidDynId =
+    std::numeric_limits<DynId>::max();
+
+/** Sentinel for "no cycle" / "never". */
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Static instruction index within a Program. */
+using InstIdx = std::uint32_t;
+
+inline constexpr InstIdx kInvalidInstIdx =
+    std::numeric_limits<InstIdx>::max();
+
+} // namespace ff
+
+#endif // FF_COMMON_TYPES_HH

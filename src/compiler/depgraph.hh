@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dependence analysis over a basic block of ffvm instructions, used
+ * by the list scheduler to form issue groups. Edges carry a minimum
+ * cycle separation: RAW edges carry the producer's assumed latency,
+ * WAW and memory-ordering edges carry 1 (different groups), and WAR
+ * edges carry 0 (same group is legal under EPIC read-before-group
+ * semantics).
+ */
+
+#ifndef FF_COMPILER_DEPGRAPH_HH
+#define FF_COMPILER_DEPGRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace ff
+{
+namespace compiler
+{
+
+/**
+ * Latencies the compiler *assumes* when spacing dependent
+ * instructions — notably the load latency, which it optimistically
+ * sets to the L1 hit time (the central premise of the paper: the
+ * static schedule capitalizes on hits and eats stalls on misses).
+ */
+struct SchedLatencies
+{
+    unsigned loadLatency = 2; ///< assumed (L1-hit) load-use latency
+
+    /** Assumed producer-to-consumer latency for @p in. */
+    unsigned
+    latencyOf(const isa::Instruction &in) const
+    {
+        if (in.isLoad())
+            return loadLatency;
+        return in.execLatency();
+    }
+};
+
+/** One dependence edge between instructions of a block. */
+struct DepEdge
+{
+    std::uint32_t from;   ///< producer, index local to the block
+    std::uint32_t to;     ///< consumer, index local to the block
+    unsigned minSep;      ///< minimum cycle separation (0 = same group)
+};
+
+/**
+ * Dependence graph over one basic block. Indices are local (0 is the
+ * block's first instruction).
+ */
+class DepGraph
+{
+  public:
+    /**
+     * Builds the graph for instructions [begin, end) of @p insts.
+     * Memory ordering is conservative: stores order against all other
+     * memory operations; loads may reorder freely with loads. Every
+     * instruction is ordered no later than a block-terminating branch.
+     */
+    DepGraph(const std::vector<isa::Instruction> &insts,
+             std::uint32_t begin, std::uint32_t end,
+             const SchedLatencies &lat);
+
+    std::uint32_t size() const { return _n; }
+
+    const std::vector<DepEdge> &edges() const { return _edges; }
+
+    /** Outgoing edges of local instruction @p i. */
+    const std::vector<std::uint32_t> &succs(std::uint32_t i) const
+    {
+        return _succ[i];
+    }
+
+    /** Number of incoming edges of @p i (for topological release). */
+    unsigned inDegree(std::uint32_t i) const { return _inDegree[i]; }
+
+    /**
+     * Critical-path height of @p i : longest separation-weighted path
+     * from i to any sink. Used as list-scheduling priority.
+     */
+    unsigned height(std::uint32_t i) const { return _height[i]; }
+
+  private:
+    void addEdge(std::uint32_t from, std::uint32_t to, unsigned sep);
+
+    std::uint32_t _n;
+    std::vector<DepEdge> _edges;
+    std::vector<std::vector<std::uint32_t>> _succ; ///< edge indices
+    std::vector<unsigned> _inDegree;
+    std::vector<unsigned> _height;
+};
+
+} // namespace compiler
+} // namespace ff
+
+#endif // FF_COMPILER_DEPGRAPH_HH

@@ -1,0 +1,170 @@
+#include "compiler/liveness.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compiler/scheduler.hh"
+
+namespace ff
+{
+namespace compiler
+{
+
+using cpu::regSlot;
+using isa::Instruction;
+using isa::Program;
+
+namespace
+{
+
+/** Adds instruction @p in's reads (minus already-defined) to use/def. */
+void
+accumulate(const Instruction &in, RegSet *use, RegSet *def)
+{
+    std::array<isa::RegId, 4> srcs;
+    const unsigned ns = in.sources(srcs);
+    for (unsigned s = 0; s < ns; ++s) {
+        const int slot = regSlot(srcs[s]);
+        if (slot < 0 || srcs[s].idx == 0)
+            continue;
+        if (!def->test(static_cast<std::size_t>(slot)))
+            use->set(static_cast<std::size_t>(slot));
+    }
+    // Predicated instructions may leave the old value intact, so a
+    // predicated write is NOT a kill: model it as a read-modify-write
+    // (conservative for liveness: keeps the incoming value live).
+    const bool conditional =
+        !(in.qpred.cls == isa::RegClass::kPred && in.qpred.idx == 0);
+    std::array<isa::RegId, 2> dsts;
+    const unsigned nd = in.destinations(dsts);
+    for (unsigned d = 0; d < nd; ++d) {
+        const int slot = regSlot(dsts[d]);
+        if (slot < 0 || dsts[d].idx == 0)
+            continue;
+        if (conditional) {
+            if (!def->test(static_cast<std::size_t>(slot)))
+                use->set(static_cast<std::size_t>(slot));
+        }
+        def->set(static_cast<std::size_t>(slot));
+    }
+}
+
+} // namespace
+
+Liveness::Liveness(const Program &prog) : _prog(prog)
+{
+    // Blocks follow the scheduler's leader rules.
+    const std::vector<InstIdx> leaders = findBlockLeaders(prog);
+    const InstIdx n = prog.size();
+    _blockOf.assign(n, 0);
+    for (std::size_t b = 0; b < leaders.size(); ++b) {
+        BasicBlock blk;
+        blk.begin = leaders[b];
+        blk.end = (b + 1 < leaders.size()) ? leaders[b + 1] : n;
+        for (InstIdx i = blk.begin; i < blk.end; ++i) {
+            _blockOf[i] = b;
+            accumulate(prog.inst(i), &blk.use, &blk.def);
+        }
+        _blocks.push_back(std::move(blk));
+    }
+
+    // Successor edges: fall-through (unless the block ends in a halt)
+    // plus the branch target.
+    auto block_index_of = [&](InstIdx i) -> std::size_t {
+        ff_panic_if(i >= n, "successor out of range");
+        return _blockOf[i];
+    };
+    for (std::size_t b = 0; b < _blocks.size(); ++b) {
+        BasicBlock &blk = _blocks[b];
+        const Instruction &last = prog.inst(blk.end - 1);
+        bool falls_through = !last.isHalt();
+        if (last.isBranch()) {
+            blk.succs.push_back(
+                block_index_of(static_cast<InstIdx>(last.imm)));
+            // A branch qualified by p0 is unconditional.
+            if (last.qpred.cls == isa::RegClass::kPred &&
+                last.qpred.idx == 0) {
+                falls_through = false;
+            }
+        }
+        if (falls_through && blk.end < n)
+            blk.succs.push_back(block_index_of(blk.end));
+    }
+
+    // Iterate liveIn = use | (liveOut & ~def) to a fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = _blocks.size(); b-- > 0;) {
+            BasicBlock &blk = _blocks[b];
+            RegSet out;
+            for (std::size_t s : blk.succs)
+                out |= _blocks[s].liveIn;
+            const RegSet in = blk.use | (out & ~blk.def);
+            if (out != blk.liveOut || in != blk.liveIn) {
+                blk.liveOut = out;
+                blk.liveIn = in;
+                changed = true;
+            }
+        }
+    }
+}
+
+const BasicBlock &
+Liveness::blockOf(InstIdx i) const
+{
+    return _blocks.at(_blockOf.at(i));
+}
+
+RegSet
+Liveness::liveBefore(InstIdx i) const
+{
+    const BasicBlock &blk = blockOf(i);
+    // Walk backward from the block's end to just before i.
+    RegSet live = blk.liveOut;
+    for (InstIdx j = blk.end; j-- > i + 1;) {
+        // (applied in reverse: live = (live - def) | use)
+        RegSet use, def;
+        accumulate(_prog.inst(j), &use, &def);
+        live &= ~def;
+        live |= use;
+    }
+    {
+        // Include instruction i's own reads? No: "before i executes"
+        // means i's sources are necessarily live; fold them in so the
+        // pressure number reflects what a register allocator must
+        // keep resident at that point.
+        RegSet use, def;
+        accumulate(_prog.inst(i), &use, &def);
+        live &= ~def;
+        live |= use;
+    }
+    return live;
+}
+
+PressureReport
+Liveness::pressure() const
+{
+    PressureReport r;
+    for (InstIdx i = 0; i < _prog.size(); ++i) {
+        const RegSet live = liveBefore(i);
+        unsigned ints = 0, fps = 0, preds = 0;
+        for (std::size_t s = 0; s < cpu::kNumRegSlots; ++s) {
+            if (!live.test(s))
+                continue;
+            if (s < isa::kNumIntRegs)
+                ++ints;
+            else if (s < isa::kNumIntRegs + isa::kNumFpRegs)
+                ++fps;
+            else
+                ++preds;
+        }
+        r.maxLiveInt = std::max(r.maxLiveInt, ints);
+        r.maxLiveFp = std::max(r.maxLiveFp, fps);
+        r.maxLivePred = std::max(r.maxLivePred, preds);
+    }
+    return r;
+}
+
+} // namespace compiler
+} // namespace ff

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Register liveness analysis over an ffvm program's control-flow
+ * graph: classic iterative backward dataflow producing per-block
+ * live-in/live-out sets and the peak register pressure per register
+ * class. The workload kernels are written by hand against fixed
+ * register assignments, so this is the "register allocator check" of
+ * the toolchain: it verifies a program never holds more values live
+ * than the architectural files provide (trivially true for ffvm's 64
+ * per class, but the analysis also powers pressure reporting and is
+ * the natural substrate for a future allocator).
+ */
+
+#ifndef FF_COMPILER_LIVENESS_HH
+#define FF_COMPILER_LIVENESS_HH
+
+#include <bitset>
+#include <vector>
+
+#include "cpu/regfile.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace compiler
+{
+
+/** A set of architectural registers, one bit per dense slot. */
+using RegSet = std::bitset<cpu::kNumRegSlots>;
+
+/** One basic block of the control-flow graph. */
+struct BasicBlock
+{
+    InstIdx begin;  ///< first instruction
+    InstIdx end;    ///< one past the last instruction
+    /** Indices (into the block vector) of possible successors. */
+    std::vector<std::size_t> succs;
+
+    RegSet use;     ///< read before any write within the block
+    RegSet def;     ///< written within the block
+    RegSet liveIn;
+    RegSet liveOut;
+};
+
+/** Peak simultaneous liveness per register class. */
+struct PressureReport
+{
+    unsigned maxLiveInt = 0;
+    unsigned maxLiveFp = 0;
+    unsigned maxLivePred = 0;
+
+    /** True if every class fits its architectural file. */
+    bool
+    fits() const
+    {
+        return maxLiveInt <= isa::kNumIntRegs &&
+               maxLiveFp <= isa::kNumFpRegs &&
+               maxLivePred <= isa::kNumPredRegs;
+    }
+};
+
+/** Computed liveness over a whole program. */
+class Liveness
+{
+  public:
+    /** Builds the CFG and runs the dataflow to a fixpoint. */
+    explicit Liveness(const isa::Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return _blocks; }
+
+    /** The block containing instruction @p i. */
+    const BasicBlock &blockOf(InstIdx i) const;
+
+    /** Registers live immediately before instruction @p i executes. */
+    RegSet liveBefore(InstIdx i) const;
+
+    /** Peak pressure across every program point. */
+    PressureReport pressure() const;
+
+  private:
+    const isa::Program &_prog;
+    std::vector<BasicBlock> _blocks;
+    std::vector<std::size_t> _blockOf; ///< inst -> block index
+};
+
+} // namespace compiler
+} // namespace ff
+
+#endif // FF_COMPILER_LIVENESS_HH

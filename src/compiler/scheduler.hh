@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The issue-group-forming list scheduler — this repo's stand-in for
+ * the IMPACT/Intel compilers of the paper. It takes a sequential
+ * program (one instruction per group), partitions it into basic
+ * blocks, and list-schedules each block into wide EPIC issue groups
+ * under the machine's resource widths, assuming L1-hit load latency.
+ *
+ * The scheduler never moves instructions across basic blocks (no
+ * global code motion, no speculation): the paper's premise is that
+ * the *static* schedule is good on hits and the microarchitecture
+ * absorbs unanticipated misses.
+ */
+
+#ifndef FF_COMPILER_SCHEDULER_HH
+#define FF_COMPILER_SCHEDULER_HH
+
+#include <vector>
+
+#include "compiler/depgraph.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace compiler
+{
+
+/** Options controlling issue-group formation. */
+struct SchedulerConfig
+{
+    isa::GroupLimits limits;   ///< machine resource widths (Table 1)
+    SchedLatencies latencies;  ///< assumed operation latencies
+};
+
+/**
+ * Partitions @p sequential into basic blocks and returns the indices
+ * of block leaders (entry, branch targets, fall-throughs after
+ * branches and halts), sorted ascending.
+ */
+std::vector<InstIdx> findBlockLeaders(const isa::Program &sequential);
+
+/**
+ * Schedules @p sequential into issue groups. The input is typically a
+ * builder-produced program with a stop bit on every instruction; the
+ * output preserves per-block instruction semantics while packing
+ * independent operations into shared issue groups and spacing
+ * dependent ones by assumed latency. Branch targets are remapped.
+ *
+ * The result is validated; scheduling failures are simulator bugs
+ * and panic.
+ */
+isa::Program schedule(const isa::Program &sequential,
+                      const SchedulerConfig &cfg = SchedulerConfig());
+
+} // namespace compiler
+} // namespace ff
+
+#endif // FF_COMPILER_SCHEDULER_HH

@@ -1,0 +1,224 @@
+#include "cpu/baseline/baseline_cpu.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "cpu/exec.hh"
+#include "cpu/stats_report.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+using isa::Instruction;
+
+BaselineCpu::BaselineCpu(const isa::Program &prog, const CoreConfig &cfg)
+    : _prog(prog),
+      _cfg(cfg),
+      _hier(cfg.mem),
+      _pred(branch::makePredictor(cfg.predictorKind,
+                                  cfg.predictorEntries)),
+      _fe(prog, _cfg, *_pred, _hier, memory::Initiator::kBaseline)
+{
+    const std::string err = prog.validate(cfg.limits);
+    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
+                err);
+    _mem.loadPages(prog.dataImage().pages());
+}
+
+CycleClass
+BaselineCpu::stallClassFor(isa::RegId blocking) const
+{
+    switch (_sb.kindOf(blocking)) {
+      case PendingKind::kLoad:
+        return CycleClass::kLoadStall;
+      case PendingKind::kNonLoad:
+        return CycleClass::kNonLoadDepStall;
+      case PendingKind::kNone:
+        break;
+    }
+    ff_panic("stall on a register with no pending producer");
+}
+
+CycleClass
+BaselineCpu::tryIssue(Cycle now, RunResult &res)
+{
+    if (!_fe.headReady(now))
+        return CycleClass::kFrontEndStall;
+
+    const FetchedGroup &g = _fe.head();
+    const InstIdx leader = g.leader;
+    const InstIdx end = g.end;
+
+    // ---- dependence check (REG stage): whole-group stall ----------
+    unsigned loads_wanted = 0;
+    for (InstIdx i = leader; i < end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        if (!_sb.ready(in.qpred, now))
+            return stallClassFor(in.qpred);
+        const bool qp = _regs.readPred(in.qpred);
+        if (!qp && !in.isBranch())
+            continue; // nullified slot needs no operands
+        if (in.src1.valid() && !_sb.ready(in.src1, now))
+            return stallClassFor(in.src1);
+        if (in.src2.valid() && !in.src2IsImm &&
+            !_sb.ready(in.src2, now)) {
+            return stallClassFor(in.src2);
+        }
+        if (_cfg.wawStall) {
+            std::array<isa::RegId, 2> dsts;
+            unsigned nd = in.destinations(dsts);
+            for (unsigned d = 0; d < nd; ++d) {
+                if (!_sb.ready(dsts[d], now))
+                    return stallClassFor(dsts[d]);
+            }
+        }
+        if (in.isLoad() && qp)
+            ++loads_wanted;
+    }
+
+    // ---- resource check: conservatively assume every load misses --
+    if (loads_wanted > 0 && _hier.outstandingLoads(now) > 0 &&
+        _hier.outstandingLoads(now) + loads_wanted >
+            _cfg.mem.maxOutstandingLoads) {
+        // Stalling only helps while an outstanding load could retire
+        // and free an MSHR; a group carrying more loads than the
+        // machine has MSHRs must still issue eventually.
+        return CycleClass::kResourceStall;
+    }
+
+    // ---- execute: snapshot reads, apply in slot order --------------
+    // The group issues now: consume it from the front end before
+    // executing, so a mispredict redirect (which clears the fetch
+    // queue) does not race with the head pop.
+    const FetchedGroup group = g;
+    _fe.pop();
+
+    struct SlotOperands
+    {
+        bool qpred;
+        RegVal s1;
+        RegVal s2;
+    };
+    std::vector<SlotOperands> ops(end - leader);
+    for (InstIdx i = leader; i < end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        SlotOperands &o = ops[i - leader];
+        o.qpred = _regs.readPred(in.qpred);
+        o.s1 = in.src1.valid() ? _regs.read(in.src1) : 0;
+        o.s2 = operandSrc2(in, in.src2.valid() ? _regs.read(in.src2) : 0);
+    }
+
+    for (InstIdx i = leader; i < end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        const SlotOperands &o = ops[i - leader];
+        ++res.instsRetired;
+
+        if (in.isHalt()) {
+            res.halted = true;
+            break;
+        }
+
+        EvalResult ev = evaluate(in, o.qpred, o.s1, o.s2);
+
+        if (ev.isBranch) {
+            ++_stats.branchesRetired;
+            _pred->update(group.prediction, ev.taken);
+            if (ev.taken != group.predictedTaken) {
+                ++_stats.mispredicts;
+                const InstIdx target =
+                    ev.taken ? static_cast<InstIdx>(in.imm) : end;
+                _fe.redirect(target, now + 1 + _cfg.branchResolveDelay);
+                ff_trace(trace::kBranch, now, "MISPRED",
+                         "@" << i << " actual "
+                             << (ev.taken ? "T" : "N") << " -> @"
+                             << target);
+            }
+            continue;
+        }
+        if (!ev.predTrue)
+            continue;
+
+        if (ev.isMemAccess) {
+            if (in.isLoad()) {
+                ++_stats.loadsIssued;
+                const memory::AccessResult ar =
+                    _hier.access(memory::AccessKind::kLoad,
+                                 memory::Initiator::kBaseline, ev.addr,
+                                 now);
+                ev.dstVal = loadExtend(in.op, _mem.read(ev.addr,
+                                                        ev.size));
+                _regs.write(in.dst, ev.dstVal);
+                _sb.setPending(in.dst, now + ar.latency,
+                               PendingKind::kLoad);
+                ff_trace(trace::kMem, now, "LOAD",
+                         "@" << i << " [" << std::hex << ev.addr
+                             << std::dec << "] "
+                             << memory::memLevelName(ar.level) << " +"
+                             << ar.latency);
+                continue;
+            }
+            ++_stats.storesIssued;
+            _mem.write(ev.addr, ev.storeVal, ev.size);
+            _hier.access(memory::AccessKind::kStore,
+                         memory::Initiator::kBaseline, ev.addr, now);
+            continue;
+        }
+
+        const unsigned lat = in.execLatency();
+        if (ev.writesDst) {
+            _regs.write(in.dst, ev.dstVal);
+            if (lat > 1) {
+                _sb.setPending(in.dst, now + lat, PendingKind::kNonLoad);
+            }
+        }
+        if (ev.writesDst2) {
+            _regs.write(in.dst2, ev.dst2Val);
+            if (lat > 1) {
+                _sb.setPending(in.dst2, now + lat,
+                               PendingKind::kNonLoad);
+            }
+        }
+    }
+
+    ++res.groupsRetired;
+    return CycleClass::kUnstalled;
+}
+
+std::string
+BaselineCpu::statsReport() const
+{
+    stats::StatGroup g("baseline");
+    g.addScalar("loads_issued") += _stats.loadsIssued;
+    g.addScalar("stores_issued") += _stats.storesIssued;
+    g.addScalar("branches_retired") += _stats.branchesRetired;
+    g.addScalar("mispredicts") += _stats.mispredicts;
+    return commonStatsReport(_acct, _pred->stats(),
+                             _hier.accessStats()) +
+           g.dump();
+}
+
+RunResult
+BaselineCpu::run(std::uint64_t max_cycles)
+{
+    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
+    _ran = true;
+
+    RunResult res;
+    Cycle now = 0;
+    while (!res.halted && now < max_cycles) {
+        _hier.tick(now);
+        const CycleClass cls = tryIssue(now, res);
+        _acct.record(cls);
+        _fe.tick(now);
+        ++now;
+    }
+    res.cycles = now;
+    return res;
+}
+
+} // namespace cpu
+} // namespace ff

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The baseline in-order EPIC core (Figure 2(a)): issue groups stall
+ * atomically in the dependence-check stage whenever any contained
+ * instruction's operands are not ready, exactly the behaviour whose
+ * stall cycles the two-pass design attacks.
+ */
+
+#ifndef FF_CPU_BASELINE_BASELINE_CPU_HH
+#define FF_CPU_BASELINE_BASELINE_CPU_HH
+
+#include <memory>
+
+#include "cpu/config.hh"
+#include "cpu/cpu.hh"
+#include "cpu/frontend.hh"
+#include "cpu/scoreboard.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Counters specific to the baseline model. */
+struct BaselineStats
+{
+    std::uint64_t loadsIssued = 0;
+    std::uint64_t storesIssued = 0;
+    std::uint64_t branchesRetired = 0;
+    std::uint64_t mispredicts = 0;
+
+    void reset() { *this = BaselineStats(); }
+};
+
+/** In-order, stall-on-use EPIC pipeline. */
+class BaselineCpu : public CpuModel
+{
+  public:
+    BaselineCpu(const isa::Program &prog, const CoreConfig &cfg);
+    /** The model holds a reference: temporaries would dangle. */
+    BaselineCpu(isa::Program &&, const CoreConfig &) = delete;
+
+    RunResult run(std::uint64_t max_cycles) override;
+
+    const RegFile &archRegs() const override { return _regs; }
+    const memory::SparseMemory &memState() const override
+    {
+        return _mem;
+    }
+    const CycleAccounting &cycleAccounting() const override
+    {
+        return _acct;
+    }
+    memory::Hierarchy &hierarchy() override { return _hier; }
+    const branch::DirectionPredictor &predictor() const override
+    {
+        return *_pred;
+    }
+
+    const BaselineStats &stats() const { return _stats; }
+
+    std::string statsReport() const override;
+
+  private:
+    /**
+     * Attempts to issue the head issue group at @p now.
+     * @return the cycle's classification; retires the group when
+     *         kUnstalled
+     */
+    CycleClass tryIssue(Cycle now, RunResult &res);
+
+    /** Maps a blocking register's producer kind to a stall class. */
+    CycleClass stallClassFor(isa::RegId blocking) const;
+
+    const isa::Program &_prog;
+    CoreConfig _cfg;
+    memory::SparseMemory _mem;
+    memory::Hierarchy _hier;
+    std::unique_ptr<branch::DirectionPredictor> _pred;
+    FrontEnd _fe;
+    RegFile _regs;
+    Scoreboard _sb;
+    CycleAccounting _acct;
+    BaselineStats _stats;
+    bool _ran = false;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_BASELINE_BASELINE_CPU_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Configuration of a simulated core. Defaults reproduce Table 1 of
+ * the paper (plus pipeline-shape parameters the paper describes in
+ * prose: an Itanium-2-like front end one stage longer, a 64-entry
+ * coupling queue, a perfect ALAT, single-cycle B-to-A feedback).
+ */
+
+#ifndef FF_CPU_CONFIG_HH
+#define FF_CPU_CONFIG_HH
+
+#include "branch/predictor.hh"
+#include "isa/program.hh"
+#include "memory/hierarchy.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Full machine configuration shared by every CPU model. */
+struct CoreConfig
+{
+    /** Issue widths (Table 1: 8-issue, 5 ALU, 3 Mem, 3 FP, 3 Br). */
+    isa::GroupLimits limits;
+
+    /** Cache hierarchy and memory parameters (Table 1). */
+    memory::MemoryConfig mem;
+
+    /** gshare direction predictor entries (Table 1: 1024). */
+    unsigned predictorEntries = 1024;
+
+    /** Direction predictor design (Table 1: gshare). */
+    branch::PredictorKind predictorKind =
+        branch::PredictorKind::kGshare;
+
+    /**
+     * Stages between a fetch and the group's availability at the
+     * dependence-check/issue point; the branch-misprediction refill
+     * time. Itanium 2's main pipe is 8 stages; the paper models one
+     * more.
+     */
+    unsigned frontEndDepth = 7;
+
+    /** Decoupling queue between fetch and issue, in groups. */
+    unsigned fetchQueueGroups = 8;
+
+    /** Extra cycles between branch resolution and fetch redirect. */
+    unsigned branchResolveDelay = 2;
+
+    // ----- two-pass parameters --------------------------------------
+
+    /** Coupling queue capacity in instructions (Table 1: 64). */
+    unsigned couplingQueueSize = 64;
+
+    /** ALAT capacity; 0 models the paper's perfect ALAT. */
+    unsigned alatCapacity = 0;
+
+    /** Speculative store buffer entries. */
+    unsigned storeBufferSize = 64;
+
+    /** Latency of the B-to-A committed-result feedback path. */
+    unsigned feedbackLatency = 1;
+
+    /** Disable feedback entirely (the "inf" point of Figure 8). */
+    bool feedbackEnabled = true;
+
+    /** Enable B-pipe dispatch instruction regrouping (the 2Pre bar). */
+    bool regroup = false;
+
+    /**
+     * Ablation A2 (suggested in Sec. 4): the A-pipe stalls for
+     * anticipable in-flight non-load latencies (FP/MUL) instead of
+     * deferring their consumers.
+     */
+    bool aPipeStallsOnAnticipable = false;
+
+    /**
+     * Partial functional-unit replication (Sec. 3.7): when false, the
+     * A-pipe has no FP units and every FP instruction is deferred to
+     * the (fully-equipped) B-pipe.
+     */
+    bool aPipeHasFpUnits = true;
+
+    /**
+     * A-pipe issue moderation (Sec. 3.5 / future work): when more
+     * than aPipeThrottlePercent of the last 64 dispatched
+     * instructions were deferred AND the coupling queue is more than
+     * half full, the A-pipe pauses dispatch until the B-pipe drains
+     * the queue below a quarter. 0 disables the throttle.
+     */
+    unsigned aPipeThrottlePercent = 0;
+
+    /**
+     * Extra penalty cycles charged when a flush resolves in the
+     * B-pipe (B-DET misprediction or store-conflict flush) to cover
+     * A-file repair from the B-file.
+     */
+    unsigned bFlushRepairPenalty = 5;
+
+    /** Baseline EPIC cores stall on WAW against in-flight results. */
+    bool wawStall = true;
+
+    /**
+     * Debug self-check cadence for the two-pass core: every N cycles,
+     * verify the A-file coherence invariant (every valid,
+     * non-speculative A-file entry equals the architectural B-file).
+     * 0 disables (the default; checks are O(registers) per firing).
+     */
+    unsigned selfCheckInterval = 0;
+
+    // ----- run-ahead (Sec. 2 comparison model) ----------------------
+
+    /**
+     * Run-ahead entry threshold: enter run-ahead mode when the issue
+     * stage has been blocked on a load for at least this many cycles.
+     * 0 enters immediately on any load-dependence stall.
+     */
+    unsigned runaheadEntryDelay = 0;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_CONFIG_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The common interface of the timed CPU models (baseline in-order,
+ * two-pass, run-ahead). The experiment harness runs any model to
+ * completion and compares architectural results and cycle accounting.
+ */
+
+#ifndef FF_CPU_CPU_HH
+#define FF_CPU_CPU_HH
+
+#include <cstdint>
+
+#include "branch/predictor.hh"
+#include "cpu/cycle_classes.hh"
+#include "cpu/regfile.hh"
+#include "memory/hierarchy.hh"
+#include "memory/sparse_memory.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Outcome of a simulation run. */
+struct RunResult
+{
+    bool halted = false;          ///< the program's HALT retired
+    Cycle cycles = 0;             ///< simulated cycles consumed
+    std::uint64_t instsRetired = 0; ///< slots retired (incl. nullified)
+    std::uint64_t groupsRetired = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instsRetired) /
+                  static_cast<double>(cycles);
+    }
+};
+
+/** Abstract timed CPU. */
+class CpuModel
+{
+  public:
+    virtual ~CpuModel() = default;
+
+    /**
+     * Runs until HALT retires or @p max_cycles elapse.
+     * Models are single-shot: construct a fresh instance per run.
+     */
+    virtual RunResult run(std::uint64_t max_cycles) = 0;
+
+    /** Architectural register state (the B-file for two-pass). */
+    virtual const RegFile &archRegs() const = 0;
+
+    /** Architectural memory state. */
+    virtual const memory::SparseMemory &memState() const = 0;
+
+    /** Figure-6 cycle classification of the architectural pipe. */
+    virtual const CycleAccounting &cycleAccounting() const = 0;
+
+    virtual memory::Hierarchy &hierarchy() = 0;
+    virtual const branch::DirectionPredictor &predictor() const = 0;
+
+    /**
+     * Renders every statistic the model keeps as "group.stat value"
+     * lines (gem5-style), for drivers and debugging.
+     */
+    virtual std::string statsReport() const = 0;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_CPU_HH

@@ -1,0 +1,230 @@
+#include "cpu/exec.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+using isa::CmpCond;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace
+{
+
+double
+asDouble(RegVal v)
+{
+    return std::bit_cast<double>(v);
+}
+
+RegVal
+fromDouble(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+
+bool
+intCompare(CmpCond c, RegVal a, RegVal b)
+{
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    switch (c) {
+      case CmpCond::kEq: return a == b;
+      case CmpCond::kNe: return a != b;
+      case CmpCond::kLt: return sa < sb;
+      case CmpCond::kLe: return sa <= sb;
+      case CmpCond::kGt: return sa > sb;
+      case CmpCond::kGe: return sa >= sb;
+      case CmpCond::kLtu: return a < b;
+    }
+    return false;
+}
+
+bool
+fpCompare(CmpCond c, double a, double b)
+{
+    switch (c) {
+      case CmpCond::kEq: return a == b;
+      case CmpCond::kNe: return a != b;
+      case CmpCond::kLt: return a < b;
+      case CmpCond::kLe: return a <= b;
+      case CmpCond::kGt: return a > b;
+      case CmpCond::kGe: return a >= b;
+      case CmpCond::kLtu: return a < b;
+    }
+    return false;
+}
+
+} // namespace
+
+unsigned
+memSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::kLd4:
+      case Opcode::kSt4:
+        return 4;
+      case Opcode::kLd8:
+      case Opcode::kSt8:
+        return 8;
+      default:
+        ff_panic("memSize of non-memory opcode");
+    }
+}
+
+RegVal
+loadExtend(Opcode op, std::uint64_t raw)
+{
+    if (op == Opcode::kLd4) {
+        // Sign-extend the low 32 bits.
+        return static_cast<RegVal>(
+            static_cast<std::int64_t>(static_cast<std::int32_t>(raw)));
+    }
+    return raw;
+}
+
+EvalResult
+evaluate(const Instruction &in, bool qpred, RegVal s1, RegVal s2)
+{
+    EvalResult r;
+    r.predTrue = qpred;
+    if (in.isBranch()) {
+        r.isBranch = true;
+        r.taken = qpred;
+        return r;
+    }
+    if (!qpred)
+        return r; // nullified: no writes, no memory access
+
+    switch (in.op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        break;
+      case Opcode::kAdd:
+        r.writesDst = true;
+        r.dstVal = s1 + s2;
+        break;
+      case Opcode::kSub:
+        r.writesDst = true;
+        r.dstVal = s1 - s2;
+        break;
+      case Opcode::kAnd:
+        r.writesDst = true;
+        r.dstVal = s1 & s2;
+        break;
+      case Opcode::kOr:
+        r.writesDst = true;
+        r.dstVal = s1 | s2;
+        break;
+      case Opcode::kXor:
+        r.writesDst = true;
+        r.dstVal = s1 ^ s2;
+        break;
+      case Opcode::kShl:
+        r.writesDst = true;
+        r.dstVal = s1 << (s2 & 63);
+        break;
+      case Opcode::kShr:
+        r.writesDst = true;
+        r.dstVal = s1 >> (s2 & 63);
+        break;
+      case Opcode::kSra:
+        r.writesDst = true;
+        r.dstVal = static_cast<RegVal>(static_cast<std::int64_t>(s1) >>
+                                       (s2 & 63));
+        break;
+      case Opcode::kMul:
+        r.writesDst = true;
+        r.dstVal = s1 * s2;
+        break;
+      case Opcode::kMov:
+        r.writesDst = true;
+        r.dstVal = s1;
+        break;
+      case Opcode::kMovi:
+        r.writesDst = true;
+        r.dstVal = static_cast<RegVal>(in.imm);
+        break;
+      case Opcode::kCmp: {
+        const bool t = intCompare(in.cond, s1, s2);
+        r.writesDst = true;
+        r.dstVal = t ? 1 : 0;
+        r.writesDst2 = true;
+        r.dst2Val = t ? 0 : 1;
+        break;
+      }
+      case Opcode::kItof:
+        r.writesDst = true;
+        r.dstVal =
+            fromDouble(static_cast<double>(static_cast<std::int64_t>(s1)));
+        break;
+      case Opcode::kFtoi: {
+        const double d = asDouble(s1);
+        std::int64_t v;
+        // Deterministic saturation instead of UB on out-of-range.
+        if (std::isnan(d)) {
+            v = 0;
+        } else if (d >= 9.2233720368547758e18) {
+            v = INT64_MAX;
+        } else if (d <= -9.2233720368547758e18) {
+            v = INT64_MIN;
+        } else {
+            v = static_cast<std::int64_t>(d);
+        }
+        r.writesDst = true;
+        r.dstVal = static_cast<RegVal>(v);
+        break;
+      }
+      case Opcode::kFadd:
+        r.writesDst = true;
+        r.dstVal = fromDouble(asDouble(s1) + asDouble(s2));
+        break;
+      case Opcode::kFsub:
+        r.writesDst = true;
+        r.dstVal = fromDouble(asDouble(s1) - asDouble(s2));
+        break;
+      case Opcode::kFmul:
+        r.writesDst = true;
+        r.dstVal = fromDouble(asDouble(s1) * asDouble(s2));
+        break;
+      case Opcode::kFdiv:
+        r.writesDst = true;
+        r.dstVal = fromDouble(asDouble(s1) / asDouble(s2));
+        break;
+      case Opcode::kFcmp: {
+        const bool t = fpCompare(in.cond, asDouble(s1), asDouble(s2));
+        r.writesDst = true;
+        r.dstVal = t ? 1 : 0;
+        r.writesDst2 = true;
+        r.dst2Val = t ? 0 : 1;
+        break;
+      }
+      case Opcode::kLd4:
+      case Opcode::kLd8:
+        r.isMemAccess = true;
+        r.addr = s1 + static_cast<Addr>(in.imm);
+        r.size = memSize(in.op);
+        r.writesDst = true; // caller supplies dstVal from memory
+        break;
+      case Opcode::kSt4:
+      case Opcode::kSt8:
+        r.isMemAccess = true;
+        r.addr = s1 + static_cast<Addr>(in.imm);
+        r.size = memSize(in.op);
+        r.storeVal = s2;
+        break;
+      case Opcode::kBr:
+      case Opcode::kNumOpcodes:
+        ff_panic("unreachable opcode in evaluate()");
+    }
+    return r;
+}
+
+} // namespace cpu
+} // namespace ff

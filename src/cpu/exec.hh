@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pure functional evaluation of one ffvm instruction given its
+ * operand values. Every execution engine (functional reference,
+ * baseline pipe, A-pipe, B-pipe, run-ahead) funnels through this so
+ * instruction semantics exist in exactly one place.
+ */
+
+#ifndef FF_CPU_EXEC_HH
+#define FF_CPU_EXEC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Result of evaluating an instruction's non-memory semantics. */
+struct EvalResult
+{
+    /** Did the qualifying predicate allow execution? */
+    bool predTrue = false;
+
+    bool writesDst = false;
+    bool writesDst2 = false;
+    RegVal dstVal = 0;
+    RegVal dst2Val = 0;
+
+    /** Memory access request (loads leave dstVal for the caller). */
+    bool isMemAccess = false;
+    Addr addr = 0;
+    unsigned size = 0;
+    RegVal storeVal = 0;
+
+    /** Branch outcome (taken iff predTrue for ffvm branches). */
+    bool isBranch = false;
+    bool taken = false;
+};
+
+/**
+ * Evaluates @p in with operand values @p qpred / @p s1 / @p s2.
+ * @p s2 must already be the immediate when src2IsImm is set (callers
+ * use operandSrc2()). For loads the caller performs the memory read
+ * and applies loadExtend(); evaluate() only computes the address.
+ */
+EvalResult evaluate(const isa::Instruction &in, bool qpred, RegVal s1,
+                    RegVal s2);
+
+/** Returns the src2 operand value: the immediate or @p reg_val. */
+inline RegVal
+operandSrc2(const isa::Instruction &in, RegVal reg_val)
+{
+    return in.src2IsImm ? static_cast<RegVal>(in.imm) : reg_val;
+}
+
+/** Applies a load's width/sign treatment to raw little-endian bytes. */
+RegVal loadExtend(isa::Opcode op, std::uint64_t raw);
+
+/** Bytes accessed by a memory opcode. */
+unsigned memSize(isa::Opcode op);
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_EXEC_HH

@@ -1,0 +1,97 @@
+#include "cpu/frontend.hh"
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+FrontEnd::FrontEnd(const isa::Program &prog, const CoreConfig &cfg,
+                   branch::DirectionPredictor &pred,
+                   memory::Hierarchy &mem, memory::Initiator who)
+    : _prog(prog), _cfg(cfg), _pred(pred), _mem(mem), _who(who)
+{
+    reset(0);
+}
+
+void
+FrontEnd::reset(InstIdx entry)
+{
+    _queue.clear();
+    _pc = entry;
+    _pcValid = entry < _prog.size();
+    _resumeAt = 0;
+}
+
+void
+FrontEnd::tick(Cycle now)
+{
+    if (!_pcValid || now < _resumeAt)
+        return;
+    if (_queue.size() >= _cfg.fetchQueueGroups)
+        return;
+
+    FetchedGroup g;
+    g.leader = _pc;
+    g.end = _prog.groupEnd(_pc);
+
+    const Addr fetch_addr = isa::Program::instAddr(_pc);
+    const memory::AccessResult icache = _mem.access(
+        memory::AccessKind::kInstFetch, _who, fetch_addr, now);
+    const unsigned l1i_lat = _mem.config().l1i.latency;
+    const unsigned extra =
+        icache.latency > l1i_lat ? icache.latency - l1i_lat : 0;
+    g.readyAt = now + _cfg.frontEndDepth + extra;
+    _stats.icacheMissCycles += extra;
+
+    // Decode-time branch handling: branches are group-final.
+    const isa::Instruction &last = _prog.inst(g.end - 1);
+    bool saw_halt = false;
+    for (InstIdx i = g.leader; i < g.end; ++i) {
+        if (_prog.inst(i).isHalt())
+            saw_halt = true;
+    }
+    if (last.isBranch()) {
+        g.hasBranch = true;
+        g.prediction = _pred.predict(isa::Program::instAddr(g.end - 1));
+        g.predictedTaken = g.prediction.taken;
+        g.predictedNext = g.predictedTaken
+                              ? static_cast<InstIdx>(last.imm)
+                              : g.end;
+    } else {
+        g.predictedNext = g.end;
+    }
+
+    ff_trace(trace::kFetch, now, "FETCH",
+             "group @" << g.leader << ".." << (g.end - 1)
+                       << (g.hasBranch
+                               ? (g.predictedTaken ? " pred-T" : " pred-N")
+                               : "")
+                       << " ready@" << g.readyAt);
+
+    _queue.push_back(g);
+    ++_stats.groupsFetched;
+
+    if (saw_halt || g.predictedNext >= _prog.size()) {
+        // Stop at a halt or past the program end; a redirect (flush
+        // recovery) restarts fetch if this was a wrong path.
+        _pcValid = false;
+    } else {
+        _pc = g.predictedNext;
+    }
+}
+
+void
+FrontEnd::redirect(InstIdx target, Cycle resume_at)
+{
+    _queue.clear();
+    _pc = target;
+    _pcValid = target < _prog.size();
+    _resumeAt = resume_at;
+    ++_stats.redirects;
+}
+
+} // namespace cpu
+} // namespace ff

@@ -1,0 +1,97 @@
+#include "cpu/functional/functional_cpu.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "cpu/exec.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+FunctionalCpu::FunctionalCpu(const isa::Program &prog) : _prog(prog)
+{
+    const std::string err = prog.validate();
+    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
+                err);
+    _mem.loadPages(prog.dataImage().pages());
+}
+
+FunctionalCpu::Result
+FunctionalCpu::run(std::uint64_t max_insts)
+{
+    Result res;
+    InstIdx pc = 0;
+    while (!res.halted && res.instsExecuted < max_insts) {
+        const InstIdx end = _prog.groupEnd(pc);
+        ++res.groupsExecuted;
+
+        // Phase 1: snapshot all operand reads (pre-group state).
+        struct SlotOperands
+        {
+            bool qpred;
+            RegVal s1;
+            RegVal s2;
+        };
+        std::vector<SlotOperands> ops(end - pc);
+        for (InstIdx i = pc; i < end; ++i) {
+            const isa::Instruction &in = _prog.inst(i);
+            SlotOperands &o = ops[i - pc];
+            o.qpred = _regs.readPred(in.qpred);
+            o.s1 = in.src1.valid() ? _regs.read(in.src1) : 0;
+            o.s2 = operandSrc2(in, in.src2.valid() ? _regs.read(in.src2)
+                                                   : 0);
+        }
+
+        // Phase 2: evaluate and apply in slot order.
+        InstIdx next_pc = end;
+        for (InstIdx i = pc; i < end; ++i) {
+            const isa::Instruction &in = _prog.inst(i);
+            const SlotOperands &o = ops[i - pc];
+            ++res.instsExecuted;
+
+            if (in.isHalt()) {
+                res.halted = true;
+                break;
+            }
+
+            EvalResult ev = evaluate(in, o.qpred, o.s1, o.s2);
+            if (ev.isBranch) {
+                ++res.branchesExecuted;
+                if (ev.taken) {
+                    ++res.branchesTaken;
+                    next_pc = static_cast<InstIdx>(in.imm);
+                }
+                continue;
+            }
+            if (!ev.predTrue)
+                continue;
+            if (ev.isMemAccess) {
+                if (in.isLoad()) {
+                    ++res.loadsExecuted;
+                    ev.dstVal =
+                        loadExtend(in.op, _mem.read(ev.addr, ev.size));
+                } else {
+                    ++res.storesExecuted;
+                    _mem.write(ev.addr, ev.storeVal, ev.size);
+                }
+            }
+            if (ev.writesDst)
+                _regs.write(in.dst, ev.dstVal);
+            if (ev.writesDst2)
+                _regs.write(in.dst2, ev.dst2Val);
+        }
+
+        if (res.halted)
+            break;
+        ff_panic_if(next_pc >= _prog.size(),
+                    "functional execution ran off the program end in '",
+                    _prog.name(), "'");
+        pc = next_pc;
+    }
+    return res;
+}
+
+} // namespace cpu
+} // namespace ff

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The untimed functional reference machine: executes a program group
+ * by group with exact EPIC semantics (register reads observe
+ * pre-group state; memory operations execute in slot order). Every
+ * timed model must finish with identical register and memory state —
+ * the backbone of this repo's correctness testing.
+ */
+
+#ifndef FF_CPU_FUNCTIONAL_FUNCTIONAL_CPU_HH
+#define FF_CPU_FUNCTIONAL_FUNCTIONAL_CPU_HH
+
+#include <cstdint>
+
+#include "cpu/regfile.hh"
+#include "isa/program.hh"
+#include "memory/sparse_memory.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Golden-model executor. */
+class FunctionalCpu
+{
+  public:
+    /** Outcome of functional execution. */
+    struct Result
+    {
+        bool halted = false;
+        std::uint64_t instsExecuted = 0; ///< slots (incl. nullified)
+        std::uint64_t groupsExecuted = 0;
+        std::uint64_t branchesExecuted = 0;
+        std::uint64_t branchesTaken = 0;
+        std::uint64_t loadsExecuted = 0;   ///< pred-true loads
+        std::uint64_t storesExecuted = 0;  ///< pred-true stores
+    };
+
+    explicit FunctionalCpu(const isa::Program &prog);
+    /** The model holds a reference: temporaries would dangle. */
+    explicit FunctionalCpu(isa::Program &&) = delete;
+
+    /**
+     * Executes until HALT or @p max_insts instruction slots.
+     * @return statistics of the run
+     */
+    Result run(std::uint64_t max_insts = UINT64_MAX);
+
+    const RegFile &regs() const { return _regs; }
+    const memory::SparseMemory &mem() const { return _mem; }
+    memory::SparseMemory &mem() { return _mem; }
+
+  private:
+    const isa::Program &_prog;
+    RegFile _regs;
+    memory::SparseMemory _mem;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_FUNCTIONAL_FUNCTIONAL_CPU_HH

@@ -1,0 +1,61 @@
+#include "cpu/regfile.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+isa::RegId
+slotReg(unsigned slot)
+{
+    if (slot < isa::kNumIntRegs)
+        return isa::intReg(slot);
+    slot -= isa::kNumIntRegs;
+    if (slot < isa::kNumFpRegs)
+        return isa::fpReg(slot);
+    slot -= isa::kNumFpRegs;
+    ff_panic_if(slot >= isa::kNumPredRegs, "bad register slot");
+    return isa::predReg(slot);
+}
+
+RegVal
+RegFile::read(isa::RegId r) const
+{
+    const int slot = regSlot(r);
+    ff_panic_if(slot < 0, "read of unused operand slot");
+    if (r.idx == 0) {
+        // Hardwired: r0 = 0, f0 = +0.0 (bits zero), p0 = true.
+        return r.cls == isa::RegClass::kPred ? 1 : 0;
+    }
+    return _vals[slot];
+}
+
+void
+RegFile::write(isa::RegId r, RegVal v)
+{
+    const int slot = regSlot(r);
+    ff_panic_if(slot < 0, "write of unused operand slot");
+    if (r.idx == 0)
+        return; // hardwired
+    if (r.cls == isa::RegClass::kPred)
+        v = v ? 1 : 0;
+    _vals[slot] = v;
+}
+
+std::uint64_t
+RegFile::fingerprint() const
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (RegVal v : _vals) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= static_cast<std::uint8_t>(v >> (8 * b));
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+} // namespace cpu
+} // namespace ff

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Architectural register state: 64 integer, 64 FP and 64 predicate
+ * registers in one dense array (FP values stored as raw IEEE-754
+ * bits). Register zero of each class is hardwired (r0 = 0, f0 = +0.0,
+ * p0 = true): reads return the constant and writes are rejected by
+ * the program validator.
+ */
+
+#ifndef FF_CPU_REGFILE_HH
+#define FF_CPU_REGFILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Total dense register slots across all classes. */
+inline constexpr unsigned kNumRegSlots =
+    isa::kNumIntRegs + isa::kNumFpRegs + isa::kNumPredRegs;
+
+/**
+ * Dense slot index of a register id; -1 for RegClass::kNone.
+ * Shared by the register files, scoreboards and the A-file.
+ */
+inline int
+regSlot(isa::RegId r)
+{
+    switch (r.cls) {
+      case isa::RegClass::kInt:
+        return r.idx;
+      case isa::RegClass::kFp:
+        return isa::kNumIntRegs + r.idx;
+      case isa::RegClass::kPred:
+        return isa::kNumIntRegs + isa::kNumFpRegs + r.idx;
+      case isa::RegClass::kNone:
+        return -1;
+    }
+    return -1;
+}
+
+/** Inverse of regSlot, for diagnostics. */
+isa::RegId slotReg(unsigned slot);
+
+/** Architectural (or speculative) register value state. */
+class RegFile
+{
+  public:
+    RegFile() { reset(); }
+
+    /** Reads a register; hardwired zeros included. */
+    RegVal read(isa::RegId r) const;
+
+    /** Reads a predicate register as a boolean. */
+    bool readPred(isa::RegId r) const { return read(r) != 0; }
+
+    /** Writes a register. Writes to index-0 registers are ignored. */
+    void write(isa::RegId r, RegVal v);
+
+    /** Raw slot access (used by flush/repair routines). */
+    RegVal slotValue(unsigned slot) const { return _vals[slot]; }
+    void setSlotValue(unsigned slot, RegVal v) { _vals[slot] = v; }
+
+    void reset() { _vals.fill(0); }
+
+    /** FNV-1a digest of the full file, for equivalence tests. */
+    std::uint64_t fingerprint() const;
+
+  private:
+    std::array<RegVal, kNumRegSlots> _vals;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_REGFILE_HH

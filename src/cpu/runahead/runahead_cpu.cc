@@ -1,0 +1,383 @@
+#include "cpu/runahead/runahead_cpu.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/trace.hh"
+#include "cpu/exec.hh"
+#include "cpu/stats_report.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+using isa::Instruction;
+
+RunaheadCpu::RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg)
+    : _prog(prog),
+      _cfg(cfg),
+      _hier(cfg.mem),
+      _pred(branch::makePredictor(cfg.predictorKind,
+                                  cfg.predictorEntries)),
+      _fe(prog, _cfg, *_pred, _hier, memory::Initiator::kRunahead)
+{
+    const std::string err = prog.validate(cfg.limits);
+    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
+                err);
+    _mem.loadPages(prog.dataImage().pages());
+}
+
+CycleClass
+RunaheadCpu::stallClassFor(isa::RegId blocking) const
+{
+    switch (_sb.kindOf(blocking)) {
+      case PendingKind::kLoad:
+        return CycleClass::kLoadStall;
+      case PendingKind::kNonLoad:
+        return CycleClass::kNonLoadDepStall;
+      case PendingKind::kNone:
+        break;
+    }
+    ff_panic("stall on a register with no pending producer");
+}
+
+CycleClass
+RunaheadCpu::tryIssue(Cycle now, RunResult &res)
+{
+    // Normal-mode issue: identical semantics to the baseline core.
+    if (!_fe.headReady(now))
+        return CycleClass::kFrontEndStall;
+
+    const FetchedGroup &g = _fe.head();
+    const InstIdx leader = g.leader;
+    const InstIdx end = g.end;
+
+    unsigned loads_wanted = 0;
+    for (InstIdx i = leader; i < end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        if (!_sb.ready(in.qpred, now))
+            return stallClassFor(in.qpred);
+        const bool qp = _regs.readPred(in.qpred);
+        if (!qp && !in.isBranch())
+            continue;
+        if (in.src1.valid() && !_sb.ready(in.src1, now))
+            return stallClassFor(in.src1);
+        if (in.src2.valid() && !in.src2IsImm &&
+            !_sb.ready(in.src2, now)) {
+            return stallClassFor(in.src2);
+        }
+        if (_cfg.wawStall) {
+            std::array<isa::RegId, 2> dsts;
+            unsigned nd = in.destinations(dsts);
+            for (unsigned d = 0; d < nd; ++d) {
+                if (!_sb.ready(dsts[d], now))
+                    return stallClassFor(dsts[d]);
+            }
+        }
+        if (in.isLoad() && qp)
+            ++loads_wanted;
+    }
+    if (loads_wanted > 0 && _hier.outstandingLoads(now) > 0 &&
+        _hier.outstandingLoads(now) + loads_wanted >
+            _cfg.mem.maxOutstandingLoads) {
+        // Stalling only helps while an outstanding load could retire
+        // and free an MSHR; a group carrying more loads than the
+        // machine has MSHRs must still issue eventually.
+        return CycleClass::kResourceStall;
+    }
+
+    // The group issues now: consume it from the front end before
+    // executing, so a mispredict redirect (which clears the fetch
+    // queue) does not race with the head pop.
+    const FetchedGroup group = g;
+    _fe.pop();
+
+    struct SlotOperands
+    {
+        bool qpred;
+        RegVal s1;
+        RegVal s2;
+    };
+    std::vector<SlotOperands> ops(end - leader);
+    for (InstIdx i = leader; i < end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        SlotOperands &o = ops[i - leader];
+        o.qpred = _regs.readPred(in.qpred);
+        o.s1 = in.src1.valid() ? _regs.read(in.src1) : 0;
+        o.s2 = operandSrc2(in, in.src2.valid() ? _regs.read(in.src2) : 0);
+    }
+
+    for (InstIdx i = leader; i < end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        const SlotOperands &o = ops[i - leader];
+        ++res.instsRetired;
+        if (in.isHalt()) {
+            res.halted = true;
+            break;
+        }
+        EvalResult ev = evaluate(in, o.qpred, o.s1, o.s2);
+        if (ev.isBranch) {
+            _pred->update(group.prediction, ev.taken);
+            if (ev.taken != group.predictedTaken) {
+                const InstIdx target =
+                    ev.taken ? static_cast<InstIdx>(in.imm) : end;
+                _fe.redirect(target, now + 1 + _cfg.branchResolveDelay);
+            }
+            continue;
+        }
+        if (!ev.predTrue)
+            continue;
+        if (ev.isMemAccess) {
+            if (in.isLoad()) {
+                const memory::AccessResult ar =
+                    _hier.access(memory::AccessKind::kLoad,
+                                 memory::Initiator::kRunahead, ev.addr,
+                                 now);
+                ev.dstVal =
+                    loadExtend(in.op, _mem.read(ev.addr, ev.size));
+                _regs.write(in.dst, ev.dstVal);
+                _sb.setPending(in.dst, now + ar.latency,
+                               PendingKind::kLoad);
+                continue;
+            }
+            _mem.write(ev.addr, ev.storeVal, ev.size);
+            _hier.access(memory::AccessKind::kStore,
+                         memory::Initiator::kRunahead, ev.addr, now);
+            continue;
+        }
+        const unsigned lat = in.execLatency();
+        if (ev.writesDst) {
+            _regs.write(in.dst, ev.dstVal);
+            if (lat > 1)
+                _sb.setPending(in.dst, now + lat, PendingKind::kNonLoad);
+        }
+        if (ev.writesDst2) {
+            _regs.write(in.dst2, ev.dst2Val);
+            if (lat > 1) {
+                _sb.setPending(in.dst2, now + lat,
+                               PendingKind::kNonLoad);
+            }
+        }
+    }
+
+    ++res.groupsRetired;
+    return CycleClass::kUnstalled;
+}
+
+void
+RunaheadCpu::enterRunahead(Cycle now, Cycle exit_at)
+{
+    ++_raStats.episodes;
+    _inRunahead = true;
+    _raExitAt = exit_at;
+    _raResumePc = _fe.head().leader;
+    _raRegs = _regs;
+    _raInv.fill(false);
+    for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
+        const isa::RegId r = slotReg(slot);
+        if (!_sb.ready(r, now))
+            _raInv[slot] = true; // the miss (and friends) are unknown
+    }
+    _raSb.clear();
+    _raStoreOverlay.clear();
+    ff_trace(trace::kExec, now, "RA-IN",
+             "resume @" << _raResumePc << " exit@" << exit_at);
+}
+
+void
+RunaheadCpu::exitRunahead(Cycle now)
+{
+    _inRunahead = false;
+    _raStoreOverlay.clear();
+    // All run-ahead results are discarded; architectural state was
+    // never modified. Refetch from the stalled group.
+    _fe.redirect(_raResumePc, now + 1);
+    ff_trace(trace::kExec, now, "RA-OUT", "refetch @" << _raResumePc);
+}
+
+void
+RunaheadCpu::runaheadStep(Cycle now)
+{
+    ++_raStats.runaheadCycles;
+    if (!_fe.headReady(now))
+        return;
+    const FetchedGroup g = _fe.head();
+    _fe.pop();
+
+    auto inv = [&](isa::RegId r) {
+        const int slot = regSlot(r);
+        if (slot < 0 || r.idx == 0)
+            return false;
+        return _raInv[slot] || !_raSb.ready(r, now);
+    };
+    auto mark_inv = [&](isa::RegId r) {
+        const int slot = regSlot(r);
+        if (slot >= 0 && r.idx != 0) {
+            _raInv[slot] = true;
+            ++_raStats.invResults;
+        }
+    };
+    auto mark_valid = [&](isa::RegId r, RegVal v) {
+        const int slot = regSlot(r);
+        if (slot >= 0 && r.idx != 0) {
+            _raInv[slot] = false;
+            _raRegs.write(r, v);
+        }
+    };
+
+    for (InstIdx i = g.leader; i < g.end; ++i) {
+        const Instruction &in = _prog.inst(i);
+        ++_raStats.runaheadInsts;
+        if (in.isHalt())
+            return; // idle out the rest of the episode
+
+        std::array<isa::RegId, 2> dsts;
+        const unsigned nd = in.destinations(dsts);
+
+        if (inv(in.qpred)) {
+            for (unsigned d = 0; d < nd; ++d)
+                mark_inv(dsts[d]);
+            continue;
+        }
+        const bool qp = _raRegs.readPred(in.qpred);
+
+        if (in.isBranch()) {
+            // Resolve locally when possible; never trains the real
+            // predictor (results are discarded at exit).
+            const bool taken = qp;
+            if (taken != g.predictedTaken) {
+                const InstIdx target =
+                    taken ? static_cast<InstIdx>(in.imm) : g.end;
+                _fe.redirect(target, now + 1 + _cfg.branchResolveDelay);
+            }
+            return; // branches are group-final
+        }
+        if (!qp)
+            continue;
+
+        bool operands_inv = false;
+        if (in.src1.valid() && inv(in.src1))
+            operands_inv = true;
+        if (in.src2.valid() && !in.src2IsImm && inv(in.src2))
+            operands_inv = true;
+        if (operands_inv) {
+            for (unsigned d = 0; d < nd; ++d)
+                mark_inv(dsts[d]);
+            continue;
+        }
+
+        const RegVal s1 = in.src1.valid() ? _raRegs.read(in.src1) : 0;
+        const RegVal s2 = operandSrc2(
+            in, in.src2.valid() ? _raRegs.read(in.src2) : 0);
+        EvalResult ev = evaluate(in, qp, s1, s2);
+
+        if (ev.isMemAccess) {
+            if (in.isLoad()) {
+                if (!_hier.loadSlotAvailable(now)) {
+                    mark_inv(in.dst);
+                    continue;
+                }
+                ++_raStats.runaheadLoads;
+                const memory::AccessResult ar =
+                    _hier.access(memory::AccessKind::kLoad,
+                                 memory::Initiator::kRunahead, ev.addr,
+                                 now);
+                std::uint64_t raw = 0;
+                for (unsigned b = 0; b < ev.size; ++b) {
+                    auto it = _raStoreOverlay.find(ev.addr + b);
+                    const std::uint8_t byte =
+                        it != _raStoreOverlay.end()
+                            ? it->second
+                            : _mem.readByte(ev.addr + b);
+                    raw |= static_cast<std::uint64_t>(byte) << (8 * b);
+                }
+                mark_valid(in.dst, loadExtend(in.op, raw));
+                _raSb.setPending(in.dst, now + ar.latency,
+                                 PendingKind::kLoad);
+            } else {
+                for (unsigned b = 0; b < ev.size; ++b) {
+                    _raStoreOverlay[ev.addr + b] =
+                        static_cast<std::uint8_t>(ev.storeVal >> (8 * b));
+                }
+            }
+            continue;
+        }
+        if (ev.writesDst)
+            mark_valid(in.dst, ev.dstVal);
+        if (ev.writesDst2)
+            mark_valid(in.dst2, ev.dst2Val);
+    }
+}
+
+std::string
+RunaheadCpu::statsReport() const
+{
+    stats::StatGroup g("runahead");
+    g.addScalar("episodes") += _raStats.episodes;
+    g.addScalar("runahead_cycles") += _raStats.runaheadCycles;
+    g.addScalar("runahead_loads") += _raStats.runaheadLoads;
+    g.addScalar("runahead_insts") += _raStats.runaheadInsts;
+    g.addScalar("inv_results") += _raStats.invResults;
+    return commonStatsReport(_acct, _pred->stats(),
+                             _hier.accessStats()) +
+           g.dump();
+}
+
+RunResult
+RunaheadCpu::run(std::uint64_t max_cycles)
+{
+    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
+    _ran = true;
+
+    RunResult res;
+    Cycle now = 0;
+    unsigned stall_streak = 0;
+    while (!res.halted && now < max_cycles) {
+        _hier.tick(now);
+        if (_inRunahead) {
+            if (now >= _raExitAt) {
+                exitRunahead(now);
+                // The refetch begins; this cycle is still a stall.
+                _acct.record(CycleClass::kLoadStall);
+            } else {
+                runaheadStep(now);
+                _acct.record(CycleClass::kLoadStall);
+            }
+        } else {
+            const CycleClass cls = tryIssue(now, res);
+            _acct.record(cls);
+            if (cls == CycleClass::kLoadStall) {
+                ++stall_streak;
+                if (stall_streak > _cfg.runaheadEntryDelay) {
+                    // Find when the blocking producer completes.
+                    Cycle exit_at = now + 1;
+                    const FetchedGroup &g = _fe.head();
+                    for (InstIdx i = g.leader; i < g.end; ++i) {
+                        const Instruction &in = _prog.inst(i);
+                        std::array<isa::RegId, 4> srcs;
+                        unsigned ns = in.sources(srcs);
+                        for (unsigned s = 0; s < ns; ++s) {
+                            if (!_sb.ready(srcs[s], now)) {
+                                exit_at = std::max(
+                                    exit_at, _sb.readyAt(srcs[s]));
+                            }
+                        }
+                    }
+                    enterRunahead(now, exit_at);
+                    stall_streak = 0;
+                }
+            } else {
+                stall_streak = 0;
+            }
+        }
+        _fe.tick(now);
+        ++now;
+    }
+    res.cycles = now;
+    return res;
+}
+
+} // namespace cpu
+} // namespace ff

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A checkpoint-based run-ahead in-order core in the style the paper
+ * synthesizes from Dundas and Mutlu (Sec. 2): when the issue stage
+ * blocks on a load, the machine checkpoints register state and keeps
+ * executing speculatively — propagating INV marks through
+ * miss-dependent results, prefetching down the instruction stream,
+ * and buffering stores in a discardable overlay — until the blocking
+ * load returns, then restores the checkpoint and resumes normally,
+ * discarding all run-ahead results.
+ *
+ * This is the comparison point against which two-pass pipelining's
+ * retention of pre-executed work is evaluated (bench_runahead).
+ */
+
+#ifndef FF_CPU_RUNAHEAD_RUNAHEAD_CPU_HH
+#define FF_CPU_RUNAHEAD_RUNAHEAD_CPU_HH
+
+#include <array>
+#include <map>
+
+#include <memory>
+
+#include "cpu/config.hh"
+#include "cpu/cpu.hh"
+#include "cpu/frontend.hh"
+#include "cpu/scoreboard.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Run-ahead-specific counters. */
+struct RunaheadStats
+{
+    std::uint64_t episodes = 0;        ///< run-ahead entries
+    std::uint64_t runaheadCycles = 0;
+    std::uint64_t runaheadLoads = 0;   ///< prefetching accesses issued
+    std::uint64_t runaheadInsts = 0;   ///< pseudo-retired in run-ahead
+    std::uint64_t invResults = 0;      ///< INV-propagated results
+
+    void reset() { *this = RunaheadStats(); }
+};
+
+/** In-order core with run-ahead pre-execution under load stalls. */
+class RunaheadCpu : public CpuModel
+{
+  public:
+    RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg);
+    /** The model holds a reference: temporaries would dangle. */
+    RunaheadCpu(isa::Program &&, const CoreConfig &) = delete;
+
+    RunResult run(std::uint64_t max_cycles) override;
+
+    const RegFile &archRegs() const override { return _regs; }
+    const memory::SparseMemory &memState() const override
+    {
+        return _mem;
+    }
+    const CycleAccounting &cycleAccounting() const override
+    {
+        return _acct;
+    }
+    memory::Hierarchy &hierarchy() override { return _hier; }
+    const branch::DirectionPredictor &predictor() const override
+    {
+        return *_pred;
+    }
+
+    const RunaheadStats &runaheadStats() const { return _raStats; }
+
+    std::string statsReport() const override;
+
+  private:
+    CycleClass tryIssue(Cycle now, RunResult &res);
+    CycleClass stallClassFor(isa::RegId blocking) const;
+
+    /** Enters run-ahead: checkpoint and mark pending regs INV. */
+    void enterRunahead(Cycle now, Cycle exit_at);
+    /** Exits run-ahead: restore the checkpoint and refetch. */
+    void exitRunahead(Cycle now);
+    /** One cycle of run-ahead pre-execution. */
+    void runaheadStep(Cycle now);
+
+    const isa::Program &_prog;
+    CoreConfig _cfg;
+    memory::SparseMemory _mem;
+    memory::Hierarchy _hier;
+    std::unique_ptr<branch::DirectionPredictor> _pred;
+    FrontEnd _fe;
+    RegFile _regs;
+    Scoreboard _sb;
+    CycleAccounting _acct;
+    RunaheadStats _raStats;
+
+    // ---- run-ahead mode state ---------------------------------------
+    bool _inRunahead = false;
+    Cycle _raExitAt = 0;
+    InstIdx _raResumePc = 0;
+    RegFile _raRegs;                       ///< speculative copy
+    std::array<bool, kNumRegSlots> _raInv{}; ///< INV marks
+    Scoreboard _raSb;                      ///< run-ahead load timing
+    std::map<Addr, std::uint8_t> _raStoreOverlay;
+
+    bool _ran = false;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_RUNAHEAD_RUNAHEAD_CPU_HH

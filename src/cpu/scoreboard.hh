@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Register scoreboard: tracks, per architectural register, when an
+ * in-flight producer's value becomes usable and what kind of producer
+ * it is (a load or a multi-cycle non-load). The stall taxonomy of
+ * Figure 6 needs the kind to split "Load stall" from "Non-load dep.
+ * stall".
+ */
+
+#ifndef FF_CPU_SCOREBOARD_HH
+#define FF_CPU_SCOREBOARD_HH
+
+#include <array>
+
+#include "cpu/regfile.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** What kind of producer a pending register is waiting on. */
+enum class PendingKind : std::uint8_t
+{
+    kNone,
+    kLoad,
+    kNonLoad,
+};
+
+/** Per-register ready-time tracker. */
+class Scoreboard
+{
+  public:
+    Scoreboard() { clear(); }
+
+    /** Marks @p r busy until @p ready_at. */
+    void
+    setPending(isa::RegId r, Cycle ready_at, PendingKind kind)
+    {
+        const int slot = regSlot(r);
+        if (slot < 0 || r.idx == 0)
+            return;
+        _readyAt[slot] = ready_at;
+        _kind[slot] = kind;
+    }
+
+    /** True if @p r is usable at @p now. */
+    bool
+    ready(isa::RegId r, Cycle now) const
+    {
+        const int slot = regSlot(r);
+        if (slot < 0 || r.idx == 0)
+            return true;
+        return _readyAt[slot] <= now;
+    }
+
+    Cycle
+    readyAt(isa::RegId r) const
+    {
+        const int slot = regSlot(r);
+        if (slot < 0 || r.idx == 0)
+            return 0;
+        return _readyAt[slot];
+    }
+
+    PendingKind
+    kindOf(isa::RegId r) const
+    {
+        const int slot = regSlot(r);
+        if (slot < 0 || r.idx == 0)
+            return PendingKind::kNone;
+        return _kind[slot];
+    }
+
+    void
+    clear()
+    {
+        _readyAt.fill(0);
+        _kind.fill(PendingKind::kNone);
+    }
+
+  private:
+    std::array<Cycle, kNumRegSlots> _readyAt;
+    std::array<PendingKind, kNumRegSlots> _kind;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_SCOREBOARD_HH

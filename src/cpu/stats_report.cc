@@ -1,0 +1,46 @@
+#include "cpu/stats_report.hh"
+
+#include "common/stats.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+std::string
+commonStatsReport(const CycleAccounting &acct,
+                  const branch::PredictorStats &branches,
+                  const memory::AccessStats &accesses)
+{
+    stats::StatGroup cyc("cycles");
+    for (unsigned i = 0; i < kNumCycleClasses; ++i) {
+        cyc.addScalar(cycleClassName(static_cast<CycleClass>(i))) +=
+            acct.counts[i];
+    }
+    cyc.addScalar("total") += acct.total();
+
+    stats::StatGroup br("branch");
+    br.addScalar("lookups") += branches.lookups;
+    br.addScalar("mispredicts") += branches.mispredicts;
+
+    stats::StatGroup mem("mem");
+    static const char *kWho[] = {"base", "apipe", "bpipe", "runahead"};
+    for (unsigned w = 0; w < memory::kNumInitiators; ++w) {
+        for (unsigned l = 0; l < memory::kNumMemLevels; ++l) {
+            const auto c = accesses.counts[w][l];
+            if (c == 0)
+                continue;
+            const std::string base =
+                std::string(kWho[w]) + "." +
+                memory::memLevelName(
+                    static_cast<memory::MemLevel>(l));
+            mem.addScalar(base + ".accesses") += c;
+            mem.addScalar(base + ".cycles") +=
+                accesses.weightedCycles[w][l];
+        }
+    }
+    return cyc.dump() + br.dump() + mem.dump();
+}
+
+} // namespace cpu
+} // namespace ff

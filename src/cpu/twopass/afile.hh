@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The A-file of Section 3.3: the speculative register file of the
+ * advance pipeline. Each register carries, beyond its value:
+ *
+ *  - V (valid): cleared in the destinations of deferred instructions;
+ *    an A-pipe consumer of an invalid register must itself defer.
+ *  - S (speculative): set by any A-pipe write (or deferral marking)
+ *    that the B-pipe has not yet committed; bounds the repair set on
+ *    a B-pipe flush.
+ *  - DynID: the dynamic id of the last writer (or deferral marker),
+ *    enabling the selective acceptance of B-pipe feedback updates.
+ *  - readyAt / kind: in-flight timing of A-pipe-started producers
+ *    (loads, multi-cycle ops); an operand that is valid but not yet
+ *    ready at dispatch also defers its consumer.
+ */
+
+#ifndef FF_CPU_TWOPASS_AFILE_HH
+#define FF_CPU_TWOPASS_AFILE_HH
+
+#include <array>
+
+#include "cpu/regfile.hh"
+#include "cpu/scoreboard.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Speculative register file with V/S/DynID/timing sidecar state. */
+class AFile
+{
+  public:
+    AFile() { reset(); }
+
+    /** True if the register holds a usable (V=1) value. */
+    bool valid(isa::RegId r) const;
+
+    /** True if the value is available by cycle @p now. */
+    bool readyBy(isa::RegId r, Cycle now) const;
+
+    /** Producer kind of an in-flight register (stall taxonomy). */
+    PendingKind kindOf(isa::RegId r) const;
+
+    Cycle readyAt(isa::RegId r) const;
+
+    RegVal read(isa::RegId r) const;
+    bool readPred(isa::RegId r) const { return read(r) != 0; }
+
+    DynId lastWriter(isa::RegId r) const;
+
+    /** An A-pipe instruction computed a result. */
+    void writeExecuted(isa::RegId r, RegVal v, DynId id, Cycle ready_at,
+                       PendingKind kind);
+
+    /** An instruction deferring to the B-pipe marks its target. */
+    void markDeferred(isa::RegId r, DynId id);
+
+    /**
+     * B-pipe feedback: accepted only if the register's outstanding
+     * invalidation (or write) was by instruction @p id.
+     * @return true if the update was applied
+     */
+    bool applyFeedback(isa::RegId r, RegVal v, DynId id);
+
+    /**
+     * A pre-executed instruction retired in the B-pipe: clear the S
+     * bit if this register still belongs to it.
+     */
+    void commitMatch(isa::RegId r, DynId id);
+
+    /**
+     * Flush repair: every register that is speculative or invalid is
+     * restored from the architectural file @p bfile.
+     * @return number of registers repaired (for stats)
+     */
+    unsigned repairFromArch(const RegFile &bfile);
+
+    void reset();
+
+    /** True if the entry is speculative (A-written, not committed). */
+    bool speculative(isa::RegId r) const;
+
+  private:
+    struct Entry
+    {
+        RegVal value = 0;
+        bool valid = true;
+        bool spec = false;
+        DynId lastWriter = kInvalidDynId;
+        Cycle readyAt = 0;
+        PendingKind kind = PendingKind::kNone;
+    };
+
+    std::array<Entry, kNumRegSlots> _e;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_AFILE_HH

@@ -1,0 +1,4 @@
+// The coupling queue is header-only; this translation unit exists so
+// the build system owns a home for future out-of-line growth and to
+// anchor the header's compilation.
+#include "cpu/twopass/coupling_queue.hh"

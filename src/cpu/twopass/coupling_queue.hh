@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The coupling queue (CQ) and coupling result store (CRS) of
+ * Section 3.1. Every instruction flows, in order, from the A-pipe's
+ * dispatch into this FIFO on its way to the B-pipe. Pre-executed
+ * entries carry their results (the CRS payload, folded into the
+ * entry); deferred entries carry only identity and will execute for
+ * the first time in the B-pipe.
+ */
+
+#ifndef FF_CPU_TWOPASS_COUPLING_QUEUE_HH
+#define FF_CPU_TWOPASS_COUPLING_QUEUE_HH
+
+#include "branch/gshare.hh"
+#include "common/fifo.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Disposition of an instruction as it left the A-pipe. */
+enum class CqStatus : std::uint8_t
+{
+    kPreExecuted, ///< completed in A (result, possibly in-flight, in CRS)
+    kDeferred,    ///< suppressed in A; executes in B
+};
+
+/** Why an instruction was deferred (for statistics). */
+enum class DeferReason : std::uint8_t
+{
+    kNone = 0,
+    kOperandInvalid = 1,   ///< source register V=0
+    kOperandInFlight = 2,  ///< source valid but not ready at dispatch
+    kMshrFull = 3,         ///< load could not get an MSHR
+    kStoreBufferFull = 4,  ///< store could not be buffered
+    kConflictRetry = 5,    ///< forward-progress fallback after a
+                           ///< store-conflict flush (the offending
+                           ///< load re-executes non-speculatively)
+    kNoFunctionalUnit = 6, ///< the A-pipe lacks the unit (Sec. 3.7
+                           ///< partial replication)
+};
+inline constexpr unsigned kNumDeferReasons = 7;
+
+/** One CQ entry with its CRS payload. */
+struct CqEntry
+{
+    InstIdx idx = 0;       ///< static instruction index
+    DynId id = 0;          ///< dynamic id
+    Cycle enqueuedAt = 0;  ///< A-pipe dispatch cycle
+    CqStatus status = CqStatus::kDeferred;
+    DeferReason reason = DeferReason::kNone;
+    bool groupEnd = false; ///< carries the (original) stop bit
+
+    // ---- CRS payload (meaningful when pre-executed) -----------------
+    bool predTrue = false;
+    bool writesDst = false;
+    bool writesDst2 = false;
+    RegVal dstVal = 0;
+    RegVal dst2Val = 0;
+    Cycle readyAt = 0;     ///< when the result is usable ("dangling"
+                           ///< dependences scoreboard on this)
+
+    // ---- memory bookkeeping ----------------------------------------
+    bool isLoad = false;
+    bool isStore = false;
+    Addr addr = 0;
+    unsigned size = 0;
+
+    // ---- branch bookkeeping -----------------------------------------
+    bool isBranch = false;
+    bool branchResolvedInA = false;
+    bool actualTaken = false;     ///< valid when resolved in A
+    bool predictedTaken = false;
+    InstIdx fallthrough = 0;      ///< next leader when not taken
+    branch::Prediction prediction{};
+};
+
+/** The bounded, flushable instruction FIFO between the pipes. */
+class CouplingQueue
+{
+  public:
+    explicit CouplingQueue(std::size_t capacity) : _fifo(capacity) {}
+
+    bool empty() const { return _fifo.empty(); }
+    bool full() const { return _fifo.full(); }
+    std::size_t size() const { return _fifo.size(); }
+    std::size_t freeSlots() const { return _fifo.freeSlots(); }
+    std::size_t capacity() const { return _fifo.capacity(); }
+
+    void push(const CqEntry &e) { _fifo.push(e); }
+    const CqEntry &at(std::size_t i) const { return _fifo.at(i); }
+    CqEntry &at(std::size_t i) { return _fifo.at(i); }
+    void pop() { _fifo.pop(); }
+    void clear() { _fifo.clear(); }
+
+    /** Removes every entry with id greater than @p boundary. */
+    void
+    squashYoungerThan(DynId boundary)
+    {
+        while (!_fifo.empty() && _fifo.at(_fifo.size() - 1).id > boundary)
+            _fifo.popBack();
+    }
+
+    /** Number of deferred stores currently queued (Sec. 4 stat). */
+    unsigned
+    deferredStores() const
+    {
+        unsigned n = 0;
+        for (const auto &e : _fifo) {
+            if (e.status == CqStatus::kDeferred && e.isStore)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    BoundedFifo<CqEntry> _fifo;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_COUPLING_QUEUE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * B-pipe dispatch instruction regrouping (the "2Pre" configuration of
+ * Section 3.1): adjacent issue groups at the head of the coupling
+ * queue are fused into one retire window when pre-execution has
+ * removed the dependences that forced the stop bit — regrouping, but
+ * never reordering.
+ */
+
+#ifndef FF_CPU_TWOPASS_REGROUPER_HH
+#define FF_CPU_TWOPASS_REGROUPER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "cpu/twopass/coupling_queue.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** The set of CQ-head entries retiring together this cycle. */
+struct RetireWindow
+{
+    std::size_t entries = 0; ///< CQ entries [0, entries)
+    unsigned groups = 0;     ///< original issue groups covered
+};
+
+/**
+ * The head's full original group — the always-legal retire window.
+ * Panics if the queue holds a torn group (the A-pipe dispatches
+ * groups atomically, so that would be a simulator bug).
+ */
+RetireWindow headGroupWindow(const CouplingQueue &cq);
+
+/**
+ * Extends @p base by fusing subsequent fully-queued groups, never
+ * reordering. A group fuses only while:
+ *  - it is completely in the CQ and was enqueued before @p now (the
+ *    A-pipe stays a cycle ahead),
+ *  - combined resource usage fits @p limits,
+ *  - no fused instruction sources a register written by a *deferred*
+ *    instruction earlier in the window (those values materialize only
+ *    when the deferred producer executes, so the stop bit is still
+ *    load-bearing),
+ *  - every entry of the group is itself ready to retire this cycle,
+ *    as judged by @p entry_ready (dangling results arrived; deferred
+ *    operands ready) — fusing must never stall work that could have
+ *    retired alone,
+ *  - no *pre-executed load* fuses behind a deferred store (its
+ *    merge-time ALAT check would run before the store's
+ *    invalidations apply); deferred loads and non-loads may,
+ *  - the window so far contains no unresolved (deferred) branch and
+ *    no halt.
+ *
+ * The caller must have established that @p base itself is ready.
+ */
+RetireWindow extendRetireWindow(
+    const CouplingQueue &cq, const isa::Program &prog,
+    const isa::GroupLimits &limits, Cycle now, RetireWindow base,
+    const std::function<bool(const CqEntry &)> &entry_ready);
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_REGROUPER_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The flea-flicker two-pass pipeline (Sections 3.1–3.6): an advance
+ * A-pipe that never stalls on unready operands (deferring such
+ * instructions and their dependence successors through the coupling
+ * queue) and an architectural backup B-pipe that merges pre-executed
+ * results, scoreboards dangling (in-flight) ones, executes deferred
+ * instructions, detects store conflicts with a DynID-indexed ALAT,
+ * resolves deferred branch mispredictions (B-DET), and feeds
+ * committed values back to the A-file over a latency-configurable
+ * path.
+ */
+
+#ifndef FF_CPU_TWOPASS_TWOPASS_CPU_HH
+#define FF_CPU_TWOPASS_TWOPASS_CPU_HH
+
+#include <deque>
+#include <unordered_set>
+
+#include <memory>
+
+#include "cpu/config.hh"
+#include "cpu/cpu.hh"
+#include "cpu/frontend.hh"
+#include "cpu/scoreboard.hh"
+#include "cpu/twopass/afile.hh"
+#include "cpu/twopass/coupling_queue.hh"
+#include "common/stats.hh"
+#include "cpu/twopass/regrouper.hh"
+#include "memory/alat.hh"
+#include "memory/store_buffer.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Counters reported by the two-pass experiments. */
+struct TwoPassStats
+{
+    // A-pipe dispatch outcomes.
+    std::uint64_t dispatched = 0;     ///< instructions entering the CQ
+    std::uint64_t preExecuted = 0;    ///< completed in the A-pipe
+    std::uint64_t deferred = 0;       ///< suppressed to the B-pipe
+    std::array<std::uint64_t, kNumDeferReasons> deferredByReason{};
+
+    // Memory behaviour.
+    std::uint64_t loadsInA = 0;
+    std::uint64_t loadsInB = 0;       ///< deferred loads executed in B
+    std::uint64_t storesInA = 0;      ///< buffered speculatively
+    std::uint64_t storesInB = 0;      ///< deferred stores executed in B
+    std::uint64_t loadsPastDeferredStore = 0; ///< A-loads issued while
+                                              ///< a deferred store was
+                                              ///< queued (Sec. 4 stat)
+    std::uint64_t storeConflictFlushes = 0;
+    std::uint64_t storeForwardings = 0; ///< A-loads fed by the buffer
+
+    // Branch resolution split (Sec. 4: 32% A / 68% B in the paper).
+    std::uint64_t branchesResolvedInA = 0;
+    std::uint64_t branchesResolvedInB = 0;
+    std::uint64_t aDetMispredicts = 0;
+    std::uint64_t bDetMispredicts = 0;
+
+    // Pipe-coupling behaviour.
+    std::uint64_t aStallCqFull = 0;    ///< A-pipe cycles lost to CQ room
+    std::uint64_t aStallAnticipable = 0; ///< ablation-A2 stall cycles
+    std::uint64_t aStallThrottled = 0; ///< issue-moderation pause cycles
+    std::uint64_t regroupedGroups = 0; ///< extra groups fused by 2Pre
+    std::uint64_t feedbackApplied = 0;
+    std::uint64_t feedbackDropped = 0;
+    std::uint64_t registersRepaired = 0; ///< A-file repair volume
+
+    void reset() { *this = TwoPassStats(); }
+};
+
+/** The two-pass pipelined core. */
+class TwoPassCpu : public CpuModel
+{
+  public:
+    TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg);
+    /** The model holds a reference: temporaries would dangle. */
+    TwoPassCpu(isa::Program &&, const CoreConfig &) = delete;
+
+    RunResult run(std::uint64_t max_cycles) override;
+
+    const RegFile &archRegs() const override { return _bfile; }
+    const memory::SparseMemory &memState() const override
+    {
+        return _mem;
+    }
+    const CycleAccounting &cycleAccounting() const override
+    {
+        return _acct;
+    }
+    memory::Hierarchy &hierarchy() override { return _hier; }
+    const branch::DirectionPredictor &predictor() const override
+    {
+        return *_pred;
+    }
+
+    const TwoPassStats &stats() const { return _stats; }
+    const memory::AlatStats &alatStats() const { return _alat.stats(); }
+
+    std::string statsReport() const override;
+
+    /** Test access to internal structures. */
+    const AFile &afile() const { return _afile; }
+    const CouplingQueue &couplingQueue() const { return _cq; }
+    const memory::StoreBuffer &storeBuffer() const { return _sbuf; }
+
+  private:
+    /** One pending B-to-A feedback update. */
+    struct Feedback
+    {
+        isa::RegId reg;
+        RegVal value;
+        DynId id;
+        Cycle applyAt;
+    };
+
+    // ---- per-cycle phases -------------------------------------------
+    void applyFeedback(Cycle now);
+    CycleClass stepBpipe(Cycle now, RunResult &res);
+    void stepApipe(Cycle now);
+
+    // ---- A-pipe helpers -----------------------------------------------
+    /** True when ablation A2 says the A-pipe should hold this group. */
+    bool anticipableStall(const FetchedGroup &g, Cycle now) const;
+    void dispatchGroup(const FetchedGroup &g, Cycle now);
+
+    // ---- B-pipe helpers -----------------------------------------------
+    /**
+     * Scans the retire window for the first blocker.
+     * @return kUnstalled when the whole window may retire
+     */
+    CycleClass prescanWindow(const RetireWindow &w, Cycle now) const;
+    void applyWindow(const RetireWindow &w, Cycle now, RunResult &res);
+
+    /** Queues feedback for every potential destination of @p in. */
+    void scheduleFeedback(const isa::Instruction &in, DynId id,
+                          Cycle now);
+
+    /**
+     * Debug invariant (cfg.selfCheckInterval): every valid,
+     * non-speculative A-file register must equal its B-file copy —
+     * the structural statement of "the B-pipe trusts the A-pipe".
+     */
+    void checkAFileCoherence(Cycle now) const;
+
+    // ---- flush routines -----------------------------------------------
+    /** B-DET misprediction flush (Sec. 3.6). */
+    void bDetFlush(const CqEntry &branch, std::size_t branch_pos,
+                   bool taken, Cycle now);
+    /** Store-conflict flush (Sec. 3.4). */
+    void conflictFlush(const CqEntry &offender, Cycle now);
+
+    const isa::Program &_prog;
+    CoreConfig _cfg;
+    memory::SparseMemory _mem;       ///< architectural memory
+    memory::Hierarchy _hier;
+    std::unique_ptr<branch::DirectionPredictor> _pred;
+    FrontEnd _fe;
+
+    AFile _afile;                    ///< speculative register file
+    RegFile _bfile;                  ///< architectural register file
+    Scoreboard _bsb;                 ///< B-pipe in-flight producers
+    CouplingQueue _cq;
+    memory::StoreBuffer _sbuf;
+    memory::Alat _alat;
+    std::deque<Feedback> _feedback;
+
+    DynId _nextId = 1;
+    bool _aHalted = false;           ///< A-pipe saw HALT dispatch
+
+    /**
+     * Forward-progress guarantee: static loads whose ALAT entries
+     * conflicted since the last successful retirement are deferred
+     * (executed architecturally in the B-pipe) on re-dispatch. The
+     * set grows by one load per flush and clears once the stuck
+     * window retires, so a pathological ALAT (or persistent aliasing
+     * pattern) cannot livelock the flush loop.
+     */
+    std::unordered_set<InstIdx> _conflictRetry;
+
+    // ---- A-pipe issue moderation (Sec. 3.5 / future work) ----------
+    /** Ring of the last 64 dispatch outcomes (1 = deferred). */
+    std::uint64_t _deferHistory = 0;
+    unsigned _deferHistoryCount = 0; ///< deferred bits in the ring
+    bool _throttled = false;         ///< dispatch paused, draining
+
+    CycleAccounting _acct;
+    TwoPassStats _stats;
+    /** Per-cycle coupling-queue occupancy (A-pipe lead histogram). */
+    stats::Distribution _cqDepth{0, 257, 16};
+    bool _ran = false;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_TWOPASS_CPU_HH

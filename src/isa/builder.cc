@@ -1,0 +1,323 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name, bool auto_stop)
+    : _name(std::move(name)), _autoStop(auto_stop)
+{
+}
+
+void
+ProgramBuilder::label(const std::string &name)
+{
+    auto [it, inserted] = _labels.emplace(name, size());
+    ff_fatal_if(!inserted, "duplicate label '", name, "'");
+}
+
+void
+ProgramBuilder::stop()
+{
+    ff_fatal_if(_insts.empty(), "stop() before any instruction");
+    _insts.back().stop = true;
+}
+
+ProgramBuilder &
+ProgramBuilder::pred(RegId p)
+{
+    ff_fatal_if(_insts.empty(), "pred() before any instruction");
+    ff_fatal_if(p.cls != RegClass::kPred, "pred() needs a predicate reg");
+    _insts.back().qpred = p;
+    return *this;
+}
+
+Instruction &
+ProgramBuilder::emit(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    in.stop = _autoStop;
+    _insts.push_back(in);
+    return _insts.back();
+}
+
+ProgramBuilder &
+ProgramBuilder::alu(Opcode op, RegId dst, RegId a, RegId b)
+{
+    Instruction &in = emit(op);
+    in.dst = dst;
+    in.src1 = a;
+    in.src2 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::alui(Opcode op, RegId dst, RegId a, std::int64_t imm)
+{
+    Instruction &in = emit(op);
+    in.dst = dst;
+    in.src1 = a;
+    in.imm = imm;
+    in.src2IsImm = true;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::add(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kAdd, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::addi(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kAdd, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::sub(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kSub, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::subi(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kSub, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::and_(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kAnd, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::andi(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kAnd, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::or_(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kOr, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::ori(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kOr, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::xor_(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kXor, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::xori(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kXor, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::shl(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kShl, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::shli(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kShl, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::shri(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kShr, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::srai(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kSra, d, a, i);
+}
+ProgramBuilder &
+ProgramBuilder::mul(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kMul, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::muli(RegId d, RegId a, std::int64_t i)
+{
+    return alui(Opcode::kMul, d, a, i);
+}
+
+ProgramBuilder &
+ProgramBuilder::mov(RegId d, RegId a)
+{
+    Instruction &in = emit(Opcode::kMov);
+    in.dst = d;
+    in.src1 = a;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::movi(RegId d, std::int64_t imm)
+{
+    Instruction &in = emit(Opcode::kMovi);
+    in.dst = d;
+    in.imm = imm;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::cmp(CmpCond c, RegId pt, RegId pf, RegId a, RegId b)
+{
+    Instruction &in = emit(Opcode::kCmp);
+    in.cond = c;
+    in.dst = pt;
+    in.dst2 = pf;
+    in.src1 = a;
+    in.src2 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::cmpi(CmpCond c, RegId pt, RegId pf, RegId a,
+                     std::int64_t imm)
+{
+    Instruction &in = emit(Opcode::kCmp);
+    in.cond = c;
+    in.dst = pt;
+    in.dst2 = pf;
+    in.src1 = a;
+    in.imm = imm;
+    in.src2IsImm = true;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::itof(RegId fdst, RegId isrc)
+{
+    Instruction &in = emit(Opcode::kItof);
+    in.dst = fdst;
+    in.src1 = isrc;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ftoi(RegId idst, RegId fsrc)
+{
+    Instruction &in = emit(Opcode::kFtoi);
+    in.dst = idst;
+    in.src1 = fsrc;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::fadd(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kFadd, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::fsub(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kFsub, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::fmul(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kFmul, d, a, b);
+}
+ProgramBuilder &
+ProgramBuilder::fdiv(RegId d, RegId a, RegId b)
+{
+    return alu(Opcode::kFdiv, d, a, b);
+}
+
+ProgramBuilder &
+ProgramBuilder::fcmp(CmpCond c, RegId pt, RegId pf, RegId a, RegId b)
+{
+    Instruction &in = emit(Opcode::kFcmp);
+    in.cond = c;
+    in.dst = pt;
+    in.dst2 = pf;
+    in.src1 = a;
+    in.src2 = b;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ld4(RegId dst, RegId base, std::int64_t off)
+{
+    Instruction &in = emit(Opcode::kLd4);
+    in.dst = dst;
+    in.src1 = base;
+    in.imm = off;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::ld8(RegId dst, RegId base, std::int64_t off)
+{
+    Instruction &in = emit(Opcode::kLd8);
+    in.dst = dst;
+    in.src1 = base;
+    in.imm = off;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::st4(RegId base, std::int64_t off, RegId val)
+{
+    Instruction &in = emit(Opcode::kSt4);
+    in.src1 = base;
+    in.src2 = val;
+    in.imm = off;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::st8(RegId base, std::int64_t off, RegId val)
+{
+    Instruction &in = emit(Opcode::kSt8);
+    in.src1 = base;
+    in.src2 = val;
+    in.imm = off;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::br(const std::string &target)
+{
+    Instruction &in = emit(Opcode::kBr);
+    in.stop = true; // branches always end their group
+    _pendingBranches.emplace_back(size() - 1, target);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    emit(Opcode::kHalt);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    emit(Opcode::kNop);
+    return *this;
+}
+
+Program
+ProgramBuilder::finalize()
+{
+    ff_fatal_if(_insts.empty(), "finalizing empty program '", _name, "'");
+    _insts.back().stop = true;
+    for (auto &[idx, label_name] : _pendingBranches) {
+        auto it = _labels.find(label_name);
+        ff_fatal_if(it == _labels.end(), "undefined label '", label_name,
+                    "' in program '", _name, "'");
+        _insts[idx].imm = static_cast<std::int64_t>(it->second);
+    }
+    return Program(_name, _insts);
+}
+
+} // namespace isa
+} // namespace ff

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A fluent assembler for ffvm programs. Workloads and tests construct
+ * code through this interface; labels are resolved at finalize time.
+ *
+ * Two usage modes:
+ *  - sequential (default): every instruction ends its own issue group
+ *    (stop bit set). The compiler's list scheduler later regroups the
+ *    code into wide issue groups, playing the role of the IMPACT/Intel
+ *    compilers in the paper.
+ *  - explicit grouping: construct with auto_stop = false and call
+ *    stop() to delimit groups by hand (used by pipeline unit tests).
+ */
+
+#ifndef FF_ISA_BUILDER_HH
+#define FF_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+/** Builds Programs instruction by instruction with label support. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name, bool auto_stop = true);
+
+    /** Binds a label to the next appended instruction. */
+    void label(const std::string &name);
+
+    /** Sets the stop bit on the most recently appended instruction. */
+    void stop();
+
+    /**
+     * Sets the qualifying predicate of the most recently appended
+     * instruction. @return *this for chaining.
+     */
+    ProgramBuilder &pred(RegId p);
+
+    // --- Integer ALU -----------------------------------------------
+    ProgramBuilder &add(RegId dst, RegId a, RegId b);
+    ProgramBuilder &addi(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &sub(RegId dst, RegId a, RegId b);
+    ProgramBuilder &subi(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &and_(RegId dst, RegId a, RegId b);
+    ProgramBuilder &andi(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &or_(RegId dst, RegId a, RegId b);
+    ProgramBuilder &ori(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &xor_(RegId dst, RegId a, RegId b);
+    ProgramBuilder &xori(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &shl(RegId dst, RegId a, RegId b);
+    ProgramBuilder &shli(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &shri(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &srai(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &mul(RegId dst, RegId a, RegId b);
+    ProgramBuilder &muli(RegId dst, RegId a, std::int64_t imm);
+    ProgramBuilder &mov(RegId dst, RegId a);
+    ProgramBuilder &movi(RegId dst, std::int64_t imm);
+
+    // --- Compares ---------------------------------------------------
+    /** pt = (a cond b), pf = !(a cond b). */
+    ProgramBuilder &cmp(CmpCond c, RegId pt, RegId pf, RegId a, RegId b);
+    ProgramBuilder &cmpi(CmpCond c, RegId pt, RegId pf, RegId a,
+                         std::int64_t imm);
+
+    // --- Conversions / FP ------------------------------------------
+    ProgramBuilder &itof(RegId fdst, RegId isrc);
+    ProgramBuilder &ftoi(RegId idst, RegId fsrc);
+    ProgramBuilder &fadd(RegId dst, RegId a, RegId b);
+    ProgramBuilder &fsub(RegId dst, RegId a, RegId b);
+    ProgramBuilder &fmul(RegId dst, RegId a, RegId b);
+    ProgramBuilder &fdiv(RegId dst, RegId a, RegId b);
+    ProgramBuilder &fcmp(CmpCond c, RegId pt, RegId pf, RegId a, RegId b);
+
+    // --- Memory ------------------------------------------------------
+    ProgramBuilder &ld4(RegId dst, RegId base, std::int64_t off);
+    ProgramBuilder &ld8(RegId dst, RegId base, std::int64_t off);
+    ProgramBuilder &st4(RegId base, std::int64_t off, RegId val);
+    ProgramBuilder &st8(RegId base, std::int64_t off, RegId val);
+
+    // --- Control ------------------------------------------------------
+    /** Branch to @p target when the qualifying predicate is true.
+     *  Call pred() afterwards to set a condition; default is always. */
+    ProgramBuilder &br(const std::string &target);
+    ProgramBuilder &halt();
+    ProgramBuilder &nop();
+
+    /** Number of instructions appended so far. */
+    InstIdx size() const { return static_cast<InstIdx>(_insts.size()); }
+
+    /**
+     * Resolves labels and produces the Program. Fails fatally on
+     * undefined labels. The result still needs Program::validate()
+     * (run by the scheduler and by simulators on load).
+     */
+    Program finalize();
+
+  private:
+    Instruction &emit(Opcode op);
+    ProgramBuilder &alu(Opcode op, RegId dst, RegId a, RegId b);
+    ProgramBuilder &alui(Opcode op, RegId dst, RegId a, std::int64_t imm);
+
+    std::string _name;
+    bool _autoStop;
+    std::vector<Instruction> _insts;
+    std::map<std::string, InstIdx> _labels;
+    std::vector<std::pair<InstIdx, std::string>> _pendingBranches;
+};
+
+} // namespace isa
+} // namespace ff
+
+#endif // FF_ISA_BUILDER_HH

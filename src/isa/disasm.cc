@@ -1,0 +1,90 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace ff
+{
+namespace isa
+{
+
+std::string
+disasm(const Instruction &in)
+{
+    std::ostringstream oss;
+    if (!(in.qpred.cls == RegClass::kPred && in.qpred.idx == 0))
+        oss << "(" << regName(in.qpred) << ") ";
+
+    const char *m = opInfo(in.op).mnemonic;
+    switch (in.op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        oss << m;
+        break;
+      case Opcode::kMovi:
+        oss << m << ' ' << regName(in.dst) << " = " << in.imm;
+        break;
+      case Opcode::kMov:
+      case Opcode::kItof:
+      case Opcode::kFtoi:
+        oss << m << ' ' << regName(in.dst) << " = " << regName(in.src1);
+        break;
+      case Opcode::kCmp:
+      case Opcode::kFcmp:
+        oss << m << '.' << condName(in.cond) << ' ' << regName(in.dst)
+            << ", " << regName(in.dst2) << " = " << regName(in.src1)
+            << ", ";
+        if (in.src2IsImm)
+            oss << in.imm;
+        else
+            oss << regName(in.src2);
+        break;
+      case Opcode::kLd4:
+      case Opcode::kLd8:
+        oss << m << ' ' << regName(in.dst) << " = ["
+            << regName(in.src1);
+        if (in.imm != 0)
+            oss << (in.imm > 0 ? "+" : "") << in.imm;
+        oss << ']';
+        break;
+      case Opcode::kSt4:
+      case Opcode::kSt8:
+        oss << m << " [" << regName(in.src1);
+        if (in.imm != 0)
+            oss << (in.imm > 0 ? "+" : "") << in.imm;
+        oss << "] = " << regName(in.src2);
+        break;
+      case Opcode::kBr:
+        oss << m << " @" << in.imm;
+        break;
+      default:
+        oss << m << ' ' << regName(in.dst) << " = " << regName(in.src1)
+            << ", ";
+        if (in.src2IsImm)
+            oss << in.imm;
+        else
+            oss << regName(in.src2);
+        break;
+    }
+    return oss.str();
+}
+
+std::string
+disasmProgram(const Program &prog)
+{
+    std::ostringstream oss;
+    oss << "program '" << prog.name() << "' (" << prog.size()
+        << " insts)\n";
+    for (InstIdx i = 0; i < prog.size(); ++i) {
+        const Instruction &in = prog.inst(i);
+        oss << (prog.isGroupLeader(i) ? '>' : ' ') << ' ';
+        oss.width(5);
+        oss << i << "  " << disasm(in);
+        if (in.stop)
+            oss << "  ;;";
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace isa
+} // namespace ff

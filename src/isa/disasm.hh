@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual disassembly of ffvm instructions and programs, used by the
+ * case-study example and by failing-test diagnostics.
+ */
+
+#ifndef FF_ISA_DISASM_HH
+#define FF_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+/** Renders one instruction, e.g. "(p3) add r4 = r5, r6". */
+std::string disasm(const Instruction &in);
+
+/**
+ * Renders a whole program with instruction indices, issue-group
+ * separators (";;" like IA-64 stop bits) and branch-target markers.
+ */
+std::string disasmProgram(const Program &prog);
+
+} // namespace isa
+} // namespace ff
+
+#endif // FF_ISA_DISASM_HH

@@ -1,0 +1,114 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+namespace
+{
+
+constexpr OpInfo kOpTable[] = {
+    /* kNop  */ {"nop", UnitClass::kAlu, 1},
+    /* kHalt */ {"halt", UnitClass::kAlu, 1},
+    /* kAdd  */ {"add", UnitClass::kAlu, 1},
+    /* kSub  */ {"sub", UnitClass::kAlu, 1},
+    /* kAnd  */ {"and", UnitClass::kAlu, 1},
+    /* kOr   */ {"or", UnitClass::kAlu, 1},
+    /* kXor  */ {"xor", UnitClass::kAlu, 1},
+    /* kShl  */ {"shl", UnitClass::kAlu, 1},
+    /* kShr  */ {"shr", UnitClass::kAlu, 1},
+    /* kSra  */ {"sra", UnitClass::kAlu, 1},
+    /* kMul  */ {"mul", UnitClass::kAlu, 3},
+    /* kMov  */ {"mov", UnitClass::kAlu, 1},
+    /* kMovi */ {"movi", UnitClass::kAlu, 1},
+    /* kCmp  */ {"cmp", UnitClass::kAlu, 1},
+    /* kItof */ {"itof", UnitClass::kAlu, 2},
+    /* kFtoi */ {"ftoi", UnitClass::kAlu, 2},
+    /* kFadd */ {"fadd", UnitClass::kFp, 4},
+    /* kFsub */ {"fsub", UnitClass::kFp, 4},
+    /* kFmul */ {"fmul", UnitClass::kFp, 4},
+    /* kFdiv */ {"fdiv", UnitClass::kFp, 16},
+    /* kFcmp */ {"fcmp", UnitClass::kFp, 2},
+    /* kLd4  */ {"ld4", UnitClass::kMem, 0},
+    /* kLd8  */ {"ld8", UnitClass::kMem, 0},
+    /* kSt4  */ {"st4", UnitClass::kMem, 1},
+    /* kSt8  */ {"st8", UnitClass::kMem, 1},
+    /* kBr   */ {"br", UnitClass::kBranch, 1},
+};
+
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
+                  static_cast<std::size_t>(Opcode::kNumOpcodes),
+              "opcode table out of sync");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto i = static_cast<std::size_t>(op);
+    ff_panic_if(i >= static_cast<std::size_t>(Opcode::kNumOpcodes),
+                "bad opcode ", i);
+    return kOpTable[i];
+}
+
+std::string
+regName(RegId r)
+{
+    switch (r.cls) {
+      case RegClass::kNone:
+        return "-";
+      case RegClass::kInt:
+        return "r" + std::to_string(r.idx);
+      case RegClass::kFp:
+        return "f" + std::to_string(r.idx);
+      case RegClass::kPred:
+        return "p" + std::to_string(r.idx);
+    }
+    return "?";
+}
+
+const char *
+condName(CmpCond c)
+{
+    switch (c) {
+      case CmpCond::kEq: return "eq";
+      case CmpCond::kNe: return "ne";
+      case CmpCond::kLt: return "lt";
+      case CmpCond::kLe: return "le";
+      case CmpCond::kGt: return "gt";
+      case CmpCond::kGe: return "ge";
+      case CmpCond::kLtu: return "ltu";
+    }
+    return "?";
+}
+
+unsigned
+Instruction::sources(std::array<RegId, 4> &out) const
+{
+    unsigned n = 0;
+    // The qualifying predicate is always a source (p0 included; the
+    // consumer decides whether p0 needs dependence tracking).
+    out[n++] = qpred;
+    if (src1.valid())
+        out[n++] = src1;
+    if (src2.valid() && !src2IsImm)
+        out[n++] = src2;
+    return n;
+}
+
+unsigned
+Instruction::destinations(std::array<RegId, 2> &out) const
+{
+    unsigned n = 0;
+    if (dst.valid())
+        out[n++] = dst;
+    if (dst2.valid())
+        out[n++] = dst2;
+    return n;
+}
+
+} // namespace isa
+} // namespace ff

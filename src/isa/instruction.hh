@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The static instruction record: one slot of an issue group, carrying
+ * a qualifying predicate, register operands, an immediate, and the
+ * EPIC stop bit that delimits issue groups.
+ */
+
+#ifndef FF_ISA_INSTRUCTION_HH
+#define FF_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+/**
+ * A static ffvm instruction. All instructions are predicated on
+ * @c qpred (p0 == always). CMP/FCMP write a complementary predicate
+ * pair (dst = cond, dst2 = !cond). Loads/stores address memory at
+ * [src1 + imm]; stores carry the value in src2. Branches jump to the
+ * group whose leader has instruction index @c imm when qpred is true.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+    CmpCond cond = CmpCond::kEq;
+
+    RegId qpred = predReg(0); ///< qualifying predicate
+    RegId dst;                ///< value destination (or first predicate)
+    RegId dst2;               ///< second predicate for CMP/FCMP
+    RegId src1;
+    RegId src2;
+
+    std::int64_t imm = 0;     ///< immediate / offset / branch target
+    bool src2IsImm = false;   ///< ALU src2 comes from imm, not a register
+    bool stop = false;        ///< stop bit: this slot ends its issue group
+
+    bool isLoad() const { return op == Opcode::kLd4 || op == Opcode::kLd8; }
+    bool isStore() const { return op == Opcode::kSt4 || op == Opcode::kSt8; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isBranch() const { return op == Opcode::kBr; }
+    bool isHalt() const { return op == Opcode::kHalt; }
+    bool isNop() const { return op == Opcode::kNop; }
+    bool isFp() const { return opInfo(op).unit == UnitClass::kFp; }
+
+    /** Functional-unit class consumed at issue. */
+    UnitClass unit() const { return opInfo(op).unit; }
+
+    /** Non-memory execution latency (see OpInfo::latency). */
+    unsigned execLatency() const { return opInfo(op).latency; }
+
+    /**
+     * Collects the register sources this instruction reads, including
+     * the qualifying predicate (first). The fixed-size result avoids
+     * allocation on the issue path.
+     *
+     * @param out receives up to 4 RegIds
+     * @return number of sources written
+     */
+    unsigned sources(std::array<RegId, 4> &out) const;
+
+    /**
+     * Collects the register destinations this instruction writes when
+     * its qualifying predicate is true.
+     *
+     * @param out receives up to 2 RegIds
+     * @return number of destinations written
+     */
+    unsigned destinations(std::array<RegId, 2> &out) const;
+};
+
+} // namespace isa
+} // namespace ff
+
+#endif // FF_ISA_INSTRUCTION_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Core ISA definitions for the ffvm virtual EPIC architecture: an
+ * Itanium-flavoured, fully predicated, explicitly issue-grouped
+ * instruction set. It is intentionally small but carries everything
+ * the paper's phenomena need: predication, stop bits, variable
+ * latency loads, multi-cycle integer/FP operations, and compare
+ * instructions writing complementary predicate pairs.
+ */
+
+#ifndef FF_ISA_ISA_HH
+#define FF_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+/** Number of integer registers (r0 is hardwired to zero). */
+inline constexpr unsigned kNumIntRegs = 64;
+/** Number of floating-point registers (f0 is hardwired to +0.0). */
+inline constexpr unsigned kNumFpRegs = 64;
+/** Number of 1-bit predicate registers (p0 is hardwired to true). */
+inline constexpr unsigned kNumPredRegs = 64;
+
+/** Architectural register class. */
+enum class RegClass : std::uint8_t
+{
+    kNone, ///< operand slot unused
+    kInt,  ///< general-purpose integer register
+    kFp,   ///< floating-point register
+    kPred, ///< 1-bit predicate register
+};
+
+/** A register operand: class plus index within the class's file. */
+struct RegId
+{
+    RegClass cls = RegClass::kNone;
+    std::uint8_t idx = 0;
+
+    bool valid() const { return cls != RegClass::kNone; }
+    bool operator==(const RegId &) const = default;
+};
+
+/** Convenience constructors mirroring assembly syntax. */
+inline RegId intReg(unsigned i)
+{
+    return {RegClass::kInt, static_cast<std::uint8_t>(i)};
+}
+inline RegId fpReg(unsigned i)
+{
+    return {RegClass::kFp, static_cast<std::uint8_t>(i)};
+}
+inline RegId predReg(unsigned i)
+{
+    return {RegClass::kPred, static_cast<std::uint8_t>(i)};
+}
+inline RegId noReg() { return {}; }
+
+/** Functional-unit class an instruction occupies for issue. */
+enum class UnitClass : std::uint8_t
+{
+    kAlu,    ///< integer ALU (also compares, moves, conversions)
+    kMem,    ///< load/store unit
+    kFp,     ///< floating-point unit
+    kBranch, ///< branch unit
+};
+
+/** Comparison conditions for CMP/FCMP (signed for integers). */
+enum class CmpCond : std::uint8_t
+{
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kLtu, ///< unsigned less-than (integer CMP only)
+};
+
+/** Opcodes of the ffvm ISA. */
+enum class Opcode : std::uint8_t
+{
+    kNop,
+    kHalt, ///< stop simulation; final architectural state is the result
+
+    // Integer ALU (1 cycle unless noted).
+    kAdd,
+    kSub,
+    kAnd,
+    kOr,
+    kXor,
+    kShl,
+    kShr, ///< logical right shift
+    kSra, ///< arithmetic right shift
+    kMul, ///< 3-cycle integer multiply
+    kMov,
+    kMovi, ///< dst = 64-bit immediate
+    kCmp,  ///< writes complementary predicate pair (dst, dst2)
+
+    // Conversions (ALU class).
+    kItof, ///< fp dst = (double) signed int src
+    kFtoi, ///< int dst = truncated signed value of fp src
+
+    // Floating point (multi-cycle).
+    kFadd,
+    kFsub,
+    kFmul,
+    kFdiv, ///< long-latency divide (the "anticipable" latency of Sec. 4)
+    kFcmp, ///< FP compare writing a predicate pair
+
+    // Memory. Effective address is [src1 + imm].
+    kLd4, ///< sign-extending 32-bit load
+    kLd8,
+    kSt4, ///< stores low 32 bits of src2
+    kSt8,
+
+    // Control. Direction is the qualifying predicate; target is imm
+    // (instruction index of an issue-group leader after resolution).
+    kBr,
+
+    kNumOpcodes,
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    UnitClass unit;
+    /**
+     * Execution latency in cycles from issue to result availability,
+     * excluding memory time for loads (a load's total latency is this
+     * pipeline component plus the hierarchy's response time; we fold
+     * the L1 access time into the hierarchy so this is 0 for loads).
+     */
+    unsigned latency;
+};
+
+/** Looks up the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Printable register name ("r5", "f2", "p7"). */
+std::string regName(RegId r);
+
+/** Printable condition name ("eq", "ltu", ...). */
+const char *condName(CmpCond c);
+
+} // namespace isa
+} // namespace ff
+
+#endif // FF_ISA_ISA_HH

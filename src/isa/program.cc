@@ -1,0 +1,246 @@
+#include "isa/program.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+Program
+sequentialize(const Program &prog)
+{
+    std::vector<Instruction> insts = prog.insts();
+    for (Instruction &in : insts)
+        in.stop = true;
+    Program out(prog.name(), std::move(insts));
+    for (const auto &[base, page] : prog.dataImage().pages())
+        out.pokeBytes(base, page.data(), page.size());
+    return out;
+}
+
+Program::Program(std::string name, std::vector<Instruction> insts)
+    : _name(std::move(name)), _insts(std::move(insts))
+{
+    rebuildGroups();
+}
+
+void
+Program::rebuildGroups()
+{
+    const InstIdx n = static_cast<InstIdx>(_insts.size());
+    _groupStart.assign(n, 0);
+    _groupEnd.assign(n, 0);
+    InstIdx leader = 0;
+    for (InstIdx i = 0; i < n; ++i) {
+        _groupStart[i] = leader;
+        if (_insts[i].stop || i + 1 == n) {
+            for (InstIdx j = leader; j <= i; ++j)
+                _groupEnd[j] = i + 1;
+            leader = i + 1;
+        }
+    }
+}
+
+void
+DataImage::write(Addr addr, const void *bytes, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    std::size_t done = 0;
+    while (done < len) {
+        const Addr a = addr + done;
+        const Addr page_base = a - (a % kPageBytes);
+        auto [it, inserted] = _pages.try_emplace(page_base);
+        if (inserted)
+            it->second.assign(kPageBytes, 0);
+        const std::size_t off = a % kPageBytes;
+        const std::size_t chunk =
+            std::min(len - done, static_cast<std::size_t>(kPageBytes) -
+                                     off);
+        std::memcpy(it->second.data() + off, p + done, chunk);
+        done += chunk;
+    }
+}
+
+std::uint8_t
+DataImage::read(Addr addr) const
+{
+    const Addr page_base = addr - (addr % kPageBytes);
+    auto it = _pages.find(page_base);
+    return it == _pages.end() ? 0 : it->second[addr % kPageBytes];
+}
+
+void
+Program::pokeBytes(Addr addr, const void *bytes, std::size_t len)
+{
+    _data.write(addr, bytes, len);
+}
+
+void
+Program::poke64(Addr addr, std::uint64_t value)
+{
+    pokeBytes(addr, &value, sizeof(value));
+}
+
+void
+Program::poke32(Addr addr, std::uint32_t value)
+{
+    pokeBytes(addr, &value, sizeof(value));
+}
+
+void
+Program::pokeDouble(Addr addr, double value)
+{
+    pokeBytes(addr, &value, sizeof(value));
+}
+
+namespace
+{
+
+bool
+regInRange(RegId r)
+{
+    switch (r.cls) {
+      case RegClass::kNone:
+        return true;
+      case RegClass::kInt:
+        return r.idx < kNumIntRegs;
+      case RegClass::kFp:
+        return r.idx < kNumFpRegs;
+      case RegClass::kPred:
+        return r.idx < kNumPredRegs;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+Program::validate(const GroupLimits &limits) const
+{
+    std::ostringstream err;
+    const InstIdx n = size();
+    if (n == 0)
+        return "empty program";
+    if (!_insts[n - 1].stop)
+        return "final instruction lacks a stop bit";
+
+    bool has_halt = false;
+    for (InstIdx i = 0; i < n; ++i) {
+        const Instruction &in = _insts[i];
+        if (in.isHalt())
+            has_halt = true;
+        if (!regInRange(in.qpred) || !regInRange(in.dst) ||
+            !regInRange(in.dst2) || !regInRange(in.src1) ||
+            !regInRange(in.src2)) {
+            err << "inst " << i << ": register index out of range";
+            return err.str();
+        }
+        if (in.qpred.cls != RegClass::kPred) {
+            err << "inst " << i << ": qualifying predicate is not a "
+                << "predicate register";
+            return err.str();
+        }
+        if (in.isBranch()) {
+            // A taken branch squashes younger slots of its own group;
+            // we sidestep that complexity by requiring branches to be
+            // group-final (the scheduler always emits them that way).
+            if (!in.stop) {
+                err << "inst " << i << ": branch is not the final slot "
+                    << "of its issue group";
+                return err.str();
+            }
+            if (in.imm < 0 || in.imm >= static_cast<std::int64_t>(n)) {
+                err << "inst " << i << ": branch target " << in.imm
+                    << " out of range";
+                return err.str();
+            }
+            if (!isGroupLeader(static_cast<InstIdx>(in.imm))) {
+                err << "inst " << i << ": branch target " << in.imm
+                    << " is not an issue-group leader";
+                return err.str();
+            }
+        }
+    }
+    if (!has_halt)
+        return "program has no halt instruction";
+
+    // Per-group resource and dependence checks.
+    for (InstIdx leader = 0; leader < n; leader = _groupEnd[leader]) {
+        const InstIdx end = _groupEnd[leader];
+        unsigned alu = 0, mem = 0, fp = 0, br = 0;
+        // Written registers in this group, for RAW/WAW detection.
+        std::vector<RegId> written;
+        bool group_has_store = false;
+        for (InstIdx i = leader; i < end; ++i) {
+            const Instruction &in = _insts[i];
+            // Memory ordering within a group: once a store appears,
+            // no further memory operation may share the group (the
+            // two-pass merge logic relies on this; the scheduler's
+            // conservative memory edges always satisfy it).
+            if (in.isMem()) {
+                if (group_has_store) {
+                    err << "inst " << i
+                        << ": memory op follows a store in its group";
+                    return err.str();
+                }
+                if (in.isStore())
+                    group_has_store = true;
+            }
+            switch (in.unit()) {
+              case UnitClass::kAlu: ++alu; break;
+              case UnitClass::kMem: ++mem; break;
+              case UnitClass::kFp: ++fp; break;
+              case UnitClass::kBranch: ++br; break;
+            }
+            std::array<RegId, 4> srcs;
+            unsigned ns = in.sources(srcs);
+            for (unsigned s = 0; s < ns; ++s) {
+                for (const RegId &w : written) {
+                    if (srcs[s] == w) {
+                        err << "inst " << i << ": intra-group RAW on "
+                            << regName(w);
+                        return err.str();
+                    }
+                }
+            }
+            std::array<RegId, 2> dsts;
+            unsigned nd = in.destinations(dsts);
+            for (unsigned d = 0; d < nd; ++d) {
+                // Hardwired registers may not be written.
+                if ((dsts[d].cls == RegClass::kInt && dsts[d].idx == 0) ||
+                    (dsts[d].cls == RegClass::kFp && dsts[d].idx == 0) ||
+                    (dsts[d].cls == RegClass::kPred && dsts[d].idx == 0)) {
+                    err << "inst " << i << ": write to hardwired "
+                        << regName(dsts[d]);
+                    return err.str();
+                }
+                for (const RegId &w : written) {
+                    if (dsts[d] == w) {
+                        err << "inst " << i << ": intra-group WAW on "
+                            << regName(w);
+                        return err.str();
+                    }
+                }
+                written.push_back(dsts[d]);
+            }
+        }
+        const unsigned total = end - leader;
+        if (total > limits.issueWidth || alu > limits.aluUnits ||
+            mem > limits.memUnits || fp > limits.fpUnits ||
+            br > limits.branchUnits) {
+            err << "group at " << leader << " oversubscribes resources ("
+                << total << " slots, " << alu << " alu, " << mem
+                << " mem, " << fp << " fp, " << br << " br)";
+            return err.str();
+        }
+    }
+    return "";
+}
+
+} // namespace isa
+} // namespace ff

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A complete ffvm program: the static instruction stream (with stop
+ * bits delimiting issue groups), an initial data image, and derived
+ * issue-group navigation tables used by the fetch and issue logic.
+ */
+
+#ifndef FF_ISA_PROGRAM_HH
+#define FF_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace ff
+{
+namespace isa
+{
+
+/**
+ * Page-based sparse initial-memory image. Pages are 4 KiB and
+ * zero-filled on first touch, so initializing megabytes of workload
+ * data stays cheap.
+ */
+class DataImage
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+
+    /** Writes raw bytes at @p addr. */
+    void write(Addr addr, const void *bytes, std::size_t len);
+
+    /** Reads one byte (zero if untouched); for tests. */
+    std::uint8_t read(Addr addr) const;
+
+    /** Page-base -> page-content map (pages are kPageBytes long). */
+    const std::map<Addr, std::vector<std::uint8_t>> &pages() const
+    {
+        return _pages;
+    }
+
+  private:
+    std::map<Addr, std::vector<std::uint8_t>> _pages;
+};
+
+class Program;
+
+/**
+ * Returns a copy of @p prog with a stop bit on every instruction —
+ * one-instruction issue groups, i.e. plain sequential semantics.
+ * Branch targets stay valid (every instruction becomes a leader).
+ * This is the canonical way to hand arbitrary grouped (or ungrouped)
+ * code to the scheduler, which re-forms the groups itself.
+ */
+Program sequentialize(const Program &prog);
+
+/** Machine resource widths used to validate issue groups. */
+struct GroupLimits
+{
+    unsigned issueWidth = 8;
+    unsigned aluUnits = 5;
+    unsigned memUnits = 3;
+    unsigned fpUnits = 3;
+    unsigned branchUnits = 3;
+};
+
+/**
+ * An executable program image. Instruction addresses are instruction
+ * indices; the I-cache maps them to byte addresses by a fixed 16-byte
+ * encoding per instruction (an IA-64 bundle is 16 bytes for 3 slots;
+ * we charge a generous fixed size per slot to keep the I-side simple).
+ */
+class Program
+{
+  public:
+    /** Bytes charged per instruction for I-cache purposes. */
+    static constexpr Addr kBytesPerInst = 16;
+
+    /** Base virtual address of the text segment. */
+    static constexpr Addr kTextBase = 0x4000'0000;
+
+    Program() = default;
+    Program(std::string name, std::vector<Instruction> insts);
+
+    const std::string &name() const { return _name; }
+    void setName(std::string n) { _name = std::move(n); }
+
+    const std::vector<Instruction> &insts() const { return _insts; }
+    const Instruction &inst(InstIdx i) const { return _insts.at(i); }
+    InstIdx size() const { return static_cast<InstIdx>(_insts.size()); }
+
+    /** Index of the first instruction of the group containing @p i. */
+    InstIdx groupStart(InstIdx i) const { return _groupStart.at(i); }
+
+    /**
+     * Index one past the last instruction of the group containing
+     * @p i (i.e., the start of the next group, or size()).
+     */
+    InstIdx groupEnd(InstIdx i) const { return _groupEnd.at(i); }
+
+    /** Instruction index of the fall-through successor group. */
+    InstIdx nextGroup(InstIdx group_leader) const
+    {
+        return groupEnd(group_leader);
+    }
+
+    /** True if @p i is the first slot of an issue group. */
+    bool isGroupLeader(InstIdx i) const
+    {
+        return i < size() && _groupStart[i] == i;
+    }
+
+    /** Fetch-time byte address of instruction @p i. */
+    static Addr instAddr(InstIdx i)
+    {
+        return kTextBase + static_cast<Addr>(i) * kBytesPerInst;
+    }
+
+    /** Writes raw bytes into the initial data image. */
+    void pokeBytes(Addr addr, const void *bytes, std::size_t len);
+
+    /** Convenience: poke a 64-bit little-endian word. */
+    void poke64(Addr addr, std::uint64_t value);
+
+    /** Convenience: poke a 32-bit little-endian word. */
+    void poke32(Addr addr, std::uint32_t value);
+
+    /** Convenience: poke an IEEE double. */
+    void pokeDouble(Addr addr, double value);
+
+    /** The initial data image. */
+    const DataImage &dataImage() const { return _data; }
+
+    /**
+     * Structural validation: stop bit on the final instruction,
+     * branch targets land on group leaders, group resource usage fits
+     * @p limits, register indices in range, no intra-group RAW or WAW
+     * register dependences (EPIC group semantics: reads observe
+     * pre-group state).
+     *
+     * @return empty string if valid, else a description of the first
+     *         violation found.
+     */
+    std::string validate(const GroupLimits &limits = GroupLimits()) const;
+
+  private:
+    void rebuildGroups();
+
+    std::string _name;
+    std::vector<Instruction> _insts;
+    std::vector<InstIdx> _groupStart;
+    std::vector<InstIdx> _groupEnd;
+    DataImage _data;
+};
+
+} // namespace isa
+} // namespace ff
+
+#endif // FF_ISA_PROGRAM_HH

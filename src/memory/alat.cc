@@ -1,0 +1,89 @@
+#include "memory/alat.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+void
+Alat::allocate(DynId id, Addr addr, unsigned size)
+{
+    ++_stats.allocations;
+    // Reclaim fifo slots whose entries were already released (merged
+    // loads or squashes) before deciding whether a real eviction is
+    // needed.
+    while (!_fifo.empty() &&
+           _entries.find(_fifo.front()) == _entries.end()) {
+        _fifo.pop_front();
+    }
+    if (_capacity != 0 && _entries.size() >= _capacity) {
+        // FIFO-evict the oldest still-live entry.
+        while (!_fifo.empty()) {
+            DynId victim = _fifo.front();
+            _fifo.pop_front();
+            auto it = _entries.find(victim);
+            if (it != _entries.end()) {
+                _entries.erase(it);
+                ++_stats.capacityEvictions;
+                break;
+            }
+        }
+    }
+    _entries[id] = {addr, size};
+    _fifo.push_back(id);
+}
+
+void
+Alat::invalidateOverlap(Addr addr, unsigned size)
+{
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        const bool overlap = addr < it->second.addr + it->second.size &&
+                             it->second.addr < addr + size;
+        if (overlap) {
+            it = _entries.erase(it);
+            ++_stats.storeInvalidations;
+        } else {
+            ++it;
+        }
+    }
+}
+
+bool
+Alat::check(DynId id)
+{
+    const bool present = _entries.count(id) != 0;
+    if (present)
+        ++_stats.checksPassed;
+    else
+        ++_stats.checksFailed;
+    return present;
+}
+
+void
+Alat::remove(DynId id)
+{
+    _entries.erase(id);
+}
+
+void
+Alat::squashYoungerThan(DynId boundary)
+{
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        if (it->first > boundary)
+            it = _entries.erase(it);
+        else
+            ++it;
+    }
+    while (!_fifo.empty() && _fifo.back() > boundary)
+        _fifo.pop_back();
+}
+
+void
+Alat::clear()
+{
+    _entries.clear();
+    _fifo.clear();
+}
+
+} // namespace memory
+} // namespace ff

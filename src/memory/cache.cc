@@ -1,0 +1,132 @@
+#include "memory/cache.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+Cache::Cache(std::string name, const CacheGeometry &geom)
+    : _name(std::move(name)), _geom(geom)
+{
+    ff_fatal_if(geom.lineBytes == 0 ||
+                    (geom.lineBytes & (geom.lineBytes - 1)) != 0,
+                _name, ": line size must be a power of two");
+    ff_fatal_if(geom.assoc == 0, _name, ": zero associativity");
+    ff_fatal_if(geom.sizeBytes % (geom.lineBytes * geom.assoc) != 0,
+                _name, ": size not divisible by line*assoc");
+    _numSets = geom.sizeBytes / (geom.lineBytes * geom.assoc);
+    ff_fatal_if(_numSets == 0, _name, ": zero sets");
+    _lines.assign(_numSets * geom.assoc, Line());
+}
+
+std::size_t
+Cache::setIndex(Addr a) const
+{
+    return (a / _geom.lineBytes) % _numSets;
+}
+
+Addr
+Cache::tagOf(Addr a) const
+{
+    return a / _geom.lineBytes / _numSets;
+}
+
+bool
+Cache::access(Addr a, bool set_dirty)
+{
+    Line *set = &_lines[setIndex(a) * _geom.assoc];
+    const Addr tag = tagOf(a);
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lruStamp = ++_clock;
+            if (set_dirty)
+                set[w].dirty = true;
+            ++_hits;
+            return true;
+        }
+    }
+    ++_misses;
+    return false;
+}
+
+bool
+Cache::contains(Addr a) const
+{
+    const Line *set = &_lines[setIndex(a) * _geom.assoc];
+    const Addr tag = tagOf(a);
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Eviction
+Cache::insert(Addr a, bool dirty)
+{
+    Line *set = &_lines[setIndex(a) * _geom.assoc];
+    const Addr tag = tagOf(a);
+    // Already present (e.g. racing fills): refresh only.
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lruStamp = ++_clock;
+            set[w].dirty = set[w].dirty || dirty;
+            return {};
+        }
+    }
+    // Choose an invalid way, else the LRU way.
+    unsigned victim = 0;
+    bool found_invalid = false;
+    std::uint64_t oldest = ~0ULL;
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (!set[w].valid) {
+            victim = w;
+            found_invalid = true;
+            break;
+        }
+        if (set[w].lruStamp < oldest) {
+            oldest = set[w].lruStamp;
+            victim = w;
+        }
+    }
+    Eviction ev;
+    if (!found_invalid) {
+        ev.valid = true;
+        ev.dirty = set[victim].dirty;
+        // Reconstruct the victim's line address.
+        ev.lineAddr = (set[victim].tag * _numSets + setIndex(a)) *
+                      _geom.lineBytes;
+        ++_evictions;
+        if (ev.dirty)
+            ++_writebacks;
+    }
+    set[victim] = {true, dirty, tag, ++_clock};
+    return ev;
+}
+
+void
+Cache::invalidate(Addr a)
+{
+    Line *set = &_lines[setIndex(a) * _geom.assoc];
+    const Addr tag = tagOf(a);
+    for (unsigned w = 0; w < _geom.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : _lines)
+        l = Line();
+    _clock = 0;
+    _hits = _misses = _evictions = _writebacks = 0;
+}
+
+} // namespace memory
+} // namespace ff

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A tag-only set-associative cache with true-LRU replacement. Data
+ * values live in SparseMemory (the functional source of truth); the
+ * caches model *timing* state: presence, dirtiness and recency.
+ */
+
+#ifndef FF_MEMORY_CACHE_HH
+#define FF_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+/** Geometry and access time of one cache level. */
+struct CacheGeometry
+{
+    std::size_t sizeBytes;
+    unsigned assoc;
+    unsigned lineBytes;
+    /** Load-to-use latency when the access is serviced here. */
+    unsigned latency;
+};
+
+/** Result of inserting a line: what was evicted, if anything. */
+struct Eviction
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+};
+
+/** One level of tag state. */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheGeometry &geom);
+
+    const std::string &name() const { return _name; }
+    const CacheGeometry &geometry() const { return _geom; }
+
+    /** Line-aligns @p a for this level. */
+    Addr lineAddr(Addr a) const { return a & ~static_cast<Addr>(
+        _geom.lineBytes - 1); }
+
+    /**
+     * Probes for @p a; updates LRU on hit.
+     * @param set_dirty mark the line dirty on hit (store access)
+     * @return true on hit
+     */
+    bool access(Addr a, bool set_dirty);
+
+    /** Probe without touching LRU/dirty state (for tests/debug). */
+    bool contains(Addr a) const;
+
+    /**
+     * Installs the line containing @p a, evicting the LRU way if the
+     * set is full.
+     * @param dirty install in dirty state (store fill)
+     */
+    Eviction insert(Addr a, bool dirty);
+
+    /** Invalidates a line if present (back-invalidation). */
+    void invalidate(Addr a);
+
+    /** Drops all tag state (used between harness runs). */
+    void reset();
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t evictions() const { return _evictions; }
+    std::uint64_t writebacks() const { return _writebacks; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr a) const;
+    Addr tagOf(Addr a) const;
+
+    std::string _name;
+    CacheGeometry _geom;
+    std::size_t _numSets;
+    std::vector<Line> _lines; ///< _numSets * assoc, set-major
+    std::uint64_t _clock = 0; ///< LRU timestamp source
+
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+    std::uint64_t _writebacks = 0;
+};
+
+} // namespace memory
+} // namespace ff
+
+#endif // FF_MEMORY_CACHE_HH

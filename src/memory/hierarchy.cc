@@ -1,0 +1,185 @@
+#include "memory/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+const char *
+memLevelName(MemLevel l)
+{
+    switch (l) {
+      case MemLevel::kL1: return "L1";
+      case MemLevel::kL2: return "L2";
+      case MemLevel::kL3: return "L3";
+      case MemLevel::kMemory: return "Mem";
+    }
+    return "?";
+}
+
+Hierarchy::Hierarchy(const MemoryConfig &cfg)
+    : _cfg(cfg),
+      _l1i("l1i", cfg.l1i),
+      _l1d("l1d", cfg.l1d),
+      _l2("l2", cfg.l2),
+      _l3("l3", cfg.l3)
+{
+}
+
+void
+Hierarchy::tick(Cycle now)
+{
+    while (!_pendingFills.empty() && _pendingFills.begin()->first <= now) {
+        const PendingFill f = _pendingFills.begin()->second;
+        _pendingFills.erase(_pendingFills.begin());
+
+        // Install bottom-up so inclusive-ish state is sensible.
+        if (f.from == MemLevel::kMemory) {
+            _l3.insert(f.l1Line, false);
+            _l2.insert(f.l1Line, false);
+        } else if (f.from == MemLevel::kL3) {
+            _l2.insert(f.l1Line, false);
+        }
+        Cache &l1 = f.isInst ? _l1i : _l1d;
+        l1.insert(f.l1Line, f.dirty);
+
+        auto &in_flight = f.isInst ? _inFlightInst : _inFlightData;
+        in_flight.erase(f.l1Line);
+    }
+    // Expire MSHRs whose loads have completed.
+    while (!_outstandingLoads.empty() && _outstandingLoads.front() <= now)
+        _outstandingLoads.pop_front();
+}
+
+bool
+Hierarchy::loadSlotAvailable(Cycle now) const
+{
+    return outstandingLoads(now) < _cfg.maxOutstandingLoads;
+}
+
+unsigned
+Hierarchy::outstandingLoads(Cycle now) const
+{
+    // _outstandingLoads is kept sorted by completion (monotonic issue
+    // order does not guarantee that, so count rather than assume).
+    unsigned n = 0;
+    for (Cycle c : _outstandingLoads) {
+        if (c > now)
+            ++n;
+    }
+    return n;
+}
+
+AccessResult
+Hierarchy::missPath(AccessKind kind, Addr addr, bool is_inst, Cycle now)
+{
+    AccessResult r{};
+    const bool is_store = kind == AccessKind::kStore;
+    if (_l2.access(addr, false)) {
+        r.level = MemLevel::kL2;
+        r.latency = _cfg.l2.latency;
+    } else if (_l3.access(addr, false)) {
+        r.level = MemLevel::kL3;
+        r.latency = _cfg.l3.latency;
+    } else {
+        r.level = MemLevel::kMemory;
+        r.latency = _cfg.memoryLatency;
+    }
+
+    Cache &l1 = is_inst ? _l1i : _l1d;
+    const Addr line = l1.lineAddr(addr);
+    const Cycle due = now + r.latency;
+    _pendingFills.emplace(due, PendingFill{line, is_inst, is_store,
+                                           r.level});
+    auto &in_flight = is_inst ? _inFlightInst : _inFlightData;
+    in_flight.emplace(line, due);
+
+    if (kind == AccessKind::kLoad)
+        _outstandingLoads.push_back(due);
+    return r;
+}
+
+AccessResult
+Hierarchy::access(AccessKind kind, Initiator who, Addr addr, Cycle now)
+{
+    const bool is_inst = kind == AccessKind::kInstFetch;
+    const bool is_store = kind == AccessKind::kStore;
+    Cache &l1 = is_inst ? _l1i : _l1d;
+
+    AccessResult r{};
+    if (l1.access(addr, is_store)) {
+        r.level = MemLevel::kL1;
+        r.latency = l1.geometry().latency;
+    } else {
+        // Merge into an in-flight fill of the same L1 line?
+        auto &in_flight = is_inst ? _inFlightInst : _inFlightData;
+        auto it = in_flight.find(l1.lineAddr(addr));
+        if (it != in_flight.end()) {
+            const Cycle due = it->second;
+            r.latency = static_cast<unsigned>(
+                std::max<Cycle>(l1.geometry().latency,
+                                due > now ? due - now : 0));
+            // Attribute to the L1 for stats: the long-latency portion
+            // was charged to the access that started the fill.
+            r.level = MemLevel::kL1;
+            r.mergedInFlight = true;
+        } else {
+            r = missPath(kind, addr, is_inst, now);
+            if (kind == AccessKind::kLoad && _cfg.prefetchDegree > 0) {
+                // Next-line prefetch behind the demand miss.
+                const unsigned line = l1.geometry().lineBytes;
+                for (unsigned d = 1; d <= _cfg.prefetchDegree; ++d) {
+                    const Addr next =
+                        l1.lineAddr(addr) + static_cast<Addr>(d) * line;
+                    if (l1.contains(next) ||
+                        in_flight.count(l1.lineAddr(next)) != 0) {
+                        continue;
+                    }
+                    ++_prefetches;
+                    // Probe the lower levels (LRU-touching, like a
+                    // real prefetch) and schedule the fill; no MSHR.
+                    unsigned lat;
+                    if (_l2.access(next, false))
+                        lat = _cfg.l2.latency;
+                    else if (_l3.access(next, false))
+                        lat = _cfg.l3.latency;
+                    else
+                        lat = _cfg.memoryLatency;
+                    const Cycle due = now + lat;
+                    _pendingFills.emplace(
+                        due, PendingFill{l1.lineAddr(next), is_inst,
+                                         false, MemLevel::kL1});
+                    in_flight.emplace(l1.lineAddr(next), due);
+                }
+            }
+        }
+    }
+    if (is_inst)
+        _instStats.record(who, r.level, r.latency);
+    else
+        _stats.record(who, r.level, r.latency);
+    return r;
+}
+
+void
+Hierarchy::reset()
+{
+    _l1i.reset();
+    _l1d.reset();
+    _l2.reset();
+    _l3.reset();
+    _pendingFills.clear();
+    _inFlightData.clear();
+    _inFlightInst.clear();
+    _outstandingLoads.clear();
+    _stats.reset();
+    _instStats.reset();
+    _prefetches = 0;
+}
+
+} // namespace memory
+} // namespace ff

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The four-level memory hierarchy of Table 1: split 16KB L1I/L1D,
+ * unified 256KB L2 and 1.5MB L3, 145-cycle main memory, with up to
+ * 16 outstanding loads (MSHRs) and merging of accesses into in-flight
+ * fills. Caches are tag-only; values come from SparseMemory.
+ *
+ * Every access records its initiator (baseline pipe, A-pipe, B-pipe)
+ * and the level that serviced it, weighted by latency — exactly the
+ * accounting behind the paper's Figure 7.
+ */
+
+#ifndef FF_MEMORY_HIERARCHY_HH
+#define FF_MEMORY_HIERARCHY_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "memory/cache.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+/** Which level serviced an access. */
+enum class MemLevel : std::uint8_t
+{
+    kL1 = 0,
+    kL2 = 1,
+    kL3 = 2,
+    kMemory = 3,
+};
+inline constexpr unsigned kNumMemLevels = 4;
+
+const char *memLevelName(MemLevel l);
+
+/** What kind of access is being made. */
+enum class AccessKind : std::uint8_t
+{
+    kInstFetch,
+    kLoad,
+    kStore,
+};
+
+/** Who initiated the access (Figure 7's categories). */
+enum class Initiator : std::uint8_t
+{
+    kBaseline = 0,
+    kApipe = 1,
+    kBpipe = 2,
+    kRunahead = 3,
+};
+inline constexpr unsigned kNumInitiators = 4;
+
+/** Configuration of the full hierarchy (defaults per Table 1). */
+struct MemoryConfig
+{
+    CacheGeometry l1i{16 * 1024, 4, 64, 2};
+    CacheGeometry l1d{16 * 1024, 4, 64, 2};
+    CacheGeometry l2{256 * 1024, 8, 128, 5};
+    CacheGeometry l3{3 * 512 * 1024, 12, 128, 15};
+    unsigned memoryLatency = 145;
+    unsigned maxOutstandingLoads = 16;
+
+    /**
+     * Next-line hardware prefetch degree on the data side: a demand
+     * load miss also requests the following N L1 lines (0 = off,
+     * the Table 1 machine). Prefetches use their own request slots
+     * (no MSHR pressure) — an idealization noted in DESIGN.md.
+     */
+    unsigned prefetchDegree = 0;
+};
+
+/** Outcome of a timed access. */
+struct AccessResult
+{
+    MemLevel level;    ///< level that services the access
+    unsigned latency;  ///< cycles until the value is usable
+    bool mergedInFlight = false; ///< folded into an outstanding fill
+};
+
+/** Per-(initiator, level) access accounting for Figure 7. */
+struct AccessStats
+{
+    std::array<std::array<std::uint64_t, kNumMemLevels>, kNumInitiators>
+        counts{};
+    std::array<std::array<std::uint64_t, kNumMemLevels>, kNumInitiators>
+        weightedCycles{};
+
+    void
+    record(Initiator who, MemLevel level, unsigned latency)
+    {
+        auto w = static_cast<unsigned>(who);
+        auto l = static_cast<unsigned>(level);
+        ++counts[w][l];
+        weightedCycles[w][l] += latency;
+    }
+
+    void reset() { counts = {}; weightedCycles = {}; }
+};
+
+/**
+ * The timed memory system. Call tick(now) once per cycle before any
+ * access in that cycle so due fills land first.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const MemoryConfig &cfg);
+
+    /** Processes fills that complete at or before @p now. */
+    void tick(Cycle now);
+
+    /**
+     * Performs a timed access.
+     *
+     * Loads that miss the L1 are either merged into an in-flight fill
+     * of the same L1 line (no new MSHR) or allocate an MSHR slot --
+     * callers must have checked loadSlotAvailable(). Stores never
+     * take an MSHR (a write buffer is assumed); they allocate lines
+     * (write-allocate) and dirty them. Instruction fetches go through
+     * the L1I and share L2/L3.
+     */
+    AccessResult access(AccessKind kind, Initiator who, Addr addr,
+                        Cycle now);
+
+    /** True if a load missing the L1 could allocate an MSHR now. */
+    bool loadSlotAvailable(Cycle now) const;
+
+    /** Current number of loads outstanding past the L1. */
+    unsigned outstandingLoads(Cycle now) const;
+
+    /** Data-side next-line prefetches issued so far. */
+    std::uint64_t prefetchesIssued() const { return _prefetches; }
+
+    /** Data-side (load/store) accounting — Figure 7's input. */
+    const AccessStats &accessStats() const { return _stats; }
+    AccessStats &accessStats() { return _stats; }
+
+    /** Instruction-fetch accounting, kept separate from Figure 7. */
+    const AccessStats &instAccessStats() const { return _instStats; }
+
+    Cache &l1i() { return _l1i; }
+    Cache &l1d() { return _l1d; }
+    Cache &l2() { return _l2; }
+    Cache &l3() { return _l3; }
+    const MemoryConfig &config() const { return _cfg; }
+
+    /** Clears all tag state, fills and stats. */
+    void reset();
+
+  private:
+    struct PendingFill
+    {
+        Addr l1Line;       ///< L1-granularity line address
+        bool isInst;       ///< fill L1I instead of L1D
+        bool dirty;        ///< install dirty in the L1 (store fill)
+        MemLevel from;     ///< level that supplied the line
+    };
+
+    /** Looks up levels below L1; schedules the fill; returns result. */
+    AccessResult missPath(AccessKind kind, Addr addr, bool is_inst,
+                          Cycle now);
+
+    MemoryConfig _cfg;
+    Cache _l1i;
+    Cache _l1d;
+    Cache _l2;
+    Cache _l3;
+
+    /** Fills in flight, ordered by completion cycle. */
+    std::multimap<Cycle, PendingFill> _pendingFills;
+
+    /** L1-line -> completion cycle, for merge detection. */
+    std::unordered_map<Addr, Cycle> _inFlightData;
+    std::unordered_map<Addr, Cycle> _inFlightInst;
+
+    /** Completion cycles of loads occupying MSHRs. */
+    std::deque<Cycle> _outstandingLoads;
+
+    AccessStats _stats;
+    AccessStats _instStats;
+    std::uint64_t _prefetches = 0;
+};
+
+} // namespace memory
+} // namespace ff
+
+#endif // FF_MEMORY_HIERARCHY_HH

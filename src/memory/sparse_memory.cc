@@ -1,0 +1,107 @@
+#include "memory/sparse_memory.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr a) const
+{
+    auto it = _pages.find(a / kPageBytes);
+    return it == _pages.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::pageFor(Addr a)
+{
+    auto [it, inserted] = _pages.try_emplace(a / kPageBytes);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr a) const
+{
+    const Page *p = findPage(a);
+    return p ? (*p)[a % kPageBytes] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr a, std::uint8_t v)
+{
+    pageFor(a)[a % kPageBytes] = v;
+}
+
+std::uint64_t
+SparseMemory::read(Addr a, unsigned size) const
+{
+    ff_panic_if(size > 8, "oversized memory read");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(readByte(a + i)) << (8 * i);
+    return v;
+}
+
+void
+SparseMemory::write(Addr a, std::uint64_t v, unsigned size)
+{
+    ff_panic_if(size > 8, "oversized memory write");
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+SparseMemory::loadPages(
+    const std::map<Addr, std::vector<std::uint8_t>> &pages)
+{
+    for (const auto &[base, bytes] : pages) {
+        std::size_t i = 0;
+        while (i < bytes.size()) {
+            Page &p = pageFor(base + i);
+            const std::size_t off = (base + i) % kPageBytes;
+            const std::size_t chunk =
+                std::min(bytes.size() - i, kPageBytes - off);
+            std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                      bytes.begin() +
+                          static_cast<std::ptrdiff_t>(i + chunk),
+                      p.begin() + static_cast<std::ptrdiff_t>(off));
+            i += chunk;
+        }
+    }
+}
+
+std::uint64_t
+SparseMemory::fingerprint() const
+{
+    // Hash each non-zero page independently, then combine with
+    // addition so iteration order doesn't matter.
+    std::uint64_t total = 0;
+    for (const auto &[page_no, page] : _pages) {
+        bool all_zero = true;
+        for (std::uint8_t b : page) {
+            if (b != 0) {
+                all_zero = false;
+                break;
+            }
+        }
+        if (all_zero)
+            continue;
+        std::uint64_t h = 1469598103934665603ULL ^ page_no;
+        for (std::uint8_t b : page) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+        total += h;
+    }
+    return total;
+}
+
+} // namespace memory
+} // namespace ff

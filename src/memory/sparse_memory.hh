@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Byte-addressable sparse memory backing the simulated machine's
+ * architectural (and, in the A-pipe, speculative) data state. Pages
+ * are allocated on first touch; untouched bytes read as zero, so
+ * wrong-path and pre-executed accesses to arbitrary addresses are
+ * always safe (EPIC speculative loads are non-faulting).
+ */
+
+#ifndef FF_MEMORY_SPARSE_MEMORY_HH
+#define FF_MEMORY_SPARSE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+/** Sparse, zero-initialized, 64-bit address space. */
+class SparseMemory
+{
+  public:
+    static constexpr Addr kPageBytes = 4096;
+
+    SparseMemory() = default;
+
+    std::uint8_t readByte(Addr a) const;
+    void writeByte(Addr a, std::uint8_t v);
+
+    /** Little-endian multi-byte accessors. @p size in {1,2,4,8}. */
+    std::uint64_t read(Addr a, unsigned size) const;
+    void write(Addr a, std::uint64_t v, unsigned size);
+
+    std::uint64_t read64(Addr a) const { return read(a, 8); }
+    std::uint32_t read32(Addr a) const
+    {
+        return static_cast<std::uint32_t>(read(a, 4));
+    }
+    void write64(Addr a, std::uint64_t v) { write(a, v, 8); }
+    void write32(Addr a, std::uint32_t v) { write(a, v, 4); }
+
+    /** Loads an initial data image (page-base -> page-bytes map). */
+    void
+    loadPages(const std::map<Addr, std::vector<std::uint8_t>> &pages);
+
+    /**
+     * Order-insensitive FNV-1a digest of all touched pages; used by
+     * tests to compare final memory states across CPU models.
+     * Trailing all-zero pages hash identically to untouched ones.
+     */
+    std::uint64_t fingerprint() const;
+
+    std::size_t touchedPages() const { return _pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    const Page *findPage(Addr a) const;
+    Page &pageFor(Addr a);
+
+    std::unordered_map<Addr, Page> _pages;
+};
+
+} // namespace memory
+} // namespace ff
+
+#endif // FF_MEMORY_SPARSE_MEMORY_HH

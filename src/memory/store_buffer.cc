@@ -1,0 +1,71 @@
+#include "memory/store_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace memory
+{
+
+void
+StoreBuffer::insert(DynId id, Addr addr, unsigned size,
+                    std::uint64_t value)
+{
+    ff_panic_if(full(), "store buffer overflow (caller must check)");
+    ff_panic_if(!_entries.empty() && _entries.back().id >= id,
+                "store buffer entries out of order");
+    _entries.push_back({id, addr, size, value});
+}
+
+std::uint64_t
+StoreBuffer::read(DynId load_id, Addr addr, unsigned size,
+                  const SparseMemory &mem, bool *any_forwarded) const
+{
+    std::uint64_t result = 0;
+    bool forwarded = false;
+    for (unsigned byte = 0; byte < size; ++byte) {
+        const Addr a = addr + byte;
+        std::uint8_t v = 0;
+        bool from_buffer = false;
+        // Youngest-first scan for the byte's most recent older store.
+        for (auto it = _entries.rbegin(); it != _entries.rend(); ++it) {
+            if (it->id >= load_id)
+                continue;
+            if (a >= it->addr && a < it->addr + it->size) {
+                v = static_cast<std::uint8_t>(
+                    it->value >> (8 * (a - it->addr)));
+                from_buffer = true;
+                break;
+            }
+        }
+        if (!from_buffer)
+            v = mem.readByte(a);
+        else
+            forwarded = true;
+        result |= static_cast<std::uint64_t>(v) << (8 * byte);
+    }
+    if (any_forwarded)
+        *any_forwarded = forwarded;
+    return result;
+}
+
+void
+StoreBuffer::commitOldest(DynId id, SparseMemory &mem)
+{
+    ff_panic_if(_entries.empty(), "commit from empty store buffer");
+    const StoreBufferEntry &e = _entries.front();
+    ff_panic_if(e.id != id, "store buffer commit order violation: head ",
+                e.id, " vs requested ", id);
+    mem.write(e.addr, e.value, e.size);
+    _entries.pop_front();
+}
+
+void
+StoreBuffer::squashYoungerThan(DynId boundary)
+{
+    while (!_entries.empty() && _entries.back().id > boundary)
+        _entries.pop_back();
+}
+
+} // namespace memory
+} // namespace ff

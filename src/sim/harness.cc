@@ -1,0 +1,87 @@
+#include "sim/harness.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+const char *
+cpuKindName(CpuKind k)
+{
+    switch (k) {
+      case CpuKind::kBaseline: return "base";
+      case CpuKind::kTwoPass: return "2P";
+      case CpuKind::kTwoPassRegroup: return "2Pre";
+      case CpuKind::kRunahead: return "runahead";
+    }
+    return "?";
+}
+
+SimOutcome
+simulate(const isa::Program &prog, CpuKind kind,
+         const cpu::CoreConfig &cfg, std::uint64_t max_cycles)
+{
+    SimOutcome out;
+    out.kind = kind;
+
+    cpu::CoreConfig run_cfg = cfg;
+    if (kind == CpuKind::kTwoPassRegroup)
+        run_cfg.regroup = true;
+
+    std::unique_ptr<cpu::CpuModel> model;
+    switch (kind) {
+      case CpuKind::kBaseline:
+        model = std::make_unique<cpu::BaselineCpu>(prog, run_cfg);
+        break;
+      case CpuKind::kTwoPass:
+      case CpuKind::kTwoPassRegroup:
+        model = std::make_unique<cpu::TwoPassCpu>(prog, run_cfg);
+        break;
+      case CpuKind::kRunahead:
+        model = std::make_unique<cpu::RunaheadCpu>(prog, run_cfg);
+        break;
+    }
+
+    out.run = model->run(max_cycles);
+    ff_fatal_if(!out.run.halted, "model ", cpuKindName(kind),
+                " did not halt within ", max_cycles, " cycles on '",
+                prog.name(), "'");
+
+    out.cycles = model->cycleAccounting();
+    out.accesses = model->hierarchy().accessStats();
+    out.branches = model->predictor().stats();
+    out.regFingerprint = model->archRegs().fingerprint();
+    out.memFingerprint = model->memState().fingerprint();
+    out.checksum = model->memState().read64(workloads::kChecksumAddr);
+
+    if (auto *tp = dynamic_cast<cpu::TwoPassCpu *>(model.get())) {
+        out.twopass = tp->stats();
+        out.alat = tp->alatStats();
+    }
+    if (auto *ra = dynamic_cast<cpu::RunaheadCpu *>(model.get()))
+        out.runahead = ra->runaheadStats();
+    return out;
+}
+
+FunctionalOutcome
+runFunctional(const isa::Program &prog)
+{
+    FunctionalOutcome out;
+    cpu::FunctionalCpu ref(prog);
+    out.result = ref.run();
+    ff_fatal_if(!out.result.halted, "functional reference did not halt "
+                                    "on '",
+                prog.name(), "'");
+    out.regFingerprint = ref.regs().fingerprint();
+    out.memFingerprint = ref.mem().fingerprint();
+    out.checksum = ref.mem().read64(workloads::kChecksumAddr);
+    return out;
+}
+
+} // namespace sim
+} // namespace ff

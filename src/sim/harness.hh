@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The experiment harness: runs any CPU model on a program to
+ * completion, collects every statistic the paper's tables and
+ * figures need, and fingerprints architectural state so benches and
+ * tests can cross-check correctness for free.
+ */
+
+#ifndef FF_SIM_HARNESS_HH
+#define FF_SIM_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/baseline/baseline_cpu.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "cpu/runahead/runahead_cpu.hh"
+#include "cpu/twopass/twopass_cpu.hh"
+#include "sim/machine_config.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+/** Which timed model to run. */
+enum class CpuKind
+{
+    kBaseline,       ///< Figure 6 "base"
+    kTwoPass,        ///< Figure 6 "2P"
+    kTwoPassRegroup, ///< Figure 6 "2Pre"
+    kRunahead,       ///< Sec. 2 comparison model
+};
+
+const char *cpuKindName(CpuKind k);
+
+/** Everything a bench needs from one simulation. */
+struct SimOutcome
+{
+    CpuKind kind;
+    cpu::RunResult run;
+    cpu::CycleAccounting cycles;
+    memory::AccessStats accesses;
+    branch::PredictorStats branches;
+    cpu::TwoPassStats twopass;       ///< two-pass kinds only
+    memory::AlatStats alat;          ///< two-pass kinds only
+    cpu::RunaheadStats runahead;     ///< run-ahead kind only
+    std::uint64_t regFingerprint = 0;
+    std::uint64_t memFingerprint = 0;
+    std::uint64_t checksum = 0;      ///< word at the checksum address
+};
+
+/** Default cycle budget: generous, but stops runaway models. */
+inline constexpr std::uint64_t kDefaultMaxCycles = 400'000'000ULL;
+
+/**
+ * Runs @p kind on @p prog. Fails fatally if the model does not halt
+ * within @p max_cycles (a timed model that cannot finish a workload
+ * is a simulator bug, not a result).
+ */
+SimOutcome simulate(const isa::Program &prog, CpuKind kind,
+                    const cpu::CoreConfig &cfg = table1Config(),
+                    std::uint64_t max_cycles = kDefaultMaxCycles);
+
+/** Functional-reference outcome for equivalence checks. */
+struct FunctionalOutcome
+{
+    cpu::FunctionalCpu::Result result;
+    std::uint64_t regFingerprint = 0;
+    std::uint64_t memFingerprint = 0;
+    std::uint64_t checksum = 0;
+};
+
+FunctionalOutcome runFunctional(const isa::Program &prog);
+
+} // namespace sim
+} // namespace ff
+
+#endif // FF_SIM_HARNESS_HH

@@ -1,0 +1,59 @@
+#include "sim/machine_config.hh"
+
+#include <sstream>
+
+namespace ff
+{
+namespace sim
+{
+
+cpu::CoreConfig
+table1Config()
+{
+    // CoreConfig's defaults are Table 1; this function exists so the
+    // benches say what they mean and tests can detect drift.
+    return cpu::CoreConfig();
+}
+
+std::string
+describeConfig(const cpu::CoreConfig &cfg)
+{
+    std::ostringstream oss;
+    const auto &m = cfg.mem;
+    oss << "Functional Units : " << cfg.limits.issueWidth << "-issue, "
+        << cfg.limits.aluUnits << " ALU, " << cfg.limits.memUnits
+        << " Memory, " << cfg.limits.fpUnits << " FP, "
+        << cfg.limits.branchUnits << " Branch\n";
+    oss << "L1I Cache        : " << m.l1i.latency << " cycle, "
+        << m.l1i.sizeBytes / 1024 << "KB, " << m.l1i.assoc << "-way, "
+        << m.l1i.lineBytes << "B lines\n";
+    oss << "L1D Cache        : " << m.l1d.latency << " cycle, "
+        << m.l1d.sizeBytes / 1024 << "KB, " << m.l1d.assoc << "-way, "
+        << m.l1d.lineBytes << "B lines\n";
+    oss << "L2 Cache         : " << m.l2.latency << " cycles, "
+        << m.l2.sizeBytes / 1024 << "KB, " << m.l2.assoc << "-way, "
+        << m.l2.lineBytes << "B lines\n";
+    oss << "L3 Cache         : " << m.l3.latency << " cycles, "
+        << m.l3.sizeBytes / 1024 << "KB, " << m.l3.assoc << "-way, "
+        << m.l3.lineBytes << "B lines\n";
+    oss << "Max Outst. Loads : " << m.maxOutstandingLoads << "\n";
+    oss << "Main memory      : " << m.memoryLatency << " cycles\n";
+    oss << "Branch Predictor : " << cfg.predictorEntries
+        << "-entry gshare\n";
+    oss << "Coupling Queue   : " << cfg.couplingQueueSize
+        << " entry\n";
+    oss << "Two-pass ALAT    : "
+        << (cfg.alatCapacity == 0
+                ? std::string("perfect (no capacity conflicts)")
+                : std::to_string(cfg.alatCapacity) + " entries")
+        << "\n";
+    oss << "Feedback latency : "
+        << (cfg.feedbackEnabled
+                ? std::to_string(cfg.feedbackLatency) + " cycles"
+                : std::string("disabled (inf)"))
+        << "\n";
+    return oss.str();
+}
+
+} // namespace sim
+} // namespace ff

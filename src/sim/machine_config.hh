@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Canonical machine configurations for the experiments: Table 1 of
+ * the paper is the default CoreConfig; helpers render it for bench
+ * headers and build the named variants the figures sweep.
+ */
+
+#ifndef FF_SIM_MACHINE_CONFIG_HH
+#define FF_SIM_MACHINE_CONFIG_HH
+
+#include <string>
+
+#include "cpu/config.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+/** The experimental machine of Table 1. */
+cpu::CoreConfig table1Config();
+
+/** Multi-line, Table-1-shaped description of @p cfg. */
+std::string describeConfig(const cpu::CoreConfig &cfg);
+
+} // namespace sim
+} // namespace ff
+
+#endif // FF_SIM_MACHINE_CONFIG_HH

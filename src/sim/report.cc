@@ -1,0 +1,90 @@
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ff
+{
+namespace sim
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    _rows.insert(_rows.begin(), std::move(cells));
+    _hasHeader = true;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    for (const auto &r : _rows) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+    }
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < _rows.size(); ++i) {
+        const auto &r = _rows[i];
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            oss << r[c];
+            if (c + 1 < r.size()) {
+                oss << std::string(widths[c] - r[c].size() + 2, ' ');
+            }
+        }
+        oss << '\n';
+        if (i == 0 && _hasHeader) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            oss << std::string(total, '-') << '\n';
+        }
+    }
+    return oss.str();
+}
+
+std::string
+fixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+pct(double fraction)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+std::vector<std::string>
+fig6Cells(const cpu::CycleAccounting &acct,
+          std::uint64_t baseline_cycles)
+{
+    std::vector<std::string> cells;
+    const double norm =
+        baseline_cycles == 0 ? 1.0
+                             : static_cast<double>(baseline_cycles);
+    for (unsigned i = 0; i < cpu::kNumCycleClasses; ++i) {
+        cells.push_back(
+            fixed(static_cast<double>(acct.counts[i]) / norm));
+    }
+    cells.push_back(
+        fixed(static_cast<double>(acct.total()) / norm));
+    return cells;
+}
+
+
+} // namespace sim
+} // namespace ff

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text reporting utilities shared by the bench binaries: an
+ * aligned table renderer plus formatting helpers for the paper's
+ * figure/table shapes.
+ */
+
+#ifndef FF_SIM_REPORT_HH
+#define FF_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/cycle_classes.hh"
+#include "memory/hierarchy.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Sets the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Appends a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Renders with padded columns and a rule under the header. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> _rows;
+    bool _hasHeader = false;
+};
+
+/** Fixed-precision double ("1.234"). */
+std::string fixed(double v, int precision = 3);
+
+/** Percentage with one decimal ("42.5%"). */
+std::string pct(double fraction);
+
+/**
+ * One Figure 6 row: cycle-class breakdown normalized to
+ * @p baseline_cycles ("0.12/0.03/... total=0.77").
+ */
+std::vector<std::string> fig6Cells(const cpu::CycleAccounting &acct,
+                                   std::uint64_t baseline_cycles);
+
+
+} // namespace sim
+} // namespace ff
+
+#endif // FF_SIM_REPORT_HH

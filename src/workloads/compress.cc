@@ -1,0 +1,89 @@
+/**
+ * @file
+ * 129.compress stand-in. The paper attributes compress's two-pass
+ * gain to "the absorption of latencies from short but ubiquitous
+ * misses": its hash-table probes mostly miss the small L1 and hit
+ * the L2 (a 5-cycle latency the compiler's hit-latency schedule does
+ * not cover). This kernel interleaves dictionary probes into a 128KB
+ * table (L2 hits) with prefix-table probes into an L1-resident 8KB
+ * table, plus the bit-twiddling of the coder itself.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildCompress(const KernelParams &p)
+{
+    constexpr Addr kTableBase = 0x3000'0000;
+    constexpr std::int64_t kTableEntries = 16384; // 8 B each = 128 KB
+    constexpr Addr kPrefixBase = 0x3800'0000;
+    constexpr std::int64_t kPrefixEntries = 1024; // 8 KB, L1-resident
+    const std::int64_t iters = scaledIters(12000, p.scale);
+
+    isa::ProgramBuilder b("129.compress");
+
+    b.movi(R(3), 0x636F6D70LL); // input state
+    b.movi(R(5), iters);
+    b.movi(R(8), static_cast<std::int64_t>(kTableBase));
+    b.movi(R(9), static_cast<std::int64_t>(kPrefixBase));
+    b.movi(R(31), 0);
+    b.movi(R(20), 0); // output bit buffer
+
+    b.label("loop");
+    rngStep(b, R(3));
+    // Hash the "symbol" into a dictionary slot (L2-dwelling table).
+    randomIndex(b, R(4), R(2), R(3), kTableEntries - 1, 29, 11);
+    // Half the symbols are recent (an L1-hot prefix of the table).
+    b.shri(R(22), R(3), 51);
+    b.andi(R(22), R(22), 3);
+    b.cmpi(isa::CmpCond::kNe, P(5), P(6), R(22), 0);
+    b.andi(R(23), R(4), 1023);
+    b.mov(R(4), R(23));
+    b.pred(P(5));
+    b.shli(R(4), R(4), 3);
+    b.add(R(10), R(8), R(4));
+    b.ld8(R(11), R(10), 0); // probe: the short, ubiquitous miss
+    // Prefix-table probe (stays in the L1).
+    b.andi(R(12), R(3), kPrefixEntries - 1);
+    b.shli(R(12), R(12), 3);
+    b.add(R(13), R(9), R(12));
+    b.ld8(R(14), R(13), 0);
+    // Coder arithmetic: mixes both loads into the running output.
+    b.add(R(15), R(11), R(14));
+    b.shri(R(16), R(15), 7);
+    b.xor_(R(15), R(15), R(16));
+    b.shli(R(17), R(15), 9);
+    b.xor_(R(18), R(15), R(17));
+    b.add(R(20), R(20), R(18));
+    b.shri(R(21), R(20), 13);
+    b.xor_(R(20), R(20), R(21));
+    b.add(R(31), R(31), R(11));
+    // Dictionary update (read-modify-write).
+    b.add(R(19), R(11), R(3));
+    b.st8(R(10), 0, R(19));
+    loopBack(b, R(5), P(1), P(2), "loop");
+    b.add(R(31), R(31), R(20));
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x129ULL ^ p.seedSalt);
+    for (std::int64_t e = 0; e < kTableEntries; ++e) {
+        prog.poke64(kTableBase + static_cast<Addr>(e) * 8,
+                    rng.nextBelow(1 << 20));
+    }
+    for (std::int64_t e = 0; e < kPrefixEntries; ++e) {
+        prog.poke64(kPrefixBase + static_cast<Addr>(e) * 8,
+                    rng.nextBelow(1 << 10));
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * 183.equake stand-in. The paper highlights equake for "the
+ * significant portion of the L3 cache misses started in the A-pipe"
+ * — when locality is poor, overlapping long accesses dominates. This
+ * kernel is a sparse matrix-vector product: val[]/col[] stream from
+ * memory (compulsory misses), x[] gathers randomly from a 256KB
+ * vector (L2/L3), and four rotating FP accumulators keep the
+ * loop-carried FADD chain off the critical path.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildEquake(const KernelParams &p)
+{
+    constexpr Addr kValBase = 0x5000'0000; // doubles, streamed
+    constexpr Addr kColBase = 0x6000'0000; // int64 indices, streamed
+    constexpr Addr kVecBase = 0x7000'0000; // x[] gather vector
+    constexpr std::int64_t kNnz = 24576;        // val+col = 384 KB
+    constexpr std::int64_t kVecEntries = 32768; // 256 KB
+    const std::int64_t iters = scaledIters(kNnz / 4, p.scale);
+
+    isa::ProgramBuilder b("183.equake");
+
+    b.movi(R(10), static_cast<std::int64_t>(kValBase));
+    b.movi(R(11), static_cast<std::int64_t>(kColBase));
+    b.movi(R(12), static_cast<std::int64_t>(kVecBase));
+    b.movi(R(5), iters);
+
+    // Four partial sums so the reduction does not serialize on the
+    // 4-cycle FADD.
+    for (unsigned acc = 1; acc <= 4; ++acc)
+        b.itof(F(acc), R(0));
+
+    b.label("loop");
+    for (unsigned u = 0; u < 4; ++u) {
+        const std::int64_t off = static_cast<std::int64_t>(u) * 8;
+        b.ld8(R(20 + u), R(11), off);        // col[i+u]  (stream)
+        b.ld8(F(10 + u), R(10), off);        // val[i+u]  (stream)
+        b.shli(R(24 + u), R(20 + u), 3);
+        b.add(R(28 + u), R(12), R(24 + u));
+        b.ld8(F(20 + u), R(28 + u), 0);      // x[col[i+u]] (gather)
+        b.fmul(F(30 + u), F(10 + u), F(20 + u));
+        b.fadd(F(40 + u), F(30 + u), F(10 + u));
+        b.fmul(F(44 + u), F(40 + u), F(20 + u));
+        b.fadd(F(1 + u), F(1 + u), F(44 + u));
+    }
+    b.addi(R(10), R(10), 32);
+    b.addi(R(11), R(11), 32);
+    loopBack(b, R(5), P(1), P(2), "loop");
+
+    // Combine the partial sums and derive an integer checksum.
+    b.fadd(F(1), F(1), F(2));
+    b.fadd(F(3), F(3), F(4));
+    b.fadd(F(1), F(1), F(3));
+    b.ftoi(R(31), F(1));
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x183ULL ^ p.seedSalt);
+    for (std::int64_t i = 0; i < kNnz; ++i) {
+        prog.pokeDouble(kValBase + static_cast<Addr>(i) * 8,
+                        rng.nextDouble() * 4.0 - 2.0);
+        prog.poke64(kColBase + static_cast<Addr>(i) * 8,
+                    rng.nextBelow(kVecEntries));
+    }
+    for (std::int64_t i = 0; i < kVecEntries; ++i) {
+        prog.pokeDouble(kVecBase + static_cast<Addr>(i) * 8,
+                        rng.nextDouble() * 8.0);
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

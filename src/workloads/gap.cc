@@ -1,0 +1,85 @@
+/**
+ * @file
+ * 254.gap stand-in. The paper observes that gap "executes most of its
+ * substantial number of main memory accesses in the B-pipe, and thus
+ * displays only a small performance improvement": its misses sit in
+ * serial dependence chains the A-pipe cannot run past. This kernel is
+ * a strict pointer chase over a 4MB workspace — each address depends
+ * on the previous load — so consumers (including the next chase step)
+ * defer and the chain serializes through the B-pipe.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildGap(const KernelParams &p)
+{
+    constexpr Addr kNodeBase = 0x2000'0000;
+    constexpr std::int64_t kNumNodes = 65536; // 64 B each = 4 MB
+    const std::int64_t iters = scaledIters(4000, p.scale);
+
+    isa::ProgramBuilder b("254.gap");
+
+    // r1: current node pointer; r5: counter; r31: checksum.
+    constexpr Addr kCountBase = 0x2800'0000;
+    constexpr std::int64_t kCountEntries = 512; // 4 KB, L1-resident
+
+    b.movi(R(1), static_cast<std::int64_t>(kNodeBase));
+    b.movi(R(5), iters);
+    b.movi(R(31), 0);
+    b.movi(R(8), static_cast<std::int64_t>(kCountBase));
+    b.movi(R(10), 0);
+
+    b.label("loop");
+    b.ld8(R(2), R(1), 8); // payload (same line as the link)
+    b.add(R(31), R(31), R(2));
+    b.xori(R(31), R(31), 0x5a);
+    // A little independent group-order bookkeeping: an L1-resident
+    // counter table walked by the induction variable. This is all
+    // the A-pipe can overlap with the serial chase.
+    b.addi(R(10), R(10), 1);
+    b.andi(R(11), R(10), kCountEntries - 1);
+    b.shli(R(11), R(11), 3);
+    b.add(R(12), R(8), R(11));
+    b.ld8(R(13), R(12), 0);
+    b.addi(R(13), R(13), 1);
+    b.st8(R(12), 0, R(13));
+    b.ld8(R(1), R(1), 0); // serial chase: the next address IS the load
+    loopBack(b, R(5), P(1), P(2), "loop");
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+
+    // A single random cycle through all nodes (Sattolo's algorithm)
+    // guarantees the chase never revisits early nodes.
+    Rng rng(0x254ULL ^ p.seedSalt);
+    std::vector<std::uint32_t> order(kNumNodes);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size() - 1; i > 0; --i) {
+        const std::size_t j = rng.nextBelow(i); // Sattolo: j < i
+        std::swap(order[i], order[j]);
+    }
+    for (std::int64_t k = 0; k < kNumNodes; ++k) {
+        const std::uint32_t cur = order[k];
+        const std::uint32_t nxt = order[(k + 1) % kNumNodes];
+        const Addr rec = kNodeBase + static_cast<Addr>(cur) * 64;
+        prog.poke64(rec + 0, kNodeBase + static_cast<Addr>(nxt) * 64);
+        prog.poke64(rec + 8, rng.nextBelow(100000));
+    }
+    // Every node lies on the single cycle, so starting the chase at
+    // node 0 (kNodeBase) is always valid.
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * 099.go stand-in: control-heavy board scanning. Loads hit a 32KB
+ * board (L1/L2), and a data-dependent ~50/50 branch per step keeps
+ * the predictor honest; branches whose compare waits on an L2-hit
+ * load resolve in the B-pipe, the paper's deeper-DET cost.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildGo(const KernelParams &p)
+{
+    constexpr Addr kBoardBase = 0x0A00'0000;
+    constexpr std::int64_t kCells = 4096; // 8 B each = 32 KB
+    const std::int64_t iters = scaledIters(12000, p.scale);
+
+    isa::ProgramBuilder b("099.go");
+
+    b.movi(R(8), static_cast<std::int64_t>(kBoardBase));
+    b.movi(R(3), 0x676F676FLL);
+    b.movi(R(5), iters);
+    b.movi(R(31), 0);
+
+    b.label("loop");
+    rngStep(b, R(3));
+    randomIndex(b, R(4), R(2), R(3), kCells - 1, 33, 15);
+    b.shli(R(4), R(4), 3);
+    b.add(R(10), R(8), R(4));
+    b.ld8(R(6), R(10), 0);
+    // Scan-direction decision on the (computable) walk state: the
+    // compare never waits on memory, so its frequent mispredictions
+    // are caught early, at A-DET.
+    b.shri(R(7), R(3), 59);
+    b.andi(R(7), R(7), 1);
+    b.cmpi(isa::CmpCond::kEq, P(5), P(6), R(7), 1);
+    b.br("stone");
+    b.pred(P(5));
+    // Empty point: territory accounting.
+    b.add(R(31), R(31), R(6));
+    b.shri(R(12), R(6), 3);
+    b.xor_(R(31), R(31), R(12));
+    b.add(R(14), R(12), R(6));
+    b.andi(R(15), R(14), 0x1ff);
+    b.add(R(31), R(31), R(15));
+    b.br("join");
+    b.label("stone");
+    // Stone: liberty hash and a board update.
+    b.xor_(R(31), R(31), R(6));
+    b.addi(R(13), R(6), 7);
+    b.st8(R(10), 0, R(13));
+    b.label("join");
+    loopBack(b, R(5), P(1), P(2), "loop");
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x099ULL ^ p.seedSalt);
+    for (std::int64_t c = 0; c < kCells; ++c) {
+        prog.poke64(kBoardBase + static_cast<Addr>(c) * 8,
+                    rng.nextBelow(1 << 12));
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

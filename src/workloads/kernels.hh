@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The ten synthetic kernels standing in for the paper's Table 2
+ * benchmarks. Each builder returns a *sequential* program (one
+ * instruction per issue group); the workload registry schedules it
+ * into wide EPIC groups with the compiler's list scheduler.
+ *
+ * The kernels are real programs with fixed-seed inputs: every CPU
+ * model must produce the same checksum (stored to kChecksumAddr
+ * before HALT). Their memory and branch behaviour targets each
+ * benchmark's published character — see DESIGN.md Section 5.
+ *
+ * @param scale percentage of the default iteration count (100 = the
+ *        bench-sized run; tests typically pass 3-10). Data footprints
+ *        do not scale, so cache-level behaviour is preserved.
+ */
+
+#ifndef FF_WORKLOADS_KERNELS_HH
+#define FF_WORKLOADS_KERNELS_HH
+
+#include "isa/builder.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+/** Where every kernel stores its final checksum before halting. */
+inline constexpr Addr kChecksumAddr = 0x100;
+
+/**
+ * Kernel build parameters. @c scale is a percentage of the default
+ * iteration count (100 = bench-sized); @c seedSalt perturbs the data
+ * seeds, producing an alternate input set of the same character
+ * (Table 2's inputs column).
+ */
+struct KernelParams
+{
+    int scale = 100;
+    std::uint64_t seedSalt = 0;
+};
+
+/** Shorthand register constructors for kernel code. */
+inline isa::RegId R(unsigned i) { return isa::intReg(i); }
+inline isa::RegId F(unsigned i) { return isa::fpReg(i); }
+inline isa::RegId P(unsigned i) { return isa::predReg(i); }
+
+/** Scales a default iteration count by @p scale percent (min 8). */
+inline std::int64_t
+scaledIters(std::int64_t base, int scale)
+{
+    const std::int64_t v = base * scale / 100;
+    return v < 8 ? 8 : v;
+}
+
+/** Emits: counter -= 1; if (counter > 0) goto label. */
+void loopBack(isa::ProgramBuilder &b, isa::RegId counter,
+              isa::RegId pt, isa::RegId pf, const std::string &label);
+
+/** Emits: [kChecksumAddr] = checksum; halt. Clobbers @p scratch. */
+void storeChecksumAndHalt(isa::ProgramBuilder &b, isa::RegId checksum,
+                          isa::RegId scratch);
+
+/**
+ * Emits the 1-cycle Weyl recurrence state += 0x9E3779B97F4A7C15 used
+ * by kernels needing a computable (non-memory-dependent) random
+ * access stream — the property that lets the A-pipe run ahead and
+ * overlap misses. The recurrence deliberately uses only single-cycle
+ * ALU ops: like real address arithmetic, it never makes the A-pipe
+ * defer for in-flight multi-cycle producers.
+ */
+void rngStep(isa::ProgramBuilder &b, isa::RegId state);
+
+/**
+ * Derives a pseudo-random index in [0, mask] from @p state with an
+ * xorshift fold (golden-ratio Weyl steps disperse well under it).
+ * All single-cycle ops; clobbers @p tmp.
+ */
+void randomIndex(isa::ProgramBuilder &b, isa::RegId dst,
+                 isa::RegId tmp, isa::RegId state, std::int64_t mask,
+                 unsigned shift1 = 31, unsigned shift2 = 13);
+
+// --- kernel builders (sequential programs; see workload.cc) ---------
+isa::Program buildGo(const KernelParams &p);       ///< 099.go
+isa::Program buildCompress(const KernelParams &p); ///< 129.compress
+isa::Program buildLi(const KernelParams &p);       ///< 130.li
+isa::Program buildVpr(const KernelParams &p);      ///< 175.vpr
+isa::Program buildMcf(const KernelParams &p);      ///< 181.mcf
+isa::Program buildEquake(const KernelParams &p);   ///< 183.equake
+isa::Program buildParser(const KernelParams &p);   ///< 197.parser
+isa::Program buildGap(const KernelParams &p);      ///< 254.gap
+isa::Program buildVortex(const KernelParams &p);   ///< 255.vortex
+isa::Program buildTwolf(const KernelParams &p);    ///< 300.twolf
+
+} // namespace workloads
+} // namespace ff
+
+#endif // FF_WORKLOADS_KERNELS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * 130.li stand-in. The lisp interpreter's working set is small: cons
+ * cells fit the L1 with occasional excursions into a larger
+ * environment. The kernel chases an 8KB cell list (L1-resident after
+ * warmup) and touches a 64KB environment table per step, so most
+ * misses are the short L1-to-L2 kind the two-pass design absorbs.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildLi(const KernelParams &p)
+{
+    constexpr Addr kCellBase = 0x0900'0000;
+    constexpr std::int64_t kNumCells = 512; // 16 B each = 8 KB
+    constexpr Addr kEnvBase = 0x0980'0000;
+    constexpr std::int64_t kEnvEntries = 1024; // 8 KB
+    const std::int64_t iters = scaledIters(10000, p.scale);
+
+    isa::ProgramBuilder b("130.li");
+
+    b.movi(R(1), static_cast<std::int64_t>(kCellBase));
+    b.movi(R(8), static_cast<std::int64_t>(kEnvBase));
+    b.movi(R(3), 0x6C697370LL); // "lisp"
+    b.movi(R(5), iters);
+    b.movi(R(15), 0); // sweep cursor
+    b.movi(R(31), 0);
+
+    b.label("loop");
+    // GC-sweep-style walk: the cell address is computable, so the
+    // A-pipe initiates these (L1-resident) loads itself.
+    b.addi(R(15), R(15), 16);
+    b.andi(R(16), R(15), (kNumCells - 1) * 16);
+    b.add(R(17), R(1), R(16));
+    b.ld8(R(2), R(17), 8); // car
+    b.add(R(31), R(31), R(2));
+    // Environment lookup with a computable index.
+    rngStep(b, R(3));
+    randomIndex(b, R(4), R(7), R(3), kEnvEntries - 1, 27, 17);
+    b.shli(R(4), R(4), 3);
+    b.add(R(9), R(8), R(4));
+    b.ld8(R(10), R(9), 0);
+    b.xor_(R(31), R(31), R(10));
+    // Eval work on the fetched atom.
+    b.add(R(11), R(10), R(2));
+    b.shri(R(12), R(11), 4);
+    b.xor_(R(13), R(11), R(12));
+    b.andi(R(14), R(13), 0x3ff);
+    b.add(R(31), R(31), R(14));
+    // One binding chase per step: the only B-pipe load here.
+    b.andi(R(18), R(2), (kNumCells - 1) * 16);
+    b.add(R(19), R(1), R(18));
+    b.ld8(R(20), R(19), 0);
+    b.xor_(R(31), R(31), R(20));
+    loopBack(b, R(5), P(1), P(2), "loop");
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+
+    Rng rng(0x130ULL ^ p.seedSalt);
+    std::vector<std::uint32_t> order(kNumCells);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size() - 1; i > 0; --i)
+        std::swap(order[i], order[rng.nextBelow(i)]);
+    for (std::int64_t k = 0; k < kNumCells; ++k) {
+        const Addr rec =
+            kCellBase + static_cast<Addr>(order[k]) * 16;
+        prog.poke64(rec + 0,
+                    kCellBase +
+                        static_cast<Addr>(order[(k + 1) % kNumCells]) *
+                            16);
+        prog.poke64(rec + 8, rng.nextBelow(4096));
+    }
+    for (std::int64_t e = 0; e < kEnvEntries; ++e) {
+        prog.poke64(kEnvBase + static_cast<Addr>(e) * 8,
+                    rng.nextBelow(1 << 16));
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

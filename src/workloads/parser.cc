@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 197.parser stand-in: dictionary lookups over a 512KB table. Each
+ * probe's second access depends on the first probe's contents (a
+ * chained bucket), producing the short dependent-load chains and
+ * data-dependent control that characterize the real benchmark.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildParser(const KernelParams &p)
+{
+    constexpr Addr kDictBase = 0x0C00'0000;
+    constexpr std::int64_t kEntries = 16384; // 8 B each = 128 KB
+    const std::int64_t iters = scaledIters(10000, p.scale);
+
+    isa::ProgramBuilder b("197.parser");
+
+    b.movi(R(8), static_cast<std::int64_t>(kDictBase));
+    b.movi(R(3), 0x706172734CLL);
+    b.movi(R(5), iters);
+    b.movi(R(31), 0);
+    b.movi(R(9), 1 << 14); // acceptance threshold
+    b.movi(R(20), 2);
+    b.movi(R(21), 0);
+
+    b.label("loop");
+    rngStep(b, R(3));
+    randomIndex(b, R(4), R(2), R(3), kEntries - 1, 30, 14);
+    // Common words: half the probes stay in a hot 16KB region.
+    b.shri(R(24), R(3), 47);
+    b.andi(R(24), R(24), 1);
+    b.cmpi(isa::CmpCond::kEq, P(3), P(4), R(24), 0);
+    b.andi(R(25), R(4), 2047);
+    b.mov(R(4), R(25));
+    b.pred(P(3));
+    b.shli(R(4), R(4), 3);
+    b.add(R(10), R(8), R(4));
+    b.ld8(R(6), R(10), 0); // bucket head (L2/L3 territory)
+    // Chained probe: the next slot comes from the loaded word.
+    b.andi(R(7), R(6), kEntries - 1);
+    b.shli(R(7), R(7), 3);
+    b.add(R(11), R(8), R(7));
+    b.ld8(R(12), R(11), 0); // dependent second probe
+    // Linkage scoring on the fetched entries.
+    b.add(R(13), R(12), R(6));
+    b.shri(R(14), R(13), 5);
+    b.xor_(R(15), R(13), R(14));
+    b.shli(R(16), R(15), 3);
+    b.xor_(R(17), R(15), R(16));
+    b.andi(R(18), R(17), 0xfff);
+    // Grammar state updates independent of the probes.
+    b.addi(R(20), R(20), 9);
+    b.xor_(R(21), R(21), R(20));
+    b.shri(R(22), R(21), 11);
+    b.add(R(23), R(22), R(20));
+    b.cmp(isa::CmpCond::kLt, P(5), P(6), R(12), R(9));
+    b.add(R(31), R(31), R(18));
+    b.pred(P(5));
+    b.xor_(R(31), R(31), R(6));
+    b.pred(P(6));
+    loopBack(b, R(5), P(1), P(2), "loop");
+    b.add(R(31), R(31), R(23));
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x197ULL ^ p.seedSalt);
+    for (std::int64_t e = 0; e < kEntries; ++e) {
+        prog.poke64(kDictBase + static_cast<Addr>(e) * 8,
+                    rng.nextBelow(1 << 20));
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

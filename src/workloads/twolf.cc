@@ -1,0 +1,71 @@
+/**
+ * @file
+ * 300.twolf stand-in. The paper notes twolf's memory-stall win is
+ * "offset by an increase in additional cycles stalled in the front
+ * end... due to the effective lengthening of the pipeline observed by
+ * branch mispredictions resolved in the B-pipe". This kernel compares
+ * two random cells of a 128KB array (L2-hit loads the compiler's
+ * schedule does not cover) and branches on the outcome — so the
+ * branch's compare usually waits on in-flight loads, deferring
+ * mispredict detection to B-DET — then conditionally swaps the cells.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildTwolf(const KernelParams &p)
+{
+    constexpr Addr kCellBase = 0x0E00'0000;
+    constexpr std::int64_t kCells = 4096; // 8 B each = 32 KB
+    const std::int64_t iters = scaledIters(10000, p.scale);
+
+    isa::ProgramBuilder b("300.twolf");
+
+    b.movi(R(8), static_cast<std::int64_t>(kCellBase));
+    b.movi(R(3), 0x74776F6CLL);
+    b.movi(R(5), iters);
+    b.movi(R(31), 0);
+
+    b.label("loop");
+    rngStep(b, R(3));
+    randomIndex(b, R(4), R(2), R(3), kCells - 1, 31, 13);
+    b.shli(R(4), R(4), 3);
+    b.add(R(10), R(8), R(4));
+    randomIndex(b, R(6), R(7), R(3), kCells - 1, 9, 25);
+    b.shli(R(6), R(6), 3);
+    b.add(R(11), R(8), R(6));
+    b.ld8(R(12), R(10), 0); // cell cost 1
+    b.ld8(R(13), R(11), 0); // cell cost 2
+    // The swap decision depends on both loads: essentially random,
+    // and the compare rarely has its operands by dispatch time.
+    b.cmp(isa::CmpCond::kLt, P(5), P(6), R(12), R(13));
+    b.br("swap");
+    b.pred(P(5));
+    b.add(R(31), R(31), R(12));
+    b.br("join");
+    b.label("swap");
+    b.st8(R(10), 0, R(13));
+    b.st8(R(11), 0, R(12));
+    b.xor_(R(31), R(31), R(13));
+    b.label("join");
+    loopBack(b, R(5), P(1), P(2), "loop");
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x300ULL ^ p.seedSalt);
+    for (std::int64_t c = 0; c < kCells; ++c) {
+        prog.poke64(kCellBase + static_cast<Addr>(c) * 8,
+                    rng.nextBelow(1 << 30));
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 255.vortex stand-in: an object store. Random 64-byte objects from a
+ * 2MB heap are read (three fields), combined, and conditionally
+ * updated — mixed L2/L3/memory locality with predicated stores.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildVortex(const KernelParams &p)
+{
+    constexpr Addr kObjBase = 0x0D00'0000;
+    constexpr std::int64_t kObjects = 8192; // 64 B each = 512 KB
+    const std::int64_t iters = scaledIters(10000, p.scale);
+
+    isa::ProgramBuilder b("255.vortex");
+
+    b.movi(R(8), static_cast<std::int64_t>(kObjBase));
+    b.movi(R(3), 0x766F7274LL);
+    b.movi(R(5), iters);
+    b.movi(R(31), 0);
+    b.movi(R(20), 1);
+    b.movi(R(21), 0);
+
+    b.label("loop");
+    rngStep(b, R(3));
+    randomIndex(b, R(4), R(2), R(3), kObjects - 1, 32, 12);
+    // Most lookups touch the young generation (64 KB).
+    b.shri(R(24), R(3), 49);
+    b.andi(R(24), R(24), 15);
+    b.cmpi(isa::CmpCond::kNe, P(3), P(4), R(24), 0);
+    b.andi(R(25), R(4), 1023);
+    b.mov(R(4), R(25));
+    b.pred(P(3));
+    b.shli(R(4), R(4), 6);
+    b.add(R(10), R(8), R(4));
+    b.ld8(R(6), R(10), 0);
+    b.ld8(R(7), R(10), 8);
+    b.ld8(R(11), R(10), 16);
+    b.add(R(12), R(6), R(7));
+    b.xor_(R(31), R(31), R(11));
+    // Object-method work on the fetched members.
+    b.shri(R(14), R(12), 3);
+    b.xor_(R(15), R(12), R(14));
+    b.add(R(16), R(15), R(11));
+    b.shli(R(17), R(16), 2);
+    b.xor_(R(18), R(16), R(17));
+    b.andi(R(19), R(18), 0x7fff);
+    b.add(R(31), R(31), R(19));
+    // Transaction bookkeeping independent of the object fetch.
+    b.addi(R(20), R(20), 5);
+    b.xor_(R(21), R(21), R(20));
+    b.shri(R(22), R(21), 7);
+    b.add(R(23), R(22), R(20));
+    b.andi(R(13), R(12), 1);
+    b.cmpi(isa::CmpCond::kEq, P(5), P(6), R(13), 1);
+    b.st8(R(10), 24, R(12));
+    b.pred(P(5)); // conditional member update
+    b.add(R(31), R(31), R(12));
+    loopBack(b, R(5), P(1), P(2), "loop");
+    b.add(R(31), R(31), R(23));
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x255ULL ^ p.seedSalt);
+    for (std::int64_t o = 0; o < kObjects; ++o) {
+        const Addr rec = kObjBase + static_cast<Addr>(o) * 64;
+        prog.poke64(rec + 0, rng.nextBelow(1 << 16));
+        prog.poke64(rec + 8, rng.nextBelow(1 << 16));
+        prog.poke64(rec + 16, rng.nextBelow(1 << 24));
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

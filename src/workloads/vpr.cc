@@ -1,0 +1,92 @@
+/**
+ * @file
+ * 175.vpr stand-in — the paper's one net *loss*. vpr defers "98% of
+ * its long-latency floating point instructions, in chains, to the
+ * B-pipe because the A-pipe does not stall for them to complete",
+ * and additionally suffers store-conflict flushes. This kernel's
+ * placement-cost loop carries a 16-cycle FDIV chain the scheduler
+ * cannot cover, and each iteration stores a chain-dependent value
+ * that the *next* iteration immediately loads — so the store is
+ * usually deferred while the load pre-executes, tripping the ALAT.
+ */
+
+#include "workloads/kernels.hh"
+
+#include "common/random.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+isa::Program
+buildVpr(const KernelParams &p)
+{
+    constexpr Addr kABase = 0x0B00'0000; // a[] doubles
+    constexpr Addr kBBase = 0x0B80'0000; // b[] doubles
+    constexpr std::int64_t kEntries = 512; // 4 KB each (L1-resident)
+    const std::int64_t iters = scaledIters(6000, p.scale);
+
+    isa::ProgramBuilder b("175.vpr");
+
+    b.movi(R(10), static_cast<std::int64_t>(kABase));
+    b.movi(R(11), static_cast<std::int64_t>(kBBase));
+    b.movi(R(5), iters);
+    b.movi(R(7), kEntries * 8 - 72); // wrap bound for the walk
+    b.itof(F(1), R(0));
+    b.itof(F(6), R(0));
+    b.itof(F(4), R(0));
+
+    b.label("loop");
+    b.ld8(F(2), R(10), 0); // a[i]
+    b.ld8(F(3), R(11), 0); // b[i]
+    // The cost recurrence is loop-carried THROUGH the divide: the
+    // next fdiv consumes the previous one, so once the first divide
+    // is in flight every FP successor defers, "in chains", exactly
+    // the pathology the paper reports for vpr.
+    b.fadd(F(7), F(4), F(2));
+    b.fdiv(F(4), F(7), F(3));       // 16-cycle anticipable latency
+    b.fadd(F(1), F(1), F(4));       // cost accumulation
+    b.fmul(F(5), F(4), F(2));
+    b.fadd(F(6), F(6), F(5));
+    // The placement update writes a chain-dependent value a few
+    // elements ahead; mostly far enough that the A-pipe's lead has
+    // passed, but one update in eight lands close enough that a
+    // pre-executed load raced the still-deferred store: a
+    // store-conflict flush (Sec. 3.4).
+    b.andi(R(16), R(5), 7);
+    b.cmpi(isa::CmpCond::kEq, P(7), P(8), R(16), 0);
+    b.st8(R(11), 24, F(4));
+    b.pred(P(7));
+    b.st8(R(11), 64, F(4));
+    b.pred(P(8));
+    // Walk both arrays, wrapping within the footprint.
+    b.addi(R(10), R(10), 8);
+    b.addi(R(11), R(11), 8);
+    b.subi(R(12), R(10), static_cast<std::int64_t>(kABase));
+    b.cmp(isa::CmpCond::kGt, P(3), P(4), R(12), R(7));
+    b.movi(R(13), static_cast<std::int64_t>(kABase));
+    b.mov(R(10), R(13));
+    b.pred(P(3));
+    b.movi(R(14), static_cast<std::int64_t>(kBBase));
+    b.mov(R(11), R(14));
+    b.pred(P(3));
+    loopBack(b, R(5), P(1), P(2), "loop");
+
+    b.fadd(F(1), F(1), F(6));
+    b.ftoi(R(31), F(1));
+    storeChecksumAndHalt(b, R(31), R(6));
+
+    isa::Program prog = b.finalize();
+    Rng rng(0x175ULL ^ p.seedSalt);
+    for (std::int64_t i = 0; i < kEntries; ++i) {
+        prog.pokeDouble(kABase + static_cast<Addr>(i) * 8,
+                        1.0 + rng.nextDouble() * 3.0);
+        prog.pokeDouble(kBBase + static_cast<Addr>(i) * 8,
+                        0.5 + rng.nextDouble() * 2.0);
+    }
+    return prog;
+}
+
+} // namespace workloads
+} // namespace ff

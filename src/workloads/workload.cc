@@ -1,0 +1,148 @@
+#include "workloads/workload.hh"
+
+#include <functional>
+#include <map>
+
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+void
+loopBack(isa::ProgramBuilder &b, isa::RegId counter, isa::RegId pt,
+         isa::RegId pf, const std::string &label)
+{
+    b.subi(counter, counter, 1);
+    b.cmpi(isa::CmpCond::kGt, pt, pf, counter, 0);
+    b.br(label);
+    b.pred(pt);
+}
+
+void
+storeChecksumAndHalt(isa::ProgramBuilder &b, isa::RegId checksum,
+                     isa::RegId scratch)
+{
+    b.movi(scratch, static_cast<std::int64_t>(kChecksumAddr));
+    b.st8(scratch, 0, checksum);
+    b.halt();
+}
+
+void
+rngStep(isa::ProgramBuilder &b, isa::RegId state)
+{
+    b.addi(state, state,
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+}
+
+void
+randomIndex(isa::ProgramBuilder &b, isa::RegId dst, isa::RegId tmp,
+            isa::RegId state, std::int64_t mask, unsigned shift1,
+            unsigned shift2)
+{
+    b.shri(tmp, state, static_cast<std::int64_t>(shift1));
+    b.xor_(dst, state, tmp);
+    b.shri(tmp, dst, static_cast<std::int64_t>(shift2));
+    b.xor_(dst, dst, tmp);
+    b.andi(dst, dst, mask);
+}
+
+namespace
+{
+
+struct KernelInfo
+{
+    std::function<isa::Program(const KernelParams &)> build;
+    const char *input; ///< paper's Table 2 input + our stand-in
+};
+
+const std::map<std::string, KernelInfo> &
+registry()
+{
+    static const std::map<std::string, KernelInfo> kRegistry = {
+        {"099.go",
+         {buildGo, "SPEC Train: synthetic board scan, 32KB board"}},
+        {"129.compress",
+         {buildCompress, "SPEC Train: synthetic hash probes, 128KB table"}},
+        {"130.li",
+         {buildLi, "SPEC Train: synthetic cell sweep, 8KB+8KB"}},
+        {"175.vpr",
+         {buildVpr, "SPEC Test: synthetic placement cost, fdiv chains"}},
+        {"181.mcf",
+         {buildMcf, "SPEC Test: synthetic arc visits, 4MB arcs"}},
+        {"183.equake",
+         {buildEquake, "SPEC Test: synthetic sparse matvec, ~1MB"}},
+        {"197.parser",
+         {buildParser, "UMN mdred: synthetic dictionary probes, 128KB"}},
+        {"254.gap",
+         {buildGap, "SPEC Test: synthetic serial chase, 4MB"}},
+        {"255.vortex",
+         {buildVortex, "UMN mdred: synthetic object store, 512KB"}},
+        {"300.twolf",
+         {buildTwolf, "UMN smred: synthetic swap evaluation, 32KB"}},
+    };
+    return kRegistry;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> kNames = {
+        "099.go",     "129.compress", "130.li",     "175.vpr",
+        "181.mcf",    "183.equake",   "197.parser", "254.gap",
+        "255.vortex",
+        "300.twolf",
+    };
+    return kNames;
+}
+
+const char *
+inputSetName(InputSet in)
+{
+    switch (in) {
+      case InputSet::kDefault: return "default";
+      case InputSet::kAlternate: return "alternate";
+    }
+    return "?";
+}
+
+Workload
+buildWorkload(const std::string &name, int scale,
+              const compiler::SchedulerConfig &cfg, InputSet input)
+{
+    auto it = registry().find(name);
+    ff_fatal_if(it == registry().end(), "unknown workload '", name, "'");
+    KernelParams params;
+    params.scale = scale;
+    if (input == InputSet::kAlternate) {
+        // A distinct input of the same character: fresh data seeds
+        // and a ~30% longer run.
+        params.seedSalt = 0xA17E12A7E5EEDULL;
+        params.scale = scale + scale * 3 / 10;
+    }
+    Workload w;
+    w.name = name;
+    w.input = it->second.input;
+    if (input == InputSet::kAlternate)
+        w.input += " [alternate]";
+    w.program = compiler::schedule(it->second.build(params), cfg);
+    return w;
+}
+
+std::vector<Workload>
+buildAllWorkloads(int scale, const compiler::SchedulerConfig &cfg,
+                  InputSet input)
+{
+    std::vector<Workload> out;
+    out.reserve(workloadNames().size());
+    for (const auto &n : workloadNames())
+        out.push_back(buildWorkload(n, scale, cfg, input));
+    return out;
+}
+
+} // namespace workloads
+} // namespace ff

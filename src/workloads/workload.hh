@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The workload registry: names, inputs and scheduled programs for the
+ * Table 2 stand-in suite.
+ */
+
+#ifndef FF_WORKLOADS_WORKLOAD_HH
+#define FF_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/scheduler.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace workloads
+{
+
+/**
+ * Which input set to build (Table 2's inputs column). kDefault is
+ * the paper's listed input for that benchmark (SPEC Train / SPEC
+ * Test / UMN reduced); kAlternate is a distinct input of the same
+ * character (different seeds, ~30% longer) for cross-validation.
+ */
+enum class InputSet
+{
+    kDefault,
+    kAlternate,
+};
+
+const char *inputSetName(InputSet in);
+
+/** One benchmark of the suite, ready to simulate. */
+struct Workload
+{
+    std::string name;      ///< e.g. "181.mcf"
+    std::string input;     ///< description of the synthetic input
+    isa::Program program;  ///< scheduled (issue-grouped) program
+};
+
+/** Names of the ten Table 2 stand-ins, in the paper's order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Builds one workload by name.
+ * @param scale percentage of default iterations (100 = bench size)
+ * @param cfg   scheduler configuration (machine widths, latencies)
+ * @param input which input set (default: the paper's Table 2 input)
+ */
+Workload buildWorkload(const std::string &name, int scale = 100,
+                       const compiler::SchedulerConfig &cfg =
+                           compiler::SchedulerConfig(),
+                       InputSet input = InputSet::kDefault);
+
+/** Builds the full suite. */
+std::vector<Workload> buildAllWorkloads(
+    int scale = 100,
+    const compiler::SchedulerConfig &cfg = compiler::SchedulerConfig(),
+    InputSet input = InputSet::kDefault);
+
+} // namespace workloads
+} // namespace ff
+
+#endif // FF_WORKLOADS_WORKLOAD_HH

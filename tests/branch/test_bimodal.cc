@@ -1,0 +1,121 @@
+/** @file Unit tests for the bimodal and tournament predictors. */
+
+#include <gtest/gtest.h>
+
+#include "branch/bimodal.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::branch;
+
+TEST(Bimodal, LearnsBiasedBranches)
+{
+    BimodalPredictor b(1024);
+    const Addr pc = 0x40000100;
+    unsigned late_misses = 0;
+    for (int i = 0; i < 100; ++i) {
+        Prediction p = b.predict(pc);
+        b.update(p, true);
+        if (i >= 10 && !p.taken)
+            ++late_misses;
+    }
+    EXPECT_EQ(late_misses, 0u);
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    // No history: a strict alternation defeats a 2-bit counter.
+    BimodalPredictor b(1024);
+    const Addr pc = 0x40000200;
+    unsigned late_misses = 0;
+    for (int i = 0; i < 200; ++i) {
+        const bool actual = (i % 2) == 0;
+        Prediction p = b.predict(pc);
+        b.update(p, actual);
+        if (i >= 100 && p.taken != actual)
+            ++late_misses;
+    }
+    EXPECT_GT(late_misses, 30u); // ~50% misprediction
+}
+
+TEST(Bimodal, IndependentPcsIndependentCounters)
+{
+    BimodalPredictor b(1024);
+    for (int i = 0; i < 50; ++i)
+        b.update(b.predict(0x40000000), true);
+    // A different counter stays cold.
+    EXPECT_FALSE(b.predict(0x40000040).taken);
+}
+
+TEST(Tournament, LearnsAlternationViaGshare)
+{
+    TournamentPredictor t(1024);
+    const Addr pc = 0x40000300;
+    unsigned late_misses = 0;
+    for (int i = 0; i < 400; ++i) {
+        const bool actual = (i % 2) == 0;
+        Prediction p = t.predict(pc);
+        t.update(p, actual);
+        if (i >= 200 && p.taken != actual)
+            ++late_misses;
+    }
+    // The chooser migrates to the gshare component, which nails it.
+    EXPECT_LT(late_misses, 5u);
+}
+
+TEST(Tournament, LearnsBiasViaEitherComponent)
+{
+    TournamentPredictor t(1024);
+    const Addr pc = 0x40000400;
+    unsigned late_misses = 0;
+    for (int i = 0; i < 200; ++i) {
+        Prediction p = t.predict(pc);
+        t.update(p, true);
+        if (i >= 50 && !p.taken)
+            ++late_misses;
+    }
+    EXPECT_EQ(late_misses, 0u);
+}
+
+TEST(Tournament, TracksStats)
+{
+    TournamentPredictor t(256);
+    for (int i = 0; i < 20; ++i)
+        t.update(t.predict(0x40000500), true);
+    EXPECT_EQ(t.stats().lookups, 20u);
+    EXPECT_LT(t.stats().mispredicts, 20u);
+}
+
+TEST(Factory, BuildsEveryKind)
+{
+    for (PredictorKind k :
+         {PredictorKind::kGshare, PredictorKind::kBimodal,
+          PredictorKind::kTournament}) {
+        auto p = makePredictor(k, 256);
+        ASSERT_NE(p, nullptr);
+        Prediction pr = p->predict(0x40000000);
+        p->update(pr, true);
+        EXPECT_EQ(p->stats().lookups, 1u);
+        p->reset();
+        EXPECT_EQ(p->stats().lookups, 0u);
+    }
+}
+
+TEST(Factory, KindNames)
+{
+    EXPECT_STREQ(predictorKindName(PredictorKind::kGshare), "gshare");
+    EXPECT_STREQ(predictorKindName(PredictorKind::kBimodal),
+                 "bimodal");
+    EXPECT_STREQ(predictorKindName(PredictorKind::kTournament),
+                 "tournament");
+}
+
+TEST(BimodalDeathTest, NonPowerOfTwoIsFatal)
+{
+    EXPECT_EXIT(BimodalPredictor(100), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/** @file Unit tests for the bounded FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "common/fifo.hh"
+
+namespace
+{
+
+using ff::BoundedFifo;
+
+TEST(BoundedFifo, StartsEmpty)
+{
+    BoundedFifo<int> f(4);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_EQ(f.capacity(), 4u);
+    EXPECT_EQ(f.freeSlots(), 4u);
+}
+
+TEST(BoundedFifo, FifoOrder)
+{
+    BoundedFifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_EQ(f.front(), 1);
+    f.pop();
+    EXPECT_EQ(f.front(), 2);
+    f.pop();
+    EXPECT_EQ(f.front(), 3);
+}
+
+TEST(BoundedFifo, FullAtCapacity)
+{
+    BoundedFifo<int> f(2);
+    f.push(1);
+    EXPECT_FALSE(f.full());
+    f.push(2);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.freeSlots(), 0u);
+}
+
+TEST(BoundedFifo, RandomAccess)
+{
+    BoundedFifo<int> f(8);
+    for (int i = 0; i < 5; ++i)
+        f.push(i * 10);
+    EXPECT_EQ(f.at(0), 0);
+    EXPECT_EQ(f.at(4), 40);
+    f.at(2) = 99;
+    EXPECT_EQ(f.at(2), 99);
+}
+
+TEST(BoundedFifo, PopBackRemovesYoungest)
+{
+    BoundedFifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_EQ(f.back(), 3);
+    f.popBack();
+    EXPECT_EQ(f.back(), 2);
+    EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(BoundedFifo, ClearEmpties)
+{
+    BoundedFifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    f.push(3); // usable after clear
+    EXPECT_EQ(f.front(), 3);
+}
+
+TEST(BoundedFifo, IterationOldestFirst)
+{
+    BoundedFifo<int> f(4);
+    f.push(7);
+    f.push(8);
+    int expected = 7;
+    for (int v : f)
+        EXPECT_EQ(v, expected++);
+}
+
+TEST(BoundedFifo, ReusableAfterDrain)
+{
+    BoundedFifo<int> f(2);
+    for (int round = 0; round < 10; ++round) {
+        f.push(round);
+        f.push(round + 1);
+        EXPECT_TRUE(f.full());
+        f.pop();
+        f.pop();
+        EXPECT_TRUE(f.empty());
+    }
+}
+
+TEST(BoundedFifoDeathTest, OverflowPanics)
+{
+    BoundedFifo<int> f(1);
+    f.push(1);
+    EXPECT_DEATH(f.push(2), "full fifo");
+}
+
+TEST(BoundedFifoDeathTest, UnderflowPanics)
+{
+    BoundedFifo<int> f(1);
+    EXPECT_DEATH(f.pop(), "empty fifo");
+    EXPECT_DEATH(f.front(), "empty fifo");
+    EXPECT_DEATH(f.popBack(), "empty fifo");
+}
+
+TEST(BoundedFifoDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(BoundedFifo<int>(0), "zero-capacity");
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+namespace
+{
+
+using ff::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i) {
+        if (a.next() != b.next())
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero)
+{
+    Rng r(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(3);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = r.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    // All five values should appear in 2000 draws.
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng r(17);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.nextBelow(kBuckets)];
+    for (int c : counts) {
+        // Expected 10000 per bucket; allow 5% deviation.
+        EXPECT_GT(c, 9500);
+        EXPECT_LT(c, 10500);
+    }
+}
+
+TEST(RngDeathTest, NextBelowZeroPanics)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.nextBelow(0), "nextBelow");
+}
+
+TEST(RngDeathTest, BadRangePanics)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.nextRange(3, 2), "hi < lo");
+}
+
+} // namespace

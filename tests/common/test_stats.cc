@@ -1,0 +1,164 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace ff::stats;
+
+TEST(Scalar, StartsAtZero)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Scalar, IncrementAndAdd)
+{
+    Scalar s;
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+}
+
+TEST(Scalar, Reset)
+{
+    Scalar s;
+    s += 7;
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Average, MeanOfSamples)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Average, Reset)
+{
+    Average a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, BucketsInRange)
+{
+    Distribution d(0, 10, 5); // buckets of width 2
+    d.sample(0);
+    d.sample(1);
+    d.sample(9);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[4], 1u);
+    EXPECT_EQ(d.samples(), 3u);
+}
+
+TEST(Distribution, UnderflowAndOverflow)
+{
+    Distribution d(0, 10, 5);
+    d.sample(-1);
+    d.sample(10); // max is exclusive
+    d.sample(100);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.samples(), 3u);
+}
+
+TEST(Distribution, MeanIncludesOutOfRange)
+{
+    Distribution d(0, 10, 2);
+    d.sample(2);
+    d.sample(100);
+    EXPECT_DOUBLE_EQ(d.mean(), 51.0);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d(0, 4, 2);
+    d.sample(1);
+    d.sample(-5);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.buckets()[0], 0u);
+}
+
+TEST(Distribution, NegativeRange)
+{
+    Distribution d(-8, 8, 4);
+    d.sample(-8);
+    d.sample(-1);
+    d.sample(7);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[3], 1u);
+}
+
+TEST(StatGroup, RegisterAndDump)
+{
+    StatGroup g("core");
+    Scalar &s = g.addScalar("cycles", "total cycles");
+    s += 5;
+    Average &a = g.addAverage("occupancy");
+    a.sample(1.0);
+    g.addDistribution("lat", 0, 100, 10);
+
+    const std::string dump = g.dump();
+    EXPECT_NE(dump.find("core.cycles 5"), std::string::npos);
+    EXPECT_NE(dump.find("total cycles"), std::string::npos);
+    EXPECT_NE(dump.find("core.occupancy"), std::string::npos);
+    EXPECT_NE(dump.find("core.lat"), std::string::npos);
+}
+
+TEST(StatGroup, LookupByName)
+{
+    StatGroup g("x");
+    g.addScalar("a") += 3;
+    EXPECT_EQ(g.scalar("a").value(), 3u);
+}
+
+TEST(StatGroup, ResetClearsEverything)
+{
+    StatGroup g("x");
+    g.addScalar("a") += 3;
+    g.addAverage("b").sample(2.0);
+    g.reset();
+    EXPECT_EQ(g.scalar("a").value(), 0u);
+    EXPECT_EQ(g.averages().at("b").count(), 0u);
+}
+
+TEST(StatGroupDeathTest, DuplicateScalarPanics)
+{
+    StatGroup g("x");
+    g.addScalar("a");
+    EXPECT_DEATH(g.addScalar("a"), "duplicate");
+}
+
+TEST(StatGroupDeathTest, UnknownScalarPanics)
+{
+    StatGroup g("x");
+    EXPECT_DEATH(g.scalar("missing"), "unknown scalar");
+}
+
+TEST(DistributionDeathTest, BadRangePanics)
+{
+    EXPECT_DEATH(Distribution(5, 5, 1), "bad distribution range");
+}
+
+} // namespace

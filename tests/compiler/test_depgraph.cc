@@ -1,0 +1,165 @@
+/** @file Unit tests for basic-block dependence analysis. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/depgraph.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff::isa;
+using namespace ff::compiler;
+
+/** Builds instructions via the builder and wraps a DepGraph. */
+DepGraph
+graphOf(const std::vector<Instruction> &insts,
+        const SchedLatencies &lat = SchedLatencies())
+{
+    return DepGraph(insts, 0, static_cast<std::uint32_t>(insts.size()),
+                    lat);
+}
+
+std::vector<Instruction>
+instsOf(ProgramBuilder &b)
+{
+    return b.finalize().insts();
+}
+
+/** Finds the edge a->b and returns its separation; -1 if absent. */
+int
+sep(const DepGraph &g, std::uint32_t from, std::uint32_t to)
+{
+    for (const DepEdge &e : g.edges()) {
+        if (e.from == from && e.to == to)
+            return static_cast<int>(e.minSep);
+    }
+    return -1;
+}
+
+TEST(DepGraph, RawEdgeCarriesProducerLatency)
+{
+    ProgramBuilder b("raw");
+    b.mul(intReg(1), intReg(2), intReg(3)); // 3-cycle MUL
+    b.addi(intReg(4), intReg(1), 1);        // consumer
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), 3);
+}
+
+TEST(DepGraph, LoadConsumerUsesAssumedLoadLatency)
+{
+    ProgramBuilder b("ld");
+    b.ld8(intReg(1), intReg(2), 0);
+    b.addi(intReg(3), intReg(1), 1);
+    b.halt();
+    SchedLatencies lat;
+    lat.loadLatency = 2;
+    DepGraph g = graphOf(instsOf(b), lat);
+    EXPECT_EQ(sep(g, 0, 1), 2);
+}
+
+TEST(DepGraph, WawEdgeIsOneCycle)
+{
+    ProgramBuilder b("waw");
+    b.movi(intReg(1), 1);
+    b.movi(intReg(1), 2);
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), 1);
+}
+
+TEST(DepGraph, WarEdgeIsZeroCycles)
+{
+    ProgramBuilder b("war");
+    b.addi(intReg(2), intReg(1), 0); // read r1
+    b.movi(intReg(1), 9);            // later write to r1
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), 0);
+}
+
+TEST(DepGraph, HardwiredRegistersCarryNoDependences)
+{
+    ProgramBuilder b("hw");
+    b.addi(intReg(1), intReg(0), 1); // reads r0
+    b.addi(intReg(2), intReg(0), 2); // reads r0 again
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), -1);
+}
+
+TEST(DepGraph, QpredIsADependence)
+{
+    ProgramBuilder b("qp");
+    b.cmpi(CmpCond::kEq, predReg(1), predReg(2), intReg(3), 0);
+    b.movi(intReg(4), 7);
+    b.pred(predReg(1));
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), 1);
+}
+
+TEST(DepGraph, StoresOrderBehindAllMemoryOps)
+{
+    ProgramBuilder b("mem");
+    b.ld8(intReg(1), intReg(9), 0);
+    b.st8(intReg(9), 8, intReg(2));
+    b.st8(intReg(9), 16, intReg(3));
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), 1); // load -> store
+    EXPECT_EQ(sep(g, 1, 2), 1); // store -> store
+}
+
+TEST(DepGraph, LoadsOrderBehindStoresOnly)
+{
+    ProgramBuilder b("ld2");
+    b.ld8(intReg(1), intReg(9), 0);
+    b.ld8(intReg(2), intReg(9), 8); // two loads may share a group
+    b.st8(intReg(9), 16, intReg(3));
+    b.ld8(intReg(4), intReg(9), 24); // behind the store
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 1), -1);
+    EXPECT_EQ(sep(g, 2, 3), 1);
+}
+
+TEST(DepGraph, EverythingPrecedesBlockTerminator)
+{
+    ProgramBuilder b("term");
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(sep(g, 0, 2), 0);
+    EXPECT_EQ(sep(g, 1, 2), 0);
+}
+
+TEST(DepGraph, HeightsFollowCriticalPath)
+{
+    ProgramBuilder b("h");
+    b.mul(intReg(1), intReg(2), intReg(3)); // 3 cycles
+    b.addi(intReg(4), intReg(1), 1);        // +1
+    b.movi(intReg(5), 9);                   // independent
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    // inst0 -> inst1 (sep 3) -> halt (sep 0); height(0) >= 3.
+    EXPECT_GE(g.height(0), 3u);
+    EXPECT_GT(g.height(0), g.height(1));
+    EXPECT_EQ(g.height(3), 0u); // the halt is the sink
+}
+
+TEST(DepGraph, InDegreeCountsIncomingEdges)
+{
+    ProgramBuilder b("deg");
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.add(intReg(3), intReg(1), intReg(2));
+    b.halt();
+    DepGraph g = graphOf(instsOf(b));
+    EXPECT_EQ(g.inDegree(0), 0u);
+    EXPECT_EQ(g.inDegree(2), 2u);
+}
+
+} // namespace

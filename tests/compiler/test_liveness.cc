@@ -1,0 +1,200 @@
+/** @file Unit tests for CFG construction and liveness analysis. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/liveness.hh"
+#include "isa/builder.hh"
+#include "workloads/workload.hh"
+
+#include "support/random_program.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::isa;
+using compiler::Liveness;
+using compiler::PressureReport;
+using compiler::RegSet;
+using cpu::regSlot;
+
+bool
+liveHas(const RegSet &s, RegId r)
+{
+    return s.test(static_cast<std::size_t>(regSlot(r)));
+}
+
+TEST(Liveness, StraightLineUseDef)
+{
+    ProgramBuilder b("line");
+    b.movi(intReg(1), 5);            // 0: def r1
+    b.addi(intReg(2), intReg(1), 1); // 1: use r1, def r2
+    b.addi(intReg(3), intReg(2), 1); // 2: use r2, def r3
+    b.halt();                        // 3
+    Program p = b.finalize();
+    Liveness lv(p);
+
+    EXPECT_TRUE(liveHas(lv.liveBefore(1), intReg(1)));
+    EXPECT_FALSE(liveHas(lv.liveBefore(2), intReg(1))); // r1 is dead
+    EXPECT_TRUE(liveHas(lv.liveBefore(2), intReg(2)));
+    EXPECT_FALSE(liveHas(lv.liveBefore(3), intReg(3))); // never read
+}
+
+TEST(Liveness, LoopCarriedValueStaysLive)
+{
+    ProgramBuilder b("loop");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(2), 5);
+    b.label("loop");
+    b.add(intReg(1), intReg(1), intReg(2)); // r1, r2 loop-carried
+    b.subi(intReg(2), intReg(2), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(2), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    Program p = b.finalize();
+    Liveness lv(p);
+
+    // At the loop head, both carried registers are live.
+    const auto &head = lv.blockOf(2);
+    EXPECT_TRUE(liveHas(head.liveIn, intReg(1)));
+    EXPECT_TRUE(liveHas(head.liveIn, intReg(2)));
+}
+
+TEST(Liveness, BranchSuccessorsAndFallThrough)
+{
+    ProgramBuilder b("cfg");
+    b.cmpi(CmpCond::kEq, predReg(1), predReg(2), intReg(9), 0); // 0
+    b.br("taken");                                              // 1
+    b.pred(predReg(1));
+    b.movi(intReg(1), 1); // 2: fall-through block
+    b.label("taken");
+    b.movi(intReg(2), 2); // 3
+    b.halt();             // 4
+    Program p = b.finalize();
+    Liveness lv(p);
+
+    // The branch block has two successors.
+    const auto &br_block = lv.blockOf(1);
+    EXPECT_EQ(br_block.succs.size(), 2u);
+}
+
+TEST(Liveness, UnconditionalBranchHasNoFallThrough)
+{
+    ProgramBuilder b("uncond");
+    b.movi(intReg(1), 1);
+    b.br("end"); // p0-qualified: always taken
+    b.movi(intReg(2), 2);
+    b.label("end");
+    b.halt();
+    Program p = b.finalize();
+    Liveness lv(p);
+    EXPECT_EQ(lv.blockOf(1).succs.size(), 1u);
+}
+
+TEST(Liveness, HaltBlockHasNoSuccessors)
+{
+    ProgramBuilder b("h");
+    b.movi(intReg(1), 1);
+    b.halt();
+    Program p = b.finalize();
+    Liveness lv(p);
+    EXPECT_TRUE(lv.blockOf(1).succs.empty());
+}
+
+TEST(Liveness, PredicatedWriteIsNotAKill)
+{
+    // r1's incoming value survives a predicated overwrite, so it
+    // must remain live across it.
+    ProgramBuilder b("predw");
+    b.movi(intReg(1), 5);                      // 0
+    b.cmpi(CmpCond::kEq, predReg(1), predReg(2), intReg(9), 0); // 1
+    b.movi(intReg(1), 9);                      // 2 (p1) conditional
+    b.pred(predReg(1));
+    b.addi(intReg(3), intReg(1), 0);           // 3: reads r1
+    b.halt();
+    Program p = b.finalize();
+    Liveness lv(p);
+    EXPECT_TRUE(liveHas(lv.liveBefore(2), intReg(1)));
+}
+
+TEST(Liveness, UnconditionalWriteKills)
+{
+    ProgramBuilder b("kill");
+    b.movi(intReg(1), 5); // 0
+    b.movi(intReg(1), 9); // 1: kills the first value
+    b.addi(intReg(3), intReg(1), 0);
+    b.halt();
+    Program p = b.finalize();
+    Liveness lv(p);
+    EXPECT_FALSE(liveHas(lv.liveBefore(1), intReg(1)));
+}
+
+TEST(Liveness, HardwiredRegistersNeverLive)
+{
+    ProgramBuilder b("hw");
+    b.addi(intReg(1), intReg(0), 1); // reads r0
+    b.halt();
+    Program p = b.finalize();
+    Liveness lv(p);
+    EXPECT_FALSE(liveHas(lv.liveBefore(0), intReg(0)));
+}
+
+TEST(Liveness, PressureCountsClassesSeparately)
+{
+    ProgramBuilder b("press");
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.itof(fpReg(1), intReg(1));
+    b.itof(fpReg(2), intReg(2));
+    b.fadd(fpReg(3), fpReg(1), fpReg(2));
+    b.add(intReg(3), intReg(1), intReg(2));
+    b.ftoi(intReg(4), fpReg(3));
+    b.add(intReg(5), intReg(3), intReg(4));
+    b.movi(intReg(9), 0x100);
+    b.st8(intReg(9), 0, intReg(5));
+    b.halt();
+    Program p = b.finalize();
+    const PressureReport r = Liveness(p).pressure();
+    EXPECT_GE(r.maxLiveInt, 2u);
+    EXPECT_GE(r.maxLiveFp, 2u);
+    EXPECT_TRUE(r.fits());
+}
+
+TEST(Liveness, RandomProgramsFitTheRegisterFiles)
+{
+    for (std::uint64_t seed = 700; seed < 712; ++seed) {
+        const Program p = ff::testsupport::randomProgram(seed);
+        const PressureReport r = Liveness(p).pressure();
+        EXPECT_TRUE(r.fits()) << "seed " << seed;
+    }
+}
+
+class WorkloadPressure : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadPressure, EveryKernelFitsTheRegisterFiles)
+{
+    const workloads::Workload w = workloads::buildWorkload(GetParam(), 3);
+    const PressureReport r = Liveness(w.program).pressure();
+    EXPECT_TRUE(r.fits())
+        << "int " << r.maxLiveInt << " fp " << r.maxLiveFp << " pred "
+        << r.maxLivePred;
+    // Sanity: the kernels genuinely use registers.
+    EXPECT_GE(r.maxLiveInt, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadPressure,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '.')
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace

@@ -1,0 +1,226 @@
+/** @file Unit tests for the baseline in-order EPIC pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/scheduler.hh"
+#include "cpu/baseline/baseline_cpu.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+CoreConfig
+quickConfig()
+{
+    return CoreConfig();
+}
+
+/** Runs and checks architectural equality with the reference. */
+RunResult
+runAndCheck(const Program &p, const CoreConfig &cfg = quickConfig())
+{
+    FunctionalCpu ref(p);
+    auto fr = ref.run();
+    BaselineCpu cpu(p, cfg);
+    RunResult r = cpu.run(10'000'000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.instsRetired, fr.instsExecuted);
+    EXPECT_EQ(cpu.archRegs().fingerprint(), ref.regs().fingerprint());
+    EXPECT_EQ(cpu.memState().fingerprint(), ref.mem().fingerprint());
+    return r;
+}
+
+TEST(Baseline, CycleClassesSumToTotal)
+{
+    ProgramBuilder b("sum");
+    b.movi(intReg(1), 1);
+    b.addi(intReg(2), intReg(1), 2);
+    b.halt();
+    Program p = b.finalize();
+    BaselineCpu cpu(p, quickConfig());
+    RunResult r = cpu.run(100000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(cpu.cycleAccounting().total(), r.cycles);
+}
+
+TEST(Baseline, GroupStallsAtomically)
+{
+    // Group 1 holds an independent movi fused with a load consumer:
+    // the whole group waits for the load even though the movi has no
+    // dependence — the EPIC issue-group stall of Figure 2(a).
+    ProgramBuilder b("atomic", /*auto_stop=*/false);
+    b.movi(intReg(1), 0x100000);
+    b.stop();
+    b.ld8(intReg(2), intReg(1), 0); // cold: goes to memory
+    b.stop();
+    b.addi(intReg(3), intReg(2), 1); // consumer
+    b.movi(intReg(4), 7);            // independent, same group
+    b.stop();
+    b.halt();
+    Program p = b.finalize();
+    BaselineCpu cpu(p, quickConfig());
+    RunResult r = cpu.run(100000);
+    EXPECT_TRUE(r.halted);
+    // The load stall must appear in the accounting.
+    EXPECT_GT(cpu.cycleAccounting().of(CycleClass::kLoadStall), 100u);
+    EXPECT_EQ(cpu.archRegs().read(intReg(4)), 7u);
+}
+
+TEST(Baseline, LoadUseStallMatchesMissLatency)
+{
+    ProgramBuilder b("latency", /*auto_stop=*/false);
+    b.movi(intReg(1), 0x200000);
+    b.stop();
+    b.ld8(intReg(2), intReg(1), 0);
+    b.stop();
+    b.addi(intReg(3), intReg(2), 1);
+    b.stop();
+    b.halt();
+    Program p = b.finalize();
+    BaselineCpu cpu(p, quickConfig());
+    cpu.run(100000);
+    // A cold load goes to memory (145): the consumer group waits
+    // just short of that (it dispatches the cycle after the load).
+    const auto stall = cpu.cycleAccounting().of(CycleClass::kLoadStall);
+    EXPECT_GE(stall, 140u);
+    EXPECT_LE(stall, 146u);
+}
+
+TEST(Baseline, L1HitCausesNoStallWhenScheduled)
+{
+    // Consumer scheduled 2 cycles (one group) behind a warmed load:
+    // the scheduler separates them and the hit latency is covered.
+    ProgramBuilder b("hit");
+    b.movi(intReg(1), 0x300000);
+    b.ld8(intReg(2), intReg(1), 0); // warm-up access
+    b.ld8(intReg(3), intReg(1), 0); // will hit
+    b.movi(intReg(5), 1);           // independent filler
+    b.addi(intReg(4), intReg(3), 1);
+    b.halt();
+    Program p = compiler::schedule(b.finalize());
+    BaselineCpu cpu(p, quickConfig());
+    RunResult r = cpu.run(100000);
+    EXPECT_TRUE(r.halted);
+}
+
+TEST(Baseline, WawStallToggle)
+{
+    // An in-flight load's destination rewritten by the next group.
+    ProgramBuilder b("waw", /*auto_stop=*/false);
+    b.movi(intReg(1), 0x400000);
+    b.stop();
+    b.ld8(intReg(2), intReg(1), 0); // slow producer of r2
+    b.stop();
+    b.movi(intReg(2), 5); // WAW on r2
+    b.stop();
+    b.halt();
+    Program p = b.finalize();
+
+    CoreConfig waw_on = quickConfig();
+    waw_on.wawStall = true;
+    BaselineCpu cpu_on(p, waw_on);
+    const Cycle with_stall = cpu_on.run(100000).cycles;
+
+    CoreConfig waw_off = quickConfig();
+    waw_off.wawStall = false;
+    BaselineCpu cpu_off(p, waw_off);
+    const Cycle without_stall = cpu_off.run(100000).cycles;
+
+    EXPECT_GT(with_stall, without_stall + 100);
+    // Both end with the architecturally-final value.
+    EXPECT_EQ(cpu_on.archRegs().read(intReg(2)), 5u);
+    EXPECT_EQ(cpu_off.archRegs().read(intReg(2)), 5u);
+}
+
+TEST(Baseline, ResourceStallWhenMshrsExhausted)
+{
+    // More concurrent loads than MSHRs.
+    ProgramBuilder b("mshr");
+    b.movi(intReg(1), 0x500000);
+    for (unsigned i = 0; i < 6; ++i)
+        b.ld8(intReg(2 + i), intReg(1), static_cast<std::int64_t>(
+                                            i * 8192));
+    b.halt();
+    Program p = compiler::schedule(b.finalize());
+    CoreConfig cfg = quickConfig();
+    cfg.mem.maxOutstandingLoads = 2;
+    BaselineCpu cpu(p, cfg);
+    RunResult r = cpu.run(100000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(cpu.cycleAccounting().of(CycleClass::kResourceStall), 0u);
+}
+
+TEST(Baseline, MispredictCostsFrontEndCycles)
+{
+    // A data-dependent 50/50 branch stream mispredicts often.
+    ProgramBuilder b("misp");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(5), 40);
+    b.label("loop");
+    b.addi(intReg(1), intReg(1),
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(intReg(2), intReg(1), 13);
+    b.andi(intReg(3), intReg(2), 1);
+    b.cmpi(CmpCond::kEq, predReg(1), predReg(2), intReg(3), 1);
+    b.br("skip");
+    b.pred(predReg(1));
+    b.addi(intReg(4), intReg(4), 1);
+    b.label("skip");
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(3), predReg(4), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(3));
+    b.halt();
+    Program p = compiler::schedule(b.finalize());
+    BaselineCpu cpu(p, quickConfig());
+    RunResult r = cpu.run(100000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(cpu.stats().mispredicts, 5u);
+    EXPECT_GT(cpu.cycleAccounting().of(CycleClass::kFrontEndStall),
+              cpu.stats().mispredicts * 5);
+}
+
+TEST(Baseline, PredicationMatchesReference)
+{
+    ProgramBuilder b("pred");
+    b.movi(intReg(1), 3);
+    b.cmpi(CmpCond::kLt, predReg(1), predReg(2), intReg(1), 10);
+    b.movi(intReg(2), 42);
+    b.pred(predReg(1));
+    b.movi(intReg(3), 43);
+    b.pred(predReg(2));
+    b.halt();
+    runAndCheck(compiler::schedule(b.finalize()));
+}
+
+TEST(Baseline, StoresReachMemory)
+{
+    ProgramBuilder b("st");
+    b.movi(intReg(1), 0x600000);
+    b.movi(intReg(2), 99);
+    b.st8(intReg(1), 0, intReg(2));
+    b.ld8(intReg(3), intReg(1), 0);
+    b.halt();
+    Program p = compiler::schedule(b.finalize());
+    BaselineCpu cpu(p, quickConfig());
+    cpu.run(100000);
+    EXPECT_EQ(cpu.memState().read64(0x600000), 99u);
+    EXPECT_EQ(cpu.archRegs().read(intReg(3)), 99u);
+}
+
+TEST(BaselineDeathTest, SecondRunPanics)
+{
+    ProgramBuilder b("once");
+    b.halt();
+    Program p = b.finalize();
+    BaselineCpu cpu(p, quickConfig());
+    cpu.run(1000);
+    EXPECT_DEATH(cpu.run(1000), "single-shot");
+}
+
+} // namespace

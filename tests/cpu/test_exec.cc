@@ -1,0 +1,255 @@
+/** @file Unit tests for functional instruction evaluation. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "cpu/exec.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+Instruction
+alu(Opcode op, RegVal = 0)
+{
+    Instruction in;
+    in.op = op;
+    in.dst = intReg(1);
+    in.src1 = intReg(2);
+    in.src2 = intReg(3);
+    return in;
+}
+
+RegVal
+bits(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+
+double
+dbl(RegVal v)
+{
+    return std::bit_cast<double>(v);
+}
+
+TEST(Evaluate, IntegerArithmetic)
+{
+    EXPECT_EQ(evaluate(alu(Opcode::kAdd), true, 7, 5).dstVal, 12u);
+    EXPECT_EQ(evaluate(alu(Opcode::kSub), true, 7, 5).dstVal, 2u);
+    EXPECT_EQ(evaluate(alu(Opcode::kMul), true, 7, 5).dstVal, 35u);
+    EXPECT_EQ(evaluate(alu(Opcode::kAnd), true, 0b1100, 0b1010).dstVal,
+              0b1000u);
+    EXPECT_EQ(evaluate(alu(Opcode::kOr), true, 0b1100, 0b1010).dstVal,
+              0b1110u);
+    EXPECT_EQ(evaluate(alu(Opcode::kXor), true, 0b1100, 0b1010).dstVal,
+              0b0110u);
+}
+
+TEST(Evaluate, SubWrapsModulo64)
+{
+    EXPECT_EQ(evaluate(alu(Opcode::kSub), true, 0, 1).dstVal,
+              ~RegVal(0));
+}
+
+TEST(Evaluate, Shifts)
+{
+    EXPECT_EQ(evaluate(alu(Opcode::kShl), true, 1, 4).dstVal, 16u);
+    EXPECT_EQ(evaluate(alu(Opcode::kShr), true, 0x8000000000000000ULL,
+                       63)
+                  .dstVal,
+              1u);
+    // Arithmetic shift preserves the sign.
+    EXPECT_EQ(evaluate(alu(Opcode::kSra), true,
+                       static_cast<RegVal>(-16), 2)
+                  .dstVal,
+              static_cast<RegVal>(-4));
+    // Shift amounts are taken modulo 64.
+    EXPECT_EQ(evaluate(alu(Opcode::kShl), true, 1, 64 + 3).dstVal, 8u);
+}
+
+TEST(Evaluate, MovAndMovi)
+{
+    Instruction mov = alu(Opcode::kMov);
+    EXPECT_EQ(evaluate(mov, true, 42, 0).dstVal, 42u);
+    Instruction movi;
+    movi.op = Opcode::kMovi;
+    movi.dst = intReg(1);
+    movi.imm = -9;
+    EXPECT_EQ(evaluate(movi, true, 0, 0).dstVal,
+              static_cast<RegVal>(-9));
+}
+
+TEST(Evaluate, CompareWritesComplementaryPair)
+{
+    Instruction cmp;
+    cmp.op = Opcode::kCmp;
+    cmp.cond = CmpCond::kLt;
+    cmp.dst = predReg(1);
+    cmp.dst2 = predReg(2);
+    EvalResult r = evaluate(cmp, true, static_cast<RegVal>(-3), 5);
+    EXPECT_TRUE(r.writesDst);
+    EXPECT_TRUE(r.writesDst2);
+    EXPECT_EQ(r.dstVal, 1u);  // -3 < 5 signed
+    EXPECT_EQ(r.dst2Val, 0u);
+}
+
+TEST(Evaluate, UnsignedCompare)
+{
+    Instruction cmp;
+    cmp.op = Opcode::kCmp;
+    cmp.cond = CmpCond::kLtu;
+    cmp.dst = predReg(1);
+    cmp.dst2 = predReg(2);
+    // -3 as unsigned is huge: not < 5.
+    EvalResult r = evaluate(cmp, true, static_cast<RegVal>(-3), 5);
+    EXPECT_EQ(r.dstVal, 0u);
+    EXPECT_EQ(r.dst2Val, 1u);
+}
+
+TEST(Evaluate, AllIntConditions)
+{
+    Instruction cmp;
+    cmp.op = Opcode::kCmp;
+    cmp.dst = predReg(1);
+    cmp.dst2 = predReg(2);
+    auto t = [&](CmpCond c, RegVal a, RegVal b) {
+        cmp.cond = c;
+        return evaluate(cmp, true, a, b).dstVal == 1;
+    };
+    EXPECT_TRUE(t(CmpCond::kEq, 5, 5));
+    EXPECT_TRUE(t(CmpCond::kNe, 5, 6));
+    EXPECT_TRUE(t(CmpCond::kLe, 5, 5));
+    EXPECT_TRUE(t(CmpCond::kGt, 6, 5));
+    EXPECT_TRUE(t(CmpCond::kGe, 5, 5));
+    EXPECT_FALSE(t(CmpCond::kGt, 5, 5));
+}
+
+TEST(Evaluate, FloatingPoint)
+{
+    EXPECT_DOUBLE_EQ(
+        dbl(evaluate(alu(Opcode::kFadd), true, bits(1.5), bits(2.25))
+                .dstVal),
+        3.75);
+    EXPECT_DOUBLE_EQ(
+        dbl(evaluate(alu(Opcode::kFsub), true, bits(1.5), bits(2.25))
+                .dstVal),
+        -0.75);
+    EXPECT_DOUBLE_EQ(
+        dbl(evaluate(alu(Opcode::kFmul), true, bits(3.0), bits(4.0))
+                .dstVal),
+        12.0);
+    EXPECT_DOUBLE_EQ(
+        dbl(evaluate(alu(Opcode::kFdiv), true, bits(1.0), bits(4.0))
+                .dstVal),
+        0.25);
+}
+
+TEST(Evaluate, Conversions)
+{
+    Instruction itof = alu(Opcode::kItof);
+    EXPECT_DOUBLE_EQ(
+        dbl(evaluate(itof, true, static_cast<RegVal>(-7), 0).dstVal),
+        -7.0);
+    Instruction ftoi = alu(Opcode::kFtoi);
+    EXPECT_EQ(evaluate(ftoi, true, bits(-7.9), 0).dstVal,
+              static_cast<RegVal>(-7)); // truncation
+}
+
+TEST(Evaluate, FtoiSaturatesAndHandlesNan)
+{
+    Instruction ftoi = alu(Opcode::kFtoi);
+    EXPECT_EQ(evaluate(ftoi, true, bits(1e300), 0).dstVal,
+              static_cast<RegVal>(INT64_MAX));
+    EXPECT_EQ(evaluate(ftoi, true, bits(-1e300), 0).dstVal,
+              static_cast<RegVal>(INT64_MIN));
+    EXPECT_EQ(evaluate(ftoi, true, bits(std::nan("")), 0).dstVal, 0u);
+}
+
+TEST(Evaluate, PredicateFalseNullifiesEverything)
+{
+    EvalResult r = evaluate(alu(Opcode::kAdd), false, 7, 5);
+    EXPECT_FALSE(r.predTrue);
+    EXPECT_FALSE(r.writesDst);
+    EXPECT_FALSE(r.isMemAccess);
+
+    Instruction st;
+    st.op = Opcode::kSt8;
+    st.src1 = intReg(1);
+    st.src2 = intReg(2);
+    EXPECT_FALSE(evaluate(st, false, 0x100, 9).isMemAccess);
+}
+
+TEST(Evaluate, LoadComputesAddress)
+{
+    Instruction ld;
+    ld.op = Opcode::kLd8;
+    ld.dst = intReg(1);
+    ld.src1 = intReg(2);
+    ld.imm = -8;
+    EvalResult r = evaluate(ld, true, 0x108, 0);
+    EXPECT_TRUE(r.isMemAccess);
+    EXPECT_EQ(r.addr, 0x100u);
+    EXPECT_EQ(r.size, 8u);
+    EXPECT_TRUE(r.writesDst);
+}
+
+TEST(Evaluate, StoreCarriesValue)
+{
+    Instruction st;
+    st.op = Opcode::kSt4;
+    st.src1 = intReg(1);
+    st.src2 = intReg(2);
+    st.imm = 4;
+    EvalResult r = evaluate(st, true, 0x200, 0xDEADBEEF12345678ULL);
+    EXPECT_TRUE(r.isMemAccess);
+    EXPECT_EQ(r.addr, 0x204u);
+    EXPECT_EQ(r.size, 4u);
+    EXPECT_EQ(r.storeVal, 0xDEADBEEF12345678ULL);
+}
+
+TEST(Evaluate, BranchTakenEqualsPredicate)
+{
+    Instruction br;
+    br.op = Opcode::kBr;
+    br.imm = 5;
+    EvalResult t = evaluate(br, true, 0, 0);
+    EXPECT_TRUE(t.isBranch);
+    EXPECT_TRUE(t.taken);
+    EvalResult n = evaluate(br, false, 0, 0);
+    EXPECT_TRUE(n.isBranch);
+    EXPECT_FALSE(n.taken);
+}
+
+TEST(LoadExtend, SignAndZeroBehaviour)
+{
+    EXPECT_EQ(loadExtend(Opcode::kLd8, 0xFFFFFFFF80000000ULL),
+              0xFFFFFFFF80000000ULL);
+    // ld4 sign-extends the low word.
+    EXPECT_EQ(loadExtend(Opcode::kLd4, 0x0000000080000000ULL),
+              0xFFFFFFFF80000000ULL);
+    EXPECT_EQ(loadExtend(Opcode::kLd4, 0x7FFFFFFFULL), 0x7FFFFFFFULL);
+}
+
+TEST(MemSize, Widths)
+{
+    EXPECT_EQ(memSize(Opcode::kLd4), 4u);
+    EXPECT_EQ(memSize(Opcode::kLd8), 8u);
+    EXPECT_EQ(memSize(Opcode::kSt4), 4u);
+    EXPECT_EQ(memSize(Opcode::kSt8), 8u);
+}
+
+TEST(OperandSrc2, SelectsImmediateOrRegister)
+{
+    Instruction in = alu(Opcode::kAdd);
+    EXPECT_EQ(operandSrc2(in, 55), 55u);
+    in.src2IsImm = true;
+    in.imm = -2;
+    EXPECT_EQ(operandSrc2(in, 55), static_cast<RegVal>(-2));
+}
+
+} // namespace

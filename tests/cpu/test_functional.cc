@@ -1,0 +1,198 @@
+/** @file Unit tests for the functional reference machine. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/functional/functional_cpu.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+TEST(Functional, StraightLineArithmetic)
+{
+    ProgramBuilder b("arith");
+    b.movi(intReg(1), 6);
+    b.movi(intReg(2), 7);
+    b.mul(intReg(3), intReg(1), intReg(2));
+    b.subi(intReg(4), intReg(3), 2);
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    auto r = cpu.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(cpu.regs().read(intReg(3)), 42u);
+    EXPECT_EQ(cpu.regs().read(intReg(4)), 40u);
+    EXPECT_EQ(r.instsExecuted, 5u);
+}
+
+TEST(Functional, LoopWithBranch)
+{
+    ProgramBuilder b("loop");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(2), 10);
+    b.label("loop");
+    b.add(intReg(1), intReg(1), intReg(2));
+    b.subi(intReg(2), intReg(2), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(2), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    auto r = cpu.run();
+    EXPECT_TRUE(r.halted);
+    // 10+9+...+1 = 55.
+    EXPECT_EQ(cpu.regs().read(intReg(1)), 55u);
+    EXPECT_EQ(r.branchesExecuted, 10u);
+    EXPECT_EQ(r.branchesTaken, 9u);
+}
+
+TEST(Functional, PredicationNullifies)
+{
+    ProgramBuilder b("pred");
+    b.movi(intReg(1), 5);
+    b.cmpi(CmpCond::kEq, predReg(1), predReg(2), intReg(1), 5);
+    b.movi(intReg(2), 111);
+    b.pred(predReg(1)); // true: executes
+    b.movi(intReg(3), 222);
+    b.pred(predReg(2)); // false: nullified
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.regs().read(intReg(2)), 111u);
+    EXPECT_EQ(cpu.regs().read(intReg(3)), 0u);
+}
+
+TEST(Functional, MemoryRoundTrip)
+{
+    ProgramBuilder b("mem");
+    b.movi(intReg(1), 0x1000);
+    b.movi(intReg(2), 0x11223344AABBCCDDLL);
+    b.st8(intReg(1), 0, intReg(2));
+    b.ld8(intReg(3), intReg(1), 0);
+    b.ld4(intReg(4), intReg(1), 0); // sign-extends 0xAABBCCDD
+    b.st4(intReg(1), 8, intReg(2));
+    b.ld8(intReg(5), intReg(1), 8);
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.regs().read(intReg(3)), 0x11223344AABBCCDDULL);
+    EXPECT_EQ(cpu.regs().read(intReg(4)), 0xFFFFFFFFAABBCCDDULL);
+    EXPECT_EQ(cpu.regs().read(intReg(5)), 0xAABBCCDDULL);
+    EXPECT_EQ(cpu.mem().read64(0x1000), 0x11223344AABBCCDDULL);
+}
+
+TEST(Functional, DataImageIsLoaded)
+{
+    ProgramBuilder b("img");
+    b.movi(intReg(1), 0x2000);
+    b.ld8(intReg(2), intReg(1), 0);
+    b.halt();
+    Program p = b.finalize();
+    p.poke64(0x2000, 777);
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.regs().read(intReg(2)), 777u);
+}
+
+TEST(Functional, GroupReadsObservePreGroupState)
+{
+    // r1 and r2 exchange is impossible in one group (intra-group RAW
+    // is illegal), but write-after-read in one group must read the
+    // OLD value.
+    ProgramBuilder b("war", /*auto_stop=*/false);
+    b.movi(intReg(1), 5);
+    b.stop();
+    b.addi(intReg(2), intReg(1), 0); // reads r1 = 5
+    b.movi(intReg(1), 9);            // same group, writes r1
+    b.stop();
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.regs().read(intReg(2)), 5u);
+    EXPECT_EQ(cpu.regs().read(intReg(1)), 9u);
+}
+
+TEST(Functional, FpPipeline)
+{
+    ProgramBuilder b("fp");
+    b.movi(intReg(1), 10);
+    b.itof(fpReg(1), intReg(1));
+    b.movi(intReg(2), 4);
+    b.itof(fpReg(2), intReg(2));
+    b.fdiv(fpReg(3), fpReg(1), fpReg(2));
+    b.ftoi(intReg(3), fpReg(3)); // 2.5 truncates to 2
+    b.fcmp(CmpCond::kGt, predReg(1), predReg(2), fpReg(3), fpReg(2));
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.regs().read(intReg(3)), 2u);
+    EXPECT_FALSE(cpu.regs().readPred(predReg(1))); // 2.5 < 4
+    EXPECT_TRUE(cpu.regs().readPred(predReg(2)));
+}
+
+TEST(Functional, HaltStopsMidGroup)
+{
+    ProgramBuilder b("halt", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.halt();
+    b.movi(intReg(2), 2); // same group, after the halt: never runs
+    b.stop();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    auto r = cpu.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(cpu.regs().read(intReg(1)), 1u);
+    EXPECT_EQ(cpu.regs().read(intReg(2)), 0u);
+    EXPECT_EQ(r.instsExecuted, 2u); // movi + halt
+}
+
+TEST(Functional, MaxInstsCapStopsEarly)
+{
+    ProgramBuilder b("inf");
+    b.label("spin");
+    b.addi(intReg(1), intReg(1), 1);
+    b.br("spin");
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    auto r = cpu.run(100);
+    EXPECT_FALSE(r.halted);
+    EXPECT_GE(r.instsExecuted, 100u);
+}
+
+TEST(Functional, CountsLoadsAndStores)
+{
+    ProgramBuilder b("counts");
+    b.movi(intReg(1), 0x100);
+    b.st8(intReg(1), 0, intReg(1));
+    b.ld8(intReg(2), intReg(1), 0);
+    b.cmpi(CmpCond::kEq, predReg(1), predReg(2), intReg(2), 0);
+    b.ld8(intReg(3), intReg(1), 0);
+    b.pred(predReg(1)); // nullified (r2 == 0x100 != 0)
+    b.halt();
+    const Program p = b.finalize();
+    FunctionalCpu cpu(p);
+    auto r = cpu.run();
+    EXPECT_EQ(r.storesExecuted, 1u);
+    EXPECT_EQ(r.loadsExecuted, 1u); // the nullified load not counted
+}
+
+TEST(FunctionalDeathTest, InvalidProgramIsFatal)
+{
+    ProgramBuilder b("bad");
+    b.movi(intReg(1), 1); // no halt
+    Program p = b.finalize();
+    EXPECT_EXIT(FunctionalCpu cpu(p), ::testing::ExitedWithCode(1),
+                "invalid program");
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+/** @file Unit tests for the register scoreboard. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/scoreboard.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+TEST(Scoreboard, FreshRegistersAreReady)
+{
+    Scoreboard sb;
+    EXPECT_TRUE(sb.ready(intReg(5), 0));
+    EXPECT_EQ(sb.kindOf(intReg(5)), PendingKind::kNone);
+}
+
+TEST(Scoreboard, PendingUntilReadyCycle)
+{
+    Scoreboard sb;
+    sb.setPending(intReg(5), 10, PendingKind::kLoad);
+    EXPECT_FALSE(sb.ready(intReg(5), 9));
+    EXPECT_TRUE(sb.ready(intReg(5), 10));
+    EXPECT_TRUE(sb.ready(intReg(5), 11));
+    EXPECT_EQ(sb.readyAt(intReg(5)), 10u);
+}
+
+TEST(Scoreboard, TracksProducerKind)
+{
+    Scoreboard sb;
+    sb.setPending(intReg(1), 5, PendingKind::kLoad);
+    sb.setPending(fpReg(1), 5, PendingKind::kNonLoad);
+    EXPECT_EQ(sb.kindOf(intReg(1)), PendingKind::kLoad);
+    EXPECT_EQ(sb.kindOf(fpReg(1)), PendingKind::kNonLoad);
+}
+
+TEST(Scoreboard, HardwiredRegistersAlwaysReady)
+{
+    Scoreboard sb;
+    sb.setPending(intReg(0), 100, PendingKind::kLoad);
+    sb.setPending(predReg(0), 100, PendingKind::kLoad);
+    EXPECT_TRUE(sb.ready(intReg(0), 0));
+    EXPECT_TRUE(sb.ready(predReg(0), 0));
+}
+
+TEST(Scoreboard, NewerProducerOverwrites)
+{
+    Scoreboard sb;
+    sb.setPending(intReg(3), 100, PendingKind::kLoad);
+    sb.setPending(intReg(3), 5, PendingKind::kNonLoad);
+    EXPECT_TRUE(sb.ready(intReg(3), 5));
+    EXPECT_EQ(sb.kindOf(intReg(3)), PendingKind::kNonLoad);
+}
+
+TEST(Scoreboard, ClassesAreIndependent)
+{
+    Scoreboard sb;
+    sb.setPending(intReg(4), 50, PendingKind::kLoad);
+    EXPECT_TRUE(sb.ready(fpReg(4), 0));
+    EXPECT_TRUE(sb.ready(predReg(4), 0));
+}
+
+TEST(Scoreboard, ClearReleasesEverything)
+{
+    Scoreboard sb;
+    sb.setPending(intReg(4), 50, PendingKind::kLoad);
+    sb.clear();
+    EXPECT_TRUE(sb.ready(intReg(4), 0));
+    EXPECT_EQ(sb.kindOf(intReg(4)), PendingKind::kNone);
+}
+
+TEST(Scoreboard, UnusedOperandSlotIsReady)
+{
+    Scoreboard sb;
+    EXPECT_TRUE(sb.ready(noReg(), 0));
+    EXPECT_EQ(sb.readyAt(noReg()), 0u);
+}
+
+} // namespace

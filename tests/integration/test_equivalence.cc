@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The backbone correctness property: every timed CPU model finishes
+ * every workload with exactly the architectural register file and
+ * memory image of the functional reference. Any divergence in the
+ * two-pass machinery (A-file management, store forwarding, ALAT
+ * flushes, feedback races, regrouping) shows up here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/harness.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ff;
+
+class EquivalenceTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+void
+expectMatches(const sim::FunctionalOutcome &ref,
+              const sim::SimOutcome &got, const std::string &label)
+{
+    EXPECT_EQ(ref.regFingerprint, got.regFingerprint)
+        << label << ": architectural registers diverged";
+    EXPECT_EQ(ref.memFingerprint, got.memFingerprint)
+        << label << ": architectural memory diverged";
+    EXPECT_EQ(ref.checksum, got.checksum)
+        << label << ": workload checksum diverged";
+    EXPECT_EQ(ref.result.instsExecuted, got.run.instsRetired)
+        << label << ": retired instruction count diverged";
+}
+
+TEST_P(EquivalenceTest, AllModelsMatchFunctionalReference)
+{
+    const workloads::Workload w =
+        workloads::buildWorkload(GetParam(), /*scale=*/6);
+    const sim::FunctionalOutcome ref = sim::runFunctional(w.program);
+    ASSERT_TRUE(ref.result.halted);
+
+    for (sim::CpuKind kind :
+         {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass,
+          sim::CpuKind::kTwoPassRegroup, sim::CpuKind::kRunahead}) {
+        SCOPED_TRACE(sim::cpuKindName(kind));
+        const sim::SimOutcome got = sim::simulate(w.program, kind);
+        expectMatches(ref, got, std::string(sim::cpuKindName(kind)) +
+                                    "/" + w.name);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EquivalenceTest,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '.')
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Guard-rail tests on the *shape* of the reproduced results: who
+ * wins, who loses, and the qualitative claims of Section 4. These
+ * run the real workloads at a reduced scale, so the bounds are
+ * deliberately loose — they exist to catch regressions that would
+ * invalidate the paper's story, not to pin exact numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/harness.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ff;
+
+constexpr int kScale = 25;
+
+double
+speedup(const workloads::Workload &w, sim::CpuKind kind,
+        sim::SimOutcome *out = nullptr)
+{
+    const sim::SimOutcome base =
+        sim::simulate(w.program, sim::CpuKind::kBaseline);
+    const sim::SimOutcome o = sim::simulate(w.program, kind);
+    if (out)
+        *out = o;
+    return static_cast<double>(base.run.cycles) /
+           static_cast<double>(o.run.cycles);
+}
+
+TEST(Shape, McfIsTheHeadlineWin)
+{
+    const auto w = workloads::buildWorkload("181.mcf", kScale);
+    sim::SimOutcome o;
+    EXPECT_GT(speedup(w, sim::CpuKind::kTwoPass, &o), 1.25);
+    // And the win comes from memory stalls (S3's direction): at
+    // least a third of the load-stall cycles disappear.
+    const sim::SimOutcome base =
+        sim::simulate(w.program, sim::CpuKind::kBaseline);
+    EXPECT_LT(o.cycles.of(cpu::CycleClass::kLoadStall) * 3,
+              base.cycles.of(cpu::CycleClass::kLoadStall) * 2);
+}
+
+TEST(Shape, EquakeOverlapsLongMisses)
+{
+    const auto w = workloads::buildWorkload("183.equake", kScale);
+    EXPECT_GT(speedup(w, sim::CpuKind::kTwoPass), 1.2);
+}
+
+TEST(Shape, VprIsTheOnlyNetLoss)
+{
+    // vpr's loss accrues with warm caches and a long conflict
+    // history, so this one runs at full input scale.
+    const auto w = workloads::buildWorkload("175.vpr", 100);
+    sim::SimOutcome o;
+    const double s = speedup(w, sim::CpuKind::kTwoPass, &o);
+    EXPECT_LT(s, 1.0);
+    EXPECT_GT(s, 0.75); // a loss, not a collapse
+    // The paper's attribution: deferral of FP chains + conflicts.
+    EXPECT_GT(o.twopass.storeConflictFlushes, 0u);
+    const auto &r = o.twopass;
+    EXPECT_GT(r.deferred, r.dispatched / 5);
+}
+
+TEST(Shape, GapGainsLittle)
+{
+    const auto w = workloads::buildWorkload("254.gap", kScale);
+    sim::SimOutcome o;
+    const double s = speedup(w, sim::CpuKind::kTwoPass, &o);
+    EXPECT_GT(s, 0.97);
+    EXPECT_LT(s, 1.2);
+    // Figure 7's gap claim: the B-pipe initiates most access cycles.
+    double a = 0, b = 0;
+    for (unsigned l = 0; l < memory::kNumMemLevels; ++l) {
+        a += static_cast<double>(
+            o.accesses.weightedCycles[static_cast<unsigned>(
+                memory::Initiator::kApipe)][l]);
+        b += static_cast<double>(
+            o.accesses.weightedCycles[static_cast<unsigned>(
+                memory::Initiator::kBpipe)][l]);
+    }
+    EXPECT_GT(b, a);
+}
+
+TEST(Shape, TwolfMemoryWinOffsetByFrontEnd)
+{
+    const auto w = workloads::buildWorkload("300.twolf", kScale);
+    const sim::SimOutcome base =
+        sim::simulate(w.program, sim::CpuKind::kBaseline);
+    const sim::SimOutcome o =
+        sim::simulate(w.program, sim::CpuKind::kTwoPass);
+    // Memory stalls shrink...
+    EXPECT_LT(o.cycles.of(cpu::CycleClass::kLoadStall),
+              base.cycles.of(cpu::CycleClass::kLoadStall));
+    // ...front-end stalls grow (B-DET lengthening)...
+    EXPECT_GT(o.cycles.of(cpu::CycleClass::kFrontEndStall),
+              base.cycles.of(cpu::CycleClass::kFrontEndStall));
+    // ...and the net lands near break-even.
+    const double s = static_cast<double>(base.run.cycles) /
+                     static_cast<double>(o.run.cycles);
+    EXPECT_GT(s, 0.85);
+    EXPECT_LT(s, 1.25);
+}
+
+TEST(Shape, MajorityOfAccessCyclesStartInApipe)
+{
+    // Figure 7's headline, checked on the miss-heavy benchmarks.
+    for (const char *name : {"181.mcf", "183.equake", "129.compress"}) {
+        const auto w = workloads::buildWorkload(name, kScale);
+        const sim::SimOutcome o =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        double a = 0, b = 0;
+        for (unsigned l = 0; l < memory::kNumMemLevels; ++l) {
+            a += static_cast<double>(
+                o.accesses.weightedCycles[static_cast<unsigned>(
+                    memory::Initiator::kApipe)][l]);
+            b += static_cast<double>(
+                o.accesses.weightedCycles[static_cast<unsigned>(
+                    memory::Initiator::kBpipe)][l]);
+        }
+        EXPECT_GT(a, b) << name;
+    }
+}
+
+TEST(Shape, MispredictionsSplitBetweenDets)
+{
+    // S1: a meaningful fraction resolves at each DET across the suite.
+    std::uint64_t a = 0, b = 0;
+    for (const char *name : {"099.go", "300.twolf", "197.parser"}) {
+        const auto w = workloads::buildWorkload(name, kScale);
+        const sim::SimOutcome o =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        a += o.twopass.aDetMispredicts;
+        b += o.twopass.bDetMispredicts;
+    }
+    const double a_share =
+        static_cast<double>(a) / static_cast<double>(a + b);
+    EXPECT_GT(a_share, 0.02);
+    EXPECT_LT(a_share, 0.90);
+}
+
+TEST(Shape, ConflictFreeRateIsHigh)
+{
+    // S2: nearly all A-loads issued past deferred stores survive.
+    std::uint64_t past = 0, conflicts = 0;
+    for (const auto &name : workloads::workloadNames()) {
+        const auto w = workloads::buildWorkload(name, kScale / 2);
+        const sim::SimOutcome o =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        past += o.twopass.loadsPastDeferredStore;
+        conflicts += o.twopass.storeConflictFlushes;
+    }
+    ASSERT_GT(past, 0u);
+    const double free_rate =
+        1.0 - static_cast<double>(conflicts) /
+                  static_cast<double>(past);
+    EXPECT_GT(free_rate, 0.80); // paper: 97%
+}
+
+TEST(Shape, RegroupingHelpsOnAverage)
+{
+    // S4's direction: 2Pre beats 2P in the geomean.
+    double log_sum = 0.0;
+    for (const char *name :
+         {"181.mcf", "129.compress", "300.twolf", "175.vpr"}) {
+        const auto w = workloads::buildWorkload(name, kScale);
+        const sim::SimOutcome p2 =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        const sim::SimOutcome p2re =
+            sim::simulate(w.program, sim::CpuKind::kTwoPassRegroup);
+        log_sum += std::log(static_cast<double>(p2.run.cycles) /
+                            static_cast<double>(p2re.run.cycles));
+    }
+    EXPECT_GT(std::exp(log_sum / 4.0), 1.0);
+}
+
+TEST(Shape, FeedbackRemovalHurtsMcf)
+{
+    // Figure 8: mcf without feedback defers more and runs slower.
+    const auto w = workloads::buildWorkload("181.mcf", kScale);
+    cpu::CoreConfig on = sim::table1Config();
+    const sim::SimOutcome o_on =
+        sim::simulate(w.program, sim::CpuKind::kTwoPass, on);
+    cpu::CoreConfig off = sim::table1Config();
+    off.feedbackEnabled = false;
+    const sim::SimOutcome o_off =
+        sim::simulate(w.program, sim::CpuKind::kTwoPass, off);
+    EXPECT_GT(o_off.twopass.deferred, o_on.twopass.deferred);
+    EXPECT_GE(o_off.run.cycles, o_on.run.cycles);
+}
+
+TEST(Shape, RunaheadHelpsLongMissesButNotShortOnes)
+{
+    // The paper's Sec. 2/5 positioning: run-ahead (which discards
+    // its work and refetches) pays off on long overlappable misses,
+    // while two-pass uniquely absorbs the short, diffuse ones and
+    // serial chases.
+    {
+        const auto w = workloads::buildWorkload("181.mcf", kScale);
+        const sim::SimOutcome base =
+            sim::simulate(w.program, sim::CpuKind::kBaseline);
+        const sim::SimOutcome ra =
+            sim::simulate(w.program, sim::CpuKind::kRunahead);
+        EXPECT_LT(ra.run.cycles, base.run.cycles);
+    }
+    {
+        // Short L2-hit misses: entering/exiting run-ahead costs more
+        // than the 5-cycle stall it hides; two-pass wins.
+        const auto w = workloads::buildWorkload("129.compress", kScale);
+        const sim::SimOutcome ra =
+            sim::simulate(w.program, sim::CpuKind::kRunahead);
+        const sim::SimOutcome twop =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        EXPECT_LT(twop.run.cycles, ra.run.cycles);
+    }
+    {
+        // A serial chase gives run-ahead nothing to prefetch; the
+        // refetch overhead makes it a net loss. Two-pass never loses
+        // here.
+        const auto w = workloads::buildWorkload("254.gap", kScale);
+        const sim::SimOutcome base =
+            sim::simulate(w.program, sim::CpuKind::kBaseline);
+        const sim::SimOutcome ra =
+            sim::simulate(w.program, sim::CpuKind::kRunahead);
+        const sim::SimOutcome twop =
+            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+        EXPECT_GT(ra.run.cycles, twop.run.cycles);
+        EXPECT_LE(twop.run.cycles, base.run.cycles);
+    }
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+/** @file Integration tests over the Table 2 workload suite. */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hh"
+#include "sim/harness.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ff;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, BuildsAndValidates)
+{
+    const workloads::Workload w = workloads::buildWorkload(GetParam(), 3);
+    EXPECT_EQ(w.program.validate(), "");
+    EXPECT_FALSE(w.input.empty());
+    EXPECT_EQ(w.program.name(), GetParam());
+    EXPECT_FALSE(isa::disasmProgram(w.program).empty());
+}
+
+TEST_P(WorkloadTest, DeterministicAcrossBuilds)
+{
+    const workloads::Workload a = workloads::buildWorkload(GetParam(), 4);
+    const workloads::Workload b = workloads::buildWorkload(GetParam(), 4);
+    const sim::FunctionalOutcome ra = sim::runFunctional(a.program);
+    const sim::FunctionalOutcome rb = sim::runFunctional(b.program);
+    EXPECT_EQ(ra.checksum, rb.checksum);
+    EXPECT_EQ(ra.result.instsExecuted, rb.result.instsExecuted);
+    EXPECT_EQ(ra.memFingerprint, rb.memFingerprint);
+}
+
+TEST_P(WorkloadTest, InstructionCountScalesWithInput)
+{
+    const workloads::Workload small =
+        workloads::buildWorkload(GetParam(), 4);
+    const workloads::Workload large =
+        workloads::buildWorkload(GetParam(), 12);
+    const auto rs = sim::runFunctional(small.program);
+    const auto rl = sim::runFunctional(large.program);
+    EXPECT_GT(rl.result.instsExecuted,
+              rs.result.instsExecuted * 2);
+}
+
+TEST_P(WorkloadTest, ExercisesMemory)
+{
+    const workloads::Workload w = workloads::buildWorkload(GetParam(), 4);
+    const auto r = sim::runFunctional(w.program);
+    EXPECT_GT(r.result.loadsExecuted, 0u);
+    EXPECT_GT(r.result.branchesExecuted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, WorkloadTest,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '.')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST_P(WorkloadTest, AlternateInputDiffersButStaysValid)
+{
+    const workloads::Workload def =
+        workloads::buildWorkload(GetParam(), 4);
+    const workloads::Workload alt = workloads::buildWorkload(
+        GetParam(), 4, compiler::SchedulerConfig(),
+        workloads::InputSet::kAlternate);
+    EXPECT_EQ(alt.program.validate(), "");
+    EXPECT_NE(alt.input.find("[alternate]"), std::string::npos);
+
+    const auto rd = sim::runFunctional(def.program);
+    const auto ra = sim::runFunctional(alt.program);
+    // Different data, longer run: a genuinely different input.
+    EXPECT_NE(rd.memFingerprint, ra.memFingerprint);
+    EXPECT_GT(ra.result.instsExecuted, rd.result.instsExecuted);
+}
+
+TEST(WorkloadAlternate, EquivalenceHoldsOnAlternateInputs)
+{
+    // The correctness property is input-independent: spot-check the
+    // alternate set on the conflict-prone benchmarks.
+    for (const char *name : {"175.vpr", "300.twolf", "181.mcf"}) {
+        const workloads::Workload w = workloads::buildWorkload(
+            name, 5, compiler::SchedulerConfig(),
+            workloads::InputSet::kAlternate);
+        const auto ref = sim::runFunctional(w.program);
+        for (sim::CpuKind kind :
+             {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass,
+              sim::CpuKind::kTwoPassRegroup}) {
+            const auto o = sim::simulate(w.program, kind);
+            EXPECT_EQ(o.regFingerprint, ref.regFingerprint)
+                << name << "/" << sim::cpuKindName(kind);
+            EXPECT_EQ(o.memFingerprint, ref.memFingerprint)
+                << name << "/" << sim::cpuKindName(kind);
+        }
+    }
+}
+
+TEST(WorkloadRegistry, InputSetNames)
+{
+    EXPECT_STREQ(workloads::inputSetName(workloads::InputSet::kDefault),
+                 "default");
+    EXPECT_STREQ(
+        workloads::inputSetName(workloads::InputSet::kAlternate),
+        "alternate");
+}
+
+TEST(WorkloadRegistry, NamesAreStable)
+{
+    const auto &names = workloads::workloadNames();
+    ASSERT_EQ(names.size(), 10u);
+    EXPECT_EQ(names.front(), "099.go");
+    EXPECT_EQ(names.back(), "300.twolf");
+}
+
+TEST(WorkloadRegistry, BuildAllCoversTheSuite)
+{
+    const auto all = workloads::buildAllWorkloads(3);
+    EXPECT_EQ(all.size(), workloads::workloadNames().size());
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloads::buildWorkload("999.nope", 3),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/** @file Unit tests for the ProgramBuilder assembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff::isa;
+
+TEST(Builder, EmitsOpcodesAndOperands)
+{
+    ProgramBuilder b("ops");
+    b.add(intReg(1), intReg(2), intReg(3));
+    b.addi(intReg(4), intReg(5), -7);
+    b.ld8(intReg(6), intReg(7), 16);
+    b.st4(intReg(8), -4, intReg(9));
+    b.cmp(CmpCond::kLt, predReg(1), predReg(2), intReg(1), intReg(4));
+    b.halt();
+    Program p = b.finalize();
+
+    EXPECT_EQ(p.inst(0).op, Opcode::kAdd);
+    EXPECT_EQ(p.inst(0).dst, intReg(1));
+    EXPECT_EQ(p.inst(0).src1, intReg(2));
+    EXPECT_EQ(p.inst(0).src2, intReg(3));
+    EXPECT_FALSE(p.inst(0).src2IsImm);
+
+    EXPECT_EQ(p.inst(1).op, Opcode::kAdd);
+    EXPECT_TRUE(p.inst(1).src2IsImm);
+    EXPECT_EQ(p.inst(1).imm, -7);
+
+    EXPECT_EQ(p.inst(2).op, Opcode::kLd8);
+    EXPECT_EQ(p.inst(2).imm, 16);
+    EXPECT_EQ(p.inst(2).dst, intReg(6));
+
+    EXPECT_EQ(p.inst(3).op, Opcode::kSt4);
+    EXPECT_EQ(p.inst(3).src1, intReg(8));
+    EXPECT_EQ(p.inst(3).src2, intReg(9));
+    EXPECT_EQ(p.inst(3).imm, -4);
+
+    EXPECT_EQ(p.inst(4).op, Opcode::kCmp);
+    EXPECT_EQ(p.inst(4).cond, CmpCond::kLt);
+    EXPECT_EQ(p.inst(4).dst, predReg(1));
+    EXPECT_EQ(p.inst(4).dst2, predReg(2));
+}
+
+TEST(Builder, FpEmitters)
+{
+    ProgramBuilder b("fp");
+    b.itof(fpReg(1), intReg(2));
+    b.fadd(fpReg(3), fpReg(1), fpReg(2));
+    b.fdiv(fpReg(4), fpReg(3), fpReg(1));
+    b.fcmp(CmpCond::kGe, predReg(3), predReg(4), fpReg(4), fpReg(1));
+    b.ftoi(intReg(5), fpReg(4));
+    b.halt();
+    Program p = b.finalize();
+
+    EXPECT_EQ(p.inst(0).op, Opcode::kItof);
+    EXPECT_EQ(p.inst(1).op, Opcode::kFadd);
+    EXPECT_EQ(p.inst(2).op, Opcode::kFdiv);
+    EXPECT_EQ(p.inst(3).op, Opcode::kFcmp);
+    EXPECT_EQ(p.inst(4).op, Opcode::kFtoi);
+}
+
+TEST(Builder, LabelResolution)
+{
+    ProgramBuilder b("labels");
+    b.movi(intReg(1), 0);
+    b.label("target");
+    b.addi(intReg(1), intReg(1), 1);
+    b.cmpi(CmpCond::kLt, predReg(1), predReg(2), intReg(1), 3);
+    b.br("target");
+    b.pred(predReg(1));
+    b.halt();
+    Program p = b.finalize();
+
+    const Instruction &br = p.inst(3);
+    ASSERT_TRUE(br.isBranch());
+    EXPECT_EQ(br.imm, 1); // the label binds to inst 1
+    EXPECT_EQ(br.qpred, predReg(1));
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(Builder, ForwardLabel)
+{
+    ProgramBuilder b("fwd");
+    b.br("end");
+    b.movi(intReg(1), 1);
+    b.label("end");
+    b.halt();
+    Program p = b.finalize();
+    EXPECT_EQ(p.inst(0).imm, 2);
+}
+
+TEST(Builder, AutoStopMakesSingletonGroups)
+{
+    ProgramBuilder b("auto", /*auto_stop=*/true);
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.halt();
+    Program p = b.finalize();
+    for (ff::InstIdx i = 0; i < p.size(); ++i)
+        EXPECT_TRUE(p.inst(i).stop);
+}
+
+TEST(Builder, ManualStopsControlGroups)
+{
+    ProgramBuilder b("manual", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.stop();
+    b.halt();
+    Program p = b.finalize();
+    EXPECT_FALSE(p.inst(0).stop);
+    EXPECT_TRUE(p.inst(1).stop);
+}
+
+TEST(Builder, BranchAlwaysEndsGroup)
+{
+    ProgramBuilder b("brstop", /*auto_stop=*/false);
+    b.label("l");
+    b.br("l");
+    b.halt();
+    Program p = b.finalize();
+    EXPECT_TRUE(p.inst(0).stop);
+}
+
+TEST(Builder, FinalizeForcesTrailingStop)
+{
+    ProgramBuilder b("trail", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.halt(); // no explicit stop
+    Program p = b.finalize();
+    EXPECT_TRUE(p.inst(p.size() - 1).stop);
+}
+
+TEST(Builder, PredSetsQualifier)
+{
+    ProgramBuilder b("preds");
+    b.movi(intReg(1), 1);
+    b.pred(predReg(5));
+    b.halt();
+    Program p = b.finalize();
+    EXPECT_EQ(p.inst(0).qpred, predReg(5));
+}
+
+TEST(BuilderDeathTest, UndefinedLabelIsFatal)
+{
+    ProgramBuilder b("undef");
+    b.br("nowhere");
+    b.halt();
+    EXPECT_EXIT(b.finalize(), ::testing::ExitedWithCode(1),
+                "undefined label");
+}
+
+TEST(BuilderDeathTest, DuplicateLabelIsFatal)
+{
+    ProgramBuilder b("dup");
+    b.label("x");
+    b.movi(intReg(1), 1);
+    EXPECT_EXIT(b.label("x"), ::testing::ExitedWithCode(1),
+                "duplicate label");
+}
+
+TEST(BuilderDeathTest, EmptyFinalizeIsFatal)
+{
+    ProgramBuilder b("empty");
+    EXPECT_EXIT(b.finalize(), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(BuilderDeathTest, PredBeforeAnyInstructionIsFatal)
+{
+    ProgramBuilder b("p");
+    EXPECT_EXIT(b.pred(predReg(1)), ::testing::ExitedWithCode(1),
+                "before any instruction");
+}
+
+TEST(BuilderDeathTest, NonPredQualifierIsFatal)
+{
+    ProgramBuilder b("q");
+    b.movi(intReg(1), 1);
+    EXPECT_EXIT(b.pred(intReg(2)), ::testing::ExitedWithCode(1),
+                "predicate reg");
+}
+
+} // namespace

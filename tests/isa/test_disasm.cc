@@ -1,0 +1,128 @@
+/** @file Unit tests for the disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+
+namespace
+{
+
+using namespace ff::isa;
+
+Instruction
+makeAdd()
+{
+    Instruction in;
+    in.op = Opcode::kAdd;
+    in.dst = intReg(1);
+    in.src1 = intReg(2);
+    in.src2 = intReg(3);
+    return in;
+}
+
+TEST(Disasm, AluRegReg)
+{
+    EXPECT_EQ(disasm(makeAdd()), "add r1 = r2, r3");
+}
+
+TEST(Disasm, AluImmediate)
+{
+    Instruction in = makeAdd();
+    in.src2IsImm = true;
+    in.imm = -5;
+    EXPECT_EQ(disasm(in), "add r1 = r2, -5");
+}
+
+TEST(Disasm, PredicatedPrefix)
+{
+    Instruction in = makeAdd();
+    in.qpred = predReg(6);
+    EXPECT_EQ(disasm(in), "(p6) add r1 = r2, r3");
+}
+
+TEST(Disasm, P0QualifierIsImplicit)
+{
+    EXPECT_EQ(disasm(makeAdd()).find("(p0)"), std::string::npos);
+}
+
+TEST(Disasm, LoadWithOffset)
+{
+    Instruction in;
+    in.op = Opcode::kLd8;
+    in.dst = intReg(4);
+    in.src1 = intReg(5);
+    in.imm = 8;
+    EXPECT_EQ(disasm(in), "ld8 r4 = [r5+8]");
+    in.imm = 0;
+    EXPECT_EQ(disasm(in), "ld8 r4 = [r5]");
+    in.imm = -16;
+    EXPECT_EQ(disasm(in), "ld8 r4 = [r5-16]");
+}
+
+TEST(Disasm, Store)
+{
+    Instruction in;
+    in.op = Opcode::kSt4;
+    in.src1 = intReg(1);
+    in.src2 = intReg(2);
+    in.imm = 4;
+    EXPECT_EQ(disasm(in), "st4 [r1+4] = r2");
+}
+
+TEST(Disasm, CompareWithCondition)
+{
+    Instruction in;
+    in.op = Opcode::kCmp;
+    in.cond = CmpCond::kLtu;
+    in.dst = predReg(1);
+    in.dst2 = predReg(2);
+    in.src1 = intReg(3);
+    in.imm = 10;
+    in.src2IsImm = true;
+    EXPECT_EQ(disasm(in), "cmp.ltu p1, p2 = r3, 10");
+}
+
+TEST(Disasm, Branch)
+{
+    Instruction in;
+    in.op = Opcode::kBr;
+    in.imm = 17;
+    EXPECT_EQ(disasm(in), "br @17");
+}
+
+TEST(Disasm, Movi)
+{
+    Instruction in;
+    in.op = Opcode::kMovi;
+    in.dst = intReg(9);
+    in.imm = 1234;
+    EXPECT_EQ(disasm(in), "movi r9 = 1234");
+}
+
+TEST(Disasm, NopAndHalt)
+{
+    Instruction in;
+    in.op = Opcode::kNop;
+    EXPECT_EQ(disasm(in), "nop");
+    in.op = Opcode::kHalt;
+    EXPECT_EQ(disasm(in), "halt");
+}
+
+TEST(Disasm, ProgramRendering)
+{
+    ProgramBuilder b("render", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.stop();
+    b.halt();
+    const std::string text = disasmProgram(b.finalize());
+
+    EXPECT_NE(text.find("program 'render'"), std::string::npos);
+    EXPECT_NE(text.find(";;"), std::string::npos);
+    EXPECT_NE(text.find("movi r1 = 1"), std::string::npos);
+    // Group leaders are marked with '>'.
+    EXPECT_NE(text.find("> "), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/** @file Unit tests for instruction metadata and operand queries. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+namespace
+{
+
+using namespace ff::isa;
+
+TEST(OpInfo, MnemonicsAndUnits)
+{
+    EXPECT_STREQ(opInfo(Opcode::kAdd).mnemonic, "add");
+    EXPECT_EQ(opInfo(Opcode::kAdd).unit, UnitClass::kAlu);
+    EXPECT_EQ(opInfo(Opcode::kLd8).unit, UnitClass::kMem);
+    EXPECT_EQ(opInfo(Opcode::kSt4).unit, UnitClass::kMem);
+    EXPECT_EQ(opInfo(Opcode::kFdiv).unit, UnitClass::kFp);
+    EXPECT_EQ(opInfo(Opcode::kBr).unit, UnitClass::kBranch);
+}
+
+TEST(OpInfo, Latencies)
+{
+    EXPECT_EQ(opInfo(Opcode::kAdd).latency, 1u);
+    EXPECT_EQ(opInfo(Opcode::kMul).latency, 3u);
+    EXPECT_EQ(opInfo(Opcode::kFadd).latency, 4u);
+    EXPECT_EQ(opInfo(Opcode::kFdiv).latency, 16u);
+    // Loads carry their latency in the memory hierarchy, not here.
+    EXPECT_EQ(opInfo(Opcode::kLd8).latency, 0u);
+}
+
+TEST(RegId, ConstructorsAndNames)
+{
+    EXPECT_EQ(regName(intReg(5)), "r5");
+    EXPECT_EQ(regName(fpReg(2)), "f2");
+    EXPECT_EQ(regName(predReg(7)), "p7");
+    EXPECT_EQ(regName(noReg()), "-");
+    EXPECT_FALSE(noReg().valid());
+    EXPECT_TRUE(intReg(0).valid());
+}
+
+TEST(RegId, Equality)
+{
+    EXPECT_EQ(intReg(3), intReg(3));
+    EXPECT_NE(intReg(3), fpReg(3));
+    EXPECT_NE(intReg(3), intReg(4));
+}
+
+TEST(CondName, AllConditions)
+{
+    EXPECT_STREQ(condName(CmpCond::kEq), "eq");
+    EXPECT_STREQ(condName(CmpCond::kNe), "ne");
+    EXPECT_STREQ(condName(CmpCond::kLt), "lt");
+    EXPECT_STREQ(condName(CmpCond::kLe), "le");
+    EXPECT_STREQ(condName(CmpCond::kGt), "gt");
+    EXPECT_STREQ(condName(CmpCond::kGe), "ge");
+    EXPECT_STREQ(condName(CmpCond::kLtu), "ltu");
+}
+
+TEST(Instruction, Predicates)
+{
+    Instruction in;
+    in.op = Opcode::kLd4;
+    EXPECT_TRUE(in.isLoad());
+    EXPECT_TRUE(in.isMem());
+    EXPECT_FALSE(in.isStore());
+    in.op = Opcode::kSt8;
+    EXPECT_TRUE(in.isStore());
+    EXPECT_TRUE(in.isMem());
+    in.op = Opcode::kBr;
+    EXPECT_TRUE(in.isBranch());
+    in.op = Opcode::kHalt;
+    EXPECT_TRUE(in.isHalt());
+    in.op = Opcode::kNop;
+    EXPECT_TRUE(in.isNop());
+    in.op = Opcode::kFmul;
+    EXPECT_TRUE(in.isFp());
+}
+
+TEST(Instruction, SourcesIncludeQpredFirst)
+{
+    Instruction in;
+    in.op = Opcode::kAdd;
+    in.qpred = predReg(3);
+    in.src1 = intReg(4);
+    in.src2 = intReg(5);
+    std::array<RegId, 4> srcs;
+    const unsigned n = in.sources(srcs);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(srcs[0], predReg(3));
+    EXPECT_EQ(srcs[1], intReg(4));
+    EXPECT_EQ(srcs[2], intReg(5));
+}
+
+TEST(Instruction, ImmediateSrc2NotASource)
+{
+    Instruction in;
+    in.op = Opcode::kAdd;
+    in.src1 = intReg(4);
+    in.src2 = intReg(5); // set, but shadowed by the immediate flag
+    in.src2IsImm = true;
+    std::array<RegId, 4> srcs;
+    EXPECT_EQ(in.sources(srcs), 2u); // qpred + src1 only
+}
+
+TEST(Instruction, DestinationsOfCompare)
+{
+    Instruction in;
+    in.op = Opcode::kCmp;
+    in.dst = predReg(1);
+    in.dst2 = predReg(2);
+    std::array<RegId, 2> dsts;
+    const unsigned n = in.destinations(dsts);
+    ASSERT_EQ(n, 2u);
+    EXPECT_EQ(dsts[0], predReg(1));
+    EXPECT_EQ(dsts[1], predReg(2));
+}
+
+TEST(Instruction, StoreHasNoDestinations)
+{
+    Instruction in;
+    in.op = Opcode::kSt8;
+    in.src1 = intReg(1);
+    in.src2 = intReg(2);
+    std::array<RegId, 2> dsts;
+    EXPECT_EQ(in.destinations(dsts), 0u);
+}
+
+TEST(Instruction, DefaultQpredIsP0)
+{
+    Instruction in;
+    EXPECT_EQ(in.qpred, predReg(0));
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/** @file Unit tests for the DynID-indexed ALAT. */
+
+#include <gtest/gtest.h>
+
+#include "memory/alat.hh"
+
+namespace
+{
+
+using ff::memory::Alat;
+
+TEST(Alat, AllocateCheckRemove)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    EXPECT_TRUE(a.check(1));
+    a.remove(1);
+    EXPECT_FALSE(a.check(1));
+    EXPECT_EQ(a.stats().allocations, 1u);
+    EXPECT_EQ(a.stats().checksPassed, 1u);
+    EXPECT_EQ(a.stats().checksFailed, 1u);
+}
+
+TEST(Alat, StoreInvalidatesOverlappingEntry)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    a.invalidateOverlap(0x104, 8); // overlaps [0x100,0x108)
+    EXPECT_FALSE(a.check(1));
+    EXPECT_EQ(a.stats().storeInvalidations, 1u);
+}
+
+TEST(Alat, AdjacentStoreDoesNotInvalidate)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    a.invalidateOverlap(0x108, 8); // starts exactly at the end
+    a.invalidateOverlap(0x0F8, 8); // ends exactly at the start
+    EXPECT_TRUE(a.check(1));
+}
+
+TEST(Alat, OneByteOverlapInvalidates)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    a.invalidateOverlap(0x107, 1);
+    EXPECT_FALSE(a.check(1));
+}
+
+TEST(Alat, StoreKillsAllOverlappingEntries)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    a.allocate(2, 0x104, 8);
+    a.allocate(3, 0x200, 8);
+    a.invalidateOverlap(0x100, 16);
+    EXPECT_FALSE(a.check(1));
+    EXPECT_FALSE(a.check(2));
+    EXPECT_TRUE(a.check(3));
+    EXPECT_EQ(a.stats().storeInvalidations, 2u);
+}
+
+TEST(Alat, SquashYoungerThan)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    a.allocate(5, 0x200, 8);
+    a.allocate(9, 0x300, 8);
+    a.squashYoungerThan(5);
+    EXPECT_TRUE(a.check(1));
+    EXPECT_TRUE(a.check(5));
+    EXPECT_FALSE(a.check(9));
+}
+
+TEST(Alat, PerfectModeIsUnbounded)
+{
+    Alat a(0);
+    for (ff::DynId id = 1; id <= 1000; ++id)
+        a.allocate(id, id * 8, 8);
+    EXPECT_EQ(a.liveEntries(), 1000u);
+    EXPECT_EQ(a.stats().capacityEvictions, 0u);
+    EXPECT_TRUE(a.check(1));
+}
+
+TEST(Alat, FiniteCapacityEvictsFifoOrder)
+{
+    Alat a(2);
+    a.allocate(1, 0x100, 8);
+    a.allocate(2, 0x200, 8);
+    a.allocate(3, 0x300, 8); // evicts id 1
+    EXPECT_EQ(a.liveEntries(), 2u);
+    EXPECT_EQ(a.stats().capacityEvictions, 1u);
+    EXPECT_FALSE(a.check(1)); // false positive: safe, slower
+    EXPECT_TRUE(a.check(2));
+    EXPECT_TRUE(a.check(3));
+}
+
+TEST(Alat, Clear)
+{
+    Alat a(0);
+    a.allocate(1, 0x100, 8);
+    a.clear();
+    EXPECT_EQ(a.liveEntries(), 0u);
+    EXPECT_FALSE(a.check(1));
+}
+
+TEST(Alat, ReallocationAfterRemove)
+{
+    Alat a(2);
+    a.allocate(1, 0x100, 8);
+    a.remove(1);
+    a.allocate(2, 0x200, 8);
+    a.allocate(3, 0x300, 8);
+    // Only 2 live entries; no capacity eviction should have fired.
+    EXPECT_EQ(a.stats().capacityEvictions, 0u);
+    EXPECT_TRUE(a.check(2));
+    EXPECT_TRUE(a.check(3));
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/** @file Unit tests for the set-associative tag store. */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+
+namespace
+{
+
+using ff::Addr;
+using ff::memory::Cache;
+using ff::memory::CacheGeometry;
+using ff::memory::Eviction;
+
+// Tiny cache for precise control: 4 sets x 2 ways x 64B = 512B.
+CacheGeometry
+tinyGeom()
+{
+    return {512, 2, 64, 2};
+}
+
+TEST(Cache, MissThenHitAfterInsert)
+{
+    Cache c("t", tinyGeom());
+    EXPECT_FALSE(c.access(0x1000, false));
+    c.insert(0x1000, false);
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LineGranularity)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0x1000, false);
+    EXPECT_TRUE(c.access(0x103F, false));  // same 64B line
+    EXPECT_FALSE(c.access(0x1040, false)); // next line
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c("t", tinyGeom());
+    // Set index = (addr/64) % 4. These three all map to set 0.
+    const Addr a = 0 * 256, b = 1 * 256, d = 2 * 256;
+    c.insert(a, false);
+    c.insert(b, false);
+    c.access(a, false); // a is now MRU
+    Eviction ev = c.insert(d, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, b); // b was LRU
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0 * 256, true); // dirty
+    c.insert(1 * 256, false);
+    Eviction ev = c.insert(2 * 256, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(c.writebacks(), 1u);
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(Cache, StoreHitDirtiesLine)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0 * 256, false);
+    c.access(0 * 256, true); // store hit
+    c.insert(1 * 256, false);
+    Eviction ev = c.insert(2 * 256, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0u);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, ReinsertRefreshesInsteadOfEvicting)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0x1000, false);
+    Eviction ev = c.insert(0x1000, true);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_TRUE(c.contains(0x1000));
+}
+
+TEST(Cache, ContainsDoesNotTouchLru)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0 * 256, false);
+    c.insert(1 * 256, false);
+    // contains() must not promote line 0 to MRU...
+    EXPECT_TRUE(c.contains(0 * 256));
+    Eviction ev = c.insert(2 * 256, false);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0u); // ...so line 0 is still the LRU victim
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0x1000, false);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.contains(0x1000));
+    c.invalidate(0x2000); // no-op on absent lines
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c("t", tinyGeom());
+    // Four consecutive lines land in four different sets.
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        c.insert(a, false);
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        EXPECT_TRUE(c.contains(a));
+}
+
+TEST(Cache, Reset)
+{
+    Cache c("t", tinyGeom());
+    c.insert(0x1000, false);
+    c.access(0x1000, false);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, Table1Geometries)
+{
+    // The real configurations must construct cleanly.
+    Cache l1("l1", {16 * 1024, 4, 64, 2});
+    Cache l2("l2", {256 * 1024, 8, 128, 5});
+    Cache l3("l3", {3 * 512 * 1024, 12, 128, 15});
+    EXPECT_FALSE(l3.access(0x100, false));
+    l3.insert(0x100, false);
+    EXPECT_TRUE(l3.access(0x100, false));
+}
+
+TEST(CacheDeathTest, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache("bad", {512, 2, 48, 1}),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(Cache("bad", {512, 0, 64, 1}),
+                ::testing::ExitedWithCode(1), "associativity");
+    EXPECT_EXIT(Cache("bad", {500, 2, 64, 1}),
+                ::testing::ExitedWithCode(1), "divisible");
+}
+
+} // namespace

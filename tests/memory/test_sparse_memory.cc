@@ -1,0 +1,104 @@
+/** @file Unit tests for the sparse memory model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/sparse_memory.hh"
+
+namespace
+{
+
+using ff::Addr;
+using ff::memory::SparseMemory;
+
+TEST(SparseMemory, UntouchedReadsZero)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.readByte(0), 0);
+    EXPECT_EQ(m.read64(0xDEADBEEF000), 0u);
+    EXPECT_EQ(m.touchedPages(), 0u);
+}
+
+TEST(SparseMemory, ByteRoundTrip)
+{
+    SparseMemory m;
+    m.writeByte(5, 0xAB);
+    EXPECT_EQ(m.readByte(5), 0xAB);
+    EXPECT_EQ(m.readByte(4), 0);
+    EXPECT_EQ(m.readByte(6), 0);
+}
+
+TEST(SparseMemory, LittleEndianMultiByte)
+{
+    SparseMemory m;
+    m.write64(0x100, 0x1122334455667788ULL);
+    EXPECT_EQ(m.readByte(0x100), 0x88);
+    EXPECT_EQ(m.readByte(0x107), 0x11);
+    EXPECT_EQ(m.read32(0x100), 0x55667788u);
+    EXPECT_EQ(m.read(0x102, 2), 0x5566u);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory m;
+    const Addr a = SparseMemory::kPageBytes - 3;
+    m.write64(a, 0x0807060504030201ULL);
+    EXPECT_EQ(m.read64(a), 0x0807060504030201ULL);
+    EXPECT_EQ(m.touchedPages(), 2u);
+}
+
+TEST(SparseMemory, PartialOverwrite)
+{
+    SparseMemory m;
+    m.write64(0x10, ~0ULL);
+    m.write32(0x12, 0);
+    EXPECT_EQ(m.read64(0x10), 0xFFFF00000000FFFFULL);
+}
+
+TEST(SparseMemory, FingerprintDistinguishesContent)
+{
+    SparseMemory a, b;
+    a.write64(0x100, 1);
+    b.write64(0x100, 2);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    b.write64(0x100, 1);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SparseMemory, FingerprintIgnoresZeroPages)
+{
+    SparseMemory a, b;
+    a.write64(0x100, 7);
+    b.write64(0x100, 7);
+    // Touch (but zero) an extra page in b only.
+    b.writeByte(0x900000, 1);
+    b.writeByte(0x900000, 0);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SparseMemory, FingerprintIsAddressSensitive)
+{
+    SparseMemory a, b;
+    a.write64(0x0000, 7);
+    b.write64(0x9000, 7); // different page
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SparseMemory, LoadPages)
+{
+    std::map<Addr, std::vector<std::uint8_t>> pages;
+    pages[0] = std::vector<std::uint8_t>(SparseMemory::kPageBytes, 0);
+    pages[0][10] = 0x5A;
+    SparseMemory m;
+    m.loadPages(pages);
+    EXPECT_EQ(m.readByte(10), 0x5A);
+    EXPECT_EQ(m.readByte(11), 0);
+}
+
+TEST(SparseMemoryDeathTest, OversizedAccessPanics)
+{
+    SparseMemory m;
+    EXPECT_DEATH(m.read(0, 9), "oversized");
+    EXPECT_DEATH(m.write(0, 0, 16), "oversized");
+}
+
+} // namespace

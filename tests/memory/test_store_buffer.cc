@@ -1,0 +1,142 @@
+/** @file Unit tests for the speculative store buffer. */
+
+#include <gtest/gtest.h>
+
+#include "memory/store_buffer.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::memory;
+
+TEST(StoreBuffer, CapacityTracking)
+{
+    StoreBuffer sb(2);
+    EXPECT_TRUE(sb.empty());
+    sb.insert(1, 0x100, 8, 1);
+    EXPECT_FALSE(sb.full());
+    sb.insert(2, 0x108, 8, 2);
+    EXPECT_TRUE(sb.full());
+    EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(StoreBuffer, ForwardFullContainment)
+{
+    StoreBuffer sb(8);
+    SparseMemory mem;
+    sb.insert(1, 0x100, 8, 0xAABBCCDDEEFF0011ULL);
+    bool fwd = false;
+    EXPECT_EQ(sb.read(5, 0x100, 8, mem, &fwd),
+              0xAABBCCDDEEFF0011ULL);
+    EXPECT_TRUE(fwd);
+}
+
+TEST(StoreBuffer, ForwardSubsetOfStore)
+{
+    StoreBuffer sb(8);
+    SparseMemory mem;
+    sb.insert(1, 0x100, 8, 0x1122334455667788ULL);
+    // A 4-byte load from the middle of the stored range.
+    EXPECT_EQ(sb.read(5, 0x102, 4, mem, nullptr), 0x33445566u);
+}
+
+TEST(StoreBuffer, ComposesMultipleStoresAndMemory)
+{
+    StoreBuffer sb(8);
+    SparseMemory mem;
+    mem.write64(0x100, 0xFFFFFFFFFFFFFFFFULL);
+    sb.insert(1, 0x100, 4, 0x44332211);
+    sb.insert(2, 0x104, 2, 0x6655);
+    // 8-byte load: bytes 0-3 from store 1, 4-5 from store 2,
+    // 6-7 from memory.
+    EXPECT_EQ(sb.read(9, 0x100, 8, mem, nullptr),
+              0xFFFF665544332211ULL);
+}
+
+TEST(StoreBuffer, YoungerOfTwoOverlappingStoresWins)
+{
+    StoreBuffer sb(8);
+    SparseMemory mem;
+    sb.insert(1, 0x100, 8, 0x1111111111111111ULL);
+    sb.insert(2, 0x100, 8, 0x2222222222222222ULL);
+    EXPECT_EQ(sb.read(9, 0x100, 8, mem, nullptr),
+              0x2222222222222222ULL);
+}
+
+TEST(StoreBuffer, EntriesNotOlderThanLoadAreIgnored)
+{
+    StoreBuffer sb(8);
+    SparseMemory mem;
+    mem.write64(0x100, 7);
+    sb.insert(10, 0x100, 8, 99);
+    bool fwd = true;
+    // The load (id 5) is older than the store (id 10).
+    EXPECT_EQ(sb.read(5, 0x100, 8, mem, &fwd), 7u);
+    EXPECT_FALSE(fwd);
+}
+
+TEST(StoreBuffer, CommitOldestWritesMemoryInOrder)
+{
+    StoreBuffer sb(8);
+    SparseMemory mem;
+    sb.insert(1, 0x100, 8, 11);
+    sb.insert(2, 0x108, 4, 22);
+    sb.commitOldest(1, mem);
+    EXPECT_EQ(mem.read64(0x100), 11u);
+    EXPECT_EQ(sb.size(), 1u);
+    sb.commitOldest(2, mem);
+    EXPECT_EQ(mem.read32(0x108), 22u);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBuffer, SquashYoungerThan)
+{
+    StoreBuffer sb(8);
+    sb.insert(1, 0x100, 8, 1);
+    sb.insert(5, 0x108, 8, 5);
+    sb.insert(9, 0x110, 8, 9);
+    sb.squashYoungerThan(5);
+    EXPECT_EQ(sb.size(), 2u);
+    EXPECT_EQ(sb.entries().back().id, 5u);
+}
+
+TEST(StoreBuffer, ClearEmpties)
+{
+    StoreBuffer sb(4);
+    sb.insert(1, 0x100, 8, 1);
+    sb.clear();
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBufferDeathTest, OverflowPanics)
+{
+    StoreBuffer sb(1);
+    sb.insert(1, 0x100, 8, 1);
+    EXPECT_DEATH(sb.insert(2, 0x108, 8, 2), "overflow");
+}
+
+TEST(StoreBufferDeathTest, OutOfOrderInsertPanics)
+{
+    StoreBuffer sb(4);
+    sb.insert(5, 0x100, 8, 1);
+    EXPECT_DEATH(sb.insert(3, 0x108, 8, 2), "out of order");
+}
+
+TEST(StoreBufferDeathTest, CommitOrderViolationPanics)
+{
+    StoreBuffer sb(4);
+    SparseMemory mem;
+    sb.insert(1, 0x100, 8, 1);
+    sb.insert(2, 0x108, 8, 2);
+    EXPECT_DEATH(sb.commitOldest(2, mem), "order violation");
+}
+
+TEST(StoreBufferDeathTest, CommitFromEmptyPanics)
+{
+    StoreBuffer sb(4);
+    SparseMemory mem;
+    EXPECT_DEATH(sb.commitOldest(1, mem), "empty store buffer");
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+/** @file Unit tests for the text-report helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::sim;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer-name", "22"});
+    const std::string out = t.render();
+
+    // Every row has the value column starting at the same offset.
+    const auto header_pos = out.find("value");
+    const auto row1_line = out.find("a ");
+    ASSERT_NE(header_pos, std::string::npos);
+    ASSERT_NE(row1_line, std::string::npos);
+    EXPECT_NE(out.find("longer-name  22"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRule)
+{
+    TextTable t;
+    t.header({"x"});
+    t.row({"y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoRule)
+{
+    TextTable t;
+    t.row({"just", "data"});
+    EXPECT_EQ(t.render().find('-'), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(Fixed, Precision)
+{
+    EXPECT_EQ(fixed(1.23456, 3), "1.235");
+    EXPECT_EQ(fixed(2.0, 1), "2.0");
+    EXPECT_EQ(fixed(-0.5, 2), "-0.50");
+}
+
+TEST(Pct, Formatting)
+{
+    EXPECT_EQ(pct(0.5), "50.0%");
+    EXPECT_EQ(pct(0.123), "12.3%");
+    EXPECT_EQ(pct(1.0), "100.0%");
+    EXPECT_EQ(pct(0.0), "0.0%");
+}
+
+TEST(Fig6Cells, NormalizesToBaseline)
+{
+    cpu::CycleAccounting acct;
+    acct.counts[0] = 50; // unstalled
+    acct.counts[1] = 25; // load
+    acct.counts[4] = 25; // frontend
+    const auto cells = fig6Cells(acct, 100);
+    ASSERT_EQ(cells.size(), cpu::kNumCycleClasses + 1);
+    EXPECT_EQ(cells[0], "0.500");
+    EXPECT_EQ(cells[1], "0.250");
+    EXPECT_EQ(cells[4], "0.250");
+    EXPECT_EQ(cells.back(), "1.000"); // total
+}
+
+TEST(Fig6Cells, ZeroBaselineIsSafe)
+{
+    cpu::CycleAccounting acct;
+    acct.counts[0] = 3;
+    const auto cells = fig6Cells(acct, 0);
+    EXPECT_EQ(cells[0], "3.000"); // falls back to a unit norm
+}
+
+} // namespace

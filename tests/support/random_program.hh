@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Shared random-program generator for property tests: produces valid,
+ * terminating EPIC programs with loops, predication, data-dependent
+ * skips and bounded memory traffic.
+ */
+
+#ifndef FF_TESTS_SUPPORT_RANDOM_PROGRAM_HH
+#define FF_TESTS_SUPPORT_RANDOM_PROGRAM_HH
+
+#include <string>
+#include <utility>
+
+#include "common/random.hh"
+#include "compiler/scheduler.hh"
+#include "isa/builder.hh"
+
+namespace ff
+{
+namespace testsupport
+{
+
+using namespace ff::isa;
+
+/** Register pools the generator draws from. */
+constexpr unsigned kIntPool = 16;   // r1..r16
+constexpr unsigned kFpPool = 6;     // f1..f6
+constexpr unsigned kPredPool = 6;   // p1..p6
+constexpr Addr kDataBase = 0x100000;
+// Address-window mask for memory traffic. The default 32KB window
+// spreads accesses; the aliasing-heavy instantiation shrinks it so
+// loads constantly race deferred stores through the ALAT.
+std::int64_t g_data_mask = 0x7FF8;
+
+RegId
+randInt(Rng &rng)
+{
+    return intReg(1 + static_cast<unsigned>(rng.nextBelow(kIntPool)));
+}
+
+RegId
+randFp(Rng &rng)
+{
+    return fpReg(1 + static_cast<unsigned>(rng.nextBelow(kFpPool)));
+}
+
+RegId
+randPred(Rng &rng)
+{
+    return predReg(1 + static_cast<unsigned>(rng.nextBelow(kPredPool)));
+}
+
+CmpCond
+randCond(Rng &rng)
+{
+    return static_cast<CmpCond>(rng.nextBelow(7));
+}
+
+/** Two *distinct* predicate destinations (same-reg pairs are WAW). */
+std::pair<RegId, RegId>
+randPredPair(Rng &rng)
+{
+    const unsigned a = 1 + static_cast<unsigned>(rng.nextBelow(kPredPool));
+    const unsigned b =
+        1 + (a - 1 + 1 + static_cast<unsigned>(rng.nextBelow(
+                             kPredPool - 1))) % kPredPool;
+    return {predReg(a), predReg(b)};
+}
+
+/** Emits one random body instruction (possibly predicated). */
+void
+emitRandomInst(ProgramBuilder &b, Rng &rng)
+{
+    const bool predicated = rng.chance(0.25);
+    const auto pred = randPred(rng);
+
+    switch (rng.nextBelow(12)) {
+      case 0:
+        b.add(randInt(rng), randInt(rng), randInt(rng));
+        break;
+      case 1:
+        b.sub(randInt(rng), randInt(rng), randInt(rng));
+        break;
+      case 2:
+        b.xori(randInt(rng), randInt(rng),
+               rng.nextRange(-4096, 4096));
+        break;
+      case 3:
+        b.shri(randInt(rng), randInt(rng),
+               static_cast<std::int64_t>(rng.nextBelow(24)));
+        break;
+      case 4:
+        b.mul(randInt(rng), randInt(rng), randInt(rng));
+        break;
+      case 5: {
+        const auto [pt, pf] = randPredPair(rng);
+        b.cmp(randCond(rng), pt, pf, randInt(rng), randInt(rng));
+        break;
+      }
+      case 6: { // load from the bounded window
+        const RegId addr = intReg(17);
+        b.andi(addr, randInt(rng), g_data_mask);
+        b.addi(addr, addr, static_cast<std::int64_t>(kDataBase));
+        if (rng.chance(0.5))
+            b.ld8(randInt(rng), addr, 0);
+        else
+            b.ld4(randInt(rng), addr, rng.nextBelow(2) * 4);
+        break;
+      }
+      case 7: { // store into the bounded window
+        const RegId addr = intReg(18);
+        b.andi(addr, randInt(rng), g_data_mask);
+        b.addi(addr, addr, static_cast<std::int64_t>(kDataBase));
+        if (rng.chance(0.5))
+            b.st8(addr, 0, randInt(rng));
+        else
+            b.st4(addr, rng.nextBelow(2) * 4, randInt(rng));
+        break;
+      }
+      case 8:
+        b.fadd(randFp(rng), randFp(rng), randFp(rng));
+        break;
+      case 9:
+        b.fmul(randFp(rng), randFp(rng), randFp(rng));
+        break;
+      case 10:
+        b.itof(randFp(rng), randInt(rng));
+        break;
+      case 11:
+        b.ftoi(randInt(rng), randFp(rng));
+        break;
+    }
+    if (predicated)
+        b.pred(pred);
+}
+
+/** Generates a valid, terminating random program. */
+Program
+randomProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b("fuzz" + std::to_string(seed));
+
+    // Seed the register pools.
+    for (unsigned i = 1; i <= kIntPool; ++i)
+        b.movi(intReg(i), rng.nextRange(-100000, 100000));
+    for (unsigned i = 1; i <= kFpPool; ++i)
+        b.itof(fpReg(i), intReg(1 + (i % kIntPool)));
+    for (unsigned i = 1; i <= kPredPool; ++i) {
+        b.cmpi(randCond(rng), predReg(i),
+               predReg(1 + (i % kPredPool)), randInt(rng),
+               rng.nextRange(-10, 10));
+    }
+
+    const unsigned num_loops = 1 + rng.nextBelow(3);
+    for (unsigned loop = 0; loop < num_loops; ++loop) {
+        const std::string label = "loop" + std::to_string(loop);
+        // A dedicated counter register keeps the loop bounded.
+        b.movi(intReg(24), rng.nextRange(2, 8));
+        b.label(label);
+
+        const unsigned body = 4 + rng.nextBelow(14);
+        unsigned seg = 0;
+        while (seg < body) {
+            if (rng.chance(0.2)) {
+                // A data-dependent forward skip over a short segment.
+                const std::string skip = "skip" + std::to_string(loop) +
+                                         "_" + std::to_string(seg);
+                b.cmp(randCond(rng), predReg(7), predReg(8),
+                      randInt(rng), randInt(rng));
+                b.br(skip);
+                b.pred(predReg(7));
+                const unsigned inner = 1 + rng.nextBelow(3);
+                for (unsigned k = 0; k < inner; ++k)
+                    emitRandomInst(b, rng);
+                b.label(skip);
+                seg += inner + 1;
+            } else {
+                emitRandomInst(b, rng);
+                ++seg;
+            }
+        }
+
+        b.subi(intReg(24), intReg(24), 1);
+        b.cmpi(CmpCond::kGt, predReg(20), predReg(21), intReg(24), 0);
+        b.br(label);
+        b.pred(predReg(20));
+    }
+
+    // Fold visible state into a checksum and halt.
+    for (unsigned i = 2; i <= 8; ++i)
+        b.add(intReg(1), intReg(1), intReg(i));
+    b.movi(intReg(19), 0x100);
+    b.st8(intReg(19), 0, intReg(1));
+    b.halt();
+
+    Program seq = b.finalize();
+    for (std::int64_t off = 0; off <= g_data_mask; off += 8) {
+        seq.poke64(kDataBase + static_cast<Addr>(off),
+                   rng.next() & 0xFFFFFFFFFFFFULL);
+    }
+    return compiler::schedule(seq);
+}
+
+
+} // namespace testsupport
+} // namespace ff
+
+#endif // FF_TESTS_SUPPORT_RANDOM_PROGRAM_HH

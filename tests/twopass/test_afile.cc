@@ -1,0 +1,141 @@
+/** @file Unit tests for the A-file (V/S/DynID speculative regfile). */
+
+#include <gtest/gtest.h>
+
+#include "cpu/twopass/afile.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+TEST(AFile, FreshRegistersAreValidAndReady)
+{
+    AFile a;
+    EXPECT_TRUE(a.valid(intReg(5)));
+    EXPECT_TRUE(a.readyBy(intReg(5), 0));
+    EXPECT_EQ(a.read(intReg(5)), 0u);
+    EXPECT_EQ(a.lastWriter(intReg(5)), kInvalidDynId);
+}
+
+TEST(AFile, WriteExecutedSetsValueAndTiming)
+{
+    AFile a;
+    a.writeExecuted(intReg(3), 77, /*id=*/9, /*ready_at=*/20,
+                    PendingKind::kLoad);
+    EXPECT_TRUE(a.valid(intReg(3)));
+    EXPECT_EQ(a.read(intReg(3)), 77u);
+    EXPECT_FALSE(a.readyBy(intReg(3), 19));
+    EXPECT_TRUE(a.readyBy(intReg(3), 20));
+    EXPECT_EQ(a.kindOf(intReg(3)), PendingKind::kLoad);
+    EXPECT_EQ(a.lastWriter(intReg(3)), 9u);
+}
+
+TEST(AFile, MarkDeferredClearsValid)
+{
+    AFile a;
+    a.writeExecuted(intReg(3), 77, 9, 0, PendingKind::kNone);
+    a.markDeferred(intReg(3), 10);
+    EXPECT_FALSE(a.valid(intReg(3)));
+    EXPECT_EQ(a.lastWriter(intReg(3)), 10u);
+}
+
+TEST(AFile, FeedbackAppliesOnlyToMatchingDynId)
+{
+    AFile a;
+    a.markDeferred(intReg(3), 10);
+    // A stale feedback (different id) must be dropped.
+    EXPECT_FALSE(a.applyFeedback(intReg(3), 42, 9));
+    EXPECT_FALSE(a.valid(intReg(3)));
+    // The matching update restores validity.
+    EXPECT_TRUE(a.applyFeedback(intReg(3), 42, 10));
+    EXPECT_TRUE(a.valid(intReg(3)));
+    EXPECT_TRUE(a.readyBy(intReg(3), 0));
+    EXPECT_EQ(a.read(intReg(3)), 42u);
+}
+
+TEST(AFile, YoungerWriterBlocksOlderFeedback)
+{
+    AFile a;
+    a.markDeferred(intReg(3), 10);
+    a.writeExecuted(intReg(3), 55, 12, 0, PendingKind::kNone);
+    // Instruction 10's feedback arrives after 12 rewrote the register.
+    EXPECT_FALSE(a.applyFeedback(intReg(3), 42, 10));
+    EXPECT_EQ(a.read(intReg(3)), 55u);
+}
+
+TEST(AFile, CommitMatchClearsSpeculativeBit)
+{
+    AFile a;
+    RegFile bfile;
+    a.writeExecuted(intReg(3), 77, 9, 0, PendingKind::kNone);
+    a.commitMatch(intReg(3), 9);
+    // The entry is architectural now: a repair must not touch it.
+    bfile.write(intReg(3), 1);
+    a.repairFromArch(bfile);
+    EXPECT_EQ(a.read(intReg(3)), 77u);
+}
+
+TEST(AFile, CommitMatchIgnoresMismatchedId)
+{
+    AFile a;
+    RegFile bfile;
+    a.writeExecuted(intReg(3), 77, 9, 0, PendingKind::kNone);
+    a.commitMatch(intReg(3), 8); // not the owner
+    bfile.write(intReg(3), 1);
+    a.repairFromArch(bfile); // still speculative -> repaired
+    EXPECT_EQ(a.read(intReg(3)), 1u);
+}
+
+TEST(AFile, RepairRestoresSpeculativeAndInvalidEntries)
+{
+    AFile a;
+    RegFile bfile;
+    bfile.write(intReg(1), 100);
+    bfile.write(intReg(2), 200);
+    a.writeExecuted(intReg(1), 55, 9, 50, PendingKind::kLoad);
+    a.markDeferred(intReg(2), 10);
+    const unsigned repaired = a.repairFromArch(bfile);
+    EXPECT_GE(repaired, 2u);
+    EXPECT_TRUE(a.valid(intReg(1)));
+    EXPECT_TRUE(a.valid(intReg(2)));
+    EXPECT_EQ(a.read(intReg(1)), 100u);
+    EXPECT_EQ(a.read(intReg(2)), 200u);
+    EXPECT_TRUE(a.readyBy(intReg(1), 0)); // timing cleared
+    EXPECT_EQ(a.lastWriter(intReg(1)), kInvalidDynId);
+}
+
+TEST(AFile, HardwiredRegistersAreImmune)
+{
+    AFile a;
+    a.markDeferred(intReg(0), 5);
+    a.markDeferred(predReg(0), 5);
+    EXPECT_TRUE(a.valid(intReg(0)));
+    EXPECT_TRUE(a.valid(predReg(0)));
+    EXPECT_EQ(a.read(intReg(0)), 0u);
+    EXPECT_TRUE(a.readPred(predReg(0)));
+    a.writeExecuted(intReg(0), 9, 5, 0, PendingKind::kNone);
+    EXPECT_EQ(a.read(intReg(0)), 0u);
+}
+
+TEST(AFile, PredicateWritesNormalize)
+{
+    AFile a;
+    a.writeExecuted(predReg(3), 0xF0, 1, 0, PendingKind::kNone);
+    EXPECT_EQ(a.read(predReg(3)), 1u);
+    EXPECT_TRUE(a.applyFeedback(predReg(3), 0xF0, 1));
+    EXPECT_EQ(a.read(predReg(3)), 1u);
+}
+
+TEST(AFile, ResetRestoresFreshState)
+{
+    AFile a;
+    a.markDeferred(intReg(3), 10);
+    a.reset();
+    EXPECT_TRUE(a.valid(intReg(3)));
+    EXPECT_EQ(a.read(intReg(3)), 0u);
+}
+
+} // namespace

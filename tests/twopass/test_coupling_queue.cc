@@ -1,0 +1,110 @@
+/** @file Unit tests for the coupling queue / CRS container. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/twopass/coupling_queue.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+
+CqEntry
+entry(DynId id, CqStatus status, bool group_end = true,
+      bool is_store = false)
+{
+    CqEntry e;
+    e.id = id;
+    e.status = status;
+    e.groupEnd = group_end;
+    e.isStore = is_store;
+    return e;
+}
+
+TEST(CouplingQueue, FifoBasics)
+{
+    CouplingQueue cq(4);
+    EXPECT_TRUE(cq.empty());
+    EXPECT_EQ(cq.capacity(), 4u);
+    cq.push(entry(1, CqStatus::kPreExecuted));
+    cq.push(entry(2, CqStatus::kDeferred));
+    EXPECT_EQ(cq.size(), 2u);
+    EXPECT_EQ(cq.at(0).id, 1u);
+    EXPECT_EQ(cq.at(1).id, 2u);
+    cq.pop();
+    EXPECT_EQ(cq.at(0).id, 2u);
+}
+
+TEST(CouplingQueue, FreeSlotsAndFull)
+{
+    CouplingQueue cq(2);
+    EXPECT_EQ(cq.freeSlots(), 2u);
+    cq.push(entry(1, CqStatus::kPreExecuted));
+    cq.push(entry(2, CqStatus::kPreExecuted));
+    EXPECT_TRUE(cq.full());
+    EXPECT_EQ(cq.freeSlots(), 0u);
+}
+
+TEST(CouplingQueue, SquashYoungerThan)
+{
+    CouplingQueue cq(8);
+    for (DynId id = 1; id <= 5; ++id)
+        cq.push(entry(id, CqStatus::kDeferred));
+    cq.squashYoungerThan(3);
+    EXPECT_EQ(cq.size(), 3u);
+    EXPECT_EQ(cq.at(2).id, 3u);
+}
+
+TEST(CouplingQueue, SquashAllWhenBoundaryIsOlderThanEverything)
+{
+    CouplingQueue cq(8);
+    for (DynId id = 10; id <= 12; ++id)
+        cq.push(entry(id, CqStatus::kDeferred));
+    cq.squashYoungerThan(5);
+    EXPECT_TRUE(cq.empty());
+}
+
+TEST(CouplingQueue, DeferredStoreCount)
+{
+    CouplingQueue cq(8);
+    cq.push(entry(1, CqStatus::kDeferred, true, /*is_store=*/true));
+    cq.push(entry(2, CqStatus::kPreExecuted, true, /*is_store=*/true));
+    cq.push(entry(3, CqStatus::kDeferred, true, /*is_store=*/false));
+    cq.push(entry(4, CqStatus::kDeferred, true, /*is_store=*/true));
+    EXPECT_EQ(cq.deferredStores(), 2u);
+    cq.pop(); // the first deferred store retires
+    EXPECT_EQ(cq.deferredStores(), 1u);
+}
+
+TEST(CouplingQueue, ClearEmpties)
+{
+    CouplingQueue cq(4);
+    cq.push(entry(1, CqStatus::kDeferred));
+    cq.clear();
+    EXPECT_TRUE(cq.empty());
+    EXPECT_EQ(cq.deferredStores(), 0u);
+}
+
+TEST(CouplingQueue, EntryCarriesCrsPayload)
+{
+    CouplingQueue cq(4);
+    CqEntry e = entry(7, CqStatus::kPreExecuted);
+    e.predTrue = true;
+    e.writesDst = true;
+    e.dstVal = 0xABCD;
+    e.readyAt = 99;
+    e.isLoad = true;
+    e.addr = 0x1234;
+    e.size = 8;
+    cq.push(e);
+    const CqEntry &got = cq.at(0);
+    EXPECT_TRUE(got.predTrue);
+    EXPECT_TRUE(got.writesDst);
+    EXPECT_EQ(got.dstVal, 0xABCDu);
+    EXPECT_EQ(got.readyAt, 99u);
+    EXPECT_TRUE(got.isLoad);
+    EXPECT_EQ(got.addr, 0x1234u);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the paper-described extensions: partial functional-
+ * unit replication (Sec. 3.7) and A-pipe issue moderation (the
+ * future work of Secs. 3.5/6), plus the conflict-retry forward-
+ * progress guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/scheduler.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "cpu/twopass/twopass_cpu.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+void
+expectMatchesFunctional(const Program &p, const TwoPassCpu &cpu)
+{
+    FunctionalCpu ref(p);
+    ref.run();
+    EXPECT_EQ(cpu.archRegs().fingerprint(), ref.regs().fingerprint());
+    EXPECT_EQ(cpu.memState().fingerprint(), ref.mem().fingerprint());
+}
+
+/** An FP-using loop whose inputs are always ready. */
+Program
+fpLoop(int iters)
+{
+    ProgramBuilder b("fp");
+    b.movi(intReg(2), 3);
+    b.itof(fpReg(2), intReg(2));
+    b.movi(intReg(3), 2);
+    b.itof(fpReg(3), intReg(3));
+    b.itof(fpReg(1), intReg(0));
+    b.movi(intReg(5), iters);
+    b.label("loop");
+    b.fmul(fpReg(4), fpReg(2), fpReg(3));
+    b.fadd(fpReg(1), fpReg(1), fpReg(4));
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.ftoi(intReg(31), fpReg(1));
+    b.movi(intReg(7), 0x100);
+    b.st8(intReg(7), 0, intReg(31));
+    b.halt();
+    return compiler::schedule(b.finalize());
+}
+
+TEST(PartialReplication, FpInstructionsDeferWithoutFpUnits)
+{
+    const Program p = fpLoop(40);
+    CoreConfig cfg;
+    cfg.aPipeHasFpUnits = false;
+    TwoPassCpu cpu(p, cfg);
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    const auto no_fu = static_cast<unsigned>(
+        DeferReason::kNoFunctionalUnit);
+    // Both FP ops per iteration are affected; some defer for the
+    // missing unit, the chain's tail for invalid operands.
+    EXPECT_GT(cpu.stats().deferredByReason[no_fu], 35u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(PartialReplication, FullReplicationPreExecutesFp)
+{
+    const Program p = fpLoop(40);
+    CoreConfig cfg; // FP units replicated by default
+    TwoPassCpu cpu(p, cfg);
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    const auto no_fu = static_cast<unsigned>(
+        DeferReason::kNoFunctionalUnit);
+    EXPECT_EQ(cpu.stats().deferredByReason[no_fu], 0u);
+}
+
+TEST(PartialReplication, IntegerCodeUnaffected)
+{
+    ProgramBuilder b("int");
+    b.movi(intReg(1), 7);
+    b.addi(intReg(2), intReg(1), 3);
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+
+    CoreConfig nofp;
+    nofp.aPipeHasFpUnits = false;
+    TwoPassCpu with(p, CoreConfig{});
+    TwoPassCpu without(p, nofp);
+    const Cycle a = with.run(100000).cycles;
+    const Cycle c = without.run(100000).cycles;
+    EXPECT_EQ(a, c);
+}
+
+/** A loop whose every body instruction chains off a cold load. */
+Program
+highDeferralLoop(int iters)
+{
+    ProgramBuilder b("defer");
+    b.movi(intReg(1), 0x100000);
+    b.movi(intReg(5), iters);
+    b.label("loop");
+    b.ld8(intReg(1), intReg(1), 0); // serial chase
+    b.addi(intReg(2), intReg(1), 1);
+    b.xori(intReg(3), intReg(2), 5);
+    b.add(intReg(4), intReg(3), intReg(2));
+    b.shri(intReg(6), intReg(4), 2);
+    b.add(intReg(7), intReg(6), intReg(3));
+    b.xori(intReg(8), intReg(7), 9);
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    Program seq = b.finalize();
+    for (int i = 0; i < 40; ++i) {
+        seq.poke64(0x100000 + static_cast<Addr>(i) * 0x40000,
+                   0x100000 + static_cast<Addr>(i + 1) * 0x40000);
+    }
+    return compiler::schedule(seq);
+}
+
+TEST(Throttle, EngagesOnHighDeferralCode)
+{
+    const Program p = highDeferralLoop(30);
+    CoreConfig cfg;
+    cfg.aPipeThrottlePercent = 50;
+    TwoPassCpu cpu(p, cfg);
+    ASSERT_TRUE(cpu.run(10'000'000).halted);
+    EXPECT_GT(cpu.stats().aStallThrottled, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(Throttle, DisabledByDefault)
+{
+    const Program p = highDeferralLoop(20);
+    TwoPassCpu cpu(p, CoreConfig{});
+    ASSERT_TRUE(cpu.run(10'000'000).halted);
+    EXPECT_EQ(cpu.stats().aStallThrottled, 0u);
+}
+
+TEST(Throttle, NeverEngagesOnPreExecutableCode)
+{
+    ProgramBuilder b("clean");
+    b.movi(intReg(1), 1);
+    b.movi(intReg(5), 50);
+    b.label("loop");
+    b.addi(intReg(1), intReg(1), 3);
+    b.xori(intReg(2), intReg(1), 7);
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+    CoreConfig cfg;
+    cfg.aPipeThrottlePercent = 50;
+    TwoPassCpu cpu(p, cfg);
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    EXPECT_EQ(cpu.stats().aStallThrottled, 0u);
+}
+
+TEST(ConflictRetry, TinyAlatCannotLivelock)
+{
+    // Groups of loads wider than the ALAT: without the retry
+    // fallback, every merge would flush forever.
+    ProgramBuilder b("tiny");
+    b.movi(intReg(1), 0x200000);
+    b.movi(intReg(5), 12);
+    b.movi(intReg(31), 0);
+    b.label("loop");
+    b.ld8(intReg(2), intReg(1), 0);
+    b.ld8(intReg(3), intReg(1), 8192);
+    b.ld8(intReg(4), intReg(1), 16384);
+    b.add(intReg(31), intReg(31), intReg(2));
+    b.add(intReg(31), intReg(31), intReg(3));
+    b.add(intReg(31), intReg(31), intReg(4));
+    b.addi(intReg(1), intReg(1), 64);
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    Program seq = b.finalize();
+    for (int i = 0; i < 4096; ++i)
+        seq.poke64(0x200000 + static_cast<Addr>(i) * 8, i);
+    const Program p = compiler::schedule(seq);
+
+    CoreConfig cfg;
+    cfg.alatCapacity = 2;
+    TwoPassCpu cpu(p, cfg);
+    const RunResult r = cpu.run(5'000'000);
+    ASSERT_TRUE(r.halted); // forward progress despite the tiny table
+    const auto retry = static_cast<unsigned>(
+        DeferReason::kConflictRetry);
+    EXPECT_GT(cpu.stats().deferredByReason[retry], 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the two-pass flush machinery: A-DET redirects,
+ * B-DET misprediction flushes with A-file repair (Sec. 3.6), and
+ * store-conflict flushes via the ALAT (Sec. 3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/scheduler.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "cpu/twopass/twopass_cpu.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+void
+expectMatchesFunctional(const Program &p, const TwoPassCpu &cpu)
+{
+    FunctionalCpu ref(p);
+    ref.run();
+    EXPECT_EQ(cpu.archRegs().fingerprint(), ref.regs().fingerprint());
+    EXPECT_EQ(cpu.memState().fingerprint(), ref.mem().fingerprint());
+}
+
+/**
+ * Branch direction depends only on registers (never memory), so the
+ * compare is always pre-executable: every misprediction resolves at
+ * A-DET. A data-dependent ~50/50 pattern defeats the predictor.
+ */
+TEST(Flush, ADetResolvesRegisterOnlyBranches)
+{
+    ProgramBuilder b("adet");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(5), 60);
+    b.movi(intReg(31), 0);
+    b.label("loop");
+    b.addi(intReg(1), intReg(1),
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(intReg(2), intReg(1), 21);
+    b.andi(intReg(3), intReg(2), 1);
+    b.cmpi(CmpCond::kEq, predReg(3), predReg(4), intReg(3), 1);
+    b.br("odd");
+    b.pred(predReg(3));
+    b.addi(intReg(31), intReg(31), 2);
+    b.br("join");
+    b.label("odd");
+    b.addi(intReg(31), intReg(31), 5);
+    b.label("join");
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    const TwoPassStats &s = cpu.stats();
+    EXPECT_GT(s.aDetMispredicts, 5u);
+    EXPECT_EQ(s.bDetMispredicts, 0u);
+    EXPECT_EQ(s.branchesResolvedInB, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+/**
+ * Branch direction depends on a load from a large (missing) table:
+ * the compare defers, so mispredictions resolve at B-DET and the
+ * A-file must be repaired from the B-file.
+ */
+Program
+bDetProgram(int iters)
+{
+    ProgramBuilder b("bdet");
+    b.movi(intReg(1), 0x300000);
+    b.movi(intReg(5), iters);
+    b.movi(intReg(31), 0);
+    b.movi(intReg(9), 17);
+    b.label("loop");
+    b.addi(intReg(9), intReg(9),
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(intReg(2), intReg(9), 30);
+    b.andi(intReg(2), intReg(2), 8191);
+    b.shli(intReg(2), intReg(2), 3);
+    b.add(intReg(3), intReg(1), intReg(2));
+    b.ld8(intReg(4), intReg(3), 0); // misses; the branch needs it
+    b.andi(intReg(6), intReg(4), 1);
+    b.cmpi(CmpCond::kEq, predReg(3), predReg(4), intReg(6), 1);
+    b.br("odd");
+    b.pred(predReg(3));
+    b.addi(intReg(31), intReg(31), 2);
+    b.br("join");
+    b.label("odd");
+    b.xori(intReg(31), intReg(31), 0x1F);
+    b.label("join");
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    Program seq = b.finalize();
+    for (int e = 0; e < 8192; ++e)
+        seq.poke64(0x300000 + e * 8, e * 2654435761ULL);
+    return compiler::schedule(seq);
+}
+
+TEST(Flush, BDetFlushRepairsAndStaysCorrect)
+{
+    const Program p = bDetProgram(80);
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    const TwoPassStats &s = cpu.stats();
+    EXPECT_GT(s.bDetMispredicts, 5u);
+    EXPECT_GT(s.registersRepaired, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(Flush, BDetCostsMoreFrontEndThanBaselineWouldPay)
+{
+    const Program p = bDetProgram(80);
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    // Every B-DET flush idles the front end for at least the refill.
+    EXPECT_GT(cpu.cycleAccounting().of(CycleClass::kFrontEndStall),
+              cpu.stats().bDetMispredicts * 5);
+}
+
+/**
+ * Store-conflict construction: an older store's data comes from a
+ * slow load (so the store defers), and a younger load reads the
+ * stored-to address. The A-pipe pre-executes the younger load past
+ * the deferred store; when the store executes in the B-pipe it kills
+ * the load's ALAT entry and the merge must flush.
+ */
+TEST(Flush, StoreConflictDetectedAndRepaired)
+{
+    ProgramBuilder b("conflict");
+    b.movi(intReg(1), 0x400000); // cold table
+    b.movi(intReg(2), 0x500);    // target address
+    b.movi(intReg(5), 8);        // a few rounds
+    b.movi(intReg(31), 0);
+    b.label("loop");
+    // Slow producer: a cold load (main memory).
+    b.shli(intReg(6), intReg(5), 13);
+    b.add(intReg(7), intReg(1), intReg(6));
+    b.ld8(intReg(8), intReg(7), 0);
+    // The store's DATA depends on the slow load: it defers.
+    b.st8(intReg(2), 0, intReg(8));
+    // A younger load of the same address: pre-executes in the A-pipe
+    // (optimistically) and must be caught by the ALAT.
+    b.ld8(intReg(9), intReg(2), 0);
+    b.add(intReg(31), intReg(31), intReg(9));
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.movi(intReg(10), 0x100);
+    b.st8(intReg(10), 0, intReg(31));
+    b.halt();
+    Program seq = b.finalize();
+    for (int i = 0; i < 9; ++i)
+        seq.poke64(0x400000 + static_cast<Addr>(i) * 8192, i + 100);
+    const Program p = compiler::schedule(seq);
+
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    EXPECT_GT(cpu.stats().storeConflictFlushes, 0u);
+    EXPECT_GT(cpu.stats().loadsPastDeferredStore, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(Flush, ForwardedStoreNeedsNoConflict)
+{
+    // When the store pre-executes (its data is ready), the younger
+    // load forwards from the speculative store buffer: correct with
+    // zero conflict flushes.
+    ProgramBuilder b("forward");
+    b.movi(intReg(2), 0x600);
+    b.movi(intReg(5), 10);
+    b.movi(intReg(31), 0);
+    b.label("loop");
+    b.addi(intReg(8), intReg(5), 40); // ready data
+    b.st8(intReg(2), 0, intReg(8));
+    b.ld8(intReg(9), intReg(2), 0); // same address right behind
+    b.add(intReg(31), intReg(31), intReg(9));
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    EXPECT_EQ(cpu.stats().storeConflictFlushes, 0u);
+    EXPECT_GT(cpu.stats().storeForwardings, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(Flush, WrongPathStoresNeverReachMemory)
+{
+    // The not-taken path contains a store to a sentinel address; the
+    // predictor will sometimes speculate into it. The sentinel must
+    // never be written architecturally.
+    ProgramBuilder b("wrongpath");
+    b.movi(intReg(1), 0x700000);
+    b.movi(intReg(2), 0x777000); // sentinel
+    b.movi(intReg(5), 40);
+    b.movi(intReg(9), 3);
+    b.label("loop");
+    b.addi(intReg(9), intReg(9),
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(intReg(3), intReg(9), 35);
+    b.andi(intReg(3), intReg(3), 4095);
+    b.shli(intReg(3), intReg(3), 3);
+    b.add(intReg(4), intReg(1), intReg(3));
+    b.ld8(intReg(6), intReg(4), 0);
+    b.andi(intReg(7), intReg(6), 1);
+    b.cmpi(CmpCond::kEq, predReg(3), predReg(4), intReg(7), 99);
+    b.br("skip");
+    b.pred(predReg(4)); // ALWAYS taken (7&1 != 99): skip the store
+    b.movi(intReg(8), 0xBAD);
+    b.st8(intReg(2), 0, intReg(8)); // fetched speculatively only
+    b.label("skip");
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    Program seq = b.finalize();
+    for (int e = 0; e < 4096; ++e)
+        seq.poke64(0x700000 + e * 8, e);
+    const Program p = compiler::schedule(seq);
+
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(1'000'000).halted);
+    EXPECT_EQ(cpu.memState().read64(0x777000), 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+/** @file Unit tests for B-pipe dispatch regrouping (2Pre). */
+
+#include <gtest/gtest.h>
+
+#include "cpu/twopass/regrouper.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+/**
+ * Fixture: builds a program whose instructions back the CQ entries,
+ * and a CQ whose entries reference them one-to-one.
+ */
+struct Fixture
+{
+    Program prog;
+    CouplingQueue cq{64};
+    DynId next_id = 1;
+
+    explicit Fixture(Program p) : prog(std::move(p)) {}
+
+    /** Enqueues instruction @p idx with the program's stop bit. */
+    CqEntry &
+    push(InstIdx idx, CqStatus status, Cycle enq = 0)
+    {
+        CqEntry e;
+        e.idx = idx;
+        e.id = next_id++;
+        e.enqueuedAt = enq;
+        e.status = status;
+        e.groupEnd = prog.inst(idx).stop;
+        e.isLoad = prog.inst(idx).isLoad();
+        e.isStore = prog.inst(idx).isStore();
+        e.isBranch = prog.inst(idx).isBranch();
+        cq.push(e);
+        return cq.at(cq.size() - 1);
+    }
+};
+
+/** Three independent single-instruction groups + halt. */
+Program
+independentGroups()
+{
+    ProgramBuilder b("indep", /*auto_stop=*/true);
+    b.movi(intReg(1), 1); // 0
+    b.movi(intReg(2), 2); // 1
+    b.movi(intReg(3), 3); // 2
+    b.halt();             // 3
+    return b.finalize();
+}
+
+const auto kAlwaysReady = [](const CqEntry &) { return true; };
+
+TEST(Regrouper, HeadGroupWindowSpansTheStopBit)
+{
+    ProgramBuilder b("two", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.stop();
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kPreExecuted);
+    f.push(1, CqStatus::kPreExecuted);
+    f.push(2, CqStatus::kPreExecuted);
+    const RetireWindow w = headGroupWindow(f.cq);
+    EXPECT_EQ(w.entries, 2u);
+    EXPECT_EQ(w.groups, 1u);
+}
+
+TEST(Regrouper, FusesIndependentReadyGroups)
+{
+    Fixture f(independentGroups());
+    for (InstIdx i = 0; i < 3; ++i)
+        f.push(i, CqStatus::kPreExecuted, /*enq=*/0);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), /*now=*/5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 3u);
+    EXPECT_EQ(w.groups, 3u);
+}
+
+TEST(Regrouper, StopsAtNotReadyEntry)
+{
+    Fixture f(independentGroups());
+    f.push(0, CqStatus::kPreExecuted);
+    CqEntry &e1 = f.push(1, CqStatus::kPreExecuted);
+    f.push(2, CqStatus::kPreExecuted);
+    e1.readyAt = 100; // pretend a dangling result
+    auto ready = [](const CqEntry &e) { return e.readyAt <= 5; };
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w, ready);
+    EXPECT_EQ(w.entries, 1u);
+}
+
+TEST(Regrouper, BlockedByDeferredProducerDependence)
+{
+    ProgramBuilder b("dep", /*auto_stop=*/true);
+    b.movi(intReg(1), 1);            // 0: will be DEFERRED
+    b.addi(intReg(2), intReg(1), 1); // 1: consumer of r1
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kDeferred);
+    f.push(1, CqStatus::kPreExecuted);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    // The consumer still depends on the deferred movi: no fusion.
+    EXPECT_EQ(w.entries, 1u);
+}
+
+TEST(Regrouper, PreExecutedProducerAllowsFusion)
+{
+    ProgramBuilder b("ok", /*auto_stop=*/true);
+    b.movi(intReg(1), 1);
+    b.addi(intReg(2), intReg(1), 1);
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kPreExecuted); // result already in the CRS
+    f.push(1, CqStatus::kPreExecuted);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 2u);
+    EXPECT_EQ(w.groups, 2u);
+}
+
+TEST(Regrouper, ResourceLimitBoundsTheWindow)
+{
+    // Two groups of 5 ALU ops each cannot fuse into one 8-issue
+    // window limited to 5 ALU units.
+    ProgramBuilder b("res", /*auto_stop=*/false);
+    for (unsigned i = 1; i <= 5; ++i)
+        b.movi(intReg(i), i);
+    b.stop();
+    for (unsigned i = 6; i <= 10; ++i)
+        b.movi(intReg(i), i);
+    b.stop();
+    b.halt();
+    Fixture f(b.finalize());
+    for (InstIdx i = 0; i < 10; ++i)
+        f.push(i, CqStatus::kPreExecuted);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 5u);
+    EXPECT_EQ(w.groups, 1u);
+}
+
+TEST(Regrouper, DeferredStoreBlocksOnlyPreExecutedLoads)
+{
+    // Non-load work may fuse behind a deferred store...
+    ProgramBuilder b("st", /*auto_stop=*/true);
+    b.st8(intReg(1), 0, intReg(2)); // 0: deferred store
+    b.movi(intReg(3), 3);           // 1: ALU, safe to fuse
+    b.ld8(intReg(4), intReg(5), 0); // 2: pre-executed load: BLOCKED
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kDeferred);
+    f.push(1, CqStatus::kPreExecuted);
+    f.push(2, CqStatus::kPreExecuted);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    // ...but the pre-executed load's ALAT check must wait for the
+    // store's invalidations, so fusion stops before it.
+    EXPECT_EQ(w.entries, 2u);
+    EXPECT_EQ(w.groups, 2u);
+}
+
+TEST(Regrouper, DeferredLoadMayFuseBehindDeferredStore)
+{
+    // A deferred load executes at apply time, after the older store
+    // has written memory: fusing it is safe.
+    ProgramBuilder b("stld", /*auto_stop=*/true);
+    b.st8(intReg(1), 0, intReg(2)); // 0: deferred store
+    b.ld8(intReg(4), intReg(5), 0); // 1: deferred load
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kDeferred);
+    f.push(1, CqStatus::kDeferred);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 2u);
+}
+
+TEST(Regrouper, DeferredBranchBlocksFurtherFusion)
+{
+    ProgramBuilder b("br", /*auto_stop=*/true);
+    b.label("l");
+    b.br("l");          // 0: deferred (unresolved) branch
+    b.movi(intReg(1), 1); // 1: potentially wrong-path
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kDeferred);
+    f.push(1, CqStatus::kPreExecuted);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 1u);
+}
+
+TEST(Regrouper, ResolvedBranchAllowsFusion)
+{
+    ProgramBuilder b("brA", /*auto_stop=*/true);
+    b.label("l");
+    b.br("l");            // 0: A-resolved branch
+    b.movi(intReg(1), 1); // 1: confirmed-path work
+    b.halt();
+    Fixture f(b.finalize());
+    CqEntry &br = f.push(0, CqStatus::kPreExecuted);
+    br.branchResolvedInA = true;
+    f.push(1, CqStatus::kPreExecuted);
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 2u);
+}
+
+TEST(Regrouper, SameCycleEnqueueBlocksFusion)
+{
+    Fixture f(independentGroups());
+    f.push(0, CqStatus::kPreExecuted, /*enq=*/0);
+    f.push(1, CqStatus::kPreExecuted, /*enq=*/5); // dispatched "now"
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), /*now=*/5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 1u); // A must stay a cycle ahead
+}
+
+TEST(Regrouper, IncompleteTrailingGroupNotFused)
+{
+    ProgramBuilder b("torn", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.stop();
+    b.movi(intReg(2), 2);
+    b.movi(intReg(3), 3);
+    b.stop();
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kPreExecuted);
+    f.push(1, CqStatus::kPreExecuted); // group 2 only partly queued
+    RetireWindow w = headGroupWindow(f.cq);
+    w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,
+                           kAlwaysReady);
+    EXPECT_EQ(w.entries, 1u);
+}
+
+TEST(RegrouperDeathTest, TornHeadGroupPanics)
+{
+    ProgramBuilder b("torn2", /*auto_stop=*/false);
+    b.movi(intReg(1), 1);
+    b.movi(intReg(2), 2);
+    b.stop();
+    b.halt();
+    Fixture f(b.finalize());
+    f.push(0, CqStatus::kPreExecuted); // head group is incomplete
+    EXPECT_DEATH(headGroupWindow(f.cq), "torn");
+}
+
+} // namespace

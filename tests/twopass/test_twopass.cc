@@ -1,0 +1,322 @@
+/** @file End-to-end unit tests of the two-pass core on small kernels. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/scheduler.hh"
+#include "cpu/baseline/baseline_cpu.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "cpu/twopass/twopass_cpu.hh"
+#include "isa/builder.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+using namespace ff::isa;
+
+/** A probe loop over a table that dwells in the L2 (128 KB). */
+Program
+l2ProbeLoop(int iters)
+{
+    ProgramBuilder b("l2probe");
+    b.movi(intReg(1), 0x100000);
+    b.movi(intReg(2), iters);
+    b.movi(intReg(3), 99);
+    b.movi(intReg(31), 0);
+    b.label("loop");
+    b.addi(intReg(3), intReg(3),
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(intReg(4), intReg(3), 40);
+    b.andi(intReg(4), intReg(4), 16383);
+    b.shli(intReg(4), intReg(4), 3);
+    b.add(intReg(5), intReg(1), intReg(4));
+    b.ld8(intReg(6), intReg(5), 0);
+    b.add(intReg(31), intReg(31), intReg(6)); // miss consumer
+    b.subi(intReg(2), intReg(2), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(2), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.movi(intReg(7), 0x100);
+    b.st8(intReg(7), 0, intReg(31));
+    b.halt();
+    Program seq = b.finalize();
+    for (int e = 0; e < 16384; ++e)
+        seq.poke64(0x100000 + e * 8, e * 7 + 1);
+    return compiler::schedule(seq);
+}
+
+void
+expectMatchesFunctional(const Program &p, const TwoPassCpu &cpu)
+{
+    FunctionalCpu ref(p);
+    ref.run();
+    EXPECT_EQ(cpu.archRegs().fingerprint(), ref.regs().fingerprint());
+    EXPECT_EQ(cpu.memState().fingerprint(), ref.mem().fingerprint());
+}
+
+TEST(TwoPass, AbsorbsShortMisses)
+{
+    const Program p = l2ProbeLoop(300);
+
+    BaselineCpu base(p, CoreConfig());
+    const RunResult rb = base.run(10'000'000);
+    ASSERT_TRUE(rb.halted);
+
+    TwoPassCpu twop(p, CoreConfig());
+    const RunResult r2 = twop.run(10'000'000);
+    ASSERT_TRUE(r2.halted);
+
+    // The probe misses are mostly L2 hits; the A-pipe runs past them
+    // and the B-pipe absorbs the latency: a solid win.
+    EXPECT_LT(r2.cycles * 10, rb.cycles * 9);
+    EXPECT_LT(twop.cycleAccounting().of(CycleClass::kLoadStall),
+              base.cycleAccounting().of(CycleClass::kLoadStall));
+    expectMatchesFunctional(p, twop);
+}
+
+TEST(TwoPass, PreExecutesTheBulkOfLoads)
+{
+    const Program p = l2ProbeLoop(200);
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(10'000'000).halted);
+    const TwoPassStats &s = cpu.stats();
+    // The paper's Figure 7 claim: the majority of accesses initiate
+    // in the A-pipe.
+    EXPECT_GT(s.loadsInA, s.loadsInB * 3);
+}
+
+TEST(TwoPass, CycleClassesSumToTotal)
+{
+    const Program p = l2ProbeLoop(50);
+    TwoPassCpu cpu(p, CoreConfig());
+    const RunResult r = cpu.run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(cpu.cycleAccounting().total(), r.cycles);
+}
+
+TEST(TwoPass, RetiresEveryDispatchedInstructionOnCleanRuns)
+{
+    const Program p = l2ProbeLoop(50);
+    TwoPassCpu cpu(p, CoreConfig());
+    const RunResult r = cpu.run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    const TwoPassStats &s = cpu.stats();
+    EXPECT_EQ(s.dispatched, s.preExecuted + s.deferred);
+    // With correct loop prediction after warmup, few squashes: most
+    // dispatched instructions retire.
+    EXPECT_GE(s.dispatched, r.instsRetired);
+}
+
+TEST(TwoPass, NullifiedSlotsFlowThrough)
+{
+    ProgramBuilder b("pred");
+    b.movi(intReg(1), 1);
+    b.cmpi(CmpCond::kEq, predReg(3), predReg(4), intReg(1), 2);
+    b.movi(intReg(2), 77);
+    b.pred(predReg(3)); // false: nullified
+    b.movi(intReg(5), 88);
+    b.pred(predReg(4)); // true
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(100000).halted);
+    EXPECT_EQ(cpu.archRegs().read(intReg(2)), 0u);
+    EXPECT_EQ(cpu.archRegs().read(intReg(5)), 88u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(TwoPass, TinyCouplingQueueStillCorrect)
+{
+    const Program p = l2ProbeLoop(100);
+    CoreConfig cfg;
+    cfg.couplingQueueSize = 8; // smallest legal: one widest group
+    TwoPassCpu cpu(p, cfg);
+    ASSERT_TRUE(cpu.run(10'000'000).halted);
+    EXPECT_GT(cpu.stats().aStallCqFull, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(TwoPass, QueueDepthGovernsOverlap)
+{
+    const Program p = l2ProbeLoop(200);
+    CoreConfig small;
+    small.couplingQueueSize = 8;
+    TwoPassCpu cpu_small(p, small);
+    const Cycle small_cycles = cpu_small.run(10'000'000).cycles;
+
+    CoreConfig big;
+    big.couplingQueueSize = 64;
+    TwoPassCpu cpu_big(p, big);
+    const Cycle big_cycles = cpu_big.run(10'000'000).cycles;
+
+    EXPECT_LT(big_cycles, small_cycles);
+}
+
+TEST(TwoPass, DeferredChainExecutesInB)
+{
+    // A serial pointer chase: every address depends on the previous
+    // load, so the A-pipe can pre-execute almost nothing.
+    ProgramBuilder b("chase");
+    b.movi(intReg(1), 0x200000);
+    b.movi(intReg(2), 30);
+    b.label("loop");
+    b.ld8(intReg(1), intReg(1), 0);
+    b.subi(intReg(2), intReg(2), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(2), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    Program seq = b.finalize();
+    // A chain of pointers, each to the next node 1 MB away.
+    for (int i = 0; i < 40; ++i) {
+        seq.poke64(0x200000 + static_cast<Addr>(i) * 0x100000,
+                   0x200000 + static_cast<Addr>(i + 1) * 0x100000);
+    }
+    const Program p = compiler::schedule(seq);
+    TwoPassCpu cpu(p, CoreConfig());
+    ASSERT_TRUE(cpu.run(10'000'000).halted);
+    // After the first iteration the chase loads are all deferred.
+    EXPECT_GT(cpu.stats().loadsInB, cpu.stats().loadsInA);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(TwoPass, HaltInApipeEndsDispatch)
+{
+    ProgramBuilder b("halt");
+    b.movi(intReg(1), 1);
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+    TwoPassCpu cpu(p, CoreConfig());
+    const RunResult r = cpu.run(100000);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(cpu.archRegs().read(intReg(1)), 1u);
+}
+
+TEST(TwoPass, RegroupRetiresMultipleGroupsPerCycle)
+{
+    const Program p = l2ProbeLoop(200);
+    CoreConfig cfg;
+    cfg.regroup = true;
+    TwoPassCpu cpu(p, cfg);
+    const RunResult r = cpu.run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_GT(cpu.stats().regroupedGroups, 0u);
+    expectMatchesFunctional(p, cpu);
+}
+
+TEST(TwoPass, RegroupNeverSlower)
+{
+    const Program p = l2ProbeLoop(300);
+    CoreConfig plain;
+    TwoPassCpu cpu_plain(p, plain);
+    const Cycle plain_cycles = cpu_plain.run(10'000'000).cycles;
+    CoreConfig re;
+    re.regroup = true;
+    TwoPassCpu cpu_re(p, re);
+    const Cycle re_cycles = cpu_re.run(10'000'000).cycles;
+    // Allow a whisker of slack for second-order cache/MSHR effects.
+    EXPECT_LE(re_cycles, plain_cycles + plain_cycles / 50);
+}
+
+TEST(TwoPass, WawRelaxedInTheApipe)
+{
+    // Sec. 3.3: "WAW dependences are not enforced by the A-pipe
+    // through the imposition of stalls". The baseline (wawStall on,
+    // its EPIC default) holds the overwriting group until the
+    // in-flight load lands — serializing it against a SECOND cold
+    // miss behind it. The A-pipe passes the WAW and overlaps both
+    // misses.
+    ProgramBuilder b("waw", /*auto_stop=*/false);
+    b.movi(intReg(1), 0x500000);
+    b.stop();
+    b.ld8(intReg(2), intReg(1), 0); // cold miss #1 into r2
+    b.stop();
+    b.movi(intReg(2), 7); // WAW with the in-flight load
+    b.stop();
+    b.ld8(intReg(3), intReg(1), 32768); // cold miss #2
+    b.stop();
+    b.addi(intReg(4), intReg(3), 1);
+    b.stop();
+    b.halt();
+    const Program p = b.finalize();
+
+    BaselineCpu base(p, CoreConfig());
+    const Cycle base_cycles = base.run(100000).cycles;
+    TwoPassCpu twop(p, CoreConfig());
+    const Cycle twop_cycles = twop.run(100000).cycles;
+
+    // The baseline serializes the two misses across the WAW stall;
+    // two-pass overlaps them, saving roughly a memory latency.
+    EXPECT_LT(twop_cycles + 100, base_cycles);
+    EXPECT_EQ(twop.archRegs().read(intReg(2)), 7u);
+    expectMatchesFunctional(p, twop);
+}
+
+TEST(TwoPass, BpipeKeepsDrainingDuringAdetRedirect)
+{
+    // Sec. 3.6: after an A-DET misprediction "the B-pipe may
+    // continue to process during the redirection of the A-pipe as
+    // long as the coupling queue has instructions remaining" — so
+    // with equal branch behaviour, the two-pass machine shows FEWER
+    // front-end stall cycles than the baseline on code whose
+    // mispredicting branches resolve at A-DET.
+    ProgramBuilder b("adet");
+    b.movi(intReg(1), 0);
+    b.movi(intReg(5), 200);
+    b.movi(intReg(31), 0);
+    b.label("loop");
+    b.addi(intReg(1), intReg(1),
+           static_cast<std::int64_t>(0x9E3779B97F4A7C15ULL));
+    b.shri(intReg(2), intReg(1), 17);
+    b.andi(intReg(3), intReg(2), 1);
+    b.cmpi(CmpCond::kEq, predReg(3), predReg(4), intReg(3), 1);
+    b.br("odd");
+    b.pred(predReg(3)); // ~50/50, register-resolvable
+    b.addi(intReg(31), intReg(31), 2);
+    b.br("join");
+    b.label("odd");
+    b.xori(intReg(31), intReg(31), 0x3c);
+    b.label("join");
+    b.subi(intReg(5), intReg(5), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(5), 0);
+    b.br("loop");
+    b.pred(predReg(1));
+    b.halt();
+    const Program p = compiler::schedule(b.finalize());
+
+    BaselineCpu base(p, CoreConfig());
+    base.run(1'000'000);
+    TwoPassCpu twop(p, CoreConfig());
+    twop.run(1'000'000);
+
+    ASSERT_GT(twop.stats().aDetMispredicts, 20u);
+    EXPECT_EQ(twop.stats().bDetMispredicts, 0u);
+    EXPECT_LT(twop.cycleAccounting().of(CycleClass::kFrontEndStall),
+              base.cycleAccounting().of(CycleClass::kFrontEndStall));
+}
+
+TEST(TwoPassDeathTest, UndersizedCouplingQueueIsFatal)
+{
+    // A CQ smaller than the issue width would deadlock silently;
+    // the constructor must refuse it.
+    ProgramBuilder b("tinycq");
+    b.halt();
+    const Program p = b.finalize();
+    CoreConfig cfg;
+    cfg.couplingQueueSize = 4; // < the 8-wide issue width
+    EXPECT_EXIT(TwoPassCpu cpu(p, cfg), ::testing::ExitedWithCode(1),
+                "coupling queue");
+}
+
+TEST(TwoPassDeathTest, SecondRunPanics)
+{
+    ProgramBuilder b("once");
+    b.halt();
+    const Program p = b.finalize();
+    TwoPassCpu cpu(p, CoreConfig());
+    cpu.run(1000);
+    EXPECT_DEATH(cpu.run(1000), "single-shot");
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * ffvm — the command-line simulator driver. Assembles an ffvm .s
+ * file, optionally runs the issue-group scheduler over it, executes
+ * it on a chosen CPU model, and reports results.
+ *
+ *   ffvm program.s                         # functional execution
+ *   ffvm program.s --model 2P --schedule   # two-pass, compiler-packed
+ *   ffvm program.s --model base --stats    # full statistics dump
+ *   ffvm program.s --disasm                # just show the program
+ *
+ * Options:
+ *   --model functional|base|2P|2Pre|runahead   (default functional)
+ *   --schedule           run the list scheduler (issue-group packing)
+ *   --disasm             print the (scheduled) program and exit
+ *   --stats              print the model's full statistics dump
+ *   --trace CATS         comma list: fetch,issue,exec,mem,branch,
+ *                        apipe,bpipe,flush,feedback,all
+ *   --max-cycles N       simulation budget (default 400M)
+ *   --cq N               coupling queue entries
+ *   --alat N             ALAT capacity (0 = perfect)
+ *   --feedback N|off     B->A feedback latency
+ *   --prefetch N         next-line prefetch degree
+ *   --mem-lat N          main memory latency
+ *   --throttle P         A-pipe deferral throttle percent
+ *   --predictor K        gshare|bimodal|tournament
+ *   --no-fp-units        A-pipe without FP units (Sec. 3.7)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "compiler/scheduler.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "sim/harness.hh"
+
+using namespace ff;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <program.s> [--model "
+                 "functional|base|2P|2Pre|runahead] [--schedule] "
+                 "[--disasm] [--stats] [--trace cats] "
+                 "[--max-cycles N] [--cq N] [--alat N] "
+                 "[--feedback N|off] [--prefetch N] [--mem-lat N] "
+                 "[--throttle P] [--predictor K] [--no-fp-units] "
+                 "[--regroup]\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::uint32_t
+traceMask(const std::string &cats)
+{
+    std::uint32_t mask = 0;
+    std::istringstream in(cats);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        if (tok == "fetch") mask |= trace::kFetch;
+        else if (tok == "issue") mask |= trace::kIssue;
+        else if (tok == "exec") mask |= trace::kExec;
+        else if (tok == "mem") mask |= trace::kMem;
+        else if (tok == "branch") mask |= trace::kBranch;
+        else if (tok == "apipe") mask |= trace::kApipe;
+        else if (tok == "bpipe") mask |= trace::kBpipe;
+        else if (tok == "flush") mask |= trace::kFlush;
+        else if (tok == "feedback") mask |= trace::kFeedback;
+        else if (tok == "all") mask |= trace::kAll;
+        else
+            ff_fatal("unknown trace category '", tok, "'");
+    }
+    return mask;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(argv[0]);
+
+    std::string path;
+    std::string model = "functional";
+    bool do_schedule = false, do_disasm = false, do_stats = false;
+    std::uint64_t max_cycles = sim::kDefaultMaxCycles;
+    cpu::CoreConfig cfg = sim::table1Config();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--model") {
+            model = next();
+        } else if (a == "--schedule") {
+            do_schedule = true;
+        } else if (a == "--disasm") {
+            do_disasm = true;
+        } else if (a == "--stats") {
+            do_stats = true;
+        } else if (a == "--regroup") {
+            cfg.regroup = true;
+        } else if (a == "--trace") {
+            trace::enable(traceMask(next()));
+        } else if (a == "--max-cycles") {
+            max_cycles = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (a == "--cq") {
+            cfg.couplingQueueSize =
+                static_cast<unsigned>(std::strtoul(
+                    next().c_str(), nullptr, 0));
+        } else if (a == "--alat") {
+            cfg.alatCapacity = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (a == "--feedback") {
+            const std::string v = next();
+            if (v == "off") {
+                cfg.feedbackEnabled = false;
+            } else {
+                cfg.feedbackLatency = static_cast<unsigned>(
+                    std::strtoul(v.c_str(), nullptr, 0));
+            }
+        } else if (a == "--prefetch") {
+            cfg.mem.prefetchDegree = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (a == "--mem-lat") {
+            cfg.mem.memoryLatency = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (a == "--throttle") {
+            cfg.aPipeThrottlePercent = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        } else if (a == "--predictor") {
+            const std::string v = next();
+            if (v == "gshare")
+                cfg.predictorKind = branch::PredictorKind::kGshare;
+            else if (v == "bimodal")
+                cfg.predictorKind = branch::PredictorKind::kBimodal;
+            else if (v == "tournament")
+                cfg.predictorKind = branch::PredictorKind::kTournament;
+            else
+                ff_fatal("unknown predictor '", v, "'");
+        } else if (a == "--no-fp-units") {
+            cfg.aPipeHasFpUnits = false;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage(argv[0]);
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        usage(argv[0]);
+
+    std::ifstream in(path);
+    ff_fatal_if(!in, "cannot open '", path, "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    isa::Program prog;
+    const std::string err = isa::assemble(buf.str(), path, &prog);
+    ff_fatal_if(!err.empty(), path, ": ", err);
+
+    if (do_schedule) {
+        // The scheduler owns group formation: flatten whatever stop
+        // bits the source carried and re-pack under the machine's
+        // widths.
+        prog = compiler::schedule(isa::sequentialize(prog));
+    }
+    {
+        const std::string verr = prog.validate(cfg.limits);
+        ff_fatal_if(!verr.empty(), path, ": ", verr,
+                    do_schedule ? ""
+                                : " (hint: try --schedule to form "
+                                  "legal issue groups)");
+    }
+
+    if (do_disasm) {
+        std::printf("%s", isa::disasmProgram(prog).c_str());
+        return 0;
+    }
+
+    if (model == "functional") {
+        cpu::FunctionalCpu cpu(prog);
+        const auto r = cpu.run();
+        std::printf("halted=%d instructions=%llu groups=%llu "
+                    "branches=%llu loads=%llu stores=%llu\n",
+                    r.halted ? 1 : 0,
+                    static_cast<unsigned long long>(r.instsExecuted),
+                    static_cast<unsigned long long>(r.groupsExecuted),
+                    static_cast<unsigned long long>(
+                        r.branchesExecuted),
+                    static_cast<unsigned long long>(r.loadsExecuted),
+                    static_cast<unsigned long long>(r.storesExecuted));
+        std::printf("checksum[0x100]=%llu\n",
+                    static_cast<unsigned long long>(
+                        cpu.mem().read64(0x100)));
+        return r.halted ? 0 : 1;
+    }
+
+    sim::CpuKind kind;
+    if (model == "base")
+        kind = sim::CpuKind::kBaseline;
+    else if (model == "2P")
+        kind = sim::CpuKind::kTwoPass;
+    else if (model == "2Pre")
+        kind = sim::CpuKind::kTwoPassRegroup;
+    else if (model == "runahead")
+        kind = sim::CpuKind::kRunahead;
+    else
+        ff_fatal("unknown model '", model, "'");
+
+    std::unique_ptr<cpu::CpuModel> m;
+    if (kind == sim::CpuKind::kBaseline) {
+        m = std::make_unique<cpu::BaselineCpu>(prog, cfg);
+    } else if (kind == sim::CpuKind::kRunahead) {
+        m = std::make_unique<cpu::RunaheadCpu>(prog, cfg);
+    } else {
+        if (kind == sim::CpuKind::kTwoPassRegroup)
+            cfg.regroup = true;
+        m = std::make_unique<cpu::TwoPassCpu>(prog, cfg);
+    }
+    const cpu::RunResult r = m->run(max_cycles);
+    std::printf("model=%s halted=%d cycles=%llu instructions=%llu "
+                "ipc=%.3f\n",
+                model.c_str(), r.halted ? 1 : 0,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instsRetired),
+                r.ipc());
+    std::printf("stalls: %s\n",
+                m->cycleAccounting().render().c_str());
+    std::printf("checksum[0x100]=%llu\n",
+                static_cast<unsigned long long>(
+                    m->memState().read64(0x100)));
+    if (do_stats)
+        std::printf("\n%s", m->statsReport().c_str());
+    return r.halted ? 0 : 1;
+}
