@@ -1,0 +1,211 @@
+#include "analysis/constprop.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "cpu/regfile.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+using compiler::BasicBlock;
+using cpu::kNumRegSlots;
+using cpu::regSlot;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+using isa::RegClass;
+using isa::RegId;
+
+namespace
+{
+
+/** Lattice meet: equal constants stay, anything else is bottom. */
+ConstVal
+meet(const ConstVal &a, const ConstVal &b)
+{
+    if (a.known && b.known && a.value == b.value)
+        return a;
+    return ConstVal::bottom();
+}
+
+/** Meets @p from into @p into; true if @p into changed. */
+bool
+meetState(ConstState *into, const ConstState &from)
+{
+    bool changed = false;
+    for (std::size_t s = 0; s < into->size(); ++s) {
+        const ConstVal m = meet((*into)[s], from[s]);
+        if (!(m == (*into)[s])) {
+            (*into)[s] = m;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Reads a register out of @p state (hardwired zeros included). */
+ConstVal
+readReg(const ConstState &state, RegId r)
+{
+    if (r.idx == 0)
+        return ConstVal::of(0); // r0/f0 read as zero, p0 as one below
+    const int slot = regSlot(r);
+    if (slot < 0)
+        return ConstVal::bottom();
+    return state[static_cast<std::size_t>(slot)];
+}
+
+/**
+ * Integer ALU result mirroring cpu::evaluate's semantics, or bottom
+ * for opcodes the propagation does not model.
+ */
+ConstVal
+evalInt(const Instruction &in, const ConstState &state)
+{
+    const ConstVal a = readReg(state, in.src1);
+    ConstVal b;
+    if (in.src2IsImm) {
+        b = ConstVal::of(static_cast<std::uint64_t>(in.imm));
+    } else {
+        b = readReg(state, in.src2);
+    }
+    if (in.op == Opcode::kMovi)
+        return ConstVal::of(static_cast<std::uint64_t>(in.imm));
+    if (in.op == Opcode::kMov)
+        return a;
+    if (!a.known || !b.known)
+        return ConstVal::bottom();
+    const std::uint64_t x = a.value, y = b.value;
+    switch (in.op) {
+      case Opcode::kAdd: return ConstVal::of(x + y);
+      case Opcode::kSub: return ConstVal::of(x - y);
+      case Opcode::kAnd: return ConstVal::of(x & y);
+      case Opcode::kOr:  return ConstVal::of(x | y);
+      case Opcode::kXor: return ConstVal::of(x ^ y);
+      case Opcode::kShl: return ConstVal::of(x << (y & 63));
+      case Opcode::kShr: return ConstVal::of(x >> (y & 63));
+      case Opcode::kSra:
+        return ConstVal::of(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(x) >> (y & 63)));
+      case Opcode::kMul: return ConstVal::of(x * y);
+      default:
+        return ConstVal::bottom();
+    }
+}
+
+} // namespace
+
+void
+ConstProp::transfer(const Instruction &in, ConstState *state)
+{
+    std::array<RegId, 2> dsts;
+    const unsigned nd = in.destinations(dsts);
+    if (nd == 0)
+        return;
+
+    // Only single-destination integer-class results are modeled;
+    // cmp/fcmp pairs, FP results and loads all go to bottom.
+    ConstVal result = ConstVal::bottom();
+    if (nd == 1 && dsts[0].cls == RegClass::kInt && !in.isLoad())
+        result = evalInt(in, *state);
+
+    // A predicated write may retain the old value, so it merges.
+    const bool conditional =
+        !(in.qpred.cls == RegClass::kPred && in.qpred.idx == 0);
+    for (unsigned d = 0; d < nd; ++d) {
+        const int slot = regSlot(dsts[d]);
+        if (slot < 0 || dsts[d].idx == 0)
+            continue; // hardwired: writes are dropped
+        ConstVal next = (d == 0) ? result : ConstVal::bottom();
+        if (conditional)
+            next = meet((*state)[static_cast<std::size_t>(slot)], next);
+        (*state)[static_cast<std::size_t>(slot)] = next;
+    }
+}
+
+ConstProp::ConstProp(const Program &prog, const compiler::Liveness &live)
+    : _prog(prog), _live(live)
+{
+    const auto &blocks = live.blocks();
+    ff_panic_if(blocks.empty(), "const-prop over an empty program");
+
+    // Unreached blocks keep an all-bottom entry state, so queries on
+    // unreachable code never claim a constant.
+    _blockIn.assign(blocks.size(),
+                    ConstState(kNumRegSlots, ConstVal::bottom()));
+    std::vector<bool> seeded(blocks.size(), false);
+
+    // Architectural reset: every register starts at zero.
+    _blockIn[0].assign(kNumRegSlots, ConstVal::of(0));
+    seeded[0] = true;
+
+    std::deque<std::size_t> work{0};
+    std::vector<bool> queued(blocks.size(), false);
+    queued[0] = true;
+    while (!work.empty()) {
+        const std::size_t b = work.front();
+        work.pop_front();
+        queued[b] = false;
+
+        ConstState out = _blockIn[b];
+        for (InstIdx i = blocks[b].begin; i < blocks[b].end; ++i)
+            transfer(prog.inst(i), &out);
+
+        for (std::size_t s : blocks[b].succs) {
+            bool changed;
+            if (!seeded[s]) {
+                _blockIn[s] = out;
+                seeded[s] = true;
+                changed = true;
+            } else {
+                changed = meetState(&_blockIn[s], out);
+            }
+            if (changed && !queued[s]) {
+                work.push_back(s);
+                queued[s] = true;
+            }
+        }
+    }
+}
+
+std::optional<std::uint64_t>
+ConstProp::valueBefore(InstIdx i, RegId reg) const
+{
+    if (reg.idx == 0 && reg.cls != RegClass::kNone) {
+        // Hardwired: r0/f0 are zero, p0 is one.
+        return reg.cls == RegClass::kPred ? 1 : 0;
+    }
+    const int slot = regSlot(reg);
+    if (slot < 0)
+        return std::nullopt;
+    const BasicBlock &blk = _live.blockOf(i);
+    // _blockOf is private to Liveness; recover the block's index by
+    // position so we can look up its entry state.
+    const std::size_t b =
+        static_cast<std::size_t>(&blk - _live.blocks().data());
+    ConstState state = _blockIn[b];
+    for (InstIdx j = blk.begin; j < i; ++j)
+        transfer(_prog.inst(j), &state);
+    const ConstVal v = state[static_cast<std::size_t>(slot)];
+    if (!v.known)
+        return std::nullopt;
+    return v.value;
+}
+
+std::optional<std::uint64_t>
+ConstProp::effectiveAddress(InstIdx i) const
+{
+    const Instruction &in = _prog.inst(i);
+    if (!in.isMem())
+        return std::nullopt;
+    const auto base = valueBefore(i, in.src1);
+    if (!base)
+        return std::nullopt;
+    return *base + static_cast<std::uint64_t>(in.imm);
+}
+
+} // namespace analysis
+} // namespace ff

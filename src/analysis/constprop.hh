@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Forward constant propagation over an ffvm program's control-flow
+ * graph. Registers reset to zero architecturally, so the entry state
+ * is all-constant-zero; the transfer function follows movi/mov and
+ * add/sub/and/or/xor/shl/shr/sra/mul chains and drops to bottom on
+ * anything else (loads, FP, predicated writes that may retain the
+ * old value, CFG joins of differing constants). The verifier uses
+ * the result to prove effective addresses of memory operations
+ * statically null or misaligned; only *must* facts are reported, so
+ * the lattice is deliberately conservative.
+ */
+
+#ifndef FF_ANALYSIS_CONSTPROP_HH
+#define FF_ANALYSIS_CONSTPROP_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compiler/liveness.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** One lattice cell: unknown (bottom) or a known 64-bit constant. */
+struct ConstVal
+{
+    bool known = false;
+    std::uint64_t value = 0;
+
+    static ConstVal bottom() { return {}; }
+    static ConstVal of(std::uint64_t v) { return {true, v}; }
+
+    bool operator==(const ConstVal &) const = default;
+};
+
+/** Constant state for every dense register slot at one point. */
+using ConstState = std::vector<ConstVal>;
+
+/** Per-program constant-propagation result. */
+class ConstProp
+{
+  public:
+    /**
+     * Runs the dataflow to a fixpoint over @p live's basic blocks.
+     * @p live must have been built for @p prog.
+     */
+    ConstProp(const isa::Program &prog, const compiler::Liveness &live);
+
+    /**
+     * The known constant value of @p reg immediately before
+     * instruction @p i executes, or nullopt if not provably constant.
+     */
+    std::optional<std::uint64_t> valueBefore(InstIdx i,
+                                             isa::RegId reg) const;
+
+    /**
+     * The provably constant effective address of memory instruction
+     * @p i ([src1 + imm]), or nullopt.
+     */
+    std::optional<std::uint64_t> effectiveAddress(InstIdx i) const;
+
+    /** Applies instruction @p in to @p state (exposed for tests). */
+    static void transfer(const isa::Instruction &in, ConstState *state);
+
+  private:
+    const isa::Program &_prog;
+    const compiler::Liveness &_live;
+    std::vector<ConstState> _blockIn; ///< per-block entry state
+};
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_CONSTPROP_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Structured findings produced by the ffcheck static verifier: a
+ * severity, a check identifier, the offending instruction (with its
+ * .s source line when the assembler recorded one) and a rendered
+ * message. Downstream surfaces (the ffcheck CLI, ffvm --verify, the
+ * harness load hook and the tests) all consume this one vocabulary.
+ */
+
+#ifndef FF_ANALYSIS_DIAGNOSTICS_HH
+#define FF_ANALYSIS_DIAGNOSTICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t
+{
+    kNote,    ///< informational (e.g. register-pressure report)
+    kWarning, ///< suspicious but architecturally defined behavior
+    kError,   ///< violates an invariant the pipeline relies on
+};
+
+const char *severityName(Severity s);
+
+/** Which ffcheck diagnostic produced a finding. */
+enum class CheckId : std::uint8_t
+{
+    // Def-before-use.
+    kUninitRead,        ///< int/fp register read before any write
+    kUninitPredicate,   ///< predicate read before any write
+
+    // Issue-group legality (EPIC independence rules).
+    kGroupRaw,          ///< intra-group read-after-write
+    kGroupWaw,          ///< intra-group write-after-write
+    kGroupMemOrder,     ///< intra-group memory-ordering violation
+    kGroupOversubscribed, ///< group exceeds machine resource widths
+
+    // Control flow.
+    kBranchTarget,      ///< branch target out of range / not a leader
+    kBranchNotGroupFinal, ///< branch is not the last slot of its group
+    kFallOffEnd,        ///< a path runs past the last instruction
+    kHaltUnreachable,   ///< halt not reachable from a reachable block
+    kUnreachableCode,   ///< block unreachable from the entry
+
+    // Predicate sanity.
+    kPredPairAliased,   ///< cmp/fcmp complementary dests are the same
+    kPredDestClass,     ///< cmp/fcmp destination is not a predicate
+
+    // Structural.
+    kWriteHardwired,    ///< write to r0/f0/p0
+    kRegOutOfRange,     ///< register index beyond the file
+    kMissingFinalStop,  ///< last instruction lacks a stop bit
+    kNoHalt,            ///< program contains no halt at all
+
+    // Constant-propagation memory checks.
+    kNullAccess,        ///< effective address statically zero
+    kMisalignedAccess,  ///< effective address statically misaligned
+
+    // Reporting.
+    kRegPressure,       ///< peak liveness per register class
+};
+
+/** Stable short name used in rendered diagnostics ("group-raw"). */
+const char *checkName(CheckId id);
+
+/** One diagnostic finding. */
+struct Finding
+{
+    CheckId id;
+    Severity severity;
+    InstIdx inst = kInvalidInstIdx; ///< offending instruction, if any
+    std::int32_t srcLine = -1;      ///< 1-based .s line, -1 if unknown
+    std::string message;            ///< human-readable description
+};
+
+/** The outcome of one verification run. */
+struct Report
+{
+    std::vector<Finding> findings;
+
+    unsigned
+    count(Severity s) const
+    {
+        unsigned n = 0;
+        for (const Finding &f : findings) {
+            if (f.severity == s)
+                ++n;
+        }
+        return n;
+    }
+
+    unsigned errors() const { return count(Severity::kError); }
+    unsigned warnings() const { return count(Severity::kWarning); }
+
+    /** True if the program passed (strict also rejects warnings). */
+    bool
+    clean(bool strict = false) const
+    {
+        return errors() == 0 && (!strict || warnings() == 0);
+    }
+};
+
+/**
+ * Renders @p report one finding per line:
+ *   "<source>:<line>: error: [group-raw] inst 5: ..." .
+ * @p source prefixes each line (typically the .s path or program
+ * name); findings without a source line omit the ":<line>" part.
+ * Notes are included only when @p show_notes is set.
+ */
+std::string render(const Report &report, const std::string &source,
+                   bool show_notes = false);
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_DIAGNOSTICS_HH

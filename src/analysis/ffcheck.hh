@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ffcheck — the static program verifier for assembled ffvm programs.
+ * The flea-flicker pipeline's correctness argument rests on structural
+ * invariants of the EPIC program itself (issue-group independence,
+ * def-before-use, legal branch targets); ffcheck proves them before a
+ * program burns simulated cycles. It layers on the existing compiler
+ * passes: compiler::DepGraph supplies intra-group dependence legality,
+ * compiler::Liveness supplies the CFG, def-before-use and register
+ * pressure, and a small constant-propagation pass (analysis::ConstProp)
+ * flags statically null or misaligned effective addresses.
+ *
+ * Diagnostic catalog (see analysis::CheckId):
+ *   - def-before-use: registers live-in to the entry block
+ *   - issue-group legality: intra-group RAW/WAW/memory-order and
+ *     functional-unit oversubscription against a machine's GroupLimits
+ *   - control flow: branch targets, fall-off-the-end, halt
+ *     reachability, unreachable code
+ *   - predicate sanity: aliased cmp/fcmp destination pairs, non-
+ *     predicate destinations, predicates read before any write
+ *   - memory: statically null / misaligned ld4/ld8/st4/st8 addresses
+ *   - reporting: peak register pressure per class
+ */
+
+#ifndef FF_ANALYSIS_FFCHECK_HH
+#define FF_ANALYSIS_FFCHECK_HH
+
+#include "analysis/diagnostics.hh"
+#include "compiler/scheduler.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** Knobs for one verification run. */
+struct CheckOptions
+{
+    /** Machine resource widths groups are checked against. */
+    isa::GroupLimits limits;
+
+    /** Latencies used when rebuilding dependence edges. */
+    compiler::SchedLatencies latencies;
+
+    /** Emit the register-pressure note (kRegPressure). */
+    bool reportPressure = true;
+};
+
+/**
+ * Runs the full diagnostic pipeline over @p prog. Structural damage
+ * that would make the later passes meaningless (register indices out
+ * of range, branch targets outside the program) short-circuits the
+ * run: the report then carries only the structural findings.
+ */
+Report check(const isa::Program &prog,
+             const CheckOptions &opts = CheckOptions());
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_FFCHECK_HH

@@ -70,7 +70,8 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
             if (last_writer[slot] >= 0) {
                 const Instruction &prod = insts[begin + last_writer[slot]];
                 addEdge(static_cast<std::uint32_t>(last_writer[slot]), li,
-                        std::max(1u, lat.latencyOf(prod)));
+                        std::max(1u, lat.latencyOf(prod)),
+                        DepKind::kRaw, srcs[s]);
             }
             readers[slot].push_back(li);
         }
@@ -81,14 +82,20 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
             int slot = regSlot(dsts[d]);
             if (slot < 0)
                 continue;
-            if (last_writer[slot] >= 0) {
-                // WAW: one cycle apart at minimum.
+            if (last_writer[slot] >= 0 &&
+                last_writer[slot] != static_cast<std::int32_t>(li)) {
+                // WAW: one cycle apart at minimum. A same-instruction
+                // repeat (aliased cmp destination pair) is not an
+                // ordering constraint — the verifier reports it as a
+                // predicate-sanity error instead.
                 addEdge(static_cast<std::uint32_t>(last_writer[slot]), li,
-                        1);
+                        1, DepKind::kWaw, dsts[d]);
             }
             for (std::uint32_t r : readers[slot]) {
-                if (r != li)
-                    addEdge(r, li, 0); // WAR: same group is fine
+                if (r != li) {
+                    // WAR: same group is fine.
+                    addEdge(r, li, 0, DepKind::kWar, dsts[d]);
+                }
             }
             readers[slot].clear();
             last_writer[slot] = static_cast<std::int32_t>(li);
@@ -98,13 +105,15 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
             if (in.isStore()) {
                 // Stores order behind every older memory operation.
                 if (last_mem >= 0) {
-                    addEdge(static_cast<std::uint32_t>(last_mem), li, 1);
+                    addEdge(static_cast<std::uint32_t>(last_mem), li, 1,
+                            DepKind::kMemOrder);
                 }
                 last_store = static_cast<std::int32_t>(li);
             } else {
                 // Loads order behind older stores only.
                 if (last_store >= 0) {
-                    addEdge(static_cast<std::uint32_t>(last_store), li, 1);
+                    addEdge(static_cast<std::uint32_t>(last_store), li, 1,
+                            DepKind::kMemOrder);
                 }
             }
             last_mem = static_cast<std::int32_t>(li);
@@ -114,7 +123,7 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
         // or halt (separation 0 -- may share its final group).
         if (in.isBranch() || in.isHalt()) {
             for (std::uint32_t j = 0; j < li; ++j)
-                addEdge(j, li, 0);
+                addEdge(j, li, 0, DepKind::kControl);
         }
     }
 
@@ -132,12 +141,26 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
 }
 
 void
-DepGraph::addEdge(std::uint32_t from, std::uint32_t to, unsigned sep)
+DepGraph::addEdge(std::uint32_t from, std::uint32_t to, unsigned sep,
+                  DepKind kind, RegId reg)
 {
     ff_panic_if(from >= to, "dependence edge must go forward");
-    _edges.push_back({from, to, sep});
+    _edges.push_back({from, to, sep, kind, reg});
     _succ[from].push_back(static_cast<std::uint32_t>(_edges.size() - 1));
     ++_inDegree[to];
+}
+
+const char *
+depKindName(DepKind k)
+{
+    switch (k) {
+      case DepKind::kRaw: return "RAW";
+      case DepKind::kWaw: return "WAW";
+      case DepKind::kWar: return "WAR";
+      case DepKind::kMemOrder: return "memory-order";
+      case DepKind::kControl: return "control";
+    }
+    return "?";
 }
 
 } // namespace compiler

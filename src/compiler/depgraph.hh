@@ -41,12 +41,26 @@ struct SchedLatencies
     }
 };
 
+/** Why a dependence edge exists (for scheduling and diagnostics). */
+enum class DepKind : std::uint8_t
+{
+    kRaw,      ///< read-after-write through a register
+    kWaw,      ///< write-after-write to the same register
+    kWar,      ///< write-after-read (same group is legal)
+    kMemOrder, ///< conservative memory ordering against a store
+    kControl,  ///< ordering against block-terminating control flow
+};
+
+const char *depKindName(DepKind k);
+
 /** One dependence edge between instructions of a block. */
 struct DepEdge
 {
     std::uint32_t from;   ///< producer, index local to the block
     std::uint32_t to;     ///< consumer, index local to the block
     unsigned minSep;      ///< minimum cycle separation (0 = same group)
+    DepKind kind = DepKind::kControl; ///< why the edge exists
+    isa::RegId reg;       ///< carrying register for RAW/WAW/WAR edges
 };
 
 /**
@@ -86,7 +100,8 @@ class DepGraph
     unsigned height(std::uint32_t i) const { return _height[i]; }
 
   private:
-    void addEdge(std::uint32_t from, std::uint32_t to, unsigned sep);
+    void addEdge(std::uint32_t from, std::uint32_t to, unsigned sep,
+                 DepKind kind, isa::RegId reg = isa::noReg());
 
     std::uint32_t _n;
     std::vector<DepEdge> _edges;

@@ -393,6 +393,7 @@ assemble(const std::string &source, const std::string &name,
         if (!s.atEnd())
             return err("trailing junk: '" + s.rest() + "'");
 
+        inst.srcLine = line_no;
         insts.push_back(inst);
     }
 

@@ -40,6 +40,14 @@ struct Instruction
     bool src2IsImm = false;   ///< ALU src2 comes from imm, not a register
     bool stop = false;        ///< stop bit: this slot ends its issue group
 
+    /**
+     * Source provenance: the 1-based .s line this slot was assembled
+     * from, or -1 for instructions without one (builder-produced
+     * kernels). Rides along through sequentialize/schedule reordering
+     * so diagnostics can point at source even after group formation.
+     */
+    std::int32_t srcLine = -1;
+
     bool isLoad() const { return op == Opcode::kLd4 || op == Opcode::kLd8; }
     bool isStore() const { return op == Opcode::kSt4 || op == Opcode::kSt8; }
     bool isMem() const { return isLoad() || isStore(); }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "analysis/ffcheck.hh"
 #include "common/logging.hh"
 #include "workloads/kernels.hh"
 
@@ -9,6 +10,31 @@ namespace ff
 {
 namespace sim
 {
+
+namespace
+{
+
+/**
+ * Load-time verification wall: every program entering the harness is
+ * run through the ffcheck static verifier, so a workload (bundled or
+ * user-supplied) that violates the EPIC structural invariants fails
+ * fast with diagnostics instead of misbehaving mid-simulation.
+ * Warnings (e.g. reads of architectural zero) are tolerated here;
+ * errors are simulator-input bugs and fatal.
+ */
+void
+verifyAtLoad(const isa::Program &prog, const isa::GroupLimits &limits)
+{
+    analysis::CheckOptions opts;
+    opts.limits = limits;
+    opts.reportPressure = false;
+    const analysis::Report rep = analysis::check(prog, opts);
+    ff_fatal_if(rep.errors() > 0, "ffcheck rejected program '",
+                prog.name(), "':\n",
+                analysis::render(rep, prog.name()));
+}
+
+} // namespace
 
 const char *
 cpuKindName(CpuKind k)
@@ -28,6 +54,7 @@ simulate(const isa::Program &prog, CpuKind kind,
 {
     SimOutcome out;
     out.kind = kind;
+    verifyAtLoad(prog, cfg.limits);
 
     cpu::CoreConfig run_cfg = cfg;
     if (kind == CpuKind::kTwoPassRegroup)
@@ -72,6 +99,7 @@ FunctionalOutcome
 runFunctional(const isa::Program &prog)
 {
     FunctionalOutcome out;
+    verifyAtLoad(prog, isa::GroupLimits());
     cpu::FunctionalCpu ref(prog);
     out.result = ref.run();
     ff_fatal_if(!out.result.halted, "functional reference did not halt "

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the constant-propagation lattice behind ffcheck's
+ * null/misalignment diagnostics: the transfer function mirrors
+ * cpu::evaluate, joins at CFG merges fall to bottom, and unreachable
+ * code never claims a constant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/constprop.hh"
+#include "compiler/liveness.hh"
+#include "cpu/regfile.hh"
+#include "isa/assembler.hh"
+
+namespace ff
+{
+namespace
+{
+
+using analysis::ConstProp;
+using analysis::ConstState;
+using analysis::ConstVal;
+
+ConstState
+zeroState()
+{
+    return ConstState(cpu::kNumRegSlots, ConstVal::of(0));
+}
+
+ConstVal
+valOf(const ConstState &s, isa::RegId r)
+{
+    return s[static_cast<std::size_t>(cpu::regSlot(r))];
+}
+
+isa::Instruction
+aluImm(isa::Opcode op, isa::RegId dst, isa::RegId src1,
+       std::int64_t imm)
+{
+    isa::Instruction in;
+    in.op = op;
+    in.dst = dst;
+    in.src1 = src1;
+    in.imm = imm;
+    in.src2IsImm = true;
+    return in;
+}
+
+// ----- transfer function --------------------------------------------
+
+TEST(ConstPropTransfer, MoviProducesConstant)
+{
+    ConstState s = zeroState();
+    isa::Instruction in;
+    in.op = isa::Opcode::kMovi;
+    in.dst = isa::intReg(3);
+    in.imm = 0x1234;
+    ConstProp::transfer(in, &s);
+    EXPECT_EQ(valOf(s, isa::intReg(3)), ConstVal::of(0x1234));
+}
+
+TEST(ConstPropTransfer, AddChainFolds)
+{
+    ConstState s = zeroState();
+    ConstProp::transfer(
+        aluImm(isa::Opcode::kMovi, isa::intReg(1), isa::noReg(), 0x1000),
+        &s);
+    ConstProp::transfer(
+        aluImm(isa::Opcode::kAdd, isa::intReg(2), isa::intReg(1), 8),
+        &s);
+    EXPECT_EQ(valOf(s, isa::intReg(2)), ConstVal::of(0x1008));
+}
+
+TEST(ConstPropTransfer, ShiftAmountIsMaskedLikeTheCpu)
+{
+    // cpu::evaluate masks shift counts to 6 bits; 67 behaves as 3.
+    ConstState s = zeroState();
+    ConstProp::transfer(
+        aluImm(isa::Opcode::kMovi, isa::intReg(1), isa::noReg(), 1), &s);
+    ConstProp::transfer(
+        aluImm(isa::Opcode::kShl, isa::intReg(2), isa::intReg(1), 67),
+        &s);
+    EXPECT_EQ(valOf(s, isa::intReg(2)), ConstVal::of(8));
+}
+
+TEST(ConstPropTransfer, LoadDropsDestinationToBottom)
+{
+    ConstState s = zeroState();
+    isa::Instruction in;
+    in.op = isa::Opcode::kLd8;
+    in.dst = isa::intReg(4);
+    in.src1 = isa::intReg(1);
+    ConstProp::transfer(in, &s);
+    EXPECT_FALSE(valOf(s, isa::intReg(4)).known);
+}
+
+TEST(ConstPropTransfer, PredicatedWriteMeetsOldAndNew)
+{
+    // (p1) movi r3 = 7 may retain the old value: 0 meet 7 = bottom.
+    ConstState s = zeroState();
+    isa::Instruction in;
+    in.op = isa::Opcode::kMovi;
+    in.dst = isa::intReg(3);
+    in.imm = 7;
+    in.qpred = isa::predReg(1);
+    ConstProp::transfer(in, &s);
+    EXPECT_FALSE(valOf(s, isa::intReg(3)).known);
+}
+
+TEST(ConstPropTransfer, PredicatedRewriteOfSameValueStaysKnown)
+{
+    ConstState s = zeroState();
+    ConstProp::transfer(
+        aluImm(isa::Opcode::kMovi, isa::intReg(3), isa::noReg(), 7), &s);
+    isa::Instruction in;
+    in.op = isa::Opcode::kMovi;
+    in.dst = isa::intReg(3);
+    in.imm = 7;
+    in.qpred = isa::predReg(1);
+    ConstProp::transfer(in, &s);
+    EXPECT_EQ(valOf(s, isa::intReg(3)), ConstVal::of(7));
+}
+
+TEST(ConstPropTransfer, OperandFromBottomGoesToBottom)
+{
+    ConstState s = zeroState();
+    s[static_cast<std::size_t>(cpu::regSlot(isa::intReg(1)))] =
+        ConstVal::bottom();
+    ConstProp::transfer(
+        aluImm(isa::Opcode::kAdd, isa::intReg(2), isa::intReg(1), 8),
+        &s);
+    EXPECT_FALSE(valOf(s, isa::intReg(2)).known);
+}
+
+// ----- whole-program dataflow ---------------------------------------
+
+TEST(ConstPropDataflow, EntryStateIsArchitecturalZero)
+{
+    const isa::Program prog =
+        isa::assembleOrDie("ld8 r1 = [r5]\n"
+                           "halt\n",
+                           "cp");
+    const compiler::Liveness live(prog);
+    const ConstProp cp(prog, live);
+    // r5 is never written: it is provably the reset value zero.
+    EXPECT_EQ(cp.valueBefore(0, isa::intReg(5)), 0u);
+    EXPECT_EQ(cp.effectiveAddress(0), 0u);
+}
+
+TEST(ConstPropDataflow, HardwiredRegistersAreConstant)
+{
+    const isa::Program prog = isa::assembleOrDie("halt\n", "cp");
+    const compiler::Liveness live(prog);
+    const ConstProp cp(prog, live);
+    EXPECT_EQ(cp.valueBefore(0, isa::intReg(0)), 0u);
+    EXPECT_EQ(cp.valueBefore(0, isa::predReg(0)), 1u);
+}
+
+TEST(ConstPropDataflow, EffectiveAddressFoldsBaseAndOffset)
+{
+    const isa::Program prog =
+        isa::assembleOrDie("movi r2 = 0x1000 ;;\n"
+                           "ld8 r1 = [r2+8]\n"
+                           "halt\n",
+                           "cp");
+    const compiler::Liveness live(prog);
+    const ConstProp cp(prog, live);
+    EXPECT_EQ(cp.effectiveAddress(1), 0x1008u);
+}
+
+TEST(ConstPropDataflow, LoopJoinFallsToBottom)
+{
+    const isa::Program prog =
+        isa::assembleOrDie("movi r1 = 0 ;;\n"
+                           "loop:\n"
+                           "add r1 = r1, 1 ;;\n"
+                           "cmp.lt p1, p2 = r1, 10 ;;\n"
+                           "(p1) br loop\n"
+                           "halt\n",
+                           "cp");
+    const compiler::Liveness live(prog);
+    const ConstProp cp(prog, live);
+    // At the loop head r1 merges 0 (entry) with increments: bottom.
+    EXPECT_EQ(cp.valueBefore(1, isa::intReg(1)), std::nullopt);
+    // A register untouched on every path stays provably zero there.
+    EXPECT_EQ(cp.valueBefore(1, isa::intReg(5)), 0u);
+}
+
+TEST(ConstPropDataflow, UnreachableCodeClaimsNoConstants)
+{
+    const isa::Program prog =
+        isa::assembleOrDie("movi r1 = 5 ;;\n"
+                           "br end\n"
+                           "movi r2 = 7 ;;\n"
+                           "end:\n"
+                           "halt\n",
+                           "cp");
+    const compiler::Liveness live(prog);
+    const ConstProp cp(prog, live);
+    // Instruction 2 is dead; even r1 is not claimed constant there.
+    EXPECT_EQ(cp.valueBefore(2, isa::intReg(1)), std::nullopt);
+    // At the (reachable) join it is 5 on every incoming path.
+    EXPECT_EQ(cp.valueBefore(3, isa::intReg(1)), 5u);
+}
+
+} // namespace
+} // namespace ff

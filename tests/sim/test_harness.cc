@@ -88,10 +88,15 @@ TEST(Harness, TwoPassStatsOnlyForTwoPassKinds)
 
 TEST(HarnessDeathTest, NonHaltingModelIsFatal)
 {
+    // A statically terminating loop (so it passes the load-time
+    // verifier) whose trip count far exceeds the cycle budget.
     ProgramBuilder b("spin");
+    b.movi(intReg(1), 1000000);
     b.label("l");
-    b.addi(intReg(1), intReg(1), 1);
+    b.subi(intReg(1), intReg(1), 1);
+    b.cmpi(CmpCond::kGt, predReg(1), predReg(2), intReg(1), 0);
     b.br("l");
+    b.pred(predReg(1));
     b.halt();
     const Program p = compiler::schedule(b.finalize());
     EXPECT_EXIT(sim::simulate(p, sim::CpuKind::kBaseline,

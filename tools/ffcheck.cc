@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ffcheck — the static program verifier CLI. Assembles .s files (or
+ * builds the bundled workload suite) and runs the full diagnostic
+ * pipeline: def-before-use, issue-group legality, control-flow and
+ * predicate sanity, constant-propagated memory checks and register
+ * pressure. Diagnostics carry .s line numbers where the assembler
+ * recorded them.
+ *
+ *   ffcheck prog.s                 # check as written (hand groups)
+ *   ffcheck --schedule prog.s      # check the scheduled form
+ *   ffcheck --strict prog.s        # warnings also fail
+ *   ffcheck --workloads            # verify the ten bundled kernels
+ *
+ * Exit status: 0 when every program verifies, 1 when any fails,
+ * 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/ffcheck.hh"
+#include "compiler/scheduler.hh"
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+using namespace ff;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--schedule] [--strict] [--notes] "
+                 "[--workloads] <program.s>...\n"
+                 "  --schedule   run the issue-group scheduler before "
+                 "checking\n"
+                 "  --strict     treat warnings as failures\n"
+                 "  --notes      also print informational notes "
+                 "(register pressure)\n"
+                 "  --workloads  verify the bundled workload suite "
+                 "instead of files\n",
+                 argv0);
+    std::exit(2);
+}
+
+struct Options
+{
+    bool schedule = false;
+    bool strict = false;
+    bool notes = false;
+};
+
+/** Checks one named program; returns true if it verifies. */
+bool
+checkProgram(const isa::Program &prog, const std::string &label,
+             const Options &opt)
+{
+    analysis::CheckOptions copts;
+    const analysis::Report rep = analysis::check(prog, copts);
+    const std::string text = analysis::render(rep, label, opt.notes);
+    if (!text.empty())
+        std::fputs(text.c_str(), stdout);
+    const bool ok = rep.clean(opt.strict);
+    std::printf("%s: %s (%u error%s, %u warning%s)\n", label.c_str(),
+                ok ? "ok" : "FAILED", rep.errors(),
+                rep.errors() == 1 ? "" : "s", rep.warnings(),
+                rep.warnings() == 1 ? "" : "s");
+    return ok;
+}
+
+bool
+checkFile(const std::string &path, const Options &opt)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return false;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    isa::Program prog;
+    const std::string err = isa::assemble(buf.str(), path, &prog);
+    if (!err.empty()) {
+        std::printf("%s: error: [assemble] %s\n", path.c_str(),
+                    err.c_str());
+        std::printf("%s: FAILED (assembly error)\n", path.c_str());
+        return false;
+    }
+    if (opt.schedule)
+        prog = compiler::schedule(isa::sequentialize(prog));
+    return checkProgram(prog, path, opt);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    bool do_workloads = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--schedule")
+            opt.schedule = true;
+        else if (a == "--strict")
+            opt.strict = true;
+        else if (a == "--notes")
+            opt.notes = true;
+        else if (a == "--workloads")
+            do_workloads = true;
+        else if (!a.empty() && a[0] == '-')
+            usage(argv[0]);
+        else
+            paths.push_back(a);
+    }
+    if (paths.empty() && !do_workloads)
+        usage(argv[0]);
+
+    unsigned failed = 0;
+    if (do_workloads) {
+        // A reduced scale keeps this fast; the kernels' structure
+        // (and therefore every static property) is scale-invariant.
+        for (const workloads::Workload &w :
+             workloads::buildAllWorkloads(25)) {
+            if (!checkProgram(w.program, w.name, opt))
+                ++failed;
+        }
+    }
+    for (const std::string &p : paths) {
+        if (!checkFile(p, opt))
+            ++failed;
+    }
+    if (failed > 0) {
+        std::printf("%u program%s failed verification\n", failed,
+                    failed == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}

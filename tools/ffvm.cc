@@ -25,6 +25,8 @@
  *   --throttle P         A-pipe deferral throttle percent
  *   --predictor K        gshare|bimodal|tournament
  *   --no-fp-units        A-pipe without FP units (Sec. 3.7)
+ *   --verify[=strict]    run the ffcheck static verifier before
+ *                        simulating; strict also fails on warnings
  */
 
 #include <cstdio>
@@ -36,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/ffcheck.hh"
 #include "common/trace.hh"
 #include "compiler/scheduler.hh"
 #include "cpu/functional/functional_cpu.hh"
@@ -58,7 +61,7 @@ usage(const char *argv0)
                  "[--max-cycles N] [--cq N] [--alat N] "
                  "[--feedback N|off] [--prefetch N] [--mem-lat N] "
                  "[--throttle P] [--predictor K] [--no-fp-units] "
-                 "[--regroup]\n",
+                 "[--regroup] [--verify[=strict]]\n",
                  argv0);
     std::exit(2);
 }
@@ -97,6 +100,7 @@ main(int argc, char **argv)
     std::string path;
     std::string model = "functional";
     bool do_schedule = false, do_disasm = false, do_stats = false;
+    bool do_verify = false, verify_strict = false;
     std::uint64_t max_cycles = sim::kDefaultMaxCycles;
     cpu::CoreConfig cfg = sim::table1Config();
 
@@ -117,6 +121,11 @@ main(int argc, char **argv)
             do_stats = true;
         } else if (a == "--regroup") {
             cfg.regroup = true;
+        } else if (a == "--verify") {
+            do_verify = true;
+        } else if (a == "--verify=strict") {
+            do_verify = true;
+            verify_strict = true;
         } else if (a == "--trace") {
             trace::enable(traceMask(next()));
         } else if (a == "--max-cycles") {
@@ -183,6 +192,24 @@ main(int argc, char **argv)
         // bits the source carried and re-pack under the machine's
         // widths.
         prog = compiler::schedule(isa::sequentialize(prog));
+    }
+    if (do_verify) {
+        analysis::CheckOptions copts;
+        copts.limits = cfg.limits;
+        const analysis::Report rep = analysis::check(prog, copts);
+        const std::string text = analysis::render(rep, path);
+        if (!text.empty())
+            std::fputs(text.c_str(), stderr);
+        if (!rep.clean(verify_strict)) {
+            std::fprintf(stderr,
+                         "%s: verification failed (%u errors, "
+                         "%u warnings)%s\n",
+                         path.c_str(), rep.errors(), rep.warnings(),
+                         do_schedule ? ""
+                                     : " (hint: --schedule forms "
+                                       "legal issue groups)");
+            return 1;
+        }
     }
     {
         const std::string verr = prog.validate(cfg.limits);
