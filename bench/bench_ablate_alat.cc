@@ -5,13 +5,14 @@
  * size shows how capacity evictions manifest as false-positive
  * conflict flushes (safe but slower).
  *
- * Usage: bench_ablate_alat [scale-percent]
+ * Usage: bench_ablate_alat [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -21,6 +22,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     // 0 = perfect; then shrinking real tables.
     const std::vector<unsigned> caps = {0, 16, 8, 4, 2};
@@ -30,15 +32,24 @@ main(int argc, char **argv)
     t.header({"benchmark", "alat", "conflicts", "capacity-evict",
               "cycles", "vs-perfect"});
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    std::vector<sim::SweepVariant> variants;
+    for (unsigned cap : caps) {
+        cpu::CoreConfig cfg = sim::table1Config();
+        cfg.alatCapacity = cap;
+        variants.push_back({sim::CpuKind::kTwoPass, cfg});
+    }
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
         double perfect_cycles = 0.0;
-        for (unsigned cap : caps) {
-            cpu::CoreConfig cfg = sim::table1Config();
-            cfg.alatCapacity = cap;
-            const sim::SimOutcome o =
-                sim::simulate(w.program, sim::CpuKind::kTwoPass, cfg);
+        for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+            const unsigned cap = caps[ci];
+            const sim::SimOutcome &o =
+                outcomes[wi * caps.size() + ci];
             const double cycles = static_cast<double>(o.run.cycles);
             if (cap == 0)
                 perfect_cycles = cycles;

@@ -7,12 +7,14 @@
  * stalls for in-flight multi-cycle non-load producers instead of
  * deferring their consumers.
  *
- * Usage: bench_ablate_fppolicy [scale-percent]
+ * Usage: bench_ablate_fppolicy [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -22,6 +24,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== Ablation A2: A-pipe stalls on anticipable "
@@ -30,20 +33,23 @@ main(int argc, char **argv)
     t.header({"benchmark", "base", "2P-defer", "2P-stall", "deferred%",
               "deferred%-stall", "best"});
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    cpu::CoreConfig stall_cfg = sim::table1Config();
+    stall_cfg.aPipeStallsOnAnticipable = true;
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kTwoPass, {}},
+        {sim::CpuKind::kTwoPass, stall_cfg},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
 
-        cpu::CoreConfig defer_cfg = sim::table1Config();
-        const sim::SimOutcome defer =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass, defer_cfg);
-
-        cpu::CoreConfig stall_cfg = sim::table1Config();
-        stall_cfg.aPipeStallsOnAnticipable = true;
-        const sim::SimOutcome stall =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass, stall_cfg);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &base = outcomes[wi * 3 + 0];
+        const sim::SimOutcome &defer = outcomes[wi * 3 + 1];
+        const sim::SimOutcome &stall = outcomes[wi * 3 + 2];
 
         const double b = static_cast<double>(base.run.cycles);
         auto frac = [](const cpu::TwoPassStats &s) {

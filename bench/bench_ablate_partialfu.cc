@@ -10,12 +10,14 @@
  * instructions using non-replicated functional units occur frequently
  * and are on paths leading to pipeline stalls").
  *
- * Usage: bench_ablate_partialfu [scale-percent]
+ * Usage: bench_ablate_partialfu [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -25,6 +27,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== Ablation: A-pipe without FP units (Sec. 3.7 "
@@ -33,19 +36,23 @@ main(int argc, char **argv)
     t.header({"benchmark", "base", "2P-fullrep", "2P-noFP",
               "noFP-defer%", "cost"});
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    cpu::CoreConfig nofp = sim::table1Config();
+    nofp.aPipeHasFpUnits = false;
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kTwoPass, {}},
+        {sim::CpuKind::kTwoPass, nofp},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
 
-        const sim::SimOutcome full =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
-
-        cpu::CoreConfig nofp = sim::table1Config();
-        nofp.aPipeHasFpUnits = false;
-        const sim::SimOutcome part =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass, nofp);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &base = outcomes[wi * 3 + 0];
+        const sim::SimOutcome &full = outcomes[wi * 3 + 1];
+        const sim::SimOutcome &part = outcomes[wi * 3 + 2];
 
         const double b = static_cast<double>(base.run.cycles);
         t.row({name, "1.000",

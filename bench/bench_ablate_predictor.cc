@@ -6,13 +6,14 @@
  * predictor quality than the baseline. Sweeps bimodal / gshare /
  * tournament on both machines over the branchy benchmarks.
  *
- * Usage: bench_ablate_predictor [scale-percent]
+ * Usage: bench_ablate_predictor [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -22,6 +23,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     const std::vector<branch::PredictorKind> kinds = {
         branch::PredictorKind::kBimodal,
@@ -43,37 +45,45 @@ main(int argc, char **argv)
     hdr.push_back("misp%-gshare");
     t.header(hdr);
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    // Column 0 is the Table 1 design point (base + gshare), used as
+    // the normalizer; then the base and 2P predictor sweeps.
+    std::vector<sim::SweepVariant> variants;
+    variants.push_back({sim::CpuKind::kBaseline, {}});
+    for (sim::CpuKind kind :
+         {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass}) {
+        for (auto pk : kinds) {
+            cpu::CoreConfig cfg = sim::table1Config();
+            cfg.predictorKind = pk;
+            variants.push_back({kind, cfg});
+        }
+    }
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
 
-        // Normalize to the Table 1 design point (base + gshare).
-        cpu::CoreConfig ref_cfg = sim::table1Config();
-        const sim::SimOutcome ref =
-            sim::simulate(w.program, sim::CpuKind::kBaseline, ref_cfg);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const sim::SimOutcome &ref =
+            outcomes[wi * variants.size() + 0];
         const double norm = static_cast<double>(ref.run.cycles);
 
-        std::vector<std::string> row = {name};
+        std::vector<std::string> row = {suite[wi].name};
         double misp_bimodal = 0, misp_gshare = 0;
-        for (sim::CpuKind kind :
-             {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass}) {
-            for (auto pk : kinds) {
-                cpu::CoreConfig cfg = sim::table1Config();
-                cfg.predictorKind = pk;
-                const sim::SimOutcome o =
-                    sim::simulate(w.program, kind, cfg);
-                row.push_back(sim::fixed(
-                    static_cast<double>(o.run.cycles) / norm, 3));
-                if (kind == sim::CpuKind::kBaseline &&
-                    o.branches.lookups > 0) {
-                    const double rate =
-                        static_cast<double>(o.branches.mispredicts) /
-                        static_cast<double>(o.branches.lookups);
-                    if (pk == branch::PredictorKind::kBimodal)
-                        misp_bimodal = rate;
-                    if (pk == branch::PredictorKind::kGshare)
-                        misp_gshare = rate;
-                }
+        for (std::size_t vi = 1; vi < variants.size(); ++vi) {
+            const sim::SimOutcome &o =
+                outcomes[wi * variants.size() + vi];
+            row.push_back(sim::fixed(
+                static_cast<double>(o.run.cycles) / norm, 3));
+            const auto pk = kinds[(vi - 1) % kinds.size()];
+            if (variants[vi].kind == sim::CpuKind::kBaseline &&
+                o.branches.lookups > 0) {
+                const double rate =
+                    static_cast<double>(o.branches.mispredicts) /
+                    static_cast<double>(o.branches.lookups);
+                if (pk == branch::PredictorKind::kBimodal)
+                    misp_bimodal = rate;
+                if (pk == branch::PredictorKind::kGshare)
+                    misp_gshare = rate;
             }
         }
         row.push_back(sim::pct(misp_bimodal));

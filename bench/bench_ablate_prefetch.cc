@@ -8,13 +8,14 @@
  * two-pass target). This sweep runs base and 2P with next-line
  * prefetch degrees 0/1/2/4.
  *
- * Usage: bench_ablate_prefetch [scale-percent]
+ * Usage: bench_ablate_prefetch [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -24,6 +25,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     const std::vector<unsigned> degrees = {0, 1, 2, 4};
 
@@ -37,23 +39,29 @@ main(int argc, char **argv)
         hdr.push_back("2P-pf" + std::to_string(d));
     t.header(hdr);
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        std::vector<std::string> row = {name};
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    std::vector<sim::SweepVariant> variants;
+    for (sim::CpuKind kind :
+         {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass}) {
+        for (unsigned d : degrees) {
+            cpu::CoreConfig cfg = sim::table1Config();
+            cfg.mem.prefetchDegree = d;
+            variants.push_back({kind, cfg});
+        }
+    }
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        std::vector<std::string> row = {suite[wi].name};
         double norm = 0.0;
-        for (sim::CpuKind kind :
-             {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass}) {
-            for (unsigned d : degrees) {
-                cpu::CoreConfig cfg = sim::table1Config();
-                cfg.mem.prefetchDegree = d;
-                const sim::SimOutcome o =
-                    sim::simulate(w.program, kind, cfg);
-                const double c = static_cast<double>(o.run.cycles);
-                if (norm == 0.0)
-                    norm = c;
-                row.push_back(sim::fixed(c / norm, 3));
-            }
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            const double c = static_cast<double>(
+                outcomes[wi * variants.size() + vi].run.cycles);
+            if (norm == 0.0)
+                norm = c;
+            row.push_back(sim::fixed(c / norm, 3));
         }
         t.row(row);
     }

@@ -6,7 +6,7 @@
  * queue capacity and reports 2P cycles normalized to the 64-entry
  * design point.
  *
- * Usage: bench_ablate_queue [scale-percent]
+ * Usage: bench_ablate_queue [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -23,6 +24,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     const std::vector<unsigned> sizes = {16, 32, 48, 64, 96, 128, 256};
 
@@ -34,18 +36,24 @@ main(int argc, char **argv)
         hdr.push_back("cq" + std::to_string(s));
     t.header(hdr);
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    std::vector<sim::SweepVariant> variants;
+    for (unsigned s : sizes) {
+        cpu::CoreConfig cfg = sim::table1Config();
+        cfg.couplingQueueSize = s;
+        variants.push_back({sim::CpuKind::kTwoPass, cfg});
+    }
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
         std::map<unsigned, double> cycles;
-        for (unsigned s : sizes) {
-            cpu::CoreConfig cfg = sim::table1Config();
-            cfg.couplingQueueSize = s;
-            const sim::SimOutcome o =
-                sim::simulate(w.program, sim::CpuKind::kTwoPass, cfg);
-            cycles[s] = static_cast<double>(o.run.cycles);
+        for (std::size_t si = 0; si < sizes.size(); ++si) {
+            cycles[sizes[si]] = static_cast<double>(
+                outcomes[wi * sizes.size() + si].run.cycles);
         }
-        std::vector<std::string> row = {name};
+        std::vector<std::string> row = {suite[wi].name};
         for (unsigned s : sizes)
             row.push_back(sim::fixed(cycles[s] / cycles[64], 3));
         t.row(row);

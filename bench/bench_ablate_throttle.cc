@@ -9,13 +9,14 @@
  * dispatch when the recent deferral rate crosses a threshold while
  * the queue is backed up, resuming once it drains.
  *
- * Usage: bench_ablate_throttle [scale-percent]
+ * Usage: bench_ablate_throttle [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -25,6 +26,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     const std::vector<unsigned> thresholds = {0, 90, 75, 50};
 
@@ -39,17 +41,25 @@ main(int argc, char **argv)
     hdr.push_back("pause-cyc@50%");
     t.header(hdr);
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        std::vector<std::string> row = {name};
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    std::vector<sim::SweepVariant> variants;
+    for (unsigned th : thresholds) {
+        cpu::CoreConfig cfg = sim::table1Config();
+        cfg.aPipeThrottlePercent = th;
+        variants.push_back({sim::CpuKind::kTwoPass, cfg});
+    }
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        std::vector<std::string> row = {suite[wi].name};
         double off_cycles = 0.0;
         std::uint64_t pauses_at_50 = 0;
-        for (unsigned th : thresholds) {
-            cpu::CoreConfig cfg = sim::table1Config();
-            cfg.aPipeThrottlePercent = th;
-            const sim::SimOutcome o =
-                sim::simulate(w.program, sim::CpuKind::kTwoPass, cfg);
+        for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+            const unsigned th = thresholds[ti];
+            const sim::SimOutcome &o =
+                outcomes[wi * thresholds.size() + ti];
             const double c = static_cast<double>(o.run.cycles);
             if (th == 0)
                 off_cycles = c;

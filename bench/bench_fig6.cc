@@ -7,20 +7,24 @@
  * (S3: mcf's memory-stall and total-cycle reductions; S4: the average
  * 2Pre speedup over 2P).
  *
- * Usage: bench_fig6 [scale-percent] [alt]
+ * Usage: bench_fig6 [--jobs N] [--json FILE] [scale-percent] [alt]
  * (default scale 100; pass "alt" to run the alternate input set,
  * validating that the reproduced shape is not an artifact of one
- * particular seed)
+ * particular seed; --json appends a machine-readable throughput
+ * record for the CI bench-smoke step)
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "compiler/scheduler.hh"
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -30,6 +34,18 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    const unsigned jobs_flag = sim::parseJobsFlag(argc, argv);
+    std::string json_path;
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+                json_path = argv[++i];
+            else
+                argv[out++] = argv[i];
+        }
+        argc = out;
+    }
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     const workloads::InputSet input =
         (argc > 2 && std::string(argv[2]) == "alt")
@@ -42,6 +58,21 @@ main(int argc, char **argv)
     std::printf("%s\n",
                 sim::describeConfig(sim::table1Config()).c_str());
 
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale,
+                                    input);
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kTwoPass, {}},
+        {sim::CpuKind::kTwoPassRegroup, {}},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    const auto t1 = std::chrono::steady_clock::now();
+
     sim::TextTable t;
     t.header({"benchmark", "cfg", "unstalled", "load", "nonload",
               "resource", "frontend", "apipe", "total", "speedup"});
@@ -49,17 +80,13 @@ main(int argc, char **argv)
     double geo_2p = 0.0, geo_2pre = 0.0, geo_2pre_over_2p = 0.0;
     unsigned n = 0;
     double mcf_mem_reduction = 0.0, mcf_cycle_reduction = 0.0;
+    std::uint64_t total_sim_cycles = 0;
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w = workloads::buildWorkload(
-            name, scale, compiler::SchedulerConfig(), input);
-
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
-        const sim::SimOutcome twop =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
-        const sim::SimOutcome twopre =
-            sim::simulate(w.program, sim::CpuKind::kTwoPassRegroup);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &base = outcomes[wi * 3 + 0];
+        const sim::SimOutcome &twop = outcomes[wi * 3 + 1];
+        const sim::SimOutcome &twopre = outcomes[wi * 3 + 2];
 
         const double base_cycles = static_cast<double>(base.run.cycles);
         struct RowSpec
@@ -78,6 +105,7 @@ main(int argc, char **argv)
             cells.push_back(sim::fixed(
                 base_cycles / static_cast<double>(r.o->run.cycles), 3));
             t.row(cells);
+            total_sim_cycles += r.o->run.cycles;
         }
 
         geo_2p +=
@@ -116,5 +144,36 @@ main(int argc, char **argv)
     std::printf("S4  geomean speedup 2Pre over 2P:   %s   [paper: "
                 "1.08]\n",
                 sim::fixed(std::exp(geo_2pre_over_2p / n), 3).c_str());
+
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    const unsigned jobs = sim::resolveJobs(jobs_flag);
+    std::printf("\n[engine] %zu sims on %u job%s: %.2f s wall, "
+                "%.3g sim-cycles/s\n",
+                outcomes.size(), jobs, jobs == 1 ? "" : "s", wall,
+                static_cast<double>(total_sim_cycles) / wall);
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"fig6\",\n"
+            "  \"scale\": %d,\n"
+            "  \"jobs\": %u,\n"
+            "  \"sims\": %zu,\n"
+            "  \"wallSeconds\": %.3f,\n"
+            "  \"simCycles\": %llu,\n"
+            "  \"simCyclesPerSec\": %.0f\n"
+            "}\n",
+            scale, jobs, outcomes.size(), wall,
+            static_cast<unsigned long long>(total_sim_cycles),
+            static_cast<double>(total_sim_cycles) / wall);
+        std::fclose(f);
+    }
     return 0;
 }

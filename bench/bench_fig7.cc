@@ -8,7 +8,7 @@
  * is initiated in the A-pipe" — except gap, which "executes most of
  * its substantial number of main memory accesses in the B-pipe".
  *
- * Usage: bench_fig7 [scale-percent]
+ * Usage: bench_fig7 [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -55,6 +56,7 @@ levelCells(const memory::AccessStats &s, memory::Initiator who,
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== Figure 7: distribution of initiated access "
@@ -64,12 +66,19 @@ main(int argc, char **argv)
     t.header({"benchmark", "cfg", "pipe", "L1", "L2", "L3", "Mem",
               "share"});
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kTwoPass, {}},
+        {sim::CpuKind::kTwoPassRegroup, {}},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
 
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &base = outcomes[wi * 3 + 0];
         const double norm =
             pipeCycles(base.accesses, memory::Initiator::kBaseline);
 
@@ -82,9 +91,8 @@ main(int argc, char **argv)
             t.row(cells);
         }
 
-        for (sim::CpuKind kind :
-             {sim::CpuKind::kTwoPass, sim::CpuKind::kTwoPassRegroup}) {
-            const sim::SimOutcome o = sim::simulate(w.program, kind);
+        for (std::size_t vi = 1; vi < 3; ++vi) {
+            const sim::SimOutcome &o = outcomes[wi * 3 + vi];
             const double a =
                 pipeCycles(o.accesses, memory::Initiator::kApipe);
             const double bb =
@@ -93,7 +101,7 @@ main(int argc, char **argv)
                  {memory::Initiator::kApipe,
                   memory::Initiator::kBpipe}) {
                 std::vector<std::string> cells{
-                    name, sim::cpuKindName(kind),
+                    name, sim::cpuKindName(variants[vi].kind),
                     who == memory::Initiator::kApipe ? "A" : "B"};
                 auto lv = levelCells(o.accesses, who, norm);
                 cells.insert(cells.end(), lv.begin(), lv.end());

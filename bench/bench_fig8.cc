@@ -9,13 +9,15 @@
  * and for mcf removing it entirely grows deferrals by 16% and
  * runtime by 5.5%.
  *
- * Usage: bench_fig8 [scale-percent]
+ * Usage: bench_fig8 [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -25,6 +27,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
     // The three benchmarks whose A-pipe deferral is most sensitive
     // to the feedback path (the paper likewise showed three).
@@ -38,18 +41,40 @@ main(int argc, char **argv)
     t.header({"benchmark", "feedback", "deferred", "defer/1cyc",
               "cycles", "cyc/1cyc"});
 
-    for (const auto &name : benches) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        double deferred1 = 0.0, cycles1 = 0.0;
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(benches, scale);
+    // Columns: the latency sweep, then the disabled ("inf") point.
+    std::vector<sim::SweepVariant> variants;
+    for (unsigned lat : latencies) {
+        cpu::CoreConfig cfg = sim::table1Config();
+        cfg.feedbackEnabled = true;
+        cfg.feedbackLatency = lat;
+        variants.push_back({sim::CpuKind::kTwoPass, cfg});
+    }
+    {
+        cpu::CoreConfig cfg = sim::table1Config();
+        cfg.feedbackEnabled = false;
+        cfg.feedbackLatency = 1;
+        variants.push_back({sim::CpuKind::kTwoPass, cfg});
+    }
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
 
-        auto run_one = [&](const char *label, bool enabled,
-                           unsigned lat) {
-            cpu::CoreConfig cfg = sim::table1Config();
-            cfg.feedbackEnabled = enabled;
-            cfg.feedbackLatency = lat;
-            const sim::SimOutcome o =
-                sim::simulate(w.program, sim::CpuKind::kTwoPass, cfg);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        double deferred1 = 0.0, cycles1 = 0.0;
+        double d_inf = 0.0, c_inf = 0.0;
+
+        for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+            const sim::SimOutcome &o =
+                outcomes[wi * variants.size() + vi];
+            const bool is_inf = vi == latencies.size();
+            char label[16];
+            if (is_inf)
+                std::snprintf(label, sizeof(label), "inf");
+            else
+                std::snprintf(label, sizeof(label), "%u",
+                              latencies[vi]);
             const double deferred =
                 static_cast<double>(o.twopass.deferred);
             const double cycles =
@@ -58,19 +83,15 @@ main(int argc, char **argv)
                 deferred1 = deferred;
                 cycles1 = cycles;
             }
+            if (is_inf) {
+                d_inf = deferred;
+                c_inf = cycles;
+            }
             t.row({name, label, std::to_string(o.twopass.deferred),
                    sim::fixed(deferred / deferred1, 3),
                    std::to_string(o.run.cycles),
                    sim::fixed(cycles / cycles1, 3)});
-            return std::pair<double, double>(deferred, cycles);
-        };
-
-        for (unsigned lat : latencies) {
-            char label[16];
-            std::snprintf(label, sizeof(label), "%u", lat);
-            run_one(label, true, lat);
         }
-        auto [d_inf, c_inf] = run_one("inf", false, 1);
         if (name == "181.mcf") {
             std::printf("181.mcf without feedback: deferred +%s "
                         "[paper: +16%%], runtime +%s [paper: "

@@ -7,9 +7,12 @@
  * second), which bounds how large an input the experiments can use.
  */
 
+#include <atomic>
+
 #include <benchmark/benchmark.h>
 
 #include "branch/gshare.hh"
+#include "common/thread_pool.hh"
 #include "compiler/scheduler.hh"
 #include "cpu/baseline/baseline_cpu.hh"
 #include "cpu/functional/functional_cpu.hh"
@@ -18,6 +21,7 @@
 #include "memory/cache.hh"
 #include "memory/hierarchy.hh"
 #include "memory/store_buffer.hh"
+#include "sim/batch.hh"
 #include "workloads/workload.hh"
 
 using namespace ff;
@@ -149,6 +153,51 @@ BM_SimulateTwoPass(benchmark::State &state)
     simRate<cpu::TwoPassCpu>(state, "181.mcf");
 }
 BENCHMARK(BM_SimulateTwoPass)->Unit(benchmark::kMillisecond);
+
+/** Per-task overhead of the experiment engine's thread pool. */
+void
+BM_ThreadPoolSubmit(benchmark::State &state)
+{
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        std::atomic<unsigned> n{0};
+        pool.parallelFor(256, [&](std::size_t) {
+            n.fetch_add(1, std::memory_order_relaxed);
+        });
+        benchmark::DoNotOptimize(n.load());
+    }
+}
+BENCHMARK(BM_ThreadPoolSubmit)->Arg(1)->Arg(4);
+
+/**
+ * End-to-end batch rate: the whole suite's worth of model variety on
+ * one small workload, serial vs the default (hardware) job count.
+ * Argument 0 resolves per FF_JOBS/hardware concurrency.
+ */
+void
+BM_RunBatch(benchmark::State &state)
+{
+    workloads::Workload w = workloads::buildWorkload("181.mcf", 5);
+    std::vector<sim::SimJob> jobs;
+    for (sim::CpuKind kind :
+         {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass,
+          sim::CpuKind::kTwoPassRegroup, sim::CpuKind::kRunahead}) {
+        sim::SimJob j;
+        j.program = &w.program;
+        j.kind = kind;
+        jobs.push_back(j);
+    }
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto outcomes = sim::runBatch(
+            jobs, static_cast<unsigned>(state.range(0)));
+        for (const auto &o : outcomes)
+            cycles += o.run.cycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunBatch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

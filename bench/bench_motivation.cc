@@ -13,12 +13,14 @@
  *      second-level cache" — the stall fraction, and the share of
  *      data-access latency cycles served by the L2.
  *
- * Usage: bench_motivation [scale-percent]
+ * Usage: bench_motivation [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -28,6 +30,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== Motivation (Secs. 1-2): what unanticipated "
@@ -39,21 +42,25 @@ main(int argc, char **argv)
     double ipc_sum = 0.0, nostall_sum = 0.0, stall_frac_sum = 0.0;
     unsigned n = 0;
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    // The "no stall" machine: every level answers in the L1 hit
+    // time, so the compiler's schedule runs unperturbed.
+    cpu::CoreConfig perfect = sim::table1Config();
+    perfect.mem.l2.latency = perfect.mem.l1d.latency;
+    perfect.mem.l3.latency = perfect.mem.l1d.latency;
+    perfect.mem.memoryLatency = perfect.mem.l1d.latency;
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kBaseline, perfect},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
 
-        const sim::SimOutcome real =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
-
-        // The "no stall" machine: every level answers in the L1 hit
-        // time, so the compiler's schedule runs unperturbed.
-        cpu::CoreConfig perfect = sim::table1Config();
-        perfect.mem.l2.latency = perfect.mem.l1d.latency;
-        perfect.mem.l3.latency = perfect.mem.l1d.latency;
-        perfect.mem.memoryLatency = perfect.mem.l1d.latency;
-        const sim::SimOutcome ideal =
-            sim::simulate(w.program, sim::CpuKind::kBaseline, perfect);
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &real = outcomes[wi * 2 + 0];
+        const sim::SimOutcome &ideal = outcomes[wi * 2 + 1];
 
         const double stall_frac =
             static_cast<double>(

@@ -7,12 +7,14 @@
  * run-ahead sits between the baseline and 2P on miss-dominated
  * benchmarks.
  *
- * Usage: bench_runahead [scale-percent]
+ * Usage: bench_runahead [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -22,6 +24,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== A3: run-ahead vs two-pass (cycles normalized to "
@@ -30,17 +33,23 @@ main(int argc, char **argv)
     t.header({"benchmark", "base", "runahead", "2P", "2Pre",
               "ra-episodes", "ra-cycles%"});
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
-        const sim::SimOutcome ra =
-            sim::simulate(w.program, sim::CpuKind::kRunahead);
-        const sim::SimOutcome twop =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
-        const sim::SimOutcome twopre =
-            sim::simulate(w.program, sim::CpuKind::kTwoPassRegroup);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kRunahead, {}},
+        {sim::CpuKind::kTwoPass, {}},
+        {sim::CpuKind::kTwoPassRegroup, {}},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &base = outcomes[wi * 4 + 0];
+        const sim::SimOutcome &ra = outcomes[wi * 4 + 1];
+        const sim::SimOutcome &twop = outcomes[wi * 4 + 2];
+        const sim::SimOutcome &twopre = outcomes[wi * 4 + 3];
 
         const double b = static_cast<double>(base.run.cycles);
         t.row({name, "1.000",

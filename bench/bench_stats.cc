@@ -10,12 +10,14 @@
  *      Only 1.6% of all stores are deferred to the B-pipe and
  *      eventually cause a conflict flush."
  *
- * Usage: bench_stats [scale-percent]
+ * Usage: bench_stats [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -25,6 +27,7 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== Section 4 scalar statistics (2P) ===\n\n");
@@ -36,11 +39,17 @@ main(int argc, char **argv)
     std::uint64_t tot_misp_a = 0, tot_misp_b = 0;
     std::uint64_t tot_past = 0, tot_conf = 0, tot_stores = 0;
 
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        const sim::SimOutcome o =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kTwoPass, {}},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
+
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const std::string &name = suite[wi].name;
+        const sim::SimOutcome &o = outcomes[wi];
         const auto &s = o.twopass;
 
         const std::uint64_t misp = s.aDetMispredicts + s.bDetMispredicts;

@@ -4,12 +4,14 @@
  * and executed-instruction counts — measured on the functional
  * reference at the bench scale.
  *
- * Usage: bench_table2 [scale-percent]
+ * Usage: bench_table2 [--jobs N] [scale-percent]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
 #include "workloads/workload.hh"
@@ -19,16 +21,24 @@ using namespace ff;
 int
 main(int argc, char **argv)
 {
+    sim::parseJobsFlag(argc, argv);
     const int scale = argc > 1 ? std::atoi(argv[1]) : 100;
 
     std::printf("=== Table 2: benchmarks and inputs ===\n\n");
     sim::TextTable t;
     t.header({"Benchmark", "Inputs", "Instructions", "Groups",
               "Branches", "Loads", "Stores", "Checksum"});
-    for (const auto &name : workloads::workloadNames()) {
-        const workloads::Workload w =
-            workloads::buildWorkload(name, scale);
-        const sim::FunctionalOutcome f = sim::runFunctional(w.program);
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(), scale);
+    std::vector<const isa::Program *> programs;
+    for (const workloads::Workload &w : suite)
+        programs.push_back(&w.program);
+    const std::vector<sim::FunctionalOutcome> funcs =
+        sim::runFunctionalBatch(programs);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const workloads::Workload &w = suite[i];
+        const std::string &name = w.name;
+        const sim::FunctionalOutcome &f = funcs[i];
         char insts[32];
         std::snprintf(insts, sizeof(insts), "%.2f M",
                       static_cast<double>(f.result.instsExecuted) /

@@ -1,6 +1,8 @@
 #include "common/trace.hh"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ff
 {
@@ -9,7 +11,13 @@ namespace trace
 
 namespace
 {
-std::uint32_t g_mask = kNone;
+// The only process-global mutable state reachable from simulate():
+// enabled() runs on every traced statement of every batch worker, so
+// the mask is a relaxed atomic (tracing is configuration, not
+// synchronization); the capture buffer is mutex-guarded so concurrent
+// emitters interleave whole lines rather than bytes.
+std::atomic<std::uint32_t> g_mask{kNone};
+std::mutex g_bufferMu;
 bool g_capture = false;
 std::string g_buffer;
 } // namespace
@@ -17,24 +25,25 @@ std::string g_buffer;
 void
 enable(std::uint32_t mask)
 {
-    g_mask |= mask;
+    g_mask.fetch_or(mask, std::memory_order_relaxed);
 }
 
 void
 disable()
 {
-    g_mask = kNone;
+    g_mask.store(kNone, std::memory_order_relaxed);
 }
 
 bool
 enabled(std::uint32_t mask)
 {
-    return (g_mask & mask) != 0;
+    return (g_mask.load(std::memory_order_relaxed) & mask) != 0;
 }
 
 void
 captureToBuffer(bool on)
 {
+    std::lock_guard<std::mutex> lk(g_bufferMu);
     g_capture = on;
     if (on)
         g_buffer.clear();
@@ -43,6 +52,7 @@ captureToBuffer(bool on)
 std::string
 takeBuffer()
 {
+    std::lock_guard<std::mutex> lk(g_bufferMu);
     std::string out;
     out.swap(g_buffer);
     return out;
@@ -54,6 +64,7 @@ emit(Cycle cycle, const char *tag, const std::string &msg)
     char head[64];
     std::snprintf(head, sizeof(head), "%10llu: %-8s: ",
                   static_cast<unsigned long long>(cycle), tag);
+    std::lock_guard<std::mutex> lk(g_bufferMu);
     if (g_capture) {
         g_buffer += head;
         g_buffer += msg;

@@ -12,6 +12,7 @@
 
 #include "branch/predictor.hh"
 #include "cpu/cycle_classes.hh"
+#include "cpu/model_stats.hh"
 #include "cpu/regfile.hh"
 #include "memory/hierarchy.hh"
 #include "memory/sparse_memory.hh"
@@ -62,6 +63,13 @@ class CpuModel
 
     virtual memory::Hierarchy &hierarchy() = 0;
     virtual const branch::DirectionPredictor &predictor() const = 0;
+
+    /**
+     * Fills the sections of @p out this model owns (two-pass and
+     * run-ahead counters); models without extra statistics leave it
+     * untouched. Replaces per-model dynamic_casts in the harness.
+     */
+    virtual void collectStats(ModelStats &out) const { (void)out; }
 
     /**
      * Renders every statistic the model keeps as "group.stat value"

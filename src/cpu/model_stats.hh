@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Model-specific statistic bundles, and the ModelStats sink through
+ * which the harness collects them. These live below cpu.hh so the
+ * abstract CpuModel can expose a virtual collectStats() hook instead
+ * of forcing callers to dynamic_cast to each concrete model.
+ */
+
+#ifndef FF_CPU_MODEL_STATS_HH
+#define FF_CPU_MODEL_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "memory/alat.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+inline constexpr unsigned kNumDeferReasonsStats = 7;
+
+/** Counters reported by the two-pass experiments. */
+struct TwoPassStats
+{
+    // A-pipe dispatch outcomes.
+    std::uint64_t dispatched = 0;     ///< instructions entering the CQ
+    std::uint64_t preExecuted = 0;    ///< completed in the A-pipe
+    std::uint64_t deferred = 0;       ///< suppressed to the B-pipe
+    std::array<std::uint64_t, kNumDeferReasonsStats> deferredByReason{};
+
+    // Memory behaviour.
+    std::uint64_t loadsInA = 0;
+    std::uint64_t loadsInB = 0;       ///< deferred loads executed in B
+    std::uint64_t storesInA = 0;      ///< buffered speculatively
+    std::uint64_t storesInB = 0;      ///< deferred stores executed in B
+    std::uint64_t loadsPastDeferredStore = 0; ///< A-loads issued while
+                                              ///< a deferred store was
+                                              ///< queued (Sec. 4 stat)
+    std::uint64_t storeConflictFlushes = 0;
+    std::uint64_t storeForwardings = 0; ///< A-loads fed by the buffer
+
+    // Branch resolution split (Sec. 4: 32% A / 68% B in the paper).
+    std::uint64_t branchesResolvedInA = 0;
+    std::uint64_t branchesResolvedInB = 0;
+    std::uint64_t aDetMispredicts = 0;
+    std::uint64_t bDetMispredicts = 0;
+
+    // Pipe-coupling behaviour.
+    std::uint64_t aStallCqFull = 0;    ///< A-pipe cycles lost to CQ room
+    std::uint64_t aStallAnticipable = 0; ///< ablation-A2 stall cycles
+    std::uint64_t aStallThrottled = 0; ///< issue-moderation pause cycles
+    std::uint64_t regroupedGroups = 0; ///< extra groups fused by 2Pre
+    std::uint64_t feedbackApplied = 0;
+    std::uint64_t feedbackDropped = 0;
+    std::uint64_t registersRepaired = 0; ///< A-file repair volume
+
+    void reset() { *this = TwoPassStats(); }
+};
+
+/** Run-ahead-specific counters. */
+struct RunaheadStats
+{
+    std::uint64_t episodes = 0;        ///< run-ahead entries
+    std::uint64_t runaheadCycles = 0;
+    std::uint64_t runaheadLoads = 0;   ///< prefetching accesses issued
+    std::uint64_t runaheadInsts = 0;   ///< pseudo-retired in run-ahead
+    std::uint64_t invResults = 0;      ///< INV-propagated results
+
+    void reset() { *this = RunaheadStats(); }
+};
+
+/**
+ * Everything a model can hand the harness beyond the common
+ * interface. Models fill only the sections they own; the rest stay
+ * default-initialized.
+ */
+struct ModelStats
+{
+    TwoPassStats twopass;
+    memory::AlatStats alat;
+    RunaheadStats runahead;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_MODEL_STATS_HH

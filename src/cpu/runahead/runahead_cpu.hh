@@ -31,17 +31,8 @@ namespace ff
 namespace cpu
 {
 
-/** Run-ahead-specific counters. */
-struct RunaheadStats
-{
-    std::uint64_t episodes = 0;        ///< run-ahead entries
-    std::uint64_t runaheadCycles = 0;
-    std::uint64_t runaheadLoads = 0;   ///< prefetching accesses issued
-    std::uint64_t runaheadInsts = 0;   ///< pseudo-retired in run-ahead
-    std::uint64_t invResults = 0;      ///< INV-propagated results
-
-    void reset() { *this = RunaheadStats(); }
-};
+// RunaheadStats lives in cpu/model_stats.hh (below cpu.hh) so the
+// abstract model can expose the collectStats() hook.
 
 /** In-order core with run-ahead pre-execution under load stalls. */
 class RunaheadCpu : public CpuModel
@@ -69,6 +60,12 @@ class RunaheadCpu : public CpuModel
     }
 
     const RunaheadStats &runaheadStats() const { return _raStats; }
+
+    void
+    collectStats(ModelStats &out) const override
+    {
+        out.runahead = _raStats;
+    }
 
     std::string statsReport() const override;
 

@@ -90,34 +90,60 @@ class CouplingQueue
     std::size_t freeSlots() const { return _fifo.freeSlots(); }
     std::size_t capacity() const { return _fifo.capacity(); }
 
-    void push(const CqEntry &e) { _fifo.push(e); }
+    void
+    push(const CqEntry &e)
+    {
+        _fifo.push(e);
+        if (isDeferredStore(e))
+            ++_deferredStores;
+    }
+
     const CqEntry &at(std::size_t i) const { return _fifo.at(i); }
-    CqEntry &at(std::size_t i) { return _fifo.at(i); }
-    void pop() { _fifo.pop(); }
-    void clear() { _fifo.clear(); }
+
+    void
+    pop()
+    {
+        if (isDeferredStore(_fifo.at(0)))
+            --_deferredStores;
+        _fifo.pop();
+    }
+
+    void
+    clear()
+    {
+        _fifo.clear();
+        _deferredStores = 0;
+    }
 
     /** Removes every entry with id greater than @p boundary. */
     void
     squashYoungerThan(DynId boundary)
     {
-        while (!_fifo.empty() && _fifo.at(_fifo.size() - 1).id > boundary)
+        while (!_fifo.empty() && _fifo.at(_fifo.size() - 1).id > boundary) {
+            if (isDeferredStore(_fifo.at(_fifo.size() - 1)))
+                --_deferredStores;
             _fifo.popBack();
+        }
     }
 
-    /** Number of deferred stores currently queued (Sec. 4 stat). */
-    unsigned
-    deferredStores() const
-    {
-        unsigned n = 0;
-        for (const auto &e : _fifo) {
-            if (e.status == CqStatus::kDeferred && e.isStore)
-                ++n;
-        }
-        return n;
-    }
+    /**
+     * Number of deferred stores currently queued (Sec. 4 stat). The
+     * A-pipe asks this for every dispatched load, so it is maintained
+     * incrementally rather than scanned; entries are immutable once
+     * queued (there is deliberately no mutable at()), which keeps the
+     * count exact.
+     */
+    unsigned deferredStores() const { return _deferredStores; }
 
   private:
+    static bool
+    isDeferredStore(const CqEntry &e)
+    {
+        return e.status == CqStatus::kDeferred && e.isStore;
+    }
+
     BoundedFifo<CqEntry> _fifo;
+    unsigned _deferredStores = 0;
 };
 
 } // namespace cpu

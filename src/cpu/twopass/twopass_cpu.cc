@@ -11,6 +11,11 @@ namespace ff
 namespace cpu
 {
 
+// The per-reason defer histogram in ModelStats must stay in lockstep
+// with the DeferReason enum the pipes index it with.
+static_assert(kNumDeferReasons == kNumDeferReasonsStats,
+              "DeferReason count drifted from TwoPassStats histogram");
+
 using isa::Instruction;
 
 TwoPassCpu::TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg)

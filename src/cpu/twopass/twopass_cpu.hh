@@ -35,43 +35,8 @@ namespace ff
 namespace cpu
 {
 
-/** Counters reported by the two-pass experiments. */
-struct TwoPassStats
-{
-    // A-pipe dispatch outcomes.
-    std::uint64_t dispatched = 0;     ///< instructions entering the CQ
-    std::uint64_t preExecuted = 0;    ///< completed in the A-pipe
-    std::uint64_t deferred = 0;       ///< suppressed to the B-pipe
-    std::array<std::uint64_t, kNumDeferReasons> deferredByReason{};
-
-    // Memory behaviour.
-    std::uint64_t loadsInA = 0;
-    std::uint64_t loadsInB = 0;       ///< deferred loads executed in B
-    std::uint64_t storesInA = 0;      ///< buffered speculatively
-    std::uint64_t storesInB = 0;      ///< deferred stores executed in B
-    std::uint64_t loadsPastDeferredStore = 0; ///< A-loads issued while
-                                              ///< a deferred store was
-                                              ///< queued (Sec. 4 stat)
-    std::uint64_t storeConflictFlushes = 0;
-    std::uint64_t storeForwardings = 0; ///< A-loads fed by the buffer
-
-    // Branch resolution split (Sec. 4: 32% A / 68% B in the paper).
-    std::uint64_t branchesResolvedInA = 0;
-    std::uint64_t branchesResolvedInB = 0;
-    std::uint64_t aDetMispredicts = 0;
-    std::uint64_t bDetMispredicts = 0;
-
-    // Pipe-coupling behaviour.
-    std::uint64_t aStallCqFull = 0;    ///< A-pipe cycles lost to CQ room
-    std::uint64_t aStallAnticipable = 0; ///< ablation-A2 stall cycles
-    std::uint64_t aStallThrottled = 0; ///< issue-moderation pause cycles
-    std::uint64_t regroupedGroups = 0; ///< extra groups fused by 2Pre
-    std::uint64_t feedbackApplied = 0;
-    std::uint64_t feedbackDropped = 0;
-    std::uint64_t registersRepaired = 0; ///< A-file repair volume
-
-    void reset() { *this = TwoPassStats(); }
-};
+// TwoPassStats lives in cpu/model_stats.hh (below cpu.hh) so the
+// abstract model can expose the collectStats() hook.
 
 /** The two-pass pipelined core. */
 class TwoPassCpu : public CpuModel
@@ -100,6 +65,13 @@ class TwoPassCpu : public CpuModel
 
     const TwoPassStats &stats() const { return _stats; }
     const memory::AlatStats &alatStats() const { return _alat.stats(); }
+
+    void
+    collectStats(ModelStats &out) const override
+    {
+        out.twopass = _stats;
+        out.alat = _alat.stats();
+    }
 
     std::string statsReport() const override;
 

@@ -29,6 +29,27 @@ Program::Program(std::string name, std::vector<Instruction> insts)
     rebuildGroups();
 }
 
+namespace
+{
+
+/** splitmix64 finalizer: the mixing step of the stream hash. */
+std::uint64_t
+mix64(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return h ^ (h >> 27);
+}
+
+std::uint64_t
+mixReg(std::uint64_t h, RegId r)
+{
+    return mix64(h, (static_cast<std::uint64_t>(r.cls) << 8) |
+                        static_cast<std::uint64_t>(r.idx));
+}
+
+} // namespace
+
 void
 Program::rebuildGroups()
 {
@@ -36,6 +57,7 @@ Program::rebuildGroups()
     _groupStart.assign(n, 0);
     _groupEnd.assign(n, 0);
     InstIdx leader = 0;
+    std::uint64_t h = 0x8f1e'c0de'0000'0000ULL ^ n;
     for (InstIdx i = 0; i < n; ++i) {
         _groupStart[i] = leader;
         if (_insts[i].stop || i + 1 == n) {
@@ -43,7 +65,20 @@ Program::rebuildGroups()
                 _groupEnd[j] = i + 1;
             leader = i + 1;
         }
+        // Fold every semantic field (not raw bytes: padding and the
+        // srcLine provenance must not perturb the identity).
+        const Instruction &in = _insts[i];
+        h = mix64(h, static_cast<std::uint64_t>(in.op));
+        h = mix64(h, static_cast<std::uint64_t>(in.cond));
+        h = mixReg(h, in.qpred);
+        h = mixReg(h, in.dst);
+        h = mixReg(h, in.dst2);
+        h = mixReg(h, in.src1);
+        h = mixReg(h, in.src2);
+        h = mix64(h, static_cast<std::uint64_t>(in.imm));
+        h = mix64(h, (in.src2IsImm ? 2u : 0u) | (in.stop ? 1u : 0u));
     }
+    _instHash = h;
 }
 
 void

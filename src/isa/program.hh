@@ -113,6 +113,14 @@ class Program
         return i < size() && _groupStart[i] == i;
     }
 
+    /**
+     * Content hash of the instruction stream (opcodes, operands,
+     * immediates, stop bits), computed once at construction. Two
+     * programs with equal hashes hold, for verification purposes,
+     * the same code — the harness keys its verification memo on it.
+     */
+    std::uint64_t instStreamHash() const { return _instHash; }
+
     /** Fetch-time byte address of instruction @p i. */
     static Addr instAddr(InstIdx i)
     {
@@ -153,6 +161,7 @@ class Program
     std::vector<Instruction> _insts;
     std::vector<InstIdx> _groupStart;
     std::vector<InstIdx> _groupEnd;
+    std::uint64_t _instHash = 0;
     DataImage _data;
 };
 

@@ -19,18 +19,15 @@ Cache::Cache(std::string name, const CacheGeometry &geom)
     _numSets = geom.sizeBytes / (geom.lineBytes * geom.assoc);
     ff_fatal_if(_numSets == 0, _name, ": zero sets");
     _lines.assign(_numSets * geom.assoc, Line());
-}
 
-std::size_t
-Cache::setIndex(Addr a) const
-{
-    return (a / _geom.lineBytes) % _numSets;
-}
-
-Addr
-Cache::tagOf(Addr a) const
-{
-    return a / _geom.lineBytes / _numSets;
+    while ((static_cast<Addr>(1) << _lineShift) < geom.lineBytes)
+        ++_lineShift;
+    _pow2Sets = (_numSets & (_numSets - 1)) == 0;
+    if (_pow2Sets) {
+        while ((static_cast<std::size_t>(1) << _setShift) < _numSets)
+            ++_setShift;
+        _setMask = static_cast<Addr>(_numSets) - 1;
+    }
 }
 
 bool

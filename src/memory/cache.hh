@@ -88,12 +88,30 @@ class Cache
         std::uint64_t lruStamp = 0;
     };
 
-    std::size_t setIndex(Addr a) const;
-    Addr tagOf(Addr a) const;
+    // Set/tag extraction runs on every access of every level — the
+    // hottest address arithmetic in the simulator. Line size is
+    // power-of-two by construction; when the set count is too (every
+    // Table 1 geometry), the div/mod pair reduces to shift/mask.
+    std::size_t setIndex(Addr a) const
+    {
+        const Addr line = a >> _lineShift;
+        return _pow2Sets ? static_cast<std::size_t>(line & _setMask)
+                         : static_cast<std::size_t>(line % _numSets);
+    }
+
+    Addr tagOf(Addr a) const
+    {
+        const Addr line = a >> _lineShift;
+        return _pow2Sets ? line >> _setShift : line / _numSets;
+    }
 
     std::string _name;
     CacheGeometry _geom;
     std::size_t _numSets;
+    unsigned _lineShift = 0;  ///< log2(lineBytes)
+    bool _pow2Sets = false;   ///< set count is a power of two
+    unsigned _setShift = 0;   ///< log2(numSets) when _pow2Sets
+    Addr _setMask = 0;        ///< numSets - 1 when _pow2Sets
     std::vector<Line> _lines; ///< _numSets * assoc, set-major
     std::uint64_t _clock = 0; ///< LRU timestamp source
 

@@ -1,6 +1,7 @@
 #include "memory/hierarchy.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.hh"
 
@@ -50,9 +51,12 @@ Hierarchy::tick(Cycle now)
         auto &in_flight = f.isInst ? _inFlightInst : _inFlightData;
         in_flight.erase(f.l1Line);
     }
-    // Expire MSHRs whose loads have completed.
-    while (!_outstandingLoads.empty() && _outstandingLoads.front() <= now)
-        _outstandingLoads.pop_front();
+    // Expire MSHRs whose loads have completed (heap min first).
+    while (!_outstandingLoads.empty() && _outstandingLoads.front() <= now) {
+        std::pop_heap(_outstandingLoads.begin(), _outstandingLoads.end(),
+                      std::greater<Cycle>());
+        _outstandingLoads.pop_back();
+    }
 }
 
 bool
@@ -64,8 +68,14 @@ Hierarchy::loadSlotAvailable(Cycle now) const
 unsigned
 Hierarchy::outstandingLoads(Cycle now) const
 {
-    // _outstandingLoads is kept sorted by completion (monotonic issue
-    // order does not guarantee that, so count rather than assume).
+    if (_outstandingLoads.empty())
+        return 0;
+    // tick(now) purged everything due; if the heap minimum is still in
+    // the future, so is every entry.
+    if (_outstandingLoads.front() > now)
+        return static_cast<unsigned>(_outstandingLoads.size());
+    // Queried ahead of the purge (e.g. a probe at a later cycle):
+    // count exactly.
     unsigned n = 0;
     for (Cycle c : _outstandingLoads) {
         if (c > now)
@@ -98,8 +108,11 @@ Hierarchy::missPath(AccessKind kind, Addr addr, bool is_inst, Cycle now)
     auto &in_flight = is_inst ? _inFlightInst : _inFlightData;
     in_flight.emplace(line, due);
 
-    if (kind == AccessKind::kLoad)
+    if (kind == AccessKind::kLoad) {
         _outstandingLoads.push_back(due);
+        std::push_heap(_outstandingLoads.begin(), _outstandingLoads.end(),
+                       std::greater<Cycle>());
+    }
     return r;
 }
 

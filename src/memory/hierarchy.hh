@@ -15,9 +15,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "memory/cache.hh"
 
@@ -179,8 +179,14 @@ class Hierarchy
     std::unordered_map<Addr, Cycle> _inFlightData;
     std::unordered_map<Addr, Cycle> _inFlightInst;
 
-    /** Completion cycles of loads occupying MSHRs. */
-    std::deque<Cycle> _outstandingLoads;
+    /**
+     * Completion cycles of loads occupying MSHRs, as a min-heap on
+     * completion cycle. Expired entries are purged in tick(now), so
+     * outstandingLoads() — called per dispatched load — is O(1) in
+     * the common case: once the heap minimum is past @c now, every
+     * entry is.
+     */
+    std::vector<Cycle> _outstandingLoads;
 
     AccessStats _stats;
     AccessStats _instStats;

@@ -1,0 +1,164 @@
+#include "sim/batch.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Per-process override installed by --jobs; 0 = none. */
+std::atomic<unsigned> g_jobsOverride{0};
+
+} // namespace
+
+void
+setJobs(unsigned jobs)
+{
+    g_jobsOverride.store(jobs, std::memory_order_relaxed);
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned o = g_jobsOverride.load(std::memory_order_relaxed);
+    if (o != 0)
+        return o;
+    return defaultJobCount();
+}
+
+unsigned
+parseJobsFlag(int &argc, char **argv)
+{
+    unsigned jobs = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (std::strcmp(arg, "--jobs") == 0 ||
+                   std::strcmp(arg, "-j") == 0) {
+            ff_fatal_if(i + 1 >= argc, arg, " requires a count");
+            value = argv[++i];
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        char *end = nullptr;
+        const long v = std::strtol(value, &end, 10);
+        ff_fatal_if(end == value || *end != '\0' || v <= 0,
+                    "bad job count '", value, "'");
+        jobs = static_cast<unsigned>(v);
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (jobs != 0)
+        setJobs(jobs);
+    return jobs;
+}
+
+std::vector<SimOutcome>
+runBatch(std::span<const SimJob> jobs, unsigned threads)
+{
+    std::vector<SimOutcome> out(jobs.size());
+    if (jobs.empty())
+        return out;
+    for (const SimJob &j : jobs)
+        ff_fatal_if(j.program == nullptr, "SimJob without a program");
+
+    auto run_one = [&](std::size_t i) {
+        const SimJob &j = jobs[i];
+        out[i] = simulate(*j.program, j.kind, j.cfg, j.maxCycles);
+    };
+
+    const unsigned n = resolveJobs(threads);
+    if (n <= 1 || jobs.size() == 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            run_one(i);
+        return out;
+    }
+    ThreadPool pool(n);
+    pool.parallelFor(jobs.size(), run_one);
+    return out;
+}
+
+std::vector<SimOutcome>
+runSweep(std::span<const workloads::Workload> workloads,
+         std::span<const SweepVariant> variants, unsigned threads)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(workloads.size() * variants.size());
+    for (const workloads::Workload &w : workloads) {
+        for (const SweepVariant &v : variants) {
+            SimJob j;
+            j.program = &w.program;
+            j.kind = v.kind;
+            j.cfg = v.cfg;
+            jobs.push_back(j);
+        }
+    }
+    return runBatch(jobs, threads);
+}
+
+std::vector<FunctionalOutcome>
+runFunctionalBatch(std::span<const isa::Program *const> programs,
+                   unsigned threads)
+{
+    std::vector<FunctionalOutcome> out(programs.size());
+    if (programs.empty())
+        return out;
+
+    auto run_one = [&](std::size_t i) {
+        ff_fatal_if(programs[i] == nullptr,
+                    "functional batch without a program");
+        out[i] = runFunctional(*programs[i]);
+    };
+
+    const unsigned n = resolveJobs(threads);
+    if (n <= 1 || programs.size() == 1) {
+        for (std::size_t i = 0; i < programs.size(); ++i)
+            run_one(i);
+        return out;
+    }
+    ThreadPool pool(n);
+    pool.parallelFor(programs.size(), run_one);
+    return out;
+}
+
+std::vector<workloads::Workload>
+buildWorkloadsParallel(std::span<const std::string> names, int scale,
+                       workloads::InputSet input, unsigned threads)
+{
+    std::vector<workloads::Workload> out(names.size());
+    if (names.empty())
+        return out;
+
+    auto build_one = [&](std::size_t i) {
+        out[i] = workloads::buildWorkload(
+            names[i], scale, compiler::SchedulerConfig(), input);
+    };
+
+    const unsigned n = resolveJobs(threads);
+    if (n <= 1 || names.size() == 1) {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            build_one(i);
+        return out;
+    }
+    ThreadPool pool(n);
+    pool.parallelFor(names.size(), build_one);
+    return out;
+}
+
+} // namespace sim
+} // namespace ff

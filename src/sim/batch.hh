@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The parallel experiment engine. Every experiment in the repo is a
+ * grid of independent, deterministic sim::simulate() calls; runBatch
+ * executes such a grid across a work-stealing thread pool and returns
+ * the outcomes in submission order, so every table, figure and
+ * fingerprint a bench prints is bit-identical to the serial run
+ * regardless of the job count.
+ *
+ * Job-count resolution, everywhere a count of 0 is passed:
+ *   1. the per-process override (setJobs(), set by --jobs in benches),
+ *   2. else the FF_JOBS environment variable,
+ *   3. else the hardware concurrency.
+ */
+
+#ifndef FF_SIM_BATCH_HH
+#define FF_SIM_BATCH_HH
+
+#include <span>
+#include <vector>
+
+#include "sim/harness.hh"
+#include "workloads/workload.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+/** One simulation of the experiment grid. */
+struct SimJob
+{
+    /** Program to run; must outlive the batch. */
+    const isa::Program *program = nullptr;
+    CpuKind kind = CpuKind::kBaseline;
+    cpu::CoreConfig cfg;
+    std::uint64_t maxCycles = kDefaultMaxCycles;
+};
+
+/**
+ * Runs every job, fanned out over @p threads workers (0 = resolved
+ * default), and returns outcomes with outcome[i] belonging to
+ * jobs[i]. A resolved count of 1 runs inline on the calling thread —
+ * "--jobs 1" is genuinely serial, not a one-thread pool.
+ */
+std::vector<SimOutcome> runBatch(std::span<const SimJob> jobs,
+                                 unsigned threads = 0);
+
+/** One (model, configuration) column of a sweep grid. */
+struct SweepVariant
+{
+    CpuKind kind = CpuKind::kBaseline;
+    cpu::CoreConfig cfg;
+};
+
+/**
+ * Crosses workloads x variants into one batch (row-major: outcome
+ * [w * variants.size() + v] is workload w under variant v) and runs
+ * it. The canonical shape of the figure/ablation benches: every
+ * workload column-swept over kinds and config overrides.
+ */
+std::vector<SimOutcome> runSweep(
+    std::span<const workloads::Workload> workloads,
+    std::span<const SweepVariant> variants, unsigned threads = 0);
+
+/** Functional-reference outcomes for a set of programs, in order. */
+std::vector<FunctionalOutcome> runFunctionalBatch(
+    std::span<const isa::Program *const> programs,
+    unsigned threads = 0);
+
+/**
+ * Builds the named workloads concurrently (scheduling is itself a
+ * measurable serial cost at bench scale); result[i] is names[i].
+ */
+std::vector<workloads::Workload> buildWorkloadsParallel(
+    std::span<const std::string> names, int scale,
+    workloads::InputSet input = workloads::InputSet::kDefault,
+    unsigned threads = 0);
+
+/**
+ * Sets the per-process job-count override (0 clears it back to
+ * FF_JOBS / hardware concurrency). Call before spawning batches.
+ */
+void setJobs(unsigned jobs);
+
+/** Resolves a requested count (0 = default) per the header rules. */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Strips "--jobs N" / "--jobs=N" / "-j N" from argv (adjusting argc)
+ * and installs the value via setJobs(). Returns the parsed count, or
+ * 0 if the flag was absent. Benches call this first so positional
+ * arguments (scale, "alt") keep their meaning.
+ */
+unsigned parseJobsFlag(int &argc, char **argv);
+
+} // namespace sim
+} // namespace ff
+
+#endif // FF_SIM_BATCH_HH

@@ -4,11 +4,16 @@
  * every workload with exactly the architectural register file and
  * memory image of the functional reference. Any divergence in the
  * two-pass machinery (A-file management, store forwarding, ALAT
- * flushes, feedback races, regrouping) shows up here.
+ * flushes, feedback races, regrouping) shows up here. The four models
+ * run as one runBatch(), so this also exercises the parallel
+ * experiment engine end to end.
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "workloads/workload.hh"
 
@@ -42,13 +47,25 @@ TEST_P(EquivalenceTest, AllModelsMatchFunctionalReference)
     const sim::FunctionalOutcome ref = sim::runFunctional(w.program);
     ASSERT_TRUE(ref.result.halted);
 
-    for (sim::CpuKind kind :
-         {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass,
-          sim::CpuKind::kTwoPassRegroup, sim::CpuKind::kRunahead}) {
-        SCOPED_TRACE(sim::cpuKindName(kind));
-        const sim::SimOutcome got = sim::simulate(w.program, kind);
-        expectMatches(ref, got, std::string(sim::cpuKindName(kind)) +
-                                    "/" + w.name);
+    const std::vector<sim::CpuKind> kinds = {
+        sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass,
+        sim::CpuKind::kTwoPassRegroup, sim::CpuKind::kRunahead};
+    std::vector<sim::SimJob> jobs;
+    for (sim::CpuKind kind : kinds) {
+        sim::SimJob j;
+        j.program = &w.program;
+        j.kind = kind;
+        jobs.push_back(j);
+    }
+    const std::vector<sim::SimOutcome> outcomes = sim::runBatch(jobs);
+    ASSERT_EQ(outcomes.size(), kinds.size());
+
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        SCOPED_TRACE(sim::cpuKindName(kinds[i]));
+        EXPECT_EQ(outcomes[i].kind, kinds[i]);
+        expectMatches(ref, outcomes[i],
+                      std::string(sim::cpuKindName(kinds[i])) + "/" +
+                          w.name);
     }
 }
 

@@ -4,13 +4,18 @@
  * wins, who loses, and the qualitative claims of Section 4. These
  * run the real workloads at a reduced scale, so the bounds are
  * deliberately loose — they exist to catch regressions that would
- * invalidate the paper's story, not to pin exact numbers.
+ * invalidate the paper's story, not to pin exact numbers. Each
+ * test's model variants run as one runBatch() over the experiment
+ * engine.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <initializer_list>
+#include <vector>
 
+#include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "workloads/workload.hh"
 
@@ -21,28 +26,44 @@ using namespace ff;
 
 constexpr int kScale = 25;
 
+/** Runs @p kinds on @p w as one batch; outcome[i] is kinds[i]. */
+std::vector<sim::SimOutcome>
+runKinds(const workloads::Workload &w,
+         std::initializer_list<sim::CpuKind> kinds)
+{
+    std::vector<sim::SimJob> jobs;
+    for (sim::CpuKind kind : kinds) {
+        sim::SimJob j;
+        j.program = &w.program;
+        j.kind = kind;
+        jobs.push_back(j);
+    }
+    return sim::runBatch(jobs);
+}
+
 double
 speedup(const workloads::Workload &w, sim::CpuKind kind,
         sim::SimOutcome *out = nullptr)
 {
-    const sim::SimOutcome base =
-        sim::simulate(w.program, sim::CpuKind::kBaseline);
-    const sim::SimOutcome o = sim::simulate(w.program, kind);
+    const auto r = runKinds(w, {sim::CpuKind::kBaseline, kind});
     if (out)
-        *out = o;
-    return static_cast<double>(base.run.cycles) /
-           static_cast<double>(o.run.cycles);
+        *out = r[1];
+    return static_cast<double>(r[0].run.cycles) /
+           static_cast<double>(r[1].run.cycles);
 }
 
 TEST(Shape, McfIsTheHeadlineWin)
 {
     const auto w = workloads::buildWorkload("181.mcf", kScale);
-    sim::SimOutcome o;
-    EXPECT_GT(speedup(w, sim::CpuKind::kTwoPass, &o), 1.25);
+    const auto r =
+        runKinds(w, {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass});
+    const sim::SimOutcome &base = r[0];
+    const sim::SimOutcome &o = r[1];
+    EXPECT_GT(static_cast<double>(base.run.cycles) /
+                  static_cast<double>(o.run.cycles),
+              1.25);
     // And the win comes from memory stalls (S3's direction): at
     // least a third of the load-stall cycles disappear.
-    const sim::SimOutcome base =
-        sim::simulate(w.program, sim::CpuKind::kBaseline);
     EXPECT_LT(o.cycles.of(cpu::CycleClass::kLoadStall) * 3,
               base.cycles.of(cpu::CycleClass::kLoadStall) * 2);
 }
@@ -91,10 +112,10 @@ TEST(Shape, GapGainsLittle)
 TEST(Shape, TwolfMemoryWinOffsetByFrontEnd)
 {
     const auto w = workloads::buildWorkload("300.twolf", kScale);
-    const sim::SimOutcome base =
-        sim::simulate(w.program, sim::CpuKind::kBaseline);
-    const sim::SimOutcome o =
-        sim::simulate(w.program, sim::CpuKind::kTwoPass);
+    const auto r =
+        runKinds(w, {sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass});
+    const sim::SimOutcome &base = r[0];
+    const sim::SimOutcome &o = r[1];
     // Memory stalls shrink...
     EXPECT_LT(o.cycles.of(cpu::CycleClass::kLoadStall),
               base.cycles.of(cpu::CycleClass::kLoadStall));
@@ -114,7 +135,7 @@ TEST(Shape, MajorityOfAccessCyclesStartInApipe)
     for (const char *name : {"181.mcf", "183.equake", "129.compress"}) {
         const auto w = workloads::buildWorkload(name, kScale);
         const sim::SimOutcome o =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+            runKinds(w, {sim::CpuKind::kTwoPass})[0];
         double a = 0, b = 0;
         for (unsigned l = 0; l < memory::kNumMemLevels; ++l) {
             a += static_cast<double>(
@@ -135,7 +156,7 @@ TEST(Shape, MispredictionsSplitBetweenDets)
     for (const char *name : {"099.go", "300.twolf", "197.parser"}) {
         const auto w = workloads::buildWorkload(name, kScale);
         const sim::SimOutcome o =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+            runKinds(w, {sim::CpuKind::kTwoPass})[0];
         a += o.twopass.aDetMispredicts;
         b += o.twopass.bDetMispredicts;
     }
@@ -148,11 +169,17 @@ TEST(Shape, MispredictionsSplitBetweenDets)
 TEST(Shape, ConflictFreeRateIsHigh)
 {
     // S2: nearly all A-loads issued past deferred stores survive.
+    // One batch across the whole suite.
+    const std::vector<workloads::Workload> suite =
+        sim::buildWorkloadsParallel(workloads::workloadNames(),
+                                    kScale / 2);
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kTwoPass, {}},
+    };
+    const std::vector<sim::SimOutcome> outcomes =
+        sim::runSweep(suite, variants);
     std::uint64_t past = 0, conflicts = 0;
-    for (const auto &name : workloads::workloadNames()) {
-        const auto w = workloads::buildWorkload(name, kScale / 2);
-        const sim::SimOutcome o =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
+    for (const sim::SimOutcome &o : outcomes) {
         past += o.twopass.loadsPastDeferredStore;
         conflicts += o.twopass.storeConflictFlushes;
     }
@@ -170,12 +197,10 @@ TEST(Shape, RegroupingHelpsOnAverage)
     for (const char *name :
          {"181.mcf", "129.compress", "300.twolf", "175.vpr"}) {
         const auto w = workloads::buildWorkload(name, kScale);
-        const sim::SimOutcome p2 =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
-        const sim::SimOutcome p2re =
-            sim::simulate(w.program, sim::CpuKind::kTwoPassRegroup);
-        log_sum += std::log(static_cast<double>(p2.run.cycles) /
-                            static_cast<double>(p2re.run.cycles));
+        const auto r = runKinds(
+            w, {sim::CpuKind::kTwoPass, sim::CpuKind::kTwoPassRegroup});
+        log_sum += std::log(static_cast<double>(r[0].run.cycles) /
+                            static_cast<double>(r[1].run.cycles));
     }
     EXPECT_GT(std::exp(log_sum / 4.0), 1.0);
 }
@@ -184,13 +209,17 @@ TEST(Shape, FeedbackRemovalHurtsMcf)
 {
     // Figure 8: mcf without feedback defers more and runs slower.
     const auto w = workloads::buildWorkload("181.mcf", kScale);
-    cpu::CoreConfig on = sim::table1Config();
-    const sim::SimOutcome o_on =
-        sim::simulate(w.program, sim::CpuKind::kTwoPass, on);
     cpu::CoreConfig off = sim::table1Config();
     off.feedbackEnabled = false;
-    const sim::SimOutcome o_off =
-        sim::simulate(w.program, sim::CpuKind::kTwoPass, off);
+    std::vector<sim::SimJob> jobs(2);
+    jobs[0].program = &w.program;
+    jobs[0].kind = sim::CpuKind::kTwoPass;
+    jobs[1].program = &w.program;
+    jobs[1].kind = sim::CpuKind::kTwoPass;
+    jobs[1].cfg = off;
+    const auto r = sim::runBatch(jobs);
+    const sim::SimOutcome &o_on = r[0];
+    const sim::SimOutcome &o_off = r[1];
     EXPECT_GT(o_off.twopass.deferred, o_on.twopass.deferred);
     EXPECT_GE(o_off.run.cycles, o_on.run.cycles);
 }
@@ -203,35 +232,29 @@ TEST(Shape, RunaheadHelpsLongMissesButNotShortOnes)
     // serial chases.
     {
         const auto w = workloads::buildWorkload("181.mcf", kScale);
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
-        const sim::SimOutcome ra =
-            sim::simulate(w.program, sim::CpuKind::kRunahead);
-        EXPECT_LT(ra.run.cycles, base.run.cycles);
+        const auto r = runKinds(
+            w, {sim::CpuKind::kBaseline, sim::CpuKind::kRunahead});
+        EXPECT_LT(r[1].run.cycles, r[0].run.cycles);
     }
     {
         // Short L2-hit misses: entering/exiting run-ahead costs more
         // than the 5-cycle stall it hides; two-pass wins.
         const auto w = workloads::buildWorkload("129.compress", kScale);
-        const sim::SimOutcome ra =
-            sim::simulate(w.program, sim::CpuKind::kRunahead);
-        const sim::SimOutcome twop =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
-        EXPECT_LT(twop.run.cycles, ra.run.cycles);
+        const auto r = runKinds(
+            w, {sim::CpuKind::kRunahead, sim::CpuKind::kTwoPass});
+        EXPECT_LT(r[1].run.cycles, r[0].run.cycles);
     }
     {
         // A serial chase gives run-ahead nothing to prefetch; the
         // refetch overhead makes it a net loss. Two-pass never loses
         // here.
         const auto w = workloads::buildWorkload("254.gap", kScale);
-        const sim::SimOutcome base =
-            sim::simulate(w.program, sim::CpuKind::kBaseline);
-        const sim::SimOutcome ra =
-            sim::simulate(w.program, sim::CpuKind::kRunahead);
-        const sim::SimOutcome twop =
-            sim::simulate(w.program, sim::CpuKind::kTwoPass);
-        EXPECT_GT(ra.run.cycles, twop.run.cycles);
-        EXPECT_LE(twop.run.cycles, base.run.cycles);
+        const auto r =
+            runKinds(w, {sim::CpuKind::kBaseline,
+                         sim::CpuKind::kRunahead,
+                         sim::CpuKind::kTwoPass});
+        EXPECT_GT(r[1].run.cycles, r[2].run.cycles);
+        EXPECT_LE(r[2].run.cycles, r[0].run.cycles);
     }
 }
 

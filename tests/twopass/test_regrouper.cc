@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "cpu/twopass/regrouper.hh"
 #include "isa/builder.hh"
 
@@ -24,9 +26,14 @@ struct Fixture
 
     explicit Fixture(Program p) : prog(std::move(p)) {}
 
-    /** Enqueues instruction @p idx with the program's stop bit. */
-    CqEntry &
-    push(InstIdx idx, CqStatus status, Cycle enq = 0)
+    /**
+     * Enqueues instruction @p idx with the program's stop bit. CQ
+     * entries are immutable once queued, so per-test tweaks go through
+     * @p tweak before the push.
+     */
+    const CqEntry &
+    push(InstIdx idx, CqStatus status, Cycle enq = 0,
+         const std::function<void(CqEntry &)> &tweak = nullptr)
     {
         CqEntry e;
         e.idx = idx;
@@ -37,6 +44,8 @@ struct Fixture
         e.isLoad = prog.inst(idx).isLoad();
         e.isStore = prog.inst(idx).isStore();
         e.isBranch = prog.inst(idx).isBranch();
+        if (tweak)
+            tweak(e);
         cq.push(e);
         return cq.at(cq.size() - 1);
     }
@@ -88,9 +97,9 @@ TEST(Regrouper, StopsAtNotReadyEntry)
 {
     Fixture f(independentGroups());
     f.push(0, CqStatus::kPreExecuted);
-    CqEntry &e1 = f.push(1, CqStatus::kPreExecuted);
+    f.push(1, CqStatus::kPreExecuted, /*enq=*/0,
+           [](CqEntry &e) { e.readyAt = 100; }); // a dangling result
     f.push(2, CqStatus::kPreExecuted);
-    e1.readyAt = 100; // pretend a dangling result
     auto ready = [](const CqEntry &e) { return e.readyAt <= 5; };
     RetireWindow w = headGroupWindow(f.cq);
     w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w, ready);
@@ -213,8 +222,8 @@ TEST(Regrouper, ResolvedBranchAllowsFusion)
     b.movi(intReg(1), 1); // 1: confirmed-path work
     b.halt();
     Fixture f(b.finalize());
-    CqEntry &br = f.push(0, CqStatus::kPreExecuted);
-    br.branchResolvedInA = true;
+    f.push(0, CqStatus::kPreExecuted, /*enq=*/0,
+           [](CqEntry &e) { e.branchResolvedInA = true; });
     f.push(1, CqStatus::kPreExecuted);
     RetireWindow w = headGroupWindow(f.cq);
     w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w,

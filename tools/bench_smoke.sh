@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Smoke test for the parallel experiment engine: run bench_fig6 at a
+# small scale serially and in parallel, require bit-identical tables
+# (only the [engine] footer may differ — it reports jobs and wall
+# time), and record wall-clock + sim-cycles/sec in BENCH_fig6.json.
+#
+# Usage: tools/bench_smoke.sh [build-dir] [scale-percent]
+set -euo pipefail
+
+build_dir="${1:-build}"
+scale="${2:-25}"
+jobs="${FF_JOBS:-$(nproc)}"
+bench="$build_dir/bench/bench_fig6"
+
+if [ ! -x "$bench" ]; then
+    echo "bench_smoke: $bench is not built" >&2
+    exit 1
+fi
+
+serial="$(mktemp)"
+par="$(mktemp)"
+trap 'rm -f "$serial" "$par"' EXIT
+
+"$bench" --jobs 1 "$scale" | grep -v '^\[engine\]' > "$serial"
+"$bench" --jobs "$jobs" --json BENCH_fig6.json "$scale" \
+    | grep -v '^\[engine\]' > "$par"
+
+if ! diff -u "$serial" "$par"; then
+    echo "bench_smoke: FAIL — tables differ between --jobs 1 and" \
+         "--jobs $jobs" >&2
+    exit 1
+fi
+
+echo "bench_smoke: tables bit-identical at --jobs 1 and --jobs $jobs"
