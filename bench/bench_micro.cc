@@ -14,9 +14,8 @@
 #include "branch/gshare.hh"
 #include "common/thread_pool.hh"
 #include "compiler/scheduler.hh"
-#include "cpu/baseline/baseline_cpu.hh"
+#include "cpu/core/model_factory.hh"
 #include "cpu/functional/functional_cpu.hh"
-#include "cpu/twopass/twopass_cpu.hh"
 #include "memory/alat.hh"
 #include "memory/cache.hh"
 #include "memory/hierarchy.hh"
@@ -111,15 +110,15 @@ BM_ScheduleMcf(benchmark::State &state)
 BENCHMARK(BM_ScheduleMcf)->Unit(benchmark::kMillisecond);
 
 /** Whole-machine simulation rate, reported as cycles/second. */
-template <typename Model>
 void
-simRate(benchmark::State &state, const char *workload)
+simRate(benchmark::State &state, cpu::CpuKind kind,
+        const char *workload)
 {
     workloads::Workload w = workloads::buildWorkload(workload, 5);
     std::uint64_t cycles = 0;
     for (auto _ : state) {
-        Model model(w.program, cpu::CoreConfig());
-        auto r = model.run(UINT64_MAX);
+        auto model = cpu::makeModel(kind, w.program, cpu::CoreConfig());
+        auto r = model->run(UINT64_MAX);
         cycles += r.cycles;
     }
     state.counters["cycles/s"] = benchmark::Counter(
@@ -143,14 +142,14 @@ BENCHMARK(BM_SimulateFunctional)->Unit(benchmark::kMillisecond);
 void
 BM_SimulateBaseline(benchmark::State &state)
 {
-    simRate<cpu::BaselineCpu>(state, "181.mcf");
+    simRate(state, cpu::CpuKind::kBaseline, "181.mcf");
 }
 BENCHMARK(BM_SimulateBaseline)->Unit(benchmark::kMillisecond);
 
 void
 BM_SimulateTwoPass(benchmark::State &state)
 {
-    simRate<cpu::TwoPassCpu>(state, "181.mcf");
+    simRate(state, cpu::CpuKind::kTwoPass, "181.mcf");
 }
 BENCHMARK(BM_SimulateTwoPass)->Unit(benchmark::kMillisecond);
 

@@ -13,7 +13,8 @@
 #include <cstdio>
 
 #include "common/trace.hh"
-#include "cpu/twopass/twopass_cpu.hh"
+#include "cpu/core/core_base.hh"
+#include "cpu/core/trace_observer.hh"
 #include "isa/disasm.hh"
 #include "sim/harness.hh"
 #include "workloads/workload.hh"
@@ -29,13 +30,18 @@ main()
                 "(';;' = stop bit) ===\n\n%s\n",
                 isa::disasmProgram(w.program).c_str());
 
-    // Capture a window of pipeline activity.
+    // Capture a window of pipeline activity, with a TraceObserver on
+    // the core's observer seam counting retires/deferrals alongside.
     trace::enable(trace::kApipe | trace::kBpipe | trace::kBranch |
                   trace::kFlush | trace::kFeedback);
     trace::captureToBuffer(true);
+    cpu::TraceObserver observer;
     {
-        cpu::TwoPassCpu two_pass(w.program, sim::table1Config());
-        two_pass.run(520);
+        auto two_pass = cpu::makeModel(cpu::CpuKind::kTwoPass,
+                                       w.program, sim::table1Config());
+        dynamic_cast<cpu::CoreBase &>(*two_pass)
+            .setObserver(&observer);
+        two_pass->run(520);
     }
     trace::disable();
     std::string log = trace::takeBuffer();
@@ -48,6 +54,18 @@ main()
                 "pipe; FEEDBK = committed result returning to the "
                 "A-file)\n\n%s\n",
                 log.c_str());
+    std::printf("observer: %llu cycles, %llu group retires "
+                "(%llu slots), %llu deferrals, %llu flushes\n\n",
+                static_cast<unsigned long long>(
+                    observer.counts().cycles),
+                static_cast<unsigned long long>(
+                    observer.counts().groupRetires),
+                static_cast<unsigned long long>(
+                    observer.counts().slotsRetired),
+                static_cast<unsigned long long>(
+                    observer.counts().defers),
+                static_cast<unsigned long long>(
+                    observer.counts().flushes));
 
     // And the quantitative punchline of the case study.
     const sim::SimOutcome base =

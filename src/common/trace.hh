@@ -32,6 +32,7 @@ enum Category : std::uint32_t
     kBpipe    = 1u << 6,
     kFlush    = 1u << 7,
     kFeedback = 1u << 8,
+    kCore     = 1u << 9,  ///< CoreObserver events (TraceObserver)
     kAll      = ~0u,
 };
 

@@ -2,7 +2,6 @@
 
 #include <vector>
 
-#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "cpu/exec.hh"
@@ -15,32 +14,16 @@ namespace cpu
 
 using isa::Instruction;
 
-BaselineCpu::BaselineCpu(const isa::Program &prog, const CoreConfig &cfg)
-    : _prog(prog),
-      _cfg(cfg),
-      _hier(cfg.mem),
-      _pred(branch::makePredictor(cfg.predictorKind,
-                                  cfg.predictorEntries)),
-      _fe(prog, _cfg, *_pred, _hier, memory::Initiator::kBaseline)
+BaselineCpu::BaselineCpu(const isa::Program &prog,
+                         const CoreConfig &cfg)
+    : CoreBase(prog, cfg, memory::Initiator::kBaseline)
 {
-    const std::string err = prog.validate(cfg.limits);
-    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
-                err);
-    _mem.loadPages(prog.dataImage().pages());
 }
 
 CycleClass
-BaselineCpu::stallClassFor(isa::RegId blocking) const
+BaselineCpu::tick(Cycle now, RunResult &res)
 {
-    switch (_sb.kindOf(blocking)) {
-      case PendingKind::kLoad:
-        return CycleClass::kLoadStall;
-      case PendingKind::kNonLoad:
-        return CycleClass::kNonLoadDepStall;
-      case PendingKind::kNone:
-        break;
-    }
-    ff_panic("stall on a register with no pending producer");
+    return tryIssue(now, res);
 }
 
 CycleClass
@@ -58,22 +41,22 @@ BaselineCpu::tryIssue(Cycle now, RunResult &res)
     for (InstIdx i = leader; i < end; ++i) {
         const Instruction &in = _prog.inst(i);
         if (!_sb.ready(in.qpred, now))
-            return stallClassFor(in.qpred);
+            return stallClassFor(_sb, in.qpred);
         const bool qp = _regs.readPred(in.qpred);
         if (!qp && !in.isBranch())
             continue; // nullified slot needs no operands
         if (in.src1.valid() && !_sb.ready(in.src1, now))
-            return stallClassFor(in.src1);
+            return stallClassFor(_sb, in.src1);
         if (in.src2.valid() && !in.src2IsImm &&
             !_sb.ready(in.src2, now)) {
-            return stallClassFor(in.src2);
+            return stallClassFor(_sb, in.src2);
         }
         if (_cfg.wawStall) {
             std::array<isa::RegId, 2> dsts;
             unsigned nd = in.destinations(dsts);
             for (unsigned d = 0; d < nd; ++d) {
                 if (!_sb.ready(dsts[d], now))
-                    return stallClassFor(dsts[d]);
+                    return stallClassFor(_sb, dsts[d]);
             }
         }
         if (in.isLoad() && qp)
@@ -185,6 +168,7 @@ BaselineCpu::tryIssue(Cycle now, RunResult &res)
     }
 
     ++res.groupsRetired;
+    notifyGroupRetire(now, leader, static_cast<unsigned>(end - leader));
     return CycleClass::kUnstalled;
 }
 
@@ -199,25 +183,6 @@ BaselineCpu::statsReport() const
     return commonStatsReport(_acct, _pred->stats(),
                              _hier.accessStats()) +
            g.dump();
-}
-
-RunResult
-BaselineCpu::run(std::uint64_t max_cycles)
-{
-    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
-    _ran = true;
-
-    RunResult res;
-    Cycle now = 0;
-    while (!res.halted && now < max_cycles) {
-        _hier.tick(now);
-        const CycleClass cls = tryIssue(now, res);
-        _acct.record(cls);
-        _fe.tick(now);
-        ++now;
-    }
-    res.cycles = now;
-    return res;
 }
 
 } // namespace cpu

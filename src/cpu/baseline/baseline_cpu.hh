@@ -9,11 +9,7 @@
 #ifndef FF_CPU_BASELINE_BASELINE_CPU_HH
 #define FF_CPU_BASELINE_BASELINE_CPU_HH
 
-#include <memory>
-
-#include "cpu/config.hh"
-#include "cpu/cpu.hh"
-#include "cpu/frontend.hh"
+#include "cpu/core/core_base.hh"
 #include "cpu/scoreboard.hh"
 
 namespace ff
@@ -33,33 +29,19 @@ struct BaselineStats
 };
 
 /** In-order, stall-on-use EPIC pipeline. */
-class BaselineCpu : public CpuModel
+class BaselineCpu : public CoreBase
 {
   public:
     BaselineCpu(const isa::Program &prog, const CoreConfig &cfg);
-    /** The model holds a reference: temporaries would dangle. */
-    BaselineCpu(isa::Program &&, const CoreConfig &) = delete;
-
-    RunResult run(std::uint64_t max_cycles) override;
 
     const RegFile &archRegs() const override { return _regs; }
-    const memory::SparseMemory &memState() const override
-    {
-        return _mem;
-    }
-    const CycleAccounting &cycleAccounting() const override
-    {
-        return _acct;
-    }
-    memory::Hierarchy &hierarchy() override { return _hier; }
-    const branch::DirectionPredictor &predictor() const override
-    {
-        return *_pred;
-    }
 
     const BaselineStats &stats() const { return _stats; }
 
     std::string statsReport() const override;
+
+  protected:
+    CycleClass tick(Cycle now, RunResult &res) override;
 
   private:
     /**
@@ -69,20 +51,9 @@ class BaselineCpu : public CpuModel
      */
     CycleClass tryIssue(Cycle now, RunResult &res);
 
-    /** Maps a blocking register's producer kind to a stall class. */
-    CycleClass stallClassFor(isa::RegId blocking) const;
-
-    const isa::Program &_prog;
-    CoreConfig _cfg;
-    memory::SparseMemory _mem;
-    memory::Hierarchy _hier;
-    std::unique_ptr<branch::DirectionPredictor> _pred;
-    FrontEnd _fe;
     RegFile _regs;
     Scoreboard _sb;
-    CycleAccounting _acct;
     BaselineStats _stats;
-    bool _ran = false;
 };
 
 } // namespace cpu

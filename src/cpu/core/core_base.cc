@@ -1,0 +1,57 @@
+#include "cpu/core/core_base.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+CoreBase::CoreBase(const isa::Program &prog, const CoreConfig &cfg,
+                   memory::Initiator who)
+    : _prog(prog),
+      _cfg(cfg),
+      _hier(cfg.mem),
+      _pred(branch::makePredictor(cfg.predictorKind,
+                                  cfg.predictorEntries)),
+      _fe(prog, _cfg, *_pred, _hier, who)
+{
+    const std::string err = prog.validate(cfg.limits);
+    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
+                err);
+    _mem.loadPages(prog.dataImage().pages());
+}
+
+RunResult
+CoreBase::run(std::uint64_t max_cycles)
+{
+    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
+    _ran = true;
+
+    RunResult res;
+    Cycle now = 0;
+    while (!res.halted && now < max_cycles) {
+        _hier.tick(now);
+        const CycleClass cls = tick(now, res);
+        _acct.record(cls);
+        if (_observer != nullptr)
+            _observer->onCycle(now, cls);
+        _fe.tick(now);
+        ++now;
+    }
+    res.cycles = now;
+    return res;
+}
+
+const char *
+flushKindName(FlushKind k)
+{
+    switch (k) {
+      case FlushKind::kBDet: return "bdet";
+      case FlushKind::kConflict: return "conflict";
+    }
+    return "?";
+}
+
+} // namespace cpu
+} // namespace ff

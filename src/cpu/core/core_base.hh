@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CoreBase: the shared kernel of every timed CPU model. It owns the
+ * structural state all models duplicate — the program reference, the
+ * CoreConfig copy, architectural memory, the cache hierarchy, the
+ * direction predictor, the decoupled front end, and the Figure-6
+ * cycle accounting — performs the validate-and-load-pages dance once
+ * in its constructor, and provides the single-shot run() skeleton
+ * that ticks the hierarchy, calls the per-model tick() hook, records
+ * the returned cycle class, and advances the front end. Models
+ * implement only their genuinely distinct per-cycle logic.
+ */
+
+#ifndef FF_CPU_CORE_CORE_BASE_HH
+#define FF_CPU_CORE_CORE_BASE_HH
+
+#include <memory>
+
+#include "cpu/config.hh"
+#include "cpu/core/observer.hh"
+#include "cpu/cpu.hh"
+#include "cpu/frontend.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Shared skeleton of the timed models. */
+class CoreBase : public CpuModel
+{
+  public:
+    /**
+     * Validates @p prog against the configured group limits (fatal on
+     * violation), loads its data image, and builds the common
+     * subsystems. @p who tags this core's memory accesses.
+     */
+    CoreBase(const isa::Program &prog, const CoreConfig &cfg,
+             memory::Initiator who);
+    /** Models hold a reference: temporaries would dangle. */
+    CoreBase(isa::Program &&, const CoreConfig &,
+             memory::Initiator) = delete;
+
+    /**
+     * The shared run loop: per cycle, ticks the hierarchy, invokes
+     * the model's tick(), records the cycle class, notifies any
+     * observer, and ticks the front end. Single-shot.
+     */
+    RunResult run(std::uint64_t max_cycles) final;
+
+    const memory::SparseMemory &memState() const final { return _mem; }
+    const CycleAccounting &cycleAccounting() const final
+    {
+        return _acct;
+    }
+    memory::Hierarchy &hierarchy() final { return _hier; }
+    const branch::DirectionPredictor &predictor() const final
+    {
+        return *_pred;
+    }
+
+    /**
+     * Attaches (or detaches, with nullptr) an observer. Virtual so
+     * models that hand the pointer to composed stage units can keep
+     * them in sync.
+     */
+    virtual void setObserver(CoreObserver *obs) { _observer = obs; }
+
+  protected:
+    /**
+     * One cycle of model-specific work at @p now.
+     * @return the Figure-6 classification of this cycle
+     */
+    virtual CycleClass tick(Cycle now, RunResult &res) = 0;
+
+    /** The attached observer, or nullptr. */
+    CoreObserver *observer() const { return _observer; }
+
+    /** Observer convenience used by models at group retirement. */
+    void
+    notifyGroupRetire(Cycle now, InstIdx leader, unsigned slots) const
+    {
+        if (_observer != nullptr)
+            _observer->onGroupRetire(now, leader, slots);
+    }
+
+    const isa::Program &_prog;
+    CoreConfig _cfg;
+    memory::SparseMemory _mem;   ///< architectural memory
+    memory::Hierarchy _hier;
+    std::unique_ptr<branch::DirectionPredictor> _pred;
+    FrontEnd _fe;
+    CycleAccounting _acct;
+
+  private:
+    CoreObserver *_observer = nullptr;
+    bool _ran = false;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_CORE_CORE_BASE_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The outcome record of untimed functional execution. Hoisted out of
+ * FunctionalCpu so harness-level interfaces (SimOutcome's functional
+ * sibling) can carry it without including any concrete model header.
+ */
+
+#ifndef FF_CPU_CORE_FUNCTIONAL_RESULT_HH
+#define FF_CPU_CORE_FUNCTIONAL_RESULT_HH
+
+#include <cstdint>
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Outcome of functional (golden-model) execution. */
+struct FunctionalResult
+{
+    bool halted = false;
+    std::uint64_t instsExecuted = 0; ///< slots (incl. nullified)
+    std::uint64_t groupsExecuted = 0;
+    std::uint64_t branchesExecuted = 0;
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t loadsExecuted = 0;  ///< pred-true loads
+    std::uint64_t storesExecuted = 0; ///< pred-true stores
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_CORE_FUNCTIONAL_RESULT_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The CoreObserver hook seam: a zero-cost (one null-pointer test per
+ * event site) way for tooling to watch a timed core execute without
+ * the core knowing who is listening. CoreBase owns the attachment
+ * point; models and their stage units fire the hooks at the
+ * architecturally meaningful moments. The trace subsystem is the
+ * first client (TraceObserver); richer observability — sampling
+ * profilers, pipeline visualizers, per-region accounting — plugs in
+ * here without touching model code.
+ */
+
+#ifndef FF_CPU_CORE_OBSERVER_HH
+#define FF_CPU_CORE_OBSERVER_HH
+
+#include "common/types.hh"
+#include "cpu/cycle_classes.hh"
+#include "cpu/model_stats.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Which flush recovery a two-pass core performed. */
+enum class FlushKind : std::uint8_t
+{
+    kBDet,     ///< deferred-branch misprediction flush (Sec. 3.6)
+    kConflict, ///< store-conflict (ALAT) flush (Sec. 3.4)
+};
+
+const char *flushKindName(FlushKind k);
+
+/**
+ * Observation interface over a running core. All hooks default to
+ * no-ops so observers implement only what they need. Hooks must not
+ * mutate simulation state: the contract is strictly read-only
+ * observation, and the bit-identical-stats guarantee of the bench
+ * gate depends on it.
+ */
+class CoreObserver
+{
+  public:
+    virtual ~CoreObserver() = default;
+
+    /** Fired once per simulated cycle with its Figure-6 class. */
+    virtual void
+    onCycle(Cycle now, CycleClass cls)
+    {
+        (void)now;
+        (void)cls;
+    }
+
+    /**
+     * Fired when the architectural pipe retires an issue group (or a
+     * regrouped retire window): @p leader is the static index of the
+     * first retired slot, @p slots the number of slots retired.
+     */
+    virtual void
+    onGroupRetire(Cycle now, InstIdx leader, unsigned slots)
+    {
+        (void)now;
+        (void)leader;
+        (void)slots;
+    }
+
+    /** Fired when the A-pipe defers instruction @p idx to the B-pipe. */
+    virtual void
+    onDefer(Cycle now, InstIdx idx, DynId id, DeferReason reason)
+    {
+        (void)now;
+        (void)idx;
+        (void)id;
+        (void)reason;
+    }
+
+    /** Fired on a B-pipe flush; @p target is the refetch leader. */
+    virtual void
+    onFlush(Cycle now, FlushKind kind, InstIdx target)
+    {
+        (void)now;
+        (void)kind;
+        (void)target;
+    }
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_CORE_OBSERVER_HH

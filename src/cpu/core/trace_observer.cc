@@ -1,0 +1,49 @@
+#include "cpu/core/trace_observer.hh"
+
+#include "common/trace.hh"
+#include "cpu/core/core_base.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+void
+TraceObserver::onCycle(Cycle now, CycleClass cls)
+{
+    ++_counts.cycles;
+    if (_traceCycles) {
+        ff_trace(trace::kCore, now, "CYCLE",
+                 cycleClassName(cls));
+    }
+}
+
+void
+TraceObserver::onGroupRetire(Cycle now, InstIdx leader, unsigned slots)
+{
+    ++_counts.groupRetires;
+    _counts.slotsRetired += slots;
+    ff_trace(trace::kCore, now, "RETIRE",
+             "@" << leader << " x" << slots);
+}
+
+void
+TraceObserver::onDefer(Cycle now, InstIdx idx, DynId id,
+                       DeferReason reason)
+{
+    ++_counts.defers;
+    ff_trace(trace::kCore, now, "DEFER",
+             "@" << idx << " id " << id << " reason "
+                 << static_cast<unsigned>(reason));
+}
+
+void
+TraceObserver::onFlush(Cycle now, FlushKind kind, InstIdx target)
+{
+    ++_counts.flushes;
+    ff_trace(trace::kCore, now, "FLUSH",
+             flushKindName(kind) << " -> @" << target);
+}
+
+} // namespace cpu
+} // namespace ff

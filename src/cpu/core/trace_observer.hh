@@ -1,0 +1,62 @@
+/**
+ * @file
+ * TraceObserver: the trace subsystem as a CoreObserver client. It
+ * renders the core's observer events as trace lines under the
+ * trace::kCore category, giving any model a uniform event stream
+ * (retires, deferrals, flushes, optionally every cycle) without the
+ * model emitting those lines itself. Attach with
+ * CoreBase::setObserver; enable trace::kCore to see the output.
+ */
+
+#ifndef FF_CPU_CORE_TRACE_OBSERVER_HH
+#define FF_CPU_CORE_TRACE_OBSERVER_HH
+
+#include "cpu/core/observer.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Renders observer events through the trace subsystem. */
+class TraceObserver : public CoreObserver
+{
+  public:
+    /**
+     * @param trace_cycles when true, every cycle emits a line with
+     *        its class — verbose; off by default so the group/defer/
+     *        flush stream stays readable.
+     */
+    explicit TraceObserver(bool trace_cycles = false)
+        : _traceCycles(trace_cycles)
+    {
+    }
+
+    void onCycle(Cycle now, CycleClass cls) override;
+    void onGroupRetire(Cycle now, InstIdx leader,
+                       unsigned slots) override;
+    void onDefer(Cycle now, InstIdx idx, DynId id,
+                 DeferReason reason) override;
+    void onFlush(Cycle now, FlushKind kind, InstIdx target) override;
+
+    /** Event counts, for tests and cheap summaries. */
+    struct Counts
+    {
+        std::uint64_t cycles = 0;
+        std::uint64_t groupRetires = 0;
+        std::uint64_t slotsRetired = 0;
+        std::uint64_t defers = 0;
+        std::uint64_t flushes = 0;
+    };
+
+    const Counts &counts() const { return _counts; }
+
+  private:
+    bool _traceCycles;
+    Counts _counts;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_CORE_TRACE_OBSERVER_HH

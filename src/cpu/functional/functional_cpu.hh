@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "cpu/core/functional_result.hh"
 #include "cpu/regfile.hh"
 #include "isa/program.hh"
 #include "memory/sparse_memory.hh"
@@ -25,17 +26,8 @@ namespace cpu
 class FunctionalCpu
 {
   public:
-    /** Outcome of functional execution. */
-    struct Result
-    {
-        bool halted = false;
-        std::uint64_t instsExecuted = 0; ///< slots (incl. nullified)
-        std::uint64_t groupsExecuted = 0;
-        std::uint64_t branchesExecuted = 0;
-        std::uint64_t branchesTaken = 0;
-        std::uint64_t loadsExecuted = 0;   ///< pred-true loads
-        std::uint64_t storesExecuted = 0;  ///< pred-true stores
-    };
+    /** Outcome of functional execution (see cpu/core). */
+    using Result = FunctionalResult;
 
     explicit FunctionalCpu(const isa::Program &prog);
     /** The model holds a reference: temporaries would dangle. */

@@ -19,7 +19,28 @@ namespace ff
 namespace cpu
 {
 
-inline constexpr unsigned kNumDeferReasonsStats = 7;
+/**
+ * Why an instruction was deferred to the B-pipe. Lives here (not in
+ * the two-pass headers) so the core observer seam and the per-reason
+ * statistics histogram can name the reason without pulling in the
+ * coupling-queue machinery.
+ */
+enum class DeferReason : std::uint8_t
+{
+    kNone = 0,
+    kOperandInvalid = 1,   ///< source register V=0
+    kOperandInFlight = 2,  ///< source valid but not ready at dispatch
+    kMshrFull = 3,         ///< load could not get an MSHR
+    kStoreBufferFull = 4,  ///< store could not be buffered
+    kConflictRetry = 5,    ///< forward-progress fallback after a
+                           ///< store-conflict flush (the offending
+                           ///< load re-executes non-speculatively)
+    kNoFunctionalUnit = 6, ///< the A-pipe lacks the unit (Sec. 3.7
+                           ///< partial replication)
+};
+inline constexpr unsigned kNumDeferReasons = 7;
+/** Alias kept for the histogram declaration below. */
+inline constexpr unsigned kNumDeferReasonsStats = kNumDeferReasons;
 
 /** Counters reported by the two-pass experiments. */
 struct TwoPassStats

@@ -2,7 +2,6 @@
 
 #include <vector>
 
-#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "cpu/exec.hh"
@@ -15,32 +14,50 @@ namespace cpu
 
 using isa::Instruction;
 
-RunaheadCpu::RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg)
-    : _prog(prog),
-      _cfg(cfg),
-      _hier(cfg.mem),
-      _pred(branch::makePredictor(cfg.predictorKind,
-                                  cfg.predictorEntries)),
-      _fe(prog, _cfg, *_pred, _hier, memory::Initiator::kRunahead)
+RunaheadCpu::RunaheadCpu(const isa::Program &prog,
+                         const CoreConfig &cfg)
+    : CoreBase(prog, cfg, memory::Initiator::kRunahead)
 {
-    const std::string err = prog.validate(cfg.limits);
-    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
-                err);
-    _mem.loadPages(prog.dataImage().pages());
 }
 
 CycleClass
-RunaheadCpu::stallClassFor(isa::RegId blocking) const
+RunaheadCpu::tick(Cycle now, RunResult &res)
 {
-    switch (_sb.kindOf(blocking)) {
-      case PendingKind::kLoad:
+    if (_inRunahead) {
+        if (now >= _raExitAt) {
+            // The refetch begins; this cycle is still a stall.
+            exitRunahead(now);
+        } else {
+            runaheadStep(now);
+        }
         return CycleClass::kLoadStall;
-      case PendingKind::kNonLoad:
-        return CycleClass::kNonLoadDepStall;
-      case PendingKind::kNone:
-        break;
     }
-    ff_panic("stall on a register with no pending producer");
+
+    const CycleClass cls = tryIssue(now, res);
+    if (cls == CycleClass::kLoadStall) {
+        ++_stallStreak;
+        if (_stallStreak > _cfg.runaheadEntryDelay) {
+            // Find when the blocking producer completes.
+            Cycle exit_at = now + 1;
+            const FetchedGroup &g = _fe.head();
+            for (InstIdx i = g.leader; i < g.end; ++i) {
+                const Instruction &in = _prog.inst(i);
+                std::array<isa::RegId, 4> srcs;
+                unsigned ns = in.sources(srcs);
+                for (unsigned s = 0; s < ns; ++s) {
+                    if (!_sb.ready(srcs[s], now)) {
+                        exit_at =
+                            std::max(exit_at, _sb.readyAt(srcs[s]));
+                    }
+                }
+            }
+            enterRunahead(now, exit_at);
+            _stallStreak = 0;
+        }
+    } else {
+        _stallStreak = 0;
+    }
+    return cls;
 }
 
 CycleClass
@@ -58,22 +75,22 @@ RunaheadCpu::tryIssue(Cycle now, RunResult &res)
     for (InstIdx i = leader; i < end; ++i) {
         const Instruction &in = _prog.inst(i);
         if (!_sb.ready(in.qpred, now))
-            return stallClassFor(in.qpred);
+            return stallClassFor(_sb, in.qpred);
         const bool qp = _regs.readPred(in.qpred);
         if (!qp && !in.isBranch())
             continue;
         if (in.src1.valid() && !_sb.ready(in.src1, now))
-            return stallClassFor(in.src1);
+            return stallClassFor(_sb, in.src1);
         if (in.src2.valid() && !in.src2IsImm &&
             !_sb.ready(in.src2, now)) {
-            return stallClassFor(in.src2);
+            return stallClassFor(_sb, in.src2);
         }
         if (_cfg.wawStall) {
             std::array<isa::RegId, 2> dsts;
             unsigned nd = in.destinations(dsts);
             for (unsigned d = 0; d < nd; ++d) {
                 if (!_sb.ready(dsts[d], now))
-                    return stallClassFor(dsts[d]);
+                    return stallClassFor(_sb, dsts[d]);
             }
         }
         if (in.isLoad() && qp)
@@ -163,6 +180,7 @@ RunaheadCpu::tryIssue(Cycle now, RunResult &res)
     }
 
     ++res.groupsRetired;
+    notifyGroupRetire(now, leader, static_cast<unsigned>(end - leader));
     return CycleClass::kUnstalled;
 }
 
@@ -323,60 +341,6 @@ RunaheadCpu::statsReport() const
     return commonStatsReport(_acct, _pred->stats(),
                              _hier.accessStats()) +
            g.dump();
-}
-
-RunResult
-RunaheadCpu::run(std::uint64_t max_cycles)
-{
-    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
-    _ran = true;
-
-    RunResult res;
-    Cycle now = 0;
-    unsigned stall_streak = 0;
-    while (!res.halted && now < max_cycles) {
-        _hier.tick(now);
-        if (_inRunahead) {
-            if (now >= _raExitAt) {
-                exitRunahead(now);
-                // The refetch begins; this cycle is still a stall.
-                _acct.record(CycleClass::kLoadStall);
-            } else {
-                runaheadStep(now);
-                _acct.record(CycleClass::kLoadStall);
-            }
-        } else {
-            const CycleClass cls = tryIssue(now, res);
-            _acct.record(cls);
-            if (cls == CycleClass::kLoadStall) {
-                ++stall_streak;
-                if (stall_streak > _cfg.runaheadEntryDelay) {
-                    // Find when the blocking producer completes.
-                    Cycle exit_at = now + 1;
-                    const FetchedGroup &g = _fe.head();
-                    for (InstIdx i = g.leader; i < g.end; ++i) {
-                        const Instruction &in = _prog.inst(i);
-                        std::array<isa::RegId, 4> srcs;
-                        unsigned ns = in.sources(srcs);
-                        for (unsigned s = 0; s < ns; ++s) {
-                            if (!_sb.ready(srcs[s], now)) {
-                                exit_at = std::max(
-                                    exit_at, _sb.readyAt(srcs[s]));
-                            }
-                        }
-                    }
-                    enterRunahead(now, exit_at);
-                    stall_streak = 0;
-                }
-            } else {
-                stall_streak = 0;
-            }
-        }
-        _fe.tick(now);
-        ++now;
-    }
-    res.cycles = now;
-    return res;
 }
 
 } // namespace cpu

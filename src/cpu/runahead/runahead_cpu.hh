@@ -19,11 +19,7 @@
 #include <array>
 #include <map>
 
-#include <memory>
-
-#include "cpu/config.hh"
-#include "cpu/cpu.hh"
-#include "cpu/frontend.hh"
+#include "cpu/core/core_base.hh"
 #include "cpu/scoreboard.hh"
 
 namespace ff
@@ -35,29 +31,12 @@ namespace cpu
 // abstract model can expose the collectStats() hook.
 
 /** In-order core with run-ahead pre-execution under load stalls. */
-class RunaheadCpu : public CpuModel
+class RunaheadCpu : public CoreBase
 {
   public:
     RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg);
-    /** The model holds a reference: temporaries would dangle. */
-    RunaheadCpu(isa::Program &&, const CoreConfig &) = delete;
-
-    RunResult run(std::uint64_t max_cycles) override;
 
     const RegFile &archRegs() const override { return _regs; }
-    const memory::SparseMemory &memState() const override
-    {
-        return _mem;
-    }
-    const CycleAccounting &cycleAccounting() const override
-    {
-        return _acct;
-    }
-    memory::Hierarchy &hierarchy() override { return _hier; }
-    const branch::DirectionPredictor &predictor() const override
-    {
-        return *_pred;
-    }
 
     const RunaheadStats &runaheadStats() const { return _raStats; }
 
@@ -69,9 +48,11 @@ class RunaheadCpu : public CpuModel
 
     std::string statsReport() const override;
 
+  protected:
+    CycleClass tick(Cycle now, RunResult &res) override;
+
   private:
     CycleClass tryIssue(Cycle now, RunResult &res);
-    CycleClass stallClassFor(isa::RegId blocking) const;
 
     /** Enters run-ahead: checkpoint and mark pending regs INV. */
     void enterRunahead(Cycle now, Cycle exit_at);
@@ -80,15 +61,8 @@ class RunaheadCpu : public CpuModel
     /** One cycle of run-ahead pre-execution. */
     void runaheadStep(Cycle now);
 
-    const isa::Program &_prog;
-    CoreConfig _cfg;
-    memory::SparseMemory _mem;
-    memory::Hierarchy _hier;
-    std::unique_ptr<branch::DirectionPredictor> _pred;
-    FrontEnd _fe;
     RegFile _regs;
     Scoreboard _sb;
-    CycleAccounting _acct;
     RunaheadStats _raStats;
 
     // ---- run-ahead mode state ---------------------------------------
@@ -100,7 +74,8 @@ class RunaheadCpu : public CpuModel
     Scoreboard _raSb;                      ///< run-ahead load timing
     std::map<Addr, std::uint8_t> _raStoreOverlay;
 
-    bool _ran = false;
+    /** Consecutive load-stall cycles in normal mode (entry trigger). */
+    unsigned _stallStreak = 0;
 };
 
 } // namespace cpu

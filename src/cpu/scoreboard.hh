@@ -12,6 +12,8 @@
 
 #include <array>
 
+#include "common/logging.hh"
+#include "cpu/cycle_classes.hh"
 #include "cpu/regfile.hh"
 
 namespace ff
@@ -83,6 +85,26 @@ class Scoreboard
     std::array<Cycle, kNumRegSlots> _readyAt;
     std::array<PendingKind, kNumRegSlots> _kind;
 };
+
+/**
+ * Maps a blocking register's producer kind on @p sb to its Figure-6
+ * stall class. The caller must have established that @p blocking is
+ * actually pending (not ready): a stall on a register with no
+ * in-flight producer is a scoreboarding bug and panics.
+ */
+inline CycleClass
+stallClassFor(const Scoreboard &sb, isa::RegId blocking)
+{
+    switch (sb.kindOf(blocking)) {
+      case PendingKind::kLoad:
+        return CycleClass::kLoadStall;
+      case PendingKind::kNonLoad:
+        return CycleClass::kNonLoadDepStall;
+      case PendingKind::kNone:
+        break;
+    }
+    ff_panic("stall on a register with no pending producer");
+}
 
 } // namespace cpu
 } // namespace ff

@@ -1,0 +1,263 @@
+#include "cpu/twopass/apipe.hh"
+
+#include "common/trace.hh"
+#include "cpu/exec.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+using isa::Instruction;
+
+bool
+APipe::anticipableStall(const FetchedGroup &g, Cycle now) const
+{
+    for (InstIdx i = g.leader; i < g.end; ++i) {
+        const Instruction &in = _ctx.prog.inst(i);
+        std::array<isa::RegId, 4> srcs;
+        const unsigned ns = in.sources(srcs);
+        for (unsigned s = 0; s < ns; ++s) {
+            const isa::RegId r = srcs[s];
+            if (_ctx.afile.valid(r) && !_ctx.afile.readyBy(r, now) &&
+                _ctx.afile.kindOf(r) == PendingKind::kNonLoad) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+APipe::step(Cycle now)
+{
+    if (_ctx.shared.aHalted || !_ctx.fe.headReady(now))
+        return;
+    if (_ctx.cfg.aPipeThrottlePercent != 0) {
+        // Issue moderation: when run-ahead is mostly producing
+        // deferred instructions, pre-execution has stopped paying for
+        // the queue space it consumes -- pause and let the B-pipe
+        // clear the backlog (Sec. 3.5's suggested investigation).
+        if (_throttled) {
+            if (_ctx.cq.size() * 4 <= _ctx.cq.capacity()) {
+                _throttled = false;
+            } else {
+                ++_ctx.stats.aStallThrottled;
+                return;
+            }
+        } else if (_deferHistoryCount * 100 >=
+                       _ctx.cfg.aPipeThrottlePercent * 64 &&
+                   _ctx.cq.size() * 2 > _ctx.cq.capacity()) {
+            _throttled = true;
+            ++_ctx.stats.aStallThrottled;
+            return;
+        }
+    }
+    const FetchedGroup g = _ctx.fe.head();
+    if (_ctx.cq.freeSlots() <
+        static_cast<std::size_t>(g.end - g.leader)) {
+        ++_ctx.stats.aStallCqFull;
+        return;
+    }
+    if (_ctx.cfg.aPipeStallsOnAnticipable && anticipableStall(g, now)) {
+        ++_ctx.stats.aStallAnticipable;
+        return;
+    }
+    _ctx.fe.pop(); // before any A-DET redirect clears the fetch queue
+    dispatchGroup(g, now);
+}
+
+void
+APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
+{
+    for (InstIdx i = g.leader; i < g.end; ++i) {
+        const Instruction &in = _ctx.prog.inst(i);
+        const DynId id = _ctx.shared.nextId++;
+        ++_ctx.stats.dispatched;
+
+        CqEntry e;
+        e.idx = i;
+        e.id = id;
+        e.enqueuedAt = now;
+        e.groupEnd = (i + 1 == g.end);
+        e.isLoad = in.isLoad();
+        e.isStore = in.isStore();
+        e.isBranch = in.isBranch();
+        if (e.isBranch) {
+            e.predictedTaken = g.predictedTaken;
+            e.prediction = g.prediction;
+            e.fallthrough = g.end;
+        }
+
+        // ---- operand availability in the A-file ---------------------
+        DeferReason reason = DeferReason::kNone;
+        auto check = [&](isa::RegId r) {
+            if (reason != DeferReason::kNone || !r.valid())
+                return;
+            if (!_ctx.afile.valid(r))
+                reason = DeferReason::kOperandInvalid;
+            else if (!_ctx.afile.readyBy(r, now))
+                reason = DeferReason::kOperandInFlight;
+        };
+        check(in.qpred);
+        bool qp = false;
+        if (reason == DeferReason::kNone) {
+            qp = _ctx.afile.readPred(in.qpred);
+            if (qp || in.isBranch()) {
+                check(in.src1);
+                if (!in.src2IsImm)
+                    check(in.src2);
+            }
+        }
+
+        // ---- structural availability ---------------------------------
+        if (reason == DeferReason::kNone && !_ctx.cfg.aPipeHasFpUnits &&
+            in.unit() == isa::UnitClass::kFp) {
+            // Partial replication (Sec. 3.7): no FP units in the
+            // A-pipe; the B-pipe keeps the complete set.
+            reason = DeferReason::kNoFunctionalUnit;
+        }
+        if (reason == DeferReason::kNone && in.isLoad() &&
+            _ctx.shared.conflictRetry.count(i) != 0) {
+            // Fallback after this load's conflict flush; lifted once
+            // the machine makes retirement progress.
+            reason = DeferReason::kConflictRetry;
+        }
+        if (reason == DeferReason::kNone && qp && in.isLoad() &&
+            !_ctx.hier.loadSlotAvailable(now)) {
+            reason = DeferReason::kMshrFull;
+        }
+        if (reason == DeferReason::kNone && qp && in.isStore() &&
+            _ctx.sbuf.full()) {
+            reason = DeferReason::kStoreBufferFull;
+        }
+
+        // Track the recent deferral rate for the issue throttle.
+        const bool is_deferred = reason != DeferReason::kNone;
+        _deferHistoryCount += (is_deferred ? 1 : 0);
+        _deferHistoryCount -= (_deferHistory >> 63) & 1;
+        _deferHistory = (_deferHistory << 1) | (is_deferred ? 1 : 0);
+
+        if (reason != DeferReason::kNone) {
+            // ---- defer to the B-pipe --------------------------------
+            e.status = CqStatus::kDeferred;
+            e.reason = reason;
+            ++_ctx.stats.deferred;
+            ++_ctx.stats
+                  .deferredByReason[static_cast<unsigned>(reason)];
+            std::array<isa::RegId, 2> dsts;
+            const unsigned nd = in.destinations(dsts);
+            for (unsigned d = 0; d < nd; ++d)
+                _ctx.afile.markDeferred(dsts[d], id);
+            if (_ctx.shared.observer != nullptr)
+                _ctx.shared.observer->onDefer(now, i, id, reason);
+            ff_trace(trace::kApipe, now, "A-DEFER",
+                     "@" << i << " id " << id << " reason "
+                         << static_cast<unsigned>(reason));
+            _ctx.cq.push(e);
+            continue;
+        }
+
+        // ---- pre-execute in the A-pipe ------------------------------
+        e.status = CqStatus::kPreExecuted;
+        e.predTrue = qp;
+        e.readyAt = now;
+        ++_ctx.stats.preExecuted;
+
+        if (in.isBranch()) {
+            // The direction is known: resolve the prediction at A-DET.
+            e.branchResolvedInA = true;
+            e.actualTaken = qp;
+            ++_ctx.stats.branchesResolvedInA;
+            _ctx.pred.update(e.prediction, qp);
+            if (qp != g.predictedTaken) {
+                ++_ctx.stats.aDetMispredicts;
+                const InstIdx target =
+                    qp ? static_cast<InstIdx>(in.imm) : g.end;
+                _ctx.fe.redirect(target,
+                                 now + 1 + _ctx.cfg.branchResolveDelay);
+                ff_trace(trace::kBranch, now, "A-DET",
+                         "mispredict @" << i << " -> @" << target);
+            }
+            _ctx.cq.push(e);
+            continue;
+        }
+
+        if (in.isHalt()) {
+            _ctx.shared.aHalted = true;
+            _ctx.cq.push(e);
+            continue;
+        }
+
+        if (!qp) {
+            // Nullified: completes with no effects.
+            _ctx.cq.push(e);
+            continue;
+        }
+
+        const RegVal s1 =
+            in.src1.valid() ? _ctx.afile.read(in.src1) : 0;
+        const RegVal s2 = operandSrc2(
+            in, in.src2.valid() ? _ctx.afile.read(in.src2) : 0);
+        EvalResult ev = evaluate(in, qp, s1, s2);
+
+        if (in.isLoad()) {
+            ++_ctx.stats.loadsInA;
+            if (_ctx.cq.deferredStores() > 0)
+                ++_ctx.stats.loadsPastDeferredStore;
+            bool forwarded = false;
+            const std::uint64_t raw = _ctx.sbuf.read(
+                id, ev.addr, ev.size, _ctx.mem, &forwarded);
+            if (forwarded)
+                ++_ctx.stats.storeForwardings;
+            _ctx.alat.allocate(id, ev.addr, ev.size);
+            const memory::AccessResult ar =
+                _ctx.hier.access(memory::AccessKind::kLoad,
+                                 memory::Initiator::kApipe, ev.addr,
+                                 now);
+            e.writesDst = true;
+            e.dstVal = loadExtend(in.op, raw);
+            e.readyAt = now + ar.latency;
+            e.addr = ev.addr;
+            e.size = ev.size;
+            _ctx.afile.writeExecuted(in.dst, e.dstVal, id, e.readyAt,
+                                     PendingKind::kLoad);
+            ff_trace(trace::kApipe, now, "A-LOAD",
+                     "@" << i << " id " << id << " ["
+                         << std::hex << ev.addr << std::dec << "] "
+                         << memory::memLevelName(ar.level) << " ready@"
+                         << e.readyAt);
+        } else if (in.isStore()) {
+            ++_ctx.stats.storesInA;
+            _ctx.sbuf.insert(id, ev.addr, ev.size, ev.storeVal);
+            _ctx.hier.access(memory::AccessKind::kStore,
+                             memory::Initiator::kApipe, ev.addr, now);
+            e.addr = ev.addr;
+            e.size = ev.size;
+            ff_trace(trace::kApipe, now, "A-STORE",
+                     "@" << i << " id " << id << " [" << std::hex
+                         << ev.addr << std::dec << "] buffered");
+        } else {
+            const unsigned lat = in.execLatency();
+            e.readyAt = now + lat;
+            e.writesDst = ev.writesDst;
+            e.writesDst2 = ev.writesDst2;
+            e.dstVal = ev.dstVal;
+            e.dst2Val = ev.dst2Val;
+            if (ev.writesDst) {
+                _ctx.afile.writeExecuted(in.dst, ev.dstVal, id,
+                                         e.readyAt,
+                                         PendingKind::kNonLoad);
+            }
+            if (ev.writesDst2) {
+                _ctx.afile.writeExecuted(in.dst2, ev.dst2Val, id,
+                                         e.readyAt,
+                                         PendingKind::kNonLoad);
+            }
+        }
+        _ctx.cq.push(e);
+    }
+}
+
+} // namespace cpu
+} // namespace ff

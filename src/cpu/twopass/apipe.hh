@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The advance pipeline (Sections 3.1–3.3): greedy, non-stalling
+ * dispatch from the front end into the coupling queue. Instructions
+ * with ready operands pre-execute against the A-file (loads start
+ * their misses early, branches resolve at A-DET); instructions with
+ * unready or invalid operands are deferred — their first execution
+ * happens in the B-pipe — and their destinations are invalidated so
+ * dependence successors defer too. Also owns the issue-moderation
+ * throttle ring (Sec. 3.5 / future work).
+ */
+
+#ifndef FF_CPU_TWOPASS_APIPE_HH
+#define FF_CPU_TWOPASS_APIPE_HH
+
+#include "cpu/twopass/pipe_context.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** The A-pipe dispatch stage unit. */
+class APipe
+{
+  public:
+    explicit APipe(const PipeContext &ctx) : _ctx(ctx) {}
+
+    /**
+     * Dispatches at most one issue group at @p now: pre-executing
+     * ready slots into the coupling queue and deferring the rest.
+     * Holds the group (and burns the cycle) when the queue lacks
+     * room, the throttle is draining, or ablation A2 says an
+     * anticipable in-flight latency is worth stalling for.
+     */
+    void step(Cycle now);
+
+  private:
+    /** True when ablation A2 says the A-pipe should hold this group. */
+    bool anticipableStall(const FetchedGroup &g, Cycle now) const;
+    void dispatchGroup(const FetchedGroup &g, Cycle now);
+
+    PipeContext _ctx;
+
+    // ---- A-pipe issue moderation (Sec. 3.5 / future work) ----------
+    /** Ring of the last 64 dispatch outcomes (1 = deferred). */
+    std::uint64_t _deferHistory = 0;
+    unsigned _deferHistoryCount = 0; ///< deferred bits in the ring
+    bool _throttled = false;         ///< dispatch paused, draining
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_APIPE_HH

@@ -1,0 +1,304 @@
+#include "cpu/twopass/bpipe.hh"
+
+#include "common/trace.hh"
+#include "cpu/exec.hh"
+#include "cpu/scoreboard.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+using isa::Instruction;
+
+CycleClass
+BPipe::prescanWindow(const RetireWindow &w, Cycle now) const
+{
+    unsigned deferred_loads = 0;
+    for (std::size_t k = 0; k < w.entries; ++k) {
+        const CqEntry &e = _ctx.cq.at(k);
+        const Instruction &in = _ctx.prog.inst(e.idx);
+        if (e.status == CqStatus::kPreExecuted) {
+            if (e.readyAt > now) {
+                // A "dangling dependence": the result was started in
+                // the A-pipe but has not arrived (Sec. 3.1).
+                return e.isLoad ? CycleClass::kLoadStall
+                                : CycleClass::kNonLoadDepStall;
+            }
+            continue;
+        }
+        // Deferred: operand readiness against B-pipe producers. The
+        // nullification shortcut uses the current predicate value;
+        // in-window pre-executed producers may still flip it at apply
+        // time, a deliberate (conservatively safe) simplification.
+        if (!_ctx.bsb.ready(in.qpred, now))
+            return stallClassFor(_ctx.bsb, in.qpred);
+        const bool qp = _ctx.bfile.readPred(in.qpred);
+        if (qp || in.isBranch()) {
+            if (in.src1.valid() && !_ctx.bsb.ready(in.src1, now))
+                return stallClassFor(_ctx.bsb, in.src1);
+            if (in.src2.valid() && !in.src2IsImm &&
+                !_ctx.bsb.ready(in.src2, now)) {
+                return stallClassFor(_ctx.bsb, in.src2);
+            }
+        }
+        if (e.isLoad && qp)
+            ++deferred_loads;
+    }
+    if (deferred_loads > 0 && _ctx.hier.outstandingLoads(now) > 0 &&
+        _ctx.hier.outstandingLoads(now) + deferred_loads >
+            _ctx.cfg.mem.maxOutstandingLoads) {
+        // Stalling only helps while an outstanding load could retire
+        // and free an MSHR; a group carrying more loads than the
+        // machine has MSHRs must still issue eventually.
+        return CycleClass::kResourceStall;
+    }
+    return CycleClass::kUnstalled;
+}
+
+CycleClass
+BPipe::step(Cycle now, RunResult &res)
+{
+    if (_ctx.cq.empty()) {
+        // Distinguish "the A-pipe has work but has not delivered it"
+        // (the paper's A-pipe stall: A must stay a cycle ahead) from
+        // a genuinely starved front end.
+        if (_ctx.fe.headReady(now))
+            return CycleClass::kApipeStall;
+        return CycleClass::kFrontEndStall;
+    }
+    ff_panic_if(_ctx.cq.at(0).enqueuedAt >= now,
+                "B-pipe observed a same-cycle A-pipe dispatch");
+
+    RetireWindow w = headGroupWindow(_ctx.cq);
+    const CycleClass cls = prescanWindow(w, now);
+    if (cls != CycleClass::kUnstalled)
+        return cls;
+
+    if (_ctx.cfg.regroup) {
+        // Fuse follow-on groups whose every entry could retire right
+        // now: pre-execution made their leading stop bits
+        // superfluous.
+        auto entry_ready = [&](const CqEntry &e) {
+            if (e.status == CqStatus::kPreExecuted)
+                return e.readyAt <= now;
+            const isa::Instruction &in = _ctx.prog.inst(e.idx);
+            if (!_ctx.bsb.ready(in.qpred, now))
+                return false;
+            const bool qp = _ctx.bfile.readPred(in.qpred);
+            if (qp || in.isBranch()) {
+                if (in.src1.valid() && !_ctx.bsb.ready(in.src1, now))
+                    return false;
+                if (in.src2.valid() && !in.src2IsImm &&
+                    !_ctx.bsb.ready(in.src2, now)) {
+                    return false;
+                }
+            }
+            if (e.isLoad && qp && !_ctx.hier.loadSlotAvailable(now))
+                return false;
+            return true;
+        };
+        w = extendRetireWindow(_ctx.cq, _ctx.prog, _ctx.cfg.limits,
+                               now, w, entry_ready);
+    }
+
+    // Merge-time ALAT checks (Sec. 3.4). Only reached when the whole
+    // window is otherwise ready; a missing entry is a store conflict.
+    for (std::size_t k = 0; k < w.entries; ++k) {
+        const CqEntry &e = _ctx.cq.at(k);
+        if (e.status == CqStatus::kPreExecuted && e.isLoad &&
+            e.predTrue && !_ctx.alat.check(e.id)) {
+            ++_ctx.stats.storeConflictFlushes;
+            ff_trace(trace::kFlush, now, "CONFLICT",
+                     "load id " << e.id << " @" << e.idx
+                                << " lost its ALAT entry");
+            conflictFlush(e, now);
+            return CycleClass::kFrontEndStall;
+        }
+    }
+
+    applyWindow(w, now, res);
+    return CycleClass::kUnstalled;
+}
+
+void
+BPipe::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
+{
+    _ctx.stats.regroupedGroups += w.groups - 1;
+    const InstIdx leader = _ctx.cq.at(0).idx;
+
+    std::size_t applied = 0;
+    for (std::size_t k = 0; k < w.entries; ++k) {
+        const CqEntry &e = _ctx.cq.at(k);
+        const Instruction &in = _ctx.prog.inst(e.idx);
+        ++res.instsRetired;
+        ++applied;
+        if (e.groupEnd)
+            ++res.groupsRetired;
+
+        if (in.isHalt()) {
+            res.halted = true;
+            break;
+        }
+
+        if (e.status == CqStatus::kPreExecuted) {
+            // ---- merge (MRG stage) ----------------------------------
+            if (e.predTrue && !e.isBranch) {
+                if (e.isStore)
+                    _ctx.sbuf.commitOldest(e.id, _ctx.mem);
+                if (e.isLoad)
+                    _ctx.alat.remove(e.id);
+                if (e.writesDst)
+                    _ctx.bfile.write(in.dst, e.dstVal);
+                if (e.writesDst2)
+                    _ctx.bfile.write(in.dst2, e.dst2Val);
+            }
+            // Mark the A-file copy of these values architectural.
+            std::array<isa::RegId, 2> dsts;
+            const unsigned nd = in.destinations(dsts);
+            for (unsigned d = 0; d < nd; ++d)
+                _ctx.afile.commitMatch(dsts[d], e.id);
+            continue;
+        }
+
+        // ---- first execution of a deferred instruction --------------
+        const bool qp = _ctx.bfile.readPred(in.qpred);
+        const RegVal s1 =
+            in.src1.valid() ? _ctx.bfile.read(in.src1) : 0;
+        const RegVal s2 = operandSrc2(
+            in, in.src2.valid() ? _ctx.bfile.read(in.src2) : 0);
+        EvalResult ev = evaluate(in, qp, s1, s2);
+
+        if (ev.isBranch) {
+            ++_ctx.stats.branchesResolvedInB;
+            _ctx.pred.update(e.prediction, ev.taken);
+            if (ev.taken != e.predictedTaken) {
+                ++_ctx.stats.bDetMispredicts;
+                // Retire everything up to and including the branch,
+                // then flush the wrong path (Sec. 3.6).
+                bDetFlush(e, ev.taken, now);
+                for (std::size_t p = 0; p < applied; ++p)
+                    _ctx.cq.pop();
+                _ctx.cq.clear(); // everything remaining is younger
+                if (_ctx.shared.observer != nullptr) {
+                    _ctx.shared.observer->onGroupRetire(
+                        now, leader, static_cast<unsigned>(applied));
+                }
+                return;
+            }
+            _feedback.schedule(in, e.id, now);
+            continue;
+        }
+
+        if (ev.predTrue) {
+            if (ev.isMemAccess) {
+                if (in.isLoad()) {
+                    ++_ctx.stats.loadsInB;
+                    const memory::AccessResult ar = _ctx.hier.access(
+                        memory::AccessKind::kLoad,
+                        memory::Initiator::kBpipe, ev.addr, now);
+                    ev.dstVal = loadExtend(
+                        in.op, _ctx.mem.read(ev.addr, ev.size));
+                    _ctx.bfile.write(in.dst, ev.dstVal);
+                    _ctx.bsb.setPending(in.dst, now + ar.latency,
+                                        PendingKind::kLoad);
+                    ff_trace(trace::kBpipe, now, "B-LOAD",
+                             "@" << e.idx << " id " << e.id << " "
+                                 << memory::memLevelName(ar.level));
+                } else {
+                    ++_ctx.stats.storesInB;
+                    _ctx.mem.write(ev.addr, ev.storeVal, ev.size);
+                    // Deferred stores kill matching ALAT entries: any
+                    // younger pre-executed load that read this address
+                    // will fail its merge-time check (Sec. 3.4).
+                    _ctx.alat.invalidateOverlap(ev.addr, ev.size);
+                    _ctx.hier.access(memory::AccessKind::kStore,
+                                     memory::Initiator::kBpipe,
+                                     ev.addr, now);
+                }
+            } else {
+                const unsigned lat = in.execLatency();
+                if (ev.writesDst) {
+                    _ctx.bfile.write(in.dst, ev.dstVal);
+                    if (lat > 1) {
+                        _ctx.bsb.setPending(in.dst, now + lat,
+                                            PendingKind::kNonLoad);
+                    }
+                }
+                if (ev.writesDst2) {
+                    _ctx.bfile.write(in.dst2, ev.dst2Val);
+                    if (lat > 1) {
+                        _ctx.bsb.setPending(in.dst2, now + lat,
+                                            PendingKind::kNonLoad);
+                    }
+                }
+            }
+        }
+        _feedback.schedule(in, e.id, now);
+    }
+
+    for (std::size_t p = 0; p < applied; ++p)
+        _ctx.cq.pop();
+    // Retirement progress: the conflicted window is past; lift the
+    // non-speculative fallback.
+    _ctx.shared.conflictRetry.clear();
+    if (_ctx.shared.observer != nullptr) {
+        _ctx.shared.observer->onGroupRetire(
+            now, leader, static_cast<unsigned>(applied));
+    }
+}
+
+// --------------------------------------------------------------------
+// Flush routines (Secs. 3.4, 3.6).
+// --------------------------------------------------------------------
+
+void
+BPipe::bDetFlush(const CqEntry &branch, bool taken, Cycle now)
+{
+    const Instruction &in = _ctx.prog.inst(branch.idx);
+    const InstIdx target =
+        taken ? static_cast<InstIdx>(in.imm) : branch.fallthrough;
+
+    _ctx.sbuf.squashYoungerThan(branch.id);
+    _ctx.alat.squashYoungerThan(branch.id);
+    _feedback.squashYoungerThan(branch.id);
+
+    _ctx.stats.registersRepaired +=
+        _ctx.afile.repairFromArch(_ctx.bfile);
+    _ctx.fe.redirect(target, now + 1 + _ctx.cfg.branchResolveDelay +
+                                 _ctx.cfg.bFlushRepairPenalty);
+    _ctx.shared.aHalted = false;
+    if (_ctx.shared.observer != nullptr)
+        _ctx.shared.observer->onFlush(now, FlushKind::kBDet, target);
+    ff_trace(trace::kFlush, now, "B-DET",
+             "mispredict id " << branch.id << " -> @" << target);
+}
+
+void
+BPipe::conflictFlush(const CqEntry &offender, Cycle now)
+{
+    // Forward progress: the offending load executes in the B-pipe on
+    // its retries instead of speculating again.
+    _ctx.shared.conflictRetry.insert(offender.idx);
+    // Nothing from the head window has been applied; restart the
+    // whole speculative machine at the head group's leader. (The
+    // paper resumes at the offending load; restarting at its group
+    // boundary is slightly coarser and strictly safe.)
+    const InstIdx leader = _ctx.prog.groupStart(_ctx.cq.at(0).idx);
+    _ctx.cq.clear();
+    _ctx.sbuf.clear();
+    _ctx.alat.clear();
+    _feedback.clear();
+    _ctx.stats.registersRepaired +=
+        _ctx.afile.repairFromArch(_ctx.bfile);
+    _ctx.fe.redirect(leader, now + 1 + _ctx.cfg.branchResolveDelay +
+                                 _ctx.cfg.bFlushRepairPenalty);
+    _ctx.shared.aHalted = false;
+    if (_ctx.shared.observer != nullptr) {
+        _ctx.shared.observer->onFlush(now, FlushKind::kConflict,
+                                      leader);
+    }
+}
+
+} // namespace cpu
+} // namespace ff

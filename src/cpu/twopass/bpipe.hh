@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The backup (architectural) pipeline of Sections 3.1–3.6: per
+ * cycle it prescans the retire window at the coupling-queue head for
+ * blockers (dangling A-pipe results, unready deferred operands, MSHR
+ * pressure), optionally fuses follow-on groups (2Pre regrouping),
+ * runs merge-time ALAT checks, and applies the window — merging
+ * pre-executed results into the B-file, executing deferred
+ * instructions for the first time, resolving deferred branches
+ * (B-DET), and scheduling feedback. Also owns both flush recoveries:
+ * the B-DET misprediction flush and the store-conflict flush.
+ */
+
+#ifndef FF_CPU_TWOPASS_BPIPE_HH
+#define FF_CPU_TWOPASS_BPIPE_HH
+
+#include "cpu/cpu.hh"
+#include "cpu/twopass/feedback.hh"
+#include "cpu/twopass/pipe_context.hh"
+#include "cpu/twopass/regrouper.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** The B-pipe merge/retire stage unit. */
+class BPipe
+{
+  public:
+    BPipe(const PipeContext &ctx, FeedbackPath &feedback)
+        : _ctx(ctx), _feedback(feedback)
+    {
+    }
+
+    /**
+     * One retire attempt at @p now.
+     * @return the cycle's classification; retires the head window
+     *         (and possibly flushes) when progress was made
+     */
+    CycleClass step(Cycle now, RunResult &res);
+
+    /**
+     * Scans the retire window for the first blocker.
+     * @return kUnstalled when the whole window may retire
+     */
+    CycleClass prescanWindow(const RetireWindow &w, Cycle now) const;
+
+    // Exposed for direct unit testing against hand-built fixtures.
+
+    /** B-DET misprediction flush (Sec. 3.6). */
+    void bDetFlush(const CqEntry &branch, bool taken, Cycle now);
+    /** Store-conflict flush (Sec. 3.4). */
+    void conflictFlush(const CqEntry &offender, Cycle now);
+
+  private:
+    void applyWindow(const RetireWindow &w, Cycle now, RunResult &res);
+
+    PipeContext _ctx;
+    FeedbackPath &_feedback;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_BPIPE_HH

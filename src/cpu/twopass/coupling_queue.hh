@@ -14,6 +14,7 @@
 #include "branch/gshare.hh"
 #include "common/fifo.hh"
 #include "common/types.hh"
+#include "cpu/model_stats.hh"
 #include "isa/program.hh"
 
 namespace ff
@@ -28,21 +29,8 @@ enum class CqStatus : std::uint8_t
     kDeferred,    ///< suppressed in A; executes in B
 };
 
-/** Why an instruction was deferred (for statistics). */
-enum class DeferReason : std::uint8_t
-{
-    kNone = 0,
-    kOperandInvalid = 1,   ///< source register V=0
-    kOperandInFlight = 2,  ///< source valid but not ready at dispatch
-    kMshrFull = 3,         ///< load could not get an MSHR
-    kStoreBufferFull = 4,  ///< store could not be buffered
-    kConflictRetry = 5,    ///< forward-progress fallback after a
-                           ///< store-conflict flush (the offending
-                           ///< load re-executes non-speculatively)
-    kNoFunctionalUnit = 6, ///< the A-pipe lacks the unit (Sec. 3.7
-                           ///< partial replication)
-};
-inline constexpr unsigned kNumDeferReasons = 7;
+// DeferReason lives in cpu/model_stats.hh so the core layer's
+// observer seam can name it without depending on two-pass headers.
 
 /** One CQ entry with its CRS payload. */
 struct CqEntry

@@ -1,0 +1,48 @@
+#include "cpu/twopass/feedback.hh"
+
+#include "common/trace.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+void
+FeedbackPath::schedule(const isa::Instruction &in, DynId id, Cycle now)
+{
+    if (!_cfg.feedbackEnabled)
+        return;
+    std::array<isa::RegId, 2> dsts;
+    const unsigned nd = in.destinations(dsts);
+    for (unsigned d = 0; d < nd; ++d) {
+        _q.push_back({dsts[d], _bfile.read(dsts[d]), id,
+                      now + _cfg.feedbackLatency});
+    }
+}
+
+void
+FeedbackPath::apply(Cycle now)
+{
+    while (!_q.empty() && _q.front().applyAt <= now) {
+        const Pending f = _q.front();
+        _q.pop_front();
+        if (_afile.applyFeedback(f.reg, f.value, f.id)) {
+            ++_stats.feedbackApplied;
+            ff_trace(trace::kFeedback, now, "FEEDBK",
+                     isa::regName(f.reg) << " <- " << f.value << " (id "
+                                         << f.id << ")");
+        } else {
+            ++_stats.feedbackDropped;
+        }
+    }
+}
+
+void
+FeedbackPath::squashYoungerThan(DynId boundary)
+{
+    while (!_q.empty() && _q.back().id > boundary)
+        _q.pop_back();
+}
+
+} // namespace cpu
+} // namespace ff

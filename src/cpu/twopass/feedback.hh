@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The latency-configurable B-to-A feedback path of Section 3.5:
+ * committed B-pipe results flow back to the A-file after
+ * cfg.feedbackLatency cycles, each update accepted only if the
+ * A-file register's outstanding invalidation (or write) was by the
+ * same dynamic instruction — the DynID gate that keeps stale
+ * feedback from clobbering younger speculative values.
+ */
+
+#ifndef FF_CPU_TWOPASS_FEEDBACK_HH
+#define FF_CPU_TWOPASS_FEEDBACK_HH
+
+#include <deque>
+
+#include "cpu/config.hh"
+#include "cpu/model_stats.hh"
+#include "cpu/twopass/afile.hh"
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Deferred B-file-to-A-file update queue. */
+class FeedbackPath
+{
+  public:
+    /**
+     * @param bfile the architectural file values are read from at
+     *        schedule time (retirement order makes this exact)
+     */
+    FeedbackPath(const CoreConfig &cfg, AFile &afile,
+                 const RegFile &bfile, TwoPassStats &stats)
+        : _cfg(cfg), _afile(afile), _bfile(bfile), _stats(stats)
+    {
+    }
+
+    /**
+     * Queues one update per destination of @p in, carrying the
+     * architectural value as of this retirement: for a nullified
+     * instruction that is the (unchanged) older value, which
+     * correctly revalidates the conservatively-cleared V bit.
+     * No-op when cfg.feedbackEnabled is off (Figure 8's "inf").
+     */
+    void schedule(const isa::Instruction &in, DynId id, Cycle now);
+
+    /** Applies every update due by @p now, oldest first. */
+    void apply(Cycle now);
+
+    /** B-DET flush: drops updates younger than the branch. */
+    void squashYoungerThan(DynId boundary);
+
+    /** Conflict flush: drops everything in flight. */
+    void clear() { _q.clear(); }
+
+    bool empty() const { return _q.empty(); }
+    std::size_t size() const { return _q.size(); }
+
+  private:
+    /** One pending B-to-A update. */
+    struct Pending
+    {
+        isa::RegId reg;
+        RegVal value;
+        DynId id;
+        Cycle applyAt;
+    };
+
+    const CoreConfig &_cfg;
+    AFile &_afile;
+    const RegFile &_bfile;
+    TwoPassStats &_stats;
+    std::deque<Pending> _q;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_TWOPASS_FEEDBACK_HH

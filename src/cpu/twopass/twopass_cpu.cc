@@ -2,8 +2,6 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
-#include "common/trace.hh"
-#include "cpu/exec.hh"
 #include "cpu/stats_report.hh"
 
 namespace ff
@@ -11,555 +9,38 @@ namespace ff
 namespace cpu
 {
 
-// The per-reason defer histogram in ModelStats must stay in lockstep
-// with the DeferReason enum the pipes index it with.
-static_assert(kNumDeferReasons == kNumDeferReasonsStats,
-              "DeferReason count drifted from TwoPassStats histogram");
-
-using isa::Instruction;
-
 TwoPassCpu::TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg)
-    : _prog(prog),
-      _cfg(cfg),
-      _hier(cfg.mem),
-      _pred(branch::makePredictor(cfg.predictorKind,
-                                  cfg.predictorEntries)),
-      _fe(prog, _cfg, *_pred, _hier, memory::Initiator::kApipe),
+    : CoreBase(prog, cfg, memory::Initiator::kApipe),
       _cq(cfg.couplingQueueSize),
       _sbuf(cfg.storeBufferSize),
-      _alat(cfg.alatCapacity)
+      _alat(cfg.alatCapacity),
+      _ctx{_prog, _cfg,  _fe,  *_pred, _hier,   _mem,  _afile,
+           _bfile, _bsb, _cq,  _sbuf,  _alat,   _shared, _stats},
+      _feedback(_cfg, _afile, _bfile, _stats),
+      _apipe(_ctx),
+      _bpipe(_ctx, _feedback)
 {
-    const std::string err = prog.validate(cfg.limits);
-    ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
-                err);
     // A queue narrower than the widest legal issue group could never
     // accept a full-width dispatch: the A-pipe would starve forever.
     ff_fatal_if(cfg.couplingQueueSize < cfg.limits.issueWidth,
                 "coupling queue (", cfg.couplingQueueSize,
                 ") must hold at least one full issue group (",
                 cfg.limits.issueWidth, ")");
-    _mem.loadPages(prog.dataImage().pages());
-}
-
-// --------------------------------------------------------------------
-// Feedback path (Sec. 3.5): committed B-pipe results update the A-file
-// after a configurable latency, gated by the DynID match.
-// --------------------------------------------------------------------
-
-void
-TwoPassCpu::applyFeedback(Cycle now)
-{
-    while (!_feedback.empty() && _feedback.front().applyAt <= now) {
-        const Feedback f = _feedback.front();
-        _feedback.pop_front();
-        if (_afile.applyFeedback(f.reg, f.value, f.id)) {
-            ++_stats.feedbackApplied;
-            ff_trace(trace::kFeedback, now, "FEEDBK",
-                     isa::regName(f.reg) << " <- " << f.value << " (id "
-                                         << f.id << ")");
-        } else {
-            ++_stats.feedbackDropped;
-        }
-    }
-}
-
-void
-TwoPassCpu::scheduleFeedback(const Instruction &in, DynId id, Cycle now)
-{
-    if (!_cfg.feedbackEnabled)
-        return;
-    std::array<isa::RegId, 2> dsts;
-    const unsigned nd = in.destinations(dsts);
-    for (unsigned d = 0; d < nd; ++d) {
-        // Feed back the architectural value of the register as of
-        // this retirement: for a nullified instruction that is the
-        // (unchanged) older value, which correctly revalidates the
-        // conservatively-cleared V bit.
-        _feedback.push_back({dsts[d], _bfile.read(dsts[d]), id,
-                             now + _cfg.feedbackLatency});
-    }
-}
-
-// --------------------------------------------------------------------
-// A-pipe (Sec. 3.1): greedy, non-stalling dispatch.
-// --------------------------------------------------------------------
-
-bool
-TwoPassCpu::anticipableStall(const FetchedGroup &g, Cycle now) const
-{
-    for (InstIdx i = g.leader; i < g.end; ++i) {
-        const Instruction &in = _prog.inst(i);
-        std::array<isa::RegId, 4> srcs;
-        const unsigned ns = in.sources(srcs);
-        for (unsigned s = 0; s < ns; ++s) {
-            const isa::RegId r = srcs[s];
-            if (_afile.valid(r) && !_afile.readyBy(r, now) &&
-                _afile.kindOf(r) == PendingKind::kNonLoad) {
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
-void
-TwoPassCpu::stepApipe(Cycle now)
-{
-    if (_aHalted || !_fe.headReady(now))
-        return;
-    if (_cfg.aPipeThrottlePercent != 0) {
-        // Issue moderation: when run-ahead is mostly producing
-        // deferred instructions, pre-execution has stopped paying for
-        // the queue space it consumes -- pause and let the B-pipe
-        // clear the backlog (Sec. 3.5's suggested investigation).
-        if (_throttled) {
-            if (_cq.size() * 4 <= _cq.capacity()) {
-                _throttled = false;
-            } else {
-                ++_stats.aStallThrottled;
-                return;
-            }
-        } else if (_deferHistoryCount * 100 >=
-                       _cfg.aPipeThrottlePercent * 64 &&
-                   _cq.size() * 2 > _cq.capacity()) {
-            _throttled = true;
-            ++_stats.aStallThrottled;
-            return;
-        }
-    }
-    const FetchedGroup g = _fe.head();
-    if (_cq.freeSlots() < static_cast<std::size_t>(g.end - g.leader)) {
-        ++_stats.aStallCqFull;
-        return;
-    }
-    if (_cfg.aPipeStallsOnAnticipable && anticipableStall(g, now)) {
-        ++_stats.aStallAnticipable;
-        return;
-    }
-    _fe.pop(); // before any A-DET redirect clears the fetch queue
-    dispatchGroup(g, now);
-}
-
-void
-TwoPassCpu::dispatchGroup(const FetchedGroup &g, Cycle now)
-{
-    for (InstIdx i = g.leader; i < g.end; ++i) {
-        const Instruction &in = _prog.inst(i);
-        const DynId id = _nextId++;
-        ++_stats.dispatched;
-
-        CqEntry e;
-        e.idx = i;
-        e.id = id;
-        e.enqueuedAt = now;
-        e.groupEnd = (i + 1 == g.end);
-        e.isLoad = in.isLoad();
-        e.isStore = in.isStore();
-        e.isBranch = in.isBranch();
-        if (e.isBranch) {
-            e.predictedTaken = g.predictedTaken;
-            e.prediction = g.prediction;
-            e.fallthrough = g.end;
-        }
-
-        // ---- operand availability in the A-file ---------------------
-        DeferReason reason = DeferReason::kNone;
-        auto check = [&](isa::RegId r) {
-            if (reason != DeferReason::kNone || !r.valid())
-                return;
-            if (!_afile.valid(r))
-                reason = DeferReason::kOperandInvalid;
-            else if (!_afile.readyBy(r, now))
-                reason = DeferReason::kOperandInFlight;
-        };
-        check(in.qpred);
-        bool qp = false;
-        if (reason == DeferReason::kNone) {
-            qp = _afile.readPred(in.qpred);
-            if (qp || in.isBranch()) {
-                check(in.src1);
-                if (!in.src2IsImm)
-                    check(in.src2);
-            }
-        }
-
-        // ---- structural availability ---------------------------------
-        if (reason == DeferReason::kNone && !_cfg.aPipeHasFpUnits &&
-            in.unit() == isa::UnitClass::kFp) {
-            // Partial replication (Sec. 3.7): no FP units in the
-            // A-pipe; the B-pipe keeps the complete set.
-            reason = DeferReason::kNoFunctionalUnit;
-        }
-        if (reason == DeferReason::kNone && in.isLoad() &&
-            _conflictRetry.count(i) != 0) {
-            // Fallback after this load's conflict flush; lifted once
-            // the machine makes retirement progress.
-            reason = DeferReason::kConflictRetry;
-        }
-        if (reason == DeferReason::kNone && qp && in.isLoad() &&
-            !_hier.loadSlotAvailable(now)) {
-            reason = DeferReason::kMshrFull;
-        }
-        if (reason == DeferReason::kNone && qp && in.isStore() &&
-            _sbuf.full()) {
-            reason = DeferReason::kStoreBufferFull;
-        }
-
-        // Track the recent deferral rate for the issue throttle.
-        const bool is_deferred = reason != DeferReason::kNone;
-        _deferHistoryCount += (is_deferred ? 1 : 0);
-        _deferHistoryCount -= (_deferHistory >> 63) & 1;
-        _deferHistory = (_deferHistory << 1) | (is_deferred ? 1 : 0);
-
-        if (reason != DeferReason::kNone) {
-            // ---- defer to the B-pipe --------------------------------
-            e.status = CqStatus::kDeferred;
-            e.reason = reason;
-            ++_stats.deferred;
-            ++_stats.deferredByReason[static_cast<unsigned>(reason)];
-            std::array<isa::RegId, 2> dsts;
-            const unsigned nd = in.destinations(dsts);
-            for (unsigned d = 0; d < nd; ++d)
-                _afile.markDeferred(dsts[d], id);
-            ff_trace(trace::kApipe, now, "A-DEFER",
-                     "@" << i << " id " << id << " reason "
-                         << static_cast<unsigned>(reason));
-            _cq.push(e);
-            continue;
-        }
-
-        // ---- pre-execute in the A-pipe ------------------------------
-        e.status = CqStatus::kPreExecuted;
-        e.predTrue = qp;
-        e.readyAt = now;
-        ++_stats.preExecuted;
-
-        if (in.isBranch()) {
-            // The direction is known: resolve the prediction at A-DET.
-            e.branchResolvedInA = true;
-            e.actualTaken = qp;
-            ++_stats.branchesResolvedInA;
-            _pred->update(e.prediction, qp);
-            if (qp != g.predictedTaken) {
-                ++_stats.aDetMispredicts;
-                const InstIdx target =
-                    qp ? static_cast<InstIdx>(in.imm) : g.end;
-                _fe.redirect(target, now + 1 + _cfg.branchResolveDelay);
-                ff_trace(trace::kBranch, now, "A-DET",
-                         "mispredict @" << i << " -> @" << target);
-            }
-            _cq.push(e);
-            continue;
-        }
-
-        if (in.isHalt()) {
-            _aHalted = true;
-            _cq.push(e);
-            continue;
-        }
-
-        if (!qp) {
-            // Nullified: completes with no effects.
-            _cq.push(e);
-            continue;
-        }
-
-        const RegVal s1 = in.src1.valid() ? _afile.read(in.src1) : 0;
-        const RegVal s2 = operandSrc2(
-            in, in.src2.valid() ? _afile.read(in.src2) : 0);
-        EvalResult ev = evaluate(in, qp, s1, s2);
-
-        if (in.isLoad()) {
-            ++_stats.loadsInA;
-            if (_cq.deferredStores() > 0)
-                ++_stats.loadsPastDeferredStore;
-            bool forwarded = false;
-            const std::uint64_t raw =
-                _sbuf.read(id, ev.addr, ev.size, _mem, &forwarded);
-            if (forwarded)
-                ++_stats.storeForwardings;
-            _alat.allocate(id, ev.addr, ev.size);
-            const memory::AccessResult ar =
-                _hier.access(memory::AccessKind::kLoad,
-                             memory::Initiator::kApipe, ev.addr, now);
-            e.writesDst = true;
-            e.dstVal = loadExtend(in.op, raw);
-            e.readyAt = now + ar.latency;
-            e.addr = ev.addr;
-            e.size = ev.size;
-            _afile.writeExecuted(in.dst, e.dstVal, id, e.readyAt,
-                                 PendingKind::kLoad);
-            ff_trace(trace::kApipe, now, "A-LOAD",
-                     "@" << i << " id " << id << " ["
-                         << std::hex << ev.addr << std::dec << "] "
-                         << memory::memLevelName(ar.level) << " ready@"
-                         << e.readyAt);
-        } else if (in.isStore()) {
-            ++_stats.storesInA;
-            _sbuf.insert(id, ev.addr, ev.size, ev.storeVal);
-            _hier.access(memory::AccessKind::kStore,
-                         memory::Initiator::kApipe, ev.addr, now);
-            e.addr = ev.addr;
-            e.size = ev.size;
-            ff_trace(trace::kApipe, now, "A-STORE",
-                     "@" << i << " id " << id << " [" << std::hex
-                         << ev.addr << std::dec << "] buffered");
-        } else {
-            const unsigned lat = in.execLatency();
-            e.readyAt = now + lat;
-            e.writesDst = ev.writesDst;
-            e.writesDst2 = ev.writesDst2;
-            e.dstVal = ev.dstVal;
-            e.dst2Val = ev.dst2Val;
-            if (ev.writesDst) {
-                _afile.writeExecuted(in.dst, ev.dstVal, id, e.readyAt,
-                                     PendingKind::kNonLoad);
-            }
-            if (ev.writesDst2) {
-                _afile.writeExecuted(in.dst2, ev.dst2Val, id, e.readyAt,
-                                     PendingKind::kNonLoad);
-            }
-        }
-        _cq.push(e);
-    }
-}
-
-// --------------------------------------------------------------------
-// B-pipe (Sec. 3.1): in-order merge of pre-executed results and
-// first execution of deferred instructions.
-// --------------------------------------------------------------------
-
-CycleClass
-TwoPassCpu::prescanWindow(const RetireWindow &w, Cycle now) const
-{
-    auto class_for = [&](isa::RegId r) {
-        return _bsb.kindOf(r) == PendingKind::kLoad
-                   ? CycleClass::kLoadStall
-                   : CycleClass::kNonLoadDepStall;
-    };
-
-    unsigned deferred_loads = 0;
-    for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = _cq.at(k);
-        const Instruction &in = _prog.inst(e.idx);
-        if (e.status == CqStatus::kPreExecuted) {
-            if (e.readyAt > now) {
-                // A "dangling dependence": the result was started in
-                // the A-pipe but has not arrived (Sec. 3.1).
-                return e.isLoad ? CycleClass::kLoadStall
-                                : CycleClass::kNonLoadDepStall;
-            }
-            continue;
-        }
-        // Deferred: operand readiness against B-pipe producers. The
-        // nullification shortcut uses the current predicate value;
-        // in-window pre-executed producers may still flip it at apply
-        // time, a deliberate (conservatively safe) simplification.
-        if (!_bsb.ready(in.qpred, now))
-            return class_for(in.qpred);
-        const bool qp = _bfile.readPred(in.qpred);
-        if (qp || in.isBranch()) {
-            if (in.src1.valid() && !_bsb.ready(in.src1, now))
-                return class_for(in.src1);
-            if (in.src2.valid() && !in.src2IsImm &&
-                !_bsb.ready(in.src2, now)) {
-                return class_for(in.src2);
-            }
-        }
-        if (e.isLoad && qp)
-            ++deferred_loads;
-    }
-    if (deferred_loads > 0 && _hier.outstandingLoads(now) > 0 &&
-        _hier.outstandingLoads(now) + deferred_loads >
-            _cfg.mem.maxOutstandingLoads) {
-        // Stalling only helps while an outstanding load could retire
-        // and free an MSHR; a group carrying more loads than the
-        // machine has MSHRs must still issue eventually.
-        return CycleClass::kResourceStall;
-    }
-    return CycleClass::kUnstalled;
 }
 
 CycleClass
-TwoPassCpu::stepBpipe(Cycle now, RunResult &res)
+TwoPassCpu::tick(Cycle now, RunResult &res)
 {
-    if (_cq.empty()) {
-        // Distinguish "the A-pipe has work but has not delivered it"
-        // (the paper's A-pipe stall: A must stay a cycle ahead) from
-        // a genuinely starved front end.
-        if (_fe.headReady(now))
-            return CycleClass::kApipeStall;
-        return CycleClass::kFrontEndStall;
+    _feedback.apply(now);
+    const CycleClass cls = _bpipe.step(now, res);
+    if (!res.halted)
+        _apipe.step(now);
+    _cqDepth.sample(static_cast<std::int64_t>(_cq.size()));
+    if (_cfg.selfCheckInterval != 0 &&
+        now % _cfg.selfCheckInterval == 0) {
+        checkAFileCoherence(now);
     }
-    ff_panic_if(_cq.at(0).enqueuedAt >= now,
-                "B-pipe observed a same-cycle A-pipe dispatch");
-
-    RetireWindow w = headGroupWindow(_cq);
-    const CycleClass cls = prescanWindow(w, now);
-    if (cls != CycleClass::kUnstalled)
-        return cls;
-
-    if (_cfg.regroup) {
-        // Fuse follow-on groups whose every entry could retire right
-        // now: pre-execution made their leading stop bits
-        // superfluous.
-        auto entry_ready = [&](const CqEntry &e) {
-            if (e.status == CqStatus::kPreExecuted)
-                return e.readyAt <= now;
-            const isa::Instruction &in = _prog.inst(e.idx);
-            if (!_bsb.ready(in.qpred, now))
-                return false;
-            const bool qp = _bfile.readPred(in.qpred);
-            if (qp || in.isBranch()) {
-                if (in.src1.valid() && !_bsb.ready(in.src1, now))
-                    return false;
-                if (in.src2.valid() && !in.src2IsImm &&
-                    !_bsb.ready(in.src2, now)) {
-                    return false;
-                }
-            }
-            if (e.isLoad && qp && !_hier.loadSlotAvailable(now))
-                return false;
-            return true;
-        };
-        w = extendRetireWindow(_cq, _prog, _cfg.limits, now, w,
-                               entry_ready);
-    }
-
-    // Merge-time ALAT checks (Sec. 3.4). Only reached when the whole
-    // window is otherwise ready; a missing entry is a store conflict.
-    for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = _cq.at(k);
-        if (e.status == CqStatus::kPreExecuted && e.isLoad &&
-            e.predTrue && !_alat.check(e.id)) {
-            ++_stats.storeConflictFlushes;
-            ff_trace(trace::kFlush, now, "CONFLICT",
-                     "load id " << e.id << " @" << e.idx
-                                << " lost its ALAT entry");
-            conflictFlush(e, now);
-            return CycleClass::kFrontEndStall;
-        }
-    }
-
-    applyWindow(w, now, res);
-    return CycleClass::kUnstalled;
-}
-
-void
-TwoPassCpu::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
-{
-    _stats.regroupedGroups += w.groups - 1;
-
-    std::size_t applied = 0;
-    for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = _cq.at(k);
-        const Instruction &in = _prog.inst(e.idx);
-        ++res.instsRetired;
-        ++applied;
-        if (e.groupEnd)
-            ++res.groupsRetired;
-
-        if (in.isHalt()) {
-            res.halted = true;
-            break;
-        }
-
-        if (e.status == CqStatus::kPreExecuted) {
-            // ---- merge (MRG stage) ----------------------------------
-            if (e.predTrue && !e.isBranch) {
-                if (e.isStore)
-                    _sbuf.commitOldest(e.id, _mem);
-                if (e.isLoad)
-                    _alat.remove(e.id);
-                if (e.writesDst)
-                    _bfile.write(in.dst, e.dstVal);
-                if (e.writesDst2)
-                    _bfile.write(in.dst2, e.dst2Val);
-            }
-            // Mark the A-file copy of these values architectural.
-            std::array<isa::RegId, 2> dsts;
-            const unsigned nd = in.destinations(dsts);
-            for (unsigned d = 0; d < nd; ++d)
-                _afile.commitMatch(dsts[d], e.id);
-            continue;
-        }
-
-        // ---- first execution of a deferred instruction --------------
-        const bool qp = _bfile.readPred(in.qpred);
-        const RegVal s1 = in.src1.valid() ? _bfile.read(in.src1) : 0;
-        const RegVal s2 = operandSrc2(
-            in, in.src2.valid() ? _bfile.read(in.src2) : 0);
-        EvalResult ev = evaluate(in, qp, s1, s2);
-
-        if (ev.isBranch) {
-            ++_stats.branchesResolvedInB;
-            _pred->update(e.prediction, ev.taken);
-            if (ev.taken != e.predictedTaken) {
-                ++_stats.bDetMispredicts;
-                // Retire everything up to and including the branch,
-                // then flush the wrong path (Sec. 3.6).
-                bDetFlush(e, k, ev.taken, now);
-                for (std::size_t p = 0; p < applied; ++p)
-                    _cq.pop();
-                _cq.clear(); // everything remaining is younger
-                return;
-            }
-            scheduleFeedback(in, e.id, now);
-            continue;
-        }
-
-        if (ev.predTrue) {
-            if (ev.isMemAccess) {
-                if (in.isLoad()) {
-                    ++_stats.loadsInB;
-                    const memory::AccessResult ar = _hier.access(
-                        memory::AccessKind::kLoad,
-                        memory::Initiator::kBpipe, ev.addr, now);
-                    ev.dstVal =
-                        loadExtend(in.op, _mem.read(ev.addr, ev.size));
-                    _bfile.write(in.dst, ev.dstVal);
-                    _bsb.setPending(in.dst, now + ar.latency,
-                                    PendingKind::kLoad);
-                    ff_trace(trace::kBpipe, now, "B-LOAD",
-                             "@" << e.idx << " id " << e.id << " "
-                                 << memory::memLevelName(ar.level));
-                } else {
-                    ++_stats.storesInB;
-                    _mem.write(ev.addr, ev.storeVal, ev.size);
-                    // Deferred stores kill matching ALAT entries: any
-                    // younger pre-executed load that read this address
-                    // will fail its merge-time check (Sec. 3.4).
-                    _alat.invalidateOverlap(ev.addr, ev.size);
-                    _hier.access(memory::AccessKind::kStore,
-                                 memory::Initiator::kBpipe, ev.addr,
-                                 now);
-                }
-            } else {
-                const unsigned lat = in.execLatency();
-                if (ev.writesDst) {
-                    _bfile.write(in.dst, ev.dstVal);
-                    if (lat > 1) {
-                        _bsb.setPending(in.dst, now + lat,
-                                        PendingKind::kNonLoad);
-                    }
-                }
-                if (ev.writesDst2) {
-                    _bfile.write(in.dst2, ev.dst2Val);
-                    if (lat > 1) {
-                        _bsb.setPending(in.dst2, now + lat,
-                                        PendingKind::kNonLoad);
-                    }
-                }
-            }
-        }
-        scheduleFeedback(in, e.id, now);
-    }
-
-    for (std::size_t p = 0; p < applied; ++p)
-        _cq.pop();
-    // Retirement progress: the conflicted window is past; lift the
-    // non-speculative fallback.
-    _conflictRetry.clear();
+    return cls;
 }
 
 void
@@ -583,53 +64,6 @@ TwoPassCpu::checkAFileCoherence(Cycle now) const
                     isa::regName(r), " A=", _afile.read(r),
                     " B=", _bfile.read(r));
     }
-}
-
-// --------------------------------------------------------------------
-// Flush routines (Secs. 3.4, 3.6).
-// --------------------------------------------------------------------
-
-void
-TwoPassCpu::bDetFlush(const CqEntry &branch, std::size_t branch_pos,
-                      bool taken, Cycle now)
-{
-    (void)branch_pos;
-    const Instruction &in = _prog.inst(branch.idx);
-    const InstIdx target =
-        taken ? static_cast<InstIdx>(in.imm) : branch.fallthrough;
-
-    _sbuf.squashYoungerThan(branch.id);
-    _alat.squashYoungerThan(branch.id);
-    while (!_feedback.empty() && _feedback.back().id > branch.id)
-        _feedback.pop_back();
-
-    _stats.registersRepaired += _afile.repairFromArch(_bfile);
-    _fe.redirect(target, now + 1 + _cfg.branchResolveDelay +
-                             _cfg.bFlushRepairPenalty);
-    _aHalted = false;
-    ff_trace(trace::kFlush, now, "B-DET",
-             "mispredict id " << branch.id << " -> @" << target);
-}
-
-void
-TwoPassCpu::conflictFlush(const CqEntry &offender, Cycle now)
-{
-    // Forward progress: the offending load executes in the B-pipe on
-    // its retries instead of speculating again.
-    _conflictRetry.insert(offender.idx);
-    // Nothing from the head window has been applied; restart the
-    // whole speculative machine at the head group's leader. (The
-    // paper resumes at the offending load; restarting at its group
-    // boundary is slightly coarser and strictly safe.)
-    const InstIdx leader = _prog.groupStart(_cq.at(0).idx);
-    _cq.clear();
-    _sbuf.clear();
-    _alat.clear();
-    _feedback.clear();
-    _stats.registersRepaired += _afile.repairFromArch(_bfile);
-    _fe.redirect(leader, now + 1 + _cfg.branchResolveDelay +
-                             _cfg.bFlushRepairPenalty);
-    _aHalted = false;
 }
 
 std::string
@@ -685,37 +119,6 @@ TwoPassCpu::statsReport() const
     return commonStatsReport(_acct, _pred->stats(),
                              _hier.accessStats()) +
            g.dump() + a.dump() + q.dump();
-}
-
-// --------------------------------------------------------------------
-// Main loop.
-// --------------------------------------------------------------------
-
-RunResult
-TwoPassCpu::run(std::uint64_t max_cycles)
-{
-    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
-    _ran = true;
-
-    RunResult res;
-    Cycle now = 0;
-    while (!res.halted && now < max_cycles) {
-        _hier.tick(now);
-        applyFeedback(now);
-        const CycleClass cls = stepBpipe(now, res);
-        _acct.record(cls);
-        if (!res.halted)
-            stepApipe(now);
-        _fe.tick(now);
-        _cqDepth.sample(static_cast<std::int64_t>(_cq.size()));
-        if (_cfg.selfCheckInterval != 0 &&
-            now % _cfg.selfCheckInterval == 0) {
-            checkAFileCoherence(now);
-        }
-        ++now;
-    }
-    res.cycles = now;
-    return res;
 }
 
 } // namespace cpu

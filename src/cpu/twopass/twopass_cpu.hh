@@ -8,25 +8,23 @@
  * instructions, detects store conflicts with a DynID-indexed ALAT,
  * resolves deferred branch mispredictions (B-DET), and feeds
  * committed values back to the A-file over a latency-configurable
- * path.
+ * path. TwoPassCpu itself is a thin composition over the CoreBase
+ * kernel: it owns the structures, wires them into a PipeContext, and
+ * sequences the APipe / BPipe / FeedbackPath stage units each tick.
  */
 
 #ifndef FF_CPU_TWOPASS_TWOPASS_CPU_HH
 #define FF_CPU_TWOPASS_TWOPASS_CPU_HH
 
-#include <deque>
-#include <unordered_set>
-
-#include <memory>
-
-#include "cpu/config.hh"
-#include "cpu/cpu.hh"
-#include "cpu/frontend.hh"
+#include "common/stats.hh"
+#include "cpu/core/core_base.hh"
 #include "cpu/scoreboard.hh"
 #include "cpu/twopass/afile.hh"
+#include "cpu/twopass/apipe.hh"
+#include "cpu/twopass/bpipe.hh"
 #include "cpu/twopass/coupling_queue.hh"
-#include "common/stats.hh"
-#include "cpu/twopass/regrouper.hh"
+#include "cpu/twopass/feedback.hh"
+#include "cpu/twopass/pipe_context.hh"
 #include "memory/alat.hh"
 #include "memory/store_buffer.hh"
 
@@ -39,29 +37,12 @@ namespace cpu
 // abstract model can expose the collectStats() hook.
 
 /** The two-pass pipelined core. */
-class TwoPassCpu : public CpuModel
+class TwoPassCpu : public CoreBase
 {
   public:
     TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg);
-    /** The model holds a reference: temporaries would dangle. */
-    TwoPassCpu(isa::Program &&, const CoreConfig &) = delete;
-
-    RunResult run(std::uint64_t max_cycles) override;
 
     const RegFile &archRegs() const override { return _bfile; }
-    const memory::SparseMemory &memState() const override
-    {
-        return _mem;
-    }
-    const CycleAccounting &cycleAccounting() const override
-    {
-        return _acct;
-    }
-    memory::Hierarchy &hierarchy() override { return _hier; }
-    const branch::DirectionPredictor &predictor() const override
-    {
-        return *_pred;
-    }
 
     const TwoPassStats &stats() const { return _stats; }
     const memory::AlatStats &alatStats() const { return _alat.stats(); }
@@ -75,43 +56,23 @@ class TwoPassCpu : public CpuModel
 
     std::string statsReport() const override;
 
+    /** Keeps the stage units' observer view in sync with CoreBase. */
+    void
+    setObserver(CoreObserver *obs) override
+    {
+        CoreBase::setObserver(obs);
+        _shared.observer = obs;
+    }
+
     /** Test access to internal structures. */
     const AFile &afile() const { return _afile; }
     const CouplingQueue &couplingQueue() const { return _cq; }
     const memory::StoreBuffer &storeBuffer() const { return _sbuf; }
 
+  protected:
+    CycleClass tick(Cycle now, RunResult &res) override;
+
   private:
-    /** One pending B-to-A feedback update. */
-    struct Feedback
-    {
-        isa::RegId reg;
-        RegVal value;
-        DynId id;
-        Cycle applyAt;
-    };
-
-    // ---- per-cycle phases -------------------------------------------
-    void applyFeedback(Cycle now);
-    CycleClass stepBpipe(Cycle now, RunResult &res);
-    void stepApipe(Cycle now);
-
-    // ---- A-pipe helpers -----------------------------------------------
-    /** True when ablation A2 says the A-pipe should hold this group. */
-    bool anticipableStall(const FetchedGroup &g, Cycle now) const;
-    void dispatchGroup(const FetchedGroup &g, Cycle now);
-
-    // ---- B-pipe helpers -----------------------------------------------
-    /**
-     * Scans the retire window for the first blocker.
-     * @return kUnstalled when the whole window may retire
-     */
-    CycleClass prescanWindow(const RetireWindow &w, Cycle now) const;
-    void applyWindow(const RetireWindow &w, Cycle now, RunResult &res);
-
-    /** Queues feedback for every potential destination of @p in. */
-    void scheduleFeedback(const isa::Instruction &in, DynId id,
-                          Cycle now);
-
     /**
      * Debug invariant (cfg.selfCheckInterval): every valid,
      * non-speculative A-file register must equal its B-file copy —
@@ -119,52 +80,24 @@ class TwoPassCpu : public CpuModel
      */
     void checkAFileCoherence(Cycle now) const;
 
-    // ---- flush routines -----------------------------------------------
-    /** B-DET misprediction flush (Sec. 3.6). */
-    void bDetFlush(const CqEntry &branch, std::size_t branch_pos,
-                   bool taken, Cycle now);
-    /** Store-conflict flush (Sec. 3.4). */
-    void conflictFlush(const CqEntry &offender, Cycle now);
-
-    const isa::Program &_prog;
-    CoreConfig _cfg;
-    memory::SparseMemory _mem;       ///< architectural memory
-    memory::Hierarchy _hier;
-    std::unique_ptr<branch::DirectionPredictor> _pred;
-    FrontEnd _fe;
-
     AFile _afile;                    ///< speculative register file
     RegFile _bfile;                  ///< architectural register file
     Scoreboard _bsb;                 ///< B-pipe in-flight producers
     CouplingQueue _cq;
     memory::StoreBuffer _sbuf;
     memory::Alat _alat;
-    std::deque<Feedback> _feedback;
-
-    DynId _nextId = 1;
-    bool _aHalted = false;           ///< A-pipe saw HALT dispatch
-
-    /**
-     * Forward-progress guarantee: static loads whose ALAT entries
-     * conflicted since the last successful retirement are deferred
-     * (executed architecturally in the B-pipe) on re-dispatch. The
-     * set grows by one load per flush and clears once the stuck
-     * window retires, so a pathological ALAT (or persistent aliasing
-     * pattern) cannot livelock the flush loop.
-     */
-    std::unordered_set<InstIdx> _conflictRetry;
-
-    // ---- A-pipe issue moderation (Sec. 3.5 / future work) ----------
-    /** Ring of the last 64 dispatch outcomes (1 = deferred). */
-    std::uint64_t _deferHistory = 0;
-    unsigned _deferHistoryCount = 0; ///< deferred bits in the ring
-    bool _throttled = false;         ///< dispatch paused, draining
-
-    CycleAccounting _acct;
+    TwoPassShared _shared;
     TwoPassStats _stats;
+
+    // The context must follow every structure it references; the
+    // stage units must follow the context (and FeedbackPath).
+    PipeContext _ctx;
+    FeedbackPath _feedback;
+    APipe _apipe;
+    BPipe _bpipe;
+
     /** Per-cycle coupling-queue occupancy (A-pipe lead histogram). */
     stats::Distribution _cqDepth{0, 257, 16};
-    bool _ran = false;
 };
 
 } // namespace cpu

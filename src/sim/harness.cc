@@ -6,6 +6,7 @@
 
 #include "analysis/ffcheck.hh"
 #include "common/logging.hh"
+#include "cpu/functional/functional_cpu.hh"
 #include "workloads/kernels.hh"
 
 namespace ff
@@ -74,18 +75,6 @@ verifyAtLoad(const isa::Program &prog, const isa::GroupLimits &limits)
 
 } // namespace
 
-const char *
-cpuKindName(CpuKind k)
-{
-    switch (k) {
-      case CpuKind::kBaseline: return "base";
-      case CpuKind::kTwoPass: return "2P";
-      case CpuKind::kTwoPassRegroup: return "2Pre";
-      case CpuKind::kRunahead: return "runahead";
-    }
-    return "?";
-}
-
 SimOutcome
 simulate(const isa::Program &prog, CpuKind kind,
          const cpu::CoreConfig &cfg, std::uint64_t max_cycles)
@@ -94,23 +83,10 @@ simulate(const isa::Program &prog, CpuKind kind,
     out.kind = kind;
     verifyAtLoad(prog, cfg.limits);
 
-    cpu::CoreConfig run_cfg = cfg;
-    if (kind == CpuKind::kTwoPassRegroup)
-        run_cfg.regroup = true;
-
-    std::unique_ptr<cpu::CpuModel> model;
-    switch (kind) {
-      case CpuKind::kBaseline:
-        model = std::make_unique<cpu::BaselineCpu>(prog, run_cfg);
-        break;
-      case CpuKind::kTwoPass:
-      case CpuKind::kTwoPassRegroup:
-        model = std::make_unique<cpu::TwoPassCpu>(prog, run_cfg);
-        break;
-      case CpuKind::kRunahead:
-        model = std::make_unique<cpu::RunaheadCpu>(prog, run_cfg);
-        break;
-    }
+    // The factory owns the kind-to-model mapping (including the
+    // regroup override for kTwoPassRegroup).
+    const std::unique_ptr<cpu::CpuModel> model =
+        cpu::makeModel(kind, prog, cfg);
 
     out.run = model->run(max_cycles);
     ff_fatal_if(!out.run.halted, "model ", cpuKindName(kind),

@@ -3,7 +3,9 @@
  * The experiment harness: runs any CPU model on a program to
  * completion, collects every statistic the paper's tables and
  * figures need, and fingerprints architectural state so benches and
- * tests can cross-check correctness for free.
+ * tests can cross-check correctness for free. Models are built
+ * exclusively through cpu::makeModel — this header deliberately
+ * includes no concrete model header.
  */
 
 #ifndef FF_SIM_HARNESS_HH
@@ -12,10 +14,10 @@
 #include <cstdint>
 #include <string>
 
-#include "cpu/baseline/baseline_cpu.hh"
-#include "cpu/functional/functional_cpu.hh"
-#include "cpu/runahead/runahead_cpu.hh"
-#include "cpu/twopass/twopass_cpu.hh"
+#include "cpu/core/functional_result.hh"
+#include "cpu/core/model_factory.hh"
+#include "cpu/cpu.hh"
+#include "cpu/model_stats.hh"
 #include "sim/machine_config.hh"
 
 namespace ff
@@ -23,16 +25,10 @@ namespace ff
 namespace sim
 {
 
-/** Which timed model to run. */
-enum class CpuKind
-{
-    kBaseline,       ///< Figure 6 "base"
-    kTwoPass,        ///< Figure 6 "2P"
-    kTwoPassRegroup, ///< Figure 6 "2Pre"
-    kRunahead,       ///< Sec. 2 comparison model
-};
-
-const char *cpuKindName(CpuKind k);
+// CpuKind migrated to the cpu core layer with the model factory; the
+// sim spelling stays valid for the existing benches and tests.
+using cpu::CpuKind;
+using cpu::cpuKindName;
 
 /** Everything a bench needs from one simulation. */
 struct SimOutcome
@@ -65,7 +61,7 @@ SimOutcome simulate(const isa::Program &prog, CpuKind kind,
 /** Functional-reference outcome for equivalence checks. */
 struct FunctionalOutcome
 {
-    cpu::FunctionalCpu::Result result;
+    cpu::FunctionalResult result;
     std::uint64_t regFingerprint = 0;
     std::uint64_t memFingerprint = 0;
     std::uint64_t checksum = 0;

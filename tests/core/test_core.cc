@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of the core-kernel layer: the model factory (the single
+ * construction path and its 2Pre regroup override) and the
+ * CoreObserver seam (event counts agree with the run's own results
+ * and the model's statistics, across models, via TraceObserver).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core/core_base.hh"
+#include "cpu/core/model_factory.hh"
+#include "cpu/core/trace_observer.hh"
+#include "cpu/functional/functional_cpu.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ff;
+using namespace ff::cpu;
+
+TEST(ModelFactory, KindNamesAreTheFigure6Spellings)
+{
+    EXPECT_STREQ(cpuKindName(CpuKind::kBaseline), "base");
+    EXPECT_STREQ(cpuKindName(CpuKind::kTwoPass), "2P");
+    EXPECT_STREQ(cpuKindName(CpuKind::kTwoPassRegroup), "2Pre");
+    EXPECT_STREQ(cpuKindName(CpuKind::kRunahead), "runahead");
+}
+
+TEST(ModelFactory, EveryKindBuildsACorrectModel)
+{
+    const workloads::Workload w = workloads::buildWorkload("130.li", 3);
+    FunctionalCpu ref(w.program);
+    const auto fr = ref.run();
+    ASSERT_TRUE(fr.halted);
+
+    for (unsigned k = 0; k < kNumCpuKinds; ++k) {
+        const CpuKind kind = static_cast<CpuKind>(k);
+        auto model = makeModel(kind, w.program, CoreConfig());
+        ASSERT_NE(model, nullptr) << cpuKindName(kind);
+        const RunResult r = model->run(20'000'000);
+        ASSERT_TRUE(r.halted) << cpuKindName(kind);
+        EXPECT_EQ(model->archRegs().fingerprint(),
+                  ref.regs().fingerprint())
+            << cpuKindName(kind);
+        EXPECT_EQ(model->memState().fingerprint(),
+                  ref.mem().fingerprint())
+            << cpuKindName(kind);
+    }
+}
+
+TEST(ModelFactory, RegroupKindAppliesTheOverride)
+{
+    // The factory's only config rewrite: kTwoPassRegroup forces
+    // regrouping on even when the caller's config left it off.
+    const workloads::Workload w =
+        workloads::buildWorkload("181.mcf", 3);
+    CoreConfig cfg; // regroup off by default
+
+    auto plain = makeModel(CpuKind::kTwoPass, w.program, cfg);
+    auto regroup = makeModel(CpuKind::kTwoPassRegroup, w.program, cfg);
+    ASSERT_TRUE(plain->run(20'000'000).halted);
+    ASSERT_TRUE(regroup->run(20'000'000).halted);
+
+    ModelStats mp, mr;
+    plain->collectStats(mp);
+    regroup->collectStats(mr);
+    EXPECT_EQ(mp.twopass.regroupedGroups, 0u);
+    EXPECT_GT(mr.twopass.regroupedGroups, 0u);
+}
+
+TEST(CoreObserverSeam, FlushKindNamesAreStable)
+{
+    EXPECT_STREQ(flushKindName(FlushKind::kBDet), "bdet");
+    EXPECT_STREQ(flushKindName(FlushKind::kConflict), "conflict");
+}
+
+/**
+ * Attaches a TraceObserver to each model through the CoreBase seam
+ * and cross-checks the event counts against the run result and the
+ * model's own statistics. This pins the hook-site contract: one
+ * onCycle per simulated cycle, slot counts that match retirement,
+ * and (for two-pass) defer/flush events agreeing with the stats.
+ */
+TEST(CoreObserverSeam, CountsAgreeWithRunResultsAcrossModels)
+{
+    const workloads::Workload w =
+        workloads::buildWorkload("181.mcf", 3);
+
+    for (unsigned k = 0; k < kNumCpuKinds; ++k) {
+        const CpuKind kind = static_cast<CpuKind>(k);
+        TraceObserver obs;
+        auto model = makeModel(kind, w.program, CoreConfig());
+        dynamic_cast<CoreBase &>(*model).setObserver(&obs);
+        const RunResult r = model->run(20'000'000);
+        ASSERT_TRUE(r.halted) << cpuKindName(kind);
+
+        EXPECT_EQ(obs.counts().cycles, r.cycles) << cpuKindName(kind);
+        // The baseline reports whole groups even when a halt cuts the
+        // slot walk short, so slots may exceed retires; never fewer.
+        EXPECT_GE(obs.counts().slotsRetired, r.instsRetired)
+            << cpuKindName(kind);
+        EXPECT_GE(obs.counts().groupRetires, 1u) << cpuKindName(kind);
+
+        ModelStats ms;
+        model->collectStats(ms);
+        if (kind == CpuKind::kTwoPass ||
+            kind == CpuKind::kTwoPassRegroup) {
+            EXPECT_EQ(obs.counts().defers, ms.twopass.deferred)
+                << cpuKindName(kind);
+            EXPECT_EQ(obs.counts().flushes,
+                      ms.twopass.bDetMispredicts +
+                          ms.twopass.storeConflictFlushes)
+                << cpuKindName(kind);
+        } else {
+            EXPECT_EQ(obs.counts().defers, 0u) << cpuKindName(kind);
+            EXPECT_EQ(obs.counts().flushes, 0u) << cpuKindName(kind);
+        }
+    }
+}
+
+/** A detached observer sees nothing; the run is unaffected. */
+TEST(CoreObserverSeam, DetachStopsEventDelivery)
+{
+    const workloads::Workload w = workloads::buildWorkload("130.li", 3);
+    TraceObserver obs;
+    auto model = makeModel(CpuKind::kTwoPass, w.program, CoreConfig());
+    auto &core = dynamic_cast<CoreBase &>(*model);
+    core.setObserver(&obs);
+    core.setObserver(nullptr);
+    ASSERT_TRUE(model->run(20'000'000).halted);
+    EXPECT_EQ(obs.counts().cycles, 0u);
+    EXPECT_EQ(obs.counts().groupRetires, 0u);
+    EXPECT_EQ(obs.counts().defers, 0u);
+}
+
+} // namespace

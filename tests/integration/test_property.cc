@@ -15,10 +15,8 @@
 
 #include "common/random.hh"
 #include "compiler/scheduler.hh"
-#include "cpu/baseline/baseline_cpu.hh"
+#include "cpu/core/model_factory.hh"
 #include "cpu/functional/functional_cpu.hh"
-#include "cpu/runahead/runahead_cpu.hh"
-#include "cpu/twopass/twopass_cpu.hh"
 #include "isa/builder.hh"
 #include "isa/disasm.hh"
 
@@ -109,16 +107,13 @@ TEST_P(PropertyTest, AllModelsAgreeOnRandomPrograms)
             << label << " seed " << seed;
     };
 
-    BaselineCpu base(p, cfg);
-    check(base, "baseline");
-    TwoPassCpu twop(p, cfg);
-    check(twop, "2P");
-    CoreConfig re = cfg;
-    re.regroup = true;
-    TwoPassCpu twopre(p, re);
-    check(twopre, "2Pre");
-    RunaheadCpu ra(p, cfg);
-    check(ra, "runahead");
+    // Every model through the one construction path; kTwoPassRegroup
+    // applies the regroup override inside the factory.
+    for (unsigned k = 0; k < kNumCpuKinds; ++k) {
+        const CpuKind kind = static_cast<CpuKind>(k);
+        auto m = makeModel(kind, p, cfg);
+        check(*m, cpuKindName(kind));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Smoke test for the parallel experiment engine: run bench_fig6 at a
-# small scale serially and in parallel, require bit-identical tables
-# (only the [engine] footer may differ — it reports jobs and wall
-# time), and record wall-clock + sim-cycles/sec in BENCH_fig6.json.
+# Smoke test for the parallel experiment engine and the statistics
+# pipeline:
+#  1. run bench_fig6 at a small scale serially and in parallel,
+#     require bit-identical tables (only the [engine] footer may
+#     differ — it reports jobs and wall time), and record wall-clock
+#     + sim-cycles/sec in BENCH_fig6.json;
+#  2. diff the full ffvm statsReport() dump of one workload per CPU
+#     model against the committed goldens in tools/golden/, so any
+#     unintended change to model behaviour or stat rendering fails
+#     loudly (regenerate deliberately with the printed command).
 #
 # Usage: tools/bench_smoke.sh [build-dir] [scale-percent]
 set -euo pipefail
@@ -11,6 +17,8 @@ build_dir="${1:-build}"
 scale="${2:-25}"
 jobs="${FF_JOBS:-$(nproc)}"
 bench="$build_dir/bench/bench_fig6"
+ffvm="$build_dir/tools/ffvm"
+golden_dir="$(dirname "$0")/golden"
 
 if [ ! -x "$bench" ]; then
     echo "bench_smoke: $bench is not built" >&2
@@ -32,3 +40,33 @@ if ! diff -u "$serial" "$par"; then
 fi
 
 echo "bench_smoke: tables bit-identical at --jobs 1 and --jobs $jobs"
+
+# ---- statsReport golden diff (one workload per timed model) --------
+if [ ! -x "$ffvm" ]; then
+    echo "bench_smoke: $ffvm is not built" >&2
+    exit 1
+fi
+
+stats_workload="181.mcf"
+stats_scale=5
+for model in base 2P 2Pre runahead; do
+    golden="$golden_dir/${stats_workload}_${model}.stats"
+    if [ ! -f "$golden" ]; then
+        echo "bench_smoke: missing golden $golden" >&2
+        exit 1
+    fi
+    got="$(mktemp)"
+    "$ffvm" --workload "$stats_workload" --scale "$stats_scale" \
+        --model "$model" --stats > "$got"
+    if ! diff -u "$golden" "$got"; then
+        echo "bench_smoke: FAIL — $model statsReport differs from" \
+             "$golden (regenerate with: $ffvm --workload" \
+             "$stats_workload --scale $stats_scale --model $model" \
+             "--stats > $golden)" >&2
+        rm -f "$got"
+        exit 1
+    fi
+    rm -f "$got"
+done
+
+echo "bench_smoke: statsReport goldens match for base/2P/2Pre/runahead"

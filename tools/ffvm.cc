@@ -1,16 +1,21 @@
 /**
  * @file
  * ffvm — the command-line simulator driver. Assembles an ffvm .s
- * file, optionally runs the issue-group scheduler over it, executes
- * it on a chosen CPU model, and reports results.
+ * file (or builds a bundled workload), optionally runs the
+ * issue-group scheduler over it, executes it on a chosen CPU model,
+ * and reports results.
  *
  *   ffvm program.s                         # functional execution
  *   ffvm program.s --model 2P --schedule   # two-pass, compiler-packed
  *   ffvm program.s --model base --stats    # full statistics dump
  *   ffvm program.s --disasm                # just show the program
+ *   ffvm --workload 181.mcf --model 2P --stats   # bundled benchmark
  *
  * Options:
  *   --model functional|base|2P|2Pre|runahead   (default functional)
+ *   --workload NAME      simulate a bundled Table 2 workload instead
+ *                        of assembling a .s file
+ *   --scale P            workload scale percent (default 10)
  *   --schedule           run the list scheduler (issue-group packing)
  *   --disasm             print the (scheduled) program and exit
  *   --stats              print the model's full statistics dump
@@ -45,6 +50,7 @@
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
 #include "sim/harness.hh"
+#include "workloads/workload.hh"
 
 using namespace ff;
 
@@ -56,7 +62,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <program.s> [--model "
-                 "functional|base|2P|2Pre|runahead] [--schedule] "
+                 "functional|base|2P|2Pre|runahead] "
+                 "[--workload NAME] [--scale P] [--schedule] "
                  "[--disasm] [--stats] [--trace cats] "
                  "[--max-cycles N] [--cq N] [--alat N] "
                  "[--feedback N|off] [--prefetch N] [--mem-lat N] "
@@ -98,6 +105,8 @@ main(int argc, char **argv)
         usage(argv[0]);
 
     std::string path;
+    std::string workload;
+    int scale = 10;
     std::string model = "functional";
     bool do_schedule = false, do_disasm = false, do_stats = false;
     bool do_verify = false, verify_strict = false;
@@ -113,6 +122,11 @@ main(int argc, char **argv)
         };
         if (a == "--model") {
             model = next();
+        } else if (a == "--workload") {
+            workload = next();
+        } else if (a == "--scale") {
+            scale = static_cast<int>(
+                std::strtol(next().c_str(), nullptr, 0));
         } else if (a == "--schedule") {
             do_schedule = true;
         } else if (a == "--disasm") {
@@ -175,17 +189,23 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (path.empty())
-        usage(argv[0]);
-
-    std::ifstream in(path);
-    ff_fatal_if(!in, "cannot open '", path, "'");
-    std::stringstream buf;
-    buf << in.rdbuf();
+    if (path.empty() == workload.empty())
+        usage(argv[0]); // exactly one program source
 
     isa::Program prog;
-    const std::string err = isa::assemble(buf.str(), path, &prog);
-    ff_fatal_if(!err.empty(), path, ": ", err);
+    if (!workload.empty()) {
+        // Bundled workloads arrive already scheduled for the Table 1
+        // widths; --schedule would be redundant but stays legal.
+        prog = workloads::buildWorkload(workload, scale).program;
+        path = workload;
+    } else {
+        std::ifstream in(path);
+        ff_fatal_if(!in, "cannot open '", path, "'");
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string err = isa::assemble(buf.str(), path, &prog);
+        ff_fatal_if(!err.empty(), path, ": ", err);
+    }
 
     if (do_schedule) {
         // The scheduler owns group formation: flatten whatever stop
@@ -254,16 +274,8 @@ main(int argc, char **argv)
     else
         ff_fatal("unknown model '", model, "'");
 
-    std::unique_ptr<cpu::CpuModel> m;
-    if (kind == sim::CpuKind::kBaseline) {
-        m = std::make_unique<cpu::BaselineCpu>(prog, cfg);
-    } else if (kind == sim::CpuKind::kRunahead) {
-        m = std::make_unique<cpu::RunaheadCpu>(prog, cfg);
-    } else {
-        if (kind == sim::CpuKind::kTwoPassRegroup)
-            cfg.regroup = true;
-        m = std::make_unique<cpu::TwoPassCpu>(prog, cfg);
-    }
+    const std::unique_ptr<cpu::CpuModel> m =
+        cpu::makeModel(kind, prog, cfg);
     const cpu::RunResult r = m->run(max_cycles);
     std::printf("model=%s halted=%d cycles=%llu instructions=%llu "
                 "ipc=%.3f\n",
