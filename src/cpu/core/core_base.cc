@@ -43,6 +43,14 @@ CoreBase::run(std::uint64_t max_cycles)
     return res;
 }
 
+OccupancySample
+CoreBase::occupancy(Cycle now) const
+{
+    OccupancySample s;
+    s.inFlightLoads = _hier.outstandingLoads(now);
+    return s;
+}
+
 const char *
 flushKindName(FlushKind k)
 {

@@ -27,7 +27,7 @@ namespace cpu
 {
 
 /** Shared skeleton of the timed models. */
-class CoreBase : public CpuModel
+class CoreBase : public CpuModel, public OccupancyProbe
 {
   public:
     /**
@@ -65,6 +65,13 @@ class CoreBase : public CpuModel
      * them in sync.
      */
     virtual void setObserver(CoreObserver *obs) { _observer = obs; }
+
+    /**
+     * Occupancy every model shares: loads outstanding past the L1.
+     * Models with more pipeline structure (the two-pass coupling
+     * queue and feedback path) override and extend the sample.
+     */
+    OccupancySample occupancy(Cycle now) const override;
 
   protected:
     /**

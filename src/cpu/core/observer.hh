@@ -13,6 +13,8 @@
 #ifndef FF_CPU_CORE_OBSERVER_HH
 #define FF_CPU_CORE_OBSERVER_HH
 
+#include <vector>
+
 #include "common/types.hh"
 #include "cpu/cycle_classes.hh"
 #include "cpu/model_stats.hh"
@@ -28,8 +30,33 @@ enum class FlushKind : std::uint8_t
     kBDet,     ///< deferred-branch misprediction flush (Sec. 3.6)
     kConflict, ///< store-conflict (ALAT) flush (Sec. 3.4)
 };
+inline constexpr unsigned kNumFlushKinds = 2;
 
 const char *flushKindName(FlushKind k);
+
+/** One read-only occupancy snapshot of a core's pipeline structures. */
+struct OccupancySample
+{
+    unsigned cqDepth = 0;         ///< coupling-queue entries (two-pass)
+    unsigned inFlightLoads = 0;   ///< loads outstanding past the L1
+    unsigned pendingFeedback = 0; ///< queued B-to-A updates (two-pass)
+};
+
+/**
+ * Read-only occupancy probe over a running core. CoreBase implements
+ * it with what every model shares (in-flight loads); models with more
+ * pipeline structure (the two-pass coupling queue and feedback path)
+ * override it. Strictly observational: implementations must not
+ * mutate simulation state.
+ */
+class OccupancyProbe
+{
+  public:
+    virtual ~OccupancyProbe() = default;
+
+    /** Occupancy of the core's structures as of cycle @p now. */
+    virtual OccupancySample occupancy(Cycle now) const = 0;
+};
 
 /**
  * Observation interface over a running core. All hooks default to
@@ -82,6 +109,58 @@ class CoreObserver
         (void)kind;
         (void)target;
     }
+};
+
+/**
+ * Fans every observer event out to a fixed set of clients, so a run
+ * can attach a tracer and a profiler and a telemetry sampler through
+ * the single CoreBase attachment point. Pointers must outlive the
+ * fanout; nullptr entries are skipped at add().
+ */
+class FanoutObserver : public CoreObserver
+{
+  public:
+    /** Registers @p obs (ignored when null). */
+    void
+    add(CoreObserver *obs)
+    {
+        if (obs != nullptr)
+            _clients.push_back(obs);
+    }
+
+    bool empty() const { return _clients.empty(); }
+
+    void
+    onCycle(Cycle now, CycleClass cls) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onCycle(now, cls);
+    }
+
+    void
+    onGroupRetire(Cycle now, InstIdx leader, unsigned slots) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onGroupRetire(now, leader, slots);
+    }
+
+    void
+    onDefer(Cycle now, InstIdx idx, DynId id,
+            DeferReason reason) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onDefer(now, idx, id, reason);
+    }
+
+    void
+    onFlush(Cycle now, FlushKind kind, InstIdx target) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onFlush(now, kind, target);
+    }
+
+  private:
+    std::vector<CoreObserver *> _clients;
 };
 
 } // namespace cpu

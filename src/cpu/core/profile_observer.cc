@@ -1,0 +1,114 @@
+#include "cpu/core/profile_observer.hh"
+
+#include <algorithm>
+
+namespace ff
+{
+namespace cpu
+{
+
+std::uint64_t
+InstProfile::totalCycles() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t c : cycles)
+        t += c;
+    return t;
+}
+
+std::uint64_t
+InstProfile::stallCycles() const
+{
+    return totalCycles() -
+           cycles[static_cast<unsigned>(CycleClass::kUnstalled)];
+}
+
+std::uint64_t
+InstProfile::totalDefers() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t d : defers)
+        t += d;
+    return t;
+}
+
+ProfileObserver::ProfileObserver(const isa::Program &prog)
+    : _prog(prog), _table(prog.size())
+{
+}
+
+void
+ProfileObserver::onCycle(Cycle now, CycleClass cls)
+{
+    (void)now;
+    if (cls == CycleClass::kUnstalled) {
+        // The run loop delivers onCycle after the tick that retired,
+        // so this cycle's own retirement already set _lastLeader.
+        ++_table[_lastLeader]
+              .cycles[static_cast<unsigned>(CycleClass::kUnstalled)];
+    } else {
+        ++_pending[static_cast<unsigned>(cls)];
+    }
+}
+
+void
+ProfileObserver::onGroupRetire(Cycle now, InstIdx leader,
+                               unsigned slots)
+{
+    (void)now;
+    if (leader >= _table.size())
+        return; // defensive: a malformed hook site must not crash
+    InstProfile &row = _table[leader];
+    for (unsigned c = 0; c < kNumCycleClasses; ++c) {
+        row.cycles[c] += _pending[c];
+        _pending[c] = 0;
+    }
+    ++row.retires;
+    row.slots += slots;
+    _lastLeader = leader;
+}
+
+void
+ProfileObserver::onDefer(Cycle now, InstIdx idx, DynId id,
+                         DeferReason reason)
+{
+    (void)now;
+    (void)id;
+    if (idx >= _table.size())
+        return;
+    ++_table[idx].defers[static_cast<unsigned>(reason)];
+}
+
+void
+ProfileObserver::onFlush(Cycle now, FlushKind kind, InstIdx target)
+{
+    (void)now;
+    if (target >= _table.size())
+        return;
+    ++_table[target].flushes[static_cast<unsigned>(kind)];
+}
+
+std::vector<InstIdx>
+ProfileObserver::topByStallCycles(unsigned k) const
+{
+    std::vector<InstIdx> active;
+    for (InstIdx i = 0; i < _table.size(); ++i) {
+        const InstProfile &row = _table[i];
+        if (row.totalCycles() != 0 || row.totalDefers() != 0 ||
+            row.retires != 0) {
+            active.push_back(i);
+        }
+    }
+    std::sort(active.begin(), active.end(),
+              [this](InstIdx a, InstIdx b) {
+                  const std::uint64_t sa = _table[a].stallCycles();
+                  const std::uint64_t sb = _table[b].stallCycles();
+                  return sa != sb ? sa > sb : a < b;
+              });
+    if (k != 0 && active.size() > k)
+        active.resize(k);
+    return active;
+}
+
+} // namespace cpu
+} // namespace ff

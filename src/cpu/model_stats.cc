@@ -1,0 +1,24 @@
+#include "cpu/model_stats.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+const char *
+deferReasonName(DeferReason r)
+{
+    switch (r) {
+      case DeferReason::kNone: return "none";
+      case DeferReason::kOperandInvalid: return "operand_invalid";
+      case DeferReason::kOperandInFlight: return "operand_in_flight";
+      case DeferReason::kMshrFull: return "mshr_full";
+      case DeferReason::kStoreBufferFull: return "store_buffer_full";
+      case DeferReason::kConflictRetry: return "conflict_retry";
+      case DeferReason::kNoFunctionalUnit: return "no_functional_unit";
+    }
+    return "?";
+}
+
+} // namespace cpu
+} // namespace ff

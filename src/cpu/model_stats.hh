@@ -42,6 +42,13 @@ inline constexpr unsigned kNumDeferReasons = 7;
 /** Alias kept for the histogram declaration below. */
 inline constexpr unsigned kNumDeferReasonsStats = kNumDeferReasons;
 
+/**
+ * Stable snake_case name of @p r, used by the statsReport dump, the
+ * profile tables and the JSON metrics export (and pinned by the
+ * name-table tests so a new reason cannot ship nameless).
+ */
+const char *deferReasonName(DeferReason r);
+
 /** Counters reported by the two-pass experiments. */
 struct TwoPassStats
 {

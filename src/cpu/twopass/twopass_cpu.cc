@@ -73,12 +73,9 @@ TwoPassCpu::statsReport() const
     g.addScalar("dispatched") += _stats.dispatched;
     g.addScalar("pre_executed") += _stats.preExecuted;
     g.addScalar("deferred") += _stats.deferred;
-    static const char *kReasons[] = {
-        "none",      "operand_invalid",  "operand_in_flight",
-        "mshr_full", "store_buffer_full", "conflict_retry",
-        "no_functional_unit"};
     for (unsigned r = 1; r < kNumDeferReasons; ++r) {
-        g.addScalar(std::string("deferred.") + kReasons[r]) +=
+        g.addScalar(std::string("deferred.") +
+                    deferReasonName(static_cast<DeferReason>(r))) +=
             _stats.deferredByReason[r];
     }
     g.addScalar("loads_in_a") += _stats.loadsInA;

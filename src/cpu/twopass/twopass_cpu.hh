@@ -64,6 +64,16 @@ class TwoPassCpu : public CoreBase
         _shared.observer = obs;
     }
 
+    /** Adds the two-pass structures to the common occupancy probe. */
+    OccupancySample
+    occupancy(Cycle now) const override
+    {
+        OccupancySample s = CoreBase::occupancy(now);
+        s.cqDepth = static_cast<unsigned>(_cq.size());
+        s.pendingFeedback = static_cast<unsigned>(_feedback.size());
+        return s;
+    }
+
     /** Test access to internal structures. */
     const AFile &afile() const { return _afile; }
     const CouplingQueue &couplingQueue() const { return _cq; }

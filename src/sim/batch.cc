@@ -79,7 +79,8 @@ runBatch(std::span<const SimJob> jobs, unsigned threads)
 
     auto run_one = [&](std::size_t i) {
         const SimJob &j = jobs[i];
-        out[i] = simulate(*j.program, j.kind, j.cfg, j.maxCycles);
+        out[i] = simulate(*j.program, j.kind, j.cfg, j.maxCycles,
+                          j.metrics);
     };
 
     const unsigned n = resolveJobs(threads);
@@ -105,6 +106,7 @@ runSweep(std::span<const workloads::Workload> workloads,
             j.program = &w.program;
             j.kind = v.kind;
             j.cfg = v.cfg;
+            j.metrics = v.metrics;
             jobs.push_back(j);
         }
     }

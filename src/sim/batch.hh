@@ -35,6 +35,9 @@ struct SimJob
     CpuKind kind = CpuKind::kBaseline;
     cpu::CoreConfig cfg;
     std::uint64_t maxCycles = kDefaultMaxCycles;
+    /** Profile/telemetry collection for this job (off by default;
+     *  read-only observers, so aggregate results are unaffected). */
+    MetricsOptions metrics{};
 };
 
 /**
@@ -51,6 +54,9 @@ struct SweepVariant
 {
     CpuKind kind = CpuKind::kBaseline;
     cpu::CoreConfig cfg;
+    /** Metrics collection for every cell of this column; each
+     *  outcome then carries its own MetricsRecord. */
+    MetricsOptions metrics{};
 };
 
 /**

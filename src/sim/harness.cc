@@ -76,11 +76,32 @@ verifyAtLoad(const isa::Program &prog, const isa::GroupLimits &limits)
 } // namespace
 
 SimOutcome
-simulate(const isa::Program &prog, CpuKind kind,
-         const cpu::CoreConfig &cfg, std::uint64_t max_cycles)
+collectOutcome(cpu::CpuModel &model, CpuKind kind,
+               const cpu::RunResult &run)
 {
     SimOutcome out;
     out.kind = kind;
+    out.run = run;
+    out.cycles = model.cycleAccounting();
+    out.accesses = model.hierarchy().accessStats();
+    out.branches = model.predictor().stats();
+    out.regFingerprint = model.archRegs().fingerprint();
+    out.memFingerprint = model.memState().fingerprint();
+    out.checksum = model.memState().read64(workloads::kChecksumAddr);
+
+    cpu::ModelStats ms;
+    model.collectStats(ms);
+    out.twopass = ms.twopass;
+    out.alat = ms.alat;
+    out.runahead = ms.runahead;
+    return out;
+}
+
+SimOutcome
+simulate(const isa::Program &prog, CpuKind kind,
+         const cpu::CoreConfig &cfg, std::uint64_t max_cycles,
+         const MetricsOptions &metrics)
+{
     verifyAtLoad(prog, cfg.limits);
 
     // The factory owns the kind-to-model mapping (including the
@@ -88,23 +109,19 @@ simulate(const isa::Program &prog, CpuKind kind,
     const std::unique_ptr<cpu::CpuModel> model =
         cpu::makeModel(kind, prog, cfg);
 
-    out.run = model->run(max_cycles);
-    ff_fatal_if(!out.run.halted, "model ", cpuKindName(kind),
+    MetricsSession session(prog, cfg, metrics);
+    session.attach(*model);
+
+    const cpu::RunResult run = model->run(max_cycles);
+    ff_fatal_if(!run.halted, "model ", cpuKindName(kind),
                 " did not halt within ", max_cycles, " cycles on '",
                 prog.name(), "'");
 
-    out.cycles = model->cycleAccounting();
-    out.accesses = model->hierarchy().accessStats();
-    out.branches = model->predictor().stats();
-    out.regFingerprint = model->archRegs().fingerprint();
-    out.memFingerprint = model->memState().fingerprint();
-    out.checksum = model->memState().read64(workloads::kChecksumAddr);
-
-    cpu::ModelStats ms;
-    model->collectStats(ms);
-    out.twopass = ms.twopass;
-    out.alat = ms.alat;
-    out.runahead = ms.runahead;
+    SimOutcome out = collectOutcome(*model, kind, run);
+    if (session.attached()) {
+        out.metrics = std::make_shared<const MetricsRecord>(
+            session.harvest());
+    }
     return out;
 }
 

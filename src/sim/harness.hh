@@ -14,11 +14,14 @@
 #include <cstdint>
 #include <string>
 
+#include <memory>
+
 #include "cpu/core/functional_result.hh"
 #include "cpu/core/model_factory.hh"
 #include "cpu/cpu.hh"
 #include "cpu/model_stats.hh"
 #include "sim/machine_config.hh"
+#include "sim/metrics.hh"
 
 namespace ff
 {
@@ -44,6 +47,13 @@ struct SimOutcome
     std::uint64_t regFingerprint = 0;
     std::uint64_t memFingerprint = 0;
     std::uint64_t checksum = 0;      ///< word at the checksum address
+
+    /**
+     * Harvested profile/telemetry data; null unless the run asked
+     * for metrics. Shared so outcomes stay cheap to copy through the
+     * batch engine.
+     */
+    std::shared_ptr<const MetricsRecord> metrics;
 };
 
 /** Default cycle budget: generous, but stops runaway models. */
@@ -52,11 +62,24 @@ inline constexpr std::uint64_t kDefaultMaxCycles = 400'000'000ULL;
 /**
  * Runs @p kind on @p prog. Fails fatally if the model does not halt
  * within @p max_cycles (a timed model that cannot finish a workload
- * is a simulator bug, not a result).
+ * is a simulator bug, not a result). When @p metrics enables
+ * collection, the outcome carries the harvested MetricsRecord; the
+ * observers are strictly read-only, so every other outcome field is
+ * bit-identical to an unmetered run.
  */
 SimOutcome simulate(const isa::Program &prog, CpuKind kind,
                     const cpu::CoreConfig &cfg = table1Config(),
-                    std::uint64_t max_cycles = kDefaultMaxCycles);
+                    std::uint64_t max_cycles = kDefaultMaxCycles,
+                    const MetricsOptions &metrics = MetricsOptions());
+
+/**
+ * Harvests the aggregate outcome fields (accounting, access and
+ * model statistics, fingerprints) from a completed model run.
+ * Shared by simulate() and drivers (ffvm) that construct models
+ * directly but still want the standard outcome/export shape.
+ */
+SimOutcome collectOutcome(cpu::CpuModel &model, CpuKind kind,
+                          const cpu::RunResult &run);
 
 /** Functional-reference outcome for equivalence checks. */
 struct FunctionalOutcome

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The machine-readable metrics path of the experiment harness: a
+ * MetricsSession attaches the profiling/telemetry observer clients to
+ * a timed model through the CoreObserver seam, harvests them into a
+ * versioned MetricsRecord after the run, and the export helpers
+ * render the record — together with the run's aggregate statistics
+ * and configuration — as a JSON document matching
+ * tools/metrics_schema.json, or as a human-readable top-K
+ * stall-attribution table. simulate()/runBatch()/runSweep() accept
+ * MetricsOptions and carry the resulting record in the SimOutcome,
+ * so a sweep emits one metrics record per (workload, configuration)
+ * cell.
+ */
+
+#ifndef FF_SIM_METRICS_HH
+#define FF_SIM_METRICS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hh"
+#include "cpu/config.hh"
+#include "cpu/core/model_factory.hh"
+#include "cpu/core/profile_observer.hh"
+#include "cpu/core/telemetry_observer.hh"
+
+namespace ff
+{
+namespace cpu
+{
+class CoreBase;
+} // namespace cpu
+
+namespace sim
+{
+
+struct SimOutcome;
+
+/**
+ * Version of the exported JSON document. Bump on any
+ * backwards-incompatible change to the emitted structure, and keep
+ * tools/metrics_schema.json in lock step (the bench-smoke gate
+ * validates every emitted document against it).
+ */
+inline constexpr unsigned kMetricsSchemaVersion = 1;
+
+/** What to collect during a run. All off (the default) is free. */
+struct MetricsOptions
+{
+    bool profile = false;   ///< per-instruction attribution
+    bool telemetry = false; ///< occupancy histograms + time series
+    Cycle epochCycles = cpu::TelemetryObserver::kDefaultEpochCycles;
+
+    bool enabled() const { return profile || telemetry; }
+};
+
+/** One harvested run's worth of profile + telemetry data. */
+struct MetricsRecord
+{
+    unsigned schemaVersion = kMetricsSchemaVersion;
+    MetricsOptions options;
+
+    /** One active static instruction of the profile table. */
+    struct ProfileRow
+    {
+        InstIdx idx = 0;
+        std::int32_t srcLine = -1; ///< assembler provenance, -1 if none
+        std::string text;          ///< disassembly
+        cpu::InstProfile prof;
+    };
+
+    /** Active rows, descending stall cycles. Empty unless profiling. */
+    std::vector<ProfileRow> profile;
+    /** Cycles pending after the final retirement, by class. */
+    std::array<std::uint64_t, cpu::kNumCycleClasses> unattributed{};
+
+    /** Histograms/counters/series. Empty unless telemetry. */
+    metrics::Registry telemetry;
+};
+
+/**
+ * Owns the observer clients for one run: construct, attach() to the
+ * model, run the model, then harvest(). Attaching to a functional
+ * (non-CoreBase) model is a no-op and harvests an empty record.
+ */
+class MetricsSession
+{
+  public:
+    /** @p prog and @p cfg must outlive the session. */
+    MetricsSession(const isa::Program &prog,
+                   const cpu::CoreConfig &cfg,
+                   const MetricsOptions &opt);
+
+    MetricsSession(const MetricsSession &) = delete;
+    MetricsSession &operator=(const MetricsSession &) = delete;
+
+    /** Builds the requested observers and attaches them to @p model
+     *  (no-op for models outside the CoreBase kernel). */
+    void attach(cpu::CpuModel &model);
+
+    /** True if attach() found a timed core and observers are live. */
+    bool attached() const { return _core != nullptr; }
+
+    /** Closes the collection and moves the data into a record. */
+    MetricsRecord harvest();
+
+  private:
+    const isa::Program &_prog;
+    const cpu::CoreConfig &_cfg;
+    MetricsOptions _opt;
+    std::unique_ptr<cpu::ProfileObserver> _profile;
+    std::unique_ptr<cpu::TelemetryObserver> _telemetry;
+    cpu::FanoutObserver _fanout;
+    cpu::CoreBase *_core = nullptr;
+};
+
+/**
+ * Renders the full versioned JSON document for one run:
+ * {schemaVersion, program, model, config, run, cycles, branch,
+ * twopass, profile, telemetry}. @p outcome must carry the record
+ * (outcome.metrics != nullptr).
+ */
+std::string metricsToJson(const SimOutcome &outcome,
+                          const cpu::CoreConfig &cfg,
+                          const std::string &program);
+
+/**
+ * Human-readable top-@p k stall-attribution table of a profiled
+ * record (all active rows when @p k is 0), with the per-class cycle
+ * split, deferral and flush counts, and source provenance per row.
+ */
+std::string renderProfileTable(const MetricsRecord &rec,
+                               unsigned k = 20);
+
+} // namespace sim
+} // namespace ff
+
+#endif // FF_SIM_METRICS_HH

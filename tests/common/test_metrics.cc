@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests of the metrics primitives: JSON writer syntax and
+ * escaping, histogram binning/mean/quantile, time-series epoch
+ * folding, and registry idempotence. The export path (schema
+ * conformance of whole documents) is covered by the bench-smoke
+ * gate; these pin the building blocks it rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/metrics.hh"
+
+namespace
+{
+
+using namespace ff;
+using metrics::Histogram;
+using metrics::JsonWriter;
+using metrics::Registry;
+using metrics::TimeSeries;
+
+std::string
+render(void (*body)(JsonWriter &))
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    body(w);
+    return os.str();
+}
+
+TEST(JsonWriter, CommasAndNestingAreCorrect)
+{
+    const std::string doc = render([](JsonWriter &w) {
+        w.beginObject();
+        w.kv("a", std::uint64_t(1));
+        w.key("b");
+        w.beginArray();
+        w.value(std::uint64_t(2));
+        w.value(std::uint64_t(3));
+        w.beginObject();
+        w.endObject();
+        w.endArray();
+        w.kv("c", true);
+        w.endObject();
+    });
+    EXPECT_EQ(doc, R"({"a":1,"b":[2,3,{}],"c":true})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\n\t\x01"),
+              "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesAreSerializedAsZero)
+{
+    const std::string doc = render([](JsonWriter &w) {
+        w.beginArray();
+        w.value(std::nan(""));
+        w.value(1.5);
+        w.endArray();
+    });
+    EXPECT_EQ(doc, "[0,1.5]");
+}
+
+TEST(Histogram, BinsMeanAndQuantiles)
+{
+    Histogram h(0, 10, 5); // buckets of width 2
+    for (int v : {0, 1, 3, 5, 9, 9})
+        h.sample(v);
+    h.sample(-1); // underflow
+    h.sample(10); // overflow (max is exclusive)
+
+    EXPECT_EQ(h.samples(), 8u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.buckets()[0], 2u); // 0, 1
+    EXPECT_EQ(h.buckets()[1], 1u); // 3
+    EXPECT_EQ(h.buckets()[2], 1u); // 5
+    EXPECT_EQ(h.buckets()[4], 2u); // 9, 9
+    EXPECT_DOUBLE_EQ(h.mean(), 36.0 / 8.0);
+    EXPECT_EQ(h.quantile(0.0), 0);  // lands in the underflow tail
+    EXPECT_EQ(h.quantile(1.0), 10); // lands in the overflow tail
+    EXPECT_LE(h.quantile(0.5), 5);
+}
+
+TEST(TimeSeries, FoldsSamplesIntoEpochMeans)
+{
+    TimeSeries s(100);
+    s.sample(0, 1.0);
+    s.sample(50, 3.0);  // epoch 0 mean: 2.0
+    s.sample(150, 5.0); // epoch 1 mean: 5.0
+    s.sample(420, 7.0); // epochs 2-3 empty (mean 0), epoch 4 partial
+    s.finish();
+
+    ASSERT_EQ(s.points().size(), 5u);
+    EXPECT_DOUBLE_EQ(s.points()[0], 2.0);
+    EXPECT_DOUBLE_EQ(s.points()[1], 5.0);
+    EXPECT_DOUBLE_EQ(s.points()[2], 0.0);
+    EXPECT_DOUBLE_EQ(s.points()[3], 0.0);
+    EXPECT_DOUBLE_EQ(s.points()[4], 7.0);
+}
+
+TEST(Registry, NamesAreIdempotentPerKind)
+{
+    Registry reg;
+    ++reg.counter("events");
+    ++reg.counter("events");
+    EXPECT_EQ(reg.counter("events").value(), 2u);
+
+    Histogram &h = reg.histogram("depth", 0, 8, 8);
+    h.sample(3);
+    EXPECT_EQ(reg.histogram("depth", 0, 8, 8).samples(), 1u);
+
+    EXPECT_EQ(reg.counters().size(), 1u);
+    EXPECT_EQ(reg.histograms().size(), 1u);
+}
+
+TEST(Registry, ToJsonEmitsTheThreeKindMaps)
+{
+    Registry reg;
+    ++reg.counter("c");
+    reg.histogram("h", 0, 4, 2).sample(1);
+    reg.series("s", 10).sample(5, 2.0);
+    reg.finish();
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    reg.toJson(w);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"counters\":{\"c\":1}"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"h\":{\"min\":0,\"max\":4"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"s\":{\"epochCycles\":10,\"points\":[2]"),
+              std::string::npos)
+        << doc;
+}
+
+} // namespace

@@ -112,8 +112,9 @@ TEST(ThreadPool, WorkIsActuallyDistributed)
         seen.insert(std::this_thread::get_id());
     });
     EXPECT_GE(seen.size(), 1u);
-    if (std::thread::hardware_concurrency() > 1)
+    if (std::thread::hardware_concurrency() > 1) {
         EXPECT_GT(seen.size(), 1u);
+    }
 }
 
 TEST(ThreadPool, DestructorCompletesPendingWork)

@@ -8,10 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <vector>
+
 #include "cpu/core/core_base.hh"
 #include "cpu/core/model_factory.hh"
 #include "cpu/core/trace_observer.hh"
 #include "cpu/functional/functional_cpu.hh"
+#include "cpu/model_stats.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -74,6 +79,76 @@ TEST(CoreObserverSeam, FlushKindNamesAreStable)
 {
     EXPECT_STREQ(flushKindName(FlushKind::kBDet), "bdet");
     EXPECT_STREQ(flushKindName(FlushKind::kConflict), "conflict");
+}
+
+/**
+ * Every enumerator of the three exported name tables must carry a
+ * real, unique name: the JSON metrics schema keys documents by these
+ * strings, so an enumerator added without a name (the "?" fallback)
+ * or colliding with an existing one is a schema break. This is the
+ * CI tripwire the name-table headers point at.
+ */
+TEST(NameTables, EveryEnumeratorHasAUniqueName)
+{
+    const auto check = [](const std::vector<const char *> &names,
+                          const char *table) {
+        std::set<std::string> seen;
+        for (const char *n : names) {
+            EXPECT_STRNE(n, "?") << table << " has a nameless "
+                                    "enumerator";
+            EXPECT_TRUE(seen.insert(n).second)
+                << table << " name '" << n << "' is duplicated";
+        }
+    };
+
+    std::vector<const char *> cycle_names;
+    for (unsigned c = 0; c < kNumCycleClasses; ++c)
+        cycle_names.push_back(
+            cycleClassName(static_cast<CycleClass>(c)));
+    check(cycle_names, "CycleClass");
+
+    std::vector<const char *> defer_names;
+    for (unsigned r = 0; r < kNumDeferReasons; ++r)
+        defer_names.push_back(
+            deferReasonName(static_cast<DeferReason>(r)));
+    check(defer_names, "DeferReason");
+
+    std::vector<const char *> flush_names;
+    for (unsigned k = 0; k < kNumFlushKinds; ++k)
+        flush_names.push_back(
+            flushKindName(static_cast<FlushKind>(k)));
+    check(flush_names, "FlushKind");
+}
+
+/** Out-of-range values render as the "?" sentinel, never crash. */
+TEST(NameTables, OutOfRangeValuesRenderAsSentinel)
+{
+    EXPECT_STREQ(
+        cycleClassName(static_cast<CycleClass>(kNumCycleClasses)),
+        "?");
+    EXPECT_STREQ(
+        deferReasonName(static_cast<DeferReason>(kNumDeferReasons)),
+        "?");
+    EXPECT_STREQ(
+        flushKindName(static_cast<FlushKind>(kNumFlushKinds)), "?");
+}
+
+/** The snake_case spellings the schema pins, spelled out. */
+TEST(NameTables, DeferReasonNamesAreTheSchemaSpellings)
+{
+    EXPECT_STREQ(deferReasonName(DeferReason::kNone), "none");
+    EXPECT_STREQ(deferReasonName(DeferReason::kOperandInvalid),
+                 "operand_invalid");
+    EXPECT_STREQ(deferReasonName(DeferReason::kOperandInFlight),
+                 "operand_in_flight");
+    EXPECT_STREQ(deferReasonName(DeferReason::kMshrFull),
+                 "mshr_full");
+    EXPECT_STREQ(deferReasonName(DeferReason::kStoreBufferFull),
+                 "store_buffer_full");
+    EXPECT_STREQ(deferReasonName(DeferReason::kConflictRetry),
+                 "conflict_retry");
+    EXPECT_STREQ(deferReasonName(DeferReason::kNoFunctionalUnit),
+                 "no_functional_unit");
 }
 
 /**

@@ -201,6 +201,42 @@ TEST(Batch, ParseJobsFlagHandlesEqualsForm)
     sim::setJobs(0);
 }
 
+/**
+ * Metrics collection composes with the parallel engine: every job of
+ * a metered parallel batch carries its own MetricsRecord (observers
+ * are per-job, nothing shared across workers), and the aggregate
+ * outcome fields stay bit-identical to an unmetered serial run —
+ * the bench_fig6 guarantee with profiling left on.
+ */
+TEST(Batch, MetricsRecordsArePerJobAndResultsUnchanged)
+{
+    std::vector<workloads::Workload> suite;
+    suite.push_back(workloads::buildWorkload("181.mcf", kScale));
+    suite.push_back(workloads::buildWorkload("130.li", kScale));
+
+    std::vector<sim::SimJob> plain = suiteJobs(suite);
+    std::vector<sim::SimJob> metered = plain;
+    for (sim::SimJob &j : metered) {
+        j.metrics.profile = true;
+        j.metrics.telemetry = true;
+    }
+
+    const auto serial = sim::runBatch(plain, 1);
+    const auto par = sim::runBatch(metered, 4);
+    expectIdentical(serial, par, "unmetered jobs=1 vs metered jobs=4");
+
+    for (std::size_t i = 0; i < par.size(); ++i) {
+        ASSERT_NE(par[i].metrics, nullptr) << "slot " << i;
+        EXPECT_EQ(serial[i].metrics, nullptr) << "slot " << i;
+        std::uint64_t attributed = 0;
+        for (const auto &row : par[i].metrics->profile)
+            attributed += row.prof.totalCycles();
+        for (std::uint64_t c : par[i].metrics->unattributed)
+            attributed += c;
+        EXPECT_EQ(attributed, par[i].run.cycles) << "slot " << i;
+    }
+}
+
 TEST(Batch, ParseJobsFlagAbsentLeavesArgsAlone)
 {
     const char *argv_in[] = {"bench", "25", nullptr};

@@ -3,12 +3,18 @@
 # pipeline:
 #  1. run bench_fig6 at a small scale serially and in parallel,
 #     require bit-identical tables (only the [engine] footer may
-#     differ — it reports jobs and wall time), and record wall-clock
-#     + sim-cycles/sec in BENCH_fig6.json;
+#     differ — it reports jobs and wall time), and append the
+#     wall-clock + sim-cycles/sec record to BENCH_fig6.json (a JSON
+#     array: one timestamped record per run, so the file accumulates
+#     a throughput trajectory across CI runs);
 #  2. diff the full ffvm statsReport() dump of one workload per CPU
 #     model against the committed goldens in tools/golden/, so any
 #     unintended change to model behaviour or stat rendering fails
-#     loudly (regenerate deliberately with the printed command).
+#     loudly (regenerate deliberately with the printed command);
+#  3. emit a --profile --metrics-out JSON document for the same
+#     workload on every timed model and validate each against
+#     tools/metrics_schema.json, so the exported document and the
+#     schema cannot drift apart.
 #
 # Usage: tools/bench_smoke.sh [build-dir] [scale-percent]
 set -euo pipefail
@@ -27,10 +33,11 @@ fi
 
 serial="$(mktemp)"
 par="$(mktemp)"
-trap 'rm -f "$serial" "$par"' EXIT
+record="$(mktemp)"
+trap 'rm -f "$serial" "$par" "$record"' EXIT
 
 "$bench" --jobs 1 "$scale" | grep -v '^\[engine\]' > "$serial"
-"$bench" --jobs "$jobs" --json BENCH_fig6.json "$scale" \
+"$bench" --jobs "$jobs" --json "$record" "$scale" \
     | grep -v '^\[engine\]' > "$par"
 
 if ! diff -u "$serial" "$par"; then
@@ -40,6 +47,36 @@ if ! diff -u "$serial" "$par"; then
 fi
 
 echo "bench_smoke: tables bit-identical at --jobs 1 and --jobs $jobs"
+
+# Append the timestamped throughput record so BENCH_fig6.json grows
+# into a perf trajectory (one array entry per run; a legacy
+# single-object file is wrapped on first append).
+python3 - "$record" BENCH_fig6.json <<'EOF'
+import datetime
+import json
+import sys
+
+record_path, trajectory_path = sys.argv[1], sys.argv[2]
+with open(record_path) as f:
+    record = json.load(f)
+record["timestamp"] = datetime.datetime.now(
+    datetime.timezone.utc).isoformat(timespec="seconds")
+
+try:
+    with open(trajectory_path) as f:
+        trajectory = json.load(f)
+    if not isinstance(trajectory, list):
+        trajectory = [trajectory]
+except (OSError, json.JSONDecodeError):
+    trajectory = []
+trajectory.append(record)
+with open(trajectory_path, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"bench_smoke: appended run {len(trajectory)} to "
+      f"{trajectory_path} "
+      f"({record['simCyclesPerSec']:.3g} sim-cycles/s)")
+EOF
 
 # ---- statsReport golden diff (one workload per timed model) --------
 if [ ! -x "$ffvm" ]; then
@@ -70,3 +107,22 @@ for model in base 2P 2Pre runahead; do
 done
 
 echo "bench_smoke: statsReport goldens match for base/2P/2Pre/runahead"
+
+# ---- metrics JSON schema validation (one run per timed model) ------
+tools_dir="$(dirname "$0")"
+metrics_docs=()
+for model in base 2P 2Pre runahead; do
+    doc="$(mktemp --suffix=.json)"
+    metrics_docs+=("$doc")
+    "$ffvm" --workload="$stats_workload" --scale "$stats_scale" \
+        --model "$model" --profile --metrics-out="$doc" > /dev/null
+done
+if ! python3 "$tools_dir/validate_metrics.py" "${metrics_docs[@]}"; then
+    echo "bench_smoke: FAIL — emitted metrics JSON violates" \
+         "$tools_dir/metrics_schema.json" >&2
+    rm -f "${metrics_docs[@]}"
+    exit 1
+fi
+rm -f "${metrics_docs[@]}"
+
+echo "bench_smoke: metrics documents validate against the schema"

@@ -11,8 +11,9 @@
  *   ffvm program.s --disasm                # just show the program
  *   ffvm --workload 181.mcf --model 2P --stats   # bundled benchmark
  *
- * Options:
- *   --model functional|base|2P|2Pre|runahead   (default functional)
+ * Options (value options accept "--opt VALUE" and "--opt=VALUE"):
+ *   --model functional|base|2P|2Pre|runahead   (default functional,
+ *                        or 2P when --profile/--metrics-out is given)
  *   --workload NAME      simulate a bundled Table 2 workload instead
  *                        of assembling a .s file
  *   --scale P            workload scale percent (default 10)
@@ -30,8 +31,14 @@
  *   --throttle P         A-pipe deferral throttle percent
  *   --predictor K        gshare|bimodal|tournament
  *   --no-fp-units        A-pipe without FP units (Sec. 3.7)
+ *   --regroup            dynamic regrouping on the two-pass models
  *   --verify[=strict]    run the ffcheck static verifier before
  *                        simulating; strict also fails on warnings
+ *   --profile[=K]        per-instruction stall attribution; prints
+ *                        the top K rows (default 20, 0 = all)
+ *   --metrics-out FILE   write the versioned JSON metrics record
+ *                        (implies profile + telemetry collection)
+ *   --help               print usage and exit
  */
 
 #include <cstdio>
@@ -58,9 +65,10 @@ namespace
 {
 
 [[noreturn]] void
-usage(const char *argv0)
+usage(const char *argv0, int exit_code)
 {
-    std::fprintf(stderr,
+    std::FILE *out = exit_code == 0 ? stdout : stderr;
+    std::fprintf(out,
                  "usage: %s <program.s> [--model "
                  "functional|base|2P|2Pre|runahead] "
                  "[--workload NAME] [--scale P] [--schedule] "
@@ -68,9 +76,11 @@ usage(const char *argv0)
                  "[--max-cycles N] [--cq N] [--alat N] "
                  "[--feedback N|off] [--prefetch N] [--mem-lat N] "
                  "[--throttle P] [--predictor K] [--no-fp-units] "
-                 "[--regroup] [--verify[=strict]]\n",
+                 "[--regroup] [--verify[=strict]] [--profile[=K]] "
+                 "[--metrics-out FILE] [--help]\n"
+                 "value options accept --opt VALUE and --opt=VALUE\n",
                  argv0);
-    std::exit(2);
+    std::exit(exit_code);
 }
 
 std::uint32_t
@@ -102,31 +112,52 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2)
-        usage(argv[0]);
+        usage(argv[0], 2);
 
     std::string path;
     std::string workload;
     int scale = 10;
-    std::string model = "functional";
+    std::string model;
     bool do_schedule = false, do_disasm = false, do_stats = false;
     bool do_verify = false, verify_strict = false;
+    bool do_profile = false;
+    unsigned profile_k = 20;
+    std::string metrics_out;
     std::uint64_t max_cycles = sim::kDefaultMaxCycles;
     cpu::CoreConfig cfg = sim::table1Config();
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            return argv[++i];
+        // Matches "--name VALUE" and "--name=VALUE"; leaves v filled.
+        std::string v;
+        auto opt = [&](const char *name) -> bool {
+            const std::size_t n = std::strlen(name);
+            if (a == name) {
+                if (i + 1 >= argc)
+                    usage(argv[0], 2);
+                v = argv[++i];
+                return true;
+            }
+            if (a.size() > n + 1 && a.compare(0, n, name) == 0 &&
+                a[n] == '=') {
+                v = a.substr(n + 1);
+                return true;
+            }
+            return false;
         };
-        if (a == "--model") {
-            model = next();
-        } else if (a == "--workload") {
-            workload = next();
-        } else if (a == "--scale") {
+        auto num = [&]() -> unsigned {
+            return static_cast<unsigned>(
+                std::strtoul(v.c_str(), nullptr, 0));
+        };
+        if (a == "--help" || a == "-h") {
+            usage(argv[0], 0);
+        } else if (opt("--model")) {
+            model = v;
+        } else if (opt("--workload")) {
+            workload = v;
+        } else if (opt("--scale")) {
             scale = static_cast<int>(
-                std::strtol(next().c_str(), nullptr, 0));
+                std::strtol(v.c_str(), nullptr, 0));
         } else if (a == "--schedule") {
             do_schedule = true;
         } else if (a == "--disasm") {
@@ -140,36 +171,33 @@ main(int argc, char **argv)
         } else if (a == "--verify=strict") {
             do_verify = true;
             verify_strict = true;
-        } else if (a == "--trace") {
-            trace::enable(traceMask(next()));
-        } else if (a == "--max-cycles") {
-            max_cycles = std::strtoull(next().c_str(), nullptr, 0);
-        } else if (a == "--cq") {
-            cfg.couplingQueueSize =
-                static_cast<unsigned>(std::strtoul(
-                    next().c_str(), nullptr, 0));
-        } else if (a == "--alat") {
-            cfg.alatCapacity = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (a == "--feedback") {
-            const std::string v = next();
-            if (v == "off") {
+        } else if (a == "--profile") {
+            do_profile = true;
+        } else if (opt("--profile")) {
+            do_profile = true;
+            profile_k = num();
+        } else if (opt("--metrics-out")) {
+            metrics_out = v;
+        } else if (opt("--trace")) {
+            trace::enable(traceMask(v));
+        } else if (opt("--max-cycles")) {
+            max_cycles = std::strtoull(v.c_str(), nullptr, 0);
+        } else if (opt("--cq")) {
+            cfg.couplingQueueSize = num();
+        } else if (opt("--alat")) {
+            cfg.alatCapacity = num();
+        } else if (opt("--feedback")) {
+            if (v == "off")
                 cfg.feedbackEnabled = false;
-            } else {
-                cfg.feedbackLatency = static_cast<unsigned>(
-                    std::strtoul(v.c_str(), nullptr, 0));
-            }
-        } else if (a == "--prefetch") {
-            cfg.mem.prefetchDegree = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (a == "--mem-lat") {
-            cfg.mem.memoryLatency = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (a == "--throttle") {
-            cfg.aPipeThrottlePercent = static_cast<unsigned>(
-                std::strtoul(next().c_str(), nullptr, 0));
-        } else if (a == "--predictor") {
-            const std::string v = next();
+            else
+                cfg.feedbackLatency = num();
+        } else if (opt("--prefetch")) {
+            cfg.mem.prefetchDegree = num();
+        } else if (opt("--mem-lat")) {
+            cfg.mem.memoryLatency = num();
+        } else if (opt("--throttle")) {
+            cfg.aPipeThrottlePercent = num();
+        } else if (opt("--predictor")) {
             if (v == "gshare")
                 cfg.predictorKind = branch::PredictorKind::kGshare;
             else if (v == "bimodal")
@@ -182,15 +210,32 @@ main(int argc, char **argv)
             cfg.aPipeHasFpUnits = false;
         } else if (!a.empty() && a[0] == '-') {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
-            usage(argv[0]);
+            usage(argv[0], 2);
         } else if (path.empty()) {
             path = a;
         } else {
-            usage(argv[0]);
+            usage(argv[0], 2);
         }
     }
     if (path.empty() == workload.empty())
-        usage(argv[0]); // exactly one program source
+        usage(argv[0], 2); // exactly one program source
+
+    sim::MetricsOptions mopt;
+    mopt.profile = do_profile || !metrics_out.empty();
+    mopt.telemetry = !metrics_out.empty();
+    ff_fatal_if(mopt.enabled() && model == "functional",
+                "--profile/--metrics-out need a timed model "
+                "(--model base|2P|2Pre|runahead)");
+    if (model.empty()) {
+        // Metrics only exist on timed models, so asking for them
+        // picks the paper's machine rather than dying on the
+        // functional default.
+        model = mopt.enabled() ? "2P" : "functional";
+        if (mopt.enabled())
+            std::fprintf(stderr,
+                         "note: --profile/--metrics-out without "
+                         "--model: using the two-pass model (2P)\n");
+    }
 
     isa::Program prog;
     if (!workload.empty()) {
@@ -276,6 +321,8 @@ main(int argc, char **argv)
 
     const std::unique_ptr<cpu::CpuModel> m =
         cpu::makeModel(kind, prog, cfg);
+    sim::MetricsSession session(prog, cfg, mopt);
+    session.attach(*m);
     const cpu::RunResult r = m->run(max_cycles);
     std::printf("model=%s halted=%d cycles=%llu instructions=%llu "
                 "ipc=%.3f\n",
@@ -290,5 +337,24 @@ main(int argc, char **argv)
                     m->memState().read64(0x100)));
     if (do_stats)
         std::printf("\n%s", m->statsReport().c_str());
+
+    if (session.attached()) {
+        sim::SimOutcome out = sim::collectOutcome(*m, kind, r);
+        out.metrics = std::make_shared<const sim::MetricsRecord>(
+            session.harvest());
+        if (do_profile) {
+            std::printf("\nstall attribution (top %u)\n%s",
+                        profile_k,
+                        sim::renderProfileTable(*out.metrics,
+                                                profile_k)
+                            .c_str());
+        }
+        if (!metrics_out.empty()) {
+            std::ofstream mf(metrics_out);
+            ff_fatal_if(!mf, "cannot write '", metrics_out, "'");
+            mf << sim::metricsToJson(out, cfg, path);
+            std::printf("metrics: wrote %s\n", metrics_out.c_str());
+        }
+    }
     return r.halted ? 0 : 1;
 }

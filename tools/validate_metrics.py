@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate ffvm metrics JSON documents against tools/metrics_schema.json.
+
+Stdlib-only validator for the JSON Schema subset the metrics schema
+uses ($ref into #/definitions, type, required, properties,
+additionalProperties, items, enum, minimum) so the CI bench-smoke
+gate needs no third-party jsonschema package.
+
+Usage: validate_metrics.py [--schema FILE] doc.json [doc2.json ...]
+Exits non-zero (listing every violation) if any document fails.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    return isinstance(value, TYPES[name])
+
+
+class Validator:
+    def __init__(self, schema):
+        self.root = schema
+        self.errors = []
+
+    def resolve(self, ref):
+        node = self.root
+        assert ref.startswith("#/"), f"unsupported $ref {ref}"
+        for part in ref[2:].split("/"):
+            node = node[part]
+        return node
+
+    def fail(self, path, message):
+        self.errors.append(f"{path or '/'}: {message}")
+
+    def check(self, value, schema, path=""):
+        if "$ref" in schema:
+            self.check(value, self.resolve(schema["$ref"]), path)
+            return
+
+        if "type" in schema:
+            names = schema["type"]
+            if isinstance(names, str):
+                names = [names]
+            if not any(type_ok(value, n) for n in names):
+                self.fail(path, f"expected {'/'.join(names)}, got "
+                                f"{type(value).__name__}")
+                return
+
+        if "enum" in schema and value not in schema["enum"]:
+            self.fail(path, f"{value!r} not in {schema['enum']}")
+        if "minimum" in schema and isinstance(value, (int, float)) \
+                and not isinstance(value, bool) \
+                and value < schema["minimum"]:
+            self.fail(path, f"{value} < minimum {schema['minimum']}")
+
+        if isinstance(value, dict):
+            for req in schema.get("required", []):
+                if req not in value:
+                    self.fail(path, f"missing required member "
+                                    f"'{req}'")
+            props = schema.get("properties", {})
+            extra = schema.get("additionalProperties", True)
+            for k, v in value.items():
+                sub = f"{path}/{k}"
+                if k in props:
+                    self.check(v, props[k], sub)
+                elif extra is False:
+                    self.fail(sub, "unexpected member")
+                elif isinstance(extra, dict):
+                    self.check(v, extra, sub)
+
+        if isinstance(value, list) and "items" in schema:
+            for i, v in enumerate(value):
+                self.check(v, schema["items"], f"{path}/{i}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "metrics_schema.json"))
+    parser.add_argument("documents", nargs="+")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    failed = False
+    for doc_path in args.documents:
+        try:
+            with open(doc_path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {doc_path}: {e}")
+            failed = True
+            continue
+        v = Validator(schema)
+        v.check(doc, schema)
+        if v.errors:
+            failed = True
+            print(f"FAIL {doc_path}:")
+            for err in v.errors:
+                print(f"  {err}")
+        else:
+            print(f"OK   {doc_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
