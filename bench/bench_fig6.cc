@@ -7,11 +7,15 @@
  * (S3: mcf's memory-stall and total-cycle reductions; S4: the average
  * 2Pre speedup over 2P).
  *
- * Usage: bench_fig6 [--jobs N] [--json FILE] [scale-percent] [alt]
+ * Usage: bench_fig6 [--jobs N] [--json FILE] [--warmup N]
+ *                   [scale-percent] [alt]
  * (default scale 100; pass "alt" to run the alternate input set,
  * validating that the reproduced shape is not an artifact of one
  * particular seed; --json appends a machine-readable throughput
- * record for the CI bench-smoke step)
+ * record for the CI bench-smoke step; --warmup N shares an N-cycle
+ * warm-up prefix across equal-config sweep cells via snapshot
+ * forking — results stay bit-identical. Set FF_CACHE_DIR to reuse
+ * outcomes across invocations through the result cache.)
  */
 
 #include <chrono>
@@ -27,6 +31,7 @@
 #include "sim/batch.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
+#include "sim/result_cache.hh"
 #include "workloads/workload.hh"
 
 using namespace ff;
@@ -36,11 +41,15 @@ main(int argc, char **argv)
 {
     const unsigned jobs_flag = sim::parseJobsFlag(argc, argv);
     std::string json_path;
+    std::uint64_t warmup_cycles = 0;
     {
         int out = 1;
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
                 json_path = argv[++i];
+            else if (std::strcmp(argv[i], "--warmup") == 0 &&
+                     i + 1 < argc)
+                warmup_cycles = std::strtoull(argv[++i], nullptr, 0);
             else
                 argv[out++] = argv[i];
         }
@@ -68,10 +77,14 @@ main(int argc, char **argv)
         {sim::CpuKind::kTwoPass, {}},
         {sim::CpuKind::kTwoPassRegroup, {}},
     };
+    sim::resetResultCacheStats();
+    sim::SweepOptions sweep_opts;
+    sweep_opts.warmupCycles = warmup_cycles;
     const std::vector<sim::SimOutcome> outcomes =
-        sim::runSweep(suite, variants);
+        sim::runSweep(suite, variants, sweep_opts);
 
     const auto t1 = std::chrono::steady_clock::now();
+    const sim::ResultCacheStats cache = sim::resultCacheStats();
 
     sim::TextTable t;
     t.header({"benchmark", "cfg", "unstalled", "load", "nonload",
@@ -149,9 +162,17 @@ main(int argc, char **argv)
         std::chrono::duration<double>(t1 - t0).count();
     const unsigned jobs = sim::resolveJobs(jobs_flag);
     std::printf("\n[engine] %zu sims on %u job%s: %.2f s wall, "
-                "%.3g sim-cycles/s\n",
+                "%.3g sim-cycles/s",
                 outcomes.size(), jobs, jobs == 1 ? "" : "s", wall,
                 static_cast<double>(total_sim_cycles) / wall);
+    if (sim::resultCacheEnabled()) {
+        std::printf(", cache %llu hit%s / %llu miss%s",
+                    static_cast<unsigned long long>(cache.hits),
+                    cache.hits == 1 ? "" : "s",
+                    static_cast<unsigned long long>(cache.misses),
+                    cache.misses == 1 ? "" : "es");
+    }
+    std::printf("\n");
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");
         if (f == nullptr) {
@@ -168,11 +189,17 @@ main(int argc, char **argv)
             "  \"sims\": %zu,\n"
             "  \"wallSeconds\": %.3f,\n"
             "  \"simCycles\": %llu,\n"
-            "  \"simCyclesPerSec\": %.0f\n"
+            "  \"simCyclesPerSec\": %.0f,\n"
+            "  \"warmupCycles\": %llu,\n"
+            "  \"cacheHits\": %llu,\n"
+            "  \"cacheMisses\": %llu\n"
             "}\n",
             scale, jobs, outcomes.size(), wall,
             static_cast<unsigned long long>(total_sim_cycles),
-            static_cast<double>(total_sim_cycles) / wall);
+            static_cast<double>(total_sim_cycles) / wall,
+            static_cast<unsigned long long>(warmup_cycles),
+            static_cast<unsigned long long>(cache.hits),
+            static_cast<unsigned long long>(cache.misses));
         std::fclose(f);
     }
     return 0;

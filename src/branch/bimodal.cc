@@ -52,6 +52,25 @@ BimodalPredictor::reset()
     _stats.reset();
 }
 
+void
+BimodalPredictor::save(serial::Writer &w) const
+{
+    w.u64(_table.size());
+    w.bytes(_table.data(), _table.size());
+    saveStats(w);
+}
+
+void
+BimodalPredictor::restore(serial::Reader &r)
+{
+    if (r.seq(1) != _table.size()) {
+        r.fail();
+        return;
+    }
+    r.bytes(_table.data(), _table.size());
+    restoreStats(r);
+}
+
 // ---------------------------------------------------------------------
 // Tournament
 // ---------------------------------------------------------------------
@@ -124,6 +143,29 @@ TournamentPredictor::reset()
     for (auto &c : _chooser)
         c = 2;
     _stats.reset();
+}
+
+void
+TournamentPredictor::save(serial::Writer &w) const
+{
+    _gshare.save(w);
+    _bimodal.save(w);
+    w.u64(_chooser.size());
+    w.bytes(_chooser.data(), _chooser.size());
+    saveStats(w);
+}
+
+void
+TournamentPredictor::restore(serial::Reader &r)
+{
+    _gshare.restore(r);
+    _bimodal.restore(r);
+    if (r.seq(1) != _chooser.size()) {
+        r.fail();
+        return;
+    }
+    r.bytes(_chooser.data(), _chooser.size());
+    restoreStats(r);
 }
 
 // ---------------------------------------------------------------------

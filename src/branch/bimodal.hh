@@ -27,6 +27,9 @@ class BimodalPredictor : public DirectionPredictor
     void update(const Prediction &p, bool taken) override;
     void reset() override;
 
+    void save(serial::Writer &w) const override;
+    void restore(serial::Reader &r) override;
+
   private:
     std::vector<std::uint8_t> _table;
     std::uint64_t _mask;
@@ -45,6 +48,9 @@ class TournamentPredictor : public DirectionPredictor
     Prediction predict(Addr pc) override;
     void update(const Prediction &p, bool taken) override;
     void reset() override;
+
+    void save(serial::Writer &w) const override;
+    void restore(serial::Reader &r) override;
 
   private:
     GsharePredictor _gshare;

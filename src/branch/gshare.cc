@@ -55,5 +55,26 @@ GsharePredictor::reset()
     _stats.reset();
 }
 
+void
+GsharePredictor::save(serial::Writer &w) const
+{
+    w.u64(_table.size());
+    w.bytes(_table.data(), _table.size());
+    w.u64(_history);
+    saveStats(w);
+}
+
+void
+GsharePredictor::restore(serial::Reader &r)
+{
+    if (r.seq(1) != _table.size()) {
+        r.fail();
+        return;
+    }
+    r.bytes(_table.data(), _table.size());
+    _history = r.u64();
+    restoreStats(r);
+}
+
 } // namespace branch
 } // namespace ff

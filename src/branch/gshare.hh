@@ -51,6 +51,9 @@ class GsharePredictor : public DirectionPredictor
     void resetStats() { _stats.reset(); }
     void reset() override;
 
+    void save(serial::Writer &w) const override;
+    void restore(serial::Reader &r) override;
+
   private:
     std::vector<std::uint8_t> _table; ///< 2-bit counters
     std::uint64_t _history = 0;

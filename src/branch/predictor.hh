@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace ff
@@ -45,6 +47,33 @@ struct Prediction
     bool usedComponent2 = false;      ///< chooser picked the secondary
 };
 
+/** Snapshot encoding of a Prediction token (all components). */
+inline void
+savePrediction(serial::Writer &w, const Prediction &p)
+{
+    w.boolean(p.taken);
+    w.u32(p.index);
+    w.u64(p.historyBefore);
+    w.u32(p.index2);
+    w.u32(p.chooserIndex);
+    w.boolean(p.component1Taken);
+    w.boolean(p.component2Taken);
+    w.boolean(p.usedComponent2);
+}
+
+inline void
+restorePrediction(serial::Reader &r, Prediction &p)
+{
+    p.taken = r.boolean();
+    p.index = r.u32();
+    p.historyBefore = r.u64();
+    p.index2 = r.u32();
+    p.chooserIndex = r.u32();
+    p.component1Taken = r.boolean();
+    p.component2Taken = r.boolean();
+    p.usedComponent2 = r.boolean();
+}
+
 /** Abstract direction predictor. */
 class DirectionPredictor
 {
@@ -64,7 +93,40 @@ class DirectionPredictor
     virtual const PredictorStats &stats() const { return _stats; }
     virtual void reset() = 0;
 
+    /**
+     * Snapshot hooks: counter tables, speculative history and stats.
+     * The bundled predictors all implement them; the default panics
+     * so a future predictor can't silently snapshot partial state.
+     */
+    virtual void
+    save(serial::Writer &w) const
+    {
+        (void)w;
+        ff_panic("predictor does not support snapshots");
+    }
+
+    virtual void
+    restore(serial::Reader &r)
+    {
+        (void)r;
+        ff_panic("predictor does not support snapshots");
+    }
+
   protected:
+    void
+    saveStats(serial::Writer &w) const
+    {
+        w.u64(_stats.lookups);
+        w.u64(_stats.mispredicts);
+    }
+
+    void
+    restoreStats(serial::Reader &r)
+    {
+        _stats.lookups = r.u64();
+        _stats.mispredicts = r.u64();
+    }
+
     PredictorStats _stats;
 };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace ff
 {
@@ -121,6 +122,38 @@ class Distribution
         _sum = 0;
         for (auto &b : _buckets)
             b = 0;
+    }
+
+    /** Snapshot hook: serializes range, buckets and counters. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.i64(_min);
+        w.i64(_max);
+        w.u64(_buckets.size());
+        for (const std::uint64_t b : _buckets)
+            w.u64(b);
+        w.u64(_samples);
+        w.u64(_underflow);
+        w.u64(_overflow);
+        w.i64(_sum);
+    }
+
+    /** Inverse of save(); flags mismatched geometry via r.fail(). */
+    void
+    restore(serial::Reader &r)
+    {
+        if (r.i64() != _min || r.i64() != _max ||
+            r.seq(8) != _buckets.size()) {
+            r.fail();
+            return;
+        }
+        for (std::uint64_t &b : _buckets)
+            b = r.u64();
+        _samples = r.u64();
+        _underflow = r.u64();
+        _overflow = r.u64();
+        _sum = r.i64();
     }
 
   private:

@@ -185,5 +185,27 @@ BaselineCpu::statsReport() const
            g.dump();
 }
 
+void
+BaselineCpu::saveModelState(serial::Writer &w) const
+{
+    _regs.save(w);
+    _sb.save(w);
+    w.u64(_stats.loadsIssued);
+    w.u64(_stats.storesIssued);
+    w.u64(_stats.branchesRetired);
+    w.u64(_stats.mispredicts);
+}
+
+void
+BaselineCpu::restoreModelState(serial::Reader &r)
+{
+    _regs.restore(r);
+    _sb.restore(r);
+    _stats.loadsIssued = r.u64();
+    _stats.storesIssued = r.u64();
+    _stats.branchesRetired = r.u64();
+    _stats.mispredicts = r.u64();
+}
+
 } // namespace cpu
 } // namespace ff

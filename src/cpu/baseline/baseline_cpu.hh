@@ -43,6 +43,9 @@ class BaselineCpu : public CoreBase
   protected:
     CycleClass tick(Cycle now, RunResult &res) override;
 
+    void saveModelState(serial::Writer &w) const override;
+    void restoreModelState(serial::Reader &r) override;
+
   private:
     /**
      * Attempts to issue the head issue group at @p now.

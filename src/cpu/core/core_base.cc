@@ -25,22 +25,84 @@ CoreBase::CoreBase(const isa::Program &prog, const CoreConfig &cfg,
 RunResult
 CoreBase::run(std::uint64_t max_cycles)
 {
-    ff_panic_if(_ran, "CPU models are single-shot; construct anew");
+    ff_panic_if(_ran && !_resumable,
+                "CPU models are single-shot; construct anew (or "
+                "restore a snapshot to resume)");
     _ran = true;
+    _resumable = false;
 
-    RunResult res;
-    Cycle now = 0;
-    while (!res.halted && now < max_cycles) {
-        _hier.tick(now);
-        const CycleClass cls = tick(now, res);
+    while (!_res.halted && _now < max_cycles) {
+        _hier.tick(_now);
+        const CycleClass cls = tick(_now, _res);
         _acct.record(cls);
         if (_observer != nullptr)
-            _observer->onCycle(now, cls);
-        _fe.tick(now);
-        ++now;
+            _observer->onCycle(_now, cls);
+        _fe.tick(_now);
+        ++_now;
     }
-    res.cycles = now;
-    return res;
+    _res.cycles = _now;
+    return _res;
+}
+
+void
+CoreBase::saveState(serial::Writer &w) const
+{
+    w.section(serial::tag("CORE"));
+    w.u64(_now);
+    w.boolean(_ran);
+    w.boolean(_res.halted);
+    w.u64(_res.cycles);
+    w.u64(_res.instsRetired);
+    w.u64(_res.groupsRetired);
+    for (const std::uint64_t c : _acct.counts)
+        w.u64(c);
+
+    w.section(serial::tag("SMEM"));
+    _mem.save(w);
+    w.section(serial::tag("HIER"));
+    _hier.save(w);
+    w.section(serial::tag("PRED"));
+    _pred->save(w);
+    w.section(serial::tag("FTCH"));
+    _fe.save(w);
+    w.section(serial::tag("MODL"));
+    saveModelState(w);
+    w.section(serial::tag("DONE"));
+}
+
+void
+CoreBase::restoreState(serial::Reader &r)
+{
+    if (!r.section(serial::tag("CORE")))
+        return;
+    _now = r.u64();
+    _ran = r.boolean();
+    _res.halted = r.boolean();
+    _res.cycles = r.u64();
+    _res.instsRetired = r.u64();
+    _res.groupsRetired = r.u64();
+    for (std::uint64_t &c : _acct.counts)
+        c = r.u64();
+
+    if (!r.section(serial::tag("SMEM")))
+        return;
+    _mem.restore(r);
+    if (!r.section(serial::tag("HIER")))
+        return;
+    _hier.restore(r);
+    if (!r.section(serial::tag("PRED")))
+        return;
+    _pred->restore(r);
+    if (!r.section(serial::tag("FTCH")))
+        return;
+    _fe.restore(r);
+    if (!r.section(serial::tag("MODL")))
+        return;
+    restoreModelState(r);
+    if (!r.section(serial::tag("DONE")))
+        return;
+
+    _resumable = true;
 }
 
 OccupancySample

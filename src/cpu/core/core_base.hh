@@ -44,9 +44,24 @@ class CoreBase : public CpuModel, public OccupancyProbe
     /**
      * The shared run loop: per cycle, ticks the hierarchy, invokes
      * the model's tick(), records the cycle class, notifies any
-     * observer, and ticks the front end. Single-shot.
+     * observer, and ticks the front end. Single-shot — except that a
+     * restoreState() re-arms it to continue from the restored cycle,
+     * and the loop state lives in members so a run stopped by
+     * max_cycles resumes exactly where it left off after a snapshot
+     * round trip.
      */
     RunResult run(std::uint64_t max_cycles) final;
+
+    bool supportsSnapshot() const final { return true; }
+    Cycle currentCycle() const final { return _now; }
+
+    /**
+     * Serializes every CoreBase-owned subsystem (cycle cursor, run
+     * result, accounting, memory, hierarchy, predictor, front end)
+     * then the model section via the saveModelState() hook.
+     */
+    void saveState(serial::Writer &w) const final;
+    void restoreState(serial::Reader &r) final;
 
     const memory::SparseMemory &memState() const final { return _mem; }
     const CycleAccounting &cycleAccounting() const final
@@ -80,6 +95,15 @@ class CoreBase : public CpuModel, public OccupancyProbe
      */
     virtual CycleClass tick(Cycle now, RunResult &res) = 0;
 
+    /**
+     * Serializes the state the concrete model owns beyond the shared
+     * subsystems (register files, scoreboards, queues, counters).
+     * restoreModelState() is its exact inverse on a same-config
+     * instance.
+     */
+    virtual void saveModelState(serial::Writer &w) const = 0;
+    virtual void restoreModelState(serial::Reader &r) = 0;
+
     /** The attached observer, or nullptr. */
     CoreObserver *observer() const { return _observer; }
 
@@ -102,6 +126,9 @@ class CoreBase : public CpuModel, public OccupancyProbe
   private:
     CoreObserver *_observer = nullptr;
     bool _ran = false;
+    bool _resumable = false; ///< set by restoreState, spent by run
+    Cycle _now = 0;          ///< cycles simulated so far
+    RunResult _res;          ///< accumulated run outcome
 };
 
 } // namespace cpu

@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "branch/predictor.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
 #include "cpu/cycle_classes.hh"
 #include "cpu/model_stats.hh"
 #include "cpu/regfile.hh"
@@ -47,10 +49,42 @@ class CpuModel
     virtual ~CpuModel() = default;
 
     /**
-     * Runs until HALT retires or @p max_cycles elapse.
-     * Models are single-shot: construct a fresh instance per run.
+     * Runs until HALT retires or @p max_cycles elapse. Models are
+     * single-shot per construction, with one exception: an instance
+     * that just hit restoreState() may run() once more, continuing
+     * from the restored cycle — the fork half of warm-up sharing.
      */
     virtual RunResult run(std::uint64_t max_cycles) = 0;
+
+    /** True if saveState()/restoreState() are implemented. */
+    virtual bool supportsSnapshot() const { return false; }
+
+    /** Cycles simulated so far — the resume point of a snapshot. */
+    virtual Cycle currentCycle() const { return 0; }
+
+    /**
+     * Serializes the model's complete simulation state (shared core
+     * subsystems plus model-owned structures). The default panics;
+     * models advertising supportsSnapshot() override it.
+     */
+    virtual void
+    saveState(serial::Writer &w) const
+    {
+        (void)w;
+        ff_panic("model does not support snapshots");
+    }
+
+    /**
+     * Inverse of saveState() onto a freshly constructed instance of
+     * the identical (program, config) pair. Structural mismatches
+     * surface through the reader's failure flag.
+     */
+    virtual void
+    restoreState(serial::Reader &r)
+    {
+        (void)r;
+        ff_panic("model does not support snapshots");
+    }
 
     /** Architectural register state (the B-file for two-pass). */
     virtual const RegFile &archRegs() const = 0;

@@ -93,5 +93,50 @@ FrontEnd::redirect(InstIdx target, Cycle resume_at)
     ++_stats.redirects;
 }
 
+void
+FrontEnd::save(serial::Writer &w) const
+{
+    w.u64(_queue.size());
+    for (const FetchedGroup &g : _queue) {
+        w.u32(g.leader);
+        w.u32(g.end);
+        w.u64(g.readyAt);
+        w.boolean(g.hasBranch);
+        w.boolean(g.predictedTaken);
+        w.u32(g.predictedNext);
+        branch::savePrediction(w, g.prediction);
+    }
+    w.u32(_pc);
+    w.boolean(_pcValid);
+    w.u64(_resumeAt);
+    w.u64(_stats.groupsFetched);
+    w.u64(_stats.icacheMissCycles);
+    w.u64(_stats.redirects);
+}
+
+void
+FrontEnd::restore(serial::Reader &r)
+{
+    _queue.clear();
+    const std::size_t n = r.seq(24);
+    for (std::size_t i = 0; i < n; ++i) {
+        FetchedGroup g;
+        g.leader = r.u32();
+        g.end = r.u32();
+        g.readyAt = r.u64();
+        g.hasBranch = r.boolean();
+        g.predictedTaken = r.boolean();
+        g.predictedNext = r.u32();
+        branch::restorePrediction(r, g.prediction);
+        _queue.push_back(g);
+    }
+    _pc = r.u32();
+    _pcValid = r.boolean();
+    _resumeAt = r.u64();
+    _stats.groupsFetched = r.u64();
+    _stats.icacheMissCycles = r.u64();
+    _stats.redirects = r.u64();
+}
+
 } // namespace cpu
 } // namespace ff

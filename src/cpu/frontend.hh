@@ -14,6 +14,7 @@
 #include <deque>
 
 #include "branch/predictor.hh"
+#include "common/serialize.hh"
 #include "cpu/config.hh"
 #include "isa/program.hh"
 #include "memory/hierarchy.hh"
@@ -85,6 +86,10 @@ class FrontEnd
     bool redirecting(Cycle now) const { return now < _resumeAt; }
 
     const FrontEndStats &stats() const { return _stats; }
+
+    /** Snapshot hooks: queue, fetch PC, resume cycle and stats. */
+    void save(serial::Writer &w) const;
+    void restore(serial::Reader &r);
 
   private:
     const isa::Program &_prog;

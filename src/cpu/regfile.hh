@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "isa/isa.hh"
 
@@ -71,6 +72,21 @@ class RegFile
 
     /** FNV-1a digest of the full file, for equivalence tests. */
     std::uint64_t fingerprint() const;
+
+    /** Snapshot hooks: the dense slot array, in slot order. */
+    void
+    save(serial::Writer &w) const
+    {
+        for (const RegVal v : _vals)
+            w.u64(v);
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        for (RegVal &v : _vals)
+            v = r.u64();
+    }
 
   private:
     std::array<RegVal, kNumRegSlots> _vals;

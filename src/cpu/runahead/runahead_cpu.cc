@@ -343,5 +343,58 @@ RunaheadCpu::statsReport() const
            g.dump();
 }
 
+void
+RunaheadCpu::saveModelState(serial::Writer &w) const
+{
+    _regs.save(w);
+    _sb.save(w);
+    w.u64(_raStats.episodes);
+    w.u64(_raStats.runaheadCycles);
+    w.u64(_raStats.runaheadLoads);
+    w.u64(_raStats.runaheadInsts);
+    w.u64(_raStats.invResults);
+
+    w.boolean(_inRunahead);
+    w.u64(_raExitAt);
+    w.u32(_raResumePc);
+    _raRegs.save(w);
+    for (const bool inv : _raInv)
+        w.boolean(inv);
+    _raSb.save(w);
+    w.u64(_raStoreOverlay.size());
+    for (const auto &[addr, byte] : _raStoreOverlay) {
+        w.u64(addr);
+        w.u8(byte);
+    }
+    w.u32(_stallStreak);
+}
+
+void
+RunaheadCpu::restoreModelState(serial::Reader &r)
+{
+    _regs.restore(r);
+    _sb.restore(r);
+    _raStats.episodes = r.u64();
+    _raStats.runaheadCycles = r.u64();
+    _raStats.runaheadLoads = r.u64();
+    _raStats.runaheadInsts = r.u64();
+    _raStats.invResults = r.u64();
+
+    _inRunahead = r.boolean();
+    _raExitAt = r.u64();
+    _raResumePc = r.u32();
+    _raRegs.restore(r);
+    for (bool &inv : _raInv)
+        inv = r.boolean();
+    _raSb.restore(r);
+    _raStoreOverlay.clear();
+    const std::size_t overlay = r.seq(9);
+    for (std::size_t i = 0; i < overlay; ++i) {
+        const Addr addr = r.u64();
+        _raStoreOverlay[addr] = r.u8();
+    }
+    _stallStreak = r.u32();
+}
+
 } // namespace cpu
 } // namespace ff

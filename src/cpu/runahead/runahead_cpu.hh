@@ -51,6 +51,9 @@ class RunaheadCpu : public CoreBase
   protected:
     CycleClass tick(Cycle now, RunResult &res) override;
 
+    void saveModelState(serial::Writer &w) const override;
+    void restoreModelState(serial::Reader &r) override;
+
   private:
     CycleClass tryIssue(Cycle now, RunResult &res);
 

@@ -13,6 +13,7 @@
 #include <array>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "cpu/cycle_classes.hh"
 #include "cpu/regfile.hh"
 
@@ -79,6 +80,25 @@ class Scoreboard
     {
         _readyAt.fill(0);
         _kind.fill(PendingKind::kNone);
+    }
+
+    /** Snapshot hooks: ready times and producer kinds per slot. */
+    void
+    save(serial::Writer &w) const
+    {
+        for (const Cycle c : _readyAt)
+            w.u64(c);
+        for (const PendingKind k : _kind)
+            w.u8(static_cast<std::uint8_t>(k));
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        for (Cycle &c : _readyAt)
+            c = r.u64();
+        for (PendingKind &k : _kind)
+            k = static_cast<PendingKind>(r.u8());
     }
 
   private:

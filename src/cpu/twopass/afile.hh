@@ -20,6 +20,7 @@
 
 #include <array>
 
+#include "common/serialize.hh"
 #include "cpu/regfile.hh"
 #include "cpu/scoreboard.hh"
 
@@ -81,6 +82,33 @@ class AFile
 
     /** True if the entry is speculative (A-written, not committed). */
     bool speculative(isa::RegId r) const;
+
+    /** Snapshot hooks: the full V/S/DynID/timing sidecar per slot. */
+    void
+    save(serial::Writer &w) const
+    {
+        for (const Entry &e : _e) {
+            w.u64(e.value);
+            w.boolean(e.valid);
+            w.boolean(e.spec);
+            w.u64(e.lastWriter);
+            w.u64(e.readyAt);
+            w.u8(static_cast<std::uint8_t>(e.kind));
+        }
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        for (Entry &e : _e) {
+            e.value = r.u64();
+            e.valid = r.boolean();
+            e.spec = r.boolean();
+            e.lastWriter = r.u64();
+            e.readyAt = r.u64();
+            e.kind = static_cast<PendingKind>(r.u8());
+        }
+    }
 
   private:
     struct Entry

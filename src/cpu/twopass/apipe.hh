@@ -35,6 +35,23 @@ class APipe
      */
     void step(Cycle now);
 
+    /** Snapshot hooks: the issue-moderation throttle ring. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(_deferHistory);
+        w.u32(_deferHistoryCount);
+        w.boolean(_throttled);
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        _deferHistory = r.u64();
+        _deferHistoryCount = r.u32();
+        _throttled = r.boolean();
+    }
+
   private:
     /** True when ablation A2 says the A-pipe should hold this group. */
     bool anticipableStall(const FetchedGroup &g, Cycle now) const;

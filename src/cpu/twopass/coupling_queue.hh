@@ -13,6 +13,7 @@
 
 #include "branch/gshare.hh"
 #include "common/fifo.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "cpu/model_stats.hh"
 #include "isa/program.hh"
@@ -122,6 +123,85 @@ class CouplingQueue
      * count exact.
      */
     unsigned deferredStores() const { return _deferredStores; }
+
+    /**
+     * Snapshot hooks: every entry (CRS payload included) in queue
+     * order. The deferred-store count is rebuilt by re-pushing.
+     */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(_fifo.capacity());
+        w.u64(_fifo.size());
+        for (std::size_t i = 0; i < _fifo.size(); ++i) {
+            const CqEntry &e = _fifo.at(i);
+            w.u32(e.idx);
+            w.u64(e.id);
+            w.u64(e.enqueuedAt);
+            w.u8(static_cast<std::uint8_t>(e.status));
+            w.u8(static_cast<std::uint8_t>(e.reason));
+            w.boolean(e.groupEnd);
+            w.boolean(e.predTrue);
+            w.boolean(e.writesDst);
+            w.boolean(e.writesDst2);
+            w.u64(e.dstVal);
+            w.u64(e.dst2Val);
+            w.u64(e.readyAt);
+            w.boolean(e.isLoad);
+            w.boolean(e.isStore);
+            w.u64(e.addr);
+            w.u32(e.size);
+            w.boolean(e.isBranch);
+            w.boolean(e.branchResolvedInA);
+            w.boolean(e.actualTaken);
+            w.boolean(e.predictedTaken);
+            w.u32(e.fallthrough);
+            branch::savePrediction(w, e.prediction);
+        }
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        if (r.u64() != _fifo.capacity()) {
+            r.fail();
+            return;
+        }
+        clear();
+        const std::size_t n = r.seq(60);
+        if (n > _fifo.capacity()) {
+            r.fail();
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            CqEntry e;
+            e.idx = r.u32();
+            e.id = r.u64();
+            e.enqueuedAt = r.u64();
+            e.status = static_cast<CqStatus>(r.u8());
+            e.reason = static_cast<DeferReason>(r.u8());
+            e.groupEnd = r.boolean();
+            e.predTrue = r.boolean();
+            e.writesDst = r.boolean();
+            e.writesDst2 = r.boolean();
+            e.dstVal = r.u64();
+            e.dst2Val = r.u64();
+            e.readyAt = r.u64();
+            e.isLoad = r.boolean();
+            e.isStore = r.boolean();
+            e.addr = r.u64();
+            e.size = r.u32();
+            e.isBranch = r.boolean();
+            e.branchResolvedInA = r.boolean();
+            e.actualTaken = r.boolean();
+            e.predictedTaken = r.boolean();
+            e.fallthrough = r.u32();
+            branch::restorePrediction(r, e.prediction);
+            if (!r.ok())
+                return;
+            push(e);
+        }
+    }
 
   private:
     static bool

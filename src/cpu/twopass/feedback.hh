@@ -58,6 +58,36 @@ class FeedbackPath
     bool empty() const { return _q.empty(); }
     std::size_t size() const { return _q.size(); }
 
+    /** Snapshot hooks: the pending update queue, oldest first. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(_q.size());
+        for (const Pending &p : _q) {
+            w.u8(static_cast<std::uint8_t>(p.reg.cls));
+            w.u8(p.reg.idx);
+            w.u64(p.value);
+            w.u64(p.id);
+            w.u64(p.applyAt);
+        }
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        _q.clear();
+        const std::size_t n = r.seq(26);
+        for (std::size_t i = 0; i < n; ++i) {
+            Pending p;
+            p.reg.cls = static_cast<isa::RegClass>(r.u8());
+            p.reg.idx = r.u8();
+            p.value = r.u64();
+            p.id = r.u64();
+            p.applyAt = r.u64();
+            _q.push_back(p);
+        }
+    }
+
   private:
     /** One pending B-to-A update. */
     struct Pending

@@ -1,5 +1,8 @@
 #include "cpu/twopass/twopass_cpu.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "cpu/stats_report.hh"
@@ -116,6 +119,117 @@ TwoPassCpu::statsReport() const
     return commonStatsReport(_acct, _pred->stats(),
                              _hier.accessStats()) +
            g.dump() + a.dump() + q.dump();
+}
+
+namespace
+{
+
+void
+saveTwoPassStats(serial::Writer &w, const TwoPassStats &s)
+{
+    w.u64(s.dispatched);
+    w.u64(s.preExecuted);
+    w.u64(s.deferred);
+    for (const std::uint64_t c : s.deferredByReason)
+        w.u64(c);
+    w.u64(s.loadsInA);
+    w.u64(s.loadsInB);
+    w.u64(s.storesInA);
+    w.u64(s.storesInB);
+    w.u64(s.loadsPastDeferredStore);
+    w.u64(s.storeConflictFlushes);
+    w.u64(s.storeForwardings);
+    w.u64(s.branchesResolvedInA);
+    w.u64(s.branchesResolvedInB);
+    w.u64(s.aDetMispredicts);
+    w.u64(s.bDetMispredicts);
+    w.u64(s.aStallCqFull);
+    w.u64(s.aStallAnticipable);
+    w.u64(s.aStallThrottled);
+    w.u64(s.regroupedGroups);
+    w.u64(s.feedbackApplied);
+    w.u64(s.feedbackDropped);
+    w.u64(s.registersRepaired);
+}
+
+void
+restoreTwoPassStats(serial::Reader &r, TwoPassStats &s)
+{
+    s.dispatched = r.u64();
+    s.preExecuted = r.u64();
+    s.deferred = r.u64();
+    for (std::uint64_t &c : s.deferredByReason)
+        c = r.u64();
+    s.loadsInA = r.u64();
+    s.loadsInB = r.u64();
+    s.storesInA = r.u64();
+    s.storesInB = r.u64();
+    s.loadsPastDeferredStore = r.u64();
+    s.storeConflictFlushes = r.u64();
+    s.storeForwardings = r.u64();
+    s.branchesResolvedInA = r.u64();
+    s.branchesResolvedInB = r.u64();
+    s.aDetMispredicts = r.u64();
+    s.bDetMispredicts = r.u64();
+    s.aStallCqFull = r.u64();
+    s.aStallAnticipable = r.u64();
+    s.aStallThrottled = r.u64();
+    s.regroupedGroups = r.u64();
+    s.feedbackApplied = r.u64();
+    s.feedbackDropped = r.u64();
+    s.registersRepaired = r.u64();
+}
+
+} // namespace
+
+void
+TwoPassCpu::saveModelState(serial::Writer &w) const
+{
+    _afile.save(w);
+    _bfile.save(w);
+    _bsb.save(w);
+    _cq.save(w);
+    _sbuf.save(w);
+    _alat.save(w);
+
+    w.u64(_shared.nextId);
+    w.boolean(_shared.aHalted);
+    // conflictRetry is a membership-only set; sorted for byte-stable
+    // encoding.
+    std::vector<InstIdx> retry(_shared.conflictRetry.begin(),
+                               _shared.conflictRetry.end());
+    std::sort(retry.begin(), retry.end());
+    w.u64(retry.size());
+    for (const InstIdx idx : retry)
+        w.u32(idx);
+
+    saveTwoPassStats(w, _stats);
+    _feedback.save(w);
+    _apipe.save(w);
+    _cqDepth.save(w);
+}
+
+void
+TwoPassCpu::restoreModelState(serial::Reader &r)
+{
+    _afile.restore(r);
+    _bfile.restore(r);
+    _bsb.restore(r);
+    _cq.restore(r);
+    _sbuf.restore(r);
+    _alat.restore(r);
+
+    _shared.nextId = r.u64();
+    _shared.aHalted = r.boolean();
+    _shared.conflictRetry.clear();
+    const std::size_t retry = r.seq(4);
+    for (std::size_t i = 0; i < retry; ++i)
+        _shared.conflictRetry.insert(r.u32());
+
+    restoreTwoPassStats(r, _stats);
+    _feedback.restore(r);
+    _apipe.restore(r);
+    _cqDepth.restore(r);
 }
 
 } // namespace cpu

@@ -82,6 +82,9 @@ class TwoPassCpu : public CoreBase
   protected:
     CycleClass tick(Cycle now, RunResult &res) override;
 
+    void saveModelState(serial::Writer &w) const override;
+    void restoreModelState(serial::Reader &r) override;
+
   private:
     /**
      * Debug invariant (cfg.selfCheckInterval): every valid,

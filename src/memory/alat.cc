@@ -1,5 +1,8 @@
 #include "memory/alat.hh"
 
+#include <algorithm>
+#include <vector>
+
 namespace ff
 {
 namespace memory
@@ -83,6 +86,66 @@ Alat::clear()
 {
     _entries.clear();
     _fifo.clear();
+}
+
+void
+Alat::save(serial::Writer &w) const
+{
+    w.u32(_capacity);
+
+    // Entries sorted by id: lookup is by key, so order is semantics-
+    // free, but sorting makes the encoded bytes deterministic.
+    std::vector<DynId> ids;
+    ids.reserve(_entries.size());
+    for (const auto &[id, e] : _entries)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (const DynId id : ids) {
+        const Entry &e = _entries.at(id);
+        w.u64(id);
+        w.u64(e.addr);
+        w.u32(e.size);
+    }
+
+    // The fifo keeps allocation order (including slots whose entries
+    // were already released) — eviction order depends on it.
+    w.u64(_fifo.size());
+    for (const DynId id : _fifo)
+        w.u64(id);
+
+    w.u64(_stats.allocations);
+    w.u64(_stats.storeInvalidations);
+    w.u64(_stats.capacityEvictions);
+    w.u64(_stats.checksPassed);
+    w.u64(_stats.checksFailed);
+}
+
+void
+Alat::restore(serial::Reader &r)
+{
+    if (r.u32() != _capacity) {
+        r.fail();
+        return;
+    }
+    _entries.clear();
+    _fifo.clear();
+    const std::size_t entries = r.seq(20);
+    for (std::size_t i = 0; i < entries; ++i) {
+        const DynId id = r.u64();
+        Entry e;
+        e.addr = r.u64();
+        e.size = r.u32();
+        _entries[id] = e;
+    }
+    const std::size_t fifo = r.seq(8);
+    for (std::size_t i = 0; i < fifo; ++i)
+        _fifo.push_back(r.u64());
+    _stats.allocations = r.u64();
+    _stats.storeInvalidations = r.u64();
+    _stats.capacityEvictions = r.u64();
+    _stats.checksPassed = r.u64();
+    _stats.checksFailed = r.u64();
 }
 
 } // namespace memory

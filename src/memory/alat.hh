@@ -20,6 +20,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace ff
@@ -70,6 +71,14 @@ class Alat
     std::size_t liveEntries() const { return _entries.size(); }
     const AlatStats &stats() const { return _stats; }
     AlatStats &stats() { return _stats; }
+
+    /**
+     * Snapshot hooks. The allocation-order fifo is captured alongside
+     * the live entries so finite-capacity eviction order survives the
+     * round trip.
+     */
+    void save(serial::Writer &w) const;
+    void restore(serial::Reader &r);
 
   private:
     struct Entry

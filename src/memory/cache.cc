@@ -117,6 +117,47 @@ Cache::invalidate(Addr a)
 }
 
 void
+Cache::save(serial::Writer &w) const
+{
+    w.u64(_geom.sizeBytes);
+    w.u32(_geom.assoc);
+    w.u32(_geom.lineBytes);
+    w.u32(_geom.latency);
+    for (const Line &l : _lines) {
+        w.boolean(l.valid);
+        w.boolean(l.dirty);
+        w.u64(l.tag);
+        w.u64(l.lruStamp);
+    }
+    w.u64(_clock);
+    w.u64(_hits);
+    w.u64(_misses);
+    w.u64(_evictions);
+    w.u64(_writebacks);
+}
+
+void
+Cache::restore(serial::Reader &r)
+{
+    if (r.u64() != _geom.sizeBytes || r.u32() != _geom.assoc ||
+        r.u32() != _geom.lineBytes || r.u32() != _geom.latency) {
+        r.fail();
+        return;
+    }
+    for (Line &l : _lines) {
+        l.valid = r.boolean();
+        l.dirty = r.boolean();
+        l.tag = r.u64();
+        l.lruStamp = r.u64();
+    }
+    _clock = r.u64();
+    _hits = r.u64();
+    _misses = r.u64();
+    _evictions = r.u64();
+    _writebacks = r.u64();
+}
+
+void
 Cache::reset()
 {
     for (auto &l : _lines)

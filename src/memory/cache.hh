@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -78,6 +79,15 @@ class Cache
     std::uint64_t misses() const { return _misses; }
     std::uint64_t evictions() const { return _evictions; }
     std::uint64_t writebacks() const { return _writebacks; }
+
+    /**
+     * Snapshot hooks: geometry is verified (a snapshot only restores
+     * onto an identically configured cache), then the per-line tag/
+     * LRU state, the LRU clock and the counters. Derived indexing
+     * fields are constructor-computed and never serialized.
+     */
+    void save(serial::Writer &w) const;
+    void restore(serial::Reader &r);
 
   private:
     struct Line

@@ -178,6 +178,123 @@ Hierarchy::access(AccessKind kind, Initiator who, Addr addr, Cycle now)
     return r;
 }
 
+namespace
+{
+
+void
+saveAccessStats(serial::Writer &w, const AccessStats &s)
+{
+    for (unsigned i = 0; i < kNumInitiators; ++i) {
+        for (unsigned l = 0; l < kNumMemLevels; ++l) {
+            w.u64(s.counts[i][l]);
+            w.u64(s.weightedCycles[i][l]);
+        }
+    }
+}
+
+void
+restoreAccessStats(serial::Reader &r, AccessStats &s)
+{
+    for (unsigned i = 0; i < kNumInitiators; ++i) {
+        for (unsigned l = 0; l < kNumMemLevels; ++l) {
+            s.counts[i][l] = r.u64();
+            s.weightedCycles[i][l] = r.u64();
+        }
+    }
+}
+
+void
+saveInFlight(serial::Writer &w,
+             const std::unordered_map<Addr, Cycle> &m)
+{
+    // Sorted by line address: lookups are keyed, so order is
+    // semantics-free, but sorting makes the encoding deterministic.
+    std::vector<std::pair<Addr, Cycle>> v(m.begin(), m.end());
+    std::sort(v.begin(), v.end());
+    w.u64(v.size());
+    for (const auto &[line, due] : v) {
+        w.u64(line);
+        w.u64(due);
+    }
+}
+
+void
+restoreInFlight(serial::Reader &r, std::unordered_map<Addr, Cycle> &m)
+{
+    m.clear();
+    const std::size_t n = r.seq(16);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr line = r.u64();
+        m[line] = r.u64();
+    }
+}
+
+} // namespace
+
+void
+Hierarchy::save(serial::Writer &w) const
+{
+    _l1i.save(w);
+    _l1d.save(w);
+    _l2.save(w);
+    _l3.save(w);
+
+    w.u64(_pendingFills.size());
+    for (const auto &[due, f] : _pendingFills) {
+        w.u64(due);
+        w.u64(f.l1Line);
+        w.boolean(f.isInst);
+        w.boolean(f.dirty);
+        w.u8(static_cast<std::uint8_t>(f.from));
+    }
+
+    saveInFlight(w, _inFlightData);
+    saveInFlight(w, _inFlightInst);
+
+    // The heap vector verbatim: layout determines pop order among
+    // equal completion cycles.
+    w.u64(_outstandingLoads.size());
+    for (const Cycle c : _outstandingLoads)
+        w.u64(c);
+
+    saveAccessStats(w, _stats);
+    saveAccessStats(w, _instStats);
+    w.u64(_prefetches);
+}
+
+void
+Hierarchy::restore(serial::Reader &r)
+{
+    _l1i.restore(r);
+    _l1d.restore(r);
+    _l2.restore(r);
+    _l3.restore(r);
+
+    _pendingFills.clear();
+    const std::size_t fills = r.seq(19);
+    for (std::size_t i = 0; i < fills; ++i) {
+        const Cycle due = r.u64();
+        PendingFill f;
+        f.l1Line = r.u64();
+        f.isInst = r.boolean();
+        f.dirty = r.boolean();
+        f.from = static_cast<MemLevel>(r.u8());
+        _pendingFills.emplace_hint(_pendingFills.end(), due, f);
+    }
+
+    restoreInFlight(r, _inFlightData);
+    restoreInFlight(r, _inFlightInst);
+
+    _outstandingLoads.clear();
+    const std::size_t loads = r.seq(8);
+    for (std::size_t i = 0; i < loads; ++i)
+        _outstandingLoads.push_back(r.u64());
+
+    restoreAccessStats(r, _stats);
+    restoreAccessStats(r, _instStats);
+    _prefetches = r.u64();
+}
+
 void
 Hierarchy::reset()
 {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "memory/cache.hh"
 
 namespace ff
@@ -152,6 +153,15 @@ class Hierarchy
 
     /** Clears all tag state, fills and stats. */
     void reset();
+
+    /**
+     * Snapshot hooks: all four caches, pending fills in completion
+     * order (insertion order among same-cycle fills is preserved, so
+     * install order replays exactly), in-flight merge maps, the MSHR
+     * min-heap verbatim, and every statistic.
+     */
+    void save(serial::Writer &w) const;
+    void restore(serial::Reader &r);
 
   private:
     struct PendingFill

@@ -77,6 +77,34 @@ SparseMemory::loadPages(
     }
 }
 
+void
+SparseMemory::save(serial::Writer &w) const
+{
+    std::vector<Addr> page_nos;
+    page_nos.reserve(_pages.size());
+    for (const auto &[page_no, page] : _pages)
+        page_nos.push_back(page_no);
+    std::sort(page_nos.begin(), page_nos.end());
+
+    w.u64(page_nos.size());
+    for (const Addr page_no : page_nos) {
+        w.u64(page_no);
+        w.bytes(_pages.at(page_no).data(), kPageBytes);
+    }
+}
+
+void
+SparseMemory::restore(serial::Reader &r)
+{
+    _pages.clear();
+    const std::size_t n = r.seq(8 + kPageBytes);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr page_no = r.u64();
+        Page &p = _pages[page_no];
+        r.bytes(p.data(), kPageBytes);
+    }
+}
+
 std::uint64_t
 SparseMemory::fingerprint() const
 {

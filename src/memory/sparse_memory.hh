@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace ff
@@ -58,6 +59,14 @@ class SparseMemory
     std::uint64_t fingerprint() const;
 
     std::size_t touchedPages() const { return _pages.size(); }
+
+    /**
+     * Snapshot hooks. Pages are written sorted by base address so the
+     * encoded bytes are deterministic; restore() replaces the entire
+     * contents.
+     */
+    void save(serial::Writer &w) const;
+    void restore(serial::Reader &r);
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;

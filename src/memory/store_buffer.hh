@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 #include "memory/sparse_memory.hh"
 
@@ -76,6 +77,39 @@ class StoreBuffer
     const std::deque<StoreBufferEntry> &entries() const
     {
         return _entries;
+    }
+
+    /** Snapshot hooks: capacity (verified on restore) + entries. */
+    void
+    save(serial::Writer &w) const
+    {
+        w.u64(_capacity);
+        w.u64(_entries.size());
+        for (const StoreBufferEntry &e : _entries) {
+            w.u64(e.id);
+            w.u64(e.addr);
+            w.u32(e.size);
+            w.u64(e.value);
+        }
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        if (r.u64() != _capacity) {
+            r.fail();
+            return;
+        }
+        _entries.clear();
+        const std::size_t n = r.seq(28);
+        for (std::size_t i = 0; i < n; ++i) {
+            StoreBufferEntry e;
+            e.id = r.u64();
+            e.addr = r.u64();
+            e.size = r.u32();
+            e.value = r.u64();
+            _entries.push_back(e);
+        }
     }
 
   private:

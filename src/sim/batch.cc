@@ -3,9 +3,15 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "sim/result_cache.hh"
+#include "sim/snapshot.hh"
 
 namespace ff
 {
@@ -78,9 +84,7 @@ runBatch(std::span<const SimJob> jobs, unsigned threads)
         ff_fatal_if(j.program == nullptr, "SimJob without a program");
 
     auto run_one = [&](std::size_t i) {
-        const SimJob &j = jobs[i];
-        out[i] = simulate(*j.program, j.kind, j.cfg, j.maxCycles,
-                          j.metrics);
+        out[i] = simulateCached(jobs[i]);
     };
 
     const unsigned n = resolveJobs(threads);
@@ -94,9 +98,33 @@ runBatch(std::span<const SimJob> jobs, unsigned threads)
     return out;
 }
 
-std::vector<SimOutcome>
-runSweep(std::span<const workloads::Workload> workloads,
-         std::span<const SweepVariant> variants, unsigned threads)
+SimOutcome
+simulateCached(const SimJob &j)
+{
+    // Metered runs feed observers that must see every cycle; the
+    // cache would hand back a record without the metrics payload.
+    if (j.metrics.enabled() || !resultCacheEnabled()) {
+        return simulate(*j.program, j.kind, j.cfg, j.maxCycles,
+                        j.metrics);
+    }
+    const std::string key =
+        resultCacheKey(*j.program, j.kind, j.cfg, j.maxCycles);
+    SimOutcome out;
+    if (resultCacheLookup(key, out))
+        return out;
+    out = simulate(*j.program, j.kind, j.cfg, j.maxCycles, j.metrics);
+    resultCacheStore(key, out);
+    return out;
+}
+
+namespace
+{
+
+/** Builds the row-major workloads x variants job grid. */
+std::vector<SimJob>
+sweepJobs(std::span<const workloads::Workload> workloads,
+          std::span<const SweepVariant> variants,
+          std::uint64_t max_cycles)
 {
     std::vector<SimJob> jobs;
     jobs.reserve(workloads.size() * variants.size());
@@ -106,11 +134,145 @@ runSweep(std::span<const workloads::Workload> workloads,
             j.program = &w.program;
             j.kind = v.kind;
             j.cfg = v.cfg;
+            j.maxCycles = max_cycles;
             j.metrics = v.metrics;
             jobs.push_back(j);
         }
     }
-    return runBatch(jobs, threads);
+    return jobs;
+}
+
+/**
+ * The warm-up-sharing executor. Cells fall into three bins: cache
+ * hits (resolved before any simulation), metered cells (always run
+ * cold under simulate()), and fork candidates — grouped by (program,
+ * kind, canonical config, budget) so each group executes the shared
+ * warm-up prefix exactly once and every member resumes from the
+ * snapshot. All phases index into position-stable vectors, so the
+ * outcome order — and every outcome bit — is independent of the job
+ * count.
+ */
+std::vector<SimOutcome>
+runForkedBatch(std::span<const SimJob> jobs, const SweepOptions &opts)
+{
+    std::vector<SimOutcome> out(jobs.size());
+    if (jobs.empty())
+        return out;
+    for (const SimJob &j : jobs)
+        ff_fatal_if(j.program == nullptr, "SimJob without a program");
+
+    // ---- cache pass (serial: file reads, no simulation) ------------
+    const bool cache = resultCacheEnabled();
+    std::vector<std::string> keys(jobs.size());
+    std::vector<char> resolved(jobs.size(), 0);
+    if (cache) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SimJob &j = jobs[i];
+            if (j.metrics.enabled())
+                continue;
+            keys[i] = resultCacheKey(*j.program, j.kind, j.cfg,
+                                     j.maxCycles);
+            if (resultCacheLookup(keys[i], out[i]))
+                resolved[i] = 1;
+        }
+    }
+
+    // ---- group the fork candidates ---------------------------------
+    struct Group
+    {
+        std::size_t first; ///< representative job index
+        WarmupResult warm;
+    };
+    using GroupKey = std::tuple<const isa::Program *, unsigned,
+                                std::uint64_t, std::uint64_t>;
+    std::map<GroupKey, std::size_t> groupOf;
+    std::vector<Group> groups;
+    std::vector<std::size_t> cellGroup(jobs.size(), SIZE_MAX);
+    std::vector<std::size_t> pending; // unresolved cells, any bin
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (resolved[i])
+            continue;
+        pending.push_back(i);
+        const SimJob &j = jobs[i];
+        if (j.metrics.enabled())
+            continue; // cold metered run; no fork
+        const GroupKey k{j.program, static_cast<unsigned>(j.kind),
+                         canonicalConfigHash(j.cfg), j.maxCycles};
+        const auto [it, fresh] = groupOf.emplace(k, groups.size());
+        if (fresh)
+            groups.push_back(Group{i, WarmupResult{}});
+        cellGroup[i] = it->second;
+    }
+
+    const unsigned n = resolveJobs(opts.threads);
+
+    // ---- phase A: one shared warm-up per group ---------------------
+    auto warm_one = [&](std::size_t g) {
+        const SimJob &j = jobs[groups[g].first];
+        groups[g].warm = runWarmup(*j.program, j.kind, j.cfg,
+                                   opts.warmupCycles, j.maxCycles);
+    };
+    // ---- phase B: fork every member / run metered cells cold -------
+    auto finish_one = [&](std::size_t p) {
+        const std::size_t i = pending[p];
+        const SimJob &j = jobs[i];
+        if (cellGroup[i] == SIZE_MAX) {
+            out[i] = simulate(*j.program, j.kind, j.cfg, j.maxCycles,
+                              j.metrics);
+            return;
+        }
+        const WarmupResult &warm = groups[cellGroup[i]].warm;
+        out[i] = warm.completed
+            ? warm.outcome
+            : resumeSnapshot(*j.program, j.kind, j.cfg, warm.snap,
+                             j.maxCycles);
+    };
+
+    if (n <= 1) {
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            warm_one(g);
+        for (std::size_t p = 0; p < pending.size(); ++p)
+            finish_one(p);
+    } else {
+        ThreadPool pool(n);
+        if (!groups.empty())
+            pool.parallelFor(groups.size(), warm_one);
+        if (!pending.empty())
+            pool.parallelFor(pending.size(), finish_one);
+    }
+
+    // ---- store pass: once per unique content address ---------------
+    if (cache) {
+        std::unordered_set<std::string> stored;
+        for (const std::size_t i : pending) {
+            if (keys[i].empty() || !stored.insert(keys[i]).second)
+                continue;
+            resultCacheStore(keys[i], out[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SimOutcome>
+runSweep(std::span<const workloads::Workload> workloads,
+         std::span<const SweepVariant> variants, unsigned threads)
+{
+    return runBatch(
+        sweepJobs(workloads, variants, kDefaultMaxCycles), threads);
+}
+
+std::vector<SimOutcome>
+runSweep(std::span<const workloads::Workload> workloads,
+         std::span<const SweepVariant> variants,
+         const SweepOptions &opts)
+{
+    const std::vector<SimJob> jobs =
+        sweepJobs(workloads, variants, opts.maxCycles);
+    if (opts.warmupCycles == 0)
+        return runBatch(jobs, opts.threads);
+    return runForkedBatch(jobs, opts);
 }
 
 std::vector<FunctionalOutcome>

@@ -69,6 +69,43 @@ std::vector<SimOutcome> runSweep(
     std::span<const workloads::Workload> workloads,
     std::span<const SweepVariant> variants, unsigned threads = 0);
 
+/** Execution knobs for the warm-up-sharing sweep engine. */
+struct SweepOptions
+{
+    unsigned threads = 0; ///< 0 = resolved default (see header rules)
+
+    /**
+     * Shared warm-up prefix length in cycles; 0 disables forking.
+     * Cells agreeing on (program, kind, canonical config) execute
+     * the first warmupCycles once, snapshot the machine, and fork
+     * every member from the saved state. Restore is bit-exact, so
+     * outcomes are bit-identical to cold runs at any job count.
+     */
+    std::uint64_t warmupCycles = 0;
+
+    /** Per-cell cycle budget (total simulated cycles, warm-up
+     *  included), matching simulate()'s parameter. */
+    std::uint64_t maxCycles = kDefaultMaxCycles;
+};
+
+/**
+ * As runSweep(workloads, variants, threads), plus warm-up forking
+ * per @p opts. Cells resolved by the result cache skip simulation
+ * entirely; cells collecting metrics always run cold and unmetered
+ * observers-free cells fork from the group snapshot.
+ */
+std::vector<SimOutcome> runSweep(
+    std::span<const workloads::Workload> workloads,
+    std::span<const SweepVariant> variants, const SweepOptions &opts);
+
+/**
+ * One cache-aware simulation: consults the result cache (when
+ * configured and the job collects no metrics), simulating and
+ * storing on a miss. runBatch routes every job through this, so any
+ * bench inherits caching by setting FF_CACHE_DIR / --cache-dir.
+ */
+SimOutcome simulateCached(const SimJob &job);
+
 /** Functional-reference outcomes for a set of programs, in order. */
 std::vector<FunctionalOutcome> runFunctionalBatch(
     std::span<const isa::Program *const> programs,

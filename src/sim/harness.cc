@@ -43,6 +43,8 @@ verifyKey(const isa::Program &prog, const isa::GroupLimits &limits)
     return h;
 }
 
+} // namespace
+
 /**
  * Load-time verification wall: every program entering the harness is
  * run through the ffcheck static verifier, so a workload (bundled or
@@ -54,7 +56,7 @@ verifyKey(const isa::Program &prog, const isa::GroupLimits &limits)
  * base/2P/2Pre pattern of every bench) verify once.
  */
 void
-verifyAtLoad(const isa::Program &prog, const isa::GroupLimits &limits)
+verifyProgram(const isa::Program &prog, const isa::GroupLimits &limits)
 {
     const std::uint64_t key = verifyKey(prog, limits);
     {
@@ -72,8 +74,6 @@ verifyAtLoad(const isa::Program &prog, const isa::GroupLimits &limits)
     std::lock_guard<std::mutex> lk(g_verifiedMu);
     g_verified.insert(key);
 }
-
-} // namespace
 
 SimOutcome
 collectOutcome(cpu::CpuModel &model, CpuKind kind,
@@ -102,7 +102,7 @@ simulate(const isa::Program &prog, CpuKind kind,
          const cpu::CoreConfig &cfg, std::uint64_t max_cycles,
          const MetricsOptions &metrics)
 {
-    verifyAtLoad(prog, cfg.limits);
+    verifyProgram(prog, cfg.limits);
 
     // The factory owns the kind-to-model mapping (including the
     // regroup override for kTwoPassRegroup).
@@ -129,7 +129,7 @@ FunctionalOutcome
 runFunctional(const isa::Program &prog)
 {
     FunctionalOutcome out;
-    verifyAtLoad(prog, isa::GroupLimits());
+    verifyProgram(prog, isa::GroupLimits());
     cpu::FunctionalCpu ref(prog);
     out.result = ref.run();
     ff_fatal_if(!out.result.halted, "functional reference did not halt "

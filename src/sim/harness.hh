@@ -73,6 +73,16 @@ SimOutcome simulate(const isa::Program &prog, CpuKind kind,
                     const MetricsOptions &metrics = MetricsOptions());
 
 /**
+ * The load-time ffcheck verification wall simulate() runs before
+ * constructing a model: errors are fatal, results are memoized by
+ * (instruction-stream hash, limits). Exposed so alternate entry
+ * points into timed simulation (snapshot warm-up/resume) give every
+ * program the same admission check exactly once.
+ */
+void verifyProgram(const isa::Program &prog,
+                   const isa::GroupLimits &limits);
+
+/**
  * Harvests the aggregate outcome fields (accounting, access and
  * model statistics, fingerprints) from a completed model run.
  * Shared by simulate() and drivers (ffvm) that construct models

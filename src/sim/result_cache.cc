@@ -1,0 +1,370 @@
+#include "sim/result_cache.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/serialize.hh"
+#include "sim/snapshot.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Entry magic: "FFRC" (flea-flicker result cache). */
+constexpr std::uint32_t kCacheMagic = serial::tag("FFRC");
+
+std::mutex g_cfgMu;
+std::string g_dir;       // explicit override (valid when g_dirSet)
+bool g_dirSet = false;   // setResultCacheDir() called
+bool g_bypass = false;
+bool g_bypassSet = false;
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_stores{0};
+std::atomic<std::uint64_t> g_errors{0};
+
+/** Monotonic suffix so concurrent stores never share a temp file. */
+std::atomic<std::uint64_t> g_tmpSeq{0};
+
+std::string
+envOr(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::string(v) : fallback;
+}
+
+fs::path
+entryPath(const std::string &dir, const std::string &key)
+{
+    // Two-level fan-out keeps directories small under big sweeps.
+    return fs::path(dir) / key.substr(0, 2) / (key.substr(2) + ".ffr");
+}
+
+void
+saveAccessStats(serial::Writer &w, const memory::AccessStats &s)
+{
+    for (const auto &row : s.counts)
+        for (const std::uint64_t c : row)
+            w.u64(c);
+    for (const auto &row : s.weightedCycles)
+        for (const std::uint64_t c : row)
+            w.u64(c);
+}
+
+void
+restoreAccessStats(serial::Reader &r, memory::AccessStats &s)
+{
+    for (auto &row : s.counts)
+        for (std::uint64_t &c : row)
+            c = r.u64();
+    for (auto &row : s.weightedCycles)
+        for (std::uint64_t &c : row)
+            c = r.u64();
+}
+
+void
+saveTwoPassStats(serial::Writer &w, const cpu::TwoPassStats &s)
+{
+    w.u64(s.dispatched);
+    w.u64(s.preExecuted);
+    w.u64(s.deferred);
+    for (const std::uint64_t c : s.deferredByReason)
+        w.u64(c);
+    w.u64(s.loadsInA);
+    w.u64(s.loadsInB);
+    w.u64(s.storesInA);
+    w.u64(s.storesInB);
+    w.u64(s.loadsPastDeferredStore);
+    w.u64(s.storeConflictFlushes);
+    w.u64(s.storeForwardings);
+    w.u64(s.branchesResolvedInA);
+    w.u64(s.branchesResolvedInB);
+    w.u64(s.aDetMispredicts);
+    w.u64(s.bDetMispredicts);
+    w.u64(s.aStallCqFull);
+    w.u64(s.aStallAnticipable);
+    w.u64(s.aStallThrottled);
+    w.u64(s.regroupedGroups);
+    w.u64(s.feedbackApplied);
+    w.u64(s.feedbackDropped);
+    w.u64(s.registersRepaired);
+}
+
+void
+restoreTwoPassStats(serial::Reader &r, cpu::TwoPassStats &s)
+{
+    s.dispatched = r.u64();
+    s.preExecuted = r.u64();
+    s.deferred = r.u64();
+    for (std::uint64_t &c : s.deferredByReason)
+        c = r.u64();
+    s.loadsInA = r.u64();
+    s.loadsInB = r.u64();
+    s.storesInA = r.u64();
+    s.storesInB = r.u64();
+    s.loadsPastDeferredStore = r.u64();
+    s.storeConflictFlushes = r.u64();
+    s.storeForwardings = r.u64();
+    s.branchesResolvedInA = r.u64();
+    s.branchesResolvedInB = r.u64();
+    s.aDetMispredicts = r.u64();
+    s.bDetMispredicts = r.u64();
+    s.aStallCqFull = r.u64();
+    s.aStallAnticipable = r.u64();
+    s.aStallThrottled = r.u64();
+    s.regroupedGroups = r.u64();
+    s.feedbackApplied = r.u64();
+    s.feedbackDropped = r.u64();
+    s.registersRepaired = r.u64();
+}
+
+void
+encodeOutcome(serial::Writer &w, const SimOutcome &o)
+{
+    w.u8(static_cast<std::uint8_t>(o.kind));
+    w.boolean(o.run.halted);
+    w.u64(o.run.cycles);
+    w.u64(o.run.instsRetired);
+    w.u64(o.run.groupsRetired);
+    for (const std::uint64_t c : o.cycles.counts)
+        w.u64(c);
+    saveAccessStats(w, o.accesses);
+    w.u64(o.branches.lookups);
+    w.u64(o.branches.mispredicts);
+    saveTwoPassStats(w, o.twopass);
+    w.u64(o.alat.allocations);
+    w.u64(o.alat.storeInvalidations);
+    w.u64(o.alat.capacityEvictions);
+    w.u64(o.alat.checksPassed);
+    w.u64(o.alat.checksFailed);
+    w.u64(o.runahead.episodes);
+    w.u64(o.runahead.runaheadCycles);
+    w.u64(o.runahead.runaheadLoads);
+    w.u64(o.runahead.runaheadInsts);
+    w.u64(o.runahead.invResults);
+    w.u64(o.regFingerprint);
+    w.u64(o.memFingerprint);
+    w.u64(o.checksum);
+}
+
+bool
+decodeOutcome(serial::Reader &r, SimOutcome &o)
+{
+    const std::uint8_t kind = r.u8();
+    if (kind >= cpu::kNumCpuKinds)
+        return false;
+    o.kind = static_cast<CpuKind>(kind);
+    o.run.halted = r.boolean();
+    o.run.cycles = r.u64();
+    o.run.instsRetired = r.u64();
+    o.run.groupsRetired = r.u64();
+    for (std::uint64_t &c : o.cycles.counts)
+        c = r.u64();
+    restoreAccessStats(r, o.accesses);
+    o.branches.lookups = r.u64();
+    o.branches.mispredicts = r.u64();
+    restoreTwoPassStats(r, o.twopass);
+    o.alat.allocations = r.u64();
+    o.alat.storeInvalidations = r.u64();
+    o.alat.capacityEvictions = r.u64();
+    o.alat.checksPassed = r.u64();
+    o.alat.checksFailed = r.u64();
+    o.runahead.episodes = r.u64();
+    o.runahead.runaheadCycles = r.u64();
+    o.runahead.runaheadLoads = r.u64();
+    o.runahead.runaheadInsts = r.u64();
+    o.runahead.invResults = r.u64();
+    o.regFingerprint = r.u64();
+    o.memFingerprint = r.u64();
+    o.checksum = r.u64();
+    o.metrics.reset();
+    return r.ok();
+}
+
+} // namespace
+
+std::string
+resultCacheKey(const isa::Program &prog, CpuKind kind,
+               const cpu::CoreConfig &cfg, std::uint64_t max_cycles)
+{
+    serial::Writer w;
+    w.u32(kCacheMagic);
+    w.u32(kResultCacheVersion);
+    w.u32(kSnapshotFormatVersion);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(programContentHash(prog));
+    canonicalizeConfig(cfg, w);
+    w.u64(max_cycles);
+    return Sha256::hex(w.buffer().data(), w.buffer().size());
+}
+
+void
+setResultCacheDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lk(g_cfgMu);
+    g_dir = dir;
+    g_dirSet = true;
+}
+
+std::string
+resultCacheDir()
+{
+    std::lock_guard<std::mutex> lk(g_cfgMu);
+    if (!g_dirSet) {
+        g_dir = envOr("FF_CACHE_DIR", "");
+        g_dirSet = true;
+    }
+    return g_dir;
+}
+
+bool
+resultCacheEnabled()
+{
+    return !resultCacheDir().empty();
+}
+
+void
+setResultCacheBypass(bool bypass)
+{
+    std::lock_guard<std::mutex> lk(g_cfgMu);
+    g_bypass = bypass;
+    g_bypassSet = true;
+}
+
+bool
+resultCacheBypass()
+{
+    std::lock_guard<std::mutex> lk(g_cfgMu);
+    if (!g_bypassSet) {
+        const std::string v = envOr("FF_CACHE_BYPASS", "");
+        g_bypass = !v.empty() && v != "0";
+        g_bypassSet = true;
+    }
+    return g_bypass;
+}
+
+bool
+resultCacheLookup(const std::string &key, SimOutcome &out)
+{
+    const std::string dir = resultCacheDir();
+    if (dir.empty())
+        return false;
+    if (resultCacheBypass()) {
+        ++g_misses;
+        return false;
+    }
+
+    std::error_code ec;
+    const fs::path path = entryPath(dir, key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++g_misses;
+        return false;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    serial::Reader r(bytes);
+    if (r.u32() != kCacheMagic || r.u32() != kResultCacheVersion ||
+        r.str() != key || !decodeOutcome(r, out) || !r.atEnd()) {
+        // Corrupt or stale: drop the entry so the refreshed store
+        // below it replaces a known-bad file, then report a miss.
+        fs::remove(path, ec);
+        ++g_errors;
+        ++g_misses;
+        return false;
+    }
+    ++g_hits;
+    return true;
+}
+
+bool
+resultCacheStore(const std::string &key, const SimOutcome &outcome)
+{
+    const std::string dir = resultCacheDir();
+    if (dir.empty())
+        return false;
+    // Metered outcomes carry observer-harvested payloads the binary
+    // format deliberately excludes; caching them would return a
+    // stripped record on the next lookup.
+    if (outcome.metrics != nullptr)
+        return false;
+
+    serial::Writer w;
+    w.u32(kCacheMagic);
+    w.u32(kResultCacheVersion);
+    w.str(key);
+    encodeOutcome(w, outcome);
+
+    std::error_code ec;
+    const fs::path path = entryPath(dir, key);
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+        ++g_errors;
+        return false;
+    }
+    // Temp names carry the pid so concurrent sweeps in separate
+    // processes can race on one key; rename makes the winner atomic.
+    const fs::path tmp =
+        path.parent_path() /
+        (key.substr(2) + ".tmp" + std::to_string(::getpid()) + "." +
+         std::to_string(g_tmpSeq.fetch_add(1)));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out ||
+            !out.write(
+                reinterpret_cast<const char *>(w.buffer().data()),
+                static_cast<std::streamsize>(w.buffer().size()))) {
+            ++g_errors;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        ++g_errors;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    ++g_stores;
+    return true;
+}
+
+ResultCacheStats
+resultCacheStats()
+{
+    ResultCacheStats s;
+    s.hits = g_hits.load();
+    s.misses = g_misses.load();
+    s.stores = g_stores.load();
+    s.errors = g_errors.load();
+    return s;
+}
+
+void
+resetResultCacheStats()
+{
+    g_hits = 0;
+    g_misses = 0;
+    g_stores = 0;
+    g_errors = 0;
+}
+
+} // namespace sim
+} // namespace ff

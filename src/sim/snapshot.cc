@@ -1,0 +1,227 @@
+#include "sim/snapshot.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+namespace
+{
+
+/** Container magic: "FSNP" (flea-flicker snapshot). */
+constexpr std::uint32_t kSnapshotMagic = serial::tag("FSNP");
+
+/** First 8 digest bytes as a little-endian 64-bit guard hash. */
+std::uint64_t
+digest64(Sha256 &h)
+{
+    const std::array<std::uint8_t, 32> d = h.digest();
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+canonicalizeConfig(const cpu::CoreConfig &cfg, serial::Writer &w)
+{
+    // Field order is frozen; append new fields at the end and bump
+    // kSnapshotFormatVersion when the machine grows new knobs.
+    w.u32(cfg.limits.issueWidth);
+    w.u32(cfg.limits.aluUnits);
+    w.u32(cfg.limits.memUnits);
+    w.u32(cfg.limits.fpUnits);
+    w.u32(cfg.limits.branchUnits);
+
+    for (const memory::CacheGeometry *g :
+         {&cfg.mem.l1i, &cfg.mem.l1d, &cfg.mem.l2, &cfg.mem.l3}) {
+        w.u64(g->sizeBytes);
+        w.u32(g->assoc);
+        w.u32(g->lineBytes);
+        w.u32(g->latency);
+    }
+    w.u32(cfg.mem.memoryLatency);
+    w.u32(cfg.mem.maxOutstandingLoads);
+    w.u32(cfg.mem.prefetchDegree);
+
+    w.u32(cfg.predictorEntries);
+    w.u32(static_cast<std::uint32_t>(cfg.predictorKind));
+    w.u32(cfg.frontEndDepth);
+    w.u32(cfg.fetchQueueGroups);
+    w.u32(cfg.branchResolveDelay);
+
+    w.u32(cfg.couplingQueueSize);
+    w.u32(cfg.alatCapacity);
+    w.u32(cfg.storeBufferSize);
+    w.u32(cfg.feedbackLatency);
+    w.boolean(cfg.feedbackEnabled);
+    w.boolean(cfg.regroup);
+    w.boolean(cfg.aPipeStallsOnAnticipable);
+    w.boolean(cfg.aPipeHasFpUnits);
+    w.u32(cfg.aPipeThrottlePercent);
+    w.u32(cfg.bFlushRepairPenalty);
+    w.boolean(cfg.wawStall);
+    w.u32(cfg.selfCheckInterval);
+    w.u32(cfg.runaheadEntryDelay);
+}
+
+std::uint64_t
+canonicalConfigHash(const cpu::CoreConfig &cfg)
+{
+    serial::Writer w;
+    canonicalizeConfig(cfg, w);
+    Sha256 h;
+    h.update(w.buffer().data(), w.buffer().size());
+    return digest64(h);
+}
+
+std::uint64_t
+programContentHash(const isa::Program &prog)
+{
+    serial::Writer w;
+    w.u64(prog.instStreamHash());
+    // instStreamHash() covers code only; results also depend on the
+    // initial data image, so fold the pages in (std::map iterates in
+    // address order — deterministic).
+    for (const auto &[base, bytes] : prog.dataImage().pages()) {
+        w.u64(base);
+        w.u64(bytes.size());
+        w.bytes(bytes.data(), bytes.size());
+    }
+    Sha256 h;
+    h.update(w.buffer().data(), w.buffer().size());
+    return digest64(h);
+}
+
+Snapshot
+saveSnapshot(const cpu::CpuModel &model, CpuKind kind,
+             const isa::Program &prog, const cpu::CoreConfig &cfg)
+{
+    ff_fatal_if(!model.supportsSnapshot(), "model ", cpuKindName(kind),
+                " does not support snapshots");
+    Snapshot snap;
+    snap.kind = kind;
+    snap.cycle = model.currentCycle();
+    snap.programHash = programContentHash(prog);
+    snap.configHash = canonicalConfigHash(cfg);
+    serial::Writer w;
+    model.saveState(w);
+    snap.state = w.take();
+    return snap;
+}
+
+void
+restoreSnapshot(cpu::CpuModel &model, const Snapshot &snap,
+                CpuKind kind, const isa::Program &prog,
+                const cpu::CoreConfig &cfg)
+{
+    ff_fatal_if(!model.supportsSnapshot(), "model ", cpuKindName(kind),
+                " does not support snapshots");
+    ff_fatal_if(snap.kind != kind, "snapshot of model ",
+                cpuKindName(snap.kind), " cannot restore a ",
+                cpuKindName(kind), " model");
+    ff_fatal_if(snap.programHash != programContentHash(prog),
+                "snapshot belongs to a different program than '",
+                prog.name(), "'");
+    ff_fatal_if(snap.configHash != canonicalConfigHash(cfg),
+                "snapshot belongs to a different machine "
+                "configuration");
+    serial::Reader r(snap.state);
+    model.restoreState(r);
+    ff_fatal_if(!r.ok(), "structurally corrupt snapshot for '",
+                prog.name(), "' (", cpuKindName(kind), ", cycle ",
+                snap.cycle, ")");
+    ff_fatal_if(model.currentCycle() != snap.cycle,
+                "snapshot restore desynchronized: header cycle ",
+                snap.cycle, " vs model cycle ", model.currentCycle());
+}
+
+std::vector<std::uint8_t>
+encodeSnapshot(const Snapshot &snap)
+{
+    serial::Writer w;
+    w.u32(kSnapshotMagic);
+    w.u32(kSnapshotFormatVersion);
+    w.u8(static_cast<std::uint8_t>(snap.kind));
+    w.u64(snap.cycle);
+    w.u64(snap.programHash);
+    w.u64(snap.configHash);
+    w.u64(snap.state.size());
+    w.bytes(snap.state.data(), snap.state.size());
+    return w.take();
+}
+
+bool
+decodeSnapshot(const std::vector<std::uint8_t> &bytes, Snapshot &out)
+{
+    serial::Reader r(bytes);
+    if (r.u32() != kSnapshotMagic || r.u32() != kSnapshotFormatVersion)
+        return false;
+    const std::uint8_t kind = r.u8();
+    if (kind >= cpu::kNumCpuKinds)
+        return false;
+    out.kind = static_cast<CpuKind>(kind);
+    out.cycle = r.u64();
+    out.programHash = r.u64();
+    out.configHash = r.u64();
+    const std::size_t n = r.seq(1);
+    out.state.resize(n);
+    r.bytes(out.state.data(), n);
+    return r.ok() && r.atEnd();
+}
+
+WarmupResult
+runWarmup(const isa::Program &prog, CpuKind kind,
+          const cpu::CoreConfig &cfg, std::uint64_t warmup_cycles,
+          std::uint64_t max_cycles)
+{
+    verifyProgram(prog, cfg.limits);
+    const std::unique_ptr<cpu::CpuModel> model =
+        cpu::makeModel(kind, prog, cfg);
+
+    WarmupResult res;
+    const std::uint64_t budget =
+        warmup_cycles < max_cycles ? warmup_cycles : max_cycles;
+    const cpu::RunResult run = model->run(budget);
+    if (run.halted || budget >= max_cycles) {
+        // The whole run fit inside the warm-up prefix: report it as
+        // a finished outcome (fatal on timeout, matching simulate()).
+        ff_fatal_if(!run.halted, "model ", cpuKindName(kind),
+                    " did not halt within ", max_cycles,
+                    " cycles on '", prog.name(), "'");
+        res.completed = true;
+        res.outcome = collectOutcome(*model, kind, run);
+        return res;
+    }
+    res.snap = saveSnapshot(*model, kind, prog, cfg);
+    return res;
+}
+
+SimOutcome
+resumeSnapshot(const isa::Program &prog, CpuKind kind,
+               const cpu::CoreConfig &cfg, const Snapshot &snap,
+               std::uint64_t max_cycles)
+{
+    verifyProgram(prog, cfg.limits);
+    const std::unique_ptr<cpu::CpuModel> model =
+        cpu::makeModel(kind, prog, cfg);
+    restoreSnapshot(*model, snap, kind, prog, cfg);
+
+    const cpu::RunResult run = model->run(max_cycles);
+    ff_fatal_if(!run.halted, "model ", cpuKindName(kind),
+                " did not halt within ", max_cycles, " cycles on '",
+                prog.name(), "' (resumed from cycle ", snap.cycle,
+                ")");
+    return collectOutcome(*model, kind, run);
+}
+
+} // namespace sim
+} // namespace ff

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Whole-machine snapshots of a timed model mid-run, and the warm-up
+ * fork primitive built on them. A Snapshot captures every bit of
+ * simulation state a CoreBase-derived model owns (core kernel, memory
+ * hierarchy, predictor, front end, model structures) behind a
+ * versioned binary format, keyed by content hashes of the program and
+ * the canonicalized configuration so a snapshot can never silently be
+ * restored onto the wrong machine.
+ *
+ * The sweep engine uses runWarmup()/resumeSnapshot() to execute a
+ * shared warm-up prefix once per (program, kind, config) group and
+ * fork each sweep cell from the saved state; because restore is
+ * bit-exact, forked runs are bit-identical to cold ones.
+ */
+
+#ifndef FF_SIM_SNAPSHOT_HH
+#define FF_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "sim/harness.hh"
+
+namespace ff
+{
+namespace sim
+{
+
+/**
+ * Bumped whenever any component's save()/restore() encoding changes;
+ * decodeSnapshot() rejects other versions, and the result cache
+ * folds this into its keys so stale on-disk artifacts age out.
+ */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/** A timed model frozen mid-run. */
+struct Snapshot
+{
+    CpuKind kind = CpuKind::kBaseline; ///< model the state belongs to
+    std::uint64_t cycle = 0;        ///< resume point
+    std::uint64_t programHash = 0;  ///< programContentHash()
+    std::uint64_t configHash = 0;   ///< canonicalConfigHash()
+    std::vector<std::uint8_t> state; ///< CpuModel::saveState bytes
+};
+
+/**
+ * Writes every CoreConfig field (group limits, cache geometries,
+ * memory timing, predictor, front end, two-pass and run-ahead knobs)
+ * into @p w in a fixed order. This is the canonical byte image of a
+ * configuration: equal images mean models behave identically, and
+ * both the snapshot guard hash and the result-cache key are digests
+ * of it.
+ */
+void canonicalizeConfig(const cpu::CoreConfig &cfg, serial::Writer &w);
+
+/** 64-bit digest of canonicalizeConfig() for snapshot guards. */
+std::uint64_t canonicalConfigHash(const cpu::CoreConfig &cfg);
+
+/**
+ * Content hash of the full program image: the instruction stream
+ * hash plus the initial data image. Program::instStreamHash() alone
+ * deliberately ignores data, but simulation results depend on it.
+ */
+std::uint64_t programContentHash(const isa::Program &prog);
+
+/**
+ * Captures @p model (which must advertise supportsSnapshot()) into a
+ * Snapshot stamped with the identity hashes of @p prog and @p cfg —
+ * pass the same pair the model was constructed from.
+ */
+Snapshot saveSnapshot(const cpu::CpuModel &model, CpuKind kind,
+                      const isa::Program &prog,
+                      const cpu::CoreConfig &cfg);
+
+/**
+ * Restores @p snap onto a freshly constructed @p model. Fatal if the
+ * snapshot belongs to a different (kind, program, config) triple or
+ * the state bytes are structurally corrupt: inside the simulator a
+ * bad snapshot is a bug, never a recoverable condition.
+ */
+void restoreSnapshot(cpu::CpuModel &model, const Snapshot &snap,
+                     CpuKind kind, const isa::Program &prog,
+                     const cpu::CoreConfig &cfg);
+
+/** Serializes @p snap into the versioned container format. */
+std::vector<std::uint8_t> encodeSnapshot(const Snapshot &snap);
+
+/**
+ * Decodes a container produced by encodeSnapshot(). Non-fatal:
+ * returns false (leaving @p out unspecified) on truncation, bad
+ * magic, or a foreign format version.
+ */
+bool decodeSnapshot(const std::vector<std::uint8_t> &bytes,
+                    Snapshot &out);
+
+/** What runWarmup() produced. */
+struct WarmupResult
+{
+    /**
+     * True if the program halted (or the cycle budget expired)
+     * during warm-up — the run is finished and @p outcome holds its
+     * complete result; no fork is possible or needed.
+     */
+    bool completed = false;
+    SimOutcome outcome; ///< valid iff completed
+    Snapshot snap;      ///< valid iff !completed
+};
+
+/**
+ * Runs the first @p warmup_cycles of (@p prog, @p kind, @p cfg) and
+ * snapshots the machine, so any number of equal-config runs can fork
+ * from the saved state instead of repeating the prefix. The program
+ * passes the standard verification wall first.
+ */
+WarmupResult runWarmup(const isa::Program &prog, CpuKind kind,
+                       const cpu::CoreConfig &cfg,
+                       std::uint64_t warmup_cycles,
+                       std::uint64_t max_cycles = kDefaultMaxCycles);
+
+/**
+ * The fork half: constructs a fresh model, restores @p snap, and
+ * runs to completion under the same overall @p max_cycles budget a
+ * cold simulate() would have (the budget counts total simulated
+ * cycles, not cycles after the fork). Fatal if the model does not
+ * halt, matching simulate().
+ */
+SimOutcome resumeSnapshot(const isa::Program &prog, CpuKind kind,
+                          const cpu::CoreConfig &cfg,
+                          const Snapshot &snap,
+                          std::uint64_t max_cycles = kDefaultMaxCycles);
+
+} // namespace sim
+} // namespace ff
+
+#endif // FF_SIM_SNAPSHOT_HH

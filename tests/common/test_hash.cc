@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SHA-256 validation against the FIPS 180-4 / NIST CAVP published
+ * vectors, plus the incremental-update and one-shot-reuse contracts.
+ * The result cache's content addresses are only as trustworthy as
+ * this implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.hh"
+
+namespace
+{
+
+using ff::Sha256;
+
+std::string
+hexOf(const std::string &msg)
+{
+    return Sha256::hex(msg.data(), msg.size());
+}
+
+TEST(Sha256, EmptyMessage)
+{
+    EXPECT_EQ(hexOf(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hexOf("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        hexOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039"
+        "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(h.hexDigest(),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary)
+{
+    // 64 bytes = exactly one block; the padding must spill into a
+    // second block.
+    EXPECT_EQ(hexOf(std::string(64, 'x')),
+              Sha256::hex(std::string(64, 'x').data(), 64));
+    Sha256 a;
+    a.update(std::string(64, 'q'));
+    Sha256 b;
+    b.update(std::string(32, 'q'));
+    b.update(std::string(32, 'q'));
+    EXPECT_EQ(a.hexDigest(), b.hexDigest());
+}
+
+TEST(Sha256, ChunkingIsTransparent)
+{
+    const std::string msg =
+        "the quick brown fox jumps over the lazy dog, twice over";
+    Sha256 whole;
+    whole.update(msg);
+    Sha256 bytewise;
+    for (const char c : msg)
+        bytewise.update(&c, 1);
+    EXPECT_EQ(whole.hexDigest(), bytewise.hexDigest());
+}
+
+TEST(Sha256, DistinctMessagesDistinctDigests)
+{
+    EXPECT_NE(hexOf("abc"), hexOf("abd"));
+    EXPECT_NE(hexOf(""), hexOf(std::string(1, '\0')));
+}
+
+TEST(Sha256DeathTest, DigestIsOneShot)
+{
+    Sha256 h;
+    h.update("abc");
+    (void)h.digest();
+    EXPECT_DEATH((void)h.digest(), "one-shot");
+    Sha256 g;
+    (void)g.digest();
+    EXPECT_DEATH(g.update("more"), "after digest");
+}
+
+} // namespace

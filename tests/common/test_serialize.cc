@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Contract tests of the serialization primitives every snapshot and
+ * cache entry is built from: explicit little-endian layout, faithful
+ * round trips, and — the load-bearing property — a Reader that can
+ * never be driven to allocate wildly or read out of bounds by
+ * corrupt input; it latches a sticky failure and returns zeros.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+
+namespace
+{
+
+using ff::serial::Reader;
+using ff::serial::Writer;
+using ff::serial::tag;
+
+TEST(Serialize, PrimitiveRoundTrip)
+{
+    Writer w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.i64(-42);
+    w.boolean(true);
+    w.boolean(false);
+    w.f64(3.14159265358979);
+    w.str("flea-flicker");
+
+    Reader r(w.buffer());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+    EXPECT_EQ(r.str(), "flea-flicker");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, LayoutIsLittleEndian)
+{
+    Writer w;
+    w.u32(0x11223344u);
+    const std::vector<std::uint8_t> &b = w.buffer();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0x44);
+    EXPECT_EQ(b[1], 0x33);
+    EXPECT_EQ(b[2], 0x22);
+    EXPECT_EQ(b[3], 0x11);
+}
+
+TEST(Serialize, NegativeZeroAndNanBitsSurvive)
+{
+    Writer w;
+    w.f64(-0.0);
+    Reader r(w.buffer());
+    const double v = r.f64();
+    EXPECT_EQ(v, 0.0);
+    EXPECT_TRUE(std::signbit(v));
+}
+
+TEST(Serialize, SectionTagsMatchAndMismatch)
+{
+    Writer w;
+    w.section(tag("CORE"));
+    w.u32(7);
+    Reader ok(w.buffer());
+    EXPECT_TRUE(ok.section(tag("CORE")));
+    EXPECT_EQ(ok.u32(), 7u);
+
+    Reader bad(w.buffer());
+    EXPECT_FALSE(bad.section(tag("HIER")));
+    EXPECT_FALSE(bad.ok());
+}
+
+TEST(Serialize, TruncationLatchesFailure)
+{
+    Writer w;
+    w.u64(1);
+    std::vector<std::uint8_t> bytes = w.buffer();
+    bytes.resize(4); // half a u64
+    Reader r(bytes);
+    (void)r.u64(); // wide reads may return partially-read low bytes
+    EXPECT_FALSE(r.ok());
+    // Sticky: even in-bounds reads return zero after a failure.
+    EXPECT_EQ(r.u8(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, SeqRejectsImplausibleCounts)
+{
+    Writer w;
+    w.u64(1ull << 60); // claims 2^60 elements
+    Reader r(w.buffer());
+    EXPECT_EQ(r.seq(8), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, SeqAcceptsExactFit)
+{
+    Writer w;
+    w.u64(3);
+    w.u32(10);
+    w.u32(20);
+    w.u32(30);
+    Reader r(w.buffer());
+    ASSERT_EQ(r.seq(4), 3u);
+    EXPECT_EQ(r.u32(), 10u);
+    EXPECT_EQ(r.u32(), 20u);
+    EXPECT_EQ(r.u32(), 30u);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, BytesZeroFillOnFailure)
+{
+    Writer w;
+    w.u8(0xff);
+    Reader r(w.buffer());
+    std::uint8_t buf[4] = {1, 2, 3, 4};
+    r.bytes(buf, sizeof(buf)); // only 1 byte available
+    EXPECT_FALSE(r.ok());
+    for (const std::uint8_t b : buf)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(Serialize, EmptyStringRoundTrip)
+{
+    Writer w;
+    w.str("");
+    Reader r(w.buffer());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, TakeMovesBuffer)
+{
+    Writer w;
+    w.u16(0x1234);
+    const std::vector<std::uint8_t> bytes = w.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_TRUE(w.buffer().empty());
+}
+
+} // namespace

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Snapshot correctness: the warm-up fork machinery is only usable if
+ * a restored model is bit-for-bit the machine that was saved. Every
+ * model kind is saved at a mid-run cycle, restored into a fresh
+ * instance, run to completion, and compared against an uninterrupted
+ * run — full statsReport() text (every counter in the simulator) plus
+ * architectural fingerprints. The container format and the
+ * warm-up-sharing sweep engine are covered on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core/model_factory.hh"
+#include "sim/batch.hh"
+#include "sim/harness.hh"
+#include "sim/snapshot.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ff;
+
+constexpr int kScale = 6;
+
+const std::vector<sim::CpuKind> &
+allKinds()
+{
+    static const std::vector<sim::CpuKind> kinds = {
+        sim::CpuKind::kBaseline, sim::CpuKind::kTwoPass,
+        sim::CpuKind::kTwoPassRegroup, sim::CpuKind::kRunahead};
+    return kinds;
+}
+
+/** Shared workloads, built once per test binary. */
+const std::vector<workloads::Workload> &
+suite()
+{
+    static const std::vector<workloads::Workload> s = [] {
+        std::vector<workloads::Workload> v;
+        v.push_back(workloads::buildWorkload("181.mcf", kScale));
+        v.push_back(workloads::buildWorkload("129.compress", kScale));
+        return v;
+    }();
+    return s;
+}
+
+/**
+ * A deterministic "random" mid-run cycle: derived from the program
+ * and kind so every (workload, kind) pair snapshots somewhere
+ * different, but reruns reproduce failures exactly.
+ */
+std::uint64_t
+midRunCycle(const isa::Program &prog, sim::CpuKind kind)
+{
+    std::uint64_t h = prog.instStreamHash() * 0x9e3779b97f4a7c15ULL +
+                      static_cast<std::uint64_t>(kind);
+    h ^= h >> 33;
+    return 500 + h % 4000;
+}
+
+TEST(Snapshot, RoundTripMidRunEveryKindEveryWorkload)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    for (const workloads::Workload &w : suite()) {
+        for (const sim::CpuKind kind : allKinds()) {
+            SCOPED_TRACE(w.name + " / " + sim::cpuKindName(kind));
+
+            // Uninterrupted reference run.
+            const std::unique_ptr<cpu::CpuModel> ref =
+                cpu::makeModel(kind, w.program, cfg);
+            const cpu::RunResult refRun =
+                ref->run(sim::kDefaultMaxCycles);
+            ASSERT_TRUE(refRun.halted);
+
+            // Interrupted run: stop mid-flight, snapshot, restore
+            // into a fresh model, continue to completion.
+            const std::uint64_t cut = midRunCycle(w.program, kind);
+            const std::unique_ptr<cpu::CpuModel> first =
+                cpu::makeModel(kind, w.program, cfg);
+            const cpu::RunResult firstRun = first->run(cut);
+            ASSERT_FALSE(firstRun.halted)
+                << "workload too small to cut at " << cut;
+            ASSERT_TRUE(first->supportsSnapshot());
+            EXPECT_EQ(first->currentCycle(), cut);
+            const sim::Snapshot snap =
+                sim::saveSnapshot(*first, kind, w.program, cfg);
+            EXPECT_EQ(snap.cycle, cut);
+
+            const std::unique_ptr<cpu::CpuModel> second =
+                cpu::makeModel(kind, w.program, cfg);
+            sim::restoreSnapshot(*second, snap, kind, w.program, cfg);
+            const cpu::RunResult resumed =
+                second->run(sim::kDefaultMaxCycles);
+
+            ASSERT_TRUE(resumed.halted);
+            EXPECT_EQ(resumed.cycles, refRun.cycles);
+            EXPECT_EQ(resumed.instsRetired, refRun.instsRetired);
+            EXPECT_EQ(resumed.groupsRetired, refRun.groupsRetired);
+            EXPECT_EQ(second->archRegs().fingerprint(),
+                      ref->archRegs().fingerprint());
+            EXPECT_EQ(second->memState().fingerprint(),
+                      ref->memState().fingerprint());
+            // The statsReport dump covers every counter the model
+            // keeps (accounting, caches, predictor, model stats,
+            // distributions): textual equality means the restored
+            // machine is statistically indistinguishable too.
+            EXPECT_EQ(second->statsReport(), ref->statsReport());
+        }
+    }
+}
+
+TEST(Snapshot, SaveIsReadOnlyAndRepeatable)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const sim::CpuKind kind = sim::CpuKind::kTwoPass;
+
+    const std::unique_ptr<cpu::CpuModel> m =
+        cpu::makeModel(kind, w.program, cfg);
+    (void)m->run(1500);
+    const sim::Snapshot a = sim::saveSnapshot(*m, kind, w.program, cfg);
+    const sim::Snapshot b = sim::saveSnapshot(*m, kind, w.program, cfg);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.cycle, b.cycle);
+}
+
+TEST(Snapshot, EncodeDecodeRoundTrip)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const sim::CpuKind kind = sim::CpuKind::kTwoPassRegroup;
+
+    const std::unique_ptr<cpu::CpuModel> m =
+        cpu::makeModel(kind, w.program, cfg);
+    (void)m->run(1200);
+    const sim::Snapshot snap =
+        sim::saveSnapshot(*m, kind, w.program, cfg);
+
+    const std::vector<std::uint8_t> bytes = sim::encodeSnapshot(snap);
+    sim::Snapshot back;
+    ASSERT_TRUE(sim::decodeSnapshot(bytes, back));
+    EXPECT_EQ(back.kind, snap.kind);
+    EXPECT_EQ(back.cycle, snap.cycle);
+    EXPECT_EQ(back.programHash, snap.programHash);
+    EXPECT_EQ(back.configHash, snap.configHash);
+    EXPECT_EQ(back.state, snap.state);
+}
+
+TEST(Snapshot, DecodeRejectsCorruptContainers)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const std::unique_ptr<cpu::CpuModel> m =
+        cpu::makeModel(sim::CpuKind::kBaseline, w.program, cfg);
+    (void)m->run(800);
+    const std::vector<std::uint8_t> bytes = sim::encodeSnapshot(
+        sim::saveSnapshot(*m, sim::CpuKind::kBaseline, w.program,
+                          cfg));
+
+    sim::Snapshot out;
+    // Truncation at several depths.
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{3}, std::size_t{10},
+          bytes.size() / 2, bytes.size() - 1}) {
+        const std::vector<std::uint8_t> cut(bytes.begin(),
+                                            bytes.begin() + len);
+        EXPECT_FALSE(sim::decodeSnapshot(cut, out)) << len;
+    }
+    // Bad magic / version.
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(sim::decodeSnapshot(bad, out));
+    bad = bytes;
+    bad[4] ^= 0xff;
+    EXPECT_FALSE(sim::decodeSnapshot(bad, out));
+    // Trailing garbage.
+    bad = bytes;
+    bad.push_back(0);
+    EXPECT_FALSE(sim::decodeSnapshot(bad, out));
+}
+
+TEST(Snapshot, ConfigHashSeparatesEveryKnob)
+{
+    const cpu::CoreConfig base = sim::table1Config();
+    const std::uint64_t h0 = sim::canonicalConfigHash(base);
+    EXPECT_EQ(h0, sim::canonicalConfigHash(base));
+
+    cpu::CoreConfig c = base;
+    c.couplingQueueSize = 32;
+    EXPECT_NE(sim::canonicalConfigHash(c), h0);
+    c = base;
+    c.feedbackEnabled = false;
+    EXPECT_NE(sim::canonicalConfigHash(c), h0);
+    c = base;
+    c.mem.memoryLatency += 1;
+    EXPECT_NE(sim::canonicalConfigHash(c), h0);
+    c = base;
+    c.mem.l2.assoc *= 2;
+    EXPECT_NE(sim::canonicalConfigHash(c), h0);
+    c = base;
+    c.limits.issueWidth = 4;
+    EXPECT_NE(sim::canonicalConfigHash(c), h0);
+    c = base;
+    c.predictorKind = branch::PredictorKind::kBimodal;
+    EXPECT_NE(sim::canonicalConfigHash(c), h0);
+}
+
+TEST(Snapshot, ProgramContentHashCoversDataImage)
+{
+    isa::Program a = suite().front().program;
+    isa::Program b = a;
+    b.poke64(0x9000, 0xfeedULL);
+    // Same instruction stream, different initial data: the verify
+    // memo may treat them alike, but snapshots and cache keys must
+    // not.
+    EXPECT_EQ(a.instStreamHash(), b.instStreamHash());
+    EXPECT_NE(sim::programContentHash(a), sim::programContentHash(b));
+}
+
+TEST(SnapshotDeathTest, RestoreRejectsMismatchedIdentity)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const sim::CpuKind kind = sim::CpuKind::kTwoPass;
+    const std::unique_ptr<cpu::CpuModel> m =
+        cpu::makeModel(kind, w.program, cfg);
+    (void)m->run(1000);
+    const sim::Snapshot snap =
+        sim::saveSnapshot(*m, kind, w.program, cfg);
+
+    // Wrong kind.
+    {
+        std::unique_ptr<cpu::CpuModel> other = cpu::makeModel(
+            sim::CpuKind::kBaseline, w.program, cfg);
+        EXPECT_DEATH(sim::restoreSnapshot(*other, snap,
+                                          sim::CpuKind::kBaseline,
+                                          w.program, cfg),
+                     "snapshot");
+    }
+    // Wrong config.
+    {
+        cpu::CoreConfig small = cfg;
+        small.couplingQueueSize = 16;
+        std::unique_ptr<cpu::CpuModel> other =
+            cpu::makeModel(kind, w.program, small);
+        EXPECT_DEATH(sim::restoreSnapshot(*other, snap, kind,
+                                          w.program, small),
+                     "configuration");
+    }
+}
+
+TEST(Snapshot, WarmupPastHaltReportsCompletedOutcome)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const sim::SimOutcome cold =
+        sim::simulate(w.program, sim::CpuKind::kBaseline, cfg);
+
+    const sim::WarmupResult warm = sim::runWarmup(
+        w.program, sim::CpuKind::kBaseline, cfg,
+        cold.run.cycles + 1000, sim::kDefaultMaxCycles);
+    ASSERT_TRUE(warm.completed);
+    EXPECT_EQ(warm.outcome.run.cycles, cold.run.cycles);
+    EXPECT_EQ(warm.outcome.memFingerprint, cold.memFingerprint);
+}
+
+TEST(Snapshot, WarmupThenResumeMatchesCold)
+{
+    const cpu::CoreConfig cfg = sim::table1Config();
+    for (const sim::CpuKind kind : allKinds()) {
+        SCOPED_TRACE(sim::cpuKindName(kind));
+        const workloads::Workload &w = suite()[1];
+        const sim::SimOutcome cold = sim::simulate(w.program, kind, cfg);
+
+        const sim::WarmupResult warm =
+            sim::runWarmup(w.program, kind, cfg, 2000);
+        ASSERT_FALSE(warm.completed);
+        const sim::SimOutcome forked = sim::resumeSnapshot(
+            w.program, kind, cfg, warm.snap);
+
+        EXPECT_EQ(forked.run.cycles, cold.run.cycles);
+        EXPECT_EQ(forked.run.instsRetired, cold.run.instsRetired);
+        EXPECT_EQ(forked.regFingerprint, cold.regFingerprint);
+        EXPECT_EQ(forked.memFingerprint, cold.memFingerprint);
+        EXPECT_EQ(forked.checksum, cold.checksum);
+        EXPECT_EQ(forked.twopass.deferred, cold.twopass.deferred);
+        EXPECT_EQ(forked.branches.mispredicts,
+                  cold.branches.mispredicts);
+        EXPECT_EQ(forked.cycles.counts, cold.cycles.counts);
+        EXPECT_EQ(forked.accesses.counts, cold.accesses.counts);
+    }
+}
+
+void
+expectIdentical(const std::vector<sim::SimOutcome> &a,
+                const std::vector<sim::SimOutcome> &b,
+                const std::string &label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(label + ", outcome " + std::to_string(i));
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].run.cycles, b[i].run.cycles);
+        EXPECT_EQ(a[i].run.instsRetired, b[i].run.instsRetired);
+        EXPECT_EQ(a[i].regFingerprint, b[i].regFingerprint);
+        EXPECT_EQ(a[i].memFingerprint, b[i].memFingerprint);
+        EXPECT_EQ(a[i].checksum, b[i].checksum);
+        EXPECT_EQ(a[i].cycles.counts, b[i].cycles.counts);
+        EXPECT_EQ(a[i].twopass.deferred, b[i].twopass.deferred);
+        EXPECT_EQ(a[i].twopass.dispatched, b[i].twopass.dispatched);
+        EXPECT_EQ(a[i].branches.mispredicts,
+                  b[i].branches.mispredicts);
+        EXPECT_EQ(a[i].runahead.episodes, b[i].runahead.episodes);
+    }
+}
+
+TEST(Snapshot, ForkedSweepBitIdenticalToColdAtAnyJobCount)
+{
+    cpu::CoreConfig nofb = sim::table1Config();
+    nofb.feedbackEnabled = false;
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+        {sim::CpuKind::kTwoPass, {}},
+        {sim::CpuKind::kTwoPass, {}}, // duplicate cell: shared group
+        {sim::CpuKind::kTwoPass, nofb},
+        {sim::CpuKind::kTwoPassRegroup, {}},
+        {sim::CpuKind::kRunahead, {}},
+    };
+
+    const auto cold = sim::runSweep(suite(), variants, 1);
+
+    sim::SweepOptions opts;
+    opts.warmupCycles = 1800;
+    opts.threads = 1;
+    const auto forked1 = sim::runSweep(suite(), variants, opts);
+    expectIdentical(cold, forked1, "cold vs forked jobs=1");
+
+    opts.threads = 4;
+    const auto forked4 = sim::runSweep(suite(), variants, opts);
+    expectIdentical(cold, forked4, "cold vs forked jobs=4");
+}
+
+TEST(Snapshot, ForkedSweepZeroWarmupFallsBackToPlainBatch)
+{
+    const std::vector<sim::SweepVariant> variants = {
+        {sim::CpuKind::kBaseline, {}},
+    };
+    sim::SweepOptions opts; // warmupCycles = 0
+    opts.threads = 2;
+    const auto plain = sim::runSweep(suite(), variants, 2);
+    const auto viaOpts = sim::runSweep(suite(), variants, opts);
+    expectIdentical(plain, viaOpts, "threads-arg vs options-arg");
+}
+
+} // namespace

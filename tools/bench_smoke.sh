@@ -7,11 +7,17 @@
 #     wall-clock + sim-cycles/sec record to BENCH_fig6.json (a JSON
 #     array: one timestamped record per run, so the file accumulates
 #     a throughput trajectory across CI runs);
-#  2. diff the full ffvm statsReport() dump of one workload per CPU
+#  2. measure cached sweep throughput: one cold run with a fresh
+#     FF_CACHE_DIR and a warm-up fork prefix fills the result cache,
+#     then three warm runs replay it; the median warm wall time, the
+#     cache hit/miss counts and the warm speedup are folded into the
+#     same BENCH_fig6.json record, and every warm table must stay
+#     bit-identical to the uncached serial run;
+#  3. diff the full ffvm statsReport() dump of one workload per CPU
 #     model against the committed goldens in tools/golden/, so any
 #     unintended change to model behaviour or stat rendering fails
 #     loudly (regenerate deliberately with the printed command);
-#  3. emit a --profile --metrics-out JSON document for the same
+#  4. emit a --profile --metrics-out JSON document for the same
 #     workload on every timed model and validate each against
 #     tools/metrics_schema.json, so the exported document and the
 #     schema cannot drift apart.
@@ -48,19 +54,78 @@ fi
 
 echo "bench_smoke: tables bit-identical at --jobs 1 and --jobs $jobs"
 
+# ---- cached throughput: cold fills the cache, warm replays it ------
+warmup_cycles=20000
+cache_dir="$(mktemp -d)"
+cold_json="$(mktemp)"
+warm_json="$(mktemp)"
+warm_table="$(mktemp)"
+warm_walls=()
+trap 'rm -rf "$serial" "$par" "$record" "$cache_dir" "$cold_json" \
+         "$warm_json" "$warm_table"' EXIT
+
+FF_CACHE_DIR="$cache_dir" "$bench" --jobs "$jobs" \
+    --json "$cold_json" --warmup "$warmup_cycles" "$scale" \
+    | grep -v '^\[engine\]' > "$warm_table"
+if ! diff -u "$serial" "$warm_table"; then
+    echo "bench_smoke: FAIL — cold cached run (warm-up fork) differs" \
+         "from the uncached serial tables" >&2
+    exit 1
+fi
+for i in 1 2 3; do
+    FF_CACHE_DIR="$cache_dir" "$bench" --jobs "$jobs" \
+        --json "$warm_json" --warmup "$warmup_cycles" "$scale" \
+        | grep -v '^\[engine\]' > "$warm_table"
+    if ! diff -u "$serial" "$warm_table"; then
+        echo "bench_smoke: FAIL — warm cached run $i differs from" \
+             "the uncached serial tables" >&2
+        exit 1
+    fi
+    warm_walls+=("$(python3 -c \
+        "import json,sys; print(json.load(open(sys.argv[1]))['wallSeconds'])" \
+        "$warm_json")")
+done
+
 # Append the timestamped throughput record so BENCH_fig6.json grows
 # into a perf trajectory (one array entry per run; a legacy
-# single-object file is wrapped on first append).
-python3 - "$record" BENCH_fig6.json <<'EOF'
+# single-object file is wrapped on first append). The cached cold/warm
+# measurement rides along inside the same record.
+python3 - "$record" BENCH_fig6.json "$cold_json" "$warm_json" \
+    "${warm_walls[@]}" <<'EOF'
 import datetime
 import json
+import statistics
 import sys
 
 record_path, trajectory_path = sys.argv[1], sys.argv[2]
+cold_path, warm_path = sys.argv[3], sys.argv[4]
+warm_walls = [float(w) for w in sys.argv[5:]]
 with open(record_path) as f:
     record = json.load(f)
 record["timestamp"] = datetime.datetime.now(
     datetime.timezone.utc).isoformat(timespec="seconds")
+
+with open(cold_path) as f:
+    cold = json.load(f)
+with open(warm_path) as f:
+    warm = json.load(f)  # last warm run: carries the hit/miss counts
+median_warm = statistics.median(warm_walls)
+record["warmupCycles"] = cold["warmupCycles"]
+record["coldCachedWallSeconds"] = cold["wallSeconds"]
+record["warmWallSecondsMedian"] = round(median_warm, 3)
+record["cacheHits"] = warm["cacheHits"]
+record["cacheMisses"] = warm["cacheMisses"]
+speedup = cold["wallSeconds"] / max(median_warm, 1e-9)
+record["warmSpeedup"] = round(speedup, 2)
+print(f"bench_smoke: cached sweep cold {cold['wallSeconds']:.2f} s, "
+      f"warm median {median_warm:.2f} s over {len(warm_walls)} runs "
+      f"({record['warmSpeedup']}x, {warm['cacheHits']} hits / "
+      f"{warm['cacheMisses']} misses)")
+if warm["cacheMisses"] != 0 or warm["cacheHits"] != warm["sims"]:
+    sys.exit("bench_smoke: FAIL — warm run was not fully cached")
+if speedup < 1.5:
+    sys.exit(f"bench_smoke: FAIL — warm speedup {speedup:.2f}x "
+             f"below the 1.5x floor")
 
 try:
     with open(trajectory_path) as f:

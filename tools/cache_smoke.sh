@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Result-cache smoke: run the Figure-6 sweep twice against a fresh
+# temporary cache directory. The first run must populate the cache,
+# the second must answer at least 90% of its cells from it, and both
+# runs must print bit-identical result tables — a cache hit is only
+# correct if it is indistinguishable from re-simulation.
+#
+# Usage: tools/cache_smoke.sh [bench_fig6-path] [scale-percent]
+set -euo pipefail
+
+bench="${1:-build/bench/bench_fig6}"
+scale="${2:-10}"
+jobs="${FF_JOBS:-$(nproc)}"
+
+if [ ! -x "$bench" ]; then
+    echo "cache_smoke: $bench is not built" >&2
+    exit 1
+fi
+
+cache_dir="$(mktemp -d)"
+cold_table="$(mktemp)"
+warm_table="$(mktemp)"
+cold_json="$(mktemp)"
+warm_json="$(mktemp)"
+trap 'rm -rf "$cache_dir" "$cold_table" "$warm_table" "$cold_json" \
+         "$warm_json"' EXIT
+
+FF_CACHE_DIR="$cache_dir" "$bench" --jobs "$jobs" \
+    --json "$cold_json" "$scale" \
+    | grep -v '^\[engine\]' > "$cold_table"
+FF_CACHE_DIR="$cache_dir" "$bench" --jobs "$jobs" \
+    --json "$warm_json" "$scale" \
+    | grep -v '^\[engine\]' > "$warm_table"
+
+if ! diff -u "$cold_table" "$warm_table"; then
+    echo "cache_smoke: FAIL — cached rerun changed the result tables" \
+        >&2
+    exit 1
+fi
+
+python3 - "$cold_json" "$warm_json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    cold = json.load(f)
+with open(sys.argv[2]) as f:
+    warm = json.load(f)
+
+if cold["cacheHits"] != 0:
+    sys.exit(f"cache_smoke: FAIL — first run against an empty cache "
+             f"reported {cold['cacheHits']} hits")
+if cold["cacheMisses"] != cold["sims"]:
+    sys.exit(f"cache_smoke: FAIL — first run missed "
+             f"{cold['cacheMisses']}/{cold['sims']} cells; every cell "
+             f"should have been a miss")
+floor = 0.9 * warm["sims"]
+if warm["cacheHits"] < floor:
+    sys.exit(f"cache_smoke: FAIL — second run hit only "
+             f"{warm['cacheHits']}/{warm['sims']} cells "
+             f"(needs >= 90%)")
+print(f"cache_smoke: PASS — {warm['cacheHits']}/{warm['sims']} hits "
+      f"on the second run, tables bit-identical")
+EOF

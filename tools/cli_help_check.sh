@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CLI self-consistency check: every flag ffvm actually parses (the
+# machine-readable --dump-flags table is generated from the same
+# FlagSpec array the parser dispatches on) must be documented in
+# --help, so the help text can never silently fall behind the parser.
+#
+# Usage: tools/cli_help_check.sh [ffvm-path]
+set -euo pipefail
+
+ffvm="${1:-build/tools/ffvm}"
+
+if [ ! -x "$ffvm" ]; then
+    echo "cli_help_check: $ffvm is not built" >&2
+    exit 1
+fi
+
+help_out="$("$ffvm" --help)"
+flag_table="$("$ffvm" --dump-flags)"
+
+if [ -z "$flag_table" ]; then
+    echo "cli_help_check: FAIL — --dump-flags printed nothing" >&2
+    exit 1
+fi
+
+fail=0
+while IFS=$'\t' read -r name arity; do
+    [ -n "$name" ] || continue
+    if ! grep -qF -- "$name" <<<"$help_out"; then
+        echo "cli_help_check: FAIL — $name ($arity) is in the flag" \
+             "table but undocumented in --help" >&2
+        fail=1
+    fi
+done <<<"$flag_table"
+
+# The flags users reach for first must be present by name, not just
+# via the table round trip.
+for must in --workload --cache-dir --model; do
+    if ! grep -qF -- "$must" <<<"$help_out"; then
+        echo "cli_help_check: FAIL — $must missing from --help" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+n="$(grep -c . <<<"$flag_table")"
+echo "cli_help_check: PASS — all $n table flags documented in --help"

@@ -11,34 +11,11 @@
  *   ffvm program.s --disasm                # just show the program
  *   ffvm --workload 181.mcf --model 2P --stats   # bundled benchmark
  *
- * Options (value options accept "--opt VALUE" and "--opt=VALUE"):
- *   --model functional|base|2P|2Pre|runahead   (default functional,
- *                        or 2P when --profile/--metrics-out is given)
- *   --workload NAME      simulate a bundled Table 2 workload instead
- *                        of assembling a .s file
- *   --scale P            workload scale percent (default 10)
- *   --schedule           run the list scheduler (issue-group packing)
- *   --disasm             print the (scheduled) program and exit
- *   --stats              print the model's full statistics dump
- *   --trace CATS         comma list: fetch,issue,exec,mem,branch,
- *                        apipe,bpipe,flush,feedback,all
- *   --max-cycles N       simulation budget (default 400M)
- *   --cq N               coupling queue entries
- *   --alat N             ALAT capacity (0 = perfect)
- *   --feedback N|off     B->A feedback latency
- *   --prefetch N         next-line prefetch degree
- *   --mem-lat N          main memory latency
- *   --throttle P         A-pipe deferral throttle percent
- *   --predictor K        gshare|bimodal|tournament
- *   --no-fp-units        A-pipe without FP units (Sec. 3.7)
- *   --regroup            dynamic regrouping on the two-pass models
- *   --verify[=strict]    run the ffcheck static verifier before
- *                        simulating; strict also fails on warnings
- *   --profile[=K]        per-instruction stall attribution; prints
- *                        the top K rows (default 20, 0 = all)
- *   --metrics-out FILE   write the versioned JSON metrics record
- *                        (implies profile + telemetry collection)
- *   --help               print usage and exit
+ * Every option lives in the kFlags table below: the parser, --help
+ * and --dump-flags are all generated from it, so the documentation
+ * cannot drift from what the binary accepts (cli_help_check.sh pins
+ * this in CI). Value options accept "--opt VALUE" and "--opt=VALUE";
+ * options marked optional-value take only the "=" form.
  */
 
 #include <cstdio>
@@ -56,7 +33,9 @@
 #include "cpu/functional/functional_cpu.hh"
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
+#include "sim/batch.hh"
 #include "sim/harness.hh"
+#include "sim/result_cache.hh"
 #include "workloads/workload.hh"
 
 using namespace ff;
@@ -64,23 +43,116 @@ using namespace ff;
 namespace
 {
 
+/** What follows a flag on the command line. */
+enum class ArgKind
+{
+    kNone,     ///< boolean switch
+    kRequired, ///< --opt VALUE or --opt=VALUE
+    kOptional, ///< bare switch, or --opt=VALUE
+};
+
+/** One command-line option; the single source of CLI truth. */
+struct FlagSpec
+{
+    const char *name;    ///< including the leading dashes
+    ArgKind arg;
+    const char *metavar; ///< value placeholder for --help
+    const char *help;
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"--model", ArgKind::kRequired, "KIND",
+     "functional|base|2P|2Pre|runahead (default functional, or 2P "
+     "when --profile/--metrics-out is given)"},
+    {"--workload", ArgKind::kRequired, "NAME",
+     "simulate a bundled Table 2 workload instead of assembling a "
+     ".s file"},
+    {"--scale", ArgKind::kRequired, "P",
+     "workload scale percent (default 10)"},
+    {"--schedule", ArgKind::kNone, nullptr,
+     "run the list scheduler (issue-group packing)"},
+    {"--disasm", ArgKind::kNone, nullptr,
+     "print the (scheduled) program and exit"},
+    {"--stats", ArgKind::kNone, nullptr,
+     "print the model's full statistics dump"},
+    {"--trace", ArgKind::kRequired, "CATS",
+     "comma list: fetch,issue,exec,mem,branch,apipe,bpipe,flush,"
+     "feedback,all"},
+    {"--max-cycles", ArgKind::kRequired, "N",
+     "simulation budget (default 400M)"},
+    {"--cq", ArgKind::kRequired, "N", "coupling queue entries"},
+    {"--alat", ArgKind::kRequired, "N",
+     "ALAT capacity (0 = perfect)"},
+    {"--feedback", ArgKind::kRequired, "N|off",
+     "B->A feedback latency"},
+    {"--prefetch", ArgKind::kRequired, "N",
+     "next-line prefetch degree"},
+    {"--mem-lat", ArgKind::kRequired, "N", "main memory latency"},
+    {"--throttle", ArgKind::kRequired, "P",
+     "A-pipe deferral throttle percent"},
+    {"--predictor", ArgKind::kRequired, "K",
+     "gshare|bimodal|tournament"},
+    {"--no-fp-units", ArgKind::kNone, nullptr,
+     "A-pipe without FP units (Sec. 3.7)"},
+    {"--regroup", ArgKind::kNone, nullptr,
+     "dynamic regrouping on the two-pass models"},
+    {"--verify", ArgKind::kOptional, "strict",
+     "run the ffcheck static verifier before simulating; strict "
+     "also fails on warnings"},
+    {"--profile", ArgKind::kOptional, "K",
+     "per-instruction stall attribution; prints the top K rows "
+     "(default 20, 0 = all)"},
+    {"--metrics-out", ArgKind::kRequired, "FILE",
+     "write the versioned JSON metrics record (implies profile + "
+     "telemetry collection)"},
+    {"--cache-dir", ArgKind::kRequired, "DIR",
+     "content-addressed result cache directory (also FF_CACHE_DIR); "
+     "plain timed runs hit the cache instead of re-simulating"},
+    {"--dump-flags", ArgKind::kNone, nullptr,
+     "print the option table (name and value kind) and exit"},
+    {"--help", ArgKind::kNone, nullptr, "print usage and exit"},
+};
+
+const FlagSpec *
+findFlag(const std::string &name)
+{
+    for (const FlagSpec &f : kFlags)
+        if (name == f.name)
+            return &f;
+    return nullptr;
+}
+
 [[noreturn]] void
 usage(const char *argv0, int exit_code)
 {
     std::FILE *out = exit_code == 0 ? stdout : stderr;
-    std::fprintf(out,
-                 "usage: %s <program.s> [--model "
-                 "functional|base|2P|2Pre|runahead] "
-                 "[--workload NAME] [--scale P] [--schedule] "
-                 "[--disasm] [--stats] [--trace cats] "
-                 "[--max-cycles N] [--cq N] [--alat N] "
-                 "[--feedback N|off] [--prefetch N] [--mem-lat N] "
-                 "[--throttle P] [--predictor K] [--no-fp-units] "
-                 "[--regroup] [--verify[=strict]] [--profile[=K]] "
-                 "[--metrics-out FILE] [--help]\n"
-                 "value options accept --opt VALUE and --opt=VALUE\n",
+    std::fprintf(out, "usage: %s <program.s> [options]\n\noptions:\n",
                  argv0);
+    for (const FlagSpec &f : kFlags) {
+        std::string head = f.name;
+        if (f.arg == ArgKind::kRequired)
+            head += std::string(" ") + f.metavar;
+        else if (f.arg == ArgKind::kOptional)
+            head += std::string("[=") + f.metavar + "]";
+        std::fprintf(out, "  %-22s %s\n", head.c_str(), f.help);
+    }
+    std::fprintf(out, "\nvalue options accept --opt VALUE and "
+                      "--opt=VALUE\n");
     std::exit(exit_code);
+}
+
+/** Machine-readable flag table for the CLI drift check. */
+[[noreturn]] void
+dumpFlags()
+{
+    for (const FlagSpec &f : kFlags) {
+        const char *kind = f.arg == ArgKind::kNone ? "switch"
+                           : f.arg == ArgKind::kRequired
+                               ? "required"
+                               : "optional";
+        std::printf("%s\t%s\n", f.name, kind);
+    }
+    std::exit(0);
 }
 
 std::uint32_t
@@ -120,7 +192,7 @@ main(int argc, char **argv)
     std::string model;
     bool do_schedule = false, do_disasm = false, do_stats = false;
     bool do_verify = false, verify_strict = false;
-    bool do_profile = false;
+    bool do_profile = false, do_trace = false;
     unsigned profile_k = 20;
     std::string metrics_out;
     std::uint64_t max_cycles = sim::kDefaultMaxCycles;
@@ -128,76 +200,100 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
-        // Matches "--name VALUE" and "--name=VALUE"; leaves v filled.
+        if (a.empty() || a[0] != '-') {
+            if (!path.empty())
+                usage(argv[0], 2);
+            path = a;
+            continue;
+        }
+        if (a == "-h")
+            usage(argv[0], 0);
+
+        // Split --name=value; look the name up in the flag table.
+        const std::size_t eq = a.find('=');
+        const std::string name =
+            eq == std::string::npos ? a : a.substr(0, eq);
+        const FlagSpec *spec = findFlag(name);
+        if (spec == nullptr) {
+            std::fprintf(stderr, "unknown option %s\n", name.c_str());
+            usage(argv[0], 2);
+        }
         std::string v;
-        auto opt = [&](const char *name) -> bool {
-            const std::size_t n = std::strlen(name);
-            if (a == name) {
-                if (i + 1 >= argc)
-                    usage(argv[0], 2);
-                v = argv[++i];
-                return true;
+        bool has_value = eq != std::string::npos;
+        if (has_value) {
+            if (spec->arg == ArgKind::kNone) {
+                std::fprintf(stderr, "%s takes no value\n",
+                             spec->name);
+                usage(argv[0], 2);
             }
-            if (a.size() > n + 1 && a.compare(0, n, name) == 0 &&
-                a[n] == '=') {
-                v = a.substr(n + 1);
-                return true;
-            }
-            return false;
-        };
+            v = a.substr(eq + 1);
+        } else if (spec->arg == ArgKind::kRequired) {
+            if (i + 1 >= argc)
+                usage(argv[0], 2);
+            v = argv[++i];
+            has_value = true;
+        }
         auto num = [&]() -> unsigned {
             return static_cast<unsigned>(
                 std::strtoul(v.c_str(), nullptr, 0));
         };
-        if (a == "--help" || a == "-h") {
+
+        const std::string n = name;
+        if (n == "--help") {
             usage(argv[0], 0);
-        } else if (opt("--model")) {
+        } else if (n == "--dump-flags") {
+            dumpFlags();
+        } else if (n == "--model") {
             model = v;
-        } else if (opt("--workload")) {
+        } else if (n == "--workload") {
             workload = v;
-        } else if (opt("--scale")) {
+        } else if (n == "--scale") {
             scale = static_cast<int>(
                 std::strtol(v.c_str(), nullptr, 0));
-        } else if (a == "--schedule") {
+        } else if (n == "--schedule") {
             do_schedule = true;
-        } else if (a == "--disasm") {
+        } else if (n == "--disasm") {
             do_disasm = true;
-        } else if (a == "--stats") {
+        } else if (n == "--stats") {
             do_stats = true;
-        } else if (a == "--regroup") {
+        } else if (n == "--regroup") {
             cfg.regroup = true;
-        } else if (a == "--verify") {
+        } else if (n == "--verify") {
             do_verify = true;
-        } else if (a == "--verify=strict") {
-            do_verify = true;
-            verify_strict = true;
-        } else if (a == "--profile") {
+            if (has_value) {
+                if (v != "strict")
+                    ff_fatal("unknown verify mode '", v, "'");
+                verify_strict = true;
+            }
+        } else if (n == "--profile") {
             do_profile = true;
-        } else if (opt("--profile")) {
-            do_profile = true;
-            profile_k = num();
-        } else if (opt("--metrics-out")) {
+            if (has_value)
+                profile_k = num();
+        } else if (n == "--metrics-out") {
             metrics_out = v;
-        } else if (opt("--trace")) {
+        } else if (n == "--cache-dir") {
+            sim::setResultCacheDir(v);
+        } else if (n == "--trace") {
+            do_trace = true;
             trace::enable(traceMask(v));
-        } else if (opt("--max-cycles")) {
+        } else if (n == "--max-cycles") {
             max_cycles = std::strtoull(v.c_str(), nullptr, 0);
-        } else if (opt("--cq")) {
+        } else if (n == "--cq") {
             cfg.couplingQueueSize = num();
-        } else if (opt("--alat")) {
+        } else if (n == "--alat") {
             cfg.alatCapacity = num();
-        } else if (opt("--feedback")) {
+        } else if (n == "--feedback") {
             if (v == "off")
                 cfg.feedbackEnabled = false;
             else
                 cfg.feedbackLatency = num();
-        } else if (opt("--prefetch")) {
+        } else if (n == "--prefetch") {
             cfg.mem.prefetchDegree = num();
-        } else if (opt("--mem-lat")) {
+        } else if (n == "--mem-lat") {
             cfg.mem.memoryLatency = num();
-        } else if (opt("--throttle")) {
+        } else if (n == "--throttle") {
             cfg.aPipeThrottlePercent = num();
-        } else if (opt("--predictor")) {
+        } else if (n == "--predictor") {
             if (v == "gshare")
                 cfg.predictorKind = branch::PredictorKind::kGshare;
             else if (v == "bimodal")
@@ -206,15 +302,12 @@ main(int argc, char **argv)
                 cfg.predictorKind = branch::PredictorKind::kTournament;
             else
                 ff_fatal("unknown predictor '", v, "'");
-        } else if (a == "--no-fp-units") {
+        } else if (n == "--no-fp-units") {
             cfg.aPipeHasFpUnits = false;
-        } else if (!a.empty() && a[0] == '-') {
-            std::fprintf(stderr, "unknown option %s\n", a.c_str());
-            usage(argv[0], 2);
-        } else if (path.empty()) {
-            path = a;
         } else {
-            usage(argv[0], 2);
+            // A table entry without a dispatch arm is a bug caught
+            // by the cli_help_check drift test.
+            ff_fatal("flag ", n, " is in the table but unhandled");
         }
     }
     if (path.empty() == workload.empty())
@@ -318,6 +411,35 @@ main(int argc, char **argv)
         kind = sim::CpuKind::kRunahead;
     else
         ff_fatal("unknown model '", model, "'");
+
+    // A plain timed run (no stats dump, trace, or metrics — nothing
+    // that needs the live model) can be answered from the result
+    // cache; a miss simulates and backfills it.
+    if (!do_stats && !do_trace && !mopt.enabled()) {
+        sim::SimJob job;
+        job.program = &prog;
+        job.kind = kind;
+        job.cfg = cfg;
+        job.maxCycles = max_cycles;
+        const sim::SimOutcome out = sim::simulateCached(job);
+        std::printf("model=%s halted=%d cycles=%llu "
+                    "instructions=%llu ipc=%.3f\n",
+                    model.c_str(), out.run.halted ? 1 : 0,
+                    static_cast<unsigned long long>(out.run.cycles),
+                    static_cast<unsigned long long>(
+                        out.run.instsRetired),
+                    out.run.ipc());
+        std::printf("stalls: %s\n", out.cycles.render().c_str());
+        std::printf("checksum[0x100]=%llu\n",
+                    static_cast<unsigned long long>(out.checksum));
+        if (sim::resultCacheEnabled()) {
+            const sim::ResultCacheStats cs = sim::resultCacheStats();
+            std::printf("cache: hits=%llu misses=%llu\n",
+                        static_cast<unsigned long long>(cs.hits),
+                        static_cast<unsigned long long>(cs.misses));
+        }
+        return out.run.halted ? 0 : 1;
+    }
 
     const std::unique_ptr<cpu::CpuModel> m =
         cpu::makeModel(kind, prog, cfg);

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# ctest wrapper: emit a fresh --metrics-out document and validate it
+# against tools/metrics_schema.json, so the exporter and the schema
+# are re-checked on every test run, not only in the CI bench-smoke
+# step.
+#
+# Usage: tools/metrics_ctest.sh <ffvm-path> <tools-dir>
+set -euo pipefail
+
+ffvm="${1:?usage: metrics_ctest.sh <ffvm-path> <tools-dir>}"
+tools_dir="${2:?usage: metrics_ctest.sh <ffvm-path> <tools-dir>}"
+
+doc="$(mktemp --suffix=.json)"
+trap 'rm -f "$doc"' EXIT
+
+"$ffvm" --workload 129.compress --scale 5 --model 2P --profile \
+    --metrics-out="$doc" > /dev/null
+python3 "$tools_dir/validate_metrics.py" "$doc"
