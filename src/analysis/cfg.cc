@@ -1,0 +1,58 @@
+#include "analysis/cfg.hh"
+
+#include "common/logging.hh"
+#include "compiler/scheduler.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+using isa::Instruction;
+using isa::Program;
+
+Cfg::Cfg(const Program &prog) : _prog(prog)
+{
+    ff_panic_if(prog.size() == 0, "CFG over an empty program");
+
+    const std::vector<InstIdx> leaders =
+        compiler::findBlockLeaders(prog);
+    const InstIdx n = prog.size();
+    _blockOf.assign(n, 0);
+    _blocks.reserve(leaders.size());
+    for (std::size_t b = 0; b < leaders.size(); ++b) {
+        CfgBlock blk;
+        blk.begin = leaders[b];
+        blk.end = (b + 1 < leaders.size()) ? leaders[b + 1] : n;
+        for (InstIdx i = blk.begin; i < blk.end; ++i)
+            _blockOf[i] = b;
+        _blocks.push_back(std::move(blk));
+    }
+
+    // Successor edges: fall-through (unless the block ends in a halt
+    // or an unconditional branch) plus the branch target.
+    for (std::size_t b = 0; b < _blocks.size(); ++b) {
+        CfgBlock &blk = _blocks[b];
+        const Instruction &last = prog.inst(blk.end - 1);
+        bool falls_through = !last.isHalt();
+        if (last.isBranch()) {
+            const InstIdx tgt = static_cast<InstIdx>(last.imm);
+            ff_panic_if(tgt >= n, "branch target out of range");
+            blk.succs.push_back(_blockOf[tgt]);
+            // A branch qualified by p0 is unconditional.
+            if (last.qpred.cls == isa::RegClass::kPred &&
+                last.qpred.idx == 0) {
+                falls_through = false;
+            }
+        }
+        if (falls_through && blk.end < n)
+            blk.succs.push_back(_blockOf[blk.end]);
+    }
+    for (std::size_t b = 0; b < _blocks.size(); ++b) {
+        for (std::size_t s : _blocks[b].succs)
+            _blocks[s].preds.push_back(b);
+    }
+}
+
+} // namespace analysis
+} // namespace ff

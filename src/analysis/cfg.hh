@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The whole-program control-flow graph every dataflow analysis walks.
+ * Blocks follow the scheduler's leader rules (entry, branch targets,
+ * fall-throughs after branches and halts); edges are fall-through
+ * plus branch targets, with predecessor lists materialized so both
+ * forward and backward analyses iterate efficiently. One Cfg is built
+ * per program and shared by every analysis instantiated over it.
+ */
+
+#ifndef FF_ANALYSIS_CFG_HH
+#define FF_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** One basic block: an instruction range plus its CFG edges. */
+struct CfgBlock
+{
+    InstIdx begin; ///< first instruction
+    InstIdx end;   ///< one past the last instruction
+    /** Indices (into the block vector) of possible successors. */
+    std::vector<std::size_t> succs;
+    /** Indices of possible predecessors (inverse of succs). */
+    std::vector<std::size_t> preds;
+};
+
+/** The control-flow graph of one program. Block 0 is the entry. */
+class Cfg
+{
+  public:
+    /** Partitions @p prog into blocks and wires the edges. */
+    explicit Cfg(const isa::Program &prog);
+
+    const isa::Program &program() const { return _prog; }
+
+    const std::vector<CfgBlock> &blocks() const { return _blocks; }
+
+    std::size_t numBlocks() const { return _blocks.size(); }
+
+    /** Index of the block containing instruction @p i. */
+    std::size_t blockIndexOf(InstIdx i) const { return _blockOf.at(i); }
+
+    /** The block containing instruction @p i. */
+    const CfgBlock &blockOf(InstIdx i) const
+    {
+        return _blocks[blockIndexOf(i)];
+    }
+
+  private:
+    const isa::Program &_prog;
+    std::vector<CfgBlock> _blocks;
+    std::vector<std::size_t> _blockOf; ///< inst -> block index
+};
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_CFG_HH

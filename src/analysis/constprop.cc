@@ -1,7 +1,6 @@
 #include "analysis/constprop.hh"
 
-#include <deque>
-
+#include "analysis/dataflow.hh"
 #include "common/logging.hh"
 #include "cpu/regfile.hh"
 
@@ -10,12 +9,10 @@ namespace ff
 namespace analysis
 {
 
-using compiler::BasicBlock;
 using cpu::kNumRegSlots;
 using cpu::regSlot;
 using isa::Instruction;
 using isa::Opcode;
-using isa::Program;
 using isa::RegClass;
 using isa::RegId;
 
@@ -126,48 +123,69 @@ ConstProp::transfer(const Instruction &in, ConstState *state)
     }
 }
 
-ConstProp::ConstProp(const Program &prog, const compiler::Liveness &live)
-    : _prog(prog), _live(live)
+namespace
 {
-    const auto &blocks = live.blocks();
-    ff_panic_if(blocks.empty(), "const-prop over an empty program");
+
+/** Seeded-flag wrapper so the solver's initial state — "no path
+ *  reaches here yet" — is the meet identity for a must-analysis. */
+struct ConstPropState
+{
+    bool seeded = false;
+    ConstState regs;
+};
+
+/** Forward must-analysis policy over the constant lattice. */
+struct ConstPropPolicy
+{
+    using State = ConstPropState;
+    static constexpr Direction kDirection = Direction::kForward;
+
+    State initialState() const { return {}; }
+
+    State
+    boundaryState() const
+    {
+        // Architectural reset: every register starts at zero.
+        return {true, ConstState(kNumRegSlots, ConstVal::of(0))};
+    }
+
+    bool
+    meetInto(State &into, const State &from) const
+    {
+        if (!from.seeded)
+            return false;
+        if (!into.seeded) {
+            into = from;
+            return true;
+        }
+        return meetState(&into.regs, from.regs);
+    }
+
+    void
+    transferBlock(const Cfg &cfg, std::size_t b, State &state) const
+    {
+        if (!state.seeded)
+            return; // unreachable blocks propagate nothing
+        const CfgBlock &blk = cfg.blocks()[b];
+        for (InstIdx i = blk.begin; i < blk.end; ++i)
+            ConstProp::transfer(cfg.program().inst(i), &state.regs);
+    }
+};
+
+} // namespace
+
+ConstProp::ConstProp(const Cfg &cfg) : _cfg(cfg)
+{
+    const ConstPropPolicy policy;
+    const DataflowSolver<ConstPropPolicy> solver(_cfg, policy);
 
     // Unreached blocks keep an all-bottom entry state, so queries on
     // unreachable code never claim a constant.
-    _blockIn.assign(blocks.size(),
+    _blockIn.assign(_cfg.numBlocks(),
                     ConstState(kNumRegSlots, ConstVal::bottom()));
-    std::vector<bool> seeded(blocks.size(), false);
-
-    // Architectural reset: every register starts at zero.
-    _blockIn[0].assign(kNumRegSlots, ConstVal::of(0));
-    seeded[0] = true;
-
-    std::deque<std::size_t> work{0};
-    std::vector<bool> queued(blocks.size(), false);
-    queued[0] = true;
-    while (!work.empty()) {
-        const std::size_t b = work.front();
-        work.pop_front();
-        queued[b] = false;
-
-        ConstState out = _blockIn[b];
-        for (InstIdx i = blocks[b].begin; i < blocks[b].end; ++i)
-            transfer(prog.inst(i), &out);
-
-        for (std::size_t s : blocks[b].succs) {
-            bool changed;
-            if (!seeded[s]) {
-                _blockIn[s] = out;
-                seeded[s] = true;
-                changed = true;
-            } else {
-                changed = meetState(&_blockIn[s], out);
-            }
-            if (changed && !queued[s]) {
-                work.push_back(s);
-                queued[s] = true;
-            }
-        }
+    for (std::size_t b = 0; b < _cfg.numBlocks(); ++b) {
+        if (solver.in(b).seeded)
+            _blockIn[b] = solver.in(b).regs;
     }
 }
 
@@ -181,14 +199,10 @@ ConstProp::valueBefore(InstIdx i, RegId reg) const
     const int slot = regSlot(reg);
     if (slot < 0)
         return std::nullopt;
-    const BasicBlock &blk = _live.blockOf(i);
-    // _blockOf is private to Liveness; recover the block's index by
-    // position so we can look up its entry state.
-    const std::size_t b =
-        static_cast<std::size_t>(&blk - _live.blocks().data());
+    const std::size_t b = _cfg.blockIndexOf(i);
     ConstState state = _blockIn[b];
-    for (InstIdx j = blk.begin; j < i; ++j)
-        transfer(_prog.inst(j), &state);
+    for (InstIdx j = _cfg.blocks()[b].begin; j < i; ++j)
+        transfer(_cfg.program().inst(j), &state);
     const ConstVal v = state[static_cast<std::size_t>(slot)];
     if (!v.known)
         return std::nullopt;
@@ -198,7 +212,7 @@ ConstProp::valueBefore(InstIdx i, RegId reg) const
 std::optional<std::uint64_t>
 ConstProp::effectiveAddress(InstIdx i) const
 {
-    const Instruction &in = _prog.inst(i);
+    const Instruction &in = _cfg.program().inst(i);
     if (!in.isMem())
         return std::nullopt;
     const auto base = valueBefore(i, in.src1);

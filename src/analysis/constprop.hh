@@ -18,7 +18,7 @@
 #include <optional>
 #include <vector>
 
-#include "compiler/liveness.hh"
+#include "analysis/cfg.hh"
 #include "isa/program.hh"
 
 namespace ff
@@ -45,11 +45,8 @@ using ConstState = std::vector<ConstVal>;
 class ConstProp
 {
   public:
-    /**
-     * Runs the dataflow to a fixpoint over @p live's basic blocks.
-     * @p live must have been built for @p prog.
-     */
-    ConstProp(const isa::Program &prog, const compiler::Liveness &live);
+    /** Runs the dataflow to a fixpoint over @p cfg. */
+    explicit ConstProp(const Cfg &cfg);
 
     /**
      * The known constant value of @p reg immediately before
@@ -68,8 +65,7 @@ class ConstProp
     static void transfer(const isa::Instruction &in, ConstState *state);
 
   private:
-    const isa::Program &_prog;
-    const compiler::Liveness &_live;
+    const Cfg &_cfg;
     std::vector<ConstState> _blockIn; ///< per-block entry state
 };
 

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The generic iterative dataflow engine: a worklist solver over the
+ * program Cfg, parameterized by direction and by an analysis policy
+ * supplying the lattice (boundary/initial states, a meet) and the
+ * block transfer function. Every whole-program analysis in this
+ * directory — liveness, reaching definitions, constant and value-
+ * range propagation, memory dependence — is an instantiation of this
+ * one solver, so each soundness argument reduces to "the transfer
+ * function is monotone and the lattice has finite height (or the
+ * policy's meet widens)".
+ *
+ * The policy type must provide:
+ *
+ *   using State = ...;           // one lattice element
+ *   static constexpr Direction kDirection = Direction::kForward;
+ *   State boundaryState() const; // entry (forward) / exit (backward)
+ *   State initialState() const;  // identity of the meet ("unvisited")
+ *   // Meets @p from into @p into; returns true if @p into changed.
+ *   bool meetInto(State &into, const State &from) const;
+ *   // Applies block @p b of @p cfg to @p state in flow direction.
+ *   void transferBlock(const Cfg &cfg, std::size_t b,
+ *                      State &state) const;
+ *
+ * initialState() must be the meet's identity element, so blocks not
+ * yet reached along any path contribute nothing at joins (forward
+ * analyses then automatically treat unreachable code as "no facts").
+ * meetInto() doubles as the convergence test, so policies that widen
+ * (value ranges) simply make their meet saturating.
+ */
+
+#ifndef FF_ANALYSIS_DATAFLOW_HH
+#define FF_ANALYSIS_DATAFLOW_HH
+
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** Which way facts flow through the CFG. */
+enum class Direction
+{
+    kForward,  ///< facts flow entry -> exit (reaching defs, ranges)
+    kBackward, ///< facts flow exit -> entry (liveness)
+};
+
+/**
+ * Runs @p policy over @p cfg to a fixpoint and stores the per-block
+ * states. For a forward analysis in(b) is the state at block entry
+ * and out(b) at block exit; for a backward analysis in(b) is the
+ * state at block *exit* (the flow input) and out(b) at block entry.
+ */
+template <typename Policy>
+class DataflowSolver
+{
+  public:
+    using State = typename Policy::State;
+
+    DataflowSolver(const Cfg &cfg, const Policy &policy)
+        : _cfg(cfg), _policy(policy)
+    {
+        solve();
+    }
+
+    /** Flow-input state of block @p b (entry forward, exit backward). */
+    const State &in(std::size_t b) const { return _in[b]; }
+
+    /** Flow-output state of block @p b (exit forward, entry backward). */
+    const State &out(std::size_t b) const { return _out[b]; }
+
+  private:
+    static constexpr bool kForward =
+        Policy::kDirection == Direction::kForward;
+
+    /** Flow-predecessors of @p b: CFG preds forward, succs backward. */
+    const std::vector<std::size_t> &
+    flowPreds(std::size_t b) const
+    {
+        const CfgBlock &blk = _cfg.blocks()[b];
+        return kForward ? blk.preds : blk.succs;
+    }
+
+    const std::vector<std::size_t> &
+    flowSuccs(std::size_t b) const
+    {
+        const CfgBlock &blk = _cfg.blocks()[b];
+        return kForward ? blk.succs : blk.preds;
+    }
+
+    /** True if @p b receives the boundary state: the entry block
+     *  forward (even when loops branch back to it), any block with
+     *  no flow-predecessors backward (halt-terminated exits). */
+    bool
+    isBoundary(std::size_t b) const
+    {
+        if (kForward)
+            return b == 0;
+        return flowPreds(b).empty();
+    }
+
+    void
+    solve()
+    {
+        const std::size_t nb = _cfg.numBlocks();
+        _in.assign(nb, _policy.initialState());
+        _out.assign(nb, _policy.initialState());
+
+        // Seed every block, in flow order (entry first forward, exits
+        // first backward) so the common reducible case converges in
+        // near-linear passes.
+        std::deque<std::size_t> work;
+        std::vector<bool> queued(nb, true);
+        for (std::size_t k = 0; k < nb; ++k)
+            work.push_back(kForward ? k : nb - 1 - k);
+
+        while (!work.empty()) {
+            const std::size_t b = work.front();
+            work.pop_front();
+            queued[b] = false;
+
+            State in = _policy.initialState();
+            if (isBoundary(b))
+                _policy.meetInto(in, _policy.boundaryState());
+            for (std::size_t p : flowPreds(b))
+                _policy.meetInto(in, _out[p]);
+
+            State out = in;
+            _policy.transferBlock(_cfg, b, out);
+            _in[b] = std::move(in);
+            if (_policy.meetInto(_out[b], out)) {
+                for (std::size_t s : flowSuccs(b)) {
+                    if (!queued[s]) {
+                        queued[s] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+
+    const Cfg &_cfg;
+    const Policy &_policy;
+    std::vector<State> _in;
+    std::vector<State> _out;
+};
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_DATAFLOW_HH

@@ -42,6 +42,7 @@ enum class CheckId : std::uint8_t
     kGroupRaw,          ///< intra-group read-after-write
     kGroupWaw,          ///< intra-group write-after-write
     kGroupMemOrder,     ///< intra-group memory-ordering violation
+    kAliasStoreOrder,   ///< store/load in one group provably overlap
     kGroupOversubscribed, ///< group exceeds machine resource widths
 
     // Control flow.

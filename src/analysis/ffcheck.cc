@@ -4,9 +4,13 @@
 #include <deque>
 #include <sstream>
 
+#include "analysis/cfg.hh"
 #include "analysis/constprop.hh"
+#include "analysis/liveness.hh"
+#include "analysis/memdep.hh"
+#include "analysis/range.hh"
+#include "analysis/reachdefs.hh"
 #include "compiler/depgraph.hh"
-#include "compiler/liveness.hh"
 #include "cpu/regfile.hh"
 
 namespace ff
@@ -14,11 +18,10 @@ namespace ff
 namespace analysis
 {
 
-using compiler::BasicBlock;
+using compiler::AliasResult;
 using compiler::DepEdge;
 using compiler::DepGraph;
 using compiler::DepKind;
-using compiler::Liveness;
 using isa::Instruction;
 using isa::Opcode;
 using isa::Program;
@@ -45,6 +48,7 @@ checkName(CheckId id)
       case CheckId::kGroupRaw: return "group-raw";
       case CheckId::kGroupWaw: return "group-waw";
       case CheckId::kGroupMemOrder: return "group-mem-order";
+      case CheckId::kAliasStoreOrder: return "alias-store-order";
       case CheckId::kGroupOversubscribed: return "group-oversubscribed";
       case CheckId::kBranchTarget: return "branch-target";
       case CheckId::kBranchNotGroupFinal: return "branch-not-group-final";
@@ -82,19 +86,6 @@ render(const Report &report, const std::string &source, bool show_notes)
 
 namespace
 {
-
-/** Inverse of cpu::regSlot, local to keep ffanalysis off ffcpu. */
-RegId
-slotToReg(std::size_t slot)
-{
-    if (slot < isa::kNumIntRegs)
-        return isa::intReg(static_cast<unsigned>(slot));
-    slot -= isa::kNumIntRegs;
-    if (slot < isa::kNumFpRegs)
-        return isa::fpReg(static_cast<unsigned>(slot));
-    return isa::predReg(
-        static_cast<unsigned>(slot - isa::kNumFpRegs));
-}
 
 bool
 regInRange(RegId r)
@@ -137,16 +128,21 @@ class Checker
         }
         const bool sound = structural();
         if (sound) {
-            // The remaining passes index dependence tables by register
-            // slot and walk the CFG, so they only run on programs
-            // whose registers and branch structure are intact.
-            Liveness live(_prog);
-            controlFlow(live);
-            defBeforeUse(live);
-            constantMemory(live);
-            groups();
-            if (_opts.reportPressure)
+            // The remaining passes are dataflow analyses over the CFG
+            // (see analysis/dataflow.hh), so they only run on programs
+            // whose registers and branch structure are intact. All of
+            // them share one CFG.
+            const Cfg cfg(_prog);
+            const ReachingDefs rd(cfg);
+            controlFlow(cfg);
+            defBeforeUse(rd);
+            constantMemory(cfg);
+            const MemDep md(cfg, rd);
+            groups(md);
+            if (_opts.reportPressure) {
+                const Liveness live(cfg);
                 pressure(live);
+            }
         }
         std::stable_sort(_report.findings.begin(),
                          _report.findings.end(),
@@ -272,7 +268,7 @@ class Checker
 
     /** True if @p blk can fall through past its last instruction. */
     static bool
-    fallsThrough(const Program &prog, const BasicBlock &blk)
+    fallsThrough(const Program &prog, const CfgBlock &blk)
     {
         const Instruction &last = prog.inst(blk.end - 1);
         if (last.isHalt())
@@ -281,9 +277,9 @@ class Checker
     }
 
     void
-    controlFlow(const Liveness &live)
+    controlFlow(const Cfg &cfg)
     {
-        const auto &blocks = live.blocks();
+        const auto &blocks = cfg.blocks();
         const std::size_t nb = blocks.size();
 
         // Forward reachability from the entry block.
@@ -329,11 +325,6 @@ class Checker
         // program can only end by running forever (or falling off,
         // which is reported separately).
         if (any_halt) {
-            std::vector<std::vector<std::size_t>> preds(nb);
-            for (std::size_t b = 0; b < nb; ++b) {
-                for (std::size_t s : blocks[b].succs)
-                    preds[s].push_back(b);
-            }
             std::vector<bool> reaches_halt(nb, false);
             std::deque<std::size_t> back;
             for (std::size_t b = 0; b < nb; ++b) {
@@ -346,7 +337,7 @@ class Checker
             while (!back.empty()) {
                 const std::size_t b = back.front();
                 back.pop_front();
-                for (std::size_t p : preds[b]) {
+                for (std::size_t p : blocks[b].preds) {
                     if (!reaches_halt[p]) {
                         reaches_halt[p] = true;
                         back.push_back(p);
@@ -366,73 +357,71 @@ class Checker
     }
 
     /**
-     * Registers live-in to the entry block were read before any
-     * write: on real hardware that is an uninitialized read. ffvm
-     * resets registers to zero, so the behavior is defined — hence a
-     * warning, promoted to an error by strict consumers.
+     * Whole-program flow-sensitive def-before-use: a read is
+     * uninitialized when the entry pseudo-definition of the register
+     * may reach it, i.e. some path from the entry performs no write
+     * first. ffvm resets registers to zero, so the behavior is
+     * defined — hence a warning, promoted to an error by strict
+     * consumers. One finding per register, at its first flagged read.
      */
     void
-    defBeforeUse(const Liveness &live)
+    defBeforeUse(const ReachingDefs &rd)
     {
-        const compiler::RegSet entry = live.blocks().front().liveIn;
-        for (std::size_t s = 0; s < cpu::kNumRegSlots; ++s) {
-            if (!entry.test(s))
-                continue;
-            const RegId reg = slotToReg(s);
-            const InstIdx reader = firstReader(reg);
-            if (reader == kInvalidInstIdx)
-                continue; // liveness artifact with no concrete read
-            const bool pred = reg.cls == RegClass::kPred;
-            add(pred ? CheckId::kUninitPredicate : CheckId::kUninitRead,
-                Severity::kWarning, reader,
-                at(reader) + ": " + isa::regName(reg) +
-                    " is read before any write reaches it" +
-                    (pred ? " (predicate defaults to false)"
-                          : " (reads architectural zero)"));
-        }
-    }
-
-    /** First instruction, in program order, that reads @p reg. */
-    InstIdx
-    firstReader(RegId reg) const
-    {
+        std::vector<bool> reported(cpu::kNumRegSlots, false);
         for (InstIdx i = 0; i < _prog.size(); ++i) {
             const Instruction &in = _prog.inst(i);
+            std::array<RegId, 6> regs;
             std::array<RegId, 4> srcs;
-            const unsigned ns = in.sources(srcs);
-            for (unsigned s = 0; s < ns; ++s) {
-                if (srcs[s] == reg)
-                    return i;
-            }
+            unsigned n = in.sources(srcs);
+            std::copy(srcs.begin(), srcs.begin() + n, regs.begin());
             // A predicated write reads the old value it may retain.
             if (!hardwired(in.qpred)) {
                 std::array<RegId, 2> dsts;
                 const unsigned nd = in.destinations(dsts);
-                for (unsigned d = 0; d < nd; ++d) {
-                    if (dsts[d] == reg)
-                        return i;
+                for (unsigned d = 0; d < nd; ++d)
+                    regs[n++] = dsts[d];
+            }
+            for (unsigned s = 0; s < n; ++s) {
+                const RegId reg = regs[s];
+                const int slot = cpu::regSlot(reg);
+                if (slot < 0 || reg.idx == 0 ||
+                    reported[static_cast<std::size_t>(slot)]) {
+                    continue;
                 }
+                if (!rd.entryReaches(i, reg))
+                    continue;
+                reported[static_cast<std::size_t>(slot)] = true;
+                const bool pred = reg.cls == RegClass::kPred;
+                add(pred ? CheckId::kUninitPredicate
+                         : CheckId::kUninitRead,
+                    Severity::kWarning, i,
+                    at(i) + ": " + isa::regName(reg) +
+                        " is read before any write reaches it" +
+                        (pred ? " (predicate defaults to false)"
+                              : " (reads architectural zero)"));
             }
         }
-        return kInvalidInstIdx;
     }
 
     /**
      * Issue-group legality: rebuild the dependence graph over each
      * group in isolation; any edge demanding one or more cycles of
      * separation between two slots of the same group breaks the EPIC
-     * independence contract the two-pass merge logic assumes. Also
-     * counts functional-unit demand against the machine widths.
+     * independence contract the two-pass merge logic assumes. Memory
+     * pairs go through the alias analysis: provably disjoint accesses
+     * are legal groupmates, provably overlapping ones escalate to the
+     * dedicated alias-store-order diagnostic. Also counts functional-
+     * unit demand against the machine widths.
      */
     void
-    groups()
+    groups(const MemDep &md)
     {
         const InstIdx n = _prog.size();
         for (InstIdx leader = 0; leader < n;
              leader = _prog.groupEnd(leader)) {
             const InstIdx end = _prog.groupEnd(leader);
             const DepGraph graph(_prog.insts(), leader, end,
-                                 _opts.latencies);
+                                 _opts.latencies, &md);
             for (const DepEdge &e : graph.edges()) {
                 if (e.minSep == 0)
                     continue; // WAR/control: same group is legal
@@ -455,13 +444,51 @@ class Checker
                            " in the same issue group";
                     break;
                   default:
-                    id = CheckId::kGroupMemOrder;
-                    what = "memory operation cannot share a group "
-                           "with the store at inst " +
-                           std::to_string(from);
+                    if (md.alias(from, to) == AliasResult::kMustAlias) {
+                        id = CheckId::kAliasStoreOrder;
+                        what = "memory access provably overlaps the "
+                               "bytes touched by inst " +
+                               std::to_string(from) +
+                               " in the same issue group";
+                    } else {
+                        id = CheckId::kGroupMemOrder;
+                        what = "memory operation cannot share a group "
+                               "with the store at inst " +
+                               std::to_string(from);
+                    }
                     break;
                 }
                 add(id, Severity::kError, to, at(to) + ": " + what);
+            }
+
+            // The slot-order rule is stricter than the pairwise alias
+            // verdicts: once a store issues in a group, no later slot
+            // may be a memory operation at all -- even a provably
+            // disjoint one -- because the two-pass merge replays
+            // memory in slot order. The oracle prunes exactly those
+            // edges from the graph above, so re-check structurally;
+            // pairs the oracle kept were already reported per edge.
+            for (InstIdx i = leader; i < end; ++i) {
+                if (!_prog.inst(i).isMem())
+                    continue;
+                InstIdx store_at = end;
+                bool all_pruned = true;
+                for (InstIdx j = leader; j < i; ++j) {
+                    if (!_prog.inst(j).isStore())
+                        continue;
+                    if (store_at == end)
+                        store_at = j;
+                    if (md.alias(j, i) != AliasResult::kMustNotAlias)
+                        all_pruned = false;
+                }
+                if (store_at != end && all_pruned) {
+                    add(CheckId::kGroupMemOrder, Severity::kError, i,
+                        at(i) +
+                            ": memory operation cannot share a group "
+                            "with the store at inst " +
+                            std::to_string(store_at) +
+                            " (slot-order memory rule)");
+                }
             }
 
             unsigned alu = 0, mem = 0, fp = 0, br = 0;
@@ -494,33 +521,50 @@ class Checker
     }
 
     /**
-     * Constant-propagated effective addresses: a memory operation
-     * whose address is provably zero or provably misaligned on every
-     * path is a program bug regardless of input.
+     * Memory address diagnostics. Constant propagation proves exact
+     * effective addresses null or misaligned; value-range propagation
+     * extends the alignment proof to non-constant addresses whose
+     * low bits are pinned by their construction (masks, shifts,
+     * scaled indices).
      */
     void
-    constantMemory(const Liveness &live)
+    constantMemory(const Cfg &cfg)
     {
-        const ConstProp cp(_prog, live);
+        const ConstProp cp(cfg);
+        const RangeProp rp(cfg);
         for (InstIdx i = 0; i < _prog.size(); ++i) {
             const Instruction &in = _prog.inst(i);
             if (!in.isMem())
                 continue;
+            const unsigned size = MemDep::accessBytes(in);
             const auto ea = cp.effectiveAddress(i);
-            if (!ea)
+            if (ea) {
+                std::ostringstream hex;
+                hex << "0x" << std::hex << *ea;
+                if (*ea == 0) {
+                    add(CheckId::kNullAccess, Severity::kError, i,
+                        at(i) +
+                            ": effective address is statically null");
+                } else if (*ea % size != 0) {
+                    add(CheckId::kMisalignedAccess, Severity::kError, i,
+                        at(i) + ": effective address " + hex.str() +
+                            " is not " + std::to_string(size) +
+                            "-byte aligned");
+                }
                 continue;
-            const unsigned size =
-                (in.op == Opcode::kLd4 || in.op == Opcode::kSt4) ? 4
-                                                                 : 8;
-            std::ostringstream hex;
-            hex << "0x" << std::hex << *ea;
-            if (*ea == 0) {
+            }
+            // Not a compile-time constant: fall back on ranges.
+            const Range r = rp.effectiveAddress(i);
+            if (r.provablyZero()) {
                 add(CheckId::kNullAccess, Severity::kError, i,
-                    at(i) + ": effective address is statically null");
-            } else if (*ea % size != 0) {
+                    at(i) + ": effective address is provably null on "
+                            "every path");
+            } else if (r.provablyMisaligned(size)) {
                 add(CheckId::kMisalignedAccess, Severity::kError, i,
-                    at(i) + ": effective address " + hex.str() +
-                        " is not " + std::to_string(size) +
+                    at(i) + ": effective address is provably " +
+                        std::to_string(r.rem % size) + " mod " +
+                        std::to_string(size) +
+                        ", never " + std::to_string(size) +
                         "-byte aligned");
             }
         }
@@ -529,7 +573,7 @@ class Checker
     void
     pressure(const Liveness &live)
     {
-        const compiler::PressureReport p = live.pressure();
+        const PressureReport p = live.pressure();
         std::ostringstream oss;
         oss << "peak register pressure: " << p.maxLiveInt << " int, "
             << p.maxLiveFp << " fp, " << p.maxLivePred

@@ -4,21 +4,26 @@
  * The flea-flicker pipeline's correctness argument rests on structural
  * invariants of the EPIC program itself (issue-group independence,
  * def-before-use, legal branch targets); ffcheck proves them before a
- * program burns simulated cycles. It layers on the existing compiler
- * passes: compiler::DepGraph supplies intra-group dependence legality,
- * compiler::Liveness supplies the CFG, def-before-use and register
- * pressure, and a small constant-propagation pass (analysis::ConstProp)
- * flags statically null or misaligned effective addresses.
+ * program burns simulated cycles. Version 2 is built on the shared
+ * whole-program dataflow engine (analysis/dataflow.hh): reaching
+ * definitions drive flow-sensitive def-before-use, constant and
+ * value-range propagation prove addresses null or misaligned, and the
+ * memory-dependence analysis splits intra-group memory pairs into
+ * provably-disjoint (legal), provably-overlapping (alias-store-order)
+ * and unknown (conservative group-mem-order).
  *
  * Diagnostic catalog (see analysis::CheckId):
- *   - def-before-use: registers live-in to the entry block
+ *   - def-before-use: reads the entry pseudo-definition may reach
  *   - issue-group legality: intra-group RAW/WAW/memory-order and
  *     functional-unit oversubscription against a machine's GroupLimits
+ *   - alias: store/load pairs in one group with provably overlapping
+ *     byte ranges
  *   - control flow: branch targets, fall-off-the-end, halt
  *     reachability, unreachable code
  *   - predicate sanity: aliased cmp/fcmp destination pairs, non-
  *     predicate destinations, predicates read before any write
- *   - memory: statically null / misaligned ld4/ld8/st4/st8 addresses
+ *   - memory: statically null / provably misaligned effective
+ *     addresses, including non-constant addresses with pinned low bits
  *   - reporting: peak register pressure per class
  */
 
@@ -33,6 +38,13 @@ namespace ff
 {
 namespace analysis
 {
+
+/**
+ * Verifier version, part of the persistent verify-cache key: bump it
+ * whenever a diagnostic is added, removed or reclassified so cached
+ * verdicts from older versions are not replayed.
+ */
+inline constexpr std::uint32_t kFfcheckVersion = 2;
 
 /** Knobs for one verification run. */
 struct CheckOptions

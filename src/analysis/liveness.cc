@@ -1,0 +1,158 @@
+#include "analysis/liveness.hh"
+
+#include <algorithm>
+
+#include "analysis/dataflow.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+using cpu::regSlot;
+using isa::Instruction;
+
+void
+Liveness::accumulate(const Instruction &in, RegSet *use, RegSet *def)
+{
+    std::array<isa::RegId, 4> srcs;
+    const unsigned ns = in.sources(srcs);
+    for (unsigned s = 0; s < ns; ++s) {
+        const int slot = regSlot(srcs[s]);
+        if (slot < 0 || srcs[s].idx == 0)
+            continue;
+        if (!def->test(static_cast<std::size_t>(slot)))
+            use->set(static_cast<std::size_t>(slot));
+    }
+    // Predicated instructions may leave the old value intact, so a
+    // predicated write is NOT a kill: model it as a read-modify-write
+    // (conservative for liveness: keeps the incoming value live).
+    const bool conditional =
+        !(in.qpred.cls == isa::RegClass::kPred && in.qpred.idx == 0);
+    std::array<isa::RegId, 2> dsts;
+    const unsigned nd = in.destinations(dsts);
+    for (unsigned d = 0; d < nd; ++d) {
+        const int slot = regSlot(dsts[d]);
+        if (slot < 0 || dsts[d].idx == 0)
+            continue;
+        if (conditional) {
+            if (!def->test(static_cast<std::size_t>(slot)))
+                use->set(static_cast<std::size_t>(slot));
+        }
+        def->set(static_cast<std::size_t>(slot));
+    }
+}
+
+namespace
+{
+
+/** Backward may-analysis policy: live = use | (live & ~def). */
+struct LivenessPolicy
+{
+    using State = RegSet;
+    static constexpr Direction kDirection = Direction::kBackward;
+
+    const std::vector<RegSet> &use;
+    const std::vector<RegSet> &def;
+
+    State boundaryState() const { return {}; }
+    State initialState() const { return {}; }
+
+    bool
+    meetInto(State &into, const State &from) const
+    {
+        const State merged = into | from;
+        if (merged == into)
+            return false;
+        into = merged;
+        return true;
+    }
+
+    void
+    transferBlock(const Cfg &cfg, std::size_t b, State &state) const
+    {
+        (void)cfg;
+        state = use[b] | (state & ~def[b]);
+    }
+};
+
+} // namespace
+
+Liveness::Liveness(const Cfg &cfg) : _cfg(cfg)
+{
+    solve();
+}
+
+Liveness::Liveness(const isa::Program &prog)
+    : _owned(std::make_unique<Cfg>(prog)), _cfg(*_owned)
+{
+    solve();
+}
+
+void
+Liveness::solve()
+{
+    const std::size_t nb = _cfg.numBlocks();
+    _use.assign(nb, {});
+    _def.assign(nb, {});
+    for (std::size_t b = 0; b < nb; ++b) {
+        const CfgBlock &blk = _cfg.blocks()[b];
+        for (InstIdx i = blk.begin; i < blk.end; ++i)
+            accumulate(_cfg.program().inst(i), &_use[b], &_def[b]);
+    }
+
+    const LivenessPolicy policy{_use, _def};
+    const DataflowSolver<LivenessPolicy> solver(_cfg, policy);
+    _liveIn.resize(nb);
+    _liveOut.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+        // Backward: the flow input is the block's exit state.
+        _liveOut[b] = solver.in(b);
+        _liveIn[b] = solver.out(b);
+    }
+}
+
+RegSet
+Liveness::liveBefore(InstIdx i) const
+{
+    const std::size_t b = _cfg.blockIndexOf(i);
+    const CfgBlock &blk = _cfg.blocks()[b];
+    // Walk backward from the block's end to just before i, folding
+    // in i's own reads so the pressure number reflects what a
+    // register allocator must keep resident at that point.
+    RegSet live = _liveOut[b];
+    for (InstIdx j = blk.end; j-- > i;) {
+        RegSet use, def;
+        accumulate(_cfg.program().inst(j), &use, &def);
+        live &= ~def;
+        live |= use;
+    }
+    return live;
+}
+
+PressureReport
+Liveness::pressure() const
+{
+    PressureReport r;
+    for (InstIdx i = 0; i < _cfg.program().size(); ++i) {
+        const RegSet live = liveBefore(i);
+        unsigned ints = 0, fps = 0, preds = 0;
+        for (std::size_t s = 0; s < cpu::kNumRegSlots; ++s) {
+            if (!live.test(s))
+                continue;
+            if (s < isa::kNumIntRegs)
+                ++ints;
+            else if (s < isa::kNumIntRegs + isa::kNumFpRegs)
+                ++fps;
+            else
+                ++preds;
+        }
+        r.maxLiveInt = std::max(r.maxLiveInt, ints);
+        r.maxLiveFp = std::max(r.maxLiveFp, fps);
+        r.maxLivePred = std::max(r.maxLivePred, preds);
+    }
+    return r;
+}
+
+} // namespace analysis
+} // namespace ff

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Whole-program register liveness as an instantiation of the generic
+ * dataflow engine: classic backward may-analysis over the Cfg with
+ * per-block use/def summaries, producing live-in/live-out sets at
+ * every block and the peak register pressure per register class.
+ * This replaces the hand-rolled fixpoint that previously lived in
+ * src/compiler/liveness.* — same facts, but computed by the shared
+ * solver every other analysis also runs on.
+ *
+ * Soundness: the transfer function live = use | (live & ~def) is
+ * monotone over the finite powerset lattice of register slots, and
+ * predicated writes are modeled as read-modify-write (they may retain
+ * the old value), so the analysis over-approximates liveness — a
+ * register reported dead is dead on every path.
+ */
+
+#ifndef FF_ANALYSIS_LIVENESS_HH
+#define FF_ANALYSIS_LIVENESS_HH
+
+#include <bitset>
+#include <memory>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "cpu/regfile.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** A set of architectural registers, one bit per dense slot. */
+using RegSet = std::bitset<cpu::kNumRegSlots>;
+
+/** Peak simultaneous liveness per register class. */
+struct PressureReport
+{
+    unsigned maxLiveInt = 0;
+    unsigned maxLiveFp = 0;
+    unsigned maxLivePred = 0;
+
+    /** True if every class fits its architectural file. */
+    bool
+    fits() const
+    {
+        return maxLiveInt <= isa::kNumIntRegs &&
+               maxLiveFp <= isa::kNumFpRegs &&
+               maxLivePred <= isa::kNumPredRegs;
+    }
+};
+
+/** Computed liveness over a whole program. */
+class Liveness
+{
+  public:
+    /** Runs the dataflow over an existing (shared) CFG. */
+    explicit Liveness(const Cfg &cfg);
+
+    /** Convenience: builds a private CFG for @p prog first. */
+    explicit Liveness(const isa::Program &prog);
+
+    const Cfg &cfg() const { return _cfg; }
+
+    /** Registers live on entry to block @p b. */
+    const RegSet &liveIn(std::size_t b) const { return _liveIn[b]; }
+
+    /** Registers live on exit from block @p b. */
+    const RegSet &liveOut(std::size_t b) const { return _liveOut[b]; }
+
+    /** Read-before-write summary of block @p b. */
+    const RegSet &use(std::size_t b) const { return _use[b]; }
+
+    /** Written-within summary of block @p b. */
+    const RegSet &def(std::size_t b) const { return _def[b]; }
+
+    /** Registers live immediately before instruction @p i executes
+     *  (including @p i's own sources, the allocator view). */
+    RegSet liveBefore(InstIdx i) const;
+
+    /** Peak pressure across every program point. */
+    PressureReport pressure() const;
+
+    /**
+     * Adds instruction @p in's reads (minus already-defined) to
+     * @p use and its writes to @p def; predicated writes count as
+     * read-modify-write. Exposed for tests and sibling analyses.
+     */
+    static void accumulate(const isa::Instruction &in, RegSet *use,
+                           RegSet *def);
+
+  private:
+    void solve();
+
+    std::unique_ptr<const Cfg> _owned; ///< set by the Program ctor
+    const Cfg &_cfg;
+    std::vector<RegSet> _use, _def;
+    std::vector<RegSet> _liveIn, _liveOut;
+};
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_LIVENESS_HH

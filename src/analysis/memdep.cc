@@ -1,0 +1,146 @@
+#include "analysis/memdep.hh"
+
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+using compiler::AliasResult;
+using isa::Instruction;
+using isa::Opcode;
+using isa::RegClass;
+using isa::RegId;
+
+namespace
+{
+
+/** Copy-chain chase depth: movi/mov/add-imm chains longer than this
+ *  resolve to the nearest opaque def instead (still sound). */
+constexpr int kMaxChase = 8;
+
+} // namespace
+
+unsigned
+MemDep::accessBytes(const Instruction &in)
+{
+    return (in.op == Opcode::kLd4 || in.op == Opcode::kSt4) ? 4 : 8;
+}
+
+MemDep::MemDep(const Cfg &cfg, const ReachingDefs &rd)
+    : _cfg(cfg), _rd(rd)
+{
+    const isa::Program &prog = _cfg.program();
+    _addr.resize(prog.size());
+    for (InstIdx i = 0; i < prog.size(); ++i) {
+        const Instruction &in = prog.inst(i);
+        if (!in.isMem())
+            continue;
+        SymAddr a =
+            resolveBase(i, in.src1, kMaxChase, _cfg.blockIndexOf(i));
+        if (a.valid)
+            a.disp += static_cast<std::uint64_t>(in.imm);
+        _addr[i] = a;
+    }
+}
+
+SymAddr
+MemDep::resolveBase(InstIdx at, RegId reg, int depth,
+                    std::size_t useBlock) const
+{
+    SymAddr a;
+    if (reg.cls != RegClass::kInt)
+        return a;
+    if (reg.idx == 0) {
+        // r0 is hardwired zero: an absolute address.
+        a.valid = true;
+        a.isConst = true;
+        return a;
+    }
+    const std::optional<InstIdx> def = _rd.uniqueDef(at, reg);
+    if (!def.has_value())
+        return a;
+    const Instruction &d = _cfg.program().inst(*def);
+    if (d.op == Opcode::kMovi) {
+        // A constant base is an absolute fact whatever block it is in.
+        a.valid = true;
+        a.isConst = true;
+        a.disp = static_cast<std::uint64_t>(d.imm);
+        return a;
+    }
+    // Chasing a copy that lives in a *different* block could mix two
+    // dynamic instances of the origin (e.g. an increment captured last
+    // iteration), so the chase is confined to the use's own block;
+    // everything else becomes an opaque origin, which is sound because
+    // the unique reaching def guarantees no intervening write between
+    // two same-block uses.
+    if (depth > 0 && _cfg.blockIndexOf(*def) == useBlock) {
+        if (d.op == Opcode::kMov)
+            return resolveBase(*def, d.src1, depth - 1, useBlock);
+        if ((d.op == Opcode::kAdd || d.op == Opcode::kSub) &&
+            d.src2IsImm) {
+            SymAddr inner =
+                resolveBase(*def, d.src1, depth - 1, useBlock);
+            if (inner.valid) {
+                const std::uint64_t off =
+                    static_cast<std::uint64_t>(d.imm);
+                inner.disp += d.op == Opcode::kAdd ? off : 0 - off;
+            }
+            return inner;
+        }
+    }
+    // Opaque but well-defined origin: the unique defining write.
+    a.valid = true;
+    a.origin = *def;
+    return a;
+}
+
+AliasResult
+MemDep::alias(InstIdx a, InstIdx b) const
+{
+    const isa::Program &prog = _cfg.program();
+    ff_panic_if(a >= prog.size() || b >= prog.size(),
+                "alias query out of range");
+    if (!prog.inst(a).isMem() || !prog.inst(b).isMem())
+        return AliasResult::kMayAlias;
+    const SymAddr &sa = _addr[a];
+    const SymAddr &sb = _addr[b];
+    if (!sa.valid || !sb.valid)
+        return AliasResult::kMayAlias;
+    if (sa.isConst != sb.isConst)
+        return AliasResult::kMayAlias; // unrelated bases
+    if (!sa.isConst) {
+        if (sa.origin != sb.origin)
+            return AliasResult::kMayAlias;
+        // Instruction origins: the "same dynamic base value" argument
+        // only holds when both uses sit in one basic block.
+        if (_cfg.blockIndexOf(a) != _cfg.blockIndexOf(b))
+            return AliasResult::kMayAlias;
+    }
+    // Same base: compare byte intervals [disp, disp + size).
+    const std::uint64_t alo = sa.disp;
+    const std::uint64_t ahi = alo + accessBytes(prog.inst(a));
+    const std::uint64_t blo = sb.disp;
+    const std::uint64_t bhi = blo + accessBytes(prog.inst(b));
+    if (ahi <= blo || bhi <= alo)
+        return AliasResult::kMustNotAlias;
+    return AliasResult::kMustAlias;
+}
+
+isa::Program
+scheduleWithAlias(const isa::Program &sequential,
+                  const compiler::SchedulerConfig &cfg)
+{
+    if (cfg.alias != nullptr)
+        return compiler::schedule(sequential, cfg);
+    const Cfg graph(sequential);
+    const ReachingDefs rd(graph);
+    const MemDep md(graph, rd);
+    compiler::SchedulerConfig with = cfg;
+    with.alias = &md;
+    return compiler::schedule(sequential, with);
+}
+
+} // namespace analysis
+} // namespace ff

@@ -1,0 +1,208 @@
+#include "analysis/reachdefs.hh"
+
+#include "analysis/dataflow.hh"
+#include "common/logging.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+using cpu::regSlot;
+using isa::Instruction;
+
+namespace
+{
+
+inline void
+setBit(std::vector<std::uint64_t> &v, std::uint32_t bit)
+{
+    v[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+}
+
+inline void
+clearBit(std::vector<std::uint64_t> &v, std::uint32_t bit)
+{
+    v[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+}
+
+inline bool
+testBit(const std::vector<std::uint64_t> &v, std::uint32_t bit)
+{
+    return (v[bit >> 6] >> (bit & 63)) & 1;
+}
+
+} // namespace
+
+/** Forward may-analysis policy: union meet, gen/kill transfer. */
+struct ReachDefsPolicy
+{
+    using State = std::vector<std::uint64_t>;
+    static constexpr Direction kDirection = Direction::kForward;
+
+    const ReachingDefs &rd;
+    std::size_t words;
+
+    State initialState() const { return State(words, 0); }
+
+    State
+    boundaryState() const
+    {
+        // On entry every register holds its architectural reset
+        // value: the per-slot pseudo-definitions reach.
+        State s(words, 0);
+        for (std::uint32_t slot = 0; slot < cpu::kNumRegSlots; ++slot)
+            setBit(s, slot);
+        return s;
+    }
+
+    bool
+    meetInto(State &into, const State &from) const
+    {
+        bool changed = false;
+        for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t merged = into[w] | from[w];
+            if (merged != into[w]) {
+                into[w] = merged;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    void
+    transferBlock(const Cfg &cfg, std::size_t b, State &state) const
+    {
+        const CfgBlock &blk = cfg.blocks()[b];
+        for (InstIdx i = blk.begin; i < blk.end; ++i)
+            rd.applyInst(i, state);
+    }
+};
+
+ReachingDefs::ReachingDefs(const Cfg &cfg) : _cfg(cfg)
+{
+    const isa::Program &prog = _cfg.program();
+
+    // Number the definition sites: the first kNumRegSlots are the
+    // entry pseudo-definitions (site == slot), then one per real
+    // register write in program order.
+    _slotDefs.assign(cpu::kNumRegSlots, {});
+    _instSites.assign(prog.size(), {});
+    for (std::uint32_t slot = 0; slot < cpu::kNumRegSlots; ++slot) {
+        _defInst.push_back(kInvalidInstIdx);
+        _defSlot.push_back(static_cast<int>(slot));
+        _slotDefs[slot].push_back(slot);
+    }
+    for (InstIdx i = 0; i < prog.size(); ++i) {
+        std::array<isa::RegId, 2> dsts;
+        const unsigned nd = prog.inst(i).destinations(dsts);
+        for (unsigned d = 0; d < nd; ++d) {
+            const int slot = regSlot(dsts[d]);
+            if (slot < 0 || dsts[d].idx == 0)
+                continue; // hardwired or no destination
+            const std::uint32_t site =
+                static_cast<std::uint32_t>(_defInst.size());
+            _defInst.push_back(i);
+            _defSlot.push_back(slot);
+            _slotDefs[static_cast<std::size_t>(slot)].push_back(site);
+            _instSites[i].push_back(site);
+        }
+    }
+    _numSites = _defInst.size();
+
+    const ReachDefsPolicy policy{*this, (_numSites + 63) / 64};
+    const DataflowSolver<ReachDefsPolicy> solver(_cfg, policy);
+    _blockIn.resize(_cfg.numBlocks());
+    for (std::size_t b = 0; b < _cfg.numBlocks(); ++b)
+        _blockIn[b] = solver.in(b);
+}
+
+bool
+ReachingDefs::defKills(InstIdx def) const
+{
+    // A write qualified by anything but the hardwired p0 may leave
+    // the old value in place, so it generates without killing.
+    const Instruction &in = _cfg.program().inst(def);
+    return in.qpred.cls == isa::RegClass::kPred && in.qpred.idx == 0;
+}
+
+void
+ReachingDefs::applyInst(InstIdx i, DefSet &state) const
+{
+    const std::vector<std::uint32_t> &sites = _instSites[i];
+    if (sites.empty())
+        return;
+    const bool kills = defKills(i);
+    for (const std::uint32_t site : sites) {
+        if (kills) {
+            for (const std::uint32_t other :
+                 _slotDefs[static_cast<std::size_t>(_defSlot[site])])
+                clearBit(state, other);
+        }
+        setBit(state, site);
+    }
+}
+
+ReachingDefs::DefSet
+ReachingDefs::stateBefore(InstIdx i) const
+{
+    const std::size_t b = _cfg.blockIndexOf(i);
+    DefSet state = _blockIn[b];
+    for (InstIdx j = _cfg.blocks()[b].begin; j < i; ++j)
+        applyInst(j, state);
+    return state;
+}
+
+std::vector<std::uint32_t>
+ReachingDefs::defsReaching(InstIdx i, isa::RegId reg) const
+{
+    std::vector<std::uint32_t> out;
+    const int slot = regSlot(reg);
+    if (slot < 0)
+        return out;
+    const DefSet state = stateBefore(i);
+    for (const std::uint32_t site :
+         _slotDefs[static_cast<std::size_t>(slot)]) {
+        if (!testBit(state, site))
+            continue;
+        out.push_back(site < cpu::kNumRegSlots ? kEntryDef
+                                               : _defInst[site]);
+    }
+    return out;
+}
+
+bool
+ReachingDefs::entryReaches(InstIdx i, isa::RegId reg) const
+{
+    const int slot = regSlot(reg);
+    if (slot < 0 || reg.idx == 0)
+        return false; // hardwired registers are always defined
+    const DefSet state = stateBefore(i);
+    return testBit(state, static_cast<std::uint32_t>(slot));
+}
+
+std::optional<InstIdx>
+ReachingDefs::uniqueDef(InstIdx i, isa::RegId reg) const
+{
+    const int slot = regSlot(reg);
+    if (slot < 0 || reg.idx == 0)
+        return std::nullopt;
+    const DefSet state = stateBefore(i);
+    std::optional<InstIdx> only;
+    for (const std::uint32_t site :
+         _slotDefs[static_cast<std::size_t>(slot)]) {
+        if (!testBit(state, site))
+            continue;
+        if (site < cpu::kNumRegSlots || only.has_value())
+            return std::nullopt; // reset value, or several writers
+        only = _defInst[site];
+    }
+    // A predicated write never kills, so it can only be "unique" when
+    // the shadowed def died some other way — reject it regardless.
+    if (only.has_value() && !defKills(*only))
+        return std::nullopt;
+    return only;
+}
+
+} // namespace analysis
+} // namespace ff

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Whole-program reaching definitions over the dataflow engine: a
+ * forward may-analysis tracking, for every program point, which
+ * definitions (register-writing instructions, plus one pseudo-
+ * definition per register for the architectural reset value) may
+ * supply the value of each register. Consumers:
+ *
+ *   - ffcheck's flow-sensitive def-before-use diagnostic: a use is
+ *     uninitialized iff the entry pseudo-definition of its register
+ *     reaches it along some path;
+ *   - the memory-dependence analysis, which assigns symbolic address
+ *     bases from unique reaching definitions.
+ *
+ * Soundness: gen/kill transfer over the finite powerset of definition
+ * sites; predicated writes generate but do not kill (the old value
+ * may be retained), so the reaching set over-approximates — a
+ * definition reported as the *unique* reaching def really is the only
+ * possible writer on every path.
+ */
+
+#ifndef FF_ANALYSIS_REACHDEFS_HH
+#define FF_ANALYSIS_REACHDEFS_HH
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "cpu/regfile.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** Sentinel definition index for "the architectural reset value". */
+inline constexpr std::uint32_t kEntryDef =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Per-program reaching-definitions result. */
+class ReachingDefs
+{
+  public:
+    /** Runs the dataflow to a fixpoint over @p cfg. */
+    explicit ReachingDefs(const Cfg &cfg);
+
+    /**
+     * Definitions of @p reg that may reach the point immediately
+     * before instruction @p i: instruction indices, possibly
+     * including kEntryDef for the architectural reset value.
+     */
+    std::vector<std::uint32_t> defsReaching(InstIdx i,
+                                            isa::RegId reg) const;
+
+    /**
+     * True if the entry pseudo-definition of @p reg (i.e. no write
+     * at all) may reach instruction @p i along some path.
+     */
+    bool entryReaches(InstIdx i, isa::RegId reg) const;
+
+    /**
+     * The unique instruction whose write supplies @p reg at @p i, or
+     * nullopt when several definitions (or the reset value) may
+     * reach. A predicated write is never unique — it may retain the
+     * value of the def it shadows.
+     */
+    std::optional<InstIdx> uniqueDef(InstIdx i, isa::RegId reg) const;
+
+  private:
+    /** Dense bitvector over definition sites. */
+    using DefSet = std::vector<std::uint64_t>;
+
+    friend struct ReachDefsPolicy;
+
+    bool defKills(InstIdx def) const;
+    DefSet stateBefore(InstIdx i) const;
+    void applyInst(InstIdx i, DefSet &state) const;
+
+    const Cfg &_cfg;
+    /** Definition sites: one per (instruction, destination) write,
+     *  plus kNumRegSlots leading pseudo-defs for the entry state. */
+    std::vector<InstIdx> _defInst;  ///< site -> instruction
+    std::vector<int> _defSlot;      ///< site -> register slot
+    std::vector<std::vector<std::uint32_t>> _slotDefs; ///< slot -> sites
+    std::vector<std::vector<std::uint32_t>> _instSites; ///< inst -> sites
+    std::size_t _numSites = 0;
+    std::vector<DefSet> _blockIn;   ///< per-block entry state
+};
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_REACHDEFS_HH

@@ -1,0 +1,221 @@
+#include "analysis/sarif.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/ffcheck.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** Every diagnostic, in CheckId order, for the SARIF rule catalog. */
+constexpr CheckId kAllChecks[] = {
+    CheckId::kUninitRead,
+    CheckId::kUninitPredicate,
+    CheckId::kGroupRaw,
+    CheckId::kGroupWaw,
+    CheckId::kGroupMemOrder,
+    CheckId::kAliasStoreOrder,
+    CheckId::kGroupOversubscribed,
+    CheckId::kBranchTarget,
+    CheckId::kBranchNotGroupFinal,
+    CheckId::kFallOffEnd,
+    CheckId::kHaltUnreachable,
+    CheckId::kUnreachableCode,
+    CheckId::kPredPairAliased,
+    CheckId::kPredDestClass,
+    CheckId::kWriteHardwired,
+    CheckId::kRegOutOfRange,
+    CheckId::kMissingFinalStop,
+    CheckId::kNoHalt,
+    CheckId::kNullAccess,
+    CheckId::kMisalignedAccess,
+    CheckId::kRegPressure,
+};
+
+/** One-line rule description for the SARIF catalog. */
+const char *
+checkDescription(CheckId id)
+{
+    switch (id) {
+      case CheckId::kUninitRead:
+        return "Register read before any write reaches it.";
+      case CheckId::kUninitPredicate:
+        return "Predicate read before any write reaches it.";
+      case CheckId::kGroupRaw:
+        return "Read-after-write inside one issue group.";
+      case CheckId::kGroupWaw:
+        return "Write-after-write inside one issue group.";
+      case CheckId::kGroupMemOrder:
+        return "Possibly conflicting memory pair inside one issue "
+               "group.";
+      case CheckId::kAliasStoreOrder:
+        return "Provably overlapping store/load pair inside one issue "
+               "group.";
+      case CheckId::kGroupOversubscribed:
+        return "Issue group exceeds machine resource widths.";
+      case CheckId::kBranchTarget:
+        return "Branch target out of range or not a group leader.";
+      case CheckId::kBranchNotGroupFinal:
+        return "Branch is not the final slot of its issue group.";
+      case CheckId::kFallOffEnd:
+        return "Control can run past the last instruction.";
+      case CheckId::kHaltUnreachable:
+        return "No path reaches a halt (infinite loop).";
+      case CheckId::kUnreachableCode:
+        return "Block is unreachable from the entry.";
+      case CheckId::kPredPairAliased:
+        return "Complementary compare predicates alias.";
+      case CheckId::kPredDestClass:
+        return "Compare destination is not a predicate register.";
+      case CheckId::kWriteHardwired:
+        return "Write to a hardwired register.";
+      case CheckId::kRegOutOfRange:
+        return "Register index beyond the file.";
+      case CheckId::kMissingFinalStop:
+        return "Final instruction lacks a stop bit.";
+      case CheckId::kNoHalt:
+        return "Program has no halt instruction.";
+      case CheckId::kNullAccess:
+        return "Effective address is provably null.";
+      case CheckId::kMisalignedAccess:
+        return "Effective address is provably misaligned.";
+      case CheckId::kRegPressure:
+        return "Peak register pressure per class.";
+    }
+    return "";
+}
+
+/** JSON string escaping (control chars, quotes, backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+sarifLevel(Severity s)
+{
+    switch (s) {
+      case Severity::kNote: return "note";
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+    }
+    return "none";
+}
+
+} // namespace
+
+std::string
+renderSarif(const Report &report, const std::string &source)
+{
+    std::ostringstream o;
+    o << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"ffcheck\",\n"
+      << "          \"version\": \"" << kFfcheckVersion << "\",\n"
+      << "          \"rules\": [\n";
+    bool first = true;
+    for (const CheckId id : kAllChecks) {
+        if (!first)
+            o << ",\n";
+        first = false;
+        o << "            {\"id\": \"" << checkName(id)
+          << "\", \"shortDescription\": {\"text\": \""
+          << jsonEscape(checkDescription(id)) << "\"}}";
+    }
+    o << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+    first = true;
+    for (const Finding &f : report.findings) {
+        if (!first)
+            o << ",\n";
+        first = false;
+        o << "        {\n"
+          << "          \"ruleId\": \"" << checkName(f.id) << "\",\n"
+          << "          \"level\": \"" << sarifLevel(f.severity)
+          << "\",\n"
+          << "          \"message\": {\"text\": \""
+          << jsonEscape(f.message) << "\"},\n"
+          << "          \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \""
+          << jsonEscape(source) << "\"}";
+        if (f.srcLine > 0)
+            o << ", \"region\": {\"startLine\": " << f.srcLine << "}";
+        o << "}}]";
+        if (f.inst != kInvalidInstIdx)
+            o << ",\n          \"properties\": {\"inst\": " << f.inst
+              << "}";
+        o << "\n        }";
+    }
+    o << "\n      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+    return o.str();
+}
+
+std::string
+renderJson(const Report &report, const std::string &source)
+{
+    std::ostringstream o;
+    o << "{\n"
+      << "  \"source\": \"" << jsonEscape(source) << "\",\n"
+      << "  \"ffcheckVersion\": " << kFfcheckVersion << ",\n"
+      << "  \"errors\": " << report.errors() << ",\n"
+      << "  \"warnings\": " << report.warnings() << ",\n"
+      << "  \"findings\": [\n";
+    bool first = true;
+    for (const Finding &f : report.findings) {
+        if (!first)
+            o << ",\n";
+        first = false;
+        o << "    {\"check\": \"" << checkName(f.id)
+          << "\", \"severity\": \"" << severityName(f.severity)
+          << "\", \"inst\": ";
+        if (f.inst == kInvalidInstIdx)
+            o << -1;
+        else
+            o << f.inst;
+        o << ", \"line\": " << f.srcLine << ", \"message\": \""
+          << jsonEscape(f.message) << "\"}";
+    }
+    o << "\n  ]\n"
+      << "}\n";
+    return o.str();
+}
+
+} // namespace analysis
+} // namespace ff

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable renderings of ffcheck reports: SARIF 2.1.0 (the
+ * static-analysis interchange format CI systems ingest for code
+ * scanning) and a flat JSON diagnostics array for scripting. Both are
+ * deterministic — findings keep report order and the rule catalog is
+ * emitted in CheckId order — so golden-file tests can diff them
+ * byte-for-byte.
+ */
+
+#ifndef FF_ANALYSIS_SARIF_HH
+#define FF_ANALYSIS_SARIF_HH
+
+#include <string>
+
+#include "analysis/diagnostics.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/**
+ * Renders @p report as a SARIF 2.1.0 log with one run. @p source is
+ * the artifact URI findings point at (the .s path or program name).
+ * The tool component carries every CheckId as a reportingDescriptor;
+ * notes map to SARIF level "note", warnings/errors to theirs.
+ */
+std::string renderSarif(const Report &report, const std::string &source);
+
+/**
+ * Renders @p report as a flat JSON object:
+ *   {"source": ..., "errors": N, "warnings": N,
+ *    "findings": [{"check", "severity", "inst", "line", "message"}]}
+ */
+std::string renderJson(const Report &report, const std::string &source);
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_SARIF_HH

@@ -1,0 +1,128 @@
+#include "analysis/stallpred.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "cpu/regfile.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+StallPredictor::StallPredictor(const Cfg &cfg,
+                               const StallModelOptions &opts)
+    : _cfg(cfg), _opts(opts)
+{
+}
+
+StallPrediction
+StallPredictor::predict(double effLoadLatency) const
+{
+    const isa::Program &prog = _cfg.program();
+    StallPrediction out;
+    out.loadStallByInst.assign(prog.size(), 0.0);
+    out.blocks.reserve(_cfg.numBlocks());
+
+    // Per-slot earliest consumer-issue cycle, relative to block entry.
+    // Values live across one block walk only: registers produced
+    // before the block are treated as ready, which matches steady
+    // state (the previous block's trailing latencies overlap this
+    // block's leading groups) and keeps the model purely static.
+    std::vector<double> ready(cpu::kNumRegSlots, 0.0);
+    std::vector<InstIdx> producer(cpu::kNumRegSlots, kInvalidInstIdx);
+    std::vector<char> producerIsLoad(cpu::kNumRegSlots, 0);
+
+    std::array<isa::RegId, 4> srcs;
+    std::array<isa::RegId, 2> dsts;
+
+    for (std::size_t b = 0; b < _cfg.numBlocks(); ++b) {
+        const CfgBlock &blk = _cfg.blocks()[b];
+        std::fill(ready.begin(), ready.end(), 0.0);
+        std::fill(producer.begin(), producer.end(), kInvalidInstIdx);
+        std::fill(producerIsLoad.begin(), producerIsLoad.end(), 0);
+
+        PredictedBlock pb;
+        pb.block = b;
+        pb.begin = blk.begin;
+        pb.end = blk.end;
+
+        double t = 0; // cycle the next group may issue at
+        InstIdx g = blk.begin;
+        while (g < blk.end) {
+            InstIdx ge = g;
+            while (ge < blk.end && !prog.insts()[ge].stop)
+                ++ge;
+            if (ge < blk.end)
+                ++ge; // the stop slot belongs to this group
+
+            // The whole group waits for the slowest operand; remember
+            // which producer pinned issue. On ties a load wins the
+            // attribution — its latency is what a schedule could hide.
+            double issueAt = t;
+            InstIdx gate = kInvalidInstIdx;
+            bool gateLoad = false;
+            const auto consider = [&](isa::RegId r) {
+                const unsigned slot = cpu::regSlot(r);
+                const double rdy = ready[slot];
+                if (rdy > issueAt ||
+                    (rdy == issueAt && rdy > t && !gateLoad &&
+                     producerIsLoad[slot] != 0)) {
+                    issueAt = rdy;
+                    gate = producer[slot];
+                    gateLoad = producerIsLoad[slot] != 0;
+                }
+            };
+            for (InstIdx i = g; i < ge; ++i) {
+                const isa::Instruction &in = prog.insts()[i];
+                const unsigned n = in.sources(srcs);
+                for (unsigned k = 0; k < n; ++k)
+                    consider(srcs[k]);
+                if (_opts.wawStall) {
+                    const unsigned nd = in.destinations(dsts);
+                    for (unsigned k = 0; k < nd; ++k)
+                        consider(dsts[k]);
+                }
+            }
+
+            const double stall = issueAt - t;
+            if (stall > 0) {
+                if (gateLoad) {
+                    pb.loadStall += stall;
+                    if (gate != kInvalidInstIdx)
+                        out.loadStallByInst[gate] += stall;
+                } else {
+                    pb.otherStall += stall;
+                }
+            }
+
+            for (InstIdx i = g; i < ge; ++i) {
+                const isa::Instruction &in = prog.insts()[i];
+                const bool ld = in.isLoad();
+                const double lat =
+                    ld ? effLoadLatency
+                       : static_cast<double>(
+                             std::max(1u, in.execLatency()));
+                const unsigned nd = in.destinations(dsts);
+                for (unsigned k = 0; k < nd; ++k) {
+                    const unsigned slot = cpu::regSlot(dsts[k]);
+                    ready[slot] = issueAt + lat;
+                    producer[slot] = i;
+                    producerIsLoad[slot] = ld ? 1 : 0;
+                }
+            }
+
+            t = issueAt + 1;
+            pb.groups += 1;
+            g = ge;
+        }
+
+        pb.cycles = t;
+        out.blocks.push_back(pb);
+    }
+
+    return out;
+}
+
+} // namespace analysis
+} // namespace ff

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Static stall prediction: an analytical model of the in-order
+ * baseline core's issue behavior over each basic block. The baseline
+ * stalls a whole issue group until every operand of every slot is
+ * ready (plus, with wawStall, its destinations), so a block's cost
+ * per execution is fully determined by the group structure, the
+ * producer latencies and the *effective* load-use latency — which is
+ * the one free parameter: the L1 hit time when everything hits,
+ * higher when misses are folded in.
+ *
+ * The predictor walks each block once per queried latency and
+ * attributes every bubble cycle to the producer that gated the group,
+ * classifying it load vs non-load exactly like the simulator's
+ * per-cycle accounting (CycleClass::kLoadStall vs
+ * kNonLoadDepStall). tools/ffstall cross-validates these predictions
+ * against ProfileObserver's measured stall attribution.
+ */
+
+#ifndef FF_ANALYSIS_STALLPRED_HH
+#define FF_ANALYSIS_STALLPRED_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace ff
+{
+namespace analysis
+{
+
+/** Model knobs mirroring the baseline core's issue rules. */
+struct StallModelOptions
+{
+    /** Destination registers must also be ready (CoreConfig::wawStall
+     *  default-true behavior). */
+    bool wawStall = true;
+};
+
+/** Predicted per-execution cost of one basic block. */
+struct PredictedBlock
+{
+    std::size_t block = 0; ///< CFG block index
+    InstIdx begin = 0;
+    InstIdx end = 0;
+    unsigned groups = 0;    ///< issue groups in the block
+    double cycles = 0;      ///< issue cycles per execution
+    double loadStall = 0;   ///< bubbles gated by a load result
+    double otherStall = 0;  ///< bubbles gated by a non-load producer
+};
+
+/** Whole-program prediction at one effective load latency. */
+struct StallPrediction
+{
+    std::vector<PredictedBlock> blocks;
+
+    /** Bubble cycles per block execution attributed to each load
+     *  instruction (indexed by program InstIdx; zero elsewhere). */
+    std::vector<double> loadStallByInst;
+
+    double
+    totalLoadStall() const
+    {
+        double s = 0;
+        for (const PredictedBlock &b : blocks)
+            s += b.loadStall;
+        return s;
+    }
+};
+
+/** Analytical in-order issue model over a program's CFG. */
+class StallPredictor
+{
+  public:
+    explicit StallPredictor(const Cfg &cfg,
+                            const StallModelOptions &opts = {});
+
+    /**
+     * Predicts per-block issue cycles and stall attribution with
+     * loads completing @p effLoadLatency cycles after issue (may be
+     * fractional: an average over hit/miss mix).
+     */
+    StallPrediction predict(double effLoadLatency) const;
+
+  private:
+    const Cfg &_cfg;
+    StallModelOptions _opts;
+};
+
+} // namespace analysis
+} // namespace ff
+
+#endif // FF_ANALYSIS_STALLPRED_HH

@@ -40,7 +40,8 @@ constexpr int kNumSlots =
 
 DepGraph::DepGraph(const std::vector<Instruction> &insts,
                    std::uint32_t begin, std::uint32_t end,
-                   const SchedLatencies &lat)
+                   const SchedLatencies &lat,
+                   const AliasOracle *oracle)
 {
     ff_panic_if(end < begin, "bad block range");
     _n = end - begin;
@@ -54,6 +55,11 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
 
     std::int32_t last_store = -1;
     std::int32_t last_mem = -1; // most recent memory op of any kind
+    // Oracle path only: every older memory op, for pairwise checks.
+    // The legacy chain relies on transitivity (each mem op orders
+    // behind the previous), which pruning individual edges breaks, so
+    // alias-aware ordering must test all pairs explicitly.
+    std::vector<std::uint32_t> older_mem;
 
     for (std::uint32_t li = 0; li < _n; ++li) {
         const Instruction &in = insts[begin + li];
@@ -102,7 +108,22 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
         }
 
         if (in.isMem()) {
-            if (in.isStore()) {
+            if (oracle != nullptr) {
+                // Pairwise ordering against every older memory op the
+                // oracle cannot prove independent. Stores conflict
+                // with any older access; loads only with older stores.
+                for (std::uint32_t j : older_mem) {
+                    const Instruction &old = insts[begin + j];
+                    if (!in.isStore() && !old.isStore())
+                        continue; // load/load never orders
+                    if (oracle->alias(begin + j, begin + li) ==
+                        AliasResult::kMustNotAlias) {
+                        continue;
+                    }
+                    addEdge(j, li, 1, DepKind::kMemOrder);
+                }
+                older_mem.push_back(li);
+            } else if (in.isStore()) {
                 // Stores order behind every older memory operation.
                 if (last_mem >= 0) {
                     addEdge(static_cast<std::uint32_t>(last_mem), li, 1,
@@ -116,7 +137,9 @@ DepGraph::DepGraph(const std::vector<Instruction> &insts,
                             DepKind::kMemOrder);
                 }
             }
-            last_mem = static_cast<std::int32_t>(li);
+            if (oracle == nullptr) {
+                last_mem = static_cast<std::int32_t>(li);
+            }
         }
 
         // Block-terminating control: everything precedes the branch

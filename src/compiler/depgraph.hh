@@ -14,12 +14,38 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/types.hh"
 #include "isa/instruction.hh"
 
 namespace ff
 {
 namespace compiler
 {
+
+/** Alias verdict for a pair of memory accesses. */
+enum class AliasResult : std::uint8_t
+{
+    kMustNotAlias, ///< byte ranges provably never overlap
+    kMayAlias,     ///< unknown: keep conservative ordering
+    kMustAlias,    ///< byte ranges provably overlap
+};
+
+/**
+ * Abstract memory-disambiguation interface the dependence graph
+ * consults to prune memory-ordering edges. Implemented by
+ * analysis::MemDep; declared here so the compiler layer needs no
+ * dependence on the analysis library. Queries use program-wide
+ * instruction indices; a must-not-alias answer for two accesses in
+ * the same basic block licenses reordering them.
+ */
+class AliasOracle
+{
+  public:
+    virtual ~AliasOracle() = default;
+
+    /** Alias relation between memory instructions @p a and @p b. */
+    virtual AliasResult alias(InstIdx a, InstIdx b) const = 0;
+};
 
 /**
  * Latencies the compiler *assumes* when spacing dependent
@@ -75,10 +101,17 @@ class DepGraph
      * Memory ordering is conservative: stores order against all other
      * memory operations; loads may reorder freely with loads. Every
      * instruction is ordered no later than a block-terminating branch.
+     *
+     * With a non-null @p oracle, memory-ordering edges whose two
+     * accesses the oracle proves must-not-alias are omitted, so
+     * independent loads hoist across stores. The oracle's indices are
+     * program-wide (@p begin + local index). Without an oracle the
+     * edge set is exactly the legacy conservative chain.
      */
     DepGraph(const std::vector<isa::Instruction> &insts,
              std::uint32_t begin, std::uint32_t end,
-             const SchedLatencies &lat);
+             const SchedLatencies &lat,
+             const AliasOracle *oracle = nullptr);
 
     std::uint32_t size() const { return _n; }
 

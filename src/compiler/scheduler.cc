@@ -85,7 +85,7 @@ scheduleBlock(const Program &prog, InstIdx begin, InstIdx end,
               std::vector<std::pair<unsigned, InstIdx>> &out)
 {
     const std::uint32_t n = end - begin;
-    DepGraph graph(prog.insts(), begin, end, cfg.latencies);
+    DepGraph graph(prog.insts(), begin, end, cfg.latencies, cfg.alias);
 
     std::vector<unsigned> remaining_preds(n);
     std::vector<unsigned> earliest(n, 0);
@@ -97,6 +97,22 @@ scheduleBlock(const Program &prog, InstIdx begin, InstIdx end,
     unsigned cycle = 0;
     while (num_done < n) {
         CycleResources res;
+        // Memory ops placed in this cycle, as (original local index,
+        // is-store). Groups are emitted in original-index order, and
+        // the machine forbids any memory op from following a store in
+        // its group. The legacy dependence chain enforces that by
+        // construction, but an alias oracle prunes those edges, so
+        // group formation must re-check the slot-order rule itself.
+        std::vector<std::pair<std::uint32_t, bool>> group_mem;
+        auto group_admits = [&](std::uint32_t i, bool is_store) {
+            for (const auto &[j, j_store] : group_mem) {
+                if (j_store && j < i)
+                    return false; // i would follow the store at j
+                if (is_store && j > i)
+                    return false; // j would follow the store at i
+            }
+            return true;
+        };
         // Fill the cycle to fixpoint: placing an instruction releases
         // its sep-0 successors (e.g. a branch reading no results),
         // which may join the same issue group.
@@ -119,7 +135,11 @@ scheduleBlock(const Program &prog, InstIdx begin, InstIdx end,
                 const Instruction &in = prog.inst(begin + i);
                 if (!res.fits(in, cfg.limits))
                     continue;
+                if (in.isMem() && !group_admits(i, in.isStore()))
+                    continue;
                 res.occupy(in);
+                if (in.isMem())
+                    group_mem.emplace_back(i, in.isStore());
                 scheduled[i] = true;
                 out.emplace_back(cycle, begin + i);
                 ++num_done;

@@ -30,6 +30,15 @@ struct SchedulerConfig
 {
     isa::GroupLimits limits;   ///< machine resource widths (Table 1)
     SchedLatencies latencies;  ///< assumed operation latencies
+
+    /**
+     * Optional memory disambiguator (see analysis::MemDep). When
+     * null — the default — memory ordering is the conservative legacy
+     * chain and output is bit-identical to prior versions; when set,
+     * must-not-alias pairs lose their ordering edge and loads may
+     * hoist across provably independent stores.
+     */
+    const AliasOracle *alias = nullptr;
 };
 
 /**

@@ -41,6 +41,10 @@ ProgramBuilder::emit(Opcode op)
     Instruction in;
     in.op = op;
     in.stop = _autoStop;
+    // Builder-made programs have no source file; stamp the 1-based
+    // emission index as a pseudo line so diagnostics (ffcheck SARIF,
+    // --metrics-out profiles) can point at the builder call site.
+    in.srcLine = static_cast<std::int32_t>(_insts.size()) + 1;
     _insts.push_back(in);
     return _insts.back();
 }

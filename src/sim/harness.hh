@@ -31,7 +31,9 @@ namespace sim
 // CpuKind migrated to the cpu core layer with the model factory; the
 // sim spelling stays valid for the existing benches and tests.
 using cpu::CpuKind;
-using cpu::cpuKindName;
+// Deliberate re-export for sim:: consumers even in TUs that render no
+// names. NOLINT(misc-unused-using-decls)
+using cpu::cpuKindName; // NOLINT(misc-unused-using-decls)
 
 /** Everything a bench needs from one simulation. */
 struct SimOutcome

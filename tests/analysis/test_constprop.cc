@@ -9,7 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/constprop.hh"
-#include "compiler/liveness.hh"
+#include "analysis/cfg.hh"
 #include "cpu/regfile.hh"
 #include "isa/assembler.hh"
 
@@ -141,8 +141,8 @@ TEST(ConstPropDataflow, EntryStateIsArchitecturalZero)
         isa::assembleOrDie("ld8 r1 = [r5]\n"
                            "halt\n",
                            "cp");
-    const compiler::Liveness live(prog);
-    const ConstProp cp(prog, live);
+    const analysis::Cfg cfg(prog);
+    const ConstProp cp(cfg);
     // r5 is never written: it is provably the reset value zero.
     EXPECT_EQ(cp.valueBefore(0, isa::intReg(5)), 0u);
     EXPECT_EQ(cp.effectiveAddress(0), 0u);
@@ -151,8 +151,8 @@ TEST(ConstPropDataflow, EntryStateIsArchitecturalZero)
 TEST(ConstPropDataflow, HardwiredRegistersAreConstant)
 {
     const isa::Program prog = isa::assembleOrDie("halt\n", "cp");
-    const compiler::Liveness live(prog);
-    const ConstProp cp(prog, live);
+    const analysis::Cfg cfg(prog);
+    const ConstProp cp(cfg);
     EXPECT_EQ(cp.valueBefore(0, isa::intReg(0)), 0u);
     EXPECT_EQ(cp.valueBefore(0, isa::predReg(0)), 1u);
 }
@@ -164,8 +164,8 @@ TEST(ConstPropDataflow, EffectiveAddressFoldsBaseAndOffset)
                            "ld8 r1 = [r2+8]\n"
                            "halt\n",
                            "cp");
-    const compiler::Liveness live(prog);
-    const ConstProp cp(prog, live);
+    const analysis::Cfg cfg(prog);
+    const ConstProp cp(cfg);
     EXPECT_EQ(cp.effectiveAddress(1), 0x1008u);
 }
 
@@ -179,8 +179,8 @@ TEST(ConstPropDataflow, LoopJoinFallsToBottom)
                            "(p1) br loop\n"
                            "halt\n",
                            "cp");
-    const compiler::Liveness live(prog);
-    const ConstProp cp(prog, live);
+    const analysis::Cfg cfg(prog);
+    const ConstProp cp(cfg);
     // At the loop head r1 merges 0 (entry) with increments: bottom.
     EXPECT_EQ(cp.valueBefore(1, isa::intReg(1)), std::nullopt);
     // A register untouched on every path stays provably zero there.
@@ -196,8 +196,8 @@ TEST(ConstPropDataflow, UnreachableCodeClaimsNoConstants)
                            "end:\n"
                            "halt\n",
                            "cp");
-    const compiler::Liveness live(prog);
-    const ConstProp cp(prog, live);
+    const analysis::Cfg cfg(prog);
+    const ConstProp cp(cfg);
     // Instruction 2 is dead; even r1 is not claimed constant there.
     EXPECT_EQ(cp.valueBefore(2, isa::intReg(1)), std::nullopt);
     // At the (reachable) join it is 5 on every incoming path.

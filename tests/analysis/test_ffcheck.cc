@@ -143,11 +143,55 @@ TEST(FfcheckGroups, NearMissWawAcrossGroupsIsLegal)
 
 TEST(FfcheckGroups, StoreLoadSharingGroupIsFlagged)
 {
+    // v2: the pair provably overlaps (same base, same bytes), so the
+    // finding upgrades from the conservative group-mem-order to the
+    // definite alias-store-order diagnostic.
     const Report rep = checkAsm("movi r1 = 0x1000 ;;\n"
                                 "st8 [r1] = r0\n"
                                 "ld8 r2 = [r1]\n"
                                 "halt\n");
+    EXPECT_TRUE(has(rep, CheckId::kAliasStoreOrder));
+    EXPECT_FALSE(has(rep, CheckId::kGroupMemOrder));
+}
+
+TEST(FfcheckGroups, UnknownBaseStoreLoadPairStaysConservative)
+{
+    // The load result feeding the second access hides the base, so
+    // the pair is only *possibly* conflicting: group-mem-order.
+    const Report rep = checkAsm("movi r1 = 0x1000 ;;\n"
+                                "ld8 r3 = [r1] ;;\n"
+                                "st8 [r3] = r0\n"
+                                "ld8 r2 = [r1+0x40]\n"
+                                "halt\n");
     EXPECT_TRUE(has(rep, CheckId::kGroupMemOrder));
+    EXPECT_FALSE(has(rep, CheckId::kAliasStoreOrder));
+}
+
+TEST(FfcheckGroups, DisjointStoreThenLoadBreaksSlotOrderRule)
+{
+    // Distinct fields off one base: no data hazard, but the machine
+    // still forbids any memory op after a store in its group (the
+    // two-pass merge replays memory in slot order). Structural
+    // group-mem-order, not the overlap diagnostic.
+    const Report rep = checkAsm("movi r1 = 0x1000 ;;\n"
+                                "st8 [r1] = r0\n"
+                                "ld8 r2 = [r1+8]\n"
+                                "halt\n");
+    EXPECT_TRUE(has(rep, CheckId::kGroupMemOrder));
+    EXPECT_FALSE(has(rep, CheckId::kAliasStoreOrder));
+}
+
+TEST(FfcheckGroups, ProvablyDisjointLoadThenStoreSharesAGroup)
+{
+    // The load sits in an earlier slot than the store, so slot order
+    // is respected, and the byte intervals are provably disjoint:
+    // this grouping is exactly what alias-aware scheduling buys.
+    const Report rep = checkAsm("movi r1 = 0x1000 ;;\n"
+                                "ld8 r2 = [r1+8]\n"
+                                "st8 [r1] = r0\n"
+                                "halt\n");
+    EXPECT_FALSE(has(rep, CheckId::kGroupMemOrder));
+    EXPECT_FALSE(has(rep, CheckId::kAliasStoreOrder));
 }
 
 TEST(FfcheckGroups, NearMissStoreThenLoadNextGroup)
@@ -157,6 +201,7 @@ TEST(FfcheckGroups, NearMissStoreThenLoadNextGroup)
                                 "ld8 r2 = [r1]\n"
                                 "halt\n");
     EXPECT_FALSE(has(rep, CheckId::kGroupMemOrder));
+    EXPECT_FALSE(has(rep, CheckId::kAliasStoreOrder));
 }
 
 TEST(FfcheckGroups, OversubscribedAluGroupIsFlagged)

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "compiler/liveness.hh"
+#include "analysis/liveness.hh"
 #include "isa/builder.hh"
 #include "workloads/workload.hh"
 
@@ -13,9 +13,9 @@ namespace
 
 using namespace ff;
 using namespace ff::isa;
-using compiler::Liveness;
-using compiler::PressureReport;
-using compiler::RegSet;
+using analysis::Liveness;
+using analysis::PressureReport;
+using analysis::RegSet;
 using cpu::regSlot;
 
 bool
@@ -56,9 +56,9 @@ TEST(Liveness, LoopCarriedValueStaysLive)
     Liveness lv(p);
 
     // At the loop head, both carried registers are live.
-    const auto &head = lv.blockOf(2);
-    EXPECT_TRUE(liveHas(head.liveIn, intReg(1)));
-    EXPECT_TRUE(liveHas(head.liveIn, intReg(2)));
+    const RegSet &head = lv.liveIn(lv.cfg().blockIndexOf(2));
+    EXPECT_TRUE(liveHas(head, intReg(1)));
+    EXPECT_TRUE(liveHas(head, intReg(2)));
 }
 
 TEST(Liveness, BranchSuccessorsAndFallThrough)
@@ -75,8 +75,7 @@ TEST(Liveness, BranchSuccessorsAndFallThrough)
     Liveness lv(p);
 
     // The branch block has two successors.
-    const auto &br_block = lv.blockOf(1);
-    EXPECT_EQ(br_block.succs.size(), 2u);
+    EXPECT_EQ(lv.cfg().blockOf(1).succs.size(), 2u);
 }
 
 TEST(Liveness, UnconditionalBranchHasNoFallThrough)
@@ -89,7 +88,7 @@ TEST(Liveness, UnconditionalBranchHasNoFallThrough)
     b.halt();
     Program p = b.finalize();
     Liveness lv(p);
-    EXPECT_EQ(lv.blockOf(1).succs.size(), 1u);
+    EXPECT_EQ(lv.cfg().blockOf(1).succs.size(), 1u);
 }
 
 TEST(Liveness, HaltBlockHasNoSuccessors)
@@ -99,7 +98,7 @@ TEST(Liveness, HaltBlockHasNoSuccessors)
     b.halt();
     Program p = b.finalize();
     Liveness lv(p);
-    EXPECT_TRUE(lv.blockOf(1).succs.empty());
+    EXPECT_TRUE(lv.cfg().blockOf(1).succs.empty());
 }
 
 TEST(Liveness, PredicatedWriteIsNotAKill)
@@ -138,6 +137,22 @@ TEST(Liveness, HardwiredRegistersNeverLive)
     Program p = b.finalize();
     Liveness lv(p);
     EXPECT_FALSE(liveHas(lv.liveBefore(0), intReg(0)));
+}
+
+TEST(Liveness, SharedCfgConstructorMatchesOwned)
+{
+    ProgramBuilder b("shared");
+    b.movi(intReg(1), 3);
+    b.addi(intReg(2), intReg(1), 1);
+    b.halt();
+    Program p = b.finalize();
+    const analysis::Cfg cfg(p);
+    Liveness fromCfg(cfg);
+    Liveness fromProg(p);
+    for (std::size_t blk = 0; blk < cfg.numBlocks(); ++blk) {
+        EXPECT_EQ(fromCfg.liveIn(blk), fromProg.liveIn(blk));
+        EXPECT_EQ(fromCfg.liveOut(blk), fromProg.liveOut(blk));
+    }
 }
 
 TEST(Liveness, PressureCountsClassesSeparately)

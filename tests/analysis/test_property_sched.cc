@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Property tests for alias-aware scheduling: over randomly generated
+ * programs, scheduling with the memory-dependence oracle must keep
+ * the program ffcheck-clean in strict mode and leave the
+ * architectural outcome (registers, memory, checksum) bit-identical
+ * to the conservative schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/ffcheck.hh"
+#include "analysis/memdep.hh"
+#include "sim/harness.hh"
+#include "support/random_program.hh"
+
+namespace ff
+{
+namespace
+{
+
+constexpr std::uint64_t kFirstSeed = 40;
+constexpr std::uint64_t kNumSeeds = 10;
+
+TEST(PropertySched, AliasAwareSchedulesVerifyStrict)
+{
+    for (std::uint64_t seed = kFirstSeed;
+         seed < kFirstSeed + kNumSeeds; ++seed) {
+        const isa::Program seq =
+            isa::sequentialize(testsupport::randomProgram(seed));
+        const isa::Program plain = compiler::schedule(seq);
+        const isa::Program aliased = analysis::scheduleWithAlias(seq);
+
+        const analysis::Report prep = analysis::check(plain);
+        EXPECT_TRUE(prep.clean(/*strict=*/true))
+            << "seed " << seed << " plain:\n"
+            << analysis::render(prep, "plain");
+        const analysis::Report arep = analysis::check(aliased);
+        EXPECT_TRUE(arep.clean(/*strict=*/true))
+            << "seed " << seed << " aliased:\n"
+            << analysis::render(arep, "aliased");
+    }
+}
+
+TEST(PropertySched, AliasAwareSchedulesPreserveArchitecturalState)
+{
+    for (std::uint64_t seed = kFirstSeed;
+         seed < kFirstSeed + kNumSeeds; ++seed) {
+        const isa::Program seq =
+            isa::sequentialize(testsupport::randomProgram(seed));
+        const isa::Program plain = compiler::schedule(seq);
+        const isa::Program aliased = analysis::scheduleWithAlias(seq);
+
+        const sim::FunctionalOutcome ref = sim::runFunctional(plain);
+        const sim::FunctionalOutcome got = sim::runFunctional(aliased);
+        ASSERT_TRUE(ref.result.halted) << "seed " << seed;
+        ASSERT_TRUE(got.result.halted) << "seed " << seed;
+        EXPECT_EQ(ref.regFingerprint, got.regFingerprint)
+            << "seed " << seed;
+        EXPECT_EQ(ref.memFingerprint, got.memFingerprint)
+            << "seed " << seed;
+        EXPECT_EQ(ref.checksum, got.checksum) << "seed " << seed;
+        EXPECT_EQ(ref.result.instsExecuted, got.result.instsExecuted)
+            << "seed " << seed;
+    }
+}
+
+TEST(PropertySched, OracleOnlyEverTightensTheSchedule)
+{
+    // Pruning constraints can only shorten (or keep) the group count.
+    for (std::uint64_t seed = kFirstSeed;
+         seed < kFirstSeed + kNumSeeds; ++seed) {
+        const isa::Program seq =
+            isa::sequentialize(testsupport::randomProgram(seed));
+        auto groups = [](const isa::Program &p) {
+            unsigned n = 0;
+            for (const isa::Instruction &in : p.insts())
+                n += in.stop ? 1 : 0;
+            return n;
+        };
+        EXPECT_LE(groups(analysis::scheduleWithAlias(seq)),
+                  groups(compiler::schedule(seq)))
+            << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace ff

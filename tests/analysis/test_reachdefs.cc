@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for whole-program reaching definitions: entry pseudo-
+ * definitions, kills, predicated writes as non-kills, joins and the
+ * unique-def query the memory-dependence analysis relies on.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/reachdefs.hh"
+#include "isa/assembler.hh"
+
+namespace ff
+{
+namespace
+{
+
+using analysis::Cfg;
+using analysis::kEntryDef;
+using analysis::ReachingDefs;
+
+struct Built
+{
+    isa::Program prog;
+    Cfg cfg;
+    ReachingDefs rd;
+
+    explicit Built(const char *src)
+        : prog(isa::assembleOrDie(src, "rd")), cfg(prog), rd(cfg)
+    {
+    }
+};
+
+bool
+reaches(const ReachingDefs &rd, InstIdx at, isa::RegId reg,
+        std::uint32_t def)
+{
+    const auto defs = rd.defsReaching(at, reg);
+    return std::find(defs.begin(), defs.end(), def) != defs.end();
+}
+
+TEST(ReachDefs, NeverWrittenRegisterKeepsTheEntryDef)
+{
+    const Built b("ld8 r1 = [r5] ;;\n"
+                  "halt\n");
+    EXPECT_TRUE(b.rd.entryReaches(0, isa::intReg(5)));
+    EXPECT_EQ(b.rd.uniqueDef(0, isa::intReg(5)), std::nullopt);
+}
+
+TEST(ReachDefs, UnconditionalWriteKillsTheEntryDef)
+{
+    const Built b("movi r1 = 0x1000 ;;\n"
+                  "ld8 r2 = [r1] ;;\n"
+                  "halt\n");
+    EXPECT_TRUE(b.rd.entryReaches(0, isa::intReg(1)));
+    EXPECT_FALSE(b.rd.entryReaches(1, isa::intReg(1)));
+    EXPECT_EQ(b.rd.uniqueDef(1, isa::intReg(1)), 0u);
+}
+
+TEST(ReachDefs, PredicatedWriteGensWithoutKilling)
+{
+    const Built b("cmp.eq p1, p2 = r9, 0 ;;\n"
+                  "(p1) movi r1 = 7 ;;\n"
+                  "ld8 r2 = [r1] ;;\n"
+                  "halt\n");
+    // Both the predicated write and the entry value may reach.
+    EXPECT_TRUE(b.rd.entryReaches(2, isa::intReg(1)));
+    EXPECT_TRUE(reaches(b.rd, 2, isa::intReg(1), 1));
+    // A predicated single def is never unique.
+    EXPECT_EQ(b.rd.uniqueDef(2, isa::intReg(1)), std::nullopt);
+}
+
+TEST(ReachDefs, JoinMergesDefsFromBothPaths)
+{
+    const Built b("cmp.eq p1, p2 = r9, 0 ;;\n"
+                  "(p1) br other\n"
+                  "movi r1 = 1\n"
+                  "br end\n"
+                  "other:\n"
+                  "movi r1 = 2 ;;\n"
+                  "end:\n"
+                  "ld8 r2 = [r1]\n"
+                  "halt\n");
+    EXPECT_TRUE(reaches(b.rd, 5, isa::intReg(1), 2));
+    EXPECT_TRUE(reaches(b.rd, 5, isa::intReg(1), 4));
+    EXPECT_FALSE(b.rd.entryReaches(5, isa::intReg(1)));
+    EXPECT_EQ(b.rd.uniqueDef(5, isa::intReg(1)), std::nullopt);
+}
+
+TEST(ReachDefs, LoopBodyDefReachesTheLoopHead)
+{
+    const Built b("movi r1 = 0 ;;\n"
+                  "loop:\n"
+                  "add r1 = r1, 1 ;;\n"
+                  "cmp.lt p1, p2 = r1, 10 ;;\n"
+                  "(p1) br loop\n"
+                  "halt\n");
+    // At the loop head both the preheader def and the back-edge def
+    // of r1 may reach.
+    EXPECT_TRUE(reaches(b.rd, 1, isa::intReg(1), 0));
+    EXPECT_TRUE(reaches(b.rd, 1, isa::intReg(1), 1));
+    EXPECT_EQ(b.rd.uniqueDef(1, isa::intReg(1)), std::nullopt);
+    // Straight below the add, it is the unique def.
+    EXPECT_EQ(b.rd.uniqueDef(2, isa::intReg(1)), 1u);
+}
+
+TEST(ReachDefs, HardwiredZeroNeverCountsAsEntryRead)
+{
+    const Built b("ld8 r1 = [r0] ;;\n"
+                  "halt\n");
+    EXPECT_FALSE(b.rd.entryReaches(0, isa::intReg(0)));
+}
+
+TEST(ReachDefs, CmpWritesBothPredicateDestinations)
+{
+    const Built b("cmp.eq p1, p2 = r9, 0 ;;\n"
+                  "(p2) movi r1 = 1\n"
+                  "halt\n");
+    EXPECT_FALSE(b.rd.entryReaches(1, isa::predReg(1)));
+    EXPECT_FALSE(b.rd.entryReaches(1, isa::predReg(2)));
+    EXPECT_EQ(b.rd.uniqueDef(1, isa::predReg(2)), 0u);
+}
+
+TEST(ReachDefs, DefsReachingReportsTheEntrySentinel)
+{
+    const Built b("ld8 r1 = [r5] ;;\n"
+                  "halt\n");
+    EXPECT_TRUE(reaches(b.rd, 0, isa::intReg(5), kEntryDef));
+}
+
+} // namespace
+} // namespace ff

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the machine-readable report renderings: the SARIF
+ * 2.1.0 log (rule catalog, locations, levels) and the flat JSON
+ * diagnostics array, pinned byte-for-byte by a golden fixture.
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/ffcheck.hh"
+#include "analysis/sarif.hh"
+#include "isa/assembler.hh"
+
+namespace ff
+{
+namespace
+{
+
+using analysis::CheckId;
+using analysis::Report;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+Report
+checkAsm(const char *src)
+{
+    return analysis::check(isa::assembleOrDie(src, "prog.s"));
+}
+
+TEST(Sarif, RuleCatalogListsEveryDiagnostic)
+{
+    const Report empty;
+    const std::string log = analysis::renderSarif(empty, "prog.s");
+    EXPECT_NE(log.find("\"$schema\""), std::string::npos);
+    EXPECT_NE(log.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(log.find("\"name\": \"ffcheck\""), std::string::npos);
+    for (const CheckId id :
+         {CheckId::kUninitRead, CheckId::kGroupRaw,
+          CheckId::kAliasStoreOrder, CheckId::kGroupMemOrder,
+          CheckId::kNullAccess, CheckId::kMisalignedAccess,
+          CheckId::kRegPressure}) {
+        EXPECT_NE(log.find(std::string("\"id\": \"") +
+                           analysis::checkName(id) + "\""),
+                  std::string::npos)
+            << analysis::checkName(id);
+    }
+}
+
+TEST(Sarif, FindingsCarryRuleLevelAndLocation)
+{
+    const Report rep = checkAsm("ld8 r1 = [r2] ;;\n"
+                                "halt\n");
+    ASSERT_GT(rep.findings.size(), 0u);
+    const std::string log = analysis::renderSarif(rep, "prog.s");
+    EXPECT_NE(log.find("\"ruleId\": \"uninit-read\""),
+              std::string::npos);
+    EXPECT_NE(log.find("\"level\": \"warning\""), std::string::npos);
+    EXPECT_NE(log.find("\"uri\": \"prog.s\""), std::string::npos);
+    EXPECT_NE(log.find("\"startLine\": 1"), std::string::npos);
+}
+
+TEST(Sarif, JsonRenderingCountsSeverities)
+{
+    const Report rep = checkAsm("movi r1 = 0x1001 ;;\n"
+                                "ld8 r2 = [r1]\n"
+                                "halt\n");
+    const std::string js = analysis::renderJson(rep, "prog.s");
+    EXPECT_NE(js.find("\"source\": \"prog.s\""), std::string::npos);
+    EXPECT_NE(js.find("\"check\": \"misaligned-access\""),
+              std::string::npos);
+    std::ostringstream errs;
+    errs << "\"errors\": " << rep.errors();
+    EXPECT_NE(js.find(errs.str()), std::string::npos);
+}
+
+TEST(Sarif, EscapesControlAndQuoteCharacters)
+{
+    Report rep;
+    rep.findings.push_back({CheckId::kUninitRead,
+                            analysis::Severity::kWarning, 0, 1,
+                            "quote \" backslash \\ tab \t end"});
+    const std::string log = analysis::renderSarif(rep, "a\"b.s");
+    EXPECT_NE(log.find("quote \\\" backslash \\\\ tab \\t end"),
+              std::string::npos);
+    EXPECT_NE(log.find("a\\\"b.s"), std::string::npos);
+}
+
+TEST(Sarif, GoldenFixtureMatchesByteForByte)
+{
+    const std::string dir =
+        std::string(FF_SOURCE_DIR) + "/tests/fixtures/";
+    const isa::Program prog =
+        isa::assembleOrDie(slurp(dir + "diagnostics.s"),
+                           "diagnostics.s");
+    const Report rep = analysis::check(prog);
+    const std::string log =
+        analysis::renderSarif(rep, "diagnostics.s");
+    EXPECT_EQ(log, slurp(dir + "diagnostics.sarif.golden"))
+        << "--- regenerate with: ffcheck --sarif=... "
+           "tests/fixtures/diagnostics.s ---\n"
+        << log;
+}
+
+TEST(Sarif, GoldenJsonFixtureMatchesByteForByte)
+{
+    const std::string dir =
+        std::string(FF_SOURCE_DIR) + "/tests/fixtures/";
+    const isa::Program prog =
+        isa::assembleOrDie(slurp(dir + "diagnostics.s"),
+                           "diagnostics.s");
+    const Report rep = analysis::check(prog);
+    const std::string js = analysis::renderJson(rep, "diagnostics.s");
+    EXPECT_EQ(js, slurp(dir + "diagnostics.json.golden")) << js;
+}
+
+} // namespace
+} // namespace ff

@@ -1,0 +1,12 @@
+// Golden-fixture program for the SARIF / JSON renderers: a small,
+// deliberately diverse set of findings with stable source lines.
+// Regenerate the .golden files with:
+//   ffcheck --sarif=diagnostics.sarif.golden \
+//           --json=diagnostics.json.golden tests/fixtures/diagnostics.s
+ld8 r1 = [r2] ;;
+movi r4 = 0x1001 ;;
+ld8 r5 = [r4] ;;
+movi r6 = 0x2000 ;;
+st8 [r6] = r1
+ld8 r7 = [r6]
+halt

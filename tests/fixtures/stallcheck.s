@@ -1,0 +1,26 @@
+# Cross-validation fixture for the static stall predictor (ffstall):
+# a pointer chase whose working set is one L1 line, so the effective
+# load-use latency is exactly the L1D hit time and every bubble the
+# baseline core takes is a schedule-visible load-use stall. Each
+# iteration chases two dependent loads; neither can be covered, so
+# the model and the simulator must both see two bubble cycles per
+# trip around the loop.
+#
+#   ffstall --schedule --tolerance=15 tests/fixtures/stallcheck.s
+
+movi r1 = 0x1000            # &ring (self-pointing slot)
+movi r10 = 20000            # iterations
+
+loop:
+ld8 r2 = [r1]
+ld8 r3 = [r2]
+ld8 r4 = [r3]
+sub r10 = r10, 1
+cmp.gt p1, p2 = r10, 0
+(p1) br loop
+
+movi r5 = 0x100
+st8 [r5] = r4
+halt
+
+.poke64 0x1000 0x1000       # slot points at itself

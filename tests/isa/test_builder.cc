@@ -45,6 +45,27 @@ TEST(Builder, EmitsOpcodesAndOperands)
     EXPECT_EQ(p.inst(4).dst2, predReg(2));
 }
 
+TEST(Builder, StampsEmissionIndexAsSrcLine)
+{
+    ProgramBuilder b("prov");
+    b.movi(intReg(1), 1);
+    b.add(intReg(2), intReg(1), intReg(1));
+    b.halt();
+    Program p = b.finalize();
+    // 1-based pseudo lines point diagnostics back at the builder
+    // call sequence; they must not feed the content identity.
+    EXPECT_EQ(p.inst(0).srcLine, 1);
+    EXPECT_EQ(p.inst(1).srcLine, 2);
+    EXPECT_EQ(p.inst(2).srcLine, 3);
+
+    ProgramBuilder b2("prov");
+    b2.movi(intReg(1), 1);
+    b2.add(intReg(2), intReg(1), intReg(1));
+    b2.halt();
+    Program p2 = b2.finalize();
+    EXPECT_EQ(p.instStreamHash(), p2.instStreamHash());
+}
+
 TEST(Builder, FpEmitters)
 {
     ProgramBuilder b("fp");

@@ -30,34 +30,34 @@ constexpr Addr kDataBase = 0x100000;
 // Address-window mask for memory traffic. The default 32KB window
 // spreads accesses; the aliasing-heavy instantiation shrinks it so
 // loads constantly race deferred stores through the ALAT.
-std::int64_t g_data_mask = 0x7FF8;
+inline std::int64_t g_data_mask = 0x7FF8;
 
-RegId
+inline RegId
 randInt(Rng &rng)
 {
     return intReg(1 + static_cast<unsigned>(rng.nextBelow(kIntPool)));
 }
 
-RegId
+inline RegId
 randFp(Rng &rng)
 {
     return fpReg(1 + static_cast<unsigned>(rng.nextBelow(kFpPool)));
 }
 
-RegId
+inline RegId
 randPred(Rng &rng)
 {
     return predReg(1 + static_cast<unsigned>(rng.nextBelow(kPredPool)));
 }
 
-CmpCond
+inline CmpCond
 randCond(Rng &rng)
 {
     return static_cast<CmpCond>(rng.nextBelow(7));
 }
 
 /** Two *distinct* predicate destinations (same-reg pairs are WAW). */
-std::pair<RegId, RegId>
+inline std::pair<RegId, RegId>
 randPredPair(Rng &rng)
 {
     const unsigned a = 1 + static_cast<unsigned>(rng.nextBelow(kPredPool));
@@ -68,7 +68,7 @@ randPredPair(Rng &rng)
 }
 
 /** Emits one random body instruction (possibly predicated). */
-void
+inline void
 emitRandomInst(ProgramBuilder &b, Rng &rng)
 {
     const bool predicated = rng.chance(0.25);
@@ -135,7 +135,7 @@ emitRandomInst(ProgramBuilder &b, Rng &rng)
 }
 
 /** Generates a valid, terminating random program. */
-Program
+inline Program
 randomProgram(std::uint64_t seed)
 {
     Rng rng(seed);

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/ffcheck.hh"
+#include "analysis/memdep.hh"
 #include "common/trace.hh"
 #include "compiler/scheduler.hh"
 #include "cpu/functional/functional_cpu.hh"
@@ -71,6 +72,9 @@ constexpr FlagSpec kFlags[] = {
      "workload scale percent (default 10)"},
     {"--schedule", ArgKind::kNone, nullptr,
      "run the list scheduler (issue-group packing)"},
+    {"--sched-alias", ArgKind::kNone, nullptr,
+     "schedule with the memory-dependence alias oracle (provably "
+     "disjoint accesses reorder; implies --schedule)"},
     {"--disasm", ArgKind::kNone, nullptr,
      "print the (scheduled) program and exit"},
     {"--stats", ArgKind::kNone, nullptr,
@@ -191,6 +195,7 @@ main(int argc, char **argv)
     int scale = 10;
     std::string model;
     bool do_schedule = false, do_disasm = false, do_stats = false;
+    bool sched_alias = false;
     bool do_verify = false, verify_strict = false;
     bool do_profile = false, do_trace = false;
     unsigned profile_k = 20;
@@ -252,6 +257,8 @@ main(int argc, char **argv)
                 std::strtol(v.c_str(), nullptr, 0));
         } else if (n == "--schedule") {
             do_schedule = true;
+        } else if (n == "--sched-alias") {
+            do_schedule = sched_alias = true;
         } else if (n == "--disasm") {
             do_disasm = true;
         } else if (n == "--stats") {
@@ -348,8 +355,12 @@ main(int argc, char **argv)
     if (do_schedule) {
         // The scheduler owns group formation: flatten whatever stop
         // bits the source carried and re-pack under the machine's
-        // widths.
-        prog = compiler::schedule(isa::sequentialize(prog));
+        // widths. The alias oracle prunes provably independent
+        // memory-ordering constraints first when asked.
+        if (sched_alias)
+            prog = analysis::scheduleWithAlias(isa::sequentialize(prog));
+        else
+            prog = compiler::schedule(isa::sequentialize(prog));
     }
     if (do_verify) {
         analysis::CheckOptions copts;
