@@ -11,12 +11,10 @@ namespace trace
 
 namespace
 {
-// The only process-global mutable state reachable from simulate():
-// enabled() runs on every traced statement of every batch worker, so
-// the mask is a relaxed atomic (tracing is configuration, not
-// synchronization); the capture buffer is mutex-guarded so concurrent
-// emitters interleave whole lines rather than bytes.
-std::atomic<std::uint32_t> g_mask{kNone};
+// Process-global mutable state reachable from simulate(): the mask
+// lives inline in the header (trace::detail::g_mask) so enabled()
+// inlines; the capture buffer is mutex-guarded so concurrent emitters
+// interleave whole lines rather than bytes.
 std::mutex g_bufferMu;
 bool g_capture = false;
 std::string g_buffer;
@@ -25,19 +23,13 @@ std::string g_buffer;
 void
 enable(std::uint32_t mask)
 {
-    g_mask.fetch_or(mask, std::memory_order_relaxed);
+    detail::g_mask.fetch_or(mask, std::memory_order_relaxed);
 }
 
 void
 disable()
 {
-    g_mask.store(kNone, std::memory_order_relaxed);
-}
-
-bool
-enabled(std::uint32_t mask)
-{
-    return (g_mask.load(std::memory_order_relaxed) & mask) != 0;
+    detail::g_mask.store(kNone, std::memory_order_relaxed);
 }
 
 void

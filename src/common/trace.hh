@@ -8,6 +8,7 @@
 #ifndef FF_COMMON_TRACE_HH
 #define FF_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -36,6 +37,16 @@ enum Category : std::uint32_t
     kAll      = ~0u,
 };
 
+namespace detail
+{
+/**
+ * The global category mask. Inline here (not hidden in trace.cc) so
+ * enabled() compiles down to one relaxed load + AND at every traced
+ * statement on the per-cycle path instead of a cross-TU call.
+ */
+inline std::atomic<std::uint32_t> g_mask{kNone};
+} // namespace detail
+
 /** Enables the given categories (bitwise OR with current mask). */
 void enable(std::uint32_t mask);
 
@@ -43,7 +54,11 @@ void enable(std::uint32_t mask);
 void disable();
 
 /** True if any of the given categories is enabled. */
-bool enabled(std::uint32_t mask);
+inline bool
+enabled(std::uint32_t mask)
+{
+    return (detail::g_mask.load(std::memory_order_relaxed) & mask) != 0;
+}
 
 /**
  * Redirects trace output into an internal buffer instead of stderr

@@ -5,6 +5,7 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "cpu/exec.hh"
+#include "cpu/issue_check.hh"
 #include "cpu/stats_report.hh"
 
 namespace ff
@@ -21,12 +22,6 @@ BaselineCpu::BaselineCpu(const isa::Program &prog,
 }
 
 CycleClass
-BaselineCpu::tick(Cycle now, RunResult &res)
-{
-    return tryIssue(now, res);
-}
-
-CycleClass
 BaselineCpu::tryIssue(Cycle now, RunResult &res)
 {
     if (!_fe.headReady(now))
@@ -36,42 +31,11 @@ BaselineCpu::tryIssue(Cycle now, RunResult &res)
     const InstIdx leader = g.leader;
     const InstIdx end = g.end;
 
-    // ---- dependence check (REG stage): whole-group stall ----------
-    unsigned loads_wanted = 0;
-    for (InstIdx i = leader; i < end; ++i) {
-        const Instruction &in = _prog.inst(i);
-        if (!_sb.ready(in.qpred, now))
-            return stallClassFor(_sb, in.qpred);
-        const bool qp = _regs.readPred(in.qpred);
-        if (!qp && !in.isBranch())
-            continue; // nullified slot needs no operands
-        if (in.src1.valid() && !_sb.ready(in.src1, now))
-            return stallClassFor(_sb, in.src1);
-        if (in.src2.valid() && !in.src2IsImm &&
-            !_sb.ready(in.src2, now)) {
-            return stallClassFor(_sb, in.src2);
-        }
-        if (_cfg.wawStall) {
-            std::array<isa::RegId, 2> dsts;
-            unsigned nd = in.destinations(dsts);
-            for (unsigned d = 0; d < nd; ++d) {
-                if (!_sb.ready(dsts[d], now))
-                    return stallClassFor(_sb, dsts[d]);
-            }
-        }
-        if (in.isLoad() && qp)
-            ++loads_wanted;
-    }
-
-    // ---- resource check: conservatively assume every load misses --
-    if (loads_wanted > 0 && _hier.outstandingLoads(now) > 0 &&
-        _hier.outstandingLoads(now) + loads_wanted >
-            _cfg.mem.maxOutstandingLoads) {
-        // Stalling only helps while an outstanding load could retire
-        // and free an MSHR; a group carrying more loads than the
-        // machine has MSHRs must still issue eventually.
-        return CycleClass::kResourceStall;
-    }
+    // ---- dependence + resource check (REG stage): whole-group stall
+    const CycleClass stall = checkGroupIssue(
+        _prog, leader, end, _ms.sb, _ms.regs, _hier, _cfg, now);
+    if (stall != CycleClass::kUnstalled)
+        return stall;
 
     // ---- execute: snapshot reads, apply in slot order --------------
     // The group issues now: consume it from the front end before
@@ -90,9 +54,10 @@ BaselineCpu::tryIssue(Cycle now, RunResult &res)
     for (InstIdx i = leader; i < end; ++i) {
         const Instruction &in = _prog.inst(i);
         SlotOperands &o = ops[i - leader];
-        o.qpred = _regs.readPred(in.qpred);
-        o.s1 = in.src1.valid() ? _regs.read(in.src1) : 0;
-        o.s2 = operandSrc2(in, in.src2.valid() ? _regs.read(in.src2) : 0);
+        o.qpred = _ms.regs.readPred(in.qpred);
+        o.s1 = in.src1.valid() ? _ms.regs.read(in.src1) : 0;
+        o.s2 = operandSrc2(
+            in, in.src2.valid() ? _ms.regs.read(in.src2) : 0);
     }
 
     for (InstIdx i = leader; i < end; ++i) {
@@ -134,9 +99,9 @@ BaselineCpu::tryIssue(Cycle now, RunResult &res)
                                  now);
                 ev.dstVal = loadExtend(in.op, _mem.read(ev.addr,
                                                         ev.size));
-                _regs.write(in.dst, ev.dstVal);
-                _sb.setPending(in.dst, now + ar.latency,
-                               PendingKind::kLoad);
+                _ms.regs.write(in.dst, ev.dstVal);
+                _ms.sb.setPending(in.dst, now + ar.latency,
+                                  PendingKind::kLoad);
                 ff_trace(trace::kMem, now, "LOAD",
                          "@" << i << " [" << std::hex << ev.addr
                              << std::dec << "] "
@@ -153,16 +118,17 @@ BaselineCpu::tryIssue(Cycle now, RunResult &res)
 
         const unsigned lat = in.execLatency();
         if (ev.writesDst) {
-            _regs.write(in.dst, ev.dstVal);
+            _ms.regs.write(in.dst, ev.dstVal);
             if (lat > 1) {
-                _sb.setPending(in.dst, now + lat, PendingKind::kNonLoad);
+                _ms.sb.setPending(in.dst, now + lat,
+                                  PendingKind::kNonLoad);
             }
         }
         if (ev.writesDst2) {
-            _regs.write(in.dst2, ev.dst2Val);
+            _ms.regs.write(in.dst2, ev.dst2Val);
             if (lat > 1) {
-                _sb.setPending(in.dst2, now + lat,
-                               PendingKind::kNonLoad);
+                _ms.sb.setPending(in.dst2, now + lat,
+                                  PendingKind::kNonLoad);
             }
         }
     }
@@ -188,8 +154,8 @@ BaselineCpu::statsReport() const
 void
 BaselineCpu::saveModelState(serial::Writer &w) const
 {
-    _regs.save(w);
-    _sb.save(w);
+    _ms.regs.save(w);
+    _ms.sb.save(w);
     w.u64(_stats.loadsIssued);
     w.u64(_stats.storesIssued);
     w.u64(_stats.branchesRetired);
@@ -199,8 +165,8 @@ BaselineCpu::saveModelState(serial::Writer &w) const
 void
 BaselineCpu::restoreModelState(serial::Reader &r)
 {
-    _regs.restore(r);
-    _sb.restore(r);
+    _ms.regs.restore(r);
+    _ms.sb.restore(r);
     _stats.loadsIssued = r.u64();
     _stats.storesIssued = r.u64();
     _stats.branchesRetired = r.u64();

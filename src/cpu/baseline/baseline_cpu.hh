@@ -3,7 +3,9 @@
  * The baseline in-order EPIC core (Figure 2(a)): issue groups stall
  * atomically in the dependence-check stage whenever any contained
  * instruction's operands are not ready, exactly the behaviour whose
- * stall cycles the two-pass design attacks.
+ * stall cycles the two-pass design attacks. The register file and
+ * scoreboard live in CoreBase's MachineState; this class adds only
+ * the issue loop and its counters.
  */
 
 #ifndef FF_CPU_BASELINE_BASELINE_CPU_HH
@@ -34,15 +36,23 @@ class BaselineCpu : public CoreBase
   public:
     BaselineCpu(const isa::Program &prog, const CoreConfig &cfg);
 
-    const RegFile &archRegs() const override { return _regs; }
+    RunResult
+    run(std::uint64_t max_cycles) final
+    {
+        return runLoop(
+            [this](Cycle now, RunResult &res) {
+                return tryIssue(now, res);
+            },
+            max_cycles);
+    }
+
+    const RegFile &archRegs() const override { return _ms.regs; }
 
     const BaselineStats &stats() const { return _stats; }
 
     std::string statsReport() const override;
 
   protected:
-    CycleClass tick(Cycle now, RunResult &res) override;
-
     void saveModelState(serial::Writer &w) const override;
     void restoreModelState(serial::Reader &r) override;
 
@@ -54,8 +64,6 @@ class BaselineCpu : public CoreBase
      */
     CycleClass tryIssue(Cycle now, RunResult &res);
 
-    RegFile _regs;
-    Scoreboard _sb;
     BaselineStats _stats;
 };
 

@@ -14,34 +14,13 @@ CoreBase::CoreBase(const isa::Program &prog, const CoreConfig &cfg,
       _hier(cfg.mem),
       _pred(branch::makePredictor(cfg.predictorKind,
                                   cfg.predictorEntries)),
-      _fe(prog, _cfg, *_pred, _hier, who)
+      _fe(prog, _cfg, *_pred, _hier, who),
+      _ms(_cfg)
 {
     const std::string err = prog.validate(cfg.limits);
     ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
                 err);
     _mem.loadPages(prog.dataImage().pages());
-}
-
-RunResult
-CoreBase::run(std::uint64_t max_cycles)
-{
-    ff_panic_if(_ran && !_resumable,
-                "CPU models are single-shot; construct anew (or "
-                "restore a snapshot to resume)");
-    _ran = true;
-    _resumable = false;
-
-    while (!_res.halted && _now < max_cycles) {
-        _hier.tick(_now);
-        const CycleClass cls = tick(_now, _res);
-        _acct.record(cls);
-        if (_observer != nullptr)
-            _observer->onCycle(_now, cls);
-        _fe.tick(_now);
-        ++_now;
-    }
-    _res.cycles = _now;
-    return _res;
 }
 
 void

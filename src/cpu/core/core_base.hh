@@ -16,10 +16,12 @@
 
 #include <memory>
 
+#include "common/logging.hh"
 #include "cpu/config.hh"
 #include "cpu/core/observer.hh"
 #include "cpu/cpu.hh"
 #include "cpu/frontend.hh"
+#include "cpu/state/machine_state.hh"
 
 namespace ff
 {
@@ -41,16 +43,7 @@ class CoreBase : public CpuModel, public OccupancyProbe
     CoreBase(isa::Program &&, const CoreConfig &,
              memory::Initiator) = delete;
 
-    /**
-     * The shared run loop: per cycle, ticks the hierarchy, invokes
-     * the model's tick(), records the cycle class, notifies any
-     * observer, and ticks the front end. Single-shot — except that a
-     * restoreState() re-arms it to continue from the restored cycle,
-     * and the loop state lives in members so a run stopped by
-     * max_cycles resumes exactly where it left off after a snapshot
-     * round trip.
-     */
-    RunResult run(std::uint64_t max_cycles) final;
+    CoreBase *asCoreBase() final { return this; }
 
     bool supportsSnapshot() const final { return true; }
     Cycle currentCycle() const final { return _now; }
@@ -75,11 +68,19 @@ class CoreBase : public CpuModel, public OccupancyProbe
     }
 
     /**
-     * Attaches (or detaches, with nullptr) an observer. Virtual so
-     * models that hand the pointer to composed stage units can keep
-     * them in sync.
+     * Attaches (or detaches, with nullptr) an observer. The pointer
+     * is mirrored into MachineState so stage units composed over the
+     * state block see the same attachment.
      */
-    virtual void setObserver(CoreObserver *obs) { _observer = obs; }
+    void
+    setObserver(CoreObserver *obs)
+    {
+        _observer = obs;
+        _ms.observer = obs;
+    }
+
+    /** The dense machine state, for observers and tests (read-only). */
+    const MachineState &machineState() const { return _ms; }
 
     /**
      * Occupancy every model shares: loads outstanding past the L1.
@@ -90,10 +91,41 @@ class CoreBase : public CpuModel, public OccupancyProbe
 
   protected:
     /**
-     * One cycle of model-specific work at @p now.
-     * @return the Figure-6 classification of this cycle
+     * The shared run loop, instantiated per model: per cycle, ticks
+     * the hierarchy, invokes @p tick_fn (the model's statically-bound
+     * tick), records the cycle class, notifies any observer, and
+     * ticks the front end. Each model's run() wraps its own tick in a
+     * lambda so the per-cycle call devirtualizes and inlines instead
+     * of going through a vtable — the old `virtual tick()` cost an
+     * indirect call per simulated cycle.
+     *
+     * Single-shot — except that a restoreState() re-arms it to
+     * continue from the restored cycle, and the loop state lives in
+     * members so a run stopped by max_cycles resumes exactly where it
+     * left off after a snapshot round trip.
      */
-    virtual CycleClass tick(Cycle now, RunResult &res) = 0;
+    template <typename TickFn>
+    RunResult
+    runLoop(TickFn &&tick_fn, std::uint64_t max_cycles)
+    {
+        ff_panic_if(_ran && !_resumable,
+                    "CPU models are single-shot; construct anew (or "
+                    "restore a snapshot to resume)");
+        _ran = true;
+        _resumable = false;
+
+        while (!_res.halted && _now < max_cycles) {
+            _hier.tick(_now);
+            const CycleClass cls = tick_fn(_now, _res);
+            _acct.record(cls);
+            if (_observer != nullptr)
+                _observer->onCycle(_now, cls);
+            _fe.tick(_now);
+            ++_now;
+        }
+        _res.cycles = _now;
+        return _res;
+    }
 
     /**
      * Serializes the state the concrete model owns beyond the shared
@@ -122,6 +154,7 @@ class CoreBase : public CpuModel, public OccupancyProbe
     std::unique_ptr<branch::DirectionPredictor> _pred;
     FrontEnd _fe;
     CycleAccounting _acct;
+    MachineState _ms; ///< the dense per-cycle hot state (see state/)
 
   private:
     CoreObserver *_observer = nullptr;

@@ -42,11 +42,20 @@ struct RunResult
     }
 };
 
+class CoreBase;
+
 /** Abstract timed CPU. */
 class CpuModel
 {
   public:
     virtual ~CpuModel() = default;
+
+    /**
+     * The CoreBase kernel under this model, or nullptr for models
+     * (e.g. the functional CPU) not built on it. Replaces
+     * dynamic_cast probes in the metrics/observer plumbing.
+     */
+    virtual CoreBase *asCoreBase() { return nullptr; }
 
     /**
      * Runs until HALT retires or @p max_cycles elapse. Models are

@@ -20,30 +20,6 @@ slotReg(unsigned slot)
     return isa::predReg(slot);
 }
 
-RegVal
-RegFile::read(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "read of unused operand slot");
-    if (r.idx == 0) {
-        // Hardwired: r0 = 0, f0 = +0.0 (bits zero), p0 = true.
-        return r.cls == isa::RegClass::kPred ? 1 : 0;
-    }
-    return _vals[slot];
-}
-
-void
-RegFile::write(isa::RegId r, RegVal v)
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "write of unused operand slot");
-    if (r.idx == 0)
-        return; // hardwired
-    if (r.cls == isa::RegClass::kPred)
-        v = v ? 1 : 0;
-    _vals[slot] = v;
-}
-
 std::uint64_t
 RegFile::fingerprint() const
 {

@@ -5,6 +5,11 @@
  * bits). Register zero of each class is hardwired (r0 = 0, f0 = +0.0,
  * p0 = true): reads return the constant and writes are rejected by
  * the program validator.
+ *
+ * The file carries a dirty mask (one bit per slot, set on every
+ * write) so checkpoint/shadow consumers — the run-ahead register
+ * checkpoint in MachineState — can re-sync by copying only the words
+ * that changed since the last sync instead of all kNumRegSlots values.
  */
 
 #ifndef FF_CPU_REGFILE_HH
@@ -13,8 +18,10 @@
 #include <array>
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/serialize.hh"
 #include "common/types.hh"
+#include "cpu/state/bitset.hh"
 #include "isa/isa.hh"
 
 namespace ff
@@ -56,19 +63,59 @@ class RegFile
     RegFile() { reset(); }
 
     /** Reads a register; hardwired zeros included. */
-    RegVal read(isa::RegId r) const;
+    RegVal
+    read(isa::RegId r) const
+    {
+        const int slot = regSlot(r);
+        ff_panic_if(slot < 0, "read of unused operand slot");
+        if (r.idx == 0) {
+            // Hardwired: r0 = 0, f0 = +0.0 (bits zero), p0 = true.
+            return r.cls == isa::RegClass::kPred ? 1 : 0;
+        }
+        return _vals[slot];
+    }
 
     /** Reads a predicate register as a boolean. */
     bool readPred(isa::RegId r) const { return read(r) != 0; }
 
     /** Writes a register. Writes to index-0 registers are ignored. */
-    void write(isa::RegId r, RegVal v);
+    void
+    write(isa::RegId r, RegVal v)
+    {
+        const int slot = regSlot(r);
+        ff_panic_if(slot < 0, "write of unused operand slot");
+        if (r.idx == 0)
+            return; // hardwired
+        if (r.cls == isa::RegClass::kPred)
+            v = v ? 1 : 0;
+        _vals[slot] = v;
+        _dirty.set(slot);
+    }
 
     /** Raw slot access (used by flush/repair routines). */
     RegVal slotValue(unsigned slot) const { return _vals[slot]; }
-    void setSlotValue(unsigned slot, RegVal v) { _vals[slot] = v; }
+    void
+    setSlotValue(unsigned slot, RegVal v)
+    {
+        _vals[slot] = v;
+        _dirty.set(slot);
+    }
 
-    void reset() { _vals.fill(0); }
+    void
+    reset()
+    {
+        _vals.fill(0);
+        // Conservative: a shadow copy synced before reset() differs
+        // everywhere afterwards.
+        _dirty.setAll();
+    }
+
+    /**
+     * Slots written since the last clearDirty(). A set bit means the
+     * slot MAY have changed; clean bits are guaranteed untouched.
+     */
+    const PackedBits<kNumRegSlots> &dirtyMask() const { return _dirty; }
+    void clearDirty() { _dirty.clearAll(); }
 
     /** FNV-1a digest of the full file, for equivalence tests. */
     std::uint64_t fingerprint() const;
@@ -86,10 +133,12 @@ class RegFile
     {
         for (RegVal &v : _vals)
             v = r.u64();
+        _dirty.setAll();
     }
 
   private:
     std::array<RegVal, kNumRegSlots> _vals;
+    PackedBits<kNumRegSlots> _dirty;
 };
 
 } // namespace cpu

@@ -5,6 +5,7 @@
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "cpu/exec.hh"
+#include "cpu/issue_check.hh"
 #include "cpu/stats_report.hh"
 
 namespace ff
@@ -45,9 +46,9 @@ RunaheadCpu::tick(Cycle now, RunResult &res)
                 std::array<isa::RegId, 4> srcs;
                 unsigned ns = in.sources(srcs);
                 for (unsigned s = 0; s < ns; ++s) {
-                    if (!_sb.ready(srcs[s], now)) {
-                        exit_at =
-                            std::max(exit_at, _sb.readyAt(srcs[s]));
+                    if (!_ms.sb.ready(srcs[s], now)) {
+                        exit_at = std::max(exit_at,
+                                           _ms.sb.readyAt(srcs[s]));
                     }
                 }
             }
@@ -71,39 +72,10 @@ RunaheadCpu::tryIssue(Cycle now, RunResult &res)
     const InstIdx leader = g.leader;
     const InstIdx end = g.end;
 
-    unsigned loads_wanted = 0;
-    for (InstIdx i = leader; i < end; ++i) {
-        const Instruction &in = _prog.inst(i);
-        if (!_sb.ready(in.qpred, now))
-            return stallClassFor(_sb, in.qpred);
-        const bool qp = _regs.readPred(in.qpred);
-        if (!qp && !in.isBranch())
-            continue;
-        if (in.src1.valid() && !_sb.ready(in.src1, now))
-            return stallClassFor(_sb, in.src1);
-        if (in.src2.valid() && !in.src2IsImm &&
-            !_sb.ready(in.src2, now)) {
-            return stallClassFor(_sb, in.src2);
-        }
-        if (_cfg.wawStall) {
-            std::array<isa::RegId, 2> dsts;
-            unsigned nd = in.destinations(dsts);
-            for (unsigned d = 0; d < nd; ++d) {
-                if (!_sb.ready(dsts[d], now))
-                    return stallClassFor(_sb, dsts[d]);
-            }
-        }
-        if (in.isLoad() && qp)
-            ++loads_wanted;
-    }
-    if (loads_wanted > 0 && _hier.outstandingLoads(now) > 0 &&
-        _hier.outstandingLoads(now) + loads_wanted >
-            _cfg.mem.maxOutstandingLoads) {
-        // Stalling only helps while an outstanding load could retire
-        // and free an MSHR; a group carrying more loads than the
-        // machine has MSHRs must still issue eventually.
-        return CycleClass::kResourceStall;
-    }
+    const CycleClass stall = checkGroupIssue(
+        _prog, leader, end, _ms.sb, _ms.regs, _hier, _cfg, now);
+    if (stall != CycleClass::kUnstalled)
+        return stall;
 
     // The group issues now: consume it from the front end before
     // executing, so a mispredict redirect (which clears the fetch
@@ -121,9 +93,10 @@ RunaheadCpu::tryIssue(Cycle now, RunResult &res)
     for (InstIdx i = leader; i < end; ++i) {
         const Instruction &in = _prog.inst(i);
         SlotOperands &o = ops[i - leader];
-        o.qpred = _regs.readPred(in.qpred);
-        o.s1 = in.src1.valid() ? _regs.read(in.src1) : 0;
-        o.s2 = operandSrc2(in, in.src2.valid() ? _regs.read(in.src2) : 0);
+        o.qpred = _ms.regs.readPred(in.qpred);
+        o.s1 = in.src1.valid() ? _ms.regs.read(in.src1) : 0;
+        o.s2 = operandSrc2(
+            in, in.src2.valid() ? _ms.regs.read(in.src2) : 0);
     }
 
     for (InstIdx i = leader; i < end; ++i) {
@@ -154,9 +127,9 @@ RunaheadCpu::tryIssue(Cycle now, RunResult &res)
                                  now);
                 ev.dstVal =
                     loadExtend(in.op, _mem.read(ev.addr, ev.size));
-                _regs.write(in.dst, ev.dstVal);
-                _sb.setPending(in.dst, now + ar.latency,
-                               PendingKind::kLoad);
+                _ms.regs.write(in.dst, ev.dstVal);
+                _ms.sb.setPending(in.dst, now + ar.latency,
+                                  PendingKind::kLoad);
                 continue;
             }
             _mem.write(ev.addr, ev.storeVal, ev.size);
@@ -166,15 +139,17 @@ RunaheadCpu::tryIssue(Cycle now, RunResult &res)
         }
         const unsigned lat = in.execLatency();
         if (ev.writesDst) {
-            _regs.write(in.dst, ev.dstVal);
-            if (lat > 1)
-                _sb.setPending(in.dst, now + lat, PendingKind::kNonLoad);
+            _ms.regs.write(in.dst, ev.dstVal);
+            if (lat > 1) {
+                _ms.sb.setPending(in.dst, now + lat,
+                                  PendingKind::kNonLoad);
+            }
         }
         if (ev.writesDst2) {
-            _regs.write(in.dst2, ev.dst2Val);
+            _ms.regs.write(in.dst2, ev.dst2Val);
             if (lat > 1) {
-                _sb.setPending(in.dst2, now + lat,
-                               PendingKind::kNonLoad);
+                _ms.sb.setPending(in.dst2, now + lat,
+                                  PendingKind::kNonLoad);
             }
         }
     }
@@ -191,14 +166,18 @@ RunaheadCpu::enterRunahead(Cycle now, Cycle exit_at)
     _inRunahead = true;
     _raExitAt = exit_at;
     _raResumePc = _fe.head().leader;
-    _raRegs = _regs;
-    _raInv.fill(false);
-    for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
-        const isa::RegId r = slotReg(slot);
-        if (!_sb.ready(r, now))
-            _raInv[slot] = true; // the miss (and friends) are unknown
-    }
-    _raSb.clear();
+    // Checkpoint: only slots written since the last episode differ
+    // between the two files; the merge-copy skips the rest.
+    _ms.checkpointRegsToRa();
+    _ms.raInv.clearAll();
+    // The miss (and friends) are unknown: every slot still pending is
+    // INV. The busy bitset is a superset of "pending now", filtered
+    // by ready time.
+    _ms.sb.forEachBusy([&](unsigned slot) {
+        if (_ms.sb.readyAtSlot(slot) > now)
+            _ms.raInv.set(slot);
+    });
+    _ms.raSb.clear();
     _raStoreOverlay.clear();
     ff_trace(trace::kExec, now, "RA-IN",
              "resume @" << _raResumePc << " exit@" << exit_at);
@@ -228,20 +207,20 @@ RunaheadCpu::runaheadStep(Cycle now)
         const int slot = regSlot(r);
         if (slot < 0 || r.idx == 0)
             return false;
-        return _raInv[slot] || !_raSb.ready(r, now);
+        return _ms.raInv.test(slot) || !_ms.raSb.ready(r, now);
     };
     auto mark_inv = [&](isa::RegId r) {
         const int slot = regSlot(r);
         if (slot >= 0 && r.idx != 0) {
-            _raInv[slot] = true;
+            _ms.raInv.set(slot);
             ++_raStats.invResults;
         }
     };
     auto mark_valid = [&](isa::RegId r, RegVal v) {
         const int slot = regSlot(r);
         if (slot >= 0 && r.idx != 0) {
-            _raInv[slot] = false;
-            _raRegs.write(r, v);
+            _ms.raInv.clear(slot);
+            _ms.raRegs.write(r, v);
         }
     };
 
@@ -259,7 +238,7 @@ RunaheadCpu::runaheadStep(Cycle now)
                 mark_inv(dsts[d]);
             continue;
         }
-        const bool qp = _raRegs.readPred(in.qpred);
+        const bool qp = _ms.raRegs.readPred(in.qpred);
 
         if (in.isBranch()) {
             // Resolve locally when possible; never trains the real
@@ -286,9 +265,10 @@ RunaheadCpu::runaheadStep(Cycle now)
             continue;
         }
 
-        const RegVal s1 = in.src1.valid() ? _raRegs.read(in.src1) : 0;
+        const RegVal s1 =
+            in.src1.valid() ? _ms.raRegs.read(in.src1) : 0;
         const RegVal s2 = operandSrc2(
-            in, in.src2.valid() ? _raRegs.read(in.src2) : 0);
+            in, in.src2.valid() ? _ms.raRegs.read(in.src2) : 0);
         EvalResult ev = evaluate(in, qp, s1, s2);
 
         if (ev.isMemAccess) {
@@ -312,8 +292,8 @@ RunaheadCpu::runaheadStep(Cycle now)
                     raw |= static_cast<std::uint64_t>(byte) << (8 * b);
                 }
                 mark_valid(in.dst, loadExtend(in.op, raw));
-                _raSb.setPending(in.dst, now + ar.latency,
-                                 PendingKind::kLoad);
+                _ms.raSb.setPending(in.dst, now + ar.latency,
+                                    PendingKind::kLoad);
             } else {
                 for (unsigned b = 0; b < ev.size; ++b) {
                     _raStoreOverlay[ev.addr + b] =
@@ -346,8 +326,8 @@ RunaheadCpu::statsReport() const
 void
 RunaheadCpu::saveModelState(serial::Writer &w) const
 {
-    _regs.save(w);
-    _sb.save(w);
+    _ms.regs.save(w);
+    _ms.sb.save(w);
     w.u64(_raStats.episodes);
     w.u64(_raStats.runaheadCycles);
     w.u64(_raStats.runaheadLoads);
@@ -357,10 +337,12 @@ RunaheadCpu::saveModelState(serial::Writer &w) const
     w.boolean(_inRunahead);
     w.u64(_raExitAt);
     w.u32(_raResumePc);
-    _raRegs.save(w);
-    for (const bool inv : _raInv)
-        w.boolean(inv);
-    _raSb.save(w);
+    _ms.raRegs.save(w);
+    // One boolean per slot: the packed INV bitset keeps the original
+    // per-slot byte encoding on the wire.
+    for (unsigned slot = 0; slot < kNumRegSlots; ++slot)
+        w.boolean(_ms.raInv.test(slot));
+    _ms.raSb.save(w);
     w.u64(_raStoreOverlay.size());
     for (const auto &[addr, byte] : _raStoreOverlay) {
         w.u64(addr);
@@ -372,8 +354,8 @@ RunaheadCpu::saveModelState(serial::Writer &w) const
 void
 RunaheadCpu::restoreModelState(serial::Reader &r)
 {
-    _regs.restore(r);
-    _sb.restore(r);
+    _ms.regs.restore(r);
+    _ms.sb.restore(r);
     _raStats.episodes = r.u64();
     _raStats.runaheadCycles = r.u64();
     _raStats.runaheadLoads = r.u64();
@@ -383,10 +365,10 @@ RunaheadCpu::restoreModelState(serial::Reader &r)
     _inRunahead = r.boolean();
     _raExitAt = r.u64();
     _raResumePc = r.u32();
-    _raRegs.restore(r);
-    for (bool &inv : _raInv)
-        inv = r.boolean();
-    _raSb.restore(r);
+    _ms.raRegs.restore(r);
+    for (unsigned slot = 0; slot < kNumRegSlots; ++slot)
+        _ms.raInv.assign(slot, r.boolean());
+    _ms.raSb.restore(r);
     _raStoreOverlay.clear();
     const std::size_t overlay = r.seq(9);
     for (std::size_t i = 0; i < overlay; ++i) {

@@ -9,6 +9,11 @@
  * load returns, then restores the checkpoint and resumes normally,
  * discarding all run-ahead results.
  *
+ * The architectural file/scoreboard and the run-ahead shadow copies
+ * (checkpoint file, INV bitset, shadow scoreboard) all live in
+ * CoreBase's MachineState; checkpointing copies only the slots dirty
+ * since the last episode instead of the whole file.
+ *
  * This is the comparison point against which two-pass pipelining's
  * retention of pre-executed work is evaluated (bench_runahead).
  */
@@ -16,7 +21,6 @@
 #ifndef FF_CPU_RUNAHEAD_RUNAHEAD_CPU_HH
 #define FF_CPU_RUNAHEAD_RUNAHEAD_CPU_HH
 
-#include <array>
 #include <map>
 
 #include "cpu/core/core_base.hh"
@@ -36,7 +40,15 @@ class RunaheadCpu : public CoreBase
   public:
     RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg);
 
-    const RegFile &archRegs() const override { return _regs; }
+    RunResult
+    run(std::uint64_t max_cycles) final
+    {
+        return runLoop(
+            [this](Cycle now, RunResult &res) { return tick(now, res); },
+            max_cycles);
+    }
+
+    const RegFile &archRegs() const override { return _ms.regs; }
 
     const RunaheadStats &runaheadStats() const { return _raStats; }
 
@@ -49,12 +61,12 @@ class RunaheadCpu : public CoreBase
     std::string statsReport() const override;
 
   protected:
-    CycleClass tick(Cycle now, RunResult &res) override;
-
     void saveModelState(serial::Writer &w) const override;
     void restoreModelState(serial::Reader &r) override;
 
   private:
+    CycleClass tick(Cycle now, RunResult &res);
+
     CycleClass tryIssue(Cycle now, RunResult &res);
 
     /** Enters run-ahead: checkpoint and mark pending regs INV. */
@@ -64,17 +76,12 @@ class RunaheadCpu : public CoreBase
     /** One cycle of run-ahead pre-execution. */
     void runaheadStep(Cycle now);
 
-    RegFile _regs;
-    Scoreboard _sb;
     RunaheadStats _raStats;
 
     // ---- run-ahead mode state ---------------------------------------
     bool _inRunahead = false;
     Cycle _raExitAt = 0;
     InstIdx _raResumePc = 0;
-    RegFile _raRegs;                       ///< speculative copy
-    std::array<bool, kNumRegSlots> _raInv{}; ///< INV marks
-    Scoreboard _raSb;                      ///< run-ahead load timing
     std::map<Addr, std::uint8_t> _raStoreOverlay;
 
     /** Consecutive load-stall cycles in normal mode (entry trigger). */

@@ -5,6 +5,13 @@
  * it is (a load or a multi-cycle non-load). The stall taxonomy of
  * Figure 6 needs the kind to split "Load stall" from "Non-load dep.
  * stall".
+ *
+ * Layout is structure-of-arrays: dense ready-time and kind arrays
+ * plus a packed busy bitset. The bitset makes two hot queries cheap:
+ * quiescentBy() lets a whole group's dependence check short-circuit
+ * when nothing is in flight, and forEachBusy() lets the run-ahead
+ * checkpoint scan only the (few) pending slots instead of all
+ * kNumRegSlots.
  */
 
 #ifndef FF_CPU_SCOREBOARD_HH
@@ -16,6 +23,7 @@
 #include "common/serialize.hh"
 #include "cpu/cycle_classes.hh"
 #include "cpu/regfile.hh"
+#include "cpu/state/bitset.hh"
 
 namespace ff
 {
@@ -45,17 +53,28 @@ class Scoreboard
             return;
         _readyAt[slot] = ready_at;
         _kind[slot] = kind;
+        _busy.set(slot);
+        if (ready_at > _maxReadyAt)
+            _maxReadyAt = ready_at;
     }
 
     /** True if @p r is usable at @p now. */
     bool
     ready(isa::RegId r, Cycle now) const
     {
+        if (_maxReadyAt <= now)
+            return true; // nothing anywhere is still pending
         const int slot = regSlot(r);
         if (slot < 0 || r.idx == 0)
             return true;
-        return _readyAt[slot] <= now;
+        return !_busy.test(slot) || _readyAt[slot] <= now;
     }
+
+    /**
+     * True when no register anywhere is pending past @p now — lets a
+     * group dependence check skip per-operand queries entirely.
+     */
+    bool quiescentBy(Cycle now) const { return _maxReadyAt <= now; }
 
     Cycle
     readyAt(isa::RegId r) const
@@ -75,11 +94,29 @@ class Scoreboard
         return _kind[slot];
     }
 
+    /** Raw per-slot reads for bitset-driven scans. */
+    Cycle readyAtSlot(unsigned slot) const { return _readyAt[slot]; }
+    PendingKind kindAtSlot(unsigned slot) const { return _kind[slot]; }
+
+    /**
+     * Calls @p fn(slot) for every slot that has ever been marked
+     * pending since the last clear(). A superset of the slots still
+     * pending at any given cycle: the callee filters on readyAtSlot().
+     */
+    template <typename Fn>
+    void
+    forEachBusy(Fn &&fn) const
+    {
+        _busy.forEachSet(fn);
+    }
+
     void
     clear()
     {
         _readyAt.fill(0);
         _kind.fill(PendingKind::kNone);
+        _busy.clearAll();
+        _maxReadyAt = 0;
     }
 
     /** Snapshot hooks: ready times and producer kinds per slot. */
@@ -95,16 +132,50 @@ class Scoreboard
     void
     restore(serial::Reader &r)
     {
+        _busy.clearAll();
+        _maxReadyAt = 0;
         for (Cycle &c : _readyAt)
             c = r.u64();
         for (PendingKind &k : _kind)
             k = static_cast<PendingKind>(r.u8());
+        // Rebuild the derived busy view: any slot with a recorded
+        // ready time was pending at some point.
+        for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
+            if (_readyAt[slot] != 0) {
+                _busy.set(slot);
+                if (_readyAt[slot] > _maxReadyAt)
+                    _maxReadyAt = _readyAt[slot];
+            }
+        }
     }
 
   private:
     std::array<Cycle, kNumRegSlots> _readyAt;
     std::array<PendingKind, kNumRegSlots> _kind;
+    /**
+     * Slots ever marked pending since clear(); bits are never lazily
+     * dropped as producers complete, so this is a monotone superset
+     * of "pending at cycle t" and readyAt stays authoritative.
+     */
+    PackedBits<kNumRegSlots> _busy;
+    /** Max ready_at ever recorded; drives quiescentBy(). */
+    Cycle _maxReadyAt;
 };
+
+/** Maps a producer kind to its Figure-6 stall class; kNone panics. */
+inline CycleClass
+stallClassForKind(PendingKind kind)
+{
+    switch (kind) {
+      case PendingKind::kLoad:
+        return CycleClass::kLoadStall;
+      case PendingKind::kNonLoad:
+        return CycleClass::kNonLoadDepStall;
+      case PendingKind::kNone:
+        break;
+    }
+    ff_panic("stall on a register with no pending producer");
+}
 
 /**
  * Maps a blocking register's producer kind on @p sb to its Figure-6
@@ -115,15 +186,7 @@ class Scoreboard
 inline CycleClass
 stallClassFor(const Scoreboard &sb, isa::RegId blocking)
 {
-    switch (sb.kindOf(blocking)) {
-      case PendingKind::kLoad:
-        return CycleClass::kLoadStall;
-      case PendingKind::kNonLoad:
-        return CycleClass::kNonLoadDepStall;
-      case PendingKind::kNone:
-        break;
-    }
-    ff_panic("stall on a register with no pending producer");
+    return stallClassForKind(sb.kindOf(blocking));
 }
 
 } // namespace cpu

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * PackedBits<N>: the fixed-width bitset container of the machine-state
+ * layer. The per-cycle hot structures keep their boolean sidecar state
+ * (A-file V/S flags, run-ahead INV marks, register dirty masks,
+ * scoreboard busy bits) as words of this type so whole-file scans —
+ * flush repair, run-ahead checkpointing, coherence checks — run one
+ * 64-bit word at a time instead of one flag at a time.
+ *
+ * Unlike std::bitset it exposes its words (observers and repair loops
+ * want to skip clean words wholesale) and serializes through the
+ * standard snapshot Writer/Reader.
+ */
+
+#ifndef FF_CPU_STATE_BITSET_HH
+#define FF_CPU_STATE_BITSET_HH
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/serialize.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+/** Dense bitset over N bits, stored as 64-bit words. */
+template <unsigned N>
+class PackedBits
+{
+  public:
+    static constexpr unsigned kBits = N;
+    static constexpr unsigned kWords = (N + 63) / 64;
+
+    PackedBits() { clearAll(); }
+
+    bool
+    test(unsigned i) const
+    {
+        return (_w[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(unsigned i)
+    {
+        _w[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+
+    void
+    clear(unsigned i)
+    {
+        _w[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    void
+    assign(unsigned i, bool v)
+    {
+        if (v)
+            set(i);
+        else
+            clear(i);
+    }
+
+    void clearAll() { _w.fill(0); }
+
+    void
+    setAll()
+    {
+        _w.fill(~std::uint64_t{0});
+        trimTail();
+    }
+
+    /** True if any bit is set. */
+    bool
+    any() const
+    {
+        for (const std::uint64_t w : _w) {
+            if (w != 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** Number of set bits. */
+    unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (const std::uint64_t w : _w)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
+
+    /** Raw word access for whole-word scans. */
+    std::uint64_t word(unsigned wi) const { return _w[wi]; }
+    void
+    setWord(unsigned wi, std::uint64_t w)
+    {
+        _w[wi] = w;
+        if (wi == kWords - 1)
+            trimTail();
+    }
+
+    /**
+     * Calls @p fn(bit_index) for every set bit, ascending. The scan
+     * consumes one countr_zero per set bit and skips clean words.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (unsigned wi = 0; wi < kWords; ++wi) {
+            std::uint64_t w = _w[wi];
+            while (w != 0) {
+                const unsigned b =
+                    static_cast<unsigned>(std::countr_zero(w));
+                fn(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+    }
+
+    bool
+    operator==(const PackedBits &o) const
+    {
+        return _w == o._w;
+    }
+    bool operator!=(const PackedBits &o) const { return !(*this == o); }
+
+    /** Snapshot hooks: the words, low to high. */
+    void
+    save(serial::Writer &w) const
+    {
+        for (const std::uint64_t v : _w)
+            w.u64(v);
+    }
+
+    void
+    restore(serial::Reader &r)
+    {
+        for (std::uint64_t &v : _w)
+            v = r.u64();
+        trimTail();
+    }
+
+  private:
+    /** Masks off bits past N so count()/any() stay exact. */
+    void
+    trimTail()
+    {
+        constexpr unsigned tail = N & 63;
+        if constexpr (tail != 0)
+            _w[kWords - 1] &= (std::uint64_t{1} << tail) - 1;
+    }
+
+    std::array<std::uint64_t, kWords> _w;
+};
+
+} // namespace cpu
+} // namespace ff
+
+#endif // FF_CPU_STATE_BITSET_HH

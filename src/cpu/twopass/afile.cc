@@ -1,5 +1,7 @@
 #include "cpu/twopass/afile.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace ff
@@ -7,155 +9,67 @@ namespace ff
 namespace cpu
 {
 
-bool
-AFile::valid(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "A-file access to unused operand");
-    if (r.idx == 0)
-        return true; // hardwired registers are always valid
-    return _e[slot].valid;
-}
-
-bool
-AFile::readyBy(isa::RegId r, Cycle now) const
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "A-file access to unused operand");
-    if (r.idx == 0)
-        return true;
-    return _e[slot].readyAt <= now;
-}
-
-PendingKind
-AFile::kindOf(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    if (slot < 0 || r.idx == 0)
-        return PendingKind::kNone;
-    return _e[slot].kind;
-}
-
-Cycle
-AFile::readyAt(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    if (slot < 0 || r.idx == 0)
-        return 0;
-    return _e[slot].readyAt;
-}
-
-RegVal
-AFile::read(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "A-file read of unused operand");
-    if (r.idx == 0)
-        return r.cls == isa::RegClass::kPred ? 1 : 0;
-    return _e[slot].value;
-}
-
-DynId
-AFile::lastWriter(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    if (slot < 0 || r.idx == 0)
-        return kInvalidDynId;
-    return _e[slot].lastWriter;
-}
-
-void
-AFile::writeExecuted(isa::RegId r, RegVal v, DynId id, Cycle ready_at,
-                     PendingKind kind)
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "A-file write to unused operand");
-    if (r.idx == 0)
-        return;
-    if (r.cls == isa::RegClass::kPred)
-        v = v ? 1 : 0;
-    _e[slot] = {v, true, true, id, ready_at, kind};
-}
-
-void
-AFile::markDeferred(isa::RegId r, DynId id)
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "A-file deferral mark on unused operand");
-    if (r.idx == 0)
-        return;
-    Entry &e = _e[slot];
-    e.valid = false;
-    e.spec = true;
-    e.lastWriter = id;
-    e.readyAt = 0;
-    e.kind = PendingKind::kNone;
-}
-
-bool
-AFile::applyFeedback(isa::RegId r, RegVal v, DynId id)
-{
-    const int slot = regSlot(r);
-    ff_panic_if(slot < 0, "A-file feedback to unused operand");
-    if (r.idx == 0)
-        return false;
-    Entry &e = _e[slot];
-    if (e.lastWriter != id)
-        return false; // a younger writer owns this register now
-    if (r.cls == isa::RegClass::kPred)
-        v = v ? 1 : 0;
-    e.value = v;
-    e.valid = true;
-    e.spec = false; // the value is architecturally committed
-    e.readyAt = 0;
-    e.kind = PendingKind::kNone;
-    return true;
-}
-
-void
-AFile::commitMatch(isa::RegId r, DynId id)
-{
-    const int slot = regSlot(r);
-    if (slot < 0 || r.idx == 0)
-        return;
-    Entry &e = _e[slot];
-    if (e.lastWriter == id)
-        e.spec = false;
-}
-
 unsigned
 AFile::repairFromArch(const RegFile &bfile)
 {
     unsigned repaired = 0;
-    for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
-        Entry &e = _e[slot];
-        if (!e.spec && e.valid)
-            continue;
-        e.value = bfile.slotValue(slot);
-        e.valid = true;
-        e.spec = false;
-        e.lastWriter = kInvalidDynId;
-        e.readyAt = 0;
-        e.kind = PendingKind::kNone;
-        ++repaired;
+    // A slot needs repair iff it is invalid or speculative; scan the
+    // packed words so runs of clean registers cost one test per 64.
+    for (unsigned wi = 0; wi < PackedBits<kNumRegSlots>::kWords; ++wi) {
+        std::uint64_t need = ~_valid.word(wi) | _spec.word(wi);
+        while (need != 0) {
+            const unsigned slot =
+                wi * 64 + static_cast<unsigned>(std::countr_zero(need));
+            need &= need - 1;
+            if (slot >= kNumRegSlots)
+                break; // tail bits past the last register
+            _value[slot] = bfile.slotValue(slot);
+            _lastWriter[slot] = kInvalidDynId;
+            _readyAt[slot] = 0;
+            _kind[slot] = PendingKind::kNone;
+            ++repaired;
+        }
     }
+    _valid.setAll();
+    _spec.clearAll();
     return repaired;
-}
-
-bool
-AFile::speculative(isa::RegId r) const
-{
-    const int slot = regSlot(r);
-    if (slot < 0 || r.idx == 0)
-        return false;
-    return _e[slot].spec;
 }
 
 void
 AFile::reset()
 {
-    for (auto &e : _e)
-        e = Entry();
+    _value.fill(0);
+    _lastWriter.fill(kInvalidDynId);
+    _readyAt.fill(0);
+    _kind.fill(PendingKind::kNone);
+    _valid.setAll();
+    _spec.clearAll();
+}
+
+void
+AFile::save(serial::Writer &w) const
+{
+    for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
+        w.u64(_value[slot]);
+        w.boolean(_valid.test(slot));
+        w.boolean(_spec.test(slot));
+        w.u64(_lastWriter[slot]);
+        w.u64(_readyAt[slot]);
+        w.u8(static_cast<std::uint8_t>(_kind[slot]));
+    }
+}
+
+void
+AFile::restore(serial::Reader &r)
+{
+    for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
+        _value[slot] = r.u64();
+        _valid.assign(slot, r.boolean());
+        _spec.assign(slot, r.boolean());
+        _lastWriter[slot] = r.u64();
+        _readyAt[slot] = r.u64();
+        _kind[slot] = static_cast<PendingKind>(r.u8());
+    }
 }
 
 } // namespace cpu

@@ -19,8 +19,8 @@ APipe::anticipableStall(const FetchedGroup &g, Cycle now) const
         const unsigned ns = in.sources(srcs);
         for (unsigned s = 0; s < ns; ++s) {
             const isa::RegId r = srcs[s];
-            if (_ctx.afile.valid(r) && !_ctx.afile.readyBy(r, now) &&
-                _ctx.afile.kindOf(r) == PendingKind::kNonLoad) {
+            if (_ctx.ms.afile.valid(r) && !_ctx.ms.afile.readyBy(r, now) &&
+                _ctx.ms.afile.kindOf(r) == PendingKind::kNonLoad) {
                 return true;
             }
         }
@@ -31,7 +31,7 @@ APipe::anticipableStall(const FetchedGroup &g, Cycle now) const
 void
 APipe::step(Cycle now)
 {
-    if (_ctx.shared.aHalted || !_ctx.fe.headReady(now))
+    if (_ctx.ms.aHalted || !_ctx.fe.headReady(now))
         return;
     if (_ctx.cfg.aPipeThrottlePercent != 0) {
         // Issue moderation: when run-ahead is mostly producing
@@ -39,7 +39,7 @@ APipe::step(Cycle now)
         // the queue space it consumes -- pause and let the B-pipe
         // clear the backlog (Sec. 3.5's suggested investigation).
         if (_throttled) {
-            if (_ctx.cq.size() * 4 <= _ctx.cq.capacity()) {
+            if (_ctx.ms.cq.size() * 4 <= _ctx.ms.cq.capacity()) {
                 _throttled = false;
             } else {
                 ++_ctx.stats.aStallThrottled;
@@ -47,14 +47,14 @@ APipe::step(Cycle now)
             }
         } else if (_deferHistoryCount * 100 >=
                        _ctx.cfg.aPipeThrottlePercent * 64 &&
-                   _ctx.cq.size() * 2 > _ctx.cq.capacity()) {
+                   _ctx.ms.cq.size() * 2 > _ctx.ms.cq.capacity()) {
             _throttled = true;
             ++_ctx.stats.aStallThrottled;
             return;
         }
     }
     const FetchedGroup g = _ctx.fe.head();
-    if (_ctx.cq.freeSlots() <
+    if (_ctx.ms.cq.freeSlots() <
         static_cast<std::size_t>(g.end - g.leader)) {
         ++_ctx.stats.aStallCqFull;
         return;
@@ -72,7 +72,7 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
 {
     for (InstIdx i = g.leader; i < g.end; ++i) {
         const Instruction &in = _ctx.prog.inst(i);
-        const DynId id = _ctx.shared.nextId++;
+        const DynId id = _ctx.ms.nextId++;
         ++_ctx.stats.dispatched;
 
         CqEntry e;
@@ -94,15 +94,15 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
         auto check = [&](isa::RegId r) {
             if (reason != DeferReason::kNone || !r.valid())
                 return;
-            if (!_ctx.afile.valid(r))
+            if (!_ctx.ms.afile.valid(r))
                 reason = DeferReason::kOperandInvalid;
-            else if (!_ctx.afile.readyBy(r, now))
+            else if (!_ctx.ms.afile.readyBy(r, now))
                 reason = DeferReason::kOperandInFlight;
         };
         check(in.qpred);
         bool qp = false;
         if (reason == DeferReason::kNone) {
-            qp = _ctx.afile.readPred(in.qpred);
+            qp = _ctx.ms.afile.readPred(in.qpred);
             if (qp || in.isBranch()) {
                 check(in.src1);
                 if (!in.src2IsImm)
@@ -118,7 +118,7 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
             reason = DeferReason::kNoFunctionalUnit;
         }
         if (reason == DeferReason::kNone && in.isLoad() &&
-            _ctx.shared.conflictRetry.count(i) != 0) {
+            _ctx.ms.conflictRetryContains(i)) {
             // Fallback after this load's conflict flush; lifted once
             // the machine makes retirement progress.
             reason = DeferReason::kConflictRetry;
@@ -148,13 +148,13 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
             std::array<isa::RegId, 2> dsts;
             const unsigned nd = in.destinations(dsts);
             for (unsigned d = 0; d < nd; ++d)
-                _ctx.afile.markDeferred(dsts[d], id);
-            if (_ctx.shared.observer != nullptr)
-                _ctx.shared.observer->onDefer(now, i, id, reason);
+                _ctx.ms.afile.markDeferred(dsts[d], id);
+            if (_ctx.ms.observer != nullptr)
+                _ctx.ms.observer->onDefer(now, i, id, reason);
             ff_trace(trace::kApipe, now, "A-DEFER",
                      "@" << i << " id " << id << " reason "
                          << static_cast<unsigned>(reason));
-            _ctx.cq.push(e);
+            _ctx.ms.cq.push(e);
             continue;
         }
 
@@ -179,31 +179,31 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
                 ff_trace(trace::kBranch, now, "A-DET",
                          "mispredict @" << i << " -> @" << target);
             }
-            _ctx.cq.push(e);
+            _ctx.ms.cq.push(e);
             continue;
         }
 
         if (in.isHalt()) {
-            _ctx.shared.aHalted = true;
-            _ctx.cq.push(e);
+            _ctx.ms.aHalted = true;
+            _ctx.ms.cq.push(e);
             continue;
         }
 
         if (!qp) {
             // Nullified: completes with no effects.
-            _ctx.cq.push(e);
+            _ctx.ms.cq.push(e);
             continue;
         }
 
         const RegVal s1 =
-            in.src1.valid() ? _ctx.afile.read(in.src1) : 0;
+            in.src1.valid() ? _ctx.ms.afile.read(in.src1) : 0;
         const RegVal s2 = operandSrc2(
-            in, in.src2.valid() ? _ctx.afile.read(in.src2) : 0);
+            in, in.src2.valid() ? _ctx.ms.afile.read(in.src2) : 0);
         EvalResult ev = evaluate(in, qp, s1, s2);
 
         if (in.isLoad()) {
             ++_ctx.stats.loadsInA;
-            if (_ctx.cq.deferredStores() > 0)
+            if (_ctx.ms.cq.deferredStores() > 0)
                 ++_ctx.stats.loadsPastDeferredStore;
             bool forwarded = false;
             const std::uint64_t raw = _ctx.sbuf.read(
@@ -220,7 +220,7 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
             e.readyAt = now + ar.latency;
             e.addr = ev.addr;
             e.size = ev.size;
-            _ctx.afile.writeExecuted(in.dst, e.dstVal, id, e.readyAt,
+            _ctx.ms.afile.writeExecuted(in.dst, e.dstVal, id, e.readyAt,
                                      PendingKind::kLoad);
             ff_trace(trace::kApipe, now, "A-LOAD",
                      "@" << i << " id " << id << " ["
@@ -245,17 +245,17 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
             e.dstVal = ev.dstVal;
             e.dst2Val = ev.dst2Val;
             if (ev.writesDst) {
-                _ctx.afile.writeExecuted(in.dst, ev.dstVal, id,
+                _ctx.ms.afile.writeExecuted(in.dst, ev.dstVal, id,
                                          e.readyAt,
                                          PendingKind::kNonLoad);
             }
             if (ev.writesDst2) {
-                _ctx.afile.writeExecuted(in.dst2, ev.dst2Val, id,
+                _ctx.ms.afile.writeExecuted(in.dst2, ev.dst2Val, id,
                                          e.readyAt,
                                          PendingKind::kNonLoad);
             }
         }
-        _ctx.cq.push(e);
+        _ctx.ms.cq.push(e);
     }
 }
 

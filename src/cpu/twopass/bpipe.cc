@@ -14,16 +14,15 @@ using isa::Instruction;
 CycleClass
 BPipe::prescanWindow(const RetireWindow &w, Cycle now) const
 {
+    const CouplingQueue &cq = _ctx.ms.cq;
     unsigned deferred_loads = 0;
     for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = _ctx.cq.at(k);
-        const Instruction &in = _ctx.prog.inst(e.idx);
-        if (e.status == CqStatus::kPreExecuted) {
-            if (e.readyAt > now) {
+        if (cq.preExecuted(k)) {
+            if (cq.readyAt(k) > now) {
                 // A "dangling dependence": the result was started in
                 // the A-pipe but has not arrived (Sec. 3.1).
-                return e.isLoad ? CycleClass::kLoadStall
-                                : CycleClass::kNonLoadDepStall;
+                return cq.isLoad(k) ? CycleClass::kLoadStall
+                                    : CycleClass::kNonLoadDepStall;
             }
             continue;
         }
@@ -31,18 +30,19 @@ BPipe::prescanWindow(const RetireWindow &w, Cycle now) const
         // nullification shortcut uses the current predicate value;
         // in-window pre-executed producers may still flip it at apply
         // time, a deliberate (conservatively safe) simplification.
-        if (!_ctx.bsb.ready(in.qpred, now))
-            return stallClassFor(_ctx.bsb, in.qpred);
-        const bool qp = _ctx.bfile.readPred(in.qpred);
+        const Instruction &in = _ctx.prog.inst(cq.idx(k));
+        if (!_ctx.ms.sb.ready(in.qpred, now))
+            return stallClassFor(_ctx.ms.sb, in.qpred);
+        const bool qp = _ctx.ms.regs.readPred(in.qpred);
         if (qp || in.isBranch()) {
-            if (in.src1.valid() && !_ctx.bsb.ready(in.src1, now))
-                return stallClassFor(_ctx.bsb, in.src1);
+            if (in.src1.valid() && !_ctx.ms.sb.ready(in.src1, now))
+                return stallClassFor(_ctx.ms.sb, in.src1);
             if (in.src2.valid() && !in.src2IsImm &&
-                !_ctx.bsb.ready(in.src2, now)) {
-                return stallClassFor(_ctx.bsb, in.src2);
+                !_ctx.ms.sb.ready(in.src2, now)) {
+                return stallClassFor(_ctx.ms.sb, in.src2);
             }
         }
-        if (e.isLoad && qp)
+        if (cq.isLoad(k) && qp)
             ++deferred_loads;
     }
     if (deferred_loads > 0 && _ctx.hier.outstandingLoads(now) > 0 &&
@@ -59,7 +59,8 @@ BPipe::prescanWindow(const RetireWindow &w, Cycle now) const
 CycleClass
 BPipe::step(Cycle now, RunResult &res)
 {
-    if (_ctx.cq.empty()) {
+    CouplingQueue &cq = _ctx.ms.cq;
+    if (cq.empty()) {
         // Distinguish "the A-pipe has work but has not delivered it"
         // (the paper's A-pipe stall: A must stay a cycle ahead) from
         // a genuinely starved front end.
@@ -67,10 +68,10 @@ BPipe::step(Cycle now, RunResult &res)
             return CycleClass::kApipeStall;
         return CycleClass::kFrontEndStall;
     }
-    ff_panic_if(_ctx.cq.at(0).enqueuedAt >= now,
+    ff_panic_if(cq.enqueuedAt(0) >= now,
                 "B-pipe observed a same-cycle A-pipe dispatch");
 
-    RetireWindow w = headGroupWindow(_ctx.cq);
+    RetireWindow w = headGroupWindow(cq);
     const CycleClass cls = prescanWindow(w, now);
     if (cls != CycleClass::kUnstalled)
         return cls;
@@ -79,40 +80,39 @@ BPipe::step(Cycle now, RunResult &res)
         // Fuse follow-on groups whose every entry could retire right
         // now: pre-execution made their leading stop bits
         // superfluous.
-        auto entry_ready = [&](const CqEntry &e) {
-            if (e.status == CqStatus::kPreExecuted)
-                return e.readyAt <= now;
-            const isa::Instruction &in = _ctx.prog.inst(e.idx);
-            if (!_ctx.bsb.ready(in.qpred, now))
+        auto entry_ready = [&](std::size_t k) {
+            if (cq.preExecuted(k))
+                return cq.readyAt(k) <= now;
+            const isa::Instruction &in = _ctx.prog.inst(cq.idx(k));
+            if (!_ctx.ms.sb.ready(in.qpred, now))
                 return false;
-            const bool qp = _ctx.bfile.readPred(in.qpred);
+            const bool qp = _ctx.ms.regs.readPred(in.qpred);
             if (qp || in.isBranch()) {
-                if (in.src1.valid() && !_ctx.bsb.ready(in.src1, now))
+                if (in.src1.valid() && !_ctx.ms.sb.ready(in.src1, now))
                     return false;
                 if (in.src2.valid() && !in.src2IsImm &&
-                    !_ctx.bsb.ready(in.src2, now)) {
+                    !_ctx.ms.sb.ready(in.src2, now)) {
                     return false;
                 }
             }
-            if (e.isLoad && qp && !_ctx.hier.loadSlotAvailable(now))
+            if (cq.isLoad(k) && qp && !_ctx.hier.loadSlotAvailable(now))
                 return false;
             return true;
         };
-        w = extendRetireWindow(_ctx.cq, _ctx.prog, _ctx.cfg.limits,
-                               now, w, entry_ready);
+        w = extendRetireWindow(cq, _ctx.prog, _ctx.cfg.limits, now, w,
+                               entry_ready);
     }
 
     // Merge-time ALAT checks (Sec. 3.4). Only reached when the whole
     // window is otherwise ready; a missing entry is a store conflict.
     for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = _ctx.cq.at(k);
-        if (e.status == CqStatus::kPreExecuted && e.isLoad &&
-            e.predTrue && !_ctx.alat.check(e.id)) {
+        if (cq.preExecuted(k) && cq.isLoad(k) && cq.predTrue(k) &&
+            !_ctx.alat.check(cq.id(k))) {
             ++_ctx.stats.storeConflictFlushes;
             ff_trace(trace::kFlush, now, "CONFLICT",
-                     "load id " << e.id << " @" << e.idx
+                     "load id " << cq.id(k) << " @" << cq.idx(k)
                                 << " lost its ALAT entry");
-            conflictFlush(e, now);
+            conflictFlush(cq.entry(k), now);
             return CycleClass::kFrontEndStall;
         }
     }
@@ -124,16 +124,17 @@ BPipe::step(Cycle now, RunResult &res)
 void
 BPipe::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
 {
+    CouplingQueue &cq = _ctx.ms.cq;
     _ctx.stats.regroupedGroups += w.groups - 1;
-    const InstIdx leader = _ctx.cq.at(0).idx;
+    const InstIdx leader = cq.idx(0);
 
     std::size_t applied = 0;
     for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = _ctx.cq.at(k);
-        const Instruction &in = _ctx.prog.inst(e.idx);
+        const Instruction &in = _ctx.prog.inst(cq.idx(k));
+        const DynId id = cq.id(k);
         ++res.instsRetired;
         ++applied;
-        if (e.groupEnd)
+        if (cq.groupEnd(k))
             ++res.groupsRetired;
 
         if (in.isHalt()) {
@@ -141,52 +142,52 @@ BPipe::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
             break;
         }
 
-        if (e.status == CqStatus::kPreExecuted) {
+        if (cq.preExecuted(k)) {
             // ---- merge (MRG stage) ----------------------------------
-            if (e.predTrue && !e.isBranch) {
-                if (e.isStore)
-                    _ctx.sbuf.commitOldest(e.id, _ctx.mem);
-                if (e.isLoad)
-                    _ctx.alat.remove(e.id);
-                if (e.writesDst)
-                    _ctx.bfile.write(in.dst, e.dstVal);
-                if (e.writesDst2)
-                    _ctx.bfile.write(in.dst2, e.dst2Val);
+            if (cq.predTrue(k) && !cq.isBranch(k)) {
+                if (cq.isStore(k))
+                    _ctx.sbuf.commitOldest(id, _ctx.mem);
+                if (cq.isLoad(k))
+                    _ctx.alat.remove(id);
+                if (cq.writesDst(k))
+                    _ctx.ms.regs.write(in.dst, cq.dstVal(k));
+                if (cq.writesDst2(k))
+                    _ctx.ms.regs.write(in.dst2, cq.dst2Val(k));
             }
             // Mark the A-file copy of these values architectural.
             std::array<isa::RegId, 2> dsts;
             const unsigned nd = in.destinations(dsts);
             for (unsigned d = 0; d < nd; ++d)
-                _ctx.afile.commitMatch(dsts[d], e.id);
+                _ctx.ms.afile.commitMatch(dsts[d], id);
             continue;
         }
 
         // ---- first execution of a deferred instruction --------------
-        const bool qp = _ctx.bfile.readPred(in.qpred);
+        const bool qp = _ctx.ms.regs.readPred(in.qpred);
         const RegVal s1 =
-            in.src1.valid() ? _ctx.bfile.read(in.src1) : 0;
+            in.src1.valid() ? _ctx.ms.regs.read(in.src1) : 0;
         const RegVal s2 = operandSrc2(
-            in, in.src2.valid() ? _ctx.bfile.read(in.src2) : 0);
+            in, in.src2.valid() ? _ctx.ms.regs.read(in.src2) : 0);
         EvalResult ev = evaluate(in, qp, s1, s2);
 
         if (ev.isBranch) {
             ++_ctx.stats.branchesResolvedInB;
-            _ctx.pred.update(e.prediction, ev.taken);
-            if (ev.taken != e.predictedTaken) {
+            _ctx.pred.update(cq.prediction(k), ev.taken);
+            if (ev.taken != cq.predictedTaken(k)) {
                 ++_ctx.stats.bDetMispredicts;
                 // Retire everything up to and including the branch,
                 // then flush the wrong path (Sec. 3.6).
-                bDetFlush(e, ev.taken, now);
+                bDetFlush(cq.entry(k), ev.taken, now);
                 for (std::size_t p = 0; p < applied; ++p)
-                    _ctx.cq.pop();
-                _ctx.cq.clear(); // everything remaining is younger
-                if (_ctx.shared.observer != nullptr) {
-                    _ctx.shared.observer->onGroupRetire(
+                    cq.pop();
+                cq.clear(); // everything remaining is younger
+                if (_ctx.ms.observer != nullptr) {
+                    _ctx.ms.observer->onGroupRetire(
                         now, leader, static_cast<unsigned>(applied));
                 }
                 return;
             }
-            _feedback.schedule(in, e.id, now);
+            _feedback.schedule(in, id, now);
             continue;
         }
 
@@ -199,11 +200,11 @@ BPipe::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
                         memory::Initiator::kBpipe, ev.addr, now);
                     ev.dstVal = loadExtend(
                         in.op, _ctx.mem.read(ev.addr, ev.size));
-                    _ctx.bfile.write(in.dst, ev.dstVal);
-                    _ctx.bsb.setPending(in.dst, now + ar.latency,
-                                        PendingKind::kLoad);
+                    _ctx.ms.regs.write(in.dst, ev.dstVal);
+                    _ctx.ms.sb.setPending(in.dst, now + ar.latency,
+                                          PendingKind::kLoad);
                     ff_trace(trace::kBpipe, now, "B-LOAD",
-                             "@" << e.idx << " id " << e.id << " "
+                             "@" << cq.idx(k) << " id " << id << " "
                                  << memory::memLevelName(ar.level));
                 } else {
                     ++_ctx.stats.storesInB;
@@ -219,31 +220,31 @@ BPipe::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
             } else {
                 const unsigned lat = in.execLatency();
                 if (ev.writesDst) {
-                    _ctx.bfile.write(in.dst, ev.dstVal);
+                    _ctx.ms.regs.write(in.dst, ev.dstVal);
                     if (lat > 1) {
-                        _ctx.bsb.setPending(in.dst, now + lat,
-                                            PendingKind::kNonLoad);
+                        _ctx.ms.sb.setPending(in.dst, now + lat,
+                                              PendingKind::kNonLoad);
                     }
                 }
                 if (ev.writesDst2) {
-                    _ctx.bfile.write(in.dst2, ev.dst2Val);
+                    _ctx.ms.regs.write(in.dst2, ev.dst2Val);
                     if (lat > 1) {
-                        _ctx.bsb.setPending(in.dst2, now + lat,
-                                            PendingKind::kNonLoad);
+                        _ctx.ms.sb.setPending(in.dst2, now + lat,
+                                              PendingKind::kNonLoad);
                     }
                 }
             }
         }
-        _feedback.schedule(in, e.id, now);
+        _feedback.schedule(in, id, now);
     }
 
     for (std::size_t p = 0; p < applied; ++p)
-        _ctx.cq.pop();
+        cq.pop();
     // Retirement progress: the conflicted window is past; lift the
     // non-speculative fallback.
-    _ctx.shared.conflictRetry.clear();
-    if (_ctx.shared.observer != nullptr) {
-        _ctx.shared.observer->onGroupRetire(
+    _ctx.ms.conflictRetryClear();
+    if (_ctx.ms.observer != nullptr) {
+        _ctx.ms.observer->onGroupRetire(
             now, leader, static_cast<unsigned>(applied));
     }
 }
@@ -264,12 +265,12 @@ BPipe::bDetFlush(const CqEntry &branch, bool taken, Cycle now)
     _feedback.squashYoungerThan(branch.id);
 
     _ctx.stats.registersRepaired +=
-        _ctx.afile.repairFromArch(_ctx.bfile);
+        _ctx.ms.afile.repairFromArch(_ctx.ms.regs);
     _ctx.fe.redirect(target, now + 1 + _ctx.cfg.branchResolveDelay +
                                  _ctx.cfg.bFlushRepairPenalty);
-    _ctx.shared.aHalted = false;
-    if (_ctx.shared.observer != nullptr)
-        _ctx.shared.observer->onFlush(now, FlushKind::kBDet, target);
+    _ctx.ms.aHalted = false;
+    if (_ctx.ms.observer != nullptr)
+        _ctx.ms.observer->onFlush(now, FlushKind::kBDet, target);
     ff_trace(trace::kFlush, now, "B-DET",
              "mispredict id " << branch.id << " -> @" << target);
 }
@@ -279,24 +280,23 @@ BPipe::conflictFlush(const CqEntry &offender, Cycle now)
 {
     // Forward progress: the offending load executes in the B-pipe on
     // its retries instead of speculating again.
-    _ctx.shared.conflictRetry.insert(offender.idx);
+    _ctx.ms.conflictRetryInsert(offender.idx);
     // Nothing from the head window has been applied; restart the
     // whole speculative machine at the head group's leader. (The
     // paper resumes at the offending load; restarting at its group
     // boundary is slightly coarser and strictly safe.)
-    const InstIdx leader = _ctx.prog.groupStart(_ctx.cq.at(0).idx);
-    _ctx.cq.clear();
+    const InstIdx leader = _ctx.prog.groupStart(_ctx.ms.cq.idx(0));
+    _ctx.ms.cq.clear();
     _ctx.sbuf.clear();
     _ctx.alat.clear();
     _feedback.clear();
     _ctx.stats.registersRepaired +=
-        _ctx.afile.repairFromArch(_ctx.bfile);
+        _ctx.ms.afile.repairFromArch(_ctx.ms.regs);
     _ctx.fe.redirect(leader, now + 1 + _ctx.cfg.branchResolveDelay +
                                  _ctx.cfg.bFlushRepairPenalty);
-    _ctx.shared.aHalted = false;
-    if (_ctx.shared.observer != nullptr) {
-        _ctx.shared.observer->onFlush(now, FlushKind::kConflict,
-                                      leader);
+    _ctx.ms.aHalted = false;
+    if (_ctx.ms.observer != nullptr) {
+        _ctx.ms.observer->onFlush(now, FlushKind::kConflict, leader);
     }
 }
 

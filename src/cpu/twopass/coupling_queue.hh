@@ -6,13 +6,24 @@
  * entries carry their results (the CRS payload, folded into the
  * entry); deferred entries carry only identity and will execute for
  * the first time in the B-pipe.
+ *
+ * Storage is a structure-of-arrays ring: each logical field lives in
+ * its own dense array indexed head+i, and the ten per-entry booleans
+ * are packed into one flag word. The B-pipe's prescan and regrouping
+ * loops read two or three fields per entry per cycle; with the old
+ * array-of-structs deque every such read dragged a whole ~100-byte
+ * entry through the cache. CqEntry remains as the staging record used
+ * to enqueue and the by-value view returned by entry(); there is
+ * deliberately no reference-returning accessor.
  */
 
 #ifndef FF_CPU_TWOPASS_COUPLING_QUEUE_HH
 #define FF_CPU_TWOPASS_COUPLING_QUEUE_HH
 
+#include <vector>
+
 #include "branch/gshare.hh"
-#include "common/fifo.hh"
+#include "common/logging.hh"
 #include "common/serialize.hh"
 #include "common/types.hh"
 #include "cpu/model_stats.hh"
@@ -33,7 +44,7 @@ enum class CqStatus : std::uint8_t
 // DeferReason lives in cpu/model_stats.hh so the core layer's
 // observer seam can name it without depending on two-pass headers.
 
-/** One CQ entry with its CRS payload. */
+/** One CQ entry with its CRS payload (staging/view record). */
 struct CqEntry
 {
     InstIdx idx = 0;       ///< static instruction index
@@ -71,36 +82,145 @@ struct CqEntry
 class CouplingQueue
 {
   public:
-    explicit CouplingQueue(std::size_t capacity) : _fifo(capacity) {}
+    explicit CouplingQueue(std::size_t capacity)
+        : _idx(capacity), _id(capacity), _enq(capacity), _status(capacity),
+          _reason(capacity), _flags(capacity), _dstVal(capacity),
+          _dst2Val(capacity), _readyAt(capacity), _addr(capacity),
+          _size(capacity), _fallthrough(capacity), _prediction(capacity),
+          _cap(capacity)
+    {
+    }
 
-    bool empty() const { return _fifo.empty(); }
-    bool full() const { return _fifo.full(); }
-    std::size_t size() const { return _fifo.size(); }
-    std::size_t freeSlots() const { return _fifo.freeSlots(); }
-    std::size_t capacity() const { return _fifo.capacity(); }
+    bool empty() const { return _count == 0; }
+    bool full() const { return _count == _cap; }
+    std::size_t size() const { return _count; }
+    std::size_t freeSlots() const { return _cap - _count; }
+    std::size_t capacity() const { return _cap; }
 
     void
     push(const CqEntry &e)
     {
-        _fifo.push(e);
-        if (isDeferredStore(e))
+        ff_panic_if(full(), "push to full fifo");
+        const std::size_t p = phys(_count++);
+        _idx[p] = e.idx;
+        _id[p] = e.id;
+        _enq[p] = e.enqueuedAt;
+        _status[p] = static_cast<std::uint8_t>(e.status);
+        _reason[p] = static_cast<std::uint8_t>(e.reason);
+        _flags[p] = packFlags(e);
+        _dstVal[p] = e.dstVal;
+        _dst2Val[p] = e.dst2Val;
+        _readyAt[p] = e.readyAt;
+        _addr[p] = e.addr;
+        _size[p] = e.size;
+        _fallthrough[p] = e.fallthrough;
+        _prediction[p] = e.prediction;
+        if (e.status == CqStatus::kDeferred && e.isStore)
             ++_deferredStores;
     }
 
-    const CqEntry &at(std::size_t i) const { return _fifo.at(i); }
+    // ---- single-field hot accessors (logical index from the head) ---
+    InstIdx idx(std::size_t i) const { return _idx[phys(i)]; }
+    DynId id(std::size_t i) const { return _id[phys(i)]; }
+    Cycle enqueuedAt(std::size_t i) const { return _enq[phys(i)]; }
+    CqStatus
+    status(std::size_t i) const
+    {
+        return static_cast<CqStatus>(_status[phys(i)]);
+    }
+    bool
+    preExecuted(std::size_t i) const
+    {
+        return status(i) == CqStatus::kPreExecuted;
+    }
+    bool
+    deferred(std::size_t i) const
+    {
+        return status(i) == CqStatus::kDeferred;
+    }
+    DeferReason
+    reason(std::size_t i) const
+    {
+        return static_cast<DeferReason>(_reason[phys(i)]);
+    }
+    bool groupEnd(std::size_t i) const { return flag(i, kGroupEnd); }
+    bool predTrue(std::size_t i) const { return flag(i, kPredTrue); }
+    bool writesDst(std::size_t i) const { return flag(i, kWritesDst); }
+    bool writesDst2(std::size_t i) const { return flag(i, kWritesDst2); }
+    bool isLoad(std::size_t i) const { return flag(i, kIsLoad); }
+    bool isStore(std::size_t i) const { return flag(i, kIsStore); }
+    bool isBranch(std::size_t i) const { return flag(i, kIsBranch); }
+    bool
+    branchResolvedInA(std::size_t i) const
+    {
+        return flag(i, kBranchResolvedInA);
+    }
+    bool actualTaken(std::size_t i) const { return flag(i, kActualTaken); }
+    bool
+    predictedTaken(std::size_t i) const
+    {
+        return flag(i, kPredictedTaken);
+    }
+    RegVal dstVal(std::size_t i) const { return _dstVal[phys(i)]; }
+    RegVal dst2Val(std::size_t i) const { return _dst2Val[phys(i)]; }
+    Cycle readyAt(std::size_t i) const { return _readyAt[phys(i)]; }
+    Addr addr(std::size_t i) const { return _addr[phys(i)]; }
+    unsigned accessSize(std::size_t i) const { return _size[phys(i)]; }
+    InstIdx fallthrough(std::size_t i) const { return _fallthrough[phys(i)]; }
+    const branch::Prediction &
+    prediction(std::size_t i) const
+    {
+        return _prediction[phys(i)];
+    }
+
+    /** Gathers logical entry @p i back into a CqEntry, by value. */
+    CqEntry
+    entry(std::size_t i) const
+    {
+        ff_panic_if(i >= _count, "fifo index out of range");
+        const std::size_t p = phys(i);
+        CqEntry e;
+        e.idx = _idx[p];
+        e.id = _id[p];
+        e.enqueuedAt = _enq[p];
+        e.status = static_cast<CqStatus>(_status[p]);
+        e.reason = static_cast<DeferReason>(_reason[p]);
+        const std::uint16_t f = _flags[p];
+        e.groupEnd = (f & kGroupEnd) != 0;
+        e.predTrue = (f & kPredTrue) != 0;
+        e.writesDst = (f & kWritesDst) != 0;
+        e.writesDst2 = (f & kWritesDst2) != 0;
+        e.isLoad = (f & kIsLoad) != 0;
+        e.isStore = (f & kIsStore) != 0;
+        e.isBranch = (f & kIsBranch) != 0;
+        e.branchResolvedInA = (f & kBranchResolvedInA) != 0;
+        e.actualTaken = (f & kActualTaken) != 0;
+        e.predictedTaken = (f & kPredictedTaken) != 0;
+        e.dstVal = _dstVal[p];
+        e.dst2Val = _dst2Val[p];
+        e.readyAt = _readyAt[p];
+        e.addr = _addr[p];
+        e.size = _size[p];
+        e.fallthrough = _fallthrough[p];
+        e.prediction = _prediction[p];
+        return e;
+    }
 
     void
     pop()
     {
-        if (isDeferredStore(_fifo.at(0)))
+        ff_panic_if(empty(), "pop of empty fifo");
+        if (deferred(0) && isStore(0))
             --_deferredStores;
-        _fifo.pop();
+        _head = _head + 1 == _cap ? 0 : _head + 1;
+        --_count;
     }
 
     void
     clear()
     {
-        _fifo.clear();
+        _head = 0;
+        _count = 0;
         _deferredStores = 0;
     }
 
@@ -108,10 +228,10 @@ class CouplingQueue
     void
     squashYoungerThan(DynId boundary)
     {
-        while (!_fifo.empty() && _fifo.at(_fifo.size() - 1).id > boundary) {
-            if (isDeferredStore(_fifo.at(_fifo.size() - 1)))
+        while (_count != 0 && id(_count - 1) > boundary) {
+            if (deferred(_count - 1) && isStore(_count - 1))
                 --_deferredStores;
-            _fifo.popBack();
+            --_count;
         }
     }
 
@@ -119,8 +239,8 @@ class CouplingQueue
      * Number of deferred stores currently queued (Sec. 4 stat). The
      * A-pipe asks this for every dispatched load, so it is maintained
      * incrementally rather than scanned; entries are immutable once
-     * queued (there is deliberately no mutable at()), which keeps the
-     * count exact.
+     * queued (there is deliberately no mutable accessor), which keeps
+     * the count exact.
      */
     unsigned deferredStores() const { return _deferredStores; }
 
@@ -131,10 +251,10 @@ class CouplingQueue
     void
     save(serial::Writer &w) const
     {
-        w.u64(_fifo.capacity());
-        w.u64(_fifo.size());
-        for (std::size_t i = 0; i < _fifo.size(); ++i) {
-            const CqEntry &e = _fifo.at(i);
+        w.u64(_cap);
+        w.u64(_count);
+        for (std::size_t i = 0; i < _count; ++i) {
+            const CqEntry e = entry(i);
             w.u32(e.idx);
             w.u64(e.id);
             w.u64(e.enqueuedAt);
@@ -163,13 +283,13 @@ class CouplingQueue
     void
     restore(serial::Reader &r)
     {
-        if (r.u64() != _fifo.capacity()) {
+        if (r.u64() != _cap) {
             r.fail();
             return;
         }
         clear();
         const std::size_t n = r.seq(60);
-        if (n > _fifo.capacity()) {
+        if (n > _cap) {
             r.fail();
             return;
         }
@@ -204,13 +324,68 @@ class CouplingQueue
     }
 
   private:
-    static bool
-    isDeferredStore(const CqEntry &e)
+    enum : std::uint16_t
     {
-        return e.status == CqStatus::kDeferred && e.isStore;
+        kGroupEnd = 1u << 0,
+        kPredTrue = 1u << 1,
+        kWritesDst = 1u << 2,
+        kWritesDst2 = 1u << 3,
+        kIsLoad = 1u << 4,
+        kIsStore = 1u << 5,
+        kIsBranch = 1u << 6,
+        kBranchResolvedInA = 1u << 7,
+        kActualTaken = 1u << 8,
+        kPredictedTaken = 1u << 9,
+    };
+
+    static std::uint16_t
+    packFlags(const CqEntry &e)
+    {
+        std::uint16_t f = 0;
+        f |= e.groupEnd ? kGroupEnd : 0;
+        f |= e.predTrue ? kPredTrue : 0;
+        f |= e.writesDst ? kWritesDst : 0;
+        f |= e.writesDst2 ? kWritesDst2 : 0;
+        f |= e.isLoad ? kIsLoad : 0;
+        f |= e.isStore ? kIsStore : 0;
+        f |= e.isBranch ? kIsBranch : 0;
+        f |= e.branchResolvedInA ? kBranchResolvedInA : 0;
+        f |= e.actualTaken ? kActualTaken : 0;
+        f |= e.predictedTaken ? kPredictedTaken : 0;
+        return f;
     }
 
-    BoundedFifo<CqEntry> _fifo;
+    /** Physical array index of logical entry @p i. */
+    std::size_t
+    phys(std::size_t i) const
+    {
+        const std::size_t p = _head + i;
+        return p >= _cap ? p - _cap : p;
+    }
+
+    bool flag(std::size_t i, std::uint16_t bit) const
+    {
+        return (_flags[phys(i)] & bit) != 0;
+    }
+
+    // One dense array per logical field, ring-indexed by _head/_count.
+    std::vector<InstIdx> _idx;
+    std::vector<DynId> _id;
+    std::vector<Cycle> _enq;
+    std::vector<std::uint8_t> _status;
+    std::vector<std::uint8_t> _reason;
+    std::vector<std::uint16_t> _flags;
+    std::vector<RegVal> _dstVal;
+    std::vector<RegVal> _dst2Val;
+    std::vector<Cycle> _readyAt;
+    std::vector<Addr> _addr;
+    std::vector<unsigned> _size;
+    std::vector<InstIdx> _fallthrough;
+    std::vector<branch::Prediction> _prediction;
+
+    std::size_t _cap;
+    std::size_t _head = 0;
+    std::size_t _count = 0;
     unsigned _deferredStores = 0;
 };
 

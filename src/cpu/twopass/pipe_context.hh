@@ -1,28 +1,25 @@
 /**
  * @file
  * The explicit interface between the two-pass core's stage units.
- * TwoPassCpu owns every structure; APipe, BPipe and FeedbackPath see
- * them only through PipeContext references plus the small
- * TwoPassShared block of state both pipes mutate (dynamic-id
- * allocation, the A-pipe halt latch, the conflict-retry fallback
- * set, and the observer attachment). A test can stand up the
- * components by hand, wrap them in a PipeContext, and drive a single
- * stage unit in isolation.
+ * TwoPassCpu (via CoreBase) owns every structure; APipe, BPipe and
+ * FeedbackPath see the dense per-cycle state through one MachineState
+ * reference — the A-file, the B-file and its scoreboard, the coupling
+ * queue, and the shared pipe state both pipes mutate (dynamic-id
+ * allocation, the A-pipe halt latch, the conflict-retry fallback set,
+ * the observer attachment) — plus references to the structural
+ * subsystems (front end, hierarchy, store buffer, ALAT). A test can
+ * stand up the components by hand, wrap them in a PipeContext, and
+ * drive a single stage unit in isolation.
  */
 
 #ifndef FF_CPU_TWOPASS_PIPE_CONTEXT_HH
 #define FF_CPU_TWOPASS_PIPE_CONTEXT_HH
 
-#include <unordered_set>
-
 #include "branch/predictor.hh"
 #include "cpu/config.hh"
-#include "cpu/core/observer.hh"
 #include "cpu/frontend.hh"
 #include "cpu/model_stats.hh"
-#include "cpu/scoreboard.hh"
-#include "cpu/twopass/afile.hh"
-#include "cpu/twopass/coupling_queue.hh"
+#include "cpu/state/machine_state.hh"
 #include "memory/alat.hh"
 #include "memory/hierarchy.hh"
 #include "memory/sparse_memory.hh"
@@ -33,26 +30,6 @@ namespace ff
 namespace cpu
 {
 
-/** State both pipes read and write. */
-struct TwoPassShared
-{
-    DynId nextId = 1;     ///< dynamic-id allocator (A-pipe dispatch)
-    bool aHalted = false; ///< A-pipe saw HALT dispatch; flushes clear
-
-    /**
-     * Forward-progress guarantee: static loads whose ALAT entries
-     * conflicted since the last successful retirement are deferred
-     * (executed architecturally in the B-pipe) on re-dispatch. The
-     * set grows by one load per flush and clears once the stuck
-     * window retires, so a pathological ALAT (or persistent aliasing
-     * pattern) cannot livelock the flush loop.
-     */
-    std::unordered_set<InstIdx> conflictRetry;
-
-    /** Observer the stage units notify; kept in sync by setObserver. */
-    CoreObserver *observer = nullptr;
-};
-
 /** Reference bundle handed to each stage unit at construction. */
 struct PipeContext
 {
@@ -61,14 +38,10 @@ struct PipeContext
     FrontEnd &fe;
     branch::DirectionPredictor &pred;
     memory::Hierarchy &hier;
-    memory::SparseMemory &mem;   ///< architectural memory
-    AFile &afile;                ///< speculative register file
-    RegFile &bfile;              ///< architectural register file
-    Scoreboard &bsb;             ///< B-pipe in-flight producers
-    CouplingQueue &cq;
+    memory::SparseMemory &mem; ///< architectural memory
+    MachineState &ms;          ///< A-file, B-file/scoreboard, CQ, shared
     memory::StoreBuffer &sbuf;
     memory::Alat &alat;
-    TwoPassShared &shared;
     TwoPassStats &stats;
 };
 

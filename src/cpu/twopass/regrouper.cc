@@ -1,61 +1,11 @@
 #include "cpu/twopass/regrouper.hh"
 
-#include <array>
-#include <bitset>
-
 #include "common/logging.hh"
-#include "cpu/regfile.hh"
 
 namespace ff
 {
 namespace cpu
 {
-
-namespace
-{
-
-/** Mutable resource tally for a window under construction. */
-struct Resources
-{
-    unsigned total = 0;
-    unsigned alu = 0;
-    unsigned mem = 0;
-    unsigned fp = 0;
-    unsigned br = 0;
-
-    bool
-    add(const isa::Instruction &in, const isa::GroupLimits &lim)
-    {
-        if (total + 1 > lim.issueWidth)
-            return false;
-        switch (in.unit()) {
-          case isa::UnitClass::kAlu:
-            if (alu + 1 > lim.aluUnits)
-                return false;
-            ++alu;
-            break;
-          case isa::UnitClass::kMem:
-            if (mem + 1 > lim.memUnits)
-                return false;
-            ++mem;
-            break;
-          case isa::UnitClass::kFp:
-            if (fp + 1 > lim.fpUnits)
-                return false;
-            ++fp;
-            break;
-          case isa::UnitClass::kBranch:
-            if (br + 1 > lim.branchUnits)
-                return false;
-            ++br;
-            break;
-        }
-        ++total;
-        return true;
-    }
-};
-
-} // namespace
 
 RetireWindow
 headGroupWindow(const CouplingQueue &cq)
@@ -65,119 +15,11 @@ headGroupWindow(const CouplingQueue &cq)
     while (true) {
         ff_panic_if(i >= cq.size(),
                     "coupling queue holds a torn issue group");
-        if (cq.at(i).groupEnd)
+        if (cq.groupEnd(i))
             break;
         ++i;
     }
     return {i + 1, 1};
-}
-
-RetireWindow
-extendRetireWindow(
-    const CouplingQueue &cq, const isa::Program &prog,
-    const isa::GroupLimits &limits, Cycle now, RetireWindow w,
-    const std::function<bool(const CqEntry &)> &entry_ready)
-{
-    // Window-so-far properties for the fusion rules.
-    Resources res;
-    std::bitset<kNumRegSlots> deferred_writes;
-    bool has_deferred_store = false;
-    bool blocked = false;
-    for (std::size_t k = 0; k < w.entries; ++k) {
-        const CqEntry &e = cq.at(k);
-        const isa::Instruction &in = prog.inst(e.idx);
-        // The head group is taken as-is: it was a legal issue group,
-        // so add() cannot overflow on it.
-        res.add(in, limits);
-        if (e.status == CqStatus::kDeferred) {
-            if (in.isBranch()) {
-                blocked = true;
-                break;
-            }
-            if (in.isStore())
-                has_deferred_store = true;
-            std::array<isa::RegId, 2> dsts;
-            unsigned nd = in.destinations(dsts);
-            for (unsigned d = 0; d < nd; ++d)
-                deferred_writes.set(regSlot(dsts[d]));
-        }
-        if (in.isHalt()) {
-            blocked = true;
-            break;
-        }
-    }
-
-    while (!blocked) {
-        // Locate the next group [w.entries, g_end] fully in the CQ.
-        std::size_t g_end = w.entries;
-        bool complete = false;
-        while (g_end < cq.size()) {
-            if (cq.at(g_end).groupEnd) {
-                complete = true;
-                break;
-            }
-            ++g_end;
-        }
-        if (!complete)
-            break;
-        if (cq.at(w.entries).enqueuedAt >= now)
-            break; // the A-pipe must stay a cycle ahead
-
-        // Trial-fuse: all rules must pass before committing.
-        Resources trial = res;
-        std::bitset<kNumRegSlots> trial_deferred = deferred_writes;
-        bool trial_def_store = has_deferred_store;
-        bool ok = true;
-        bool trial_blocked = false;
-        for (std::size_t k = w.entries; k <= g_end; ++k) {
-            const CqEntry &e = cq.at(k);
-            const isa::Instruction &in = prog.inst(e.idx);
-            if (!trial.add(in, limits) || !entry_ready(e)) {
-                ok = false;
-                break;
-            }
-            // A pre-executed load's merge-time ALAT check must see
-            // every older store invalidation: it cannot fuse behind
-            // a deferred store.
-            if (trial_def_store && e.isLoad &&
-                e.status == CqStatus::kPreExecuted) {
-                ok = false;
-                break;
-            }
-            std::array<isa::RegId, 4> srcs;
-            unsigned ns = in.sources(srcs);
-            for (unsigned s = 0; s < ns && ok; ++s) {
-                const int slot = regSlot(srcs[s]);
-                if (slot >= 0 && srcs[s].idx != 0 &&
-                    trial_deferred.test(slot)) {
-                    ok = false; // still dependent on a deferred result
-                }
-            }
-            if (!ok)
-                break;
-            if (e.status == CqStatus::kDeferred) {
-                if (in.isBranch())
-                    trial_blocked = true; // unresolved control
-                if (in.isStore())
-                    trial_def_store = true;
-                std::array<isa::RegId, 2> dsts;
-                unsigned nd = in.destinations(dsts);
-                for (unsigned d = 0; d < nd; ++d)
-                    trial_deferred.set(regSlot(dsts[d]));
-            }
-            if (in.isHalt())
-                trial_blocked = true;
-        }
-        if (!ok)
-            break;
-        res = trial;
-        deferred_writes = trial_deferred;
-        has_deferred_store = trial_def_store;
-        blocked = trial_blocked;
-        w.entries = g_end + 1;
-        ++w.groups;
-    }
-    return w;
 }
 
 } // namespace cpu

@@ -5,14 +5,21 @@
  * queue are fused into one retire window when pre-execution has
  * removed the dependences that forced the stop bit — regrouping, but
  * never reordering.
+ *
+ * extendRetireWindow is a template over the readiness predicate so
+ * the B-pipe's per-entry check inlines into the scan; the old
+ * std::function indirection showed up in tick-loop profiles.
  */
 
 #ifndef FF_CPU_TWOPASS_REGROUPER_HH
 #define FF_CPU_TWOPASS_REGROUPER_HH
 
+#include <array>
+#include <bitset>
 #include <cstddef>
-#include <functional>
 
+#include "common/logging.hh"
+#include "cpu/regfile.hh"
 #include "cpu/twopass/coupling_queue.hh"
 #include "isa/program.hh"
 
@@ -35,8 +42,54 @@ struct RetireWindow
  */
 RetireWindow headGroupWindow(const CouplingQueue &cq);
 
+namespace detail
+{
+
+/** Mutable resource tally for a window under construction. */
+struct WindowResources
+{
+    unsigned total = 0;
+    unsigned alu = 0;
+    unsigned mem = 0;
+    unsigned fp = 0;
+    unsigned br = 0;
+
+    bool
+    add(const isa::Instruction &in, const isa::GroupLimits &lim)
+    {
+        if (total + 1 > lim.issueWidth)
+            return false;
+        switch (in.unit()) {
+          case isa::UnitClass::kAlu:
+            if (alu + 1 > lim.aluUnits)
+                return false;
+            ++alu;
+            break;
+          case isa::UnitClass::kMem:
+            if (mem + 1 > lim.memUnits)
+                return false;
+            ++mem;
+            break;
+          case isa::UnitClass::kFp:
+            if (fp + 1 > lim.fpUnits)
+                return false;
+            ++fp;
+            break;
+          case isa::UnitClass::kBranch:
+            if (br + 1 > lim.branchUnits)
+                return false;
+            ++br;
+            break;
+        }
+        ++total;
+        return true;
+    }
+};
+
+} // namespace detail
+
 /**
- * Extends @p base by fusing subsequent fully-queued groups, never
+ * Extends @p w by fusing subsequent fully-queued groups, never
  * reordering. A group fuses only while:
  *  - it is completely in the CQ and was enqueued before @p now (the
  *    A-pipe stays a cycle ahead),
@@ -46,21 +99,121 @@ RetireWindow headGroupWindow(const CouplingQueue &cq);
  *    when the deferred producer executes, so the stop bit is still
  *    load-bearing),
  *  - every entry of the group is itself ready to retire this cycle,
- *    as judged by @p entry_ready (dangling results arrived; deferred
- *    operands ready) — fusing must never stall work that could have
- *    retired alone,
+ *    as judged by @p entry_ready (called with the entry's logical CQ
+ *    index; dangling results arrived, deferred operands ready) —
+ *    fusing must never stall work that could have retired alone,
  *  - no *pre-executed load* fuses behind a deferred store (its
  *    merge-time ALAT check would run before the store's
  *    invalidations apply); deferred loads and non-loads may,
  *  - the window so far contains no unresolved (deferred) branch and
  *    no halt.
  *
- * The caller must have established that @p base itself is ready.
+ * The caller must have established that @p w itself is ready.
  */
-RetireWindow extendRetireWindow(
-    const CouplingQueue &cq, const isa::Program &prog,
-    const isa::GroupLimits &limits, Cycle now, RetireWindow base,
-    const std::function<bool(const CqEntry &)> &entry_ready);
+template <typename EntryReady>
+RetireWindow
+extendRetireWindow(const CouplingQueue &cq, const isa::Program &prog,
+                   const isa::GroupLimits &limits, Cycle now,
+                   RetireWindow w, EntryReady &&entry_ready)
+{
+    // Window-so-far properties for the fusion rules.
+    detail::WindowResources res;
+    std::bitset<kNumRegSlots> deferred_writes;
+    bool has_deferred_store = false;
+    bool blocked = false;
+    for (std::size_t k = 0; k < w.entries; ++k) {
+        const isa::Instruction &in = prog.inst(cq.idx(k));
+        // The head group is taken as-is: it was a legal issue group,
+        // so add() cannot overflow on it.
+        res.add(in, limits);
+        if (cq.deferred(k)) {
+            if (in.isBranch()) {
+                blocked = true;
+                break;
+            }
+            if (in.isStore())
+                has_deferred_store = true;
+            std::array<isa::RegId, 2> dsts;
+            unsigned nd = in.destinations(dsts);
+            for (unsigned d = 0; d < nd; ++d)
+                deferred_writes.set(regSlot(dsts[d]));
+        }
+        if (in.isHalt()) {
+            blocked = true;
+            break;
+        }
+    }
+
+    while (!blocked) {
+        // Locate the next group [w.entries, g_end] fully in the CQ.
+        std::size_t g_end = w.entries;
+        bool complete = false;
+        while (g_end < cq.size()) {
+            if (cq.groupEnd(g_end)) {
+                complete = true;
+                break;
+            }
+            ++g_end;
+        }
+        if (!complete)
+            break;
+        if (cq.enqueuedAt(w.entries) >= now)
+            break; // the A-pipe must stay a cycle ahead
+
+        // Trial-fuse: all rules must pass before committing.
+        detail::WindowResources trial = res;
+        std::bitset<kNumRegSlots> trial_deferred = deferred_writes;
+        bool trial_def_store = has_deferred_store;
+        bool ok = true;
+        bool trial_blocked = false;
+        for (std::size_t k = w.entries; k <= g_end; ++k) {
+            const isa::Instruction &in = prog.inst(cq.idx(k));
+            if (!trial.add(in, limits) || !entry_ready(k)) {
+                ok = false;
+                break;
+            }
+            // A pre-executed load's merge-time ALAT check must see
+            // every older store invalidation: it cannot fuse behind
+            // a deferred store.
+            if (trial_def_store && cq.isLoad(k) && cq.preExecuted(k)) {
+                ok = false;
+                break;
+            }
+            std::array<isa::RegId, 4> srcs;
+            unsigned ns = in.sources(srcs);
+            for (unsigned s = 0; s < ns && ok; ++s) {
+                const int slot = regSlot(srcs[s]);
+                if (slot >= 0 && srcs[s].idx != 0 &&
+                    trial_deferred.test(slot)) {
+                    ok = false; // still dependent on a deferred result
+                }
+            }
+            if (!ok)
+                break;
+            if (cq.deferred(k)) {
+                if (in.isBranch())
+                    trial_blocked = true; // unresolved control
+                if (in.isStore())
+                    trial_def_store = true;
+                std::array<isa::RegId, 2> dsts;
+                unsigned nd = in.destinations(dsts);
+                for (unsigned d = 0; d < nd; ++d)
+                    trial_deferred.set(regSlot(dsts[d]));
+            }
+            if (in.isHalt())
+                trial_blocked = true;
+        }
+        if (!ok)
+            break;
+        res = trial;
+        deferred_writes = trial_deferred;
+        has_deferred_store = trial_def_store;
+        blocked = trial_blocked;
+        w.entries = g_end + 1;
+        ++w.groups;
+    }
+    return w;
+}
 
 } // namespace cpu
 } // namespace ff

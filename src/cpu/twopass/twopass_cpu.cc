@@ -1,8 +1,5 @@
 #include "cpu/twopass/twopass_cpu.hh"
 
-#include <algorithm>
-#include <vector>
-
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "cpu/stats_report.hh"
@@ -14,12 +11,11 @@ namespace cpu
 
 TwoPassCpu::TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg)
     : CoreBase(prog, cfg, memory::Initiator::kApipe),
-      _cq(cfg.couplingQueueSize),
       _sbuf(cfg.storeBufferSize),
       _alat(cfg.alatCapacity),
-      _ctx{_prog, _cfg,  _fe,  *_pred, _hier,   _mem,  _afile,
-           _bfile, _bsb, _cq,  _sbuf,  _alat,   _shared, _stats},
-      _feedback(_cfg, _afile, _bfile, _stats),
+      _ctx{_prog, _cfg, _fe, *_pred, _hier, _mem, _ms, _sbuf, _alat,
+           _stats},
+      _feedback(_cfg, _ms.afile, _ms.regs, _stats),
       _apipe(_ctx),
       _bpipe(_ctx, _feedback)
 {
@@ -38,7 +34,7 @@ TwoPassCpu::tick(Cycle now, RunResult &res)
     const CycleClass cls = _bpipe.step(now, res);
     if (!res.halted)
         _apipe.step(now);
-    _cqDepth.sample(static_cast<std::int64_t>(_cq.size()));
+    _cqDepth.sample(static_cast<std::int64_t>(_ms.cq.size()));
     if (_cfg.selfCheckInterval != 0 &&
         now % _cfg.selfCheckInterval == 0) {
         checkAFileCoherence(now);
@@ -51,8 +47,8 @@ TwoPassCpu::checkAFileCoherence(Cycle now) const
 {
     // The coupling queue must hold strictly increasing dynamic ids
     // (program order), and the store buffer likewise.
-    for (std::size_t k = 1; k < _cq.size(); ++k) {
-        ff_panic_if(_cq.at(k - 1).id >= _cq.at(k).id,
+    for (std::size_t k = 1; k < _ms.cq.size(); ++k) {
+        ff_panic_if(_ms.cq.id(k - 1) >= _ms.cq.id(k),
                     "coupling queue out of program order at cycle ",
                     now);
     }
@@ -60,12 +56,12 @@ TwoPassCpu::checkAFileCoherence(Cycle now) const
         const isa::RegId r = slotReg(slot);
         if (r.idx == 0)
             continue;
-        if (!_afile.valid(r) || _afile.speculative(r))
+        if (!_ms.afile.valid(r) || _ms.afile.speculative(r))
             continue;
-        ff_panic_if(_afile.read(r) != _bfile.read(r),
+        ff_panic_if(_ms.afile.read(r) != _ms.regs.read(r),
                     "A-file coherence violation at cycle ", now, ": ",
-                    isa::regName(r), " A=", _afile.read(r),
-                    " B=", _bfile.read(r));
+                    isa::regName(r), " A=", _ms.afile.read(r),
+                    " B=", _ms.regs.read(r));
     }
 }
 
@@ -185,22 +181,19 @@ restoreTwoPassStats(serial::Reader &r, TwoPassStats &s)
 void
 TwoPassCpu::saveModelState(serial::Writer &w) const
 {
-    _afile.save(w);
-    _bfile.save(w);
-    _bsb.save(w);
-    _cq.save(w);
+    _ms.afile.save(w);
+    _ms.regs.save(w);
+    _ms.sb.save(w);
+    _ms.cq.save(w);
     _sbuf.save(w);
     _alat.save(w);
 
-    w.u64(_shared.nextId);
-    w.boolean(_shared.aHalted);
-    // conflictRetry is a membership-only set; sorted for byte-stable
-    // encoding.
-    std::vector<InstIdx> retry(_shared.conflictRetry.begin(),
-                               _shared.conflictRetry.end());
-    std::sort(retry.begin(), retry.end());
-    w.u64(retry.size());
-    for (const InstIdx idx : retry)
+    w.u64(_ms.nextId);
+    w.boolean(_ms.aHalted);
+    // conflictRetry is a membership-only set, kept sorted — the
+    // encoding is byte-stable as-is.
+    w.u64(_ms.conflictRetry().size());
+    for (const InstIdx idx : _ms.conflictRetry())
         w.u32(idx);
 
     saveTwoPassStats(w, _stats);
@@ -212,19 +205,19 @@ TwoPassCpu::saveModelState(serial::Writer &w) const
 void
 TwoPassCpu::restoreModelState(serial::Reader &r)
 {
-    _afile.restore(r);
-    _bfile.restore(r);
-    _bsb.restore(r);
-    _cq.restore(r);
+    _ms.afile.restore(r);
+    _ms.regs.restore(r);
+    _ms.sb.restore(r);
+    _ms.cq.restore(r);
     _sbuf.restore(r);
     _alat.restore(r);
 
-    _shared.nextId = r.u64();
-    _shared.aHalted = r.boolean();
-    _shared.conflictRetry.clear();
+    _ms.nextId = r.u64();
+    _ms.aHalted = r.boolean();
+    _ms.conflictRetryClear();
     const std::size_t retry = r.seq(4);
     for (std::size_t i = 0; i < retry; ++i)
-        _shared.conflictRetry.insert(r.u32());
+        _ms.conflictRetryInsert(r.u32());
 
     restoreTwoPassStats(r, _stats);
     _feedback.restore(r);

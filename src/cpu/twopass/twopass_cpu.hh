@@ -9,8 +9,11 @@
  * resolves deferred branch mispredictions (B-DET), and feeds
  * committed values back to the A-file over a latency-configurable
  * path. TwoPassCpu itself is a thin composition over the CoreBase
- * kernel: it owns the structures, wires them into a PipeContext, and
- * sequences the APipe / BPipe / FeedbackPath stage units each tick.
+ * kernel: the dense per-cycle state (A-file, B-file, scoreboard,
+ * coupling queue) lives in CoreBase's MachineState; this class adds
+ * the two-pass-only structures, wires everything into a PipeContext,
+ * and sequences the APipe / BPipe / FeedbackPath stage units each
+ * tick.
  */
 
 #ifndef FF_CPU_TWOPASS_TWOPASS_CPU_HH
@@ -19,10 +22,8 @@
 #include "common/stats.hh"
 #include "cpu/core/core_base.hh"
 #include "cpu/scoreboard.hh"
-#include "cpu/twopass/afile.hh"
 #include "cpu/twopass/apipe.hh"
 #include "cpu/twopass/bpipe.hh"
-#include "cpu/twopass/coupling_queue.hh"
 #include "cpu/twopass/feedback.hh"
 #include "cpu/twopass/pipe_context.hh"
 #include "memory/alat.hh"
@@ -42,7 +43,15 @@ class TwoPassCpu : public CoreBase
   public:
     TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg);
 
-    const RegFile &archRegs() const override { return _bfile; }
+    RunResult
+    run(std::uint64_t max_cycles) final
+    {
+        return runLoop(
+            [this](Cycle now, RunResult &res) { return tick(now, res); },
+            max_cycles);
+    }
+
+    const RegFile &archRegs() const override { return _ms.regs; }
 
     const TwoPassStats &stats() const { return _stats; }
     const memory::AlatStats &alatStats() const { return _alat.stats(); }
@@ -56,36 +65,28 @@ class TwoPassCpu : public CoreBase
 
     std::string statsReport() const override;
 
-    /** Keeps the stage units' observer view in sync with CoreBase. */
-    void
-    setObserver(CoreObserver *obs) override
-    {
-        CoreBase::setObserver(obs);
-        _shared.observer = obs;
-    }
-
     /** Adds the two-pass structures to the common occupancy probe. */
     OccupancySample
     occupancy(Cycle now) const override
     {
         OccupancySample s = CoreBase::occupancy(now);
-        s.cqDepth = static_cast<unsigned>(_cq.size());
+        s.cqDepth = static_cast<unsigned>(_ms.cq.size());
         s.pendingFeedback = static_cast<unsigned>(_feedback.size());
         return s;
     }
 
     /** Test access to internal structures. */
-    const AFile &afile() const { return _afile; }
-    const CouplingQueue &couplingQueue() const { return _cq; }
+    const AFile &afile() const { return _ms.afile; }
+    const CouplingQueue &couplingQueue() const { return _ms.cq; }
     const memory::StoreBuffer &storeBuffer() const { return _sbuf; }
 
   protected:
-    CycleClass tick(Cycle now, RunResult &res) override;
-
     void saveModelState(serial::Writer &w) const override;
     void restoreModelState(serial::Reader &r) override;
 
   private:
+    CycleClass tick(Cycle now, RunResult &res);
+
     /**
      * Debug invariant (cfg.selfCheckInterval): every valid,
      * non-speculative A-file register must equal its B-file copy —
@@ -93,13 +94,8 @@ class TwoPassCpu : public CoreBase
      */
     void checkAFileCoherence(Cycle now) const;
 
-    AFile _afile;                    ///< speculative register file
-    RegFile _bfile;                  ///< architectural register file
-    Scoreboard _bsb;                 ///< B-pipe in-flight producers
-    CouplingQueue _cq;
     memory::StoreBuffer _sbuf;
     memory::Alat _alat;
-    TwoPassShared _shared;
     TwoPassStats _stats;
 
     // The context must follow every structure it references; the

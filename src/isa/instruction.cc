@@ -7,10 +7,10 @@ namespace ff
 namespace isa
 {
 
-namespace
+namespace detail
 {
 
-constexpr OpInfo kOpTable[] = {
+const OpInfo kOpTable[] = {
     /* kNop  */ {"nop", UnitClass::kAlu, 1},
     /* kHalt */ {"halt", UnitClass::kAlu, 1},
     /* kAdd  */ {"add", UnitClass::kAlu, 1},
@@ -43,16 +43,13 @@ static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
                   static_cast<std::size_t>(Opcode::kNumOpcodes),
               "opcode table out of sync");
 
-} // namespace
-
-const OpInfo &
-opInfo(Opcode op)
+void
+badOpcode(std::size_t i)
 {
-    auto i = static_cast<std::size_t>(op);
-    ff_panic_if(i >= static_cast<std::size_t>(Opcode::kNumOpcodes),
-                "bad opcode ", i);
-    return kOpTable[i];
+    ff_panic("bad opcode ", i);
 }
+
+} // namespace detail
 
 std::string
 regName(RegId r)
@@ -83,31 +80,6 @@ condName(CmpCond c)
       case CmpCond::kLtu: return "ltu";
     }
     return "?";
-}
-
-unsigned
-Instruction::sources(std::array<RegId, 4> &out) const
-{
-    unsigned n = 0;
-    // The qualifying predicate is always a source (p0 included; the
-    // consumer decides whether p0 needs dependence tracking).
-    out[n++] = qpred;
-    if (src1.valid())
-        out[n++] = src1;
-    if (src2.valid() && !src2IsImm)
-        out[n++] = src2;
-    return n;
-}
-
-unsigned
-Instruction::destinations(std::array<RegId, 2> &out) const
-{
-    unsigned n = 0;
-    if (dst.valid())
-        out[n++] = dst;
-    if (dst2.valid())
-        out[n++] = dst2;
-    return n;
 }
 
 } // namespace isa

@@ -65,12 +65,25 @@ struct Instruction
     /**
      * Collects the register sources this instruction reads, including
      * the qualifying predicate (first). The fixed-size result avoids
-     * allocation on the issue path.
+     * allocation on the issue path; inline because every dependence
+     * check of every model runs it per slot per cycle.
      *
      * @param out receives up to 4 RegIds
      * @return number of sources written
      */
-    unsigned sources(std::array<RegId, 4> &out) const;
+    unsigned
+    sources(std::array<RegId, 4> &out) const
+    {
+        unsigned n = 0;
+        // The qualifying predicate is always a source (p0 included;
+        // the consumer decides whether p0 needs dependence tracking).
+        out[n++] = qpred;
+        if (src1.valid())
+            out[n++] = src1;
+        if (src2.valid() && !src2IsImm)
+            out[n++] = src2;
+        return n;
+    }
 
     /**
      * Collects the register destinations this instruction writes when
@@ -79,7 +92,16 @@ struct Instruction
      * @param out receives up to 2 RegIds
      * @return number of destinations written
      */
-    unsigned destinations(std::array<RegId, 2> &out) const;
+    unsigned
+    destinations(std::array<RegId, 2> &out) const
+    {
+        unsigned n = 0;
+        if (dst.valid())
+            out[n++] = dst;
+        if (dst2.valid())
+            out[n++] = dst2;
+        return n;
+    }
 };
 
 } // namespace isa

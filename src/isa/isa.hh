@@ -11,6 +11,7 @@
 #ifndef FF_ISA_ISA_HH
 #define FF_ISA_ISA_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -141,8 +142,28 @@ struct OpInfo
     unsigned latency;
 };
 
-/** Looks up the static properties of @p op. */
-const OpInfo &opInfo(Opcode op);
+namespace detail
+{
+/** The opcode property table, indexed by Opcode; see instruction.cc. */
+extern const OpInfo kOpTable[];
+
+/** Panics on an out-of-range opcode; out of line, never taken. */
+[[noreturn]] void badOpcode(std::size_t i);
+} // namespace detail
+
+/**
+ * Looks up the static properties of @p op. Inline: the per-cycle issue
+ * and regrouping paths query unit class and latency for every slot of
+ * every group, so this must compile to a table index, not a call.
+ */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    const auto i = static_cast<std::size_t>(op);
+    if (i >= static_cast<std::size_t>(Opcode::kNumOpcodes))
+        detail::badOpcode(i);
+    return detail::kOpTable[i];
+}
 
 /** Printable register name ("r5", "f2", "p7"). */
 std::string regName(RegId r);

@@ -32,10 +32,10 @@ Hierarchy::Hierarchy(const MemoryConfig &cfg)
 }
 
 void
-Hierarchy::tick(Cycle now)
+Hierarchy::drainFills(Cycle now)
 {
-    while (!_pendingFills.empty() && _pendingFills.begin()->first <= now) {
-        const PendingFill f = _pendingFills.begin()->second;
+    while (!_pendingFills.empty() && _pendingFills.front().first <= now) {
+        const PendingFill f = _pendingFills.front().second;
         _pendingFills.erase(_pendingFills.begin());
 
         // Install bottom-up so inclusive-ish state is sensible.
@@ -51,12 +51,33 @@ Hierarchy::tick(Cycle now)
         auto &in_flight = f.isInst ? _inFlightInst : _inFlightData;
         in_flight.erase(f.l1Line);
     }
+    _nextFillDue =
+        _pendingFills.empty() ? kNoFill : _pendingFills.front().first;
+}
+
+void
+Hierarchy::releaseLoads(Cycle now)
+{
     // Expire MSHRs whose loads have completed (heap min first).
     while (!_outstandingLoads.empty() && _outstandingLoads.front() <= now) {
         std::pop_heap(_outstandingLoads.begin(), _outstandingLoads.end(),
                       std::greater<Cycle>());
         _outstandingLoads.pop_back();
     }
+}
+
+void
+Hierarchy::scheduleFill(Cycle due, const PendingFill &fill)
+{
+    // upper_bound keeps same-cycle fills in insertion order.
+    auto pos = std::upper_bound(
+        _pendingFills.begin(), _pendingFills.end(), due,
+        [](Cycle d, const std::pair<Cycle, PendingFill> &p) {
+            return d < p.first;
+        });
+    _pendingFills.insert(pos, {due, fill});
+    if (due < _nextFillDue)
+        _nextFillDue = due;
 }
 
 bool
@@ -103,8 +124,7 @@ Hierarchy::missPath(AccessKind kind, Addr addr, bool is_inst, Cycle now)
     Cache &l1 = is_inst ? _l1i : _l1d;
     const Addr line = l1.lineAddr(addr);
     const Cycle due = now + r.latency;
-    _pendingFills.emplace(due, PendingFill{line, is_inst, is_store,
-                                           r.level});
+    scheduleFill(due, PendingFill{line, is_inst, is_store, r.level});
     auto &in_flight = is_inst ? _inFlightInst : _inFlightData;
     in_flight.emplace(line, due);
 
@@ -163,9 +183,9 @@ Hierarchy::access(AccessKind kind, Initiator who, Addr addr, Cycle now)
                     else
                         lat = _cfg.memoryLatency;
                     const Cycle due = now + lat;
-                    _pendingFills.emplace(
-                        due, PendingFill{l1.lineAddr(next), is_inst,
-                                         false, MemLevel::kL1});
+                    scheduleFill(due,
+                                 PendingFill{l1.lineAddr(next), is_inst,
+                                             false, MemLevel::kL1});
                     in_flight.emplace(l1.lineAddr(next), due);
                 }
             }
@@ -272,6 +292,7 @@ Hierarchy::restore(serial::Reader &r)
 
     _pendingFills.clear();
     const std::size_t fills = r.seq(19);
+    _pendingFills.reserve(fills);
     for (std::size_t i = 0; i < fills; ++i) {
         const Cycle due = r.u64();
         PendingFill f;
@@ -279,8 +300,11 @@ Hierarchy::restore(serial::Reader &r)
         f.isInst = r.boolean();
         f.dirty = r.boolean();
         f.from = static_cast<MemLevel>(r.u8());
-        _pendingFills.emplace_hint(_pendingFills.end(), due, f);
+        // The stream is already sorted (saved in table order).
+        _pendingFills.push_back({due, f});
     }
+    _nextFillDue =
+        _pendingFills.empty() ? kNoFill : _pendingFills.front().first;
 
     restoreInFlight(r, _inFlightData);
     restoreInFlight(r, _inFlightInst);
@@ -303,6 +327,7 @@ Hierarchy::reset()
     _l2.reset();
     _l3.reset();
     _pendingFills.clear();
+    _nextFillDue = kNoFill;
     _inFlightData.clear();
     _inFlightInst.clear();
     _outstandingLoads.clear();

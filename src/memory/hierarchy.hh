@@ -15,8 +15,9 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.hh"
@@ -113,8 +114,22 @@ class Hierarchy
   public:
     explicit Hierarchy(const MemoryConfig &cfg);
 
-    /** Processes fills that complete at or before @p now. */
-    void tick(Cycle now);
+    /**
+     * Processes fills that complete at or before @p now and releases
+     * MSHRs of completed loads. Called once per simulated cycle by
+     * every core model, so the nothing-due case is two comparisons
+     * against cached minima — no container traversal.
+     */
+    void
+    tick(Cycle now)
+    {
+        if (_nextFillDue <= now)
+            drainFills(now);
+        if (!_outstandingLoads.empty() &&
+            _outstandingLoads.front() <= now) {
+            releaseLoads(now);
+        }
+    }
 
     /**
      * Performs a timed access.
@@ -176,14 +191,36 @@ class Hierarchy
     AccessResult missPath(AccessKind kind, Addr addr, bool is_inst,
                           Cycle now);
 
+    /** Installs every fill due by @p now (slow half of tick()). */
+    void drainFills(Cycle now);
+    /** Pops completed loads off the MSHR heap (slow half of tick()). */
+    void releaseLoads(Cycle now);
+
+    /**
+     * Queues a fill of @p line, keeping the table sorted by due cycle
+     * with same-cycle fills in insertion order (the multimap ordering
+     * this table replaced, so install order replays identically).
+     */
+    void scheduleFill(Cycle due, const PendingFill &fill);
+
+    /** _nextFillDue value meaning "no fill in flight". */
+    static constexpr Cycle kNoFill =
+        std::numeric_limits<Cycle>::max();
+
     MemoryConfig _cfg;
     Cache _l1i;
     Cache _l1d;
     Cache _l2;
     Cache _l3;
 
-    /** Fills in flight, ordered by completion cycle. */
-    std::multimap<Cycle, PendingFill> _pendingFills;
+    /**
+     * Fills in flight as a flat table sorted by completion cycle.
+     * Bounded by MSHRs + prefetch degree in practice, so the O(n)
+     * sorted insert and front erase beat node allocation.
+     */
+    std::vector<std::pair<Cycle, PendingFill>> _pendingFills;
+    /** Due cycle of the earliest pending fill, or kNoFill. */
+    Cycle _nextFillDue = kNoFill;
 
     /** L1-line -> completion cycle, for merge detection. */
     std::unordered_map<Addr, Cycle> _inFlightData;

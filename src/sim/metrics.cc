@@ -24,7 +24,7 @@ MetricsSession::attach(cpu::CpuModel &model)
 {
     if (!_opt.enabled())
         return;
-    auto *core = dynamic_cast<cpu::CoreBase *>(&model);
+    cpu::CoreBase *core = model.asCoreBase();
     if (core == nullptr)
         return; // functional model: nothing to observe
     _core = core;

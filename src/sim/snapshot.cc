@@ -159,15 +159,33 @@ encodeSnapshot(const Snapshot &snap)
     return w.take();
 }
 
-bool
-decodeSnapshot(const std::vector<std::uint8_t> &bytes, Snapshot &out)
+namespace
+{
+
+enum class DecodeError
+{
+    kNone,
+    kBadMagic,
+    kBadVersion,
+    kMalformed, ///< truncated, trailing bytes, or bad kind
+};
+
+DecodeError
+decodeSnapshotImpl(const std::vector<std::uint8_t> &bytes,
+                   Snapshot &out, std::uint32_t &version)
 {
     serial::Reader r(bytes);
-    if (r.u32() != kSnapshotMagic || r.u32() != kSnapshotFormatVersion)
-        return false;
+    const std::uint32_t magic = r.u32();
+    version = r.u32();
+    if (!r.ok())
+        return DecodeError::kMalformed;
+    if (magic != kSnapshotMagic)
+        return DecodeError::kBadMagic;
+    if (version != kSnapshotFormatVersion)
+        return DecodeError::kBadVersion;
     const std::uint8_t kind = r.u8();
     if (kind >= cpu::kNumCpuKinds)
-        return false;
+        return DecodeError::kMalformed;
     out.kind = static_cast<CpuKind>(kind);
     out.cycle = r.u64();
     out.programHash = r.u64();
@@ -175,7 +193,36 @@ decodeSnapshot(const std::vector<std::uint8_t> &bytes, Snapshot &out)
     const std::size_t n = r.seq(1);
     out.state.resize(n);
     r.bytes(out.state.data(), n);
-    return r.ok() && r.atEnd();
+    return r.ok() && r.atEnd() ? DecodeError::kNone
+                               : DecodeError::kMalformed;
+}
+
+} // namespace
+
+bool
+decodeSnapshot(const std::vector<std::uint8_t> &bytes, Snapshot &out)
+{
+    std::uint32_t version = 0;
+    return decodeSnapshotImpl(bytes, out, version) ==
+           DecodeError::kNone;
+}
+
+Snapshot
+decodeSnapshotOrDie(const std::vector<std::uint8_t> &bytes)
+{
+    Snapshot out;
+    std::uint32_t version = 0;
+    const DecodeError err = decodeSnapshotImpl(bytes, out, version);
+    ff_fatal_if(err == DecodeError::kBadVersion,
+                "snapshot container has format version ", version,
+                " but this build reads version ",
+                kSnapshotFormatVersion,
+                "; regenerate the snapshot (stale artifact?)");
+    ff_fatal_if(err == DecodeError::kBadMagic,
+                "not a snapshot container (bad magic)");
+    ff_fatal_if(err != DecodeError::kNone,
+                "snapshot container is truncated or corrupt");
+    return out;
 }
 
 WarmupResult

@@ -33,7 +33,7 @@ namespace sim
  * decodeSnapshot() rejects other versions, and the result cache
  * folds this into its keys so stale on-disk artifacts age out.
  */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /** A timed model frozen mid-run. */
 struct Snapshot
@@ -94,6 +94,15 @@ std::vector<std::uint8_t> encodeSnapshot(const Snapshot &snap);
  */
 bool decodeSnapshot(const std::vector<std::uint8_t> &bytes,
                     Snapshot &out);
+
+/**
+ * Like decodeSnapshot() but fatal with a precise diagnosis. A
+ * container written by a different kSnapshotFormatVersion (e.g. a
+ * stale on-disk artifact from before a format bump) reports both
+ * versions; corruption and bad magic get their own message. Use this
+ * wherever a snapshot is trusted input rather than a probe.
+ */
+Snapshot decodeSnapshotOrDie(const std::vector<std::uint8_t> &bytes);
 
 /** What runWarmup() produced. */
 struct WarmupResult

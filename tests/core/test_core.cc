@@ -167,7 +167,7 @@ TEST(CoreObserverSeam, CountsAgreeWithRunResultsAcrossModels)
         const CpuKind kind = static_cast<CpuKind>(k);
         TraceObserver obs;
         auto model = makeModel(kind, w.program, CoreConfig());
-        dynamic_cast<CoreBase &>(*model).setObserver(&obs);
+        model->asCoreBase()->setObserver(&obs);
         const RunResult r = model->run(20'000'000);
         ASSERT_TRUE(r.halted) << cpuKindName(kind);
 
@@ -201,7 +201,7 @@ TEST(CoreObserverSeam, DetachStopsEventDelivery)
     const workloads::Workload w = workloads::buildWorkload("130.li", 3);
     TraceObserver obs;
     auto model = makeModel(CpuKind::kTwoPass, w.program, CoreConfig());
-    auto &core = dynamic_cast<CoreBase &>(*model);
+    CoreBase &core = *model->asCoreBase();
     core.setObserver(&obs);
     core.setObserver(nullptr);
     ASSERT_TRUE(model->run(20'000'000).halted);

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -183,6 +184,44 @@ TEST(Snapshot, DecodeRejectsCorruptContainers)
     bad = bytes;
     bad.push_back(0);
     EXPECT_FALSE(sim::decodeSnapshot(bad, out));
+}
+
+TEST(SnapshotDeathTest, StaleFormatVersionIsFatal)
+{
+    // A container written by the previous format version must be
+    // rejected — and decodeSnapshotOrDie() must say why, naming both
+    // the container's version and the version this build expects.
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const std::unique_ptr<cpu::CpuModel> m =
+        cpu::makeModel(sim::CpuKind::kBaseline, w.program, cfg);
+    (void)m->run(800);
+    const std::vector<std::uint8_t> bytes = sim::encodeSnapshot(
+        sim::saveSnapshot(*m, sim::CpuKind::kBaseline, w.program,
+                          cfg));
+
+    // The good container decodes fatally-free.
+    const sim::Snapshot ok = sim::decodeSnapshotOrDie(bytes);
+    EXPECT_EQ(ok.kind, sim::CpuKind::kBaseline);
+
+    // Rewrite the version field (bytes 4..8, little-endian) to v(N-1).
+    std::vector<std::uint8_t> stale = bytes;
+    const std::uint32_t prev = sim::kSnapshotFormatVersion - 1;
+    std::memcpy(stale.data() + 4, &prev, sizeof(prev));
+
+    sim::Snapshot out;
+    EXPECT_FALSE(sim::decodeSnapshot(stale, out));
+    EXPECT_DEATH(sim::decodeSnapshotOrDie(stale),
+                 "format version 1 but this build reads version 2");
+
+    // Bad magic and truncation die with their own diagnosis.
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] ^= 0xff;
+    EXPECT_DEATH(sim::decodeSnapshotOrDie(bad), "bad magic");
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + 6);
+    EXPECT_DEATH(sim::decodeSnapshotOrDie(cut),
+                 "truncated or corrupt");
 }
 
 TEST(Snapshot, ConfigHashSeparatesEveryKnob)

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * PackedBits container unit tests at every edge width: exactly one
+ * word, word-boundary-1, word-boundary+1, multi-word — set/clear
+ * semantics, the tail-trimming invariant behind count()/any(), the
+ * forEachSet scan order, and the snapshot round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/serialize.hh"
+#include "cpu/state/bitset.hh"
+
+namespace
+{
+
+using namespace ff;
+using cpu::PackedBits;
+
+template <unsigned N>
+std::vector<unsigned>
+setBits(const PackedBits<N> &b)
+{
+    std::vector<unsigned> v;
+    b.forEachSet([&](unsigned i) { v.push_back(i); });
+    return v;
+}
+
+TEST(PackedBits, SetTestClearAssign)
+{
+    PackedBits<100> b;
+    EXPECT_FALSE(b.any());
+    EXPECT_EQ(b.count(), 0u);
+
+    b.set(0);
+    b.set(63);
+    b.set(64);
+    b.set(99);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(63));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(99));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_FALSE(b.test(65));
+    EXPECT_EQ(b.count(), 4u);
+
+    b.clear(63);
+    EXPECT_FALSE(b.test(63));
+    EXPECT_EQ(b.count(), 3u);
+
+    b.assign(63, true);
+    b.assign(0, false);
+    EXPECT_TRUE(b.test(63));
+    EXPECT_FALSE(b.test(0));
+    EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(PackedBits, WordGeometryAtEdgeWidths)
+{
+    EXPECT_EQ(PackedBits<1>::kWords, 1u);
+    EXPECT_EQ(PackedBits<63>::kWords, 1u);
+    EXPECT_EQ(PackedBits<64>::kWords, 1u);
+    EXPECT_EQ(PackedBits<65>::kWords, 2u);
+    EXPECT_EQ(PackedBits<128>::kWords, 2u);
+    EXPECT_EQ(PackedBits<129>::kWords, 3u);
+}
+
+TEST(PackedBits, SetAllTrimsTheTailWord)
+{
+    // 65 bits: the second word holds exactly one live bit; setAll()
+    // must not count the 63 dead tail bits.
+    PackedBits<65> b;
+    b.setAll();
+    EXPECT_EQ(b.count(), 65u);
+    EXPECT_TRUE(b.test(64));
+    EXPECT_EQ(b.word(1), 1u);
+
+    // An exact multiple of 64 has no tail to trim.
+    PackedBits<128> c;
+    c.setAll();
+    EXPECT_EQ(c.count(), 128u);
+    EXPECT_EQ(c.word(1), ~std::uint64_t{0});
+
+    PackedBits<1> d;
+    d.setAll();
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.word(0), 1u);
+}
+
+TEST(PackedBits, SetWordTrimsOnlyTheLastWord)
+{
+    PackedBits<70> b;
+    b.setWord(0, ~std::uint64_t{0});
+    EXPECT_EQ(b.word(0), ~std::uint64_t{0});
+    b.setWord(1, ~std::uint64_t{0}); // 6 live bits, 58 dead
+    EXPECT_EQ(b.word(1), (std::uint64_t{1} << 6) - 1);
+    EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(PackedBits, ForEachSetAscendingAcrossWords)
+{
+    PackedBits<192> b;
+    const std::vector<unsigned> want = {0, 1, 62, 63, 64, 100, 127,
+                                        128, 191};
+    for (unsigned i : want)
+        b.set(i);
+    EXPECT_EQ(setBits(b), want);
+    EXPECT_EQ(b.count(), static_cast<unsigned>(want.size()));
+}
+
+TEST(PackedBits, ClearAllAndEquality)
+{
+    PackedBits<96> a, b;
+    EXPECT_EQ(a, b);
+    a.set(5);
+    a.set(70);
+    EXPECT_NE(a, b);
+    b.set(70);
+    b.set(5);
+    EXPECT_EQ(a, b);
+    a.clearAll();
+    EXPECT_FALSE(a.any());
+    EXPECT_NE(a, b);
+}
+
+TEST(PackedBits, SaveRestoreRoundTrip)
+{
+    PackedBits<130> a;
+    for (unsigned i : {0u, 31u, 64u, 65u, 127u, 128u, 129u})
+        a.set(i);
+
+    serial::Writer w;
+    a.save(w);
+    EXPECT_EQ(w.buffer().size(), PackedBits<130>::kWords * 8);
+
+    PackedBits<130> b;
+    b.setAll(); // restore must fully overwrite
+    serial::Reader r(w.buffer());
+    b.restore(r);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(a, b);
+}
+
+TEST(PackedBits, RestoreTrimsForeignTailBits)
+{
+    // A stream whose last word has bits past N set (e.g. hand-built
+    // or corrupted) must not poison count()/any() after restore.
+    serial::Writer w;
+    w.u64(0);
+    w.u64(~std::uint64_t{0});
+    PackedBits<65> b;
+    serial::Reader r(w.buffer());
+    b.restore(r);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_TRUE(b.test(64));
+}
+
+} // namespace

@@ -30,10 +30,10 @@ TEST(CouplingQueue, FifoBasics)
     cq.push(entry(1, CqStatus::kPreExecuted));
     cq.push(entry(2, CqStatus::kDeferred));
     EXPECT_EQ(cq.size(), 2u);
-    EXPECT_EQ(cq.at(0).id, 1u);
-    EXPECT_EQ(cq.at(1).id, 2u);
+    EXPECT_EQ(cq.id(0), 1u);
+    EXPECT_EQ(cq.id(1), 2u);
     cq.pop();
-    EXPECT_EQ(cq.at(0).id, 2u);
+    EXPECT_EQ(cq.id(0), 2u);
 }
 
 TEST(CouplingQueue, FreeSlotsAndFull)
@@ -53,7 +53,7 @@ TEST(CouplingQueue, SquashYoungerThan)
         cq.push(entry(id, CqStatus::kDeferred));
     cq.squashYoungerThan(3);
     EXPECT_EQ(cq.size(), 3u);
-    EXPECT_EQ(cq.at(2).id, 3u);
+    EXPECT_EQ(cq.id(2), 3u);
 }
 
 TEST(CouplingQueue, SquashAllWhenBoundaryIsOlderThanEverything)
@@ -98,7 +98,7 @@ TEST(CouplingQueue, EntryCarriesCrsPayload)
     e.addr = 0x1234;
     e.size = 8;
     cq.push(e);
-    const CqEntry &got = cq.at(0);
+    const CqEntry got = cq.entry(0);
     EXPECT_TRUE(got.predTrue);
     EXPECT_TRUE(got.writesDst);
     EXPECT_EQ(got.dstVal, 0xABCDu);

@@ -31,7 +31,7 @@ struct Fixture
      * entries are immutable once queued, so per-test tweaks go through
      * @p tweak before the push.
      */
-    const CqEntry &
+    void
     push(InstIdx idx, CqStatus status, Cycle enq = 0,
          const std::function<void(CqEntry &)> &tweak = nullptr)
     {
@@ -47,7 +47,6 @@ struct Fixture
         if (tweak)
             tweak(e);
         cq.push(e);
-        return cq.at(cq.size() - 1);
     }
 };
 
@@ -63,7 +62,8 @@ independentGroups()
     return b.finalize();
 }
 
-const auto kAlwaysReady = [](const CqEntry &) { return true; };
+// entry_ready predicates receive the entry's logical CQ index.
+const auto kAlwaysReady = [](std::size_t) { return true; };
 
 TEST(Regrouper, HeadGroupWindowSpansTheStopBit)
 {
@@ -100,7 +100,7 @@ TEST(Regrouper, StopsAtNotReadyEntry)
     f.push(1, CqStatus::kPreExecuted, /*enq=*/0,
            [](CqEntry &e) { e.readyAt = 100; }); // a dangling result
     f.push(2, CqStatus::kPreExecuted);
-    auto ready = [](const CqEntry &e) { return e.readyAt <= 5; };
+    auto ready = [&f](std::size_t k) { return f.cq.readyAt(k) <= 5; };
     RetireWindow w = headGroupWindow(f.cq);
     w = extendRetireWindow(f.cq, f.prog, GroupLimits(), 5, w, ready);
     EXPECT_EQ(w.entries, 1u);

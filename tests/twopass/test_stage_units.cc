@@ -98,12 +98,11 @@ struct StageFixture
           pred(branch::makePredictor(cfg.predictorKind,
                                      cfg.predictorEntries)),
           fe(prog, cfg, *pred, hier, memory::Initiator::kApipe),
-          cq(cfg.couplingQueueSize),
+          ms(cfg),
           sbuf(cfg.storeBufferSize),
           alat(cfg.alatCapacity),
-          ctx{prog, cfg,  fe,   *pred, hier,   mem,  afile,
-              bfile, bsb, cq,   sbuf,  alat,   shared, stats},
-          feedback(cfg, afile, bfile, stats),
+          ctx{prog, cfg, fe, *pred, hier, mem, ms, sbuf, alat, stats},
+          feedback(cfg, ms.afile, ms.regs, stats),
           bpipe(ctx, feedback)
     {
         mem.loadPages(prog.dataImage().pages());
@@ -115,17 +114,20 @@ struct StageFixture
     memory::Hierarchy hier;
     std::unique_ptr<branch::DirectionPredictor> pred;
     FrontEnd fe;
-    AFile afile;
-    RegFile bfile;
-    Scoreboard bsb;
-    CouplingQueue cq;
+    MachineState ms;
     memory::StoreBuffer sbuf;
     memory::Alat alat;
-    TwoPassShared shared;
     TwoPassStats stats;
     PipeContext ctx;
     FeedbackPath feedback;
     BPipe bpipe;
+
+    // Shorthands into the machine-state block, so the test bodies
+    // read like the structures were still stand-alone members.
+    AFile &afile = ms.afile;
+    RegFile &bfile = ms.regs;
+    Scoreboard &bsb = ms.sb;
+    CouplingQueue &cq = ms.cq;
 };
 
 CqEntry
@@ -151,7 +153,7 @@ TEST(StageUnits, BDetFlushSquashesYoungerAndRepairsAfile)
     const Program p = stageProgram();
     StageFixture f(p);
     RecordingObserver obs;
-    f.shared.observer = &obs;
+    f.ms.observer = &obs;
     const Cycle now = 10;
     const DynId branch_id = 8;
 
@@ -171,7 +173,7 @@ TEST(StageUnits, BDetFlushSquashesYoungerAndRepairsAfile)
     f.feedback.schedule(p.inst(0), 9, now);
     ASSERT_EQ(f.feedback.size(), 1u);
     // A halted A-pipe the flush must revive.
-    f.shared.aHalted = true;
+    f.ms.aHalted = true;
 
     CqEntry branch = preExecutedEntry(kBranchIdx, branch_id);
     branch.isBranch = true;
@@ -198,7 +200,7 @@ TEST(StageUnits, BDetFlushSquashesYoungerAndRepairsAfile)
         now + 1 + f.cfg.branchResolveDelay + f.cfg.bFlushRepairPenalty;
     EXPECT_TRUE(f.fe.redirecting(resume - 1));
     EXPECT_FALSE(f.fe.redirecting(resume));
-    EXPECT_FALSE(f.shared.aHalted);
+    EXPECT_FALSE(f.ms.aHalted);
 
     ASSERT_EQ(obs.flushes.size(), 1u);
     EXPECT_EQ(obs.flushes[0].kind, FlushKind::kBDet);
@@ -211,7 +213,7 @@ TEST(StageUnits, BDetFlushNotTakenResumesAtFallthrough)
     const Program p = stageProgram();
     StageFixture f(p);
     RecordingObserver obs;
-    f.shared.observer = &obs;
+    f.ms.observer = &obs;
 
     CqEntry branch = preExecutedEntry(kBranchIdx, 4);
     branch.isBranch = true;
@@ -231,7 +233,7 @@ TEST(StageUnits, ConflictFlushClearsEverythingAndMarksRetry)
     const Program p = stageProgram();
     StageFixture f(p);
     RecordingObserver obs;
-    f.shared.observer = &obs;
+    f.ms.observer = &obs;
     const Cycle now = 10;
 
     f.bfile.write(intReg(1), 321);
@@ -242,9 +244,9 @@ TEST(StageUnits, ConflictFlushClearsEverythingAndMarksRetry)
     f.sbuf.insert(1, 0x1000, 8, 0xAA);
     f.alat.allocate(3, 0x2000, 8);
     f.feedback.schedule(p.inst(1), 2, now);
-    f.shared.aHalted = true;
+    f.ms.aHalted = true;
 
-    const CqEntry offender = f.cq.at(2);
+    const CqEntry offender = f.cq.entry(2);
     f.bpipe.conflictFlush(offender, now);
 
     // A conflict flush is total: no speculative state survives.
@@ -256,8 +258,8 @@ TEST(StageUnits, ConflictFlushClearsEverythingAndMarksRetry)
     EXPECT_EQ(f.afile.read(intReg(1)), 321u);
 
     // The offending static load re-dispatches non-speculatively.
-    EXPECT_EQ(f.shared.conflictRetry.count(offender.idx), 1u);
-    EXPECT_FALSE(f.shared.aHalted);
+    EXPECT_TRUE(f.ms.conflictRetryContains(offender.idx));
+    EXPECT_FALSE(f.ms.aHalted);
 
     // Refetch restarts at the head group's leader (idx 0 here).
     ASSERT_EQ(obs.flushes.size(), 1u);
@@ -270,7 +272,7 @@ TEST(StageUnits, StepDetectsMergeTimeAlatConflict)
     const Program p = stageProgram();
     StageFixture f(p);
     RecordingObserver obs;
-    f.shared.observer = &obs;
+    f.ms.observer = &obs;
 
     // A pre-executed load whose ALAT entry is gone (a conflicting
     // store intervened): the merge-time check must fire the flush.
@@ -284,7 +286,7 @@ TEST(StageUnits, StepDetectsMergeTimeAlatConflict)
     EXPECT_EQ(cls, CycleClass::kFrontEndStall);
     EXPECT_EQ(f.stats.storeConflictFlushes, 1u);
     EXPECT_TRUE(f.cq.empty());
-    EXPECT_EQ(f.shared.conflictRetry.count(0), 1u);
+    EXPECT_TRUE(f.ms.conflictRetryContains(0));
     EXPECT_EQ(res.instsRetired, 0u);
     ASSERT_EQ(obs.flushes.size(), 1u);
     EXPECT_EQ(obs.flushes[0].kind, FlushKind::kConflict);
@@ -305,7 +307,7 @@ TEST(StageUnits, PrescanClassifiesDanglingResults)
     {
         // Mutating a queued entry is forbidden; rebuild instead.
         CouplingQueue &cq = f.cq;
-        CqEntry e = cq.at(0);
+        CqEntry e = cq.entry(0);
         cq.clear();
         e.isLoad = true;
         cq.push(e);
@@ -314,7 +316,7 @@ TEST(StageUnits, PrescanClassifiesDanglingResults)
 
     // The same dangling result from a multi-cycle non-load.
     {
-        CqEntry e = f.cq.at(0);
+        CqEntry e = f.cq.entry(0);
         f.cq.clear();
         e.isLoad = false;
         f.cq.push(e);
@@ -324,7 +326,7 @@ TEST(StageUnits, PrescanClassifiesDanglingResults)
 
     // Arrived (readyAt <= now): the window may retire.
     {
-        CqEntry e = f.cq.at(0);
+        CqEntry e = f.cq.entry(0);
         f.cq.clear();
         e.readyAt = 5;
         f.cq.push(e);

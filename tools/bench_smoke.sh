@@ -143,6 +143,55 @@ print(f"bench_smoke: appended run {len(trajectory)} to "
       f"({record['simCyclesPerSec']:.3g} sim-cycles/s)")
 EOF
 
+# ---- hot-path throughput gate (bench_tick) -------------------------
+# bench_tick measures raw sim-cycles/sec per model on an L1-resident
+# kernel — the per-cycle hot path with the memory system quiet. Gate
+# it with a conservative floor so a hot-path regression (an accidental
+# O(n) scan, a devirtualization loss) fails CI even when the figure
+# tables still agree, and append the record to the same trajectory
+# file. Override the floor with FF_TICK_FLOOR (sim-cycles/s).
+tick_bench="$build_dir/bench/bench_tick"
+tick_floor="${FF_TICK_FLOOR:-4000000}"
+if [ ! -x "$tick_bench" ]; then
+    echo "bench_smoke: $tick_bench is not built" >&2
+    exit 1
+fi
+tick_json="$(mktemp)"
+trap 'rm -rf "$serial" "$par" "$record" "$cache_dir" "$cold_json" \
+         "$warm_json" "$warm_table" "$tick_json"' EXIT
+"$tick_bench" --json "$tick_json" "$scale" > /dev/null
+python3 - "$tick_json" BENCH_fig6.json "$tick_floor" <<'EOF'
+import datetime
+import json
+import sys
+
+tick_path, trajectory_path, floor = \
+    sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(tick_path) as f:
+    record = json.load(f)
+record["timestamp"] = datetime.datetime.now(
+    datetime.timezone.utc).isoformat(timespec="seconds")
+
+rate = record["simCyclesPerSec"]
+print(f"bench_smoke: bench_tick {rate:.3g} sim-cycles/s "
+      f"(floor {floor:.3g})")
+if rate < floor:
+    sys.exit(f"bench_smoke: FAIL — bench_tick throughput {rate:.3g} "
+             f"sim-cycles/s below the {floor:.3g} floor")
+
+try:
+    with open(trajectory_path) as f:
+        trajectory = json.load(f)
+    if not isinstance(trajectory, list):
+        trajectory = [trajectory]
+except (OSError, json.JSONDecodeError):
+    trajectory = []
+trajectory.append(record)
+with open(trajectory_path, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+EOF
+
 # ---- statsReport golden diff (one workload per timed model) --------
 if [ ! -x "$ffvm" ]; then
     echo "bench_smoke: $ffvm is not built" >&2
