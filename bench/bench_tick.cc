@@ -112,7 +112,7 @@ main(int argc, char **argv)
 
     sim::TextTable t;
     t.header({"model", "cycles", "insts", "ipc", "wall-s",
-              "sim-cycles/s"});
+              "sim-cycles/s", "traced/s"});
 
     std::uint64_t total_cycles = 0;
     std::uint64_t checksum = 0;
@@ -140,20 +140,42 @@ main(int argc, char **argv)
             return 1;
         }
 
+        // A second timed pass with the pipeline tracer attached
+        // prices the observer overhead; the floor-gated aggregate
+        // below stays on the detached numbers.
+        sim::MetricsOptions traced_opt;
+        traced_opt.pipeview = true;
+        const auto t2 = std::chrono::steady_clock::now();
+        const sim::SimOutcome ot = sim::simulate(
+            prog, kind, cfg, sim::kDefaultMaxCycles, traced_opt);
+        const auto t3 = std::chrono::steady_clock::now();
+        const double traced_wall =
+            std::chrono::duration<double>(t3 - t2).count();
+        const double traced_rate =
+            static_cast<double>(ot.run.cycles) / traced_wall;
+        if (ot.checksum != checksum) {
+            std::fprintf(stderr,
+                         "bench_tick: traced checksum mismatch on "
+                         "%s\n",
+                         sim::cpuKindName(kind));
+            return 1;
+        }
+
         t.row({sim::cpuKindName(kind),
                std::to_string(o.run.cycles),
                std::to_string(o.run.instsRetired),
                sim::fixed(o.run.ipc(), 3), sim::fixed(wall, 3),
-               sim::fixed(rate / 1e6, 2) + "M"});
+               sim::fixed(rate / 1e6, 2) + "M",
+               sim::fixed(traced_rate / 1e6, 2) + "M"});
         total_cycles += o.run.cycles;
         total_wall += wall;
 
-        char row[128];
+        char row[160];
         std::snprintf(row, sizeof(row),
                       "%s    {\"model\": \"%s\", \"simCyclesPerSec\": "
-                      "%.0f}",
+                      "%.0f, \"simCyclesPerSecTraced\": %.0f}",
                       json_rows.empty() ? "" : ",\n",
-                      sim::cpuKindName(kind), rate);
+                      sim::cpuKindName(kind), rate, traced_rate);
         json_rows += row;
     }
 

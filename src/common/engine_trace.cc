@@ -1,0 +1,162 @@
+#include "common/engine_trace.hh"
+
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+namespace ff
+{
+namespace engine
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Recorder state behind one mutex; spans are per-job, not per-cycle,
+ *  so contention is negligible. */
+struct Recorder
+{
+    std::mutex mu;
+    Clock::time_point epoch;
+    std::uint64_t generation = 0; ///< bumps on every traceEnable()
+    TraceData data;
+    std::unordered_map<std::string, std::uint32_t> nameIdx;
+};
+
+Recorder &
+recorder()
+{
+    static Recorder r;
+    return r;
+}
+
+/** Per-thread lane identity, resolved lazily per enable-generation so
+ *  a thread keeps one lane per recording window. */
+struct ThreadLane
+{
+    std::uint64_t generation = 0;
+    std::uint32_t lane = 0;
+    std::string name; ///< set by laneName(); empty = default
+};
+
+thread_local ThreadLane t_lane;
+
+/** Must hold r.mu. */
+std::uint32_t
+internName(Recorder &r, const char *name)
+{
+    const auto [it, fresh] =
+        r.nameIdx.emplace(name, static_cast<std::uint32_t>(
+                                    r.data.names.size()));
+    if (fresh)
+        r.data.names.push_back(name);
+    return it->second;
+}
+
+/** Must hold r.mu. */
+std::uint32_t
+laneOf(Recorder &r)
+{
+    if (t_lane.generation == r.generation &&
+        !r.data.lanes.empty()) {
+        return t_lane.lane;
+    }
+    t_lane.generation = r.generation;
+    t_lane.lane = static_cast<std::uint32_t>(r.data.lanes.size());
+    r.data.lanes.push_back(
+        t_lane.name.empty()
+            ? "thread-" + std::to_string(t_lane.lane)
+            : t_lane.name);
+    return t_lane.lane;
+}
+
+std::uint64_t
+sinceEpochUs(const Recorder &r)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - r.epoch)
+            .count());
+}
+
+} // namespace
+
+void
+traceEnable()
+{
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lk(r.mu);
+    r.data = TraceData{};
+    r.nameIdx.clear();
+    r.epoch = Clock::now();
+    ++r.generation;
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+TraceData
+traceStop()
+{
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lk(r.mu);
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    ++r.generation; // spans still open are discarded at destruction
+    TraceData out = std::move(r.data);
+    r.data = TraceData{};
+    r.nameIdx.clear();
+    return out;
+}
+
+void
+laneName(const std::string &name)
+{
+    t_lane.name = name;
+    t_lane.generation = 0; // re-resolve on next record
+}
+
+void
+traceInstant(const char *name)
+{
+    if (!traceEnabled())
+        return;
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lk(r.mu);
+    TraceSpan s;
+    s.startUs = sinceEpochUs(r);
+    s.name = internName(r, name);
+    s.lane = laneOf(r);
+    s.instant = true;
+    r.data.spans.push_back(s);
+}
+
+ScopedSpan::ScopedSpan(const char *name) : _name(name)
+{
+    if (!traceEnabled())
+        return;
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lk(r.mu);
+    _startUs = sinceEpochUs(r);
+    _generation = r.generation;
+    _active = true;
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!_active || !traceEnabled())
+        return;
+    Recorder &r = recorder();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (r.generation != _generation)
+        return; // recording window changed under the span
+
+    TraceSpan s;
+    s.startUs = _startUs;
+    s.durUs = sinceEpochUs(r) - _startUs;
+    s.name = internName(r, _name);
+    s.lane = laneOf(r);
+    r.data.spans.push_back(s);
+}
+
+} // namespace engine
+} // namespace ff

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Wall-clock span recording for the experiment engine: batch jobs,
+ * warm-up forks, thread-pool worker lanes, result-cache hits and
+ * misses. Where the PipeViewObserver records *simulated* cycles for
+ * one core, this records *host* microseconds across every engine
+ * thread, and the two streams merge into one ffpipe container so a
+ * whole sweep is a single Perfetto-loadable timeline.
+ *
+ * The recorder is process-global and off by default; when disabled,
+ * every entry point is one relaxed atomic load (the engine hot paths
+ * pay nothing). When enabled, spans and instants are interned and
+ * appended under a mutex — coarse-grained by design, since engine
+ * spans are per-job (milliseconds), not per-cycle.
+ */
+
+#ifndef FF_COMMON_ENGINE_TRACE_HH
+#define FF_COMMON_ENGINE_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ff
+{
+namespace engine
+{
+
+/** One completed span or instant on an engine lane. */
+struct TraceSpan
+{
+    std::uint32_t name = 0;    ///< index into TraceData::names
+    std::uint32_t lane = 0;    ///< index into TraceData::lanes
+    std::uint64_t startUs = 0; ///< microseconds since traceEnable()
+    std::uint64_t durUs = 0;   ///< 0 for instants
+    bool instant = false;      ///< true: a point event, not a span
+};
+
+/** Everything one enable/stop window recorded. */
+struct TraceData
+{
+    std::vector<std::string> names; ///< interned span/instant names
+    std::vector<std::string> lanes; ///< lane (thread) display names
+    std::vector<TraceSpan> spans;   ///< in completion order
+};
+
+namespace detail
+{
+/** Global on/off latch; inline so traceEnabled() is one load. */
+inline std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+/** True while the recorder is collecting. */
+inline bool
+traceEnabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Clears any previous recording and starts a new one (epoch = now). */
+void traceEnable();
+
+/** Stops recording and moves the collected data out. */
+TraceData traceStop();
+
+/**
+ * Names the calling thread's lane in subsequent recordings (e.g.
+ * "worker-3"); threads that never call it get "thread-N". Cheap
+ * enough to call unconditionally at thread start.
+ */
+void laneName(const std::string &name);
+
+/** Records a point event on the calling thread's lane. */
+void traceInstant(const char *name);
+
+/**
+ * RAII span on the calling thread's lane: records [construction,
+ * destruction) when tracing was enabled at construction. A span that
+ * outlives traceStop() is discarded.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *_name;
+    std::uint64_t _startUs = 0;
+    std::uint64_t _generation = 0;
+    bool _active = false;
+};
+
+} // namespace engine
+} // namespace ff
+
+#endif // FF_COMMON_ENGINE_TRACE_HH

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/engine_trace.hh"
 #include "common/logging.hh"
 
 namespace ff
@@ -98,6 +99,7 @@ ThreadPool::takeTask(unsigned self, Task &out)
 void
 ThreadPool::workerLoop(unsigned self)
 {
+    engine::laneName("worker-" + std::to_string(self));
     for (;;) {
         Task t;
         if (takeTask(self, t)) {

@@ -34,6 +34,7 @@ enum Category : std::uint32_t
     kFlush    = 1u << 7,
     kFeedback = 1u << 8,
     kCore     = 1u << 9,  ///< CoreObserver events (TraceObserver)
+    kEngine   = 1u << 10, ///< engine layer: thread pool, batch, cache
     kAll      = ~0u,
 };
 

@@ -109,6 +109,45 @@ class CoreObserver
         (void)kind;
         (void)target;
     }
+
+    /**
+     * Fired when the A-pipe dispatches a dynamic instruction into the
+     * coupling queue, before its defer/pre-execute outcome is known
+     * (an onDefer for the same @p id follows in the same cycle when
+     * it defers). The first event in every dynamic lifetime.
+     */
+    virtual void
+    onDispatch(Cycle now, InstIdx idx, DynId id)
+    {
+        (void)now;
+        (void)idx;
+        (void)id;
+    }
+
+    /**
+     * Fired when the B-pipe first-executes (replays) a deferred
+     * instruction at the head of the coupling queue.
+     */
+    virtual void
+    onReplay(Cycle now, InstIdx idx, DynId id)
+    {
+        (void)now;
+        (void)idx;
+        (void)id;
+    }
+
+    /**
+     * Fired when a B-to-A feedback update from dynamic instruction
+     * @p id lands in the A-file; @p regSlot is the dense register
+     * slot (regSlot()) the update revalidated.
+     */
+    virtual void
+    onFeedbackApply(Cycle now, DynId id, unsigned regSlot)
+    {
+        (void)now;
+        (void)id;
+        (void)regSlot;
+    }
 };
 
 /**
@@ -157,6 +196,27 @@ class FanoutObserver : public CoreObserver
     {
         for (CoreObserver *o : _clients)
             o->onFlush(now, kind, target);
+    }
+
+    void
+    onDispatch(Cycle now, InstIdx idx, DynId id) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onDispatch(now, idx, id);
+    }
+
+    void
+    onReplay(Cycle now, InstIdx idx, DynId id) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onReplay(now, idx, id);
+    }
+
+    void
+    onFeedbackApply(Cycle now, DynId id, unsigned regSlot) override
+    {
+        for (CoreObserver *o : _clients)
+            o->onFeedbackApply(now, id, regSlot);
     }
 
   private:

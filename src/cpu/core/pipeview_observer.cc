@@ -1,0 +1,108 @@
+#include "cpu/core/pipeview_observer.hh"
+
+namespace ff
+{
+namespace cpu
+{
+
+const char *
+pipeEventKindName(PipeEventKind k)
+{
+    switch (k) {
+      case PipeEventKind::kDispatch:   return "dispatch";
+      case PipeEventKind::kDefer:      return "defer";
+      case PipeEventKind::kReplay:     return "replay";
+      case PipeEventKind::kFeedback:   return "feedback";
+      case PipeEventKind::kFlush:      return "flush";
+      case PipeEventKind::kRetire:     return "retire";
+      case PipeEventKind::kCycleClass: return "cycle_class";
+    }
+    return "?";
+}
+
+void
+PipeViewObserver::onCycle(Cycle now, CycleClass cls)
+{
+    if (_haveCls && cls == _lastCls)
+        return;
+    _haveCls = true;
+    _lastCls = cls;
+    PipeEvent e;
+    e.cycle = now;
+    e.kind = PipeEventKind::kCycleClass;
+    e.a = static_cast<std::uint8_t>(cls);
+    push(e);
+}
+
+void
+PipeViewObserver::onGroupRetire(Cycle now, InstIdx leader,
+                                unsigned slots)
+{
+    PipeEvent e;
+    e.cycle = now;
+    e.idx = leader;
+    e.kind = PipeEventKind::kRetire;
+    e.b = static_cast<std::uint16_t>(slots);
+    push(e);
+}
+
+void
+PipeViewObserver::onDefer(Cycle now, InstIdx idx, DynId id,
+                          DeferReason reason)
+{
+    PipeEvent e;
+    e.cycle = now;
+    e.id = id;
+    e.idx = idx;
+    e.kind = PipeEventKind::kDefer;
+    e.a = static_cast<std::uint8_t>(reason);
+    push(e);
+}
+
+void
+PipeViewObserver::onFlush(Cycle now, FlushKind kind, InstIdx target)
+{
+    PipeEvent e;
+    e.cycle = now;
+    e.idx = target;
+    e.kind = PipeEventKind::kFlush;
+    e.a = static_cast<std::uint8_t>(kind);
+    push(e);
+}
+
+void
+PipeViewObserver::onDispatch(Cycle now, InstIdx idx, DynId id)
+{
+    PipeEvent e;
+    e.cycle = now;
+    e.id = id;
+    e.idx = idx;
+    e.kind = PipeEventKind::kDispatch;
+    push(e);
+}
+
+void
+PipeViewObserver::onReplay(Cycle now, InstIdx idx, DynId id)
+{
+    PipeEvent e;
+    e.cycle = now;
+    e.id = id;
+    e.idx = idx;
+    e.kind = PipeEventKind::kReplay;
+    push(e);
+}
+
+void
+PipeViewObserver::onFeedbackApply(Cycle now, DynId id,
+                                  unsigned regSlot)
+{
+    PipeEvent e;
+    e.cycle = now;
+    e.id = id;
+    e.kind = PipeEventKind::kFeedback;
+    e.b = static_cast<std::uint16_t>(regSlot);
+    push(e);
+}
+
+} // namespace cpu
+} // namespace ff

@@ -45,5 +45,27 @@ TraceObserver::onFlush(Cycle now, FlushKind kind, InstIdx target)
              flushKindName(kind) << " -> @" << target);
 }
 
+void
+TraceObserver::onDispatch(Cycle now, InstIdx idx, DynId id)
+{
+    ++_counts.dispatches;
+    ff_trace(trace::kCore, now, "DISP", "@" << idx << " id " << id);
+}
+
+void
+TraceObserver::onReplay(Cycle now, InstIdx idx, DynId id)
+{
+    ++_counts.replays;
+    ff_trace(trace::kCore, now, "REPLAY", "@" << idx << " id " << id);
+}
+
+void
+TraceObserver::onFeedbackApply(Cycle now, DynId id, unsigned regSlot)
+{
+    ++_counts.feedbackApplies;
+    ff_trace(trace::kCore, now, "FEEDBK",
+             "id " << id << " slot " << regSlot);
+}
+
 } // namespace cpu
 } // namespace ff

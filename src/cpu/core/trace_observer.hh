@@ -38,6 +38,10 @@ class TraceObserver : public CoreObserver
     void onDefer(Cycle now, InstIdx idx, DynId id,
                  DeferReason reason) override;
     void onFlush(Cycle now, FlushKind kind, InstIdx target) override;
+    void onDispatch(Cycle now, InstIdx idx, DynId id) override;
+    void onReplay(Cycle now, InstIdx idx, DynId id) override;
+    void onFeedbackApply(Cycle now, DynId id,
+                         unsigned regSlot) override;
 
     /** Event counts, for tests and cheap summaries. */
     struct Counts
@@ -47,6 +51,9 @@ class TraceObserver : public CoreObserver
         std::uint64_t slotsRetired = 0;
         std::uint64_t defers = 0;
         std::uint64_t flushes = 0;
+        std::uint64_t dispatches = 0;
+        std::uint64_t replays = 0;
+        std::uint64_t feedbackApplies = 0;
     };
 
     const Counts &counts() const { return _counts; }

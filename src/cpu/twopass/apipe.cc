@@ -74,6 +74,8 @@ APipe::dispatchGroup(const FetchedGroup &g, Cycle now)
         const Instruction &in = _ctx.prog.inst(i);
         const DynId id = _ctx.ms.nextId++;
         ++_ctx.stats.dispatched;
+        if (_ctx.ms.observer != nullptr)
+            _ctx.ms.observer->onDispatch(now, i, id);
 
         CqEntry e;
         e.idx = i;

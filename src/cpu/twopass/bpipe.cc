@@ -163,6 +163,8 @@ BPipe::applyWindow(const RetireWindow &w, Cycle now, RunResult &res)
         }
 
         // ---- first execution of a deferred instruction --------------
+        if (_ctx.ms.observer != nullptr)
+            _ctx.ms.observer->onReplay(now, cq.idx(k), id);
         const bool qp = _ctx.ms.regs.readPred(in.qpred);
         const RegVal s1 =
             in.src1.valid() ? _ctx.ms.regs.read(in.src1) : 0;

@@ -15,7 +15,7 @@ FeedbackPath::schedule(const isa::Instruction &in, DynId id, Cycle now)
     std::array<isa::RegId, 2> dsts;
     const unsigned nd = in.destinations(dsts);
     for (unsigned d = 0; d < nd; ++d) {
-        _q.push_back({dsts[d], _bfile.read(dsts[d]), id,
+        _q.push_back({dsts[d], _ms.regs.read(dsts[d]), id,
                       now + _cfg.feedbackLatency});
     }
 }
@@ -26,8 +26,13 @@ FeedbackPath::apply(Cycle now)
     while (!_q.empty() && _q.front().applyAt <= now) {
         const Pending f = _q.front();
         _q.pop_front();
-        if (_afile.applyFeedback(f.reg, f.value, f.id)) {
+        if (_ms.afile.applyFeedback(f.reg, f.value, f.id)) {
             ++_stats.feedbackApplied;
+            if (_ms.observer != nullptr) {
+                _ms.observer->onFeedbackApply(
+                    now, f.id,
+                    static_cast<unsigned>(regSlot(f.reg)));
+            }
             ff_trace(trace::kFeedback, now, "FEEDBK",
                      isa::regName(f.reg) << " <- " << f.value << " (id "
                                          << f.id << ")");

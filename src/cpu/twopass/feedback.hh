@@ -15,6 +15,7 @@
 
 #include "cpu/config.hh"
 #include "cpu/model_stats.hh"
+#include "cpu/state/machine_state.hh"
 #include "cpu/twopass/afile.hh"
 #include "isa/program.hh"
 
@@ -28,12 +29,14 @@ class FeedbackPath
 {
   public:
     /**
-     * @param bfile the architectural file values are read from at
-     *        schedule time (retirement order makes this exact)
+     * @param ms the machine state whose A-file receives updates and
+     *        whose architectural B-file values are read at schedule
+     *        time (retirement order makes this exact); also carries
+     *        the observer attachment for onFeedbackApply events
      */
-    FeedbackPath(const CoreConfig &cfg, AFile &afile,
-                 const RegFile &bfile, TwoPassStats &stats)
-        : _cfg(cfg), _afile(afile), _bfile(bfile), _stats(stats)
+    FeedbackPath(const CoreConfig &cfg, MachineState &ms,
+                 TwoPassStats &stats)
+        : _cfg(cfg), _ms(ms), _stats(stats)
     {
     }
 
@@ -99,8 +102,7 @@ class FeedbackPath
     };
 
     const CoreConfig &_cfg;
-    AFile &_afile;
-    const RegFile &_bfile;
+    MachineState &_ms;
     TwoPassStats &_stats;
     std::deque<Pending> _q;
 };

@@ -15,7 +15,7 @@ TwoPassCpu::TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg)
       _alat(cfg.alatCapacity),
       _ctx{_prog, _cfg, _fe, *_pred, _hier, _mem, _ms, _sbuf, _alat,
            _stats},
-      _feedback(_cfg, _ms.afile, _ms.regs, _stats),
+      _feedback(_cfg, _ms, _stats),
       _apipe(_ctx),
       _bpipe(_ctx, _feedback)
 {

@@ -8,8 +8,10 @@
 #include <tuple>
 #include <unordered_set>
 
+#include "common/engine_trace.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "sim/result_cache.hh"
 #include "sim/snapshot.hh"
 
@@ -84,10 +86,13 @@ runBatch(std::span<const SimJob> jobs, unsigned threads)
         ff_fatal_if(j.program == nullptr, "SimJob without a program");
 
     auto run_one = [&](std::size_t i) {
+        engine::ScopedSpan span("job");
         out[i] = simulateCached(jobs[i]);
     };
 
     const unsigned n = resolveJobs(threads);
+    ff_trace(trace::kEngine, 0, "BATCH",
+             "run " << jobs.size() << " jobs on " << n << " threads");
     if (n <= 1 || jobs.size() == 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
             run_one(i);
@@ -205,6 +210,11 @@ runForkedBatch(std::span<const SimJob> jobs, const SweepOptions &opts)
     }
 
     const unsigned n = resolveJobs(opts.threads);
+    ff_trace(trace::kEngine, 0, "SWEEP",
+             jobs.size() << " cells: "
+                         << (jobs.size() - pending.size())
+                         << " cached, " << groups.size()
+                         << " warm-up groups, " << n << " threads");
 
     // ---- phase A: one shared warm-up per group ---------------------
     auto warm_one = [&](std::size_t g) {
@@ -217,6 +227,7 @@ runForkedBatch(std::span<const SimJob> jobs, const SweepOptions &opts)
         const std::size_t i = pending[p];
         const SimJob &j = jobs[i];
         if (cellGroup[i] == SIZE_MAX) {
+            engine::ScopedSpan span("job");
             out[i] = simulate(*j.program, j.kind, j.cfg, j.maxCycles,
                               j.metrics);
             return;
@@ -309,6 +320,7 @@ buildWorkloadsParallel(std::span<const std::string> names, int scale,
         return out;
 
     auto build_one = [&](std::size_t i) {
+        engine::ScopedSpan span("build");
         out[i] = workloads::buildWorkload(
             names[i], scale, compiler::SchedulerConfig(), input);
     };

@@ -38,6 +38,11 @@ MetricsSession::attach(cpu::CpuModel &model)
             _cfg.mem.maxOutstandingLoads, _opt.epochCycles);
         _fanout.add(_telemetry.get());
     }
+    if (_opt.pipeview) {
+        _pipeview = std::make_unique<cpu::PipeViewObserver>(
+            _opt.pipeviewMaxEvents);
+        _fanout.add(_pipeview.get());
+    }
     core->setObserver(&_fanout);
 }
 
@@ -69,6 +74,10 @@ MetricsSession::harvest()
     if (_telemetry != nullptr) {
         _telemetry->finish();
         rec.telemetry = _telemetry->takeRegistry();
+    }
+    if (_pipeview != nullptr) {
+        rec.pipeDropped = _pipeview->dropped();
+        rec.pipeEvents = _pipeview->take();
     }
     return rec;
 }

@@ -23,6 +23,7 @@
 #include "common/metrics.hh"
 #include "cpu/config.hh"
 #include "cpu/core/model_factory.hh"
+#include "cpu/core/pipeview_observer.hh"
 #include "cpu/core/profile_observer.hh"
 #include "cpu/core/telemetry_observer.hh"
 
@@ -51,9 +52,13 @@ struct MetricsOptions
 {
     bool profile = false;   ///< per-instruction attribution
     bool telemetry = false; ///< occupancy histograms + time series
+    bool pipeview = false;  ///< per-dynamic-instruction lifecycle events
     Cycle epochCycles = cpu::TelemetryObserver::kDefaultEpochCycles;
+    /** Event cap of the pipeview recording (drops past it). */
+    std::size_t pipeviewMaxEvents =
+        cpu::PipeViewObserver::kDefaultMaxEvents;
 
-    bool enabled() const { return profile || telemetry; }
+    bool enabled() const { return profile || telemetry || pipeview; }
 };
 
 /** One harvested run's worth of profile + telemetry data. */
@@ -78,6 +83,12 @@ struct MetricsRecord
 
     /** Histograms/counters/series. Empty unless telemetry. */
     metrics::Registry telemetry;
+
+    /** Lifecycle event stream in firing order. Empty unless pipeview;
+     *  sim::buildPipeTrace() packages it into an ffpipe container. */
+    std::vector<cpu::PipeEvent> pipeEvents;
+    /** Events dropped past the pipeview cap. */
+    std::uint64_t pipeDropped = 0;
 };
 
 /**
@@ -112,6 +123,7 @@ class MetricsSession
     MetricsOptions _opt;
     std::unique_ptr<cpu::ProfileObserver> _profile;
     std::unique_ptr<cpu::TelemetryObserver> _telemetry;
+    std::unique_ptr<cpu::PipeViewObserver> _pipeview;
     cpu::FanoutObserver _fanout;
     cpu::CoreBase *_core = nullptr;
 };

@@ -11,8 +11,10 @@
 #include <unistd.h>
 
 #include "analysis/ffcheck.hh"
+#include "common/engine_trace.hh"
 #include "common/hash.hh"
 #include "common/serialize.hh"
+#include "common/trace.hh"
 #include "sim/snapshot.hh"
 
 namespace ff
@@ -281,6 +283,7 @@ resultCacheLookup(const std::string &key, SimOutcome &out)
         return false;
     if (resultCacheBypass()) {
         ++g_misses;
+        engine::traceInstant("cache-miss");
         return false;
     }
 
@@ -289,6 +292,8 @@ resultCacheLookup(const std::string &key, SimOutcome &out)
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         ++g_misses;
+        engine::traceInstant("cache-miss");
+        ff_trace(trace::kEngine, 0, "CACHE", "miss " << key);
         return false;
     }
     const std::vector<std::uint8_t> bytes(
@@ -303,9 +308,13 @@ resultCacheLookup(const std::string &key, SimOutcome &out)
         fs::remove(path, ec);
         ++g_errors;
         ++g_misses;
+        engine::traceInstant("cache-miss");
+        ff_trace(trace::kEngine, 0, "CACHE", "corrupt " << key);
         return false;
     }
     ++g_hits;
+    engine::traceInstant("cache-hit");
+    ff_trace(trace::kEngine, 0, "CACHE", "hit " << key);
     return true;
 }
 

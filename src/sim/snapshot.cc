@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/engine_trace.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 
@@ -230,6 +231,7 @@ runWarmup(const isa::Program &prog, CpuKind kind,
           const cpu::CoreConfig &cfg, std::uint64_t warmup_cycles,
           std::uint64_t max_cycles)
 {
+    engine::ScopedSpan span("warmup");
     verifyProgram(prog, cfg.limits);
     const std::unique_ptr<cpu::CpuModel> model =
         cpu::makeModel(kind, prog, cfg);
@@ -257,6 +259,7 @@ resumeSnapshot(const isa::Program &prog, CpuKind kind,
                const cpu::CoreConfig &cfg, const Snapshot &snap,
                std::uint64_t max_cycles)
 {
+    engine::ScopedSpan span("fork-resume");
     verifyProgram(prog, cfg.limits);
     const std::unique_ptr<cpu::CpuModel> model =
         cpu::makeModel(kind, prog, cfg);

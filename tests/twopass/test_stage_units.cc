@@ -102,7 +102,7 @@ struct StageFixture
           sbuf(cfg.storeBufferSize),
           alat(cfg.alatCapacity),
           ctx{prog, cfg, fe, *pred, hier, mem, ms, sbuf, alat, stats},
-          feedback(cfg, ms.afile, ms.regs, stats),
+          feedback(cfg, ms, stats),
           bpipe(ctx, feedback)
     {
         mem.loadPages(prog.dataImage().pages());

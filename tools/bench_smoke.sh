@@ -175,6 +175,14 @@ record["timestamp"] = datetime.datetime.now(
 rate = record["simCyclesPerSec"]
 print(f"bench_smoke: bench_tick {rate:.3g} sim-cycles/s "
       f"(floor {floor:.3g})")
+# The tracer-attached pass is informational: it prices the pipeview
+# observer but is not floor-gated (only the detached hot path is).
+for row in record.get("perModel", []):
+    traced = row.get("simCyclesPerSecTraced")
+    if traced:
+        print(f"bench_smoke:   {row['model']}: "
+              f"{row['simCyclesPerSec']:.3g} detached, "
+              f"{traced:.3g} traced sim-cycles/s")
 if rate < floor:
     sys.exit(f"bench_smoke: FAIL — bench_tick throughput {rate:.3g} "
              f"sim-cycles/s below the {floor:.3g} floor")

@@ -23,13 +23,42 @@ if [ -z "$flag_table" ]; then
 fi
 
 fail=0
-while IFS=$'\t' read -r name arity; do
+while IFS=$'\t' read -r name arity metavar; do
     [ -n "$name" ] || continue
     if ! grep -qF -- "$name" <<<"$help_out"; then
         echo "cli_help_check: FAIL — $name ($arity) is in the flag" \
              "table but undocumented in --help" >&2
         fail=1
     fi
+    # Every value-taking flag must declare a metavar ("-" marks a
+    # switch), and the metavar must show up next to the flag in
+    # --help ("--opt VALUE" or "--opt[=VALUE]").
+    case "$arity" in
+    switch)
+        if [ "$metavar" != "-" ]; then
+            echo "cli_help_check: FAIL — switch $name carries" \
+                 "metavar '$metavar'" >&2
+            fail=1
+        fi
+        ;;
+    required|optional)
+        if [ -z "$metavar" ] || [ "$metavar" = "-" ]; then
+            echo "cli_help_check: FAIL — value flag $name has no" \
+                 "metavar" >&2
+            fail=1
+        elif ! grep -qE -- "$name( $metavar|\[=$metavar\])" \
+                <<<"$help_out"; then
+            echo "cli_help_check: FAIL — $name does not document" \
+                 "its $metavar value in --help" >&2
+            fail=1
+        fi
+        ;;
+    *)
+        echo "cli_help_check: FAIL — $name has unknown arity" \
+             "'$arity'" >&2
+        fail=1
+        ;;
+    esac
 done <<<"$flag_table"
 
 # The flags users reach for first must be present by name, not just

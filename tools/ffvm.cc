@@ -29,6 +29,7 @@
 
 #include "analysis/ffcheck.hh"
 #include "analysis/memdep.hh"
+#include "common/engine_trace.hh"
 #include "common/trace.hh"
 #include "compiler/scheduler.hh"
 #include "cpu/functional/functional_cpu.hh"
@@ -36,6 +37,7 @@
 #include "isa/disasm.hh"
 #include "sim/batch.hh"
 #include "sim/harness.hh"
+#include "sim/pipe_trace.hh"
 #include "sim/result_cache.hh"
 #include "workloads/workload.hh"
 
@@ -81,7 +83,7 @@ constexpr FlagSpec kFlags[] = {
      "print the model's full statistics dump"},
     {"--trace", ArgKind::kRequired, "CATS",
      "comma list: fetch,issue,exec,mem,branch,apipe,bpipe,flush,"
-     "feedback,all"},
+     "feedback,core,engine,all"},
     {"--max-cycles", ArgKind::kRequired, "N",
      "simulation budget (default 400M)"},
     {"--cq", ArgKind::kRequired, "N", "coupling queue entries"},
@@ -109,11 +111,18 @@ constexpr FlagSpec kFlags[] = {
     {"--metrics-out", ArgKind::kRequired, "FILE",
      "write the versioned JSON metrics record (implies profile + "
      "telemetry collection)"},
+    {"--pipeview", ArgKind::kOptional, "N",
+     "record per-instruction lifecycle events and print the first N "
+     "lanes of the ASCII pipeline diagram (default 32)"},
+    {"--trace-out", ArgKind::kRequired, "FILE",
+     "write the run's ffpipe trace (pipeline lifecycle events + "
+     "engine spans); render with ffview, or export Perfetto JSON "
+     "via ffview --json"},
     {"--cache-dir", ArgKind::kRequired, "DIR",
      "content-addressed result cache directory (also FF_CACHE_DIR); "
      "plain timed runs hit the cache instead of re-simulating"},
     {"--dump-flags", ArgKind::kNone, nullptr,
-     "print the option table (name and value kind) and exit"},
+     "print the option table (name, value kind, metavar) and exit"},
     {"--help", ArgKind::kNone, nullptr, "print usage and exit"},
 };
 
@@ -141,7 +150,8 @@ usage(const char *argv0, int exit_code)
         std::fprintf(out, "  %-22s %s\n", head.c_str(), f.help);
     }
     std::fprintf(out, "\nvalue options accept --opt VALUE and "
-                      "--opt=VALUE\n");
+                      "--opt=VALUE; options shown as --opt[=X] take "
+                      "only the = form\n");
     std::exit(exit_code);
 }
 
@@ -154,7 +164,8 @@ dumpFlags()
                            : f.arg == ArgKind::kRequired
                                ? "required"
                                : "optional";
-        std::printf("%s\t%s\n", f.name, kind);
+        std::printf("%s\t%s\t%s\n", f.name, kind,
+                    f.metavar != nullptr ? f.metavar : "-");
     }
     std::exit(0);
 }
@@ -175,6 +186,8 @@ traceMask(const std::string &cats)
         else if (tok == "bpipe") mask |= trace::kBpipe;
         else if (tok == "flush") mask |= trace::kFlush;
         else if (tok == "feedback") mask |= trace::kFeedback;
+        else if (tok == "core") mask |= trace::kCore;
+        else if (tok == "engine") mask |= trace::kEngine;
         else if (tok == "all") mask |= trace::kAll;
         else
             ff_fatal("unknown trace category '", tok, "'");
@@ -198,8 +211,11 @@ main(int argc, char **argv)
     bool sched_alias = false;
     bool do_verify = false, verify_strict = false;
     bool do_profile = false, do_trace = false;
+    bool do_pipeview = false;
     unsigned profile_k = 20;
+    unsigned pipeview_rows = 32;
     std::string metrics_out;
+    std::string trace_out;
     std::uint64_t max_cycles = sim::kDefaultMaxCycles;
     cpu::CoreConfig cfg = sim::table1Config();
 
@@ -278,6 +294,12 @@ main(int argc, char **argv)
                 profile_k = num();
         } else if (n == "--metrics-out") {
             metrics_out = v;
+        } else if (n == "--pipeview") {
+            do_pipeview = true;
+            if (has_value)
+                pipeview_rows = num();
+        } else if (n == "--trace-out") {
+            trace_out = v;
         } else if (n == "--cache-dir") {
             sim::setResultCacheDir(v);
         } else if (n == "--trace") {
@@ -323,9 +345,10 @@ main(int argc, char **argv)
     sim::MetricsOptions mopt;
     mopt.profile = do_profile || !metrics_out.empty();
     mopt.telemetry = !metrics_out.empty();
+    mopt.pipeview = do_pipeview || !trace_out.empty();
     ff_fatal_if(mopt.enabled() && model == "functional",
-                "--profile/--metrics-out need a timed model "
-                "(--model base|2P|2Pre|runahead)");
+                "--profile/--metrics-out/--pipeview/--trace-out need "
+                "a timed model (--model base|2P|2Pre|runahead)");
     if (model.empty()) {
         // Metrics only exist on timed models, so asking for them
         // picks the paper's machine rather than dying on the
@@ -333,8 +356,15 @@ main(int argc, char **argv)
         model = mopt.enabled() ? "2P" : "functional";
         if (mopt.enabled())
             std::fprintf(stderr,
-                         "note: --profile/--metrics-out without "
-                         "--model: using the two-pass model (2P)\n");
+                         "note: --profile/--metrics-out/--pipeview/"
+                         "--trace-out without --model: using the "
+                         "two-pass model (2P)\n");
+    }
+    if (!trace_out.empty()) {
+        // Start the engine recorder before program build so workload
+        // construction and verification land on the timeline too.
+        engine::laneName("main");
+        engine::traceEnable();
     }
 
     isa::Program prog;
@@ -456,7 +486,11 @@ main(int argc, char **argv)
         cpu::makeModel(kind, prog, cfg);
     sim::MetricsSession session(prog, cfg, mopt);
     session.attach(*m);
-    const cpu::RunResult r = m->run(max_cycles);
+    cpu::RunResult r;
+    {
+        engine::ScopedSpan run_span("run");
+        r = m->run(max_cycles);
+    }
     std::printf("model=%s halted=%d cycles=%llu instructions=%llu "
                 "ipc=%.3f\n",
                 model.c_str(), r.halted ? 1 : 0,
@@ -473,8 +507,12 @@ main(int argc, char **argv)
 
     if (session.attached()) {
         sim::SimOutcome out = sim::collectOutcome(*m, kind, r);
+        sim::MetricsRecord rec = session.harvest();
+        std::vector<cpu::PipeEvent> pipe_events =
+            std::move(rec.pipeEvents);
+        const std::uint64_t pipe_dropped = rec.pipeDropped;
         out.metrics = std::make_shared<const sim::MetricsRecord>(
-            session.harvest());
+            std::move(rec));
         if (do_profile) {
             std::printf("\nstall attribution (top %u)\n%s",
                         profile_k,
@@ -487,6 +525,32 @@ main(int argc, char **argv)
             ff_fatal_if(!mf, "cannot write '", metrics_out, "'");
             mf << sim::metricsToJson(out, cfg, path);
             std::printf("metrics: wrote %s\n", metrics_out.c_str());
+        }
+        if (mopt.pipeview) {
+            sim::PipeTrace pt = sim::buildPipeTrace(
+                prog, cfg, kind, r.cycles, std::move(pipe_events),
+                pipe_dropped, path);
+            if (!trace_out.empty()) {
+                pt.engine = engine::traceStop();
+                const std::vector<std::uint8_t> bytes =
+                    sim::encodePipeTrace(pt);
+                std::ofstream tf(trace_out, std::ios::binary);
+                ff_fatal_if(!tf, "cannot write '", trace_out, "'");
+                tf.write(reinterpret_cast<const char *>(bytes.data()),
+                         static_cast<std::streamsize>(bytes.size()));
+                std::printf("trace: wrote %s (%llu events, %llu "
+                            "engine spans)\n",
+                            trace_out.c_str(),
+                            static_cast<unsigned long long>(
+                                pt.events.size()),
+                            static_cast<unsigned long long>(
+                                pt.engine.spans.size()));
+            }
+            if (do_pipeview) {
+                std::printf("\n%s",
+                            sim::renderPipeView(pt, pipeview_rows)
+                                .c_str());
+            }
         }
     }
     return r.halted ? 0 : 1;

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end gate for the pipeline tracing path:
+#  1. a scheduled two-pass run of examples/asm/dotprod.s writes an
+#     ffpipe trace via --trace-out;
+#  2. ffview renders it twice and both renderings are identical (the
+#     ASCII diagram is deterministic) and match the committed golden
+#     tools/golden/pipeview_dotprod.txt (regenerate deliberately with
+#     the printed command);
+#  3. the Chrome trace-event JSON export passes validate_trace.py;
+#  4. a truncated prefix and a bit-flipped copy of the trace are both
+#     rejected by ffview instead of decoding to garbage.
+#
+# Usage: tools/pipeview_smoke.sh <ffvm> <ffview> <source-dir>
+set -euo pipefail
+
+ffvm="$1"
+ffview="$2"
+srcdir="$3"
+
+for bin in "$ffvm" "$ffview"; do
+    if [ ! -x "$bin" ]; then
+        echo "pipeview_smoke: $bin is not built" >&2
+        exit 1
+    fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Run from the source dir with a relative program path so the program
+# name embedded in the trace header (and hence the golden rendering)
+# is machine-independent.
+cd "$srcdir"
+"$ffvm" examples/asm/dotprod.s --schedule --model 2P \
+    --trace-out="$tmp/dotprod.ffpipe" > "$tmp/run.out"
+grep -q 'trace: wrote' "$tmp/run.out"
+
+# ---- deterministic rendering + golden pin --------------------------
+"$ffview" "$tmp/dotprod.ffpipe" --rows 24 > "$tmp/render.txt"
+"$ffview" "$tmp/dotprod.ffpipe" --rows 24 > "$tmp/render2.txt"
+if ! diff -u "$tmp/render.txt" "$tmp/render2.txt"; then
+    echo "pipeview_smoke: FAIL — rendering is nondeterministic" >&2
+    exit 1
+fi
+golden="tools/golden/pipeview_dotprod.txt"
+if [ ! -f "$golden" ]; then
+    echo "pipeview_smoke: missing golden $golden" >&2
+    exit 1
+fi
+if ! diff -u "$golden" "$tmp/render.txt"; then
+    echo "pipeview_smoke: FAIL — rendering differs from $golden" \
+         "(regenerate with: $ffvm examples/asm/dotprod.s --schedule" \
+         "--model 2P --trace-out=/tmp/d.ffpipe && $ffview" \
+         "/tmp/d.ffpipe --rows 24 > $golden)" >&2
+    exit 1
+fi
+
+# ---- Perfetto JSON export validates --------------------------------
+"$ffview" "$tmp/dotprod.ffpipe" --json "$tmp/trace.json" > /dev/null
+python3 tools/validate_trace.py "$tmp/trace.json"
+
+# ---- summary mode works on the same trace --------------------------
+"$ffview" "$tmp/dotprod.ffpipe" --summary | grep -q 'lifetimes:'
+
+# ---- corrupt and truncated inputs are rejected ---------------------
+head -c 48 "$tmp/dotprod.ffpipe" > "$tmp/trunc.ffpipe"
+if "$ffview" "$tmp/trunc.ffpipe" > /dev/null 2>&1; then
+    echo "pipeview_smoke: FAIL — truncated trace was accepted" >&2
+    exit 1
+fi
+# Flip one byte of the magic.
+cp "$tmp/dotprod.ffpipe" "$tmp/corrupt.ffpipe"
+printf '\x00' | dd of="$tmp/corrupt.ffpipe" bs=1 seek=1 count=1 \
+    conv=notrunc status=none
+if "$ffview" "$tmp/corrupt.ffpipe" > /dev/null 2>&1; then
+    echo "pipeview_smoke: FAIL — corrupt trace was accepted" >&2
+    exit 1
+fi
+
+echo "pipeview_smoke: PASS"

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Structural validator for the Chrome trace-event JSON that ffview
+--json (and the ffpipe exporter underneath it) emits. Stdlib only, so
+the CI gate needs nothing beyond python3.
+
+Checks the properties Perfetto and chrome://tracing rely on:
+  * the document is one object with a "traceEvents" array;
+  * every event carries ph/pid/name, and ts wherever it is required;
+  * complete events ("X") carry a non-negative dur;
+  * instants ("i") carry a scope in {t, p, g};
+  * counters ("C") carry a numeric args payload;
+  * every (pid, tid) that hosts events is named by thread_name
+    metadata, and every pid by process_name metadata.
+
+Usage: validate_trace.py trace.json [trace2.json ...]
+"""
+
+import json
+import sys
+
+REQUIRED_TS = {"X", "i", "C"}
+
+
+def fail(path, msg):
+    sys.exit(f"validate_trace: FAIL — {path}: {msg}")
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "document is not an object with traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents is not a non-empty array")
+
+    named_threads = set()
+    named_processes = set()
+    used_threads = set()
+    counts = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(path, f"event {i} is not an object")
+        for k in ("ph", "pid", "name"):
+            if k not in e:
+                fail(path, f"event {i} lacks '{k}'")
+        ph = e["ph"]
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph in REQUIRED_TS and not isinstance(e.get("ts"),
+                                                (int, float)):
+            fail(path, f"event {i} ({ph}) lacks a numeric ts")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(path, f"event {i} (X) lacks a non-negative dur")
+        if ph == "i" and e.get("s") not in ("t", "p", "g"):
+            fail(path, f"event {i} (i) has bad scope {e.get('s')!r}")
+        if ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not all(
+                    isinstance(v, (int, float))
+                    for v in args.values()):
+                fail(path, f"event {i} (C) lacks numeric args")
+        if ph == "M":
+            if e["name"] == "thread_name":
+                named_threads.add((e["pid"], e.get("tid")))
+            elif e["name"] == "process_name":
+                named_processes.add(e["pid"])
+        elif "tid" in e:
+            used_threads.add((e["pid"], e["tid"]))
+
+    for pid, tid in sorted(used_threads):
+        if (pid, tid) not in named_threads:
+            fail(path, f"thread pid={pid} tid={tid} hosts events "
+                       "but has no thread_name metadata")
+        if pid not in named_processes:
+            fail(path, f"pid={pid} has no process_name metadata")
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"validate_trace: {path}: OK ({summary})")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()
