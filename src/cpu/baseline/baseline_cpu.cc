@@ -16,8 +16,8 @@ namespace cpu
 using isa::Instruction;
 
 BaselineCpu::BaselineCpu(const isa::Program &prog,
-                         const CoreConfig &cfg)
-    : CoreBase(prog, cfg, memory::Initiator::kBaseline)
+                         const CoreConfig &cfg, bool load_image)
+    : CoreBase(prog, cfg, memory::Initiator::kBaseline, load_image)
 {
 }
 

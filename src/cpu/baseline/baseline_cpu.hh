@@ -34,7 +34,8 @@ struct BaselineStats
 class BaselineCpu : public CoreBase
 {
   public:
-    BaselineCpu(const isa::Program &prog, const CoreConfig &cfg);
+    BaselineCpu(const isa::Program &prog, const CoreConfig &cfg,
+                bool load_image = true);
 
     RunResult
     run(std::uint64_t max_cycles) final

@@ -8,7 +8,7 @@ namespace cpu
 {
 
 CoreBase::CoreBase(const isa::Program &prog, const CoreConfig &cfg,
-                   memory::Initiator who)
+                   memory::Initiator who, bool load_image)
     : _prog(prog),
       _cfg(cfg),
       _hier(cfg.mem),
@@ -20,7 +20,8 @@ CoreBase::CoreBase(const isa::Program &prog, const CoreConfig &cfg,
     const std::string err = prog.validate(cfg.limits);
     ff_fatal_if(!err.empty(), "invalid program '", prog.name(), "': ",
                 err);
-    _mem.loadPages(prog.dataImage().pages());
+    if (load_image)
+        _mem.loadPages(prog.dataImage().pages());
 }
 
 void
@@ -82,6 +83,44 @@ CoreBase::restoreState(serial::Reader &r)
         return;
 
     _resumable = true;
+}
+
+void
+CoreBase::warpArchState(const RegFile &regs,
+                        const memory::SparseMemory &mem, InstIdx entry)
+{
+    ff_panic_if(_ran, "warpArchState() on a model that already ran; "
+                      "warping is construction-time only");
+    ff_panic_if(entry >= _prog.size() ||
+                    !_prog.isGroupLeader(entry),
+                "warp entry ", entry, " is not an issue-group leader "
+                "of '", _prog.name(), "'");
+    _ms.regs = regs;
+    _mem = mem;
+    _fe.reset(entry);
+    warpModelState();
+}
+
+void
+CoreBase::warmMicroArch(const WarmSnapshot &warm)
+{
+    ff_panic_if(_ran, "warmMicroArch() on a model that already ran; "
+                      "warming is construction-time only");
+    // Code first, then data: the streams only interleave in the
+    // shared L2/L3, where the (typically small) code footprint should
+    // not displace the most recent data lines.
+    for (const Addr a : warm.fetch)
+        _hier.warmAccess(memory::AccessKind::kInstFetch, a);
+    for (const WarmHistory::MemEvent &e : warm.mem) {
+        _hier.warmAccess(e.store ? memory::AccessKind::kStore
+                                 : memory::AccessKind::kLoad,
+                         e.addr);
+    }
+    // predict() + update() is exactly one resolve-trained branch:
+    // history shifts speculatively at predict and the counters (and
+    // any misprediction repair) train at update.
+    for (const WarmSnapshot::BranchEvent &e : warm.branch)
+        _pred->update(_pred->predict(e.pc), e.taken);
 }
 
 OccupancySample

@@ -36,9 +36,15 @@ class CoreBase : public CpuModel, public OccupancyProbe
      * Validates @p prog against the configured group limits (fatal on
      * violation), loads its data image, and builds the common
      * subsystems. @p who tags this core's memory accesses.
+     *
+     * @p load_image false skips materializing the program's data
+     * image into architectural memory — only for callers that warp
+     * the model to a complete memory state before running (sampled
+     * replay constructs one model per interval, and the image load is
+     * O(footprint) work the warp would immediately replace).
      */
     CoreBase(const isa::Program &prog, const CoreConfig &cfg,
-             memory::Initiator who);
+             memory::Initiator who, bool load_image = true);
     /** Models hold a reference: temporaries would dangle. */
     CoreBase(isa::Program &&, const CoreConfig &,
              memory::Initiator) = delete;
@@ -47,6 +53,35 @@ class CoreBase : public CpuModel, public OccupancyProbe
 
     bool supportsSnapshot() const final { return true; }
     Cycle currentCycle() const final { return _now; }
+
+    /**
+     * See CpuModel::warpArchState(). Copies the architectural
+     * register file and memory, restarts the front end at @p entry,
+     * and invokes warpModelState() so models with extra architectural
+     * mirrors (the two-pass A-file) re-synchronize. Only legal on a
+     * model that has never run: warping is a construction-time
+     * operation, not a mid-run rewrite.
+     */
+    void warpArchState(const RegFile &regs,
+                       const memory::SparseMemory &mem,
+                       InstIdx entry) final;
+
+    /**
+     * See CpuModel::warmMicroArch(). Replays the history into the
+     * cache hierarchy (untimed tag/LRU fills) and the direction
+     * predictor (one predict/update pair per recorded outcome). Like
+     * warping, only legal before the first run().
+     */
+    void warmMicroArch(const WarmSnapshot &warm) final;
+
+    /** See CpuModel::rearmResume(). */
+    void
+    rearmResume() final
+    {
+        ff_panic_if(!_ran, "rearmResume() before any run()");
+        ff_panic_if(_res.halted, "rearmResume() after HALT retired");
+        _resumable = true;
+    }
 
     /**
      * Serializes every CoreBase-owned subsystem (cycle cursor, run
@@ -135,6 +170,15 @@ class CoreBase : public CpuModel, public OccupancyProbe
      */
     virtual void saveModelState(serial::Writer &w) const = 0;
     virtual void restoreModelState(serial::Reader &r) = 0;
+
+    /**
+     * warpArchState() hook for model-owned mirrors of architectural
+     * state: called after the B-file and memory have been replaced,
+     * before the model runs. The default is a no-op (the baseline and
+     * run-ahead models re-derive their shadows lazily); the two-pass
+     * models synchronize the A-file here.
+     */
+    virtual void warpModelState() {}
 
     /** The attached observer, or nullptr. */
     CoreObserver *observer() const { return _observer; }

@@ -23,20 +23,21 @@ cpuKindName(CpuKind k)
 
 std::unique_ptr<CpuModel>
 makeModel(CpuKind kind, const isa::Program &prog,
-          const CoreConfig &cfg)
+          const CoreConfig &cfg, bool load_image)
 {
     switch (kind) {
       case CpuKind::kBaseline:
-        return std::make_unique<BaselineCpu>(prog, cfg);
+        return std::make_unique<BaselineCpu>(prog, cfg, load_image);
       case CpuKind::kTwoPass:
-        return std::make_unique<TwoPassCpu>(prog, cfg);
+        return std::make_unique<TwoPassCpu>(prog, cfg, load_image);
       case CpuKind::kTwoPassRegroup: {
         CoreConfig regroup_cfg = cfg;
         regroup_cfg.regroup = true;
-        return std::make_unique<TwoPassCpu>(prog, regroup_cfg);
+        return std::make_unique<TwoPassCpu>(prog, regroup_cfg,
+                                            load_image);
       }
       case CpuKind::kRunahead:
-        return std::make_unique<RunaheadCpu>(prog, cfg);
+        return std::make_unique<RunaheadCpu>(prog, cfg, load_image);
     }
     return nullptr;
 }

@@ -40,10 +40,15 @@ const char *cpuKindName(CpuKind k);
  * kTwoPassRegroup forces cfg.regroup on, so every caller gets the
  * same 2Pre semantics without touching its config. @p prog must
  * outlive the model (models hold a reference).
+ *
+ * @p load_image false constructs the model with empty architectural
+ * memory — strictly for callers that warpArchState() a complete
+ * memory image in before running (see CoreBase's constructor doc).
  */
 std::unique_ptr<CpuModel> makeModel(CpuKind kind,
                                     const isa::Program &prog,
-                                    const CoreConfig &cfg);
+                                    const CoreConfig &cfg,
+                                    bool load_image = true);
 
 } // namespace cpu
 } // namespace ff

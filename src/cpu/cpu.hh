@@ -16,6 +16,7 @@
 #include "cpu/cycle_classes.hh"
 #include "cpu/model_stats.hh"
 #include "cpu/regfile.hh"
+#include "cpu/warm_history.hh"
 #include "memory/hierarchy.hh"
 #include "memory/sparse_memory.hh"
 
@@ -67,6 +68,54 @@ class CpuModel
 
     /** True if saveState()/restoreState() are implemented. */
     virtual bool supportsSnapshot() const { return false; }
+
+    /**
+     * Warps a freshly constructed (never-run) model to an
+     * architectural state reached by the functional reference:
+     * register file and memory are copied in, fetch restarts at
+     * issue-group leader @p entry, and every microarchitectural
+     * structure (caches, predictor, queues, scoreboards) stays cold —
+     * the sampled-simulation replay pays a detailed warm-up to flush
+     * that cold-start bias. The cycle cursor remains 0. The default
+     * panics; CoreBase-derived models implement it.
+     */
+    virtual void
+    warpArchState(const RegFile &regs, const memory::SparseMemory &mem,
+                  InstIdx entry)
+    {
+        (void)regs;
+        (void)mem;
+        (void)entry;
+        ff_panic("model does not support architectural warping");
+    }
+
+    /**
+     * Replays a recorded event history untimed into the caches and
+     * the direction predictor of a never-run model — the functional-
+     * warming companion of warpArchState(), turning the cold micro-
+     * architecture the warp leaves behind into the hot state the true
+     * execution would have carried to that point. The default panics;
+     * CoreBase-derived models implement it.
+     */
+    virtual void
+    warmMicroArch(const WarmSnapshot &warm)
+    {
+        (void)warm;
+        ff_panic("model does not support micro-architectural warming");
+    }
+
+    /**
+     * Re-arms the single-shot run() latch so a run stopped by its
+     * cycle budget (not by HALT) may continue under a larger budget —
+     * the hook sampled replay uses to split one resume into a warm-up
+     * leg and a measured leg. Panics if the model never ran or
+     * already halted.
+     */
+    virtual void
+    rearmResume()
+    {
+        ff_panic("model does not support mid-run re-arming");
+    }
 
     /** Cycles simulated so far — the resume point of a snapshot. */
     virtual Cycle currentCycle() const { return 0; }

@@ -1,7 +1,5 @@
 #include "cpu/functional/functional_cpu.hh"
 
-#include <vector>
-
 #include "common/logging.hh"
 #include "cpu/exec.hh"
 
@@ -21,23 +19,17 @@ FunctionalCpu::FunctionalCpu(const isa::Program &prog) : _prog(prog)
 FunctionalCpu::Result
 FunctionalCpu::run(std::uint64_t max_insts)
 {
-    Result res;
-    InstIdx pc = 0;
-    while (!res.halted && res.instsExecuted < max_insts) {
-        const InstIdx end = _prog.groupEnd(pc);
-        ++res.groupsExecuted;
+    while (!_res.halted && _res.instsExecuted < max_insts) {
+        const InstIdx end = _prog.groupEnd(_pc);
+        ++_res.groupsExecuted;
+        if (_warm != nullptr)
+            _warm->recordFetch(isa::Program::instAddr(_pc));
 
         // Phase 1: snapshot all operand reads (pre-group state).
-        struct SlotOperands
-        {
-            bool qpred;
-            RegVal s1;
-            RegVal s2;
-        };
-        std::vector<SlotOperands> ops(end - pc);
-        for (InstIdx i = pc; i < end; ++i) {
+        _ops.resize(end - _pc);
+        for (InstIdx i = _pc; i < end; ++i) {
             const isa::Instruction &in = _prog.inst(i);
-            SlotOperands &o = ops[i - pc];
+            SlotOperands &o = _ops[i - _pc];
             o.qpred = _regs.readPred(in.qpred);
             o.s1 = in.src1.valid() ? _regs.read(in.src1) : 0;
             o.s2 = operandSrc2(in, in.src2.valid() ? _regs.read(in.src2)
@@ -46,21 +38,25 @@ FunctionalCpu::run(std::uint64_t max_insts)
 
         // Phase 2: evaluate and apply in slot order.
         InstIdx next_pc = end;
-        for (InstIdx i = pc; i < end; ++i) {
+        for (InstIdx i = _pc; i < end; ++i) {
             const isa::Instruction &in = _prog.inst(i);
-            const SlotOperands &o = ops[i - pc];
-            ++res.instsExecuted;
+            const SlotOperands &o = _ops[i - _pc];
+            ++_res.instsExecuted;
 
             if (in.isHalt()) {
-                res.halted = true;
+                _res.halted = true;
                 break;
             }
 
             EvalResult ev = evaluate(in, o.qpred, o.s1, o.s2);
             if (ev.isBranch) {
-                ++res.branchesExecuted;
+                ++_res.branchesExecuted;
+                if (_warm != nullptr) {
+                    _warm->recordBranch(isa::Program::instAddr(i),
+                                        ev.taken);
+                }
                 if (ev.taken) {
-                    ++res.branchesTaken;
+                    ++_res.branchesTaken;
                     next_pc = static_cast<InstIdx>(in.imm);
                 }
                 continue;
@@ -68,12 +64,14 @@ FunctionalCpu::run(std::uint64_t max_insts)
             if (!ev.predTrue)
                 continue;
             if (ev.isMemAccess) {
+                if (_warm != nullptr)
+                    _warm->recordMem(ev.addr, !in.isLoad());
                 if (in.isLoad()) {
-                    ++res.loadsExecuted;
+                    ++_res.loadsExecuted;
                     ev.dstVal =
                         loadExtend(in.op, _mem.read(ev.addr, ev.size));
                 } else {
-                    ++res.storesExecuted;
+                    ++_res.storesExecuted;
                     _mem.write(ev.addr, ev.storeVal, ev.size);
                 }
             }
@@ -83,14 +81,14 @@ FunctionalCpu::run(std::uint64_t max_insts)
                 _regs.write(in.dst2, ev.dst2Val);
         }
 
-        if (res.halted)
+        if (_res.halted)
             break;
         ff_panic_if(next_pc >= _prog.size(),
                     "functional execution ran off the program end in '",
                     _prog.name(), "'");
-        pc = next_pc;
+        _pc = next_pc;
     }
-    return res;
+    return _res;
 }
 
 } // namespace cpu

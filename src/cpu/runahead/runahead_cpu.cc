@@ -16,8 +16,8 @@ namespace cpu
 using isa::Instruction;
 
 RunaheadCpu::RunaheadCpu(const isa::Program &prog,
-                         const CoreConfig &cfg)
-    : CoreBase(prog, cfg, memory::Initiator::kRunahead)
+                         const CoreConfig &cfg, bool load_image)
+    : CoreBase(prog, cfg, memory::Initiator::kRunahead, load_image)
 {
 }
 

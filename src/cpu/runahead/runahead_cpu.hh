@@ -38,7 +38,8 @@ namespace cpu
 class RunaheadCpu : public CoreBase
 {
   public:
-    RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg);
+    RunaheadCpu(const isa::Program &prog, const CoreConfig &cfg,
+                bool load_image = true);
 
     RunResult
     run(std::uint64_t max_cycles) final

@@ -36,6 +36,19 @@ AFile::repairFromArch(const RegFile &bfile)
 }
 
 void
+AFile::syncFromArch(const RegFile &bfile)
+{
+    for (unsigned slot = 0; slot < kNumRegSlots; ++slot) {
+        _value[slot] = bfile.slotValue(slot);
+        _lastWriter[slot] = kInvalidDynId;
+        _readyAt[slot] = 0;
+        _kind[slot] = PendingKind::kNone;
+    }
+    _valid.setAll();
+    _spec.clearAll();
+}
+
+void
 AFile::reset()
 {
     _value.fill(0);

@@ -184,6 +184,16 @@ class AFile
      */
     unsigned repairFromArch(const RegFile &bfile);
 
+    /**
+     * Unconditionally adopts the architectural file @p bfile: every
+     * slot value is copied, all entries become valid, committed and
+     * idle. repairFromArch() cannot do this — a fresh A-file is
+     * all-valid zeros, so its dirty scan would copy nothing. Used by
+     * architectural warping, where the B-file itself was just
+     * replaced wholesale.
+     */
+    void syncFromArch(const RegFile &bfile);
+
     void reset();
 
     /** True if the entry is speculative (A-written, not committed). */

@@ -9,8 +9,9 @@ namespace ff
 namespace cpu
 {
 
-TwoPassCpu::TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg)
-    : CoreBase(prog, cfg, memory::Initiator::kApipe),
+TwoPassCpu::TwoPassCpu(const isa::Program &prog,
+                       const CoreConfig &cfg, bool load_image)
+    : CoreBase(prog, cfg, memory::Initiator::kApipe, load_image),
       _sbuf(cfg.storeBufferSize),
       _alat(cfg.alatCapacity),
       _ctx{_prog, _cfg, _fe, *_pred, _hier, _mem, _ms, _sbuf, _alat,

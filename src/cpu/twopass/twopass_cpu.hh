@@ -41,7 +41,8 @@ namespace cpu
 class TwoPassCpu : public CoreBase
 {
   public:
-    TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg);
+    TwoPassCpu(const isa::Program &prog, const CoreConfig &cfg,
+               bool load_image = true);
 
     RunResult
     run(std::uint64_t max_cycles) final
@@ -83,6 +84,9 @@ class TwoPassCpu : public CoreBase
   protected:
     void saveModelState(serial::Writer &w) const override;
     void restoreModelState(serial::Reader &r) override;
+
+    /** Architectural warp replaced the B-file; adopt it wholesale. */
+    void warpModelState() override { _ms.afile.syncFromArch(_ms.regs); }
 
   private:
     CycleClass tick(Cycle now, RunResult &res);

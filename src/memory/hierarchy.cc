@@ -136,6 +136,26 @@ Hierarchy::missPath(AccessKind kind, Addr addr, bool is_inst, Cycle now)
     return r;
 }
 
+void
+Hierarchy::warmAccess(AccessKind kind, Addr addr)
+{
+    const bool is_inst = kind == AccessKind::kInstFetch;
+    const bool is_store = kind == AccessKind::kStore;
+    Cache &l1 = is_inst ? _l1i : _l1d;
+    if (l1.access(addr, is_store))
+        return;
+    // Mirror the drainFills() install policy: a line fetched from
+    // memory lands in L3+L2+L1, from the L3 in L2+L1, from the L2 in
+    // the L1 only.
+    const Addr line = l1.lineAddr(addr);
+    if (!_l2.access(addr, false)) {
+        if (!_l3.access(addr, false))
+            _l3.insert(line, false);
+        _l2.insert(line, false);
+    }
+    l1.insert(line, is_store);
+}
+
 AccessResult
 Hierarchy::access(AccessKind kind, Initiator who, Addr addr, Cycle now)
 {

@@ -144,6 +144,18 @@ class Hierarchy
     AccessResult access(AccessKind kind, Initiator who, Addr addr,
                         Cycle now);
 
+    /**
+     * Untimed warming access: probes and fills the tag hierarchy
+     * exactly like a completed timed access — L1 hit updates LRU, a
+     * miss installs the line in every level below the hit level, with
+     * stores dirtying the L1 line — but schedules no fills, takes no
+     * MSHR and advances no clock. Replaying an access history through
+     * this reconstructs hot tag/LRU state for sampled-simulation
+     * checkpoints. Hit/miss counters do tick (warming is visible in
+     * raw cache statistics, never in timing).
+     */
+    void warmAccess(AccessKind kind, Addr addr);
+
     /** True if a load missing the L1 could allocate an MSHR now. */
     bool loadSlotAvailable(Cycle now) const;
 

@@ -14,16 +14,22 @@ const SparseMemory::Page *
 SparseMemory::findPage(Addr a) const
 {
     auto it = _pages.find(a / kPageBytes);
-    return it == _pages.end() ? nullptr : &it->second;
+    return it == _pages.end() ? nullptr : it->second.get();
 }
 
 SparseMemory::Page &
 SparseMemory::pageFor(Addr a)
 {
-    auto [it, inserted] = _pages.try_emplace(a / kPageBytes);
-    if (inserted)
-        it->second.fill(0);
-    return it->second;
+    std::shared_ptr<Page> &slot = _pages[a / kPageBytes];
+    if (slot == nullptr) {
+        slot = std::make_shared<Page>();
+        slot->fill(0);
+    } else if (slot.use_count() > 1) {
+        // Copy-on-write: the page is shared with a checkpoint or
+        // another machine's copy; clone before mutating.
+        slot = std::make_shared<Page>(*slot);
+    }
+    return *slot;
 }
 
 std::uint8_t
@@ -43,6 +49,19 @@ std::uint64_t
 SparseMemory::read(Addr a, unsigned size) const
 {
     ff_panic_if(size > 8, "oversized memory read");
+    // Fast path: the access stays inside one page, so one page lookup
+    // serves every byte (the byte loop below costs a hash probe per
+    // byte, and this is the simulator-wide load path).
+    if (size > 0 && a / kPageBytes == (a + size - 1) / kPageBytes) {
+        const Page *p = findPage(a);
+        if (p == nullptr)
+            return 0;
+        const std::uint8_t *b = p->data() + a % kPageBytes;
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
     std::uint64_t v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= static_cast<std::uint64_t>(readByte(a + i)) << (8 * i);
@@ -53,6 +72,12 @@ void
 SparseMemory::write(Addr a, std::uint64_t v, unsigned size)
 {
     ff_panic_if(size > 8, "oversized memory write");
+    if (size > 0 && a / kPageBytes == (a + size - 1) / kPageBytes) {
+        std::uint8_t *b = &pageFor(a)[a % kPageBytes];
+        for (unsigned i = 0; i < size; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         writeByte(a + i, static_cast<std::uint8_t>(v >> (8 * i)));
 }
@@ -89,7 +114,7 @@ SparseMemory::save(serial::Writer &w) const
     w.u64(page_nos.size());
     for (const Addr page_no : page_nos) {
         w.u64(page_no);
-        w.bytes(_pages.at(page_no).data(), kPageBytes);
+        w.bytes(_pages.at(page_no)->data(), kPageBytes);
     }
 }
 
@@ -100,8 +125,9 @@ SparseMemory::restore(serial::Reader &r)
     const std::size_t n = r.seq(8 + kPageBytes);
     for (std::size_t i = 0; i < n; ++i) {
         const Addr page_no = r.u64();
-        Page &p = _pages[page_no];
-        r.bytes(p.data(), kPageBytes);
+        auto p = std::make_shared<Page>();
+        r.bytes(p->data(), kPageBytes);
+        _pages[page_no] = std::move(p);
     }
 }
 
@@ -113,7 +139,7 @@ SparseMemory::fingerprint() const
     std::uint64_t total = 0;
     for (const auto &[page_no, page] : _pages) {
         bool all_zero = true;
-        for (std::uint8_t b : page) {
+        for (std::uint8_t b : *page) {
             if (b != 0) {
                 all_zero = false;
                 break;
@@ -122,7 +148,7 @@ SparseMemory::fingerprint() const
         if (all_zero)
             continue;
         std::uint64_t h = 1469598103934665603ULL ^ page_no;
-        for (std::uint8_t b : page) {
+        for (std::uint8_t b : *page) {
             h ^= b;
             h *= 1099511628211ULL;
         }

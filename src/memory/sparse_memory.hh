@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -24,11 +25,23 @@ namespace ff
 namespace memory
 {
 
-/** Sparse, zero-initialized, 64-bit address space. */
+/**
+ * Sparse, zero-initialized, 64-bit address space.
+ *
+ * Pages are held by shared pointer and copied on write: copying a
+ * SparseMemory duplicates only the page table, and the first store to
+ * a shared page clones that one page. Value semantics are unchanged —
+ * a copy never observes the original's later writes — but copies cost
+ * O(touched pages) pointer bumps instead of O(footprint) bytes. The
+ * sampled-simulation machinery leans on this: checkpoints are full
+ * memory images taken every few thousand instructions, and each
+ * detailed replay warps a fresh model to one of them.
+ */
 class SparseMemory
 {
   public:
     static constexpr Addr kPageBytes = 4096;
+    using Page = std::array<std::uint8_t, kPageBytes>;
 
     SparseMemory() = default;
 
@@ -69,12 +82,11 @@ class SparseMemory
     void restore(serial::Reader &r);
 
   private:
-    using Page = std::array<std::uint8_t, kPageBytes>;
-
     const Page *findPage(Addr a) const;
+    /** Write-path lookup: allocates or clones so the page is unique. */
     Page &pageFor(Addr a);
 
-    std::unordered_map<Addr, Page> _pages;
+    std::unordered_map<Addr, std::shared_ptr<Page>> _pages;
 };
 
 } // namespace memory

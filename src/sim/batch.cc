@@ -76,6 +76,158 @@ parseJobsFlag(int &argc, char **argv)
     return jobs;
 }
 
+namespace
+{
+
+/**
+ * The sampled-aware batch executor: taken whenever any job samples.
+ * Three phases over position-stable vectors (deterministic at any
+ * thread count):
+ *
+ *   A. one functional checkpoint pass per (program, normalized
+ *      sampling parameters) group — the plan is kind- and
+ *      config-independent, so every model replaying one program
+ *      shares it;
+ *   B. one pool unit per detailed interval replay of every sampled
+ *      job (plain jobs ride along as single units), so a lone
+ *      sampled job still saturates the workers;
+ *   C. serial stitching and cache stores.
+ */
+std::vector<SimOutcome>
+runSampledBatch(std::span<const SimJob> jobs, unsigned threads)
+{
+    std::vector<SimOutcome> out(jobs.size());
+
+    // ---- cache pass (serial: file reads, no simulation) ------------
+    const bool cache = resultCacheEnabled();
+    std::vector<std::string> keys(jobs.size());
+    std::vector<char> resolved(jobs.size(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimJob &j = jobs[i];
+        ff_fatal_if(j.sampled.enabled() && j.metrics.enabled(),
+                    "sampled jobs cannot collect metrics (observers "
+                    "need the whole run)");
+        if (!cache || j.metrics.enabled())
+            continue;
+        keys[i] = resultCacheKey(*j.program, j.kind, j.cfg,
+                                 j.maxCycles, j.sampled);
+        if (resultCacheLookup(keys[i], out[i]))
+            resolved[i] = 1;
+    }
+
+    // ---- group sampled jobs by (program, sampling parameters) ------
+    struct PlanGroup
+    {
+        std::size_t first; ///< representative job index
+        SampledPlan plan;
+    };
+    using PlanKey =
+        std::tuple<const isa::Program *, std::uint64_t, std::uint64_t,
+                   std::uint64_t, std::uint64_t>;
+    std::map<PlanKey, std::size_t> groupOf;
+    std::vector<PlanGroup> groups;
+    std::vector<std::size_t> jobGroup(jobs.size(), SIZE_MAX);
+    std::vector<std::size_t> pending; // unresolved jobs, any bin
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (resolved[i])
+            continue;
+        pending.push_back(i);
+        if (!jobs[i].sampled.enabled())
+            continue;
+        const SampledOptions o = jobs[i].sampled.normalized();
+        const PlanKey k{jobs[i].program, o.intervalCycles,
+                        o.detailCycles, o.warmupCycles,
+                        o.maxIntervals};
+        const auto [it, fresh] = groupOf.emplace(k, groups.size());
+        if (fresh)
+            groups.push_back(PlanGroup{i, SampledPlan{}});
+        jobGroup[i] = it->second;
+    }
+
+    const unsigned n = resolveJobs(threads);
+    ff_trace(trace::kEngine, 0, "BATCH",
+             jobs.size() << " jobs (sampled): "
+                         << (jobs.size() - pending.size())
+                         << " cached, " << groups.size()
+                         << " checkpoint plans, " << n << " threads");
+
+    // ---- phase A: one checkpoint pass per plan group ---------------
+    auto plan_one = [&](std::size_t g) {
+        const SimJob &j = jobs[groups[g].first];
+        verifyProgram(*j.program, j.cfg.limits);
+        groups[g].plan =
+            sampledCheckpointPass(*j.program, j.sampled.normalized());
+    };
+
+    // ---- phase B: every interval replay is its own pool unit -------
+    struct Unit
+    {
+        std::size_t job;
+        std::size_t interval; ///< SIZE_MAX = plain (whole) job
+    };
+    std::vector<Unit> units;
+    std::vector<std::vector<IntervalMeasure>> measures(jobs.size());
+    auto flatten_units = [&]() {
+        for (const std::size_t i : pending) {
+            if (jobGroup[i] == SIZE_MAX) {
+                units.push_back(Unit{i, SIZE_MAX});
+                continue;
+            }
+            const SampledPlan &plan = groups[jobGroup[i]].plan;
+            measures[i].resize(plan.checkpoints.size());
+            for (std::size_t k = 0; k < plan.checkpoints.size(); ++k)
+                units.push_back(Unit{i, k});
+        }
+    };
+    auto unit_one = [&](std::size_t u) {
+        const Unit &unit = units[u];
+        const SimJob &j = jobs[unit.job];
+        if (unit.interval == SIZE_MAX) {
+            engine::ScopedSpan span("job");
+            out[unit.job] = simulate(*j.program, j.kind, j.cfg,
+                                     j.maxCycles, j.metrics);
+            return;
+        }
+        const SampledPlan &plan = groups[jobGroup[unit.job]].plan;
+        measures[unit.job][unit.interval] = measureInterval(
+            *j.program, j.kind, j.cfg, plan, unit.interval);
+    };
+
+    if (n <= 1) {
+        for (std::size_t g = 0; g < groups.size(); ++g)
+            plan_one(g);
+        flatten_units();
+        for (std::size_t u = 0; u < units.size(); ++u)
+            unit_one(u);
+    } else {
+        ThreadPool pool(n);
+        if (!groups.empty())
+            pool.parallelFor(groups.size(), plan_one);
+        flatten_units();
+        if (!units.empty())
+            pool.parallelFor(units.size(), unit_one);
+    }
+
+    // ---- phase C: stitch, then store once per content address ------
+    for (const std::size_t i : pending) {
+        if (jobGroup[i] == SIZE_MAX)
+            continue;
+        out[i] = stitchSampled(jobs[i].kind, groups[jobGroup[i]].plan,
+                               measures[i]);
+    }
+    if (cache) {
+        std::unordered_set<std::string> stored;
+        for (const std::size_t i : pending) {
+            if (keys[i].empty() || !stored.insert(keys[i]).second)
+                continue;
+            resultCacheStore(keys[i], out[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 std::vector<SimOutcome>
 runBatch(std::span<const SimJob> jobs, unsigned threads)
 {
@@ -84,6 +236,12 @@ runBatch(std::span<const SimJob> jobs, unsigned threads)
         return out;
     for (const SimJob &j : jobs)
         ff_fatal_if(j.program == nullptr, "SimJob without a program");
+
+    bool any_sampled = false;
+    for (const SimJob &j : jobs)
+        any_sampled = any_sampled || j.sampled.enabled();
+    if (any_sampled)
+        return runSampledBatch(jobs, threads);
 
     auto run_one = [&](std::size_t i) {
         engine::ScopedSpan span("job");
@@ -106,6 +264,27 @@ runBatch(std::span<const SimJob> jobs, unsigned threads)
 SimOutcome
 simulateCached(const SimJob &j)
 {
+    if (j.sampled.enabled()) {
+        ff_fatal_if(j.metrics.enabled(),
+                    "sampled jobs cannot collect metrics (observers "
+                    "need the whole run)");
+        // Sampled outcomes are keyed separately: the sampling
+        // parameters join the content address, so a sampled estimate
+        // can never answer a detailed query (or vice versa).
+        if (!resultCacheEnabled()) {
+            return simulateSampled(*j.program, j.kind, j.cfg,
+                                   j.sampled, j.maxCycles);
+        }
+        const std::string key = resultCacheKey(
+            *j.program, j.kind, j.cfg, j.maxCycles, j.sampled);
+        SimOutcome out;
+        if (resultCacheLookup(key, out))
+            return out;
+        out = simulateSampled(*j.program, j.kind, j.cfg, j.sampled,
+                              j.maxCycles);
+        resultCacheStore(key, out);
+        return out;
+    }
     // Metered runs feed observers that must see every cycle; the
     // cache would hand back a record without the metrics payload.
     if (j.metrics.enabled() || !resultCacheEnabled()) {
@@ -141,6 +320,7 @@ sweepJobs(std::span<const workloads::Workload> workloads,
             j.cfg = v.cfg;
             j.maxCycles = max_cycles;
             j.metrics = v.metrics;
+            j.sampled = v.sampled;
             jobs.push_back(j);
         }
     }
@@ -281,7 +461,14 @@ runSweep(std::span<const workloads::Workload> workloads,
 {
     const std::vector<SimJob> jobs =
         sweepJobs(workloads, variants, opts.maxCycles);
-    if (opts.warmupCycles == 0)
+    // Sampled cells replay from functional checkpoints — a shared
+    // timed warm-up prefix has nothing to fork for them — so a grid
+    // with any sampled column routes through the sampled-aware batch
+    // engine instead of the warm-up-sharing executor.
+    bool any_sampled = false;
+    for (const SweepVariant &v : variants)
+        any_sampled = any_sampled || v.sampled.enabled();
+    if (opts.warmupCycles == 0 || any_sampled)
         return runBatch(jobs, opts.threads);
     return runForkedBatch(jobs, opts);
 }

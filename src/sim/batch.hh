@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/harness.hh"
+#include "sim/sampled.hh"
 #include "workloads/workload.hh"
 
 namespace ff
@@ -38,6 +39,10 @@ struct SimJob
     /** Profile/telemetry collection for this job (off by default;
      *  read-only observers, so aggregate results are unaffected). */
     MetricsOptions metrics{};
+    /** Sampled simulation for this job (disabled by default). A
+     *  sampled job estimates run time from replayed intervals; see
+     *  sim/sampled.hh. Mutually exclusive with metrics collection. */
+    SampledOptions sampled{};
 };
 
 /**
@@ -45,6 +50,12 @@ struct SimJob
  * default), and returns outcomes with outcome[i] belonging to
  * jobs[i]. A resolved count of 1 runs inline on the calling thread —
  * "--jobs 1" is genuinely serial, not a one-thread pool.
+ *
+ * Sampled jobs are decomposed: one functional checkpoint pass per
+ * (program, sampling parameters) — shared across model kinds — then
+ * every detailed interval replay of every job becomes its own pool
+ * unit, so a single sampled job already saturates the workers.
+ * Outcomes remain bit-identical at any thread count.
  */
 std::vector<SimOutcome> runBatch(std::span<const SimJob> jobs,
                                  unsigned threads = 0);
@@ -57,6 +68,8 @@ struct SweepVariant
     /** Metrics collection for every cell of this column; each
      *  outcome then carries its own MetricsRecord. */
     MetricsOptions metrics{};
+    /** Sampled simulation for every cell of this column. */
+    SampledOptions sampled{};
 };
 
 /**

@@ -28,6 +28,8 @@ namespace ff
 namespace sim
 {
 
+struct SampledEstimate; // sim/sampled.hh
+
 // CpuKind migrated to the cpu core layer with the model factory; the
 // sim spelling stays valid for the existing benches and tests.
 using cpu::CpuKind;
@@ -56,6 +58,14 @@ struct SimOutcome
      * batch engine.
      */
     std::shared_ptr<const MetricsRecord> metrics;
+
+    /**
+     * Statistical estimate of a sampled run (sim/sampled.hh); null
+     * for detailed runs. When set, run.cycles and the cycle-class
+     * accounting are estimates (instruction counts and fingerprints
+     * stay exact — they come from the functional pass).
+     */
+    std::shared_ptr<const SampledEstimate> sampled;
 };
 
 /** Default cycle budget: generous, but stops runaway models. */

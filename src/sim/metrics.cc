@@ -6,6 +6,7 @@
 #include "isa/disasm.hh"
 #include "sim/harness.hh"
 #include "sim/report.hh"
+#include "sim/sampled.hh"
 
 namespace ff
 {
@@ -218,6 +219,30 @@ metricsToJson(const SimOutcome &outcome, const cpu::CoreConfig &cfg,
     w.kv("feedbackApplied", tp.feedbackApplied);
     w.kv("feedbackDropped", tp.feedbackDropped);
     w.endObject();
+
+    if (outcome.sampled != nullptr) {
+        const SampledEstimate &e = *outcome.sampled;
+        w.key("sampled");
+        w.beginObject();
+        w.kv("intervalCycles", e.options.intervalCycles);
+        w.kv("detailCycles", e.options.detailCycles);
+        w.kv("warmupCycles", e.options.warmupCycles);
+        w.kv("maxIntervals", e.options.maxIntervals);
+        w.kv("spacing", e.spacing);
+        w.kv("intervalsTotal", e.intervalsTotal);
+        w.kv("intervalsMeasured", e.intervalsMeasured);
+        w.kv("sampledCycles", e.sampledCycles);
+        w.kv("sampledInsts", e.sampledInsts);
+        w.kv("totalInsts", e.totalInsts);
+        w.kv("prefixCycles", e.prefixCycles);
+        w.kv("prefixInsts", e.prefixInsts);
+        w.kv("ipcMean", e.ipcMean);
+        w.kv("ipcStdDev", e.ipcStdDev);
+        w.kv("ipcStdErr", e.ipcStdErr);
+        w.kv("ipcCi95", e.ipcCi95);
+        w.kv("estimatedCycles", e.estimatedCycles);
+        w.endObject();
+    }
 
     if (outcome.metrics != nullptr) {
         const MetricsRecord &rec = *outcome.metrics;

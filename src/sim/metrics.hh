@@ -44,8 +44,10 @@ struct SimOutcome;
  * backwards-incompatible change to the emitted structure, and keep
  * tools/metrics_schema.json in lock step (the bench-smoke gate
  * validates every emitted document against it).
+ * v2: optional "sampled" object carrying the sampled-simulation
+ * estimator fields (mean/stddev/stderr/CI, interval coverage).
  */
-inline constexpr unsigned kMetricsSchemaVersion = 1;
+inline constexpr unsigned kMetricsSchemaVersion = 2;
 
 /** What to collect during a run. All off (the default) is free. */
 struct MetricsOptions

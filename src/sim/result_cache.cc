@@ -177,6 +177,28 @@ encodeOutcome(serial::Writer &w, const SimOutcome &o)
     w.u64(o.regFingerprint);
     w.u64(o.memFingerprint);
     w.u64(o.checksum);
+    // Optional sampled-estimate tail (v2).
+    w.boolean(o.sampled != nullptr);
+    if (o.sampled != nullptr) {
+        const SampledEstimate &e = *o.sampled;
+        w.u64(e.options.intervalCycles);
+        w.u64(e.options.detailCycles);
+        w.u64(e.options.warmupCycles);
+        w.u64(e.options.maxIntervals);
+        w.u64(e.spacing);
+        w.u64(e.intervalsTotal);
+        w.u64(e.intervalsMeasured);
+        w.u64(e.sampledCycles);
+        w.u64(e.sampledInsts);
+        w.u64(e.totalInsts);
+        w.u64(e.prefixCycles);
+        w.u64(e.prefixInsts);
+        w.f64(e.ipcMean);
+        w.f64(e.ipcStdDev);
+        w.f64(e.ipcStdErr);
+        w.f64(e.ipcCi95);
+        w.f64(e.estimatedCycles);
+    }
 }
 
 bool
@@ -210,6 +232,28 @@ decodeOutcome(serial::Reader &r, SimOutcome &o)
     o.memFingerprint = r.u64();
     o.checksum = r.u64();
     o.metrics.reset();
+    o.sampled.reset();
+    if (r.boolean()) {
+        auto e = std::make_shared<SampledEstimate>();
+        e->options.intervalCycles = r.u64();
+        e->options.detailCycles = r.u64();
+        e->options.warmupCycles = r.u64();
+        e->options.maxIntervals = r.u64();
+        e->spacing = r.u64();
+        e->intervalsTotal = r.u64();
+        e->intervalsMeasured = r.u64();
+        e->sampledCycles = r.u64();
+        e->sampledInsts = r.u64();
+        e->totalInsts = r.u64();
+        e->prefixCycles = r.u64();
+        e->prefixInsts = r.u64();
+        e->ipcMean = r.f64();
+        e->ipcStdDev = r.f64();
+        e->ipcStdErr = r.f64();
+        e->ipcCi95 = r.f64();
+        e->estimatedCycles = r.f64();
+        o.sampled = std::move(e);
+    }
     return r.ok();
 }
 
@@ -217,7 +261,8 @@ decodeOutcome(serial::Reader &r, SimOutcome &o)
 
 std::string
 resultCacheKey(const isa::Program &prog, CpuKind kind,
-               const cpu::CoreConfig &cfg, std::uint64_t max_cycles)
+               const cpu::CoreConfig &cfg, std::uint64_t max_cycles,
+               const SampledOptions &sampled)
 {
     serial::Writer w;
     w.u32(kCacheMagic);
@@ -227,6 +272,17 @@ resultCacheKey(const isa::Program &prog, CpuKind kind,
     w.u64(programContentHash(prog));
     canonicalizeConfig(cfg, w);
     w.u64(max_cycles);
+    // Normalized, so equivalent sampling spellings share an address;
+    // the disabled marker keeps detailed keys distinct from every
+    // sampled one.
+    const SampledOptions s = sampled.normalized();
+    w.boolean(s.enabled());
+    if (s.enabled()) {
+        w.u64(s.intervalCycles);
+        w.u64(s.detailCycles);
+        w.u64(s.warmupCycles);
+        w.u64(s.maxIntervals);
+    }
     return Sha256::hex(w.buffer().data(), w.buffer().size());
 }
 

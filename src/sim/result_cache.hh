@@ -27,6 +27,7 @@
 #include <string>
 
 #include "sim/harness.hh"
+#include "sim/sampled.hh"
 
 namespace ff
 {
@@ -37,8 +38,10 @@ namespace sim
  * Entry-format version, folded into every key and checked in every
  * entry header. Bump whenever the SimOutcome encoding or the key
  * recipe changes; old entries then age out as unreachable keys.
+ * v2: sampling parameters joined the key and entries grew an
+ * optional SampledEstimate tail.
  */
-inline constexpr std::uint32_t kResultCacheVersion = 1;
+inline constexpr std::uint32_t kResultCacheVersion = 2;
 
 /** Lifetime counters, for benches and the cache tests. */
 struct ResultCacheStats
@@ -52,12 +55,15 @@ struct ResultCacheStats
 /**
  * The content address of one run: a SHA-256 hex digest over the
  * cache version, snapshot format version, model kind, full program
- * image (code and data), canonicalized configuration, and cycle
- * budget.
+ * image (code and data), canonicalized configuration, cycle budget,
+ * and the (normalized) sampling parameters — a sampled estimate and
+ * the detailed run it approximates always live under distinct keys.
  */
 std::string resultCacheKey(const isa::Program &prog, CpuKind kind,
                            const cpu::CoreConfig &cfg,
-                           std::uint64_t max_cycles);
+                           std::uint64_t max_cycles,
+                           const SampledOptions &sampled =
+                               SampledOptions());
 
 /**
  * Points the cache at @p dir (created on first store), overriding

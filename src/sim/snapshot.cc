@@ -260,6 +260,15 @@ resumeSnapshot(const isa::Program &prog, CpuKind kind,
                std::uint64_t max_cycles)
 {
     engine::ScopedSpan span("fork-resume");
+    // The budget is total simulated cycles (see header): resuming a
+    // cycle-N snapshot under a budget <= N cannot advance the model
+    // a single cycle and would misreport as a timeout below.
+    ff_fatal_if(max_cycles <= snap.cycle,
+                "resumeSnapshot() budget of ", max_cycles,
+                " cycles does not reach past the snapshot's warm-up "
+                "point (cycle ", snap.cycle,
+                "); the budget counts total simulated cycles, not "
+                "cycles after the fork");
     verifyProgram(prog, cfg.limits);
     const std::unique_ptr<cpu::CpuModel> model =
         cpu::makeModel(kind, prog, cfg);

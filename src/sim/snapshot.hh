@@ -122,6 +122,11 @@ struct WarmupResult
  * snapshots the machine, so any number of equal-config runs can fork
  * from the saved state instead of repeating the prefix. The program
  * passes the standard verification wall first.
+ *
+ * Budget semantics: both parameters count total simulated cycles
+ * from cycle 0; the warm-up leg runs min(warmup_cycles, max_cycles)
+ * and a prefix that already completes the program (or exhausts the
+ * whole budget) reports a finished outcome instead of a snapshot.
  */
 WarmupResult runWarmup(const isa::Program &prog, CpuKind kind,
                        const cpu::CoreConfig &cfg,
@@ -131,9 +136,15 @@ WarmupResult runWarmup(const isa::Program &prog, CpuKind kind,
 /**
  * The fork half: constructs a fresh model, restores @p snap, and
  * runs to completion under the same overall @p max_cycles budget a
- * cold simulate() would have (the budget counts total simulated
- * cycles, not cycles after the fork). Fatal if the model does not
- * halt, matching simulate().
+ * cold simulate() would have.
+ *
+ * Budget semantics: @p max_cycles counts *total* simulated cycles
+ * from cycle 0, not cycles remaining after the fork — the resumed
+ * run gets max_cycles - snap.cycle further cycles, so forked and
+ * cold runs of one budget are bit-identical. A budget at or below
+ * the snapshot cycle leaves the resumed model no room to advance
+ * and is rejected fatally (it could only ever report a spurious
+ * timeout).
  */
 SimOutcome resumeSnapshot(const isa::Program &prog, CpuKind kind,
                           const cpu::CoreConfig &cfg,

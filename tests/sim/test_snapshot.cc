@@ -385,6 +385,74 @@ TEST(Snapshot, ForkedSweepBitIdenticalToColdAtAnyJobCount)
     expectIdentical(cold, forked4, "cold vs forked jobs=4");
 }
 
+TEST(SnapshotDeathTest, ResumeBudgetAtOrBelowWarmupPointIsFatal)
+{
+    // resumeSnapshot()'s budget counts total simulated cycles from
+    // cycle 0 (header contract): a budget at or below the snapshot
+    // cycle leaves no room to advance and must be rejected instead
+    // of reporting a spurious timeout.
+    const cpu::CoreConfig cfg = sim::table1Config();
+    const workloads::Workload &w = suite().front();
+    const sim::CpuKind kind = sim::CpuKind::kBaseline;
+    const sim::WarmupResult warm =
+        sim::runWarmup(w.program, kind, cfg, 2000);
+    ASSERT_FALSE(warm.completed);
+    ASSERT_EQ(warm.snap.cycle, 2000u);
+
+    EXPECT_DEATH(sim::resumeSnapshot(w.program, kind, cfg, warm.snap,
+                                     warm.snap.cycle),
+                 "does not reach past the snapshot's warm-up point");
+    EXPECT_DEATH(sim::resumeSnapshot(w.program, kind, cfg, warm.snap,
+                                     warm.snap.cycle - 1),
+                 "does not reach past the snapshot's warm-up point");
+    // A budget with room past the warm-up point is legal.
+    const sim::SimOutcome ok = sim::resumeSnapshot(
+        w.program, kind, cfg, warm.snap, sim::kDefaultMaxCycles);
+    EXPECT_TRUE(ok.run.halted);
+}
+
+TEST(Snapshot, ChainedSnapshotByteIdenticalToStraightLine)
+{
+    // Snapshot-chain determinism: checkpointing at N, resuming, and
+    // checkpointing again at 2N must produce the same bytes as one
+    // uninterrupted run snapshotted at 2N. Sampled simulation leans
+    // on this transitivity — any divergence would compound across a
+    // checkpoint chain.
+    const cpu::CoreConfig cfg = sim::table1Config();
+    for (const workloads::Workload &w : suite()) {
+        for (const sim::CpuKind kind : allKinds()) {
+            SCOPED_TRACE(w.name + " / " + sim::cpuKindName(kind));
+            const std::uint64_t n =
+                500 + midRunCycle(w.program, kind) % 1500;
+
+            // Chained: run to N, snapshot, restore into a fresh
+            // model, run to 2N (total cycles), snapshot again.
+            const std::unique_ptr<cpu::CpuModel> first =
+                cpu::makeModel(kind, w.program, cfg);
+            ASSERT_FALSE(first->run(n).halted);
+            const sim::Snapshot at_n =
+                sim::saveSnapshot(*first, kind, w.program, cfg);
+
+            const std::unique_ptr<cpu::CpuModel> resumed =
+                cpu::makeModel(kind, w.program, cfg);
+            sim::restoreSnapshot(*resumed, at_n, kind, w.program, cfg);
+            ASSERT_FALSE(resumed->run(2 * n).halted);
+            const sim::Snapshot chained =
+                sim::saveSnapshot(*resumed, kind, w.program, cfg);
+
+            // Straight line: one cold run to 2N.
+            const std::unique_ptr<cpu::CpuModel> straight =
+                cpu::makeModel(kind, w.program, cfg);
+            ASSERT_FALSE(straight->run(2 * n).halted);
+            const sim::Snapshot direct =
+                sim::saveSnapshot(*straight, kind, w.program, cfg);
+
+            EXPECT_EQ(chained.cycle, direct.cycle);
+            EXPECT_EQ(chained.state, direct.state);
+        }
+    }
+}
+
 TEST(Snapshot, ForkedSweepZeroWarmupFallsBackToPlainBatch)
 {
     const std::vector<sim::SweepVariant> variants = {

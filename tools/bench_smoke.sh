@@ -20,7 +20,11 @@
 #  4. emit a --profile --metrics-out JSON document for the same
 #     workload on every timed model and validate each against
 #     tools/metrics_schema.json, so the exported document and the
-#     schema cannot drift apart.
+#     schema cannot drift apart;
+#  5. gate sampled simulation (bench_sampled): the sampled estimator
+#     must stay within 2% relative IPC error of full detailed
+#     simulation while running >= 3x faster on the fig6 suite, and
+#     the error/speedup record joins the same trajectory file.
 #
 # Usage: tools/bench_smoke.sh [build-dir] [scale-percent]
 set -euo pipefail
@@ -186,6 +190,56 @@ for row in record.get("perModel", []):
 if rate < floor:
     sys.exit(f"bench_smoke: FAIL — bench_tick throughput {rate:.3g} "
              f"sim-cycles/s below the {floor:.3g} floor")
+
+try:
+    with open(trajectory_path) as f:
+        trajectory = json.load(f)
+    if not isinstance(trajectory, list):
+        trajectory = [trajectory]
+except (OSError, json.JSONDecodeError):
+    trajectory = []
+trajectory.append(record)
+with open(trajectory_path, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+EOF
+
+# ---- sampled simulation gate (bench_sampled) -----------------------
+# bench_sampled runs the full fig6 suite twice — full detailed and
+# sampled — and reports the relative IPC error and wall-clock speedup
+# of the estimator. Gate both (error <= 2%, speedup >= 3x at the
+# default 32000:4000 config) and append the record to the trajectory
+# file. Scale 1600 is where the headline trade holds: long enough
+# that the detailed fraction is small, short enough for CI. Override
+# with FF_SAMPLED_SCALE; the cache must stay off for this section —
+# cache hits would time the cache, not the simulator.
+sampled_bench="$build_dir/bench/bench_sampled"
+sampled_scale="${FF_SAMPLED_SCALE:-1600}"
+if [ ! -x "$sampled_bench" ]; then
+    echo "bench_smoke: $sampled_bench is not built" >&2
+    exit 1
+fi
+sampled_json="$(mktemp)"
+trap 'rm -rf "$serial" "$par" "$record" "$cache_dir" "$cold_json" \
+         "$warm_json" "$warm_table" "$tick_json" "$sampled_json"' EXIT
+env -u FF_CACHE_DIR "$sampled_bench" --json "$sampled_json" \
+    --max-err 2.0 --min-speedup 3.0 "$sampled_scale" > /dev/null
+python3 - "$sampled_json" BENCH_fig6.json <<'EOF'
+import datetime
+import json
+import sys
+
+sampled_path, trajectory_path = sys.argv[1], sys.argv[2]
+with open(sampled_path) as f:
+    record = json.load(f)
+record["timestamp"] = datetime.datetime.now(
+    datetime.timezone.utc).isoformat(timespec="seconds")
+print(f"bench_smoke: sampled fig6 max err "
+      f"{record['maxRelErrPct']:.2f}% (mean "
+      f"{record['meanRelErrPct']:.2f}%), speedup "
+      f"{record['sampledSpeedup']}x over full detailed "
+      f"({record['fullWallSeconds']:.2f} s -> "
+      f"{record['sampledWallSeconds']:.2f} s)")
 
 try:
     with open(trajectory_path) as f:

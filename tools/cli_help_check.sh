@@ -46,8 +46,10 @@ while IFS=$'\t' read -r name arity metavar; do
             echo "cli_help_check: FAIL — value flag $name has no" \
                  "metavar" >&2
             fail=1
-        elif ! grep -qE -- "$name( $metavar|\[=$metavar\])" \
-                <<<"$help_out"; then
+        elif ! grep -qF -- "$name $metavar" <<<"$help_out" &&
+             ! grep -qF -- "$name[=$metavar]" <<<"$help_out"; then
+            # Fixed-string match: metavars may contain regex
+            # metacharacters (e.g. INTERVAL[:DETAIL[:WARMUP]]).
             echo "cli_help_check: FAIL — $name does not document" \
                  "its $metavar value in --help" >&2
             fail=1

@@ -86,6 +86,12 @@ constexpr FlagSpec kFlags[] = {
      "feedback,core,engine,all"},
     {"--max-cycles", ArgKind::kRequired, "N",
      "simulation budget (default 400M)"},
+    {"--sample", ArgKind::kRequired, "INTERVAL[:DETAIL[:WARMUP]]",
+     "sampled simulation: functional checkpoints every INTERVAL "
+     "retired slots, parallel detailed replay of DETAIL-slot "
+     "measured windows (default INTERVAL/8) after WARMUP warm-up "
+     "cycles (default max(DETAIL,512)), statistically stitched into "
+     "a whole-run estimate with confidence interval"},
     {"--cq", ArgKind::kRequired, "N", "coupling queue entries"},
     {"--alat", ArgKind::kRequired, "N",
      "ALAT capacity (0 = perfect)"},
@@ -217,6 +223,7 @@ main(int argc, char **argv)
     std::string metrics_out;
     std::string trace_out;
     std::uint64_t max_cycles = sim::kDefaultMaxCycles;
+    sim::SampledOptions sopt;
     cpu::CoreConfig cfg = sim::table1Config();
 
     for (int i = 1; i < argc; ++i) {
@@ -307,6 +314,31 @@ main(int argc, char **argv)
             trace::enable(traceMask(v));
         } else if (n == "--max-cycles") {
             max_cycles = std::strtoull(v.c_str(), nullptr, 0);
+        } else if (n == "--sample") {
+            char *end = nullptr;
+            sopt.intervalCycles = std::strtoull(v.c_str(), &end, 0);
+            if (*end == ':') {
+                const char *detail = end + 1;
+                sopt.detailCycles = std::strtoull(detail, &end, 0);
+                ff_fatal_if(end == detail || sopt.detailCycles == 0 ||
+                                (*end != '\0' && *end != ':'),
+                            "bad --sample value '", v,
+                            "' (expected INTERVAL[:DETAIL[:WARMUP]])");
+                if (*end == ':') {
+                    const char *warm = end + 1;
+                    sopt.warmupCycles = std::strtoull(warm, &end, 0);
+                    ff_fatal_if(end == warm || *end != '\0' ||
+                                    sopt.warmupCycles == 0,
+                                "bad --sample value '", v,
+                                "' (expected "
+                                "INTERVAL[:DETAIL[:WARMUP]])");
+                }
+            } else {
+                ff_fatal_if(*end != '\0', "bad --sample value '", v,
+                            "' (expected INTERVAL[:DETAIL[:WARMUP]])");
+            }
+            ff_fatal_if(sopt.intervalCycles == 0,
+                        "--sample needs a positive interval");
         } else if (n == "--cq") {
             cfg.couplingQueueSize = num();
         } else if (n == "--alat") {
@@ -343,18 +375,35 @@ main(int argc, char **argv)
         usage(argv[0], 2); // exactly one program source
 
     sim::MetricsOptions mopt;
-    mopt.profile = do_profile || !metrics_out.empty();
-    mopt.telemetry = !metrics_out.empty();
+    // Sampled runs estimate aggregate time from replayed windows;
+    // per-cycle observers (profile/telemetry/pipeview), statistics
+    // dumps and traces all need one full detailed run. --metrics-out
+    // stays legal with --sample: the document then carries the
+    // "sampled" estimator section instead of profile/telemetry data.
+    ff_fatal_if(sopt.enabled() &&
+                    (do_stats || do_trace || do_profile ||
+                     do_pipeview || !trace_out.empty()),
+                "--sample is incompatible with --stats/--trace/"
+                "--profile/--pipeview/--trace-out (those need a full "
+                "detailed run)");
+    mopt.profile =
+        do_profile || (!metrics_out.empty() && !sopt.enabled());
+    mopt.telemetry = !metrics_out.empty() && !sopt.enabled();
     mopt.pipeview = do_pipeview || !trace_out.empty();
-    ff_fatal_if(mopt.enabled() && model == "functional",
-                "--profile/--metrics-out/--pipeview/--trace-out need "
-                "a timed model (--model base|2P|2Pre|runahead)");
+    ff_fatal_if((mopt.enabled() || sopt.enabled()) &&
+                    model == "functional",
+                "--profile/--metrics-out/--pipeview/--trace-out/"
+                "--sample need a timed model (--model "
+                "base|2P|2Pre|runahead)");
     if (model.empty()) {
         // Metrics only exist on timed models, so asking for them
         // picks the paper's machine rather than dying on the
-        // functional default.
-        model = mopt.enabled() ? "2P" : "functional";
-        if (mopt.enabled())
+        // functional default; --sample follows the same convention.
+        model = mopt.enabled() || sopt.enabled() ? "2P" : "functional";
+        if (sopt.enabled())
+            std::fprintf(stderr, "note: --sample without --model: "
+                                 "using the two-pass model (2P)\n");
+        else if (mopt.enabled())
             std::fprintf(stderr,
                          "note: --profile/--metrics-out/--pipeview/"
                          "--trace-out without --model: using the "
@@ -452,6 +501,54 @@ main(int argc, char **argv)
         kind = sim::CpuKind::kRunahead;
     else
         ff_fatal("unknown model '", model, "'");
+
+    if (sopt.enabled()) {
+        sim::SimJob job;
+        job.program = &prog;
+        job.kind = kind;
+        job.cfg = cfg;
+        job.maxCycles = max_cycles;
+        job.sampled = sopt;
+        const sim::SimOutcome out = sim::simulateCached(job);
+        ff_fatal_if(out.sampled == nullptr,
+                    "sampled run returned no estimate");
+        const sim::SampledEstimate &e = *out.sampled;
+        std::printf("model=%s sampled halted=%d cycles~%llu "
+                    "instructions=%llu ipc=%.3f +/- %.3f (95%% CI)\n",
+                    model.c_str(), out.run.halted ? 1 : 0,
+                    static_cast<unsigned long long>(out.run.cycles),
+                    static_cast<unsigned long long>(
+                        out.run.instsRetired),
+                    e.ipcMean, e.ipcCi95);
+        std::printf(
+            "sampling: intervals=%llu measured=%llu spacing=%llu "
+            "detail=%llu warmup=%llu coverage=%.1f%%\n",
+            static_cast<unsigned long long>(e.intervalsTotal),
+            static_cast<unsigned long long>(e.intervalsMeasured),
+            static_cast<unsigned long long>(e.spacing),
+            static_cast<unsigned long long>(e.options.detailCycles),
+            static_cast<unsigned long long>(e.options.warmupCycles),
+            e.totalInsts == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(e.sampledInsts) /
+                      static_cast<double>(e.totalInsts));
+        std::printf("stalls: %s\n", out.cycles.render().c_str());
+        std::printf("checksum[0x100]=%llu\n",
+                    static_cast<unsigned long long>(out.checksum));
+        if (!metrics_out.empty()) {
+            std::ofstream mf(metrics_out);
+            ff_fatal_if(!mf, "cannot write '", metrics_out, "'");
+            mf << sim::metricsToJson(out, cfg, path);
+            std::printf("metrics: wrote %s\n", metrics_out.c_str());
+        }
+        if (sim::resultCacheEnabled()) {
+            const sim::ResultCacheStats cs = sim::resultCacheStats();
+            std::printf("cache: hits=%llu misses=%llu\n",
+                        static_cast<unsigned long long>(cs.hits),
+                        static_cast<unsigned long long>(cs.misses));
+        }
+        return out.run.halted ? 0 : 1;
+    }
 
     // A plain timed run (no stats dump, trace, or metrics — nothing
     // that needs the live model) can be answered from the result
